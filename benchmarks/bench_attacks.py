@@ -1,0 +1,59 @@
+"""Experiment E1 — the Section V-A proof-of-concept matrix.
+
+Paper claim: both Spectre variants read memory they should not on the
+unprotected platform, and a simple DBT software update (GhostBusters)
+blocks them; turning speculation off also blocks them.
+
+The regenerated artefact is the variant x policy matrix; each benchmark
+run times one full attack (training + per-byte flush/attack/probe rounds)
+on the simulated platform.
+"""
+
+import pytest
+
+from repro.attacks import AttackVariant, attack_matrix, format_matrix, run_attack
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+
+from conftest import save_result
+
+SECRET = b"GHOST"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    data = attack_matrix(secret=SECRET)
+    rows = [format_matrix(data), ""]
+    for variant, per_policy in data.items():
+        for policy, result in per_policy.items():
+            rows.append("%-12s %-16s recovered %2d/%2d bytes, %7d rollbacks, %9d cycles" % (
+                variant.value, policy.value, result.bytes_recovered,
+                len(result.secret), result.run.rollbacks, result.run.cycles,
+            ))
+    save_result("E1_attack_matrix.txt", "\n".join(rows))
+    return data
+
+
+@pytest.mark.parametrize("variant", list(AttackVariant))
+def test_unsafe_leaks(matrix, variant, benchmark):
+    result = benchmark.pedantic(
+        run_attack, args=(variant, MitigationPolicy.UNSAFE, SECRET),
+        rounds=1, iterations=1,
+    )
+    assert result.leaked
+    benchmark.extra_info["cycles"] = result.run.cycles
+    benchmark.extra_info["accuracy"] = result.accuracy
+
+
+@pytest.mark.parametrize("variant", list(AttackVariant))
+@pytest.mark.parametrize("policy", [
+    MitigationPolicy.GHOSTBUSTERS,
+    MitigationPolicy.FENCE,
+    MitigationPolicy.NO_SPECULATION,
+])
+def test_countermeasures_block(matrix, variant, policy, benchmark):
+    result = benchmark.pedantic(
+        run_attack, args=(variant, policy, SECRET), rounds=1, iterations=1,
+    )
+    assert not result.leaked
+    assert result.bytes_recovered == 0
+    benchmark.extra_info["cycles"] = result.run.cycles

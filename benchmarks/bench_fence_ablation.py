@@ -1,0 +1,62 @@
+"""Experiment E3 — Section V-B fence ablation.
+
+Paper: "we did a third experiment where we added a fence whenever the
+Spectre pattern is detected.  Here again, the countermeasure does not
+impact the execution time, which means that the Spectre pattern is not
+commonly seen on the binaries."
+
+Regenerates: per-Polybench-kernel slowdown of the fence-on-detection
+policy plus the number of Spectre patterns detected (expected: zero
+patterns, 100% runtime on the flat-array kernels).
+"""
+
+import pytest
+
+from repro.interp import run_program
+from repro.kernels import POLYBENCH_SUITE, build_kernel_program
+from repro.platform import compare_policies
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    rows = ["%-12s %10s %10s %10s" % ("kernel", "fence", "patterns", "unsafe cyc")]
+    data = {}
+    for name, factory in POLYBENCH_SUITE.items():
+        program = build_kernel_program(factory())
+        expected = run_program(program).exit_code
+        comparison = compare_policies(
+            name, program,
+            policies=(MitigationPolicy.UNSAFE, MitigationPolicy.FENCE),
+            expect_exit_code=expected,
+        )
+        fence_run = comparison.results["fence on detection"]
+        patterns = fence_run.engine.spectre_patterns_detected
+        ratio = comparison.slowdown("fence on detection")
+        rows.append("%-12s %9.1f%% %10d %10d" % (
+            name, 100.0 * ratio, patterns, comparison.results["unsafe"].cycles,
+        ))
+        data[name] = (ratio, patterns)
+    save_result("E3_fence_ablation.txt", "\n".join(rows))
+    return data
+
+
+def test_fence_is_free_because_pattern_is_rare(ablation):
+    for name, (ratio, patterns) in ablation.items():
+        assert patterns == 0, "unexpected Spectre pattern in %s" % name
+        assert ratio == pytest.approx(1.0), name
+
+
+@pytest.mark.parametrize("name", ["gemm", "jacobi-1d", "trisolv"])
+def test_fence_run_time(name, benchmark, ablation):
+    program = build_kernel_program(POLYBENCH_SUITE[name]())
+
+    def run_once():
+        return DbtSystem(program, policy=MitigationPolicy.FENCE).run()
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["guest_cycles"] = result.cycles
+    benchmark.extra_info["fence_slowdown"] = round(ablation[name][0], 4)

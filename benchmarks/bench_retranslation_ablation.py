@@ -1,0 +1,78 @@
+"""Ablation A3 — adaptive re-translation on chronic MCB conflicts.
+
+An engine extension beyond the paper (in the spirit of the Hybrid-DBT
+memory-speculation work the paper builds on): blocks that keep hitting
+MCB rollbacks are rebuilt without memory speculation.  This ablation
+measures its effect on the Spectre v4 PoC — rollback counts collapse,
+and as a side effect the v4 leak dies after the warm-up rounds even on
+the otherwise-unsafe configuration.
+"""
+
+import pytest
+
+from repro.attacks import AttackVariant, build_attack_program
+from repro.dbt.engine import DbtEngineConfig
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+
+from conftest import save_result
+
+SECRET = b"GHOST"
+THRESHOLDS = (None, 16, 4, 1)
+
+
+def _run(threshold):
+    program = build_attack_program(AttackVariant.SPECTRE_V4, SECRET)
+    system = DbtSystem(
+        program, policy=MitigationPolicy.UNSAFE,
+        engine_config=DbtEngineConfig(conflict_retranslate_threshold=threshold),
+    )
+    result = system.run()
+    recovered = sum(
+        1 for a, b in zip(result.output[:len(SECRET)], SECRET) if a == b
+    )
+    return result, recovered
+
+
+@pytest.fixture(scope="module")
+def retranslation_data():
+    rows = ["%-10s %10s %14s %14s %12s" % (
+        "threshold", "rollbacks", "retranslations", "bytes leaked", "cycles",
+    )]
+    data = {}
+    for threshold in THRESHOLDS:
+        result, recovered = _run(threshold)
+        rows.append("%-10s %10d %14d %11d/%d %12d" % (
+            "off" if threshold is None else threshold,
+            result.rollbacks,
+            result.engine.conflict_retranslations,
+            recovered, len(SECRET),
+            result.cycles,
+        ))
+        data[threshold] = (result, recovered)
+    save_result("A3_retranslation_ablation.txt", "\n".join(rows))
+    return data
+
+
+def test_disabled_leaks_and_rolls_back(retranslation_data):
+    result, recovered = retranslation_data[None]
+    assert recovered == len(SECRET)
+    assert result.rollbacks > len(SECRET)
+
+
+def test_aggressive_threshold_kills_rollbacks(retranslation_data):
+    baseline, _ = retranslation_data[None]
+    result, _ = retranslation_data[1]
+    assert result.rollbacks < baseline.rollbacks
+    assert result.engine.conflict_retranslations >= 1
+
+
+def test_aggressive_threshold_breaks_the_leak(retranslation_data):
+    _, recovered = retranslation_data[1]
+    assert recovered < len(SECRET)
+
+
+@pytest.mark.parametrize("threshold", [None, 1])
+def test_retranslation_run_time(threshold, benchmark, retranslation_data):
+    result = benchmark.pedantic(_run, args=(threshold,), rounds=1, iterations=1)
+    benchmark.extra_info["rollbacks"] = result[0].rollbacks

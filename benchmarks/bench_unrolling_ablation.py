@@ -1,0 +1,71 @@
+"""Ablation A2 — superblock size (unrolling) vs. speculation benefit.
+
+DESIGN.md calls out loop unrolling during superblock construction as the
+mechanism that creates cross-iteration speculation opportunities (loads
+of iteration i+1 hoisted above the guard branch and stores of iteration
+i).  This ablation sweeps the superblock instruction budget and measures
+both the unsafe performance and the cost of disabling speculation.
+
+Expected: with tiny traces (~ one loop body) speculation buys almost
+nothing; the benefit grows with the unrolling budget.
+"""
+
+import pytest
+
+from repro.dbt.engine import DbtEngineConfig
+from repro.dbt.superblock import SuperblockLimits
+from repro.interp import run_program
+from repro.kernels import build_kernel_program, gemm
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+
+from conftest import save_result
+
+BUDGETS = (12, 24, 48, 96)
+
+
+def _run(program, policy, budget):
+    config = DbtEngineConfig(
+        superblock=SuperblockLimits(max_instructions=budget),
+    )
+    system = DbtSystem(program, policy=policy, engine_config=config)
+    return system.run()
+
+
+@pytest.fixture(scope="module")
+def unrolling_data():
+    program = build_kernel_program(gemm(10))
+    expected = run_program(program).exit_code
+    rows = ["%-8s %12s %14s %14s" % ("budget", "unsafe cyc", "no-spec cyc", "no-spec cost")]
+    data = {}
+    for budget in BUDGETS:
+        unsafe = _run(program, MitigationPolicy.UNSAFE, budget)
+        no_spec = _run(program, MitigationPolicy.NO_SPECULATION, budget)
+        assert unsafe.exit_code == no_spec.exit_code == expected
+        ratio = no_spec.cycles / unsafe.cycles
+        rows.append("%-8d %12d %14d %13.1f%%" % (
+            budget, unsafe.cycles, no_spec.cycles, 100.0 * ratio,
+        ))
+        data[budget] = (unsafe.cycles, ratio)
+    save_result("A2_unrolling_ablation.txt", "\n".join(rows))
+    return data
+
+
+def test_unrolling_improves_unsafe_performance(unrolling_data):
+    assert unrolling_data[96][0] < unrolling_data[12][0]
+
+
+def test_speculation_benefit_grows_with_trace_size(unrolling_data):
+    assert unrolling_data[96][1] > unrolling_data[12][1]
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_unrolling_run_time(budget, benchmark, unrolling_data):
+    program = build_kernel_program(gemm(10))
+
+    def run_once():
+        return _run(program, MitigationPolicy.UNSAFE, budget)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["guest_cycles"] = result.cycles
+    benchmark.extra_info["no_spec_cost"] = round(unrolling_data[budget][1], 4)

@@ -1,0 +1,97 @@
+"""Ablation A1 — issue width vs. the value of DBT speculation.
+
+The paper's background argues DBT-based processors can afford wider
+in-order machines (Denver is 7-wide, Carmel 10-wide) because they skip
+the OoO hardware.  This ablation measures how the cost of turning
+speculation off scales with issue width on our platform: wider machines
+have more empty slots for hoisted loads, so speculation should matter
+*more* as the machine widens (until the kernels run out of ILP).
+"""
+
+import pytest
+
+from repro.interp import run_program
+from repro.kernels import build_kernel_program, gemm, jacobi_1d
+from repro.platform import compare_policies
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+from repro.vliw.config import DEFAULT_SLOTS, UnitClass, VliwConfig, wide_config
+
+from conftest import save_result
+
+
+def narrow_config() -> VliwConfig:
+    """A 2-wide machine: control/ALU slot + memory/multiply slot."""
+    return VliwConfig(slots=(
+        frozenset({UnitClass.ALU, UnitClass.BRANCH, UnitClass.SYSTEM}),
+        frozenset({UnitClass.ALU, UnitClass.MEM, UnitClass.MUL, UnitClass.DIV}),
+    ))
+
+
+MACHINES = {
+    "2-wide": narrow_config,
+    "4-wide": VliwConfig,
+    "8-wide": wide_config,
+}
+
+KERNELS = {"gemm": lambda: gemm(10), "jacobi-1d": lambda: jacobi_1d(160, 8)}
+
+
+@pytest.fixture(scope="module")
+def width_data():
+    rows = ["%-10s %-10s %12s %16s" % ("machine", "kernel", "unsafe cyc", "no-spec cost")]
+    data = {}
+    for machine_name, machine_factory in MACHINES.items():
+        config = machine_factory()
+        for kernel_name, kernel_factory in KERNELS.items():
+            program = build_kernel_program(kernel_factory())
+            expected = run_program(program).exit_code
+            comparison = compare_policies(
+                "%s/%s" % (machine_name, kernel_name), program,
+                policies=(MitigationPolicy.UNSAFE, MitigationPolicy.NO_SPECULATION),
+                vliw_config=config,
+                expect_exit_code=expected,
+            )
+            ratio = comparison.slowdown("no speculation")
+            rows.append("%-10s %-10s %12d %15.1f%%" % (
+                machine_name, kernel_name,
+                comparison.results["unsafe"].cycles, 100.0 * ratio,
+            ))
+            data[(machine_name, kernel_name)] = (
+                comparison.results["unsafe"].cycles, ratio,
+            )
+    save_result("A1_width_ablation.txt", "\n".join(rows))
+    return data
+
+
+def test_wider_machines_run_faster_unsafe(width_data):
+    for kernel in KERNELS:
+        narrow = width_data[("2-wide", kernel)][0]
+        wide = width_data[("8-wide", kernel)][0]
+        assert wide < narrow, kernel
+
+
+def test_speculation_matters_on_every_width(width_data):
+    for key, (_, ratio) in width_data.items():
+        assert ratio > 1.02, key
+
+
+def test_speculation_value_grows_with_width(width_data):
+    # The 8-wide machine loses at least as much (relatively) as the
+    # 2-wide machine when speculation is disabled.
+    for kernel in KERNELS:
+        narrow_ratio = width_data[("2-wide", kernel)][1]
+        wide_ratio = width_data[("8-wide", kernel)][1]
+        assert wide_ratio >= narrow_ratio - 0.05, kernel
+
+
+@pytest.mark.parametrize("machine", sorted(MACHINES))
+def test_width_run_time(machine, benchmark, width_data):
+    config = MACHINES[machine]()
+    program = build_kernel_program(gemm(10))
+
+    def run_once():
+        return DbtSystem(program, vliw_config=config).run()
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["guest_cycles"] = result.cycles

@@ -1,0 +1,31 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table/figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Results are printed at
+the end of the module and archived under ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text if text.endswith("\n") else text + "\n")
+    banner = "=" * 72
+    print("\n%s\n%s\n%s\n%s" % (banner, name, banner, text))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

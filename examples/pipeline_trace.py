@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Watching the pipeline: per-bundle execution trace of a hot loop.
+
+Attaches an :class:`ExecutionTrace` to the VLIW core, runs a small
+kernel, and prints the cycle-stamped issue stream — cold first-pass
+bundles first (one op per line), then the dense optimized superblock
+taking over mid-run.
+"""
+
+from repro.kernels import ArrayDecl, Const, Kernel, Let, Load, Var, loop
+from repro.kernels.compiler import build_kernel_program
+from repro.platform import DbtSystem
+from repro.security import MitigationPolicy
+from repro.vliw import ExecutionTrace
+
+N = 24
+
+
+def main() -> None:
+    kernel = Kernel(
+        name="sum",
+        arrays=(ArrayDecl("x", N, init=tuple(range(1, N + 1))),),
+        body=(
+            Let("acc", Const(0)),
+            loop("i", 0, N, [Let("acc", Var("acc") + Load("x", Var("i")))]),
+        ),
+        result=Var("acc"),
+    )
+    program = build_kernel_program(kernel)
+    system = DbtSystem(program, policy=MitigationPolicy.UNSAFE)
+    system.core.tracer = ExecutionTrace()
+    result = system.run()
+    print("exit=%d cycles=%d\n" % (result.exit_code, result.cycles))
+
+    events = system.core.tracer.events
+    print("first 12 issued bundles (cold, first-pass code):")
+    for event in events[:12]:
+        print("  %6d  %s" % (event.cycle, event.detail))
+
+    # Find where the optimized trace kicks in: bundles with >1 op.
+    dense = [e for e in events if ";" in e.detail]
+    print("\nfirst 12 dense bundles (optimized superblock):")
+    for event in dense[:12]:
+        print("  %6d  %s" % (event.cycle, event.detail))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quick Figure-4 sweep: Polybench suite across mitigation policies.
+
+Runs a reduced-size version of the benchmark suite under the four
+policies and prints slowdowns versus the unsafe baseline (the full-size
+sweep lives in ``benchmarks/bench_figure4.py``).
+"""
+
+from repro.interp import run_program
+from repro.kernels import SMALL_SIZES, build_kernel_program, matmul_ptr
+from repro.platform import compare_policies, slowdown_table
+from repro.security import MitigationPolicy
+
+
+def main() -> None:
+    comparisons = []
+    workloads = dict(SMALL_SIZES)
+    workloads["matmul-ptr"] = lambda: matmul_ptr(8)
+    for name, factory in workloads.items():
+        program = build_kernel_program(factory())
+        expected = run_program(program).exit_code
+        comparison = compare_policies(name, program, expect_exit_code=expected)
+        comparisons.append(comparison)
+        print("%-12s done (unsafe: %d cycles)"
+              % (name, comparison.results["unsafe"].cycles))
+    print()
+    print(slowdown_table(
+        comparisons,
+        policies=(
+            MitigationPolicy.GHOSTBUSTERS,
+            MitigationPolicy.FENCE,
+            MitigationPolicy.NO_SPECULATION,
+        ),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Spectre v1 on a DBT-based processor (paper Figure 1, Section III-A).
+
+Runs the trace-speculation Spectre proof of concept under all four
+mitigation policies and shows:
+
+* the victim's optimized VLIW schedule, with the two loads hoisted above
+  the bounds-check side exit into hidden registers (the vulnerability);
+* the recovered secret under the unsafe configuration;
+* the same attack completely blocked by the GhostBusters countermeasure,
+  the fence-on-detection variant, and speculation-off.
+"""
+
+from repro.attacks import AttackVariant, run_attack
+from repro.attacks.spectre_v1 import SpectreV1Config, build_program
+from repro.platform import DbtSystem
+from repro.security import MitigationPolicy
+
+SECRET = b"GHOSTBUSTERS!"
+
+
+def show_victim_schedule(policy: MitigationPolicy) -> None:
+    """Run the PoC and dump the victim's optimized trace."""
+    program = build_program(SpectreV1Config(secret=SECRET))
+    system = DbtSystem(program, policy=policy)
+    system.run()
+    victim_entry = program.symbol("victim")
+    block = system.engine.cache.get(victim_entry)
+    if block is None or block.kind != "optimized":
+        print("  (victim was not optimized)")
+        return
+    print("  victim superblock under %s:" % policy.value)
+    for line in block.describe().splitlines():
+        print("  " + line)
+    report = system.engine.reports.get(victim_entry)
+    if report is not None:
+        print("  poison analysis: %d speculative source(s), %d flagged access(es)"
+              % (len(report.speculative_sources), report.pattern_count))
+
+
+def main() -> None:
+    print("=== victim code as scheduled by the DBT engine ===\n")
+    show_victim_schedule(MitigationPolicy.UNSAFE)
+    print()
+    show_victim_schedule(MitigationPolicy.GHOSTBUSTERS)
+
+    print("\n=== the attack, across mitigation policies ===\n")
+    print("planted secret: %r\n" % SECRET)
+    for policy in MitigationPolicy:
+        result = run_attack(AttackVariant.SPECTRE_V1, policy, secret=SECRET)
+        print("%-16s recovered %r  (%d/%d bytes, %s)" % (
+            policy.value,
+            bytes(result.recovered),
+            result.bytes_recovered,
+            len(SECRET),
+            "LEAKED" if result.leaked else "blocked",
+        ))
+
+
+if __name__ == "__main__":
+    main()

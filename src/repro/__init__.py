@@ -1,0 +1,28 @@
+"""repro — reproduction of *GhostBusters: Mitigating Spectre Attacks on a
+DBT-Based Processor* (Simon Rokicki, DATE 2020).
+
+The package is a complete, from-scratch simulation of a DBT-based
+processor in the Hybrid-DBT mould — a software dynamic binary translator
+feeding an in-order VLIW core with hidden registers and a Memory Conflict
+Buffer — together with the paper's two Spectre proof-of-concept attacks
+and the GhostBusters countermeasure.
+
+Sub-packages
+------------
+
+``repro.isa``       guest RV64IM toolchain (assembler, encoder, decoder)
+``repro.interp``    functional reference interpreter (correctness oracle)
+``repro.mem``       set-associative data cache (the side channel)
+``repro.vliw``      in-order VLIW core, bundles, MCB, pipeline timing
+``repro.dbt``       the DBT engine: IR, profiling, superblocks, scheduler
+``repro.security``  poison analysis + mitigation policies (the paper's core)
+``repro.attacks``   Spectre v1 / v4 proof-of-concept harnesses
+``repro.kernels``   kernel DSL compiler + Polybench-style workloads
+``repro.platform``  whole-system glue and multi-policy comparison
+"""
+
+from .security.policy import ALL_POLICIES, MitigationPolicy
+
+__version__ = "1.0.0"
+
+__all__ = ["ALL_POLICIES", "MitigationPolicy", "__version__"]

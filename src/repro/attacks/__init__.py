@@ -1,0 +1,46 @@
+"""Spectre proof-of-concept attacks on the DBT platform (paper Sec. III/V-A)."""
+
+from .harness import (
+    AttackResult,
+    AttackVariant,
+    attack_matrix,
+    build_attack_program,
+    format_matrix,
+    run_attack,
+)
+from .sidechannel import (
+    CalibrationResult,
+    DEFAULT_THRESHOLD,
+    LINE_SIZE,
+    PROBE_ENTRIES,
+    build_calibration_program,
+    run_calibration,
+)
+from .primeprobe import (
+    PrimeProbeConfig,
+    direct_mapped_config,
+    run_primeprobe,
+)
+from .spectre_v1 import DEFAULT_SECRET, SpectreV1Config
+from .spectre_v4 import SpectreV4Config
+
+__all__ = [
+    "AttackResult",
+    "AttackVariant",
+    "CalibrationResult",
+    "DEFAULT_SECRET",
+    "DEFAULT_THRESHOLD",
+    "LINE_SIZE",
+    "PROBE_ENTRIES",
+    "PrimeProbeConfig",
+    "SpectreV1Config",
+    "SpectreV4Config",
+    "attack_matrix",
+    "build_attack_program",
+    "build_calibration_program",
+    "direct_mapped_config",
+    "format_matrix",
+    "run_attack",
+    "run_calibration",
+    "run_primeprobe",
+]

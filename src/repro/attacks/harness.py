@@ -1,0 +1,124 @@
+"""Attack runner: execute a PoC under a mitigation policy and score it.
+
+This is the host side of the paper's Section V-A experiment: run each
+Spectre variant under each countermeasure configuration and check whether
+the planted secret is recovered.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..isa.program import Program
+from ..platform.metrics import SystemRunResult
+from ..platform.system import DbtSystem
+from ..security.policy import ALL_POLICIES, MitigationPolicy
+from . import spectre_v1, spectre_v4
+
+
+class AttackVariant(enum.Enum):
+    """The two PoCs of the paper."""
+
+    SPECTRE_V1 = "spectre_v1"
+    SPECTRE_V4 = "spectre_v4"
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    variant: AttackVariant
+    policy: MitigationPolicy
+    secret: bytes
+    recovered: bytes
+    run: SystemRunResult
+
+    @property
+    def bytes_recovered(self) -> int:
+        return sum(
+            1 for expected, actual in zip(self.secret, self.recovered)
+            if expected == actual
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return self.bytes_recovered / len(self.secret) if self.secret else 0.0
+
+    @property
+    def leaked(self) -> bool:
+        """Whether the attack recovered the complete secret."""
+        return self.recovered == self.secret
+
+    def describe(self) -> str:
+        return "%s under %-14s: %2d/%2d bytes (%s)" % (
+            self.variant.value,
+            self.policy.value,
+            self.bytes_recovered,
+            len(self.secret),
+            "LEAKED" if self.leaked else "blocked",
+        )
+
+
+def build_attack_program(
+    variant: AttackVariant, secret: bytes = spectre_v1.DEFAULT_SECRET,
+) -> Program:
+    """Assemble the PoC binary for ``variant``."""
+    if variant is AttackVariant.SPECTRE_V1:
+        return spectre_v1.build_program(spectre_v1.SpectreV1Config(secret=secret))
+    return spectre_v4.build_program(spectre_v4.SpectreV4Config(secret=secret))
+
+
+def run_attack(
+    variant: AttackVariant,
+    policy: MitigationPolicy = MitigationPolicy.UNSAFE,
+    secret: bytes = spectre_v1.DEFAULT_SECRET,
+    vliw_config=None,
+) -> AttackResult:
+    """Run one PoC under one policy and score the recovered bytes."""
+    program = build_attack_program(variant, secret)
+    system = DbtSystem(program, policy=policy, vliw_config=vliw_config)
+    run = system.run()
+    recovered = run.output[:len(secret)]
+    return AttackResult(
+        variant=variant, policy=policy, secret=secret,
+        recovered=recovered, run=run,
+    )
+
+
+def attack_matrix(
+    secret: bytes = spectre_v1.DEFAULT_SECRET,
+    policies: Sequence[MitigationPolicy] = ALL_POLICIES,
+    variants: Sequence[AttackVariant] = tuple(AttackVariant),
+) -> Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]]:
+    """The Section V-A result matrix: variant x policy -> outcome."""
+    matrix: Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]] = {}
+    for variant in variants:
+        matrix[variant] = {}
+        for policy in policies:
+            matrix[variant][policy] = run_attack(variant, policy, secret)
+    return matrix
+
+
+def format_matrix(
+    matrix: Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]],
+) -> str:
+    """Render the matrix as the paper's qualitative table."""
+    lines = ["%-12s" % "variant" + "".join(
+        "%18s" % policy.value for policy in ALL_POLICIES
+    )]
+    lines.append("-" * len(lines[0]))
+    for variant, row in matrix.items():
+        cells = []
+        for policy in ALL_POLICIES:
+            result = row.get(policy)
+            if result is None:
+                cells.append("%18s" % "-")
+            else:
+                cells.append("%18s" % (
+                    "LEAKED" if result.leaked
+                    else "blocked (%d/%d)" % (result.bytes_recovered, len(result.secret))
+                ))
+        lines.append("%-12s" % variant.value + "".join(cells))
+    return "\n".join(lines)

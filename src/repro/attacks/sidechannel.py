@@ -1,0 +1,224 @@
+"""Cache side-channel building blocks (flush+reload on the simulated core).
+
+The paper's RISC-V attack (Section V-A) measures probe loads with the
+``cycle`` CSR and flushes the cache line by line; this module provides the
+corresponding guest-assembly fragments, shared by both Spectre PoCs, plus
+a calibration program that measures the hit/miss timing separation
+(Experiment E7).
+
+All fragments follow one register convention so they can be pasted into a
+round loop:
+
+* ``s6`` holds the current secret-byte round (left untouched);
+* ``s1``-``s3`` are scratch for the probe loop;
+* results land in ``s2`` (best index) / ``s3`` (best latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One probe slot per possible byte value.
+PROBE_ENTRIES = 256
+#: Cache line size the attack assumes (matches the default CacheConfig).
+LINE_SIZE = 64
+#: Hit/miss decision boundary in cycles: halfway between the default
+#: 3-cycle hit and 30-cycle miss, leaving slack for issue overheads.
+DEFAULT_THRESHOLD = 15
+
+
+def flush_probe_array(label: str, array_symbol: str = "array_val",
+                      entries: int = PROBE_ENTRIES,
+                      line_size: int = LINE_SIZE) -> str:
+    """Guest asm: flush every line of the probe array (line-by-line, as the
+    paper's RISC-V PoC must)."""
+    return """
+    la t0, {array}
+    li t1, {entries}
+{label}:
+    cflush 0(t0)
+    addi t0, t0, {line}
+    addi t1, t1, -1
+    bnez t1, {label}
+""".format(array=array_symbol, entries=entries, line=line_size, label=label)
+
+
+def probe_and_classify(label: str, array_symbol: str = "array_val",
+                       entries: int = PROBE_ENTRIES,
+                       line_size_log2: int = 6,
+                       threshold: int = DEFAULT_THRESHOLD,
+                       skip_zero: bool = True) -> str:
+    """Guest asm: time a load of every probe line, track the fastest.
+
+    Leaves the recovered byte value in ``s2`` (0 when nothing was below
+    the hit/miss threshold).  Probing starts at entry 1 when
+    ``skip_zero`` — entry 0 is the line the *architectural* (recovered)
+    execution touches in the v4 PoC and would shadow the real signal.
+    Each probed line is flushed immediately after its measurement so the
+    probe itself does not evict the victim's fill.
+    """
+    start = 1 if skip_zero else 0
+    return """
+    li s1, {start}
+    li s2, 0
+    li s3, 0x7fffffff
+{label}_loop:
+    la t0, {array}
+    slli t1, s1, {shift}
+    add t0, t0, t1
+    rdcycle t2
+    lbu t3, 0(t0)
+    add t4, t3, zero
+    rdcycle t5
+    sub t5, t5, t2
+    cflush 0(t0)
+    bge t5, s3, {label}_next
+    mv s3, t5
+    mv s2, s1
+{label}_next:
+    addi s1, s1, 1
+    li t0, {entries}
+    blt s1, t0, {label}_loop
+    li t0, {threshold}
+    blt s3, t0, {label}_hit
+    li s2, 0
+{label}_hit:
+""".format(array=array_symbol, entries=entries, shift=line_size_log2,
+           threshold=threshold, label=label, start=start)
+
+
+def record_recovered(result_symbol: str = "recovered") -> str:
+    """Guest asm: store the classified byte (``s2``) at recovered[s6]."""
+    return """
+    la t0, {result}
+    add t0, t0, s6
+    sb s2, 0(t0)
+""".format(result=result_symbol)
+
+
+def write_and_exit(result_symbol: str = "recovered", length_equ: str = "SECRET_LEN") -> str:
+    """Guest asm: write(1, recovered, len) then exit(0)."""
+    return """
+    li a7, 64
+    li a0, 1
+    la a1, {result}
+    li a2, {length}
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+""".format(result=result_symbol, length=length_equ)
+
+
+# ---------------------------------------------------------------------------
+# Calibration (Experiment E7).
+# ---------------------------------------------------------------------------
+
+CALIBRATION_SOURCE = """
+# Timing calibration: measure N hit probes and N miss probes, store the
+# latencies as bytes in two arrays, then write both arrays out.
+.equ SAMPLES, {samples}
+
+_start:
+    li s0, 0                 # sample index
+    la s1, target
+
+measure_miss:
+    cflush 0(s1)
+    rdcycle t0
+    lbu t1, 0(s1)
+    add t2, t1, zero
+    rdcycle t3
+    sub t3, t3, t0
+    la t4, miss_times
+    add t4, t4, s0
+    sb t3, 0(t4)
+
+    # Line is now resident: measure the hit.
+    rdcycle t0
+    lbu t1, 0(s1)
+    add t2, t1, zero
+    rdcycle t3
+    sub t3, t3, t0
+    la t4, hit_times
+    add t4, t4, s0
+    sb t3, 0(t4)
+
+    addi s0, s0, 1
+    li t0, SAMPLES
+    blt s0, t0, measure_miss
+
+    li a7, 64
+    li a0, 1
+    la a1, miss_times
+    li a2, SAMPLES
+    ecall
+    li a7, 64
+    li a0, 1
+    la a1, hit_times
+    li a2, SAMPLES
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+
+.data
+.align 6
+target:
+    .space 64
+miss_times:
+    .space {samples}
+hit_times:
+    .space {samples}
+"""
+
+
+@dataclass
+class CalibrationResult:
+    """Hit/miss latency samples measured by the guest."""
+
+    miss_times: bytes
+    hit_times: bytes
+
+    @property
+    def min_miss(self) -> int:
+        return min(self.miss_times)
+
+    @property
+    def max_hit(self) -> int:
+        return max(self.hit_times)
+
+    @property
+    def separation(self) -> int:
+        """Gap between the slowest hit and the fastest miss (positive =
+        the channel distinguishes cleanly)."""
+        return self.min_miss - self.max_hit
+
+    def suggested_threshold(self) -> int:
+        return (self.min_miss + self.max_hit) // 2
+
+
+def build_calibration_program(samples: int = 64):
+    """Assemble the calibration guest program."""
+    from ..isa.assembler import assemble
+
+    return assemble(CALIBRATION_SOURCE.format(samples=samples))
+
+
+def run_calibration(samples: int = 64, policy=None) -> CalibrationResult:
+    """Run the calibration program and split its output."""
+    from ..platform.system import run_on_platform
+    from ..security.policy import MitigationPolicy
+
+    program = build_calibration_program(samples)
+    result = run_on_platform(
+        program, policy=policy or MitigationPolicy.UNSAFE,
+    )
+    output = result.output
+    if len(output) != 2 * samples:
+        raise RuntimeError(
+            "calibration produced %d bytes, expected %d" % (len(output), 2 * samples)
+        )
+    return CalibrationResult(
+        miss_times=output[:samples], hit_times=output[samples:],
+    )

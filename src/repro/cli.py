@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+
+``asm FILE.s -o FILE.bin``
+    Assemble to a flat binary container (loadable by every other
+    subcommand).
+
+``run FILE.s``
+    Assemble and execute a guest program on the DBT platform (or the
+    reference interpreter with ``--interp``), printing exit code, output
+    and statistics.
+
+``dis FILE.s``
+    Assemble and print the disassembly listing (round-trip check).
+
+``trace FILE.s``
+    Run the program, then dump every optimized superblock schedule the
+    DBT engine produced (one bundle per line, ``ld.spec``/hidden
+    registers visible).
+
+``attack {v1,v4}``
+    Run a Spectre proof-of-concept under one or all mitigation policies.
+
+``sweep``
+    Quick Figure-4 style sweep over the (reduced-size) Polybench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks.harness import AttackVariant, run_attack
+from .interp.executor import run_program
+from .isa.assembler import assemble
+from .isa.disassembler import dump
+from .platform.comparison import compare_policies, slowdown_table
+from .platform.system import DbtSystem
+from .security.policy import ALL_POLICIES, MitigationPolicy
+from .vliw.config import VliwConfig, wide_config
+
+
+def _policy(name: str) -> MitigationPolicy:
+    try:
+        return MitigationPolicy(name)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "unknown policy %r (choose from %s)"
+            % (name, ", ".join(p.value for p in MitigationPolicy))
+        )
+
+
+def _vliw_config(args) -> Optional[VliwConfig]:
+    if getattr(args, "wide", None):
+        return wide_config(args.wide)
+    return None
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_guest(path: str):
+    """Load a guest program: assembly text or a ``RPRO`` container."""
+    from .isa.container import from_bytes, is_container
+
+    if path != "-":
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if is_container(raw):
+            return from_bytes(raw)
+        return assemble(raw.decode("utf-8"))
+    return assemble(_read_source(path))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+def cmd_asm(args) -> int:
+    from .isa.container import save_program
+
+    program = assemble(_read_source(args.file))
+    save_program(program, args.output)
+    print("wrote %s: %d text bytes, %d data bytes, %d symbols" % (
+        args.output, len(program.text), len(program.data),
+        len(program.symbols),
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_guest(args.file)
+    if args.interp:
+        result = run_program(program)
+        print("exit code : %d" % result.exit_code)
+        print("instret   : %d" % result.instructions)
+        if result.output:
+            print("output    : %r" % result.output)
+        return 0
+    system = DbtSystem(program, policy=args.policy,
+                       vliw_config=_vliw_config(args))
+    result = system.run()
+    print("exit code : %d" % result.exit_code)
+    if result.output:
+        print("output    : %r" % result.output)
+    if args.stats:
+        print(result.summary())
+    else:
+        print("cycles    : %d" % result.cycles)
+    return 0
+
+
+def cmd_dis(args) -> int:
+    program = _load_guest(args.file)
+    print(dump(program))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    program = _load_guest(args.file)
+    system = DbtSystem(program, policy=args.policy,
+                       vliw_config=_vliw_config(args))
+    system.run()
+    shown = 0
+    for block in system.engine.cache.blocks():
+        if block.kind == "firstpass" and not args.all:
+            continue
+        print(block.describe())
+        report = system.engine.reports.get(block.guest_entry)
+        if report is not None and report.has_pattern:
+            print("  ! %d Spectre pattern(s) detected in this block"
+                  % report.pattern_count)
+        print()
+        shown += 1
+    if not shown:
+        print("(no optimized blocks; try --all for first-pass translations)")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    variant = (AttackVariant.SPECTRE_V1 if args.variant == "v1"
+               else AttackVariant.SPECTRE_V4)
+    secret = args.secret.encode()
+    policies = [args.policy] if args.policy else list(ALL_POLICIES)
+    leaked_anywhere = False
+    for policy in policies:
+        result = run_attack(variant, policy, secret=secret)
+        print(result.describe() + "  recovered=%r" % bytes(result.recovered))
+        leaked_anywhere |= result.leaked
+    return 0 if leaked_anywhere or args.policy else 1
+
+
+def cmd_sweep(args) -> int:
+    from .kernels import SMALL_SIZES, POLYBENCH_SUITE, build_kernel_program
+
+    suite = POLYBENCH_SUITE if args.full else SMALL_SIZES
+    comparisons = []
+    for name, factory in suite.items():
+        program = build_kernel_program(factory())
+        expected = run_program(program).exit_code
+        comparisons.append(
+            compare_policies(name, program, expect_exit_code=expected)
+        )
+        print("%-12s done" % name, file=sys.stderr)
+    print(slowdown_table(comparisons, policies=(
+        MitigationPolicy.GHOSTBUSTERS,
+        MitigationPolicy.FENCE,
+        MitigationPolicy.NO_SPECULATION,
+    )))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser.
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GhostBusters DBT-processor reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_policy(p, default=MitigationPolicy.UNSAFE):
+        p.add_argument("--policy", type=_policy, default=default,
+                       help="mitigation policy (%s)"
+                       % ", ".join(x.value for x in MitigationPolicy))
+
+    def add_wide(p):
+        p.add_argument("--wide", type=int, default=None, metavar="N",
+                       help="use an N-wide machine instead of the default 4-wide")
+
+    asm_parser = sub.add_parser(
+        "asm", help="assemble to a binary container (.bin)",
+    )
+    asm_parser.add_argument("file", help="assembly file ('-' for stdin)")
+    asm_parser.add_argument("-o", "--output", required=True,
+                            help="output container path")
+    asm_parser.set_defaults(func=cmd_asm)
+
+    run_parser = sub.add_parser("run", help="assemble and run a guest program")
+    run_parser.add_argument("file", help="assembly file ('-' for stdin)")
+    run_parser.add_argument("--interp", action="store_true",
+                            help="use the reference interpreter")
+    run_parser.add_argument("--stats", action="store_true",
+                            help="print full platform statistics")
+    add_policy(run_parser)
+    add_wide(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    dis_parser = sub.add_parser("dis", help="assemble and disassemble")
+    dis_parser.add_argument("file")
+    dis_parser.set_defaults(func=cmd_dis)
+
+    trace_parser = sub.add_parser(
+        "trace", help="show the DBT engine's optimized schedules",
+    )
+    trace_parser.add_argument("file")
+    trace_parser.add_argument("--all", action="store_true",
+                              help="include first-pass translations")
+    add_policy(trace_parser)
+    add_wide(trace_parser)
+    trace_parser.set_defaults(func=cmd_trace)
+
+    attack_parser = sub.add_parser("attack", help="run a Spectre PoC")
+    attack_parser.add_argument("variant", choices=("v1", "v4"))
+    attack_parser.add_argument("--secret", default="GHOST",
+                               help="secret string to plant and recover")
+    attack_parser.add_argument("--policy", type=_policy, default=None,
+                               help="single policy (default: all four)")
+    attack_parser.set_defaults(func=cmd_attack)
+
+    sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
+    sweep_parser.add_argument("--full", action="store_true",
+                              help="paper-size kernels (slower)")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

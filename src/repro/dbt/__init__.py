@@ -1,0 +1,70 @@
+"""The software Dynamic Binary Translation engine.
+
+First-pass translation, profiling, superblock construction, the
+dependence-graph IR, the speculative list scheduler and the translation
+cache — the software half of the DBT-based processor.
+"""
+
+from .blocks import BasicBlock, BlockDiscoveryError, discover_block
+from .codegen import CodegenError, sequential_translate, vliw_op_from_ir
+from .ir import (
+    BARRIER_KINDS,
+    DepKind,
+    Dependence,
+    EXIT_KINDS,
+    IRBlock,
+    IRInstruction,
+    IRKind,
+    predecessors_by_kind,
+)
+from .irbuilder import UnsupportedGuestCode, build_ir
+from .profile import BranchProfile, ExecutionProfile
+from .scheduler import SchedulerError, SchedulerOptions, schedule_block
+from .superblock import SuperblockLimits, SuperblockPlan, build_superblock
+from .translation_cache import TranslationCache, TranslationCacheStats
+from .verify import ScheduleViolation, check_schedule
+
+#: Engine exports are loaded lazily: the engine imports repro.security,
+#: which itself needs repro.dbt.ir — eager import would be circular.
+_LAZY_ENGINE_EXPORTS = ("DbtEngine", "DbtEngineConfig", "DbtEngineStats")
+
+
+def __getattr__(name):
+    if name in _LAZY_ENGINE_EXPORTS:
+        from . import engine
+        return getattr(engine, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "BARRIER_KINDS",
+    "BasicBlock",
+    "BlockDiscoveryError",
+    "BranchProfile",
+    "CodegenError",
+    "DbtEngine",
+    "DbtEngineConfig",
+    "DbtEngineStats",
+    "DepKind",
+    "Dependence",
+    "EXIT_KINDS",
+    "ExecutionProfile",
+    "IRBlock",
+    "IRInstruction",
+    "IRKind",
+    "SchedulerError",
+    "SchedulerOptions",
+    "SuperblockLimits",
+    "SuperblockPlan",
+    "ScheduleViolation",
+    "TranslationCache",
+    "TranslationCacheStats",
+    "UnsupportedGuestCode",
+    "build_ir",
+    "build_superblock",
+    "check_schedule",
+    "discover_block",
+    "predecessors_by_kind",
+    "schedule_block",
+    "sequential_translate",
+    "vliw_op_from_ir",
+]

@@ -1,0 +1,90 @@
+"""Guest basic-block discovery.
+
+The DBT engine's first stage scans the guest binary from an entry point
+and cuts it into single-entry single-exit basic blocks.  A block ends at
+the first control-flow instruction (conditional branch, jump, indirect
+jump) or at an ``ecall``/``ebreak``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Mnemonic
+from ..isa.program import Program
+
+#: Safety bound: a basic block longer than this indicates a runaway scan
+#: (e.g. falling through into data).
+MAX_BLOCK_INSTRUCTIONS = 4096
+
+
+class BlockDiscoveryError(Exception):
+    """Raised when a block cannot be delimited."""
+
+
+@dataclass
+class BasicBlock:
+    """A guest basic block."""
+
+    entry: int
+    instructions: List[Instruction]
+
+    @property
+    def size(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    @property
+    def fallthrough(self) -> int:
+        """Guest address immediately after the block."""
+        return self.entry + 4 * len(self.instructions)
+
+    def successors(self) -> Tuple[Optional[int], ...]:
+        """Static successor addresses (None for indirect / syscall)."""
+        term = self.terminator
+        if term.is_branch:
+            taken = term.address + term.imm
+            return (taken, self.fallthrough)
+        if term.mnemonic is Mnemonic.JAL:
+            return (term.address + term.imm,)
+        if term.mnemonic is Mnemonic.JALR:
+            return (None,)
+        if term.mnemonic in (Mnemonic.ECALL, Mnemonic.EBREAK):
+            return (self.fallthrough,)
+        return (self.fallthrough,)
+
+    def branch_targets(self) -> Optional[Tuple[int, int]]:
+        """(taken, fallthrough) when the block ends in a conditional branch."""
+        term = self.terminator
+        if term.is_branch:
+            return (term.address + term.imm, self.fallthrough)
+        return None
+
+
+def discover_block(program: Program, entry: int) -> BasicBlock:
+    """Scan a basic block starting at ``entry``."""
+    if not program.contains_text(entry):
+        raise BlockDiscoveryError("block entry %#x outside text image" % entry)
+    instructions: List[Instruction] = []
+    pc = entry
+    while True:
+        if len(instructions) >= MAX_BLOCK_INSTRUCTIONS:
+            raise BlockDiscoveryError(
+                "basic block at %#x exceeds %d instructions"
+                % (entry, MAX_BLOCK_INSTRUCTIONS)
+            )
+        if not program.contains_text(pc):
+            raise BlockDiscoveryError(
+                "fell off the text image at %#x (block %#x)" % (pc, entry)
+            )
+        inst = program.instruction_at(pc)
+        instructions.append(inst)
+        if inst.is_control_flow or inst.is_system:
+            break
+        pc += 4
+    return BasicBlock(entry=entry, instructions=instructions)

@@ -1,0 +1,105 @@
+"""IR -> VLIW operation lowering and the naive first-pass code generator.
+
+The first-pass translator is the DBT's fast path: it lowers a single
+basic block one operation per bundle, with no reordering and no
+speculation, so that cold code starts executing immediately.  Hot blocks
+are later rebuilt as superblocks and scheduled aggressively by
+:mod:`repro.dbt.scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..vliw.block import TranslatedBlock
+from ..vliw.bundle import Bundle
+from ..vliw.config import VliwConfig
+from ..vliw.isa import VliwOp, VliwOpcode
+from .ir import IRBlock, IRInstruction, IRKind
+
+
+class CodegenError(Exception):
+    """Raised when an IR instruction cannot be lowered."""
+
+
+RegMap = Callable[[int], int]
+
+
+def _identity(reg: int) -> int:
+    return reg
+
+
+def vliw_op_from_ir(
+    inst: IRInstruction,
+    src_map: RegMap = _identity,
+    dest_override: Optional[int] = None,
+) -> VliwOp:
+    """Lower one IR instruction to a VLIW operation.
+
+    ``src_map`` rewrites source registers (hidden-register renaming);
+    ``dest_override`` replaces the destination (speculative defs).
+    """
+    kind = inst.kind
+    dest = dest_override if dest_override is not None else inst.dst
+    src1 = src_map(inst.src1) if inst.src1 is not None else None
+    src2 = src_map(inst.src2) if inst.src2 is not None else None
+    origin = inst.guest_index
+
+    if kind is IRKind.ALU:
+        return VliwOp(VliwOpcode.ALU, alu_op=inst.op, dest=dest,
+                      src1=src1, src2=src2, origin=origin)
+    if kind is IRKind.ALUI:
+        return VliwOp(VliwOpcode.ALU, alu_op=inst.op, dest=dest,
+                      src1=src1, imm=inst.imm, origin=origin)
+    if kind is IRKind.LI:
+        return VliwOp(VliwOpcode.LI, dest=dest, imm=inst.imm, origin=origin)
+    if kind is IRKind.MOV:
+        return VliwOp(VliwOpcode.MOV, dest=dest, src1=src1, origin=origin)
+    if kind is IRKind.LOAD:
+        return VliwOp(VliwOpcode.LOAD, dest=dest, src1=src1, imm=inst.imm,
+                      width=inst.width, signed=inst.signed, origin=origin)
+    if kind is IRKind.STORE:
+        return VliwOp(VliwOpcode.STORE, src1=src1, src2=src2, imm=inst.imm,
+                      width=inst.width, origin=origin)
+    if kind is IRKind.CFLUSH:
+        return VliwOp(VliwOpcode.CFLUSH, src1=src1, imm=inst.imm, origin=origin)
+    if kind is IRKind.FENCE:
+        return VliwOp(VliwOpcode.FENCE, origin=origin)
+    if kind is IRKind.RDCYCLE:
+        return VliwOp(VliwOpcode.RDCYCLE, dest=dest, origin=origin)
+    if kind is IRKind.RDINSTRET:
+        return VliwOp(VliwOpcode.RDINSTRET, dest=dest, origin=origin)
+    if kind is IRKind.BRANCH_EXIT:
+        return VliwOp(VliwOpcode.BRANCH, condition=inst.condition,
+                      src1=src1 if src1 is not None else 0,
+                      src2=src2 if src2 is not None else 0,
+                      target=inst.target, origin=origin)
+    if kind is IRKind.JUMP_EXIT:
+        return VliwOp(VliwOpcode.JUMP, target=inst.target, origin=origin)
+    if kind is IRKind.INDIRECT_EXIT:
+        return VliwOp(VliwOpcode.JUMPR, src1=src1, imm=inst.imm, origin=origin)
+    if kind is IRKind.SYSCALL_EXIT:
+        return VliwOp(VliwOpcode.SYSCALL, target=inst.target,
+                      imm=inst.imm, origin=origin)
+    raise CodegenError("cannot lower IR kind %r" % kind)  # pragma: no cover
+
+
+def sequential_translate(ir: IRBlock, config: VliwConfig,
+                         kind: str = "firstpass") -> TranslatedBlock:
+    """Naive lowering: one operation per bundle, program order."""
+    bundles: List[Bundle] = []
+    exits: List[int] = []
+    for inst in ir.instructions:
+        op = vliw_op_from_ir(inst)
+        bundles.append(Bundle(ops=(op,)))
+        if inst.is_exit and inst.target is not None:
+            exits.append(inst.target)
+    if not bundles:
+        raise CodegenError("empty IR block at %#x" % ir.entry)
+    return TranslatedBlock(
+        guest_entry=ir.entry,
+        bundles=tuple(bundles),
+        guest_length=ir.guest_length,
+        kind=kind,
+        exits=tuple(exits),
+    )

@@ -1,0 +1,251 @@
+"""The DBT engine: translation, profiling, optimization, mitigation.
+
+Orchestrates the whole software side of the platform, in the same shape
+as Hybrid-DBT:
+
+1. **first pass** — cold code is translated basic block by basic block,
+   naively (no reordering, no speculation), and installed in the
+   translation cache;
+2. **profiling** — every executed block and conditional-branch outcome
+   is recorded;
+3. **optimization** — when a first-pass block crosses the hotness
+   threshold, the engine grows a superblock along the biased path,
+   lowers it to IR, runs the security pass dictated by the mitigation
+   policy (GhostBusters poisoning / fence / nothing), schedules it with
+   the speculation the policy allows, and installs the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..isa.program import Program
+from ..security.mitigation import MitigationResult, apply_fence, apply_ghostbusters
+from ..security.poison import PoisonReport, analyze_block
+from ..security.policy import MitigationPolicy
+from ..vliw.block import TranslatedBlock
+from ..vliw.config import VliwConfig
+from ..vliw.pipeline import BlockResult, ExitReason
+from .blocks import BasicBlock, discover_block
+from .codegen import sequential_translate
+from .ir import IRBlock
+from .irbuilder import build_ir
+from .profile import ExecutionProfile
+from .scheduler import SchedulerOptions, schedule_block
+from .superblock import SuperblockLimits, build_superblock
+from .translation_cache import TranslationCache
+
+
+@dataclass
+class DbtEngineConfig:
+    """Engine tunables."""
+
+    #: Executions of a first-pass block before it is optimized.
+    hot_threshold: int = 16
+    superblock: SuperblockLimits = field(default_factory=SuperblockLimits)
+    #: Upper bound on optimizations (safety valve for pathological code).
+    max_optimizations: int = 10_000
+    #: Adaptive re-translation (extension, after Hybrid-DBT's memory
+    #: speculation work): when an optimized block triggers this many MCB
+    #: rollbacks, rebuild it *without* memory speculation — chronic
+    #: conflicts mean the speculation never pays.  ``None`` disables the
+    #: mechanism, matching the platform evaluated in the paper.
+    conflict_retranslate_threshold: Optional[int] = None
+    #: Code-cache capacity in blocks (None = unbounded).  A full cache is
+    #: flushed wholesale, as real DBT code caches are.
+    code_cache_capacity: Optional[int] = None
+
+
+@dataclass
+class DbtEngineStats:
+    """Lifetime counters of the engine."""
+
+    first_pass_translations: int = 0
+    optimizations: int = 0
+    guest_instructions_translated: int = 0
+    spectre_patterns_detected: int = 0
+    mitigation_edges_added: int = 0
+    speculative_loads_emitted: int = 0
+    conflict_retranslations: int = 0
+
+
+class DbtEngine:
+    """Software dynamic binary translator targeting the VLIW core."""
+
+    def __init__(
+        self,
+        program: Program,
+        vliw_config: Optional[VliwConfig] = None,
+        policy: MitigationPolicy = MitigationPolicy.UNSAFE,
+        config: Optional[DbtEngineConfig] = None,
+    ):
+        self.program = program
+        self.vliw_config = vliw_config or VliwConfig()
+        self.policy = policy
+        self.config = config or DbtEngineConfig()
+        self.cache = TranslationCache(capacity=self.config.code_cache_capacity)
+        self.profile = ExecutionProfile()
+        self.stats = DbtEngineStats()
+        #: Basic blocks backing each first-pass translation (profiling).
+        self._basic_blocks: Dict[int, BasicBlock] = {}
+        #: Poison reports per optimized entry (inspection / examples).
+        self.reports: Dict[int, PoisonReport] = {}
+        #: MCB rollbacks per optimized entry (adaptive re-translation).
+        self._rollback_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup / first-pass translation.
+    # ------------------------------------------------------------------
+
+    def lookup(self, pc: int) -> TranslatedBlock:
+        """Return the translation for ``pc``, first-pass translating on miss."""
+        block = self.cache.lookup(pc)
+        if block is None:
+            block = self._translate_first_pass(pc)
+            self.cache.install(block)
+        return block
+
+    def _translate_first_pass(self, pc: int) -> TranslatedBlock:
+        basic_block = discover_block(self.program, pc)
+        self._basic_blocks[pc] = basic_block
+        ir = build_ir([basic_block])
+        translated = sequential_translate(ir, self.vliw_config)
+        self.stats.first_pass_translations += 1
+        self.stats.guest_instructions_translated += basic_block.size
+        return translated
+
+    # ------------------------------------------------------------------
+    # Profiling feedback from the platform.
+    # ------------------------------------------------------------------
+
+    def record_execution(self, block: TranslatedBlock, result: BlockResult) -> None:
+        """Feed one block execution back into the profile and trigger
+        optimization when the block becomes hot."""
+        entry = block.guest_entry
+        count = self.profile.record_block(entry)
+        basic_block = self._basic_blocks.get(entry)
+        if basic_block is not None and basic_block.terminator.is_branch:
+            targets = basic_block.branch_targets()
+            if targets is not None and targets[0] != targets[1]:
+                taken_target, _ = targets
+                if result.reason is not ExitReason.SYSCALL:
+                    self.profile.record_branch(
+                        basic_block.terminator.address,
+                        result.next_pc == taken_target,
+                    )
+        if (
+            block.kind == "firstpass"
+            and count >= self.config.hot_threshold
+            and self.stats.optimizations < self.config.max_optimizations
+        ):
+            self.optimize(entry)
+        elif result.rolled_back:
+            self._note_rollback(block)
+
+    def _note_rollback(self, block: TranslatedBlock) -> None:
+        """Adaptive response to chronic MCB conflicts (extension)."""
+        threshold = self.config.conflict_retranslate_threshold
+        if threshold is None or block.kind != "optimized":
+            return
+        entry = block.guest_entry
+        count = self._rollback_counts.get(entry, 0) + 1
+        self._rollback_counts[entry] = count
+        if count >= threshold:
+            self._rollback_counts[entry] = 0
+            self.retranslate_without_memory_speculation(entry)
+
+    def retranslate_without_memory_speculation(self, entry: int) -> TranslatedBlock:
+        """Rebuild the block at ``entry`` with memory speculation off.
+
+        The speculation clearly is not paying (each conflict costs a
+        rollback plus a sequential recovery run), so the engine pins
+        loads behind stores while keeping branch speculation.
+        """
+        plan = build_superblock(
+            self.program, entry, self.profile, self.config.superblock,
+        )
+        ir = build_ir(plan.path, plan.final_next)
+        options = self.scheduler_options()
+        options = SchedulerOptions(
+            branch_speculation=options.branch_speculation,
+            memory_speculation=False,
+            max_speculative_loads=options.max_speculative_loads,
+        )
+        if self.policy.analyzes_patterns:
+            report = analyze_block(
+                ir,
+                branch_speculation=options.branch_speculation,
+                memory_speculation=False,
+            )
+            self.reports[entry] = report
+            if report.has_pattern:
+                if self.policy is MitigationPolicy.GHOSTBUSTERS:
+                    apply_ghostbusters(ir, report)
+                else:
+                    apply_fence(ir, report)
+        translated = schedule_block(ir, self.vliw_config, options,
+                                    kind="reoptimized")
+        self.stats.conflict_retranslations += 1
+        self.cache.install(translated)
+        return translated
+
+    # ------------------------------------------------------------------
+    # Optimization (superblock + policy passes + scheduling).
+    # ------------------------------------------------------------------
+
+    def scheduler_options(self) -> SchedulerOptions:
+        """Scheduler freedom allowed by the active policy."""
+        speculate = self.policy.speculation_enabled
+        return SchedulerOptions(
+            branch_speculation=speculate,
+            memory_speculation=speculate,
+            max_speculative_loads=self.vliw_config.mcb_entries,
+        )
+
+    def optimize(self, entry: int) -> TranslatedBlock:
+        """Build, secure, schedule and install the superblock at ``entry``."""
+        plan = build_superblock(
+            self.program, entry, self.profile, self.config.superblock,
+        )
+        ir = build_ir(plan.path, plan.final_next)
+        report: Optional[PoisonReport] = None
+        mitigation: Optional[MitigationResult] = None
+        options = self.scheduler_options()
+
+        if self.policy.analyzes_patterns:
+            report = analyze_block(
+                ir,
+                branch_speculation=options.branch_speculation,
+                memory_speculation=options.memory_speculation,
+            )
+            self.reports[entry] = report
+            if report.has_pattern:
+                if self.policy is MitigationPolicy.GHOSTBUSTERS:
+                    mitigation = apply_ghostbusters(ir, report)
+                else:
+                    mitigation = apply_fence(ir, report)
+
+        translated = schedule_block(ir, self.vliw_config, options)
+        if report is not None:
+            translated.spectre_patterns_found = report.pattern_count
+            self.stats.spectre_patterns_detected += report.pattern_count
+        if mitigation is not None:
+            translated.mitigations_applied = mitigation.edges_added
+            self.stats.mitigation_edges_added += mitigation.edges_added
+        self.stats.optimizations += 1
+        self.stats.speculative_loads_emitted += translated.speculative_loads
+        self.cache.install(translated)
+        return translated
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+
+    def build_ir_for(self, entry: int) -> IRBlock:
+        """IR of the superblock the engine would build at ``entry`` now
+        (diagnostics; does not install anything)."""
+        plan = build_superblock(
+            self.program, entry, self.profile, self.config.superblock,
+        )
+        return build_ir(plan.path, plan.final_next)

@@ -1,0 +1,301 @@
+"""DBT intermediate representation: IR blocks with explicit dependences.
+
+The IR block is the paper's central object (Section IV-A): "before
+performing instruction scheduling, the DBT engine has access to an
+Intermediate Representation containing all the instructions to schedule.
+No speculation can be done outside the scope of a single IR block."
+
+An :class:`IRBlock` is a linear sequence of :class:`IRInstruction` (one
+guest basic block or superblock path) plus a dependence graph whose edges
+carry a ``relaxable`` flag:
+
+* *relaxable* edges are the ones the DBT may remove to speculate — a
+  store->load memory dependence (memory-dependency speculation through
+  the MCB) or a branch->instruction control dependence (trace
+  speculation with hidden registers); Figure 3 (A) vs (B) is exactly
+  "all edges" vs "relaxable edges dropped";
+* the GhostBusters pass re-enforces specific relaxable edges (and adds
+  ``SPECTRE`` edges) to pin flagged instructions — Figure 3 (C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..vliw.isa import Condition
+
+
+class IRKind(enum.Enum):
+    """Classes of IR instructions."""
+
+    ALU = "alu"            # dst = op(src1, src2)
+    ALUI = "alui"          # dst = op(src1, imm)
+    LI = "li"              # dst = imm
+    MOV = "mov"            # dst = src1 (also used for speculation commits)
+    LOAD = "load"          # dst = mem[src1 + imm]
+    STORE = "store"        # mem[src1 + imm] = src2
+    CFLUSH = "cflush"      # flush line at src1 + imm
+    FENCE = "fence"        # explicit barrier
+    RDCYCLE = "rdcycle"    # dst = cycle counter (serialising)
+    RDINSTRET = "rdinstret"
+    BRANCH_EXIT = "branch_exit"      # leave trace at `target` if cond(src1,src2)
+    JUMP_EXIT = "jump_exit"          # unconditional exit to `target`
+    INDIRECT_EXIT = "indirect_exit"  # exit to src1 + imm
+    SYSCALL_EXIT = "syscall_exit"    # ecall/ebreak: exit into platform
+
+
+#: IR kinds that terminate or may terminate the block.
+EXIT_KINDS = frozenset({
+    IRKind.BRANCH_EXIT, IRKind.JUMP_EXIT, IRKind.INDIRECT_EXIT,
+    IRKind.SYSCALL_EXIT,
+})
+
+#: IR kinds acting as full scheduling barriers.
+BARRIER_KINDS = frozenset({IRKind.FENCE, IRKind.RDCYCLE, IRKind.RDINSTRET})
+
+
+@dataclass
+class IRInstruction:
+    """One IR instruction.  Registers are guest register numbers until the
+    scheduler renames speculative definitions onto hidden registers."""
+
+    kind: IRKind
+    op: Optional[str] = None          # ALU sub-operation
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    width: int = 8
+    signed: bool = True
+    condition: Optional[Condition] = None
+    target: Optional[int] = None      # guest exit target
+    guest_address: Optional[int] = None
+    #: Position of the originating guest instruction within the block.
+    guest_index: int = 0
+
+    @property
+    def is_exit(self) -> bool:
+        return self.kind in EXIT_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (IRKind.LOAD, IRKind.STORE, IRKind.CFLUSH)
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.kind in BARRIER_KINDS
+
+    def uses(self) -> Tuple[int, ...]:
+        """Guest registers read (x0 excluded: it is a constant)."""
+        regs = []
+        for reg in (self.src1, self.src2):
+            if reg is not None and reg != 0:
+                regs.append(reg)
+        return tuple(regs)
+
+    def defines(self) -> Optional[int]:
+        """Guest register written, or None (x0 writes are discarded)."""
+        if self.dst is not None and self.dst != 0:
+            return self.dst
+        return None
+
+    def describe(self) -> str:
+        kind = self.kind
+        if kind is IRKind.ALU:
+            return "%s r%d, r%d, r%d" % (self.op, self.dst, self.src1, self.src2)
+        if kind is IRKind.ALUI:
+            return "%s r%d, r%d, %d" % (self.op, self.dst, self.src1, self.imm)
+        if kind is IRKind.LI:
+            return "li r%d, %d" % (self.dst, self.imm)
+        if kind is IRKind.MOV:
+            return "mov r%d, r%d" % (self.dst, self.src1)
+        if kind is IRKind.LOAD:
+            return "ld%d r%d, %d(r%d)" % (self.width * 8, self.dst, self.imm, self.src1)
+        if kind is IRKind.STORE:
+            return "st%d r%d, %d(r%d)" % (self.width * 8, self.src2, self.imm, self.src1)
+        if kind is IRKind.CFLUSH:
+            return "cflush %d(r%d)" % (self.imm, self.src1)
+        if kind is IRKind.BRANCH_EXIT:
+            return "exit.%s r%d, r%d -> %#x" % (
+                self.condition.value, self.src1, self.src2, self.target,
+            )
+        if kind is IRKind.JUMP_EXIT:
+            return "exit -> %#x" % self.target
+        if kind is IRKind.INDIRECT_EXIT:
+            return "exit -> r%d + %d" % (self.src1, self.imm)
+        if kind is IRKind.SYSCALL_EXIT:
+            return "syscall @ %#x" % (self.guest_address or 0)
+        if kind in (IRKind.RDCYCLE, IRKind.RDINSTRET):
+            return "%s r%d" % (kind.value, self.dst)
+        return kind.value
+
+
+class DepKind(enum.Enum):
+    """Dependence edge classes."""
+
+    DATA = "data"        # RAW through a register
+    ANTI = "anti"        # WAR through a register
+    OUTPUT = "output"    # WAW through a register
+    MEM = "mem"          # memory ordering (store->load is the relaxable one)
+    CTRL = "ctrl"        # branch -> later instruction
+    SINK = "sink"        # instruction -> later exit (may not sink below it)
+    BARRIER = "barrier"  # fence / rdcycle serialisation
+    SPECTRE = "spectre"  # mitigation-inserted control dependency
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A scheduling edge: ``dst`` may not be scheduled before ``src``.
+
+    ``relaxable`` edges may be dropped by the speculation machinery;
+    ``min_delay`` is the minimum bundle distance (0 allows co-issue,
+    which is only safe for SINK/ANTI edges thanks to the VLIW
+    read-before-write semantics).
+    """
+
+    src: int
+    dst: int
+    kind: DepKind
+    relaxable: bool = False
+    min_delay: int = 1
+
+
+class IRBlock:
+    """A straight-line IR region (basic block or superblock)."""
+
+    def __init__(self, entry: int, instructions: Optional[List[IRInstruction]] = None):
+        self.entry = entry
+        self.instructions: List[IRInstruction] = instructions or []
+        self._dependences: Optional[List[Dependence]] = None
+        #: Extra edges added by mitigation passes (kept separate so the
+        #: analysis/reporting can show exactly what a pass did).
+        self.extra_dependences: List[Dependence] = []
+        #: Guest instruction count this block covers (set by the builder).
+        self.guest_length = 0
+
+    def append(self, instruction: IRInstruction) -> int:
+        """Add an instruction; returns its index.  Invalidates cached deps."""
+        self.instructions.append(instruction)
+        self._dependences = None
+        return len(self.instructions) - 1
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    # ------------------------------------------------------------------
+    # Dependence construction.
+    # ------------------------------------------------------------------
+
+    def dependences(self) -> List[Dependence]:
+        """All dependence edges (computed once, then cached)."""
+        if self._dependences is None:
+            self._dependences = self._build_dependences()
+        return self._dependences + self.extra_dependences
+
+    def invalidate_dependences(self) -> None:
+        self._dependences = None
+
+    def _build_dependences(self) -> List[Dependence]:
+        edges: List[Dependence] = []
+        last_def: Dict[int, int] = {}
+        uses_since_def: Dict[int, List[int]] = {}
+        #: (index, is_true_store) for every memory writer so far; loads may
+        #: only be speculated above true stores, never above cflush.
+        mem_writers: List[Tuple[int, bool]] = []
+        loads_since_any_store: List[int] = []
+        exits: List[int] = []
+        barrier: Optional[int] = None
+
+        for index, inst in enumerate(self.instructions):
+            # Register dependences.
+            for reg in inst.uses():
+                if reg in last_def:
+                    edges.append(Dependence(last_def[reg], index, DepKind.DATA))
+                uses_since_def.setdefault(reg, []).append(index)
+            defined = inst.defines()
+            if defined is not None:
+                if defined in last_def:
+                    edges.append(Dependence(last_def[defined], index, DepKind.OUTPUT))
+                for user in uses_since_def.get(defined, ()):
+                    if user != index:
+                        edges.append(
+                            Dependence(user, index, DepKind.ANTI, min_delay=0)
+                        )
+                last_def[defined] = index
+                uses_since_def[defined] = []
+
+            # Memory ordering.
+            if inst.kind is IRKind.LOAD:
+                for writer, is_true_store in mem_writers:
+                    # store->load is the relaxable edge of memory-dependency
+                    # speculation; cflush->load stays enforced.
+                    edges.append(
+                        Dependence(writer, index, DepKind.MEM, relaxable=is_true_store)
+                    )
+                loads_since_any_store.append(index)
+            elif inst.kind is IRKind.STORE or inst.kind is IRKind.CFLUSH:
+                for writer, _ in mem_writers:
+                    edges.append(Dependence(writer, index, DepKind.MEM))
+                for load in loads_since_any_store:
+                    edges.append(Dependence(load, index, DepKind.MEM))
+                mem_writers.append((index, inst.kind is IRKind.STORE))
+                loads_since_any_store = []
+
+            # Control dependences.
+            for exit_index in exits:
+                if inst.is_exit:
+                    edges.append(Dependence(exit_index, index, DepKind.CTRL))
+                elif inst.kind in (IRKind.STORE, IRKind.CFLUSH) or inst.is_barrier:
+                    # Side effects never cross an exit.
+                    edges.append(Dependence(exit_index, index, DepKind.CTRL))
+                else:
+                    # Loads/ALU may be hoisted above the exit: relaxable.
+                    edges.append(
+                        Dependence(exit_index, index, DepKind.CTRL, relaxable=True)
+                    )
+            if inst.is_exit:
+                # Nothing before an exit may sink below it.
+                for prior in range(index):
+                    edges.append(
+                        Dependence(prior, index, DepKind.SINK, min_delay=0)
+                    )
+                exits.append(index)
+
+            # Barriers serialise everything.
+            if barrier is not None:
+                edges.append(Dependence(barrier, index, DepKind.BARRIER))
+            if inst.is_barrier:
+                for prior in range(index):
+                    edges.append(Dependence(prior, index, DepKind.BARRIER))
+                barrier = index
+
+        return edges
+
+    # ------------------------------------------------------------------
+    # Mitigation support.
+    # ------------------------------------------------------------------
+
+    def add_spectre_dependence(self, src: int, dst: int) -> None:
+        """Pin ``dst`` after ``src`` (the paper's inserted control dep)."""
+        self.extra_dependences.append(
+            Dependence(src, dst, DepKind.SPECTRE, relaxable=False)
+        )
+
+    def describe(self) -> str:
+        lines = ["IR block @ %#x (%d instructions)" % (self.entry, len(self.instructions))]
+        for index, inst in enumerate(self.instructions):
+            lines.append("  %3d: %s" % (index, inst.describe()))
+        return "\n".join(lines)
+
+
+def predecessors_by_kind(block: IRBlock) -> Dict[int, List[Dependence]]:
+    """Incoming edges of every instruction, as a dict keyed by dst index."""
+    incoming: Dict[int, List[Dependence]] = {}
+    for edge in block.dependences():
+        incoming.setdefault(edge.dst, []).append(edge)
+    return incoming

@@ -1,0 +1,184 @@
+"""Lowering guest instructions into the DBT IR.
+
+Takes a *trace path* — one basic block, or a superblock path of several —
+and produces a single :class:`IRBlock`.  Conditional branches inside the
+path become *side exits*: the exit condition is the branch condition when
+the trace follows the fall-through, and its negation when the trace
+follows the taken direction (the trace encodes the predicted path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..interp.state import MASK64
+from ..isa.instruction import Instruction
+from ..isa.opcodes import CSR_CYCLE, CSR_INSTRET, CSR_TIME, Mnemonic, SIGNED_LOADS
+from ..vliw.isa import Condition
+from .blocks import BasicBlock
+from .ir import IRBlock, IRInstruction, IRKind
+
+
+class UnsupportedGuestCode(Exception):
+    """Raised for guest constructs the DBT declines to translate."""
+
+
+#: Guest R-type mnemonics whose ALU op shares the mnemonic name.
+_ALU_REG = {
+    m: m.value for m in (
+        Mnemonic.ADD, Mnemonic.SUB, Mnemonic.SLL, Mnemonic.SLT, Mnemonic.SLTU,
+        Mnemonic.XOR, Mnemonic.SRL, Mnemonic.SRA, Mnemonic.OR, Mnemonic.AND,
+        Mnemonic.ADDW, Mnemonic.SUBW, Mnemonic.SLLW, Mnemonic.SRLW, Mnemonic.SRAW,
+        Mnemonic.MUL, Mnemonic.MULH, Mnemonic.MULHSU, Mnemonic.MULHU,
+        Mnemonic.DIV, Mnemonic.DIVU, Mnemonic.REM, Mnemonic.REMU,
+        Mnemonic.MULW, Mnemonic.DIVW, Mnemonic.DIVUW, Mnemonic.REMW, Mnemonic.REMUW,
+    )
+}
+
+#: Guest immediate-form mnemonics -> ALU op.
+_ALU_IMM = {
+    Mnemonic.ADDI: "add", Mnemonic.SLTI: "slt", Mnemonic.SLTIU: "sltu",
+    Mnemonic.XORI: "xor", Mnemonic.ORI: "or", Mnemonic.ANDI: "and",
+    Mnemonic.SLLI: "sll", Mnemonic.SRLI: "srl", Mnemonic.SRAI: "sra",
+    Mnemonic.ADDIW: "addw", Mnemonic.SLLIW: "sllw", Mnemonic.SRLIW: "srlw",
+    Mnemonic.SRAIW: "sraw",
+}
+
+_BRANCH_CONDITION = {
+    Mnemonic.BEQ: Condition.EQ, Mnemonic.BNE: Condition.NE,
+    Mnemonic.BLT: Condition.LT, Mnemonic.BGE: Condition.GE,
+    Mnemonic.BLTU: Condition.LTU, Mnemonic.BGEU: Condition.GEU,
+}
+
+
+def build_ir(path: Sequence[BasicBlock], final_next: Optional[int] = None) -> IRBlock:
+    """Lower a trace path (>= 1 basic blocks) into one IR block.
+
+    ``final_next`` is the predicted successor of the *last* terminator
+    (when it is a conditional branch): the trace's hot path then leaves
+    through a cheap unconditional jump instead of a side exit, which is
+    what makes loop traces fast.
+    """
+    if not path:
+        raise ValueError("empty trace path")
+    block = IRBlock(entry=path[0].entry)
+    guest_index = 0
+
+    for position, basic_block in enumerate(path):
+        if position + 1 < len(path):
+            on_trace_next = path[position + 1].entry
+        else:
+            on_trace_next = final_next
+        for inst in basic_block.instructions:
+            is_terminator = inst is basic_block.terminator
+            _lower(
+                block, inst, guest_index,
+                fallthrough=inst.address + 4,
+                on_trace_next=on_trace_next if is_terminator else None,
+                is_final=is_terminator and position == len(path) - 1,
+            )
+            guest_index += 1
+    block.guest_length = guest_index
+    _ensure_terminated(block, path[-1])
+    return block
+
+
+def _ensure_terminated(block: IRBlock, last_bb: BasicBlock) -> None:
+    if block.instructions and block.instructions[-1].kind in (
+        IRKind.JUMP_EXIT, IRKind.INDIRECT_EXIT, IRKind.SYSCALL_EXIT,
+    ):
+        return
+    # Trace followed the last terminator's on-trace direction (e.g. a
+    # loop back-edge): close the block with an explicit jump there.
+    term = last_bb.terminator
+    if term.is_branch:
+        # build_ir emits the side exit; the on-trace direction needs a jump.
+        raise AssertionError("branch terminator must be closed by _lower")
+    target = term.address + term.imm if term.mnemonic is Mnemonic.JAL else last_bb.fallthrough
+    block.append(IRInstruction(
+        IRKind.JUMP_EXIT, target=target,
+        guest_address=term.address, guest_index=len(block.instructions),
+    ))
+
+
+def _lower(
+    block: IRBlock,
+    inst: Instruction,
+    guest_index: int,
+    fallthrough: int,
+    on_trace_next: Optional[int],
+    is_final: bool,
+) -> None:
+    mnemonic = inst.mnemonic
+    pc = inst.address
+
+    def emit(kind: IRKind, **kwargs) -> None:
+        block.append(IRInstruction(
+            kind, guest_address=pc, guest_index=guest_index, **kwargs,
+        ))
+
+    if mnemonic in _ALU_REG:
+        emit(IRKind.ALU, op=_ALU_REG[mnemonic], dst=inst.rd,
+             src1=inst.rs1, src2=inst.rs2)
+    elif mnemonic in _ALU_IMM:
+        emit(IRKind.ALUI, op=_ALU_IMM[mnemonic], dst=inst.rd,
+             src1=inst.rs1, imm=inst.imm)
+    elif mnemonic is Mnemonic.LUI:
+        emit(IRKind.LI, dst=inst.rd, imm=inst.imm << 12)
+    elif mnemonic is Mnemonic.AUIPC:
+        emit(IRKind.LI, dst=inst.rd, imm=(pc + (inst.imm << 12)) & MASK64)
+    elif inst.is_load:
+        emit(IRKind.LOAD, dst=inst.rd, src1=inst.rs1, imm=inst.imm,
+             width=inst.access_width, signed=mnemonic in SIGNED_LOADS)
+    elif inst.is_store:
+        emit(IRKind.STORE, src1=inst.rs1, src2=inst.rs2, imm=inst.imm,
+             width=inst.access_width)
+    elif mnemonic is Mnemonic.JAL:
+        if inst.rd != 0:
+            emit(IRKind.LI, dst=inst.rd, imm=fallthrough)
+        target = pc + inst.imm
+        if on_trace_next is not None and target == on_trace_next and not is_final:
+            return  # The trace follows the jump: no exit needed.
+        emit(IRKind.JUMP_EXIT, target=target)
+    elif mnemonic is Mnemonic.JALR:
+        if inst.rd != 0 and inst.rd == inst.rs1:
+            raise UnsupportedGuestCode(
+                "jalr with rd == rs1 at %#x is not supported by this DBT" % pc
+            )
+        if inst.rd != 0:
+            emit(IRKind.LI, dst=inst.rd, imm=fallthrough)
+        emit(IRKind.INDIRECT_EXIT, src1=inst.rs1, imm=inst.imm)
+    elif inst.is_branch:
+        condition = _BRANCH_CONDITION[mnemonic]
+        taken = pc + inst.imm
+        if on_trace_next is not None and on_trace_next == taken:
+            # Predicted taken: exit on the *negated* condition to the
+            # fall-through; trace continues at the taken target.
+            emit(IRKind.BRANCH_EXIT, condition=condition.negated(),
+                 src1=inst.rs1, src2=inst.rs2, target=fallthrough)
+            if is_final:
+                emit(IRKind.JUMP_EXIT, target=taken)
+        else:
+            emit(IRKind.BRANCH_EXIT, condition=condition,
+                 src1=inst.rs1, src2=inst.rs2, target=taken)
+            if is_final or on_trace_next is None:
+                emit(IRKind.JUMP_EXIT, target=fallthrough)
+    elif mnemonic is Mnemonic.ECALL:
+        emit(IRKind.SYSCALL_EXIT, target=pc)
+    elif mnemonic is Mnemonic.EBREAK:
+        emit(IRKind.SYSCALL_EXIT, target=pc, imm=1)
+    elif mnemonic in (Mnemonic.CSRRW, Mnemonic.CSRRS, Mnemonic.CSRRC):
+        if inst.rs1 != 0:
+            raise UnsupportedGuestCode("CSR writes are not supported (pc %#x)" % pc)
+        if inst.imm in (CSR_CYCLE, CSR_TIME):
+            emit(IRKind.RDCYCLE, dst=inst.rd)
+        elif inst.imm == CSR_INSTRET:
+            emit(IRKind.RDINSTRET, dst=inst.rd)
+        else:
+            raise UnsupportedGuestCode("unsupported CSR %#x (pc %#x)" % (inst.imm, pc))
+    elif mnemonic is Mnemonic.FENCE:
+        emit(IRKind.FENCE)
+    elif mnemonic is Mnemonic.CFLUSH:
+        emit(IRKind.CFLUSH, src1=inst.rs1, imm=inst.imm)
+    else:  # pragma: no cover - ISA fully covered above
+        raise UnsupportedGuestCode("cannot lower %s at %#x" % (mnemonic.value, pc))

@@ -1,0 +1,101 @@
+"""Execution profiling for the DBT engine.
+
+The DBT engine profiles the running program to find hot code and to learn
+branch biases (paper Section III-A: "the execution is profiled, and the
+outcome of frequently executed branches is collected").  The platform
+reports every block execution and every traversed control-flow edge; the
+profile answers two questions:
+
+* is the block at address X hot enough to be worth optimizing?
+* which direction does the branch at address Y usually go, and how
+  strongly biased is it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class BranchProfile:
+    """Outcome counters of one conditional branch."""
+
+    taken: int = 0
+    not_taken: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.taken + self.not_taken
+
+    @property
+    def bias(self) -> float:
+        """Probability of the dominant direction (0.5 .. 1.0)."""
+        if not self.total:
+            return 0.5
+        return max(self.taken, self.not_taken) / self.total
+
+    @property
+    def predicted_taken(self) -> bool:
+        return self.taken >= self.not_taken
+
+
+class ExecutionProfile:
+    """Aggregated execution/branch profile."""
+
+    def __init__(self) -> None:
+        self._block_counts: Dict[int, int] = {}
+        self._branches: Dict[int, BranchProfile] = {}
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def record_block(self, entry: int) -> int:
+        """Count one execution of the block at ``entry``; returns the new
+        count (the engine compares it against its hotness threshold)."""
+        count = self._block_counts.get(entry, 0) + 1
+        self._block_counts[entry] = count
+        return count
+
+    def record_branch(self, address: int, taken: bool) -> None:
+        """Record one outcome of the conditional branch at ``address``."""
+        profile = self._branches.get(address)
+        if profile is None:
+            profile = BranchProfile()
+            self._branches[address] = profile
+        if taken:
+            profile.taken += 1
+        else:
+            profile.not_taken += 1
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def block_count(self, entry: int) -> int:
+        return self._block_counts.get(entry, 0)
+
+    def branch(self, address: int) -> Optional[BranchProfile]:
+        return self._branches.get(address)
+
+    def predicted_direction(
+        self, address: int, min_samples: int, min_bias: float,
+    ) -> Optional[bool]:
+        """Predicted direction of the branch at ``address`` (True = taken),
+        or ``None`` when the profile is too weak to justify speculation."""
+        profile = self._branches.get(address)
+        if profile is None or profile.total < min_samples:
+            return None
+        if profile.bias < min_bias:
+            return None
+        return profile.predicted_taken
+
+    def hottest_blocks(self, limit: int = 10) -> Tuple[Tuple[int, int], ...]:
+        """(entry, count) pairs of the most-executed blocks."""
+        ranked = sorted(self._block_counts.items(), key=lambda kv: -kv[1])
+        return tuple(ranked[:limit])
+
+    def reset(self) -> None:
+        self._block_counts.clear()
+        self._branches.clear()

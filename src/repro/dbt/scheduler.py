@@ -1,0 +1,433 @@
+"""Speculative VLIW list scheduler.
+
+This is where the DBT engine speculates (paper Section III), and where
+the GhostBusters mitigation bites (Section IV-B):
+
+* **Branch speculation** — an instruction whose control dependence on an
+  earlier trace exit is relaxable gets its destination renamed onto a
+  *hidden register*; a pinned ``MOV`` at the original program point
+  commits the value to the architectural register.  The renamed
+  instruction is then free to be scheduled above the exit: if the exit
+  is taken at run time, the commit never executes and the architectural
+  state is untouched — but any cache line the instruction pulled in
+  stays (Spectre v1).
+* **Memory speculation** — a load scheduled above a store it may depend
+  on is emitted with the speculative opcode and tracked by the MCB
+  (Spectre v4).  The number of such loads is bounded by the MCB size.
+* **Mitigation** — the security pass communicates purely through
+  ``SPECTRE`` dependence edges (non-relaxable): a pinned instruction
+  simply can no longer move above its guards.  The scheduler needs no
+  special cases — exactly the paper's "fine-grained control over the
+  instruction scheduling".
+
+Scheduling itself is classic cycle-driven list scheduling with
+critical-path priorities, latency-aware readiness and bipartite slot
+matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..vliw.block import TranslatedBlock
+from ..vliw.bundle import Bundle, assign_slots
+from ..vliw.config import VliwConfig
+from ..vliw.isa import VliwOp, VliwOpcode
+from .codegen import sequential_translate, vliw_op_from_ir
+from .ir import DepKind, Dependence, IRBlock, IRInstruction, IRKind
+
+
+class SchedulerError(Exception):
+    """Raised when a block cannot be scheduled (internal invariant)."""
+
+
+@dataclass(frozen=True)
+class SchedulerOptions:
+    """Which speculation the policy allows."""
+
+    branch_speculation: bool = True
+    memory_speculation: bool = True
+    #: Upper bound on MCB-tracked loads per block (the MCB capacity).
+    max_speculative_loads: int = 16
+
+
+#: IR kinds whose instructions may be hoisted above a trace exit.
+_HOISTABLE_KINDS = frozenset({
+    IRKind.ALU, IRKind.ALUI, IRKind.LI, IRKind.MOV, IRKind.LOAD,
+})
+
+
+# ---------------------------------------------------------------------------
+# Renaming prepass.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _RenameResult:
+    """Transformed instruction list plus bookkeeping."""
+
+    instructions: List[IRInstruction]
+    #: Indices (in the transformed list) of hoistable instructions.
+    hoistable: Set[int]
+    #: Indices of commit MOVs (for statistics).
+    commits: Set[int]
+    renamed_defs: int = 0
+
+
+def _pinned_indices(block: IRBlock) -> Set[int]:
+    """Instructions targeted by mitigation (SPECTRE edges)."""
+    return {edge.dst for edge in block.extra_dependences
+            if edge.kind is DepKind.SPECTRE}
+
+
+def _rename_for_speculation(
+    block: IRBlock, config: VliwConfig, enabled: bool,
+) -> Tuple[IRBlock, _RenameResult]:
+    """Rewrite speculation candidates onto hidden registers.
+
+    Every instruction that (a) may be hoisted above at least one earlier
+    exit, (b) defines an architectural register and (c) is not pinned by
+    a SPECTRE edge gets: its destination renamed to a fresh hidden
+    register, its in-block consumers rewritten to read that register, and
+    a *commit* ``MOV`` inserted at its original position.  The commit is
+    control-dependent on the exits, so wrong-path values never reach the
+    architectural register file.
+    """
+    instructions = list(block.instructions)
+    pinned = _pinned_indices(block)
+    hidden_pool = list(config.hidden_registers())
+    result = _RenameResult(instructions=[], hoistable=set(), commits=set())
+    output: List[IRInstruction] = []
+    #: Map original index -> transformed index (for SPECTRE edge rewrite).
+    index_map: Dict[int, int] = {}
+    needs_commit = _commit_liveness(instructions)
+
+    seen_exit = False
+    #: Active renames: architectural reg -> hidden reg (until redefined).
+    active: Dict[int, int] = {}
+
+    for original_index, inst in enumerate(instructions):
+        inst = _rewrite_sources(inst, active)
+        defined = inst.defines()
+
+        # A fresh definition of an architectural register ends any active
+        # rename of it (consumers beyond this point read the new value).
+        if defined is not None and defined in active:
+            del active[defined]
+
+        candidate = (
+            enabled
+            and seen_exit
+            and inst.kind in _HOISTABLE_KINDS
+            and original_index not in pinned
+            and defined is not None
+            and hidden_pool
+        )
+        if candidate:
+            hidden = hidden_pool.pop(0)
+            renamed = replace(inst, dst=hidden)
+            index_map[original_index] = len(output)
+            result.hoistable.add(len(output))
+            output.append(renamed)
+            if needs_commit[original_index]:
+                commit = IRInstruction(
+                    IRKind.MOV, dst=defined, src1=hidden,
+                    guest_address=inst.guest_address,
+                    guest_index=inst.guest_index,
+                )
+                result.commits.add(len(output))
+                output.append(commit)
+            active[defined] = hidden
+            result.renamed_defs += 1
+        else:
+            index_map[original_index] = len(output)
+            if (
+                enabled
+                and seen_exit
+                and inst.kind in _HOISTABLE_KINDS
+                and original_index not in pinned
+                and defined is None
+            ):
+                # No architectural effect: hoistable without renaming.
+                result.hoistable.add(len(output))
+            output.append(inst)
+
+        if inst.is_exit:
+            seen_exit = True
+
+    transformed = IRBlock(entry=block.entry, instructions=output)
+    transformed.guest_length = block.guest_length
+    # Carry mitigation edges over to the transformed indices.
+    for edge in block.extra_dependences:
+        transformed.extra_dependences.append(Dependence(
+            index_map[edge.src], index_map[edge.dst],
+            edge.kind, edge.relaxable, edge.min_delay,
+        ))
+    result.instructions = output
+    return transformed, result
+
+
+def _commit_liveness(instructions: List[IRInstruction]) -> List[bool]:
+    """Whether each definition must be committed architecturally.
+
+    A renamed definition needs its commit ``MOV`` only when its value can
+    be observed outside the block: i.e. no later instruction redefines
+    the same architectural register *before the next trace exit*.  When a
+    redefinition happens first, the earlier commit would always be
+    overwritten before any exit could expose it — so it is dead and can
+    be dropped, which removes most commit traffic for short-lived
+    temporaries in unrolled loop bodies.
+    """
+    count = len(instructions)
+    needs = [True] * count
+    for index, inst in enumerate(instructions):
+        defined = inst.defines()
+        if defined is None:
+            continue
+        for later in range(index + 1, count):
+            other = instructions[later]
+            if other.is_exit:
+                break
+            if other.defines() == defined:
+                needs[index] = False
+                break
+    return needs
+
+
+def _rewrite_sources(inst: IRInstruction, active: Dict[int, int]) -> IRInstruction:
+    src1 = active.get(inst.src1, inst.src1) if inst.src1 is not None else None
+    src2 = active.get(inst.src2, inst.src2) if inst.src2 is not None else None
+    if src1 == inst.src1 and src2 == inst.src2:
+        return inst
+    return replace(inst, src1=src1, src2=src2)
+
+
+# ---------------------------------------------------------------------------
+# List scheduling.
+# ---------------------------------------------------------------------------
+
+def schedule_block(
+    ir: IRBlock,
+    config: VliwConfig,
+    options: Optional[SchedulerOptions] = None,
+    kind: str = "optimized",
+    build_recovery: bool = True,
+) -> TranslatedBlock:
+    """Schedule ``ir`` into a :class:`TranslatedBlock` under ``options``."""
+    options = options or SchedulerOptions()
+    block, renames = _rename_for_speculation(
+        ir, config, enabled=options.branch_speculation,
+    )
+    ops = [vliw_op_from_ir(inst) for inst in block.instructions]
+    count = len(ops)
+    if count == 0:
+        raise SchedulerError("cannot schedule an empty block")
+
+    enforced: List[List[Tuple[int, int]]] = [[] for _ in range(count)]  # (pred, delay)
+    relaxed_mem: List[List[int]] = [[] for _ in range(count)]  # pred stores
+    relaxed_ctrl: List[List[int]] = [[] for _ in range(count)]  # pred exits
+    successors: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+
+    for edge in block.dependences():
+        delay = _edge_delay(edge, ops, config)
+        if edge.relaxable and edge.kind is DepKind.MEM and options.memory_speculation:
+            relaxed_mem[edge.dst].append(edge.src)
+            continue
+        if (
+            edge.relaxable
+            and edge.kind is DepKind.CTRL
+            and options.branch_speculation
+            and edge.dst in renames.hoistable
+        ):
+            relaxed_ctrl[edge.dst].append(edge.src)
+            continue
+        enforced[edge.dst].append((edge.src, delay))
+        successors[edge.src].append((edge.dst, delay))
+
+    priority = _critical_path(count, successors, ops, config)
+
+    scheduled_bundle: List[Optional[int]] = [None] * count
+    remaining = count
+    cycle = 0
+    spec_budget = options.max_speculative_loads
+    speculative: Set[int] = set()
+    max_cycles = count * 64 + 256  # progress safety net
+
+    order = sorted(range(count), key=lambda i: -priority[i])
+    while remaining:
+        if cycle > max_cycles:
+            raise SchedulerError(
+                "scheduler failed to make progress on block %#x" % ir.entry
+            )
+        chosen: List[int] = []
+        chosen_ops: List[VliwOp] = []
+        progress = True
+        while progress:
+            progress = False
+            for node in order:
+                if scheduled_bundle[node] is not None or node in chosen:
+                    continue
+                placement = _placeable(
+                    node, cycle, enforced, relaxed_mem, scheduled_bundle,
+                    chosen, spec_budget, ops,
+                )
+                if placement is None:
+                    continue
+                is_speculative = placement
+                candidate_op = ops[node]
+                if is_speculative:
+                    candidate_op = candidate_op.as_speculative()
+                if assign_slots(chosen_ops + [candidate_op], config) is None:
+                    continue
+                chosen.append(node)
+                chosen_ops.append(candidate_op)
+                if is_speculative:
+                    speculative.add(node)
+                    spec_budget -= 1
+                progress = True
+        for node in chosen:
+            scheduled_bundle[node] = cycle
+        remaining -= len(chosen)
+        cycle += 1
+
+    bundles, speculative = _emit_bundles(
+        ops, scheduled_bundle, speculative, relaxed_mem,
+    )
+    exits = tuple(
+        inst.target for inst in block.instructions
+        if inst.is_exit and inst.target is not None
+    )
+    hoisted = sum(
+        1 for node in range(count)
+        if any(scheduled_bundle[node] <= scheduled_bundle[e] for e in relaxed_ctrl[node])
+    )
+    recovery = None
+    if build_recovery and speculative:
+        # Non-speculative variant executed after an MCB rollback; built
+        # from the *original* IR so no hidden-register commits linger.
+        recovery = sequential_translate(ir, config, kind="recovery")
+
+    translated = TranslatedBlock(
+        guest_entry=ir.entry,
+        bundles=tuple(bundles),
+        guest_length=ir.guest_length,
+        kind=kind,
+        recovery=recovery,
+        exits=exits,
+        speculative_loads=len(speculative),
+        branch_hoisted_ops=hoisted,
+    )
+    return translated
+
+
+def _placeable(
+    node: int,
+    cycle: int,
+    enforced: List[List[Tuple[int, int]]],
+    relaxed_mem: List[List[int]],
+    scheduled_bundle: List[Optional[int]],
+    chosen: List[int],
+    spec_budget: int,
+    ops: List[VliwOp],
+) -> Optional[bool]:
+    """Whether ``node`` may issue in ``cycle``.
+
+    Returns ``None`` (not placeable), ``False`` (placeable, not
+    speculative) or ``True`` (placeable as an MCB-speculative load).
+    """
+    for pred, delay in enforced[node]:
+        bundle = scheduled_bundle[pred]
+        if bundle is None:
+            if pred in chosen and delay == 0:
+                continue
+            return None
+        if bundle + delay > cycle:
+            return None
+    needs_speculation = False
+    for pred in relaxed_mem[node]:
+        bundle = scheduled_bundle[pred]
+        if bundle is None or bundle >= cycle or pred in chosen:
+            needs_speculation = True
+            break
+    if needs_speculation and spec_budget <= 0:
+        return None
+    return needs_speculation
+
+
+def _edge_delay(edge: Dependence, ops: Sequence[VliwOp], config: VliwConfig) -> int:
+    """Minimum bundle distance an enforced edge imposes."""
+    if edge.kind is DepKind.DATA:
+        producer = ops[edge.src]
+        if producer.opcode is VliwOpcode.LOAD:
+            return config.cache.hit_latency
+        return max(1, config.latencies[producer.unit])
+    return edge.min_delay
+
+
+def _critical_path(
+    count: int,
+    successors: List[List[Tuple[int, int]]],
+    ops: Sequence[VliwOp],
+    config: VliwConfig,
+) -> List[int]:
+    """Longest path (in cycles) from each node to the block end."""
+    priority = [0] * count
+    for node in range(count - 1, -1, -1):
+        best = 0
+        for succ, delay in successors[node]:
+            best = max(best, priority[succ] + max(delay, 1 if succ != node else 1))
+        priority[node] = best + 1
+    return priority
+
+
+def _emit_bundles(
+    ops: List[VliwOp],
+    scheduled_bundle: List[Optional[int]],
+    speculative_candidates: Set[int],
+    relaxed_mem: List[List[int]],
+) -> Tuple[List[Bundle], Set[int]]:
+    """Materialise the final bundles from the placement.
+
+    Runtime order within a bundle is program (node) order, so a load is
+    *truly* speculative only when a store it depends on lands in a
+    strictly later bundle (a same-bundle store executes first in slot
+    order — node indices of its MEM predecessors are always smaller).
+    Each truly speculative load gets an MCB tag, and the last store it
+    bypassed becomes its *release point*: classic MCB semantics, where an
+    entry lives exactly until all stores it was moved above have checked
+    against it.  Empty bundles are dropped — the run-time scoreboard
+    recreates any real stall they stood for.
+    """
+    final_tags: Dict[int, int] = {}
+    releases: Dict[int, List[int]] = {}
+    next_tag = 1
+    for node in sorted(speculative_candidates):
+        bundle = scheduled_bundle[node]
+        bypassed = [
+            store for store in relaxed_mem[node]
+            if scheduled_bundle[store] > bundle
+        ]
+        if not bypassed:
+            continue  # every "bypassed" store actually executes first
+        release_store = max(
+            bypassed, key=lambda store: (scheduled_bundle[store], store),
+        )
+        final_tags[node] = next_tag
+        releases.setdefault(release_store, []).append(next_tag)
+        next_tag += 1
+
+    by_bundle: Dict[int, List[int]] = {}
+    for node, bundle in enumerate(scheduled_bundle):
+        by_bundle.setdefault(bundle, []).append(node)
+    bundles: List[Bundle] = []
+    for bundle_index in sorted(by_bundle):
+        row: List[VliwOp] = []
+        for node in sorted(by_bundle[bundle_index]):
+            op = ops[node]
+            if node in final_tags:
+                op = op.as_speculative(final_tags[node])
+            elif node in releases:
+                op = op.with_releases(tuple(releases[node]))
+            row.append(op)
+        bundles.append(Bundle(ops=tuple(row)))
+    return bundles, set(final_tags)

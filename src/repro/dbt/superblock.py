@@ -1,0 +1,134 @@
+"""Superblock (trace) construction.
+
+The paper's Section III-A optimization: once a block is hot, the DBT
+engine merges basic blocks along the profiled hot path into a single
+superblock, within which the scheduler may speculate.  Growth follows the
+biased direction of each conditional branch and unconditional direct
+jumps; it stops at indirect jumps, calls, syscalls, trace re-entry
+(loops) and a size limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..isa.opcodes import Mnemonic
+from ..isa.program import Program
+from .blocks import BasicBlock, discover_block
+from .profile import ExecutionProfile
+
+
+@dataclass(frozen=True)
+class SuperblockLimits:
+    """Growth policy knobs."""
+
+    #: Maximum guest instructions per superblock.
+    max_instructions: int = 64
+    #: Minimum recorded outcomes before a branch's bias is trusted.
+    min_branch_samples: int = 8
+    #: Minimum bias (fraction of dominant direction) to follow a branch.
+    min_branch_bias: float = 0.7
+    #: Whether the trace may revisit a block (loop unrolling).  Unrolled
+    #: iterations are what give the scheduler its cross-iteration
+    #: speculation opportunities: loads of iteration i+1 hoisted above
+    #: the guard branch and the stores of iteration i.
+    allow_unrolling: bool = True
+
+
+@dataclass
+class SuperblockPlan:
+    """The chosen trace: the path plus the predicted final successor."""
+
+    path: List[BasicBlock]
+    #: Predicted successor of the last terminator (None when unknown or
+    #: when the last terminator is not a conditional branch/jump).
+    final_next: Optional[int]
+
+    @property
+    def guest_instructions(self) -> int:
+        return sum(block.size for block in self.path)
+
+    @property
+    def entry(self) -> int:
+        return self.path[0].entry
+
+
+def build_superblock(
+    program: Program,
+    entry: int,
+    profile: ExecutionProfile,
+    limits: Optional[SuperblockLimits] = None,
+) -> SuperblockPlan:
+    """Grow a superblock from ``entry`` along the profiled hot path."""
+    limits = limits or SuperblockLimits()
+    path: List[BasicBlock] = []
+    visited: Set[int] = set()
+    total = 0
+    pc: Optional[int] = entry
+    stopped_at: Optional[int] = None
+
+    while pc is not None:
+        if pc in visited and not limits.allow_unrolling:
+            stopped_at = pc
+            break
+        block = discover_block(program, pc)
+        if path and total + block.size > limits.max_instructions:
+            stopped_at = pc
+            break
+        path.append(block)
+        visited.add(pc)
+        total += block.size
+        pc = _next_on_trace(block, profile, limits)
+
+    if not path:
+        path.append(discover_block(program, entry))
+    final_next = _predict_back_edge(path, stopped_at, profile, limits)
+    return SuperblockPlan(path=path, final_next=final_next)
+
+
+def _next_on_trace(
+    block: BasicBlock, profile: ExecutionProfile, limits: SuperblockLimits,
+) -> Optional[int]:
+    """Successor the trace should follow out of ``block`` (None = stop)."""
+    term = block.terminator
+    if term.is_branch:
+        direction = profile.predicted_direction(
+            term.address, limits.min_branch_samples, limits.min_branch_bias,
+        )
+        if direction is None:
+            return None
+        taken_target, fallthrough = block.branch_targets()
+        return taken_target if direction else fallthrough
+    if term.mnemonic is Mnemonic.JAL and term.rd == 0:
+        # Direct jump: follow it (tail of a loop, goto...).
+        return term.address + term.imm
+    # Calls, returns, indirect jumps and syscalls end the trace.
+    return None
+
+
+def _predict_back_edge(
+    path: Sequence[BasicBlock],
+    stopped_at: Optional[int],
+    profile: ExecutionProfile,
+    limits: SuperblockLimits,
+) -> Optional[int]:
+    """Predicted direction of the final terminator, for the IR builder.
+
+    When the trace stopped because it would re-enter itself (a loop), the
+    hot direction of the final branch is the back edge; encoding it as
+    the predicted successor lets the loop run through a cheap
+    unconditional jump rather than a penalised side exit.
+    """
+    if not path:
+        return None
+    term = path[-1].terminator
+    if not term.is_branch:
+        return None
+    direction = profile.predicted_direction(
+        term.address, limits.min_branch_samples, limits.min_branch_bias,
+    )
+    if direction is None:
+        return stopped_at
+    taken_target, fallthrough = path[-1].branch_targets()
+    return taken_target if direction else fallthrough

@@ -1,0 +1,82 @@
+"""Translation cache: guest entry address -> translated block.
+
+The software analogue of Hybrid-DBT's code memory.  First-pass
+translations can later be *replaced* by optimized superblocks for the
+same entry; the cache keeps both generations' statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from ..vliw.block import TranslatedBlock
+
+
+@dataclass
+class TranslationCacheStats:
+    """Lookup and installation counters."""
+
+    lookups: int = 0
+    misses: int = 0
+    installs: int = 0
+    replacements: int = 0
+    #: Whole-cache flushes forced by the capacity limit.
+    capacity_flushes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return (self.lookups - self.misses) / self.lookups if self.lookups else 0.0
+
+
+class TranslationCache:
+    """Address-keyed store of translated blocks.
+
+    ``capacity`` bounds the number of cached translations, modelling the
+    fixed code-cache memory of a real DBT.  Like most production DBTs
+    (which avoid the bookkeeping of partial eviction), hitting the limit
+    flushes the whole cache; hot code simply retranslates.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("translation cache capacity must be positive")
+        self.capacity = capacity
+        self._blocks: Dict[int, TranslatedBlock] = {}
+        self.stats = TranslationCacheStats()
+
+    def lookup(self, entry: int) -> Optional[TranslatedBlock]:
+        self.stats.lookups += 1
+        block = self._blocks.get(entry)
+        if block is None:
+            self.stats.misses += 1
+        return block
+
+    def install(self, block: TranslatedBlock) -> None:
+        if block.guest_entry in self._blocks:
+            self.stats.replacements += 1
+        elif self.capacity is not None and len(self._blocks) >= self.capacity:
+            self._blocks.clear()
+            self.stats.capacity_flushes += 1
+        self.stats.installs += 1
+        self._blocks[block.guest_entry] = block
+
+    def get(self, entry: int) -> Optional[TranslatedBlock]:
+        """Untracked lookup (inspection)."""
+        return self._blocks.get(entry)
+
+    def invalidate(self, entry: int) -> bool:
+        """Drop one translation; returns whether it existed."""
+        return self._blocks.pop(entry, None) is not None
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, entry: int) -> bool:
+        return entry in self._blocks
+
+    def blocks(self) -> Iterator[TranslatedBlock]:
+        return iter(self._blocks.values())

@@ -1,0 +1,222 @@
+"""Static legality verifier for scheduled blocks.
+
+Given the IR a block was scheduled from and the resulting
+:class:`TranslatedBlock`, :func:`check_schedule` re-derives the
+dependence graph and verifies that the schedule could only have been
+produced by *legal* speculation:
+
+* every non-relaxable edge is respected (with its minimum bundle
+  distance);
+* a load moved above a store it depends on carries the speculative
+  opcode and an MCB tag whose release store is the last bypassed store;
+* an instruction moved above a trace exit either writes a hidden
+  register or writes nothing architectural;
+* the number of simultaneously live MCB entries never exceeds the
+  machine's MCB capacity.
+
+The verifier is used by the property-based scheduler tests and is
+exported as a public API so downstream users can sanity-check custom
+scheduler changes (`repro.dbt.verify.check_schedule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..vliw.block import TranslatedBlock
+from ..vliw.config import VliwConfig
+from ..vliw.isa import VliwOp, VliwOpcode
+from .ir import DepKind, IRBlock
+
+
+class ScheduleViolation(AssertionError):
+    """Raised when a translated block violates a scheduling invariant."""
+
+
+@dataclass
+class _Placed:
+    """One scheduled op with its position."""
+
+    op: VliwOp
+    bundle: int
+    slot: int
+
+
+def _positions(block: TranslatedBlock) -> List[_Placed]:
+    placed = []
+    for bundle_index, bundle in enumerate(block.bundles):
+        for slot, op in enumerate(bundle):
+            placed.append(_Placed(op, bundle_index, slot))
+    return placed
+
+
+def _match_ops_to_ir(ir: IRBlock, placed: Sequence[_Placed],
+                     config: VliwConfig) -> List[Optional[_Placed]]:
+    """Map each IR instruction to its scheduled op.
+
+    The scheduler may rename destinations (hidden registers) and insert
+    commit MOVs, so matching keys on (opcode class, sources-or-hidden,
+    immediates, guest origin).  Commit MOVs and renamed instructions are
+    tolerated; a missing non-renameable instruction is a violation.
+    """
+    from .codegen import vliw_op_from_ir
+
+    remaining = list(placed)
+    mapping: List[Optional[_Placed]] = []
+    for index, inst in enumerate(ir.instructions):
+        expected = vliw_op_from_ir(inst)
+        found = None
+        for candidate in remaining:
+            op = candidate.op
+            if op.opcode is not expected.opcode:
+                continue
+            if op.opcode is VliwOpcode.ALU and op.alu_op != expected.alu_op:
+                continue
+            if (op.imm, op.width, op.condition, op.target) != (
+                expected.imm, expected.width, expected.condition, expected.target,
+            ):
+                continue
+            if op.origin != expected.origin:
+                continue
+            # Sources must match up to hidden-register renaming.
+            ok = True
+            for got, want in zip(op.sources(), expected.sources()):
+                if got != want and got < 32:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            # Destination must match or be a hidden register.
+            if expected.dest is not None and op.dest != expected.dest:
+                if op.dest is None or op.dest < 32:
+                    continue
+            found = candidate
+            break
+        if found is not None:
+            remaining.remove(found)
+        mapping.append(found)
+    return mapping
+
+
+def check_schedule(ir: IRBlock, block: TranslatedBlock,
+                   config: Optional[VliwConfig] = None) -> None:
+    """Verify that ``block`` is a legal schedule of ``ir``.
+
+    Raises :class:`ScheduleViolation` on the first problem found.
+    """
+    config = config or VliwConfig()
+    placed = _positions(block)
+    mapping = _match_ops_to_ir(ir, placed, config)
+
+    for index, (inst, slot) in enumerate(zip(ir.instructions, mapping)):
+        if slot is None:
+            raise ScheduleViolation(
+                "IR instruction %d (%s) has no scheduled counterpart"
+                % (index, inst.describe())
+            )
+
+    # 1. Non-relaxable edges respected.
+    for edge in ir.dependences():
+        src = mapping[edge.src]
+        dst = mapping[edge.dst]
+        if src is None or dst is None:
+            continue
+        if edge.relaxable:
+            self_check = _relaxed_edge_ok(edge, src, dst)
+            if not self_check:
+                raise ScheduleViolation(
+                    "illegally relaxed %s edge %d->%d without speculation "
+                    "markers" % (edge.kind.value, edge.src, edge.dst)
+                )
+            continue
+        if edge.kind in (DepKind.OUTPUT, DepKind.ANTI):
+            # Register WAW/WAR hazards disappear when the conflicting
+            # definition was renamed onto a hidden register (the pinned
+            # commit MOV then carries the architectural ordering), or —
+            # for WAR — when the *reader* was rewritten to read a hidden
+            # register instead of the architectural one.
+            if _definition_renamed(ir, edge.src, src) or _definition_renamed(
+                ir, edge.dst, dst,
+            ):
+                continue
+            if edge.kind is DepKind.ANTI and _sources_renamed(ir, edge.src, src):
+                continue
+        if dst.bundle - src.bundle < edge.min_delay:
+            raise ScheduleViolation(
+                "enforced %s edge %d->%d violated: bundles %d -> %d "
+                "(min delay %d)" % (
+                    edge.kind.value, edge.src, edge.dst,
+                    src.bundle, dst.bundle, edge.min_delay,
+                )
+            )
+
+    # 2. MCB capacity: live speculative entries at any store.
+    _check_mcb_liveness(block, config)
+
+    # 3. Slot legality of every bundle.
+    from ..vliw.bundle import fits
+    for bundle_index, bundle in enumerate(block.bundles):
+        if not fits(list(bundle), config):
+            raise ScheduleViolation(
+                "bundle %d exceeds machine issue capabilities" % bundle_index
+            )
+
+
+def _definition_renamed(ir: IRBlock, index: int, placed: _Placed) -> bool:
+    """Whether IR instruction ``index``'s definition was renamed onto a
+    hidden register in the schedule."""
+    defined = ir.instructions[index].defines()
+    if defined is None:
+        return False
+    dest = placed.op.destination()
+    return dest is not None and dest != defined and dest >= 32
+
+
+def _sources_renamed(ir: IRBlock, index: int, placed: _Placed) -> bool:
+    """Whether any architectural source of IR instruction ``index`` was
+    rewritten to a hidden register in the schedule."""
+    expected = ir.instructions[index]
+    wanted = [reg for reg in (expected.src1, expected.src2) if reg is not None]
+    got = list(placed.op.sources())
+    for want, have in zip(wanted, got):
+        if have != want and have >= 32:
+            return True
+    return False
+
+
+def _relaxed_edge_ok(edge, src: _Placed, dst: _Placed) -> bool:
+    """A relaxable edge may be broken only with the right machinery."""
+    if dst.bundle > src.bundle:
+        return True  # not actually relaxed
+    if edge.kind is DepKind.MEM:
+        # Load above (or beside) a store: must be MCB-speculative...
+        if dst.op.opcode is VliwOpcode.LOAD and dst.op.speculative:
+            return True
+        # ...unless it shares the store's bundle and executes after it in
+        # slot order is impossible (slot order == emission order); treat
+        # same-bundle non-speculative as illegal.
+        return False
+    if edge.kind is DepKind.CTRL:
+        # Hoisted above an exit: must not touch architectural state.
+        dest = dst.op.destination()
+        return dest is None or dest >= 32
+    return False
+
+
+def _check_mcb_liveness(block: TranslatedBlock, config: VliwConfig) -> None:
+    live: Dict[int, int] = {}
+    peak = 0
+    for bundle in block.bundles:
+        for op in bundle:
+            if op.opcode is VliwOpcode.STORE:
+                for tag in op.mcb_releases:
+                    live.pop(tag, None)
+            if op.opcode is VliwOpcode.LOAD and op.speculative:
+                live[op.spec_tag] = 1
+                peak = max(peak, len(live))
+    if peak > config.mcb_entries:
+        raise ScheduleViolation(
+            "schedule keeps %d speculative loads live, MCB holds %d"
+            % (peak, config.mcb_entries)
+        )

@@ -1,0 +1,40 @@
+"""Functional reference interpreter (the correctness oracle).
+
+Runs guest binaries with exact RV64IM semantics and no micro-architecture;
+the DBT+VLIW platform must always reach the same architectural state.
+"""
+
+from .alu import OPERATIONS, apply
+from .executor import (
+    ExecutionError,
+    GuestTrap,
+    Interpreter,
+    InterpreterConfig,
+    RunResult,
+    SYSCALL_EXIT,
+    SYSCALL_WRITE,
+    run_program,
+)
+from .memory import Memory, MemoryError_, PAGE_SIZE
+from .state import ArchState, MASK64, sign_extend32, to_signed, to_unsigned
+
+__all__ = [
+    "ArchState",
+    "ExecutionError",
+    "GuestTrap",
+    "Interpreter",
+    "InterpreterConfig",
+    "MASK64",
+    "Memory",
+    "MemoryError_",
+    "OPERATIONS",
+    "PAGE_SIZE",
+    "RunResult",
+    "SYSCALL_EXIT",
+    "SYSCALL_WRITE",
+    "apply",
+    "run_program",
+    "sign_extend32",
+    "to_signed",
+    "to_unsigned",
+]

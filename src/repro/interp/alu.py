@@ -1,0 +1,180 @@
+"""Shared integer ALU semantics.
+
+Both the functional interpreter and the VLIW pipeline need the exact same
+arithmetic; keeping it in one table prevents semantic drift between the
+reference model and the platform under test.  Every function maps two
+64-bit unsigned operands to a 64-bit unsigned result, following the
+RV64IM specification (including the division corner cases).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .state import MASK64, sign_extend32, to_signed, to_unsigned
+
+BinOp = Callable[[int, int], int]
+
+_INT64_MIN = -(1 << 63)
+_INT32_MIN = -(1 << 31)
+
+
+def _add(a: int, b: int) -> int:
+    return (a + b) & MASK64
+
+
+def _sub(a: int, b: int) -> int:
+    return (a - b) & MASK64
+
+
+def _sll(a: int, b: int) -> int:
+    return (a << (b & 63)) & MASK64
+
+
+def _srl(a: int, b: int) -> int:
+    return a >> (b & 63)
+
+
+def _sra(a: int, b: int) -> int:
+    return to_unsigned(to_signed(a) >> (b & 63))
+
+
+def _slt(a: int, b: int) -> int:
+    return 1 if to_signed(a) < to_signed(b) else 0
+
+
+def _sltu(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _or(a: int, b: int) -> int:
+    return a | b
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _addw(a: int, b: int) -> int:
+    return sign_extend32(a + b)
+
+
+def _subw(a: int, b: int) -> int:
+    return sign_extend32(a - b)
+
+
+def _sllw(a: int, b: int) -> int:
+    return sign_extend32(a << (b & 31))
+
+
+def _srlw(a: int, b: int) -> int:
+    return sign_extend32((a & 0xFFFFFFFF) >> (b & 31))
+
+
+def _sraw(a: int, b: int) -> int:
+    return sign_extend32(to_signed(a, 32) >> (b & 31))
+
+
+def _mul(a: int, b: int) -> int:
+    return (a * b) & MASK64
+
+
+def _mulh(a: int, b: int) -> int:
+    return to_unsigned((to_signed(a) * to_signed(b)) >> 64)
+
+
+def _mulhsu(a: int, b: int) -> int:
+    return to_unsigned((to_signed(a) * b) >> 64)
+
+
+def _mulhu(a: int, b: int) -> int:
+    return (a * b) >> 64
+
+
+def _div(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return MASK64  # all ones == -1
+    if sa == _INT64_MIN and sb == -1:
+        return to_unsigned(_INT64_MIN)
+    # RISC-V divides truncate toward zero.
+    return to_unsigned(int(sa / sb) if sb else 0)
+
+
+def _divu(a: int, b: int) -> int:
+    if b == 0:
+        return MASK64
+    return a // b
+
+
+def _rem(a: int, b: int) -> int:
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return a
+    if sa == _INT64_MIN and sb == -1:
+        return 0
+    return to_unsigned(sa - int(sa / sb) * sb)
+
+
+def _remu(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    return a % b
+
+
+def _mulw(a: int, b: int) -> int:
+    return sign_extend32(a * b)
+
+
+def _divw(a: int, b: int) -> int:
+    sa, sb = to_signed(a, 32), to_signed(b, 32)
+    if sb == 0:
+        return MASK64
+    if sa == _INT32_MIN and sb == -1:
+        return to_unsigned(_INT32_MIN)
+    return sign_extend32(int(sa / sb))
+
+
+def _divuw(a: int, b: int) -> int:
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    if ub == 0:
+        return MASK64
+    return sign_extend32(ua // ub)
+
+
+def _remw(a: int, b: int) -> int:
+    sa, sb = to_signed(a, 32), to_signed(b, 32)
+    if sb == 0:
+        return sign_extend32(sa)
+    if sa == _INT32_MIN and sb == -1:
+        return 0
+    return sign_extend32(sa - int(sa / sb) * sb)
+
+
+def _remuw(a: int, b: int) -> int:
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    if ub == 0:
+        return sign_extend32(ua)
+    return sign_extend32(ua % ub)
+
+
+#: Operation name -> semantics.  Names match RISC-V mnemonics; the VLIW
+#: ISA reuses the same names for its ALU opcodes.
+OPERATIONS: Dict[str, BinOp] = {
+    "add": _add, "sub": _sub, "sll": _sll, "slt": _slt, "sltu": _sltu,
+    "xor": _xor, "srl": _srl, "sra": _sra, "or": _or, "and": _and,
+    "addw": _addw, "subw": _subw, "sllw": _sllw, "srlw": _srlw, "sraw": _sraw,
+    "mul": _mul, "mulh": _mulh, "mulhsu": _mulhsu, "mulhu": _mulhu,
+    "div": _div, "divu": _divu, "rem": _rem, "remu": _remu,
+    "mulw": _mulw, "divw": _divw, "divuw": _divuw, "remw": _remw,
+    "remuw": _remuw,
+}
+
+
+def apply(op: str, a: int, b: int) -> int:
+    """Apply ALU operation ``op`` to unsigned 64-bit operands."""
+    return OPERATIONS[op](a & MASK64, b & MASK64)

@@ -1,0 +1,231 @@
+"""Functional reference interpreter for guest programs.
+
+Executes RV64IM guest binaries instruction-at-a-time with no timing model
+beyond an instruction counter.  It is the correctness oracle for the DBT
+platform: every kernel and attack binary is run here first and the final
+memory / register image compared against the VLIW execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa.decoding import decode
+from ..isa.instruction import Instruction
+from ..isa.opcodes import CSR_CYCLE, CSR_INSTRET, CSR_TIME, Mnemonic, SIGNED_LOADS
+from ..isa.program import DEFAULT_STACK_TOP, Program
+from .alu import apply as alu_apply
+from .memory import Memory
+from .state import ArchState, MASK64, to_signed
+
+#: Linux-flavoured syscall numbers honoured by the ``ecall`` handler.
+SYSCALL_EXIT = 93
+SYSCALL_WRITE = 64
+
+
+class ExecutionError(Exception):
+    """Raised on invalid execution (bad fetch, unknown syscall...)."""
+
+
+class GuestTrap(Exception):
+    """Raised when the guest executes ``ebreak``."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a completed interpreter run."""
+
+    exit_code: int
+    instructions: int
+    cycles: int
+    output: bytes = b""
+
+
+@dataclass
+class InterpreterConfig:
+    """Tunables for the reference interpreter."""
+
+    stack_top: int = DEFAULT_STACK_TOP
+    #: Abort runs longer than this many instructions (guards against
+    #: accidental infinite loops in tests).
+    max_instructions: int = 50_000_000
+
+
+class Interpreter:
+    """Instruction-at-a-time functional executor."""
+
+    def __init__(self, program: Program, config: Optional[InterpreterConfig] = None):
+        self.program = program
+        self.config = config or InterpreterConfig()
+        self.memory = Memory()
+        for base, image in program.segments():
+            self.memory.load_image(base, image)
+        self.state = ArchState(pc=program.entry)
+        self.state.write(2, self.config.stack_top)  # sp
+        self.exited = False
+        self.exit_code = 0
+        self.output = bytearray()
+        self._decoded: Dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------------
+    # Fetch / decode.
+    # ------------------------------------------------------------------
+
+    def _fetch(self, pc: int) -> Instruction:
+        inst = self._decoded.get(pc)
+        if inst is None:
+            if pc % 4:
+                raise ExecutionError("misaligned pc: %#x" % pc)
+            word = self.memory.load_int(pc, 4)
+            try:
+                inst = decode(word, address=pc)
+            except ValueError as exc:
+                raise ExecutionError(
+                    "cannot decode word %#010x at pc %#x: %s" % (word, pc, exc)
+                ) from exc
+            self._decoded[pc] = inst
+        return inst
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.exited:
+            raise ExecutionError("stepping an exited guest")
+        state = self.state
+        inst = self._fetch(state.pc)
+        next_pc = state.pc + 4
+        mnemonic = inst.mnemonic
+        name = mnemonic.value
+
+        if name in _ALU_REG_OPS:
+            state.write(inst.rd, alu_apply(name, state.read(inst.rs1), state.read(inst.rs2)))
+        elif mnemonic in _ALU_IMM_MAP:
+            op = _ALU_IMM_MAP[mnemonic]
+            state.write(inst.rd, alu_apply(op, state.read(inst.rs1), inst.imm & MASK64))
+        elif inst.is_load:
+            address = (state.read(inst.rs1) + inst.imm) & MASK64
+            width = inst.access_width
+            signed = mnemonic in SIGNED_LOADS
+            value = self.memory.load_int(address, width, signed=signed)
+            state.write(inst.rd, value & MASK64)
+        elif inst.is_store:
+            address = (state.read(inst.rs1) + inst.imm) & MASK64
+            self.memory.store_int(address, state.read(inst.rs2), inst.access_width)
+        elif mnemonic is Mnemonic.LUI:
+            state.write(inst.rd, (inst.imm << 12) & MASK64)
+        elif mnemonic is Mnemonic.AUIPC:
+            state.write(inst.rd, (state.pc + (inst.imm << 12)) & MASK64)
+        elif mnemonic is Mnemonic.JAL:
+            state.write(inst.rd, next_pc)
+            next_pc = (state.pc + inst.imm) & MASK64
+        elif mnemonic is Mnemonic.JALR:
+            target = (state.read(inst.rs1) + inst.imm) & MASK64 & ~1
+            state.write(inst.rd, next_pc)
+            next_pc = target
+        elif inst.is_branch:
+            if self._branch_taken(inst):
+                next_pc = (state.pc + inst.imm) & MASK64
+        elif mnemonic is Mnemonic.FENCE or mnemonic is Mnemonic.CFLUSH:
+            pass  # No cache in the functional model.
+        elif mnemonic is Mnemonic.ECALL:
+            self._ecall()
+        elif mnemonic is Mnemonic.EBREAK:
+            raise GuestTrap("ebreak at pc %#x" % state.pc)
+        elif mnemonic in (Mnemonic.CSRRW, Mnemonic.CSRRS, Mnemonic.CSRRC):
+            state.write(inst.rd, self._read_csr(inst.imm))
+        else:  # pragma: no cover - table covers the full ISA
+            raise ExecutionError("unimplemented mnemonic: %s" % name)
+
+        state.instret += 1
+        state.cycles += 1
+        if not self.exited:
+            state.pc = next_pc
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        a = self.state.read(inst.rs1)
+        b = self.state.read(inst.rs2)
+        mnemonic = inst.mnemonic
+        if mnemonic is Mnemonic.BEQ:
+            return a == b
+        if mnemonic is Mnemonic.BNE:
+            return a != b
+        if mnemonic is Mnemonic.BLT:
+            return to_signed(a) < to_signed(b)
+        if mnemonic is Mnemonic.BGE:
+            return to_signed(a) >= to_signed(b)
+        if mnemonic is Mnemonic.BLTU:
+            return a < b
+        return a >= b  # BGEU
+
+    def _read_csr(self, csr: int) -> int:
+        if csr in (CSR_CYCLE, CSR_TIME):
+            return self.state.cycles & MASK64
+        if csr == CSR_INSTRET:
+            return self.state.instret & MASK64
+        raise ExecutionError("unsupported CSR: %#x" % csr)
+
+    def _ecall(self) -> None:
+        number = self.state.read(17)  # a7
+        if number == SYSCALL_EXIT:
+            self.exited = True
+            self.exit_code = to_signed(self.state.read(10), 32)
+        elif number == SYSCALL_WRITE:
+            address = self.state.read(11)  # a1
+            length = self.state.read(12)  # a2
+            self.output += self.memory.load_bytes(address, length)
+            self.state.write(10, length)
+        else:
+            raise ExecutionError("unknown syscall: %d" % number)
+
+    def run(self, max_instructions: Optional[int] = None) -> RunResult:
+        """Run until the guest exits (or the instruction budget is hit)."""
+        budget = max_instructions or self.config.max_instructions
+        while not self.exited:
+            if self.state.instret >= budget:
+                raise ExecutionError(
+                    "instruction budget exhausted (%d) at pc %#x"
+                    % (budget, self.state.pc)
+                )
+            self.step()
+        return RunResult(
+            exit_code=self.exit_code,
+            instructions=self.state.instret,
+            cycles=self.state.cycles,
+            output=bytes(self.output),
+        )
+
+
+#: R-type ops whose semantics live in the shared ALU table.
+_ALU_REG_OPS = frozenset(op for op in (
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "addw", "subw", "sllw", "srlw", "sraw",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+    "mulw", "divw", "divuw", "remw", "remuw",
+))
+
+#: Immediate-form mnemonics -> ALU op name.
+_ALU_IMM_MAP = {
+    Mnemonic.ADDI: "add",
+    Mnemonic.SLTI: "slt",
+    Mnemonic.SLTIU: "sltu",
+    Mnemonic.XORI: "xor",
+    Mnemonic.ORI: "or",
+    Mnemonic.ANDI: "and",
+    Mnemonic.SLLI: "sll",
+    Mnemonic.SRLI: "srl",
+    Mnemonic.SRAI: "sra",
+    Mnemonic.ADDIW: "addw",
+    Mnemonic.SLLIW: "sllw",
+    Mnemonic.SRLIW: "srlw",
+    Mnemonic.SRAIW: "sraw",
+}
+
+
+def run_program(program: Program, **config_kwargs) -> RunResult:
+    """One-shot convenience: interpret ``program`` to completion."""
+    interpreter = Interpreter(program, InterpreterConfig(**config_kwargs) if config_kwargs else None)
+    return interpreter.run()

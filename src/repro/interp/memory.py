@@ -1,0 +1,112 @@
+"""Flat byte-addressable guest memory.
+
+Sparse page-backed memory shared by the functional interpreter and the
+VLIW platform (where it sits behind the simulated data cache).  All
+accesses are little-endian; unwritten memory reads as zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryError_(Exception):
+    """Raised on malformed accesses (bad width, negative address)."""
+
+
+class Memory:
+    """Sparse flat memory with little-endian scalar accessors."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page_for(self, address: int) -> bytearray:
+        page_number = address >> PAGE_SHIFT
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # ------------------------------------------------------------------
+    # Byte-granularity primitives.
+    # ------------------------------------------------------------------
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``address``."""
+        if address < 0 or size < 0:
+            raise MemoryError_("bad access: address=%r size=%r" % (address, size))
+        out = bytearray(size)
+        position = 0
+        while position < size:
+            current = address + position
+            offset = current & PAGE_MASK
+            chunk = min(size - position, PAGE_SIZE - offset)
+            page = self._pages.get(current >> PAGE_SHIFT)
+            if page is not None:
+                out[position:position + chunk] = page[offset:offset + chunk]
+            position += chunk
+        return bytes(out)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        if address < 0:
+            raise MemoryError_("bad access: address=%r" % address)
+        position = 0
+        size = len(data)
+        while position < size:
+            current = address + position
+            offset = current & PAGE_MASK
+            chunk = min(size - position, PAGE_SIZE - offset)
+            page = self._page_for(current)
+            page[offset:offset + chunk] = data[position:position + chunk]
+            position += chunk
+
+    # ------------------------------------------------------------------
+    # Scalar accessors.
+    # ------------------------------------------------------------------
+
+    def load_int(self, address: int, width: int, signed: bool = False) -> int:
+        """Read a ``width``-byte little-endian integer."""
+        if width not in (1, 2, 4, 8):
+            raise MemoryError_("bad access width: %r" % width)
+        return int.from_bytes(self.load_bytes(address, width), "little", signed=signed)
+
+    def store_int(self, address: int, value: int, width: int) -> None:
+        """Write a ``width``-byte little-endian integer (value is masked)."""
+        if width not in (1, 2, 4, 8):
+            raise MemoryError_("bad access width: %r" % width)
+        mask = (1 << (width * 8)) - 1
+        self.store_bytes(address, (value & mask).to_bytes(width, "little"))
+
+    # ------------------------------------------------------------------
+    # Bulk helpers.
+    # ------------------------------------------------------------------
+
+    def load_image(self, base: int, image: bytes) -> None:
+        """Copy a program segment into memory."""
+        self.store_bytes(base, image)
+
+    def pages(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate (page base address, page contents) for populated pages."""
+        for page_number in sorted(self._pages):
+            yield page_number << PAGE_SHIFT, bytes(self._pages[page_number])
+
+    def snapshot(self) -> "Memory":
+        """Deep copy, used by rollback tests and the MCB recovery path."""
+        clone = Memory()
+        clone._pages = {number: bytearray(page) for number, page in self._pages.items()}
+        return clone
+
+    def equal_contents(self, other: "Memory") -> bool:
+        """Whether both memories hold identical data (zero pages ignored)."""
+        zero = bytes(PAGE_SIZE)
+        mine = {n: bytes(p) for n, p in self._pages.items() if bytes(p) != zero}
+        theirs = {n: bytes(p) for n, p in other._pages.items() if bytes(p) != zero}
+        return mine == theirs

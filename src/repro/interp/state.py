@@ -1,0 +1,84 @@
+"""Architectural state of the guest: register file, PC, counters.
+
+The state is deliberately minimal: 32 64-bit integer registers (x0
+hardwired to zero), the program counter, and the cycle / retired
+instruction counters exposed through the ``cycle`` / ``instret`` CSRs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.registers import NUM_REGISTERS, register_name
+
+MASK64 = (1 << 64) - 1
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Reinterpret an unsigned ``bits``-wide value as signed."""
+    sign_bit = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Truncate a Python int to an unsigned ``bits``-wide value."""
+    return value & ((1 << bits) - 1)
+
+
+def sign_extend32(value: int) -> int:
+    """Sign-extend the low 32 bits of ``value`` to 64 bits (unsigned repr)."""
+    return to_unsigned(to_signed(value, 32), 64)
+
+
+class ArchState:
+    """Guest-visible architectural state."""
+
+    __slots__ = ("regs", "pc", "cycles", "instret")
+
+    def __init__(self, pc: int = 0) -> None:
+        self.regs: List[int] = [0] * NUM_REGISTERS
+        self.pc = pc
+        self.cycles = 0
+        self.instret = 0
+
+    def read(self, index: int) -> int:
+        """Read register ``index`` (x0 always reads zero)."""
+        return self.regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write register ``index``; writes to x0 are discarded."""
+        if index != 0:
+            self.regs[index] = value & MASK64
+
+    def copy(self) -> "ArchState":
+        """Snapshot for rollback / comparison."""
+        clone = ArchState(self.pc)
+        clone.regs = list(self.regs)
+        clone.cycles = self.cycles
+        clone.instret = self.instret
+        return clone
+
+    def same_registers(self, other: "ArchState") -> bool:
+        """Whether the architectural registers match (counters ignored)."""
+        return self.regs == other.regs
+
+    def diff(self, other: "ArchState") -> List[str]:
+        """Human-readable register differences against ``other``."""
+        lines = []
+        for index in range(NUM_REGISTERS):
+            if self.regs[index] != other.regs[index]:
+                lines.append(
+                    "%s: %#x != %#x"
+                    % (register_name(index), self.regs[index], other.regs[index])
+                )
+        if self.pc != other.pc:
+            lines.append("pc: %#x != %#x" % (self.pc, other.pc))
+        return lines
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Pretty-print the register file."""
+        count = NUM_REGISTERS if limit is None else limit
+        return "\n".join(
+            "%-5s = %#018x" % (register_name(i), self.regs[i]) for i in range(count)
+        )

@@ -1,0 +1,100 @@
+"""Guest instruction set: RV64IM subset plus ``rdcycle`` and ``cflush``.
+
+This package is the guest-side toolchain of the reproduction: instruction
+model, binary encoder/decoder, two-pass assembler and disassembler.  The
+paper's attacks and benchmarks are all expressed as guest programs built
+with these tools.
+"""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .container import (
+    ContainerError,
+    from_bytes,
+    is_container,
+    load_program,
+    save_program,
+    to_bytes,
+)
+from .decoding import DecodingError, decode, decode_bytes
+from .disassembler import disassemble_program, disassemble_word, dump
+from .encoding import EncodingError, encode, encode_bytes
+from .instruction import Instruction, format_instruction
+from .opcodes import (
+    BRANCH_MNEMONICS,
+    CSR_CYCLE,
+    CSR_INSTRET,
+    Format,
+    InstructionSpec,
+    JUMP_MNEMONICS,
+    LOAD_MNEMONICS,
+    Mnemonic,
+    SPECS,
+    STORE_MNEMONICS,
+    is_branch,
+    is_control_flow,
+    is_jump,
+    is_load,
+    is_store,
+)
+from .program import (
+    DEFAULT_DATA_BASE,
+    DEFAULT_STACK_TOP,
+    DEFAULT_TEXT_BASE,
+    Program,
+    SymbolError,
+)
+from .registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    UnknownRegisterError,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "ABI_NAMES",
+    "Assembler",
+    "AssemblerError",
+    "BRANCH_MNEMONICS",
+    "ContainerError",
+    "CSR_CYCLE",
+    "CSR_INSTRET",
+    "DEFAULT_DATA_BASE",
+    "DEFAULT_STACK_TOP",
+    "DEFAULT_TEXT_BASE",
+    "DecodingError",
+    "EncodingError",
+    "Format",
+    "Instruction",
+    "InstructionSpec",
+    "JUMP_MNEMONICS",
+    "LOAD_MNEMONICS",
+    "Mnemonic",
+    "NUM_REGISTERS",
+    "Program",
+    "SPECS",
+    "STORE_MNEMONICS",
+    "SymbolError",
+    "UnknownRegisterError",
+    "assemble",
+    "decode",
+    "decode_bytes",
+    "disassemble_program",
+    "disassemble_word",
+    "dump",
+    "encode",
+    "encode_bytes",
+    "format_instruction",
+    "from_bytes",
+    "is_container",
+    "is_branch",
+    "is_control_flow",
+    "is_jump",
+    "is_load",
+    "is_store",
+    "load_program",
+    "parse_register",
+    "register_name",
+    "save_program",
+    "to_bytes",
+]

@@ -1,0 +1,848 @@
+"""Two-pass assembler for the RV64IM guest ISA.
+
+The assembler turns assembly text into a linked :class:`~repro.isa.program.Program`
+containing real encoded instruction words.  It supports:
+
+* sections ``.text`` / ``.data`` with labels in either section;
+* data directives ``.byte``, ``.half``, ``.word``, ``.dword`` (aka
+  ``.quad``), ``.space``/``.zero``, ``.align``, ``.asciz``/``.string``;
+  ``.dword`` accepts symbolic values (``sym`` or ``sym+imm``), which is
+  how pointer tables (Section V-B's array-of-pointers matmul) are built;
+* named constants via ``.equ name, value``;
+* the standard pseudo-instructions ``nop``, ``li``, ``la``, ``mv``,
+  ``not``, ``neg``, ``seqz``, ``snez``, ``j``, ``jr``, ``ret``, ``call``,
+  ``tail``, ``beqz``, ``bnez``, ``blez``, ``bgez``, ``bltz``, ``bgtz``,
+  ``bgt``, ``ble``, ``bgtu``, ``bleu``, ``rdcycle``;
+* ``#`` and ``;`` end-of-line comments.
+
+Entry point is the ``_start`` symbol when defined, otherwise the start of
+``.text``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .encoding import encode_bytes
+from .instruction import Instruction
+from .opcodes import CSR_CYCLE, CSR_INSTRET, Format, Mnemonic, MNEMONIC_BY_NAME, SPECS
+from .program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
+from .registers import parse_register
+
+
+class AssemblerError(ValueError):
+    """Raised on any assembly-language error, with line context."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+#: An immediate operand that may reference a symbol: (symbol, addend) or int.
+SymValue = Union[int, Tuple[str, int]]
+
+
+@dataclass
+class _PendingInstruction:
+    """An instruction awaiting symbol resolution in pass 2."""
+
+    mnemonic: Mnemonic
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: SymValue = 0
+    #: How a symbolic immediate is materialised: 'abs', 'pcrel', 'hi', 'lo'.
+    reloc: str = "abs"
+    line: int = 0
+    address: int = 0
+
+
+@dataclass
+class _DataItem:
+    """A datum awaiting symbol resolution in pass 2."""
+
+    width: int
+    value: SymValue
+    line: int = 0
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYM_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)$")
+_SYM_ADDEND_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*([+-])\s*(\d+|0[xX][0-9a-fA-F]+)$")
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(\s*([\w$]+)\s*\)$")
+_RELOC_RE = re.compile(r"^%(hi|lo)\((.+)\)$")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas, respecting string literals."""
+    operands: List[str] = []
+    current = []
+    in_string = False
+    escape = False
+    for char in text:
+        if in_string:
+            current.append(char)
+            if escape:
+                escape = False
+            elif char == "\\":
+                escape = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current.append(char)
+        elif char == ",":
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def _parse_int(text: str) -> Optional[int]:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` objects."""
+
+    def __init__(
+        self,
+        text_base: int = DEFAULT_TEXT_BASE,
+        data_base: int = DEFAULT_DATA_BASE,
+    ):
+        self.text_base = text_base
+        self.data_base = data_base
+        self._reset()
+
+    def _reset(self) -> None:
+        self._symbols: Dict[str, int] = {}
+        self._equates: Dict[str, int] = {}
+        self._pending: List[_PendingInstruction] = []
+        self._data_items: List[_DataItem] = []
+        self._text_cursor = self.text_base
+        self._data_cursor = self.data_base
+        self._section = "text"
+        self._line_number = 0
+
+    # ------------------------------------------------------------------
+    # Public entry point.
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` into a linked :class:`Program`."""
+        self._reset()
+        for raw_line in source.splitlines():
+            self._line_number += 1
+            self._process_line(raw_line)
+        return self._link()
+
+    # ------------------------------------------------------------------
+    # Pass 1: parsing, layout, pseudo-expansion.
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> AssemblerError:
+        return AssemblerError(message, self._line_number)
+
+    def _process_line(self, raw_line: str) -> None:
+        line = raw_line.split("#", 1)[0]
+        # ';' also starts a comment unless inside a string literal.
+        if ";" in line and '"' not in line:
+            line = line.split(";", 1)[0]
+        line = line.strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            self._define_label(match.group(1))
+            line = line[match.end():].strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._process_directive(line)
+        else:
+            self._process_instruction(line)
+
+    def _define_label(self, name: str) -> None:
+        if name in self._symbols or name in self._equates:
+            raise self._error("duplicate symbol: %r" % name)
+        cursor = self._text_cursor if self._section == "text" else self._data_cursor
+        self._symbols[name] = cursor
+
+    def _process_directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        argument_text = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(argument_text) if argument_text else []
+        handler = self._DIRECTIVES.get(name)
+        if handler is None:
+            raise self._error("unknown directive: %s" % name)
+        handler(self, operands)
+
+    def _require_data_section(self, directive: str) -> None:
+        if self._section != "data":
+            raise self._error("%s only allowed in .data section" % directive)
+
+    def _dir_text(self, operands: Sequence[str]) -> None:
+        self._section = "text"
+
+    def _dir_data(self, operands: Sequence[str]) -> None:
+        self._section = "data"
+
+    def _dir_global(self, operands: Sequence[str]) -> None:
+        # Visibility is meaningless in a fully linked image; accepted for
+        # compatibility with compiler output.
+        return None
+
+    def _dir_equ(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error(".equ takes a name and a value")
+        name = operands[0]
+        if not _SYM_RE.match(name):
+            raise self._error("bad .equ name: %r" % name)
+        if name in self._symbols or name in self._equates:
+            raise self._error("duplicate symbol: %r" % name)
+        value = self._eval_constant(operands[1])
+        self._equates[name] = value
+
+    def _eval_constant(self, text: str) -> int:
+        """Evaluate a pass-1 constant: integer literal or known equate."""
+        value = _parse_int(text)
+        if value is not None:
+            return value
+        name = text.strip()
+        if name in self._equates:
+            return self._equates[name]
+        raise self._error("cannot evaluate constant: %r" % text)
+
+    def _emit_data(self, width: int, value: SymValue) -> None:
+        self._require_data_section(".byte/.half/.word/.dword")
+        self._data_items.append(_DataItem(width, value, self._line_number))
+        self._data_cursor += width
+
+    def _dir_int(self, width: int, operands: Sequence[str]) -> None:
+        if not operands:
+            raise self._error("data directive needs at least one value")
+        for operand in operands:
+            value = _parse_int(operand)
+            if value is not None:
+                self._emit_data(width, value)
+                continue
+            if operand in self._equates:
+                self._emit_data(width, self._equates[operand])
+                continue
+            symbolic = self._parse_symbolic(operand)
+            if symbolic is None:
+                raise self._error("bad data value: %r" % operand)
+            if width != 8:
+                raise self._error("symbolic data values require .dword")
+            self._emit_data(width, symbolic)
+
+    def _dir_byte(self, operands: Sequence[str]) -> None:
+        self._dir_int(1, operands)
+
+    def _dir_half(self, operands: Sequence[str]) -> None:
+        self._dir_int(2, operands)
+
+    def _dir_word(self, operands: Sequence[str]) -> None:
+        self._dir_int(4, operands)
+
+    def _dir_dword(self, operands: Sequence[str]) -> None:
+        self._dir_int(8, operands)
+
+    def _dir_space(self, operands: Sequence[str]) -> None:
+        self._require_data_section(".space")
+        if len(operands) != 1:
+            raise self._error(".space takes one size operand")
+        size = self._eval_constant(operands[0])
+        if size < 0:
+            raise self._error(".space size must be non-negative")
+        for _ in range(size):
+            self._data_items.append(_DataItem(1, 0, self._line_number))
+        self._data_cursor += size
+
+    def _dir_align(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error(".align takes one operand")
+        power = self._eval_constant(operands[0])
+        if not 0 <= power <= 16:
+            raise self._error("bad alignment: %r" % power)
+        alignment = 1 << power
+        if self._section == "text":
+            while self._text_cursor % alignment:
+                self._append_instruction(Instruction(Mnemonic.ADDI))  # nop pad
+        else:
+            while self._data_cursor % alignment:
+                self._data_items.append(_DataItem(1, 0, self._line_number))
+                self._data_cursor += 1
+
+    def _dir_asciz(self, operands: Sequence[str]) -> None:
+        self._require_data_section(".asciz")
+        if len(operands) != 1 or not (
+            operands[0].startswith('"') and operands[0].endswith('"')
+        ):
+            raise self._error(".asciz takes one string literal")
+        literal = operands[0][1:-1]
+        decoded = literal.encode("ascii").decode("unicode_escape").encode("latin-1")
+        for byte in decoded + b"\x00":
+            self._data_items.append(_DataItem(1, byte, self._line_number))
+        self._data_cursor += len(decoded) + 1
+
+    _DIRECTIVES: Dict[str, Callable[["Assembler", Sequence[str]], None]] = {
+        ".text": _dir_text,
+        ".data": _dir_data,
+        ".globl": _dir_global,
+        ".global": _dir_global,
+        ".equ": _dir_equ,
+        ".byte": _dir_byte,
+        ".half": _dir_half,
+        ".word": _dir_word,
+        ".dword": _dir_dword,
+        ".quad": _dir_dword,
+        ".space": _dir_space,
+        ".zero": _dir_space,
+        ".align": _dir_align,
+        ".asciz": _dir_asciz,
+        ".string": _dir_asciz,
+    }
+
+    # ------------------------------------------------------------------
+    # Instructions.
+    # ------------------------------------------------------------------
+
+    def _append_instruction(
+        self,
+        inst_or_pending: Union[Instruction, _PendingInstruction],
+    ) -> None:
+        if self._section != "text":
+            raise self._error("instructions only allowed in .text section")
+        if isinstance(inst_or_pending, Instruction):
+            pending = _PendingInstruction(
+                inst_or_pending.mnemonic,
+                rd=inst_or_pending.rd,
+                rs1=inst_or_pending.rs1,
+                rs2=inst_or_pending.rs2,
+                imm=inst_or_pending.imm,
+                line=self._line_number,
+            )
+        else:
+            pending = inst_or_pending
+        pending.address = self._text_cursor
+        self._pending.append(pending)
+        self._text_cursor += 4
+
+    def _parse_symbolic(self, text: str) -> Optional[Tuple[str, int]]:
+        """Parse ``sym`` or ``sym+imm``/``sym-imm`` into (symbol, addend)."""
+        text = text.strip()
+        match = _SYM_RE.match(text)
+        if match:
+            return (match.group(1), 0)
+        match = _SYM_ADDEND_RE.match(text)
+        if match:
+            addend = int(match.group(3), 0)
+            if match.group(2) == "-":
+                addend = -addend
+            return (match.group(1), addend)
+        return None
+
+    def _reg(self, operand: str) -> int:
+        try:
+            return parse_register(operand)
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+
+    def _imm(self, operand: str) -> int:
+        value = _parse_int(operand)
+        if value is None:
+            if operand.strip() in self._equates:
+                return self._equates[operand.strip()]
+            raise self._error("bad immediate: %r" % operand)
+        return value
+
+    def _parse_reloc(self, operand: str) -> Optional[Tuple[str, SymValue]]:
+        """Parse ``%hi(sym)`` / ``%lo(sym+addend)`` relocation operators."""
+        match = _RELOC_RE.match(operand.strip())
+        if match is None:
+            return None
+        inner = match.group(2).strip()
+        value = _parse_int(inner)
+        if value is not None:
+            return match.group(1), value
+        if inner in self._equates:
+            return match.group(1), self._equates[inner]
+        symbolic = self._parse_symbolic(inner)
+        if symbolic is None:
+            raise self._error("bad %%%s operand: %r" % (match.group(1), inner))
+        return match.group(1), symbolic
+
+    def _imm_or_symbol(self, operand: str) -> SymValue:
+        value = _parse_int(operand)
+        if value is not None:
+            return value
+        name = operand.strip()
+        if name in self._equates:
+            return self._equates[name]
+        symbolic = self._parse_symbolic(operand)
+        if symbolic is None:
+            raise self._error("bad immediate or symbol: %r" % operand)
+        return symbolic
+
+    def _mem_operand(self, operand: str) -> Tuple[SymValue, int, str]:
+        """Parse ``offset(reg)`` into (imm, base register, reloc kind).
+
+        The offset may be a plain immediate, an equate, or a ``%lo(sym)``
+        relocation (as emitted by compilers for global accesses).
+        """
+        match = _MEM_OPERAND_RE.match(operand.strip())
+        if not match:
+            raise self._error("bad memory operand: %r" % operand)
+        offset_text = match.group(1).strip()
+        base = self._reg(match.group(2))
+        if not offset_text:
+            return 0, base, "abs"
+        reloc = self._parse_reloc(offset_text)
+        if reloc is not None:
+            kind, value = reloc
+            if kind != "lo":
+                raise self._error("only %lo() is meaningful as a memory offset")
+            return value, base, "lo"
+        return self._imm(offset_text), base, "abs"
+
+    def _process_instruction(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(operand_text) if operand_text else []
+        pseudo = getattr(self, "_pseudo_" + name.replace(".", "_"), None)
+        if pseudo is not None:
+            pseudo(operands)
+            return
+        mnemonic = MNEMONIC_BY_NAME.get(name)
+        if mnemonic is None:
+            raise self._error("unknown instruction: %r" % name)
+        self._emit_native(mnemonic, operands)
+
+    def _emit_native(self, mnemonic: Mnemonic, operands: Sequence[str]) -> None:
+        spec = SPECS[mnemonic]
+        fmt = spec.fmt
+        if fmt is Format.R:
+            if len(operands) != 3:
+                raise self._error("%s takes rd, rs1, rs2" % mnemonic.value)
+            self._append_instruction(Instruction(
+                mnemonic,
+                rd=self._reg(operands[0]),
+                rs1=self._reg(operands[1]),
+                rs2=self._reg(operands[2]),
+            ))
+        elif fmt in (Format.I, Format.I_SHIFT):
+            if mnemonic is Mnemonic.FENCE:
+                self._append_instruction(Instruction(mnemonic))
+            elif mnemonic in (Mnemonic.CFLUSH,):
+                if len(operands) != 1:
+                    raise self._error("cflush takes offset(rs1)")
+                imm, rs1, reloc = self._mem_operand(operands[0])
+                self._append_instruction(_PendingInstruction(
+                    mnemonic, rs1=rs1, imm=imm, reloc=reloc,
+                    line=self._line_number,
+                ))
+            elif mnemonic.value.startswith("l") and SPECS[mnemonic].opcode == 0b0000011:
+                if len(operands) != 2:
+                    raise self._error("%s takes rd, offset(rs1)" % mnemonic.value)
+                imm, rs1, reloc = self._mem_operand(operands[1])
+                self._append_instruction(_PendingInstruction(
+                    mnemonic, rd=self._reg(operands[0]), rs1=rs1, imm=imm,
+                    reloc=reloc, line=self._line_number,
+                ))
+            elif mnemonic is Mnemonic.JALR:
+                self._emit_jalr(operands)
+            else:
+                if len(operands) != 3:
+                    raise self._error("%s takes rd, rs1, imm" % mnemonic.value)
+                reloc = self._parse_reloc(operands[2])
+                if reloc is not None:
+                    kind, value = reloc
+                    if kind != "lo":
+                        raise self._error(
+                            "%%hi() only fits lui's 20-bit immediate"
+                        )
+                    self._append_instruction(_PendingInstruction(
+                        mnemonic,
+                        rd=self._reg(operands[0]),
+                        rs1=self._reg(operands[1]),
+                        imm=value, reloc="lo", line=self._line_number,
+                    ))
+                else:
+                    self._append_instruction(Instruction(
+                        mnemonic,
+                        rd=self._reg(operands[0]),
+                        rs1=self._reg(operands[1]),
+                        imm=self._imm(operands[2]),
+                    ))
+        elif fmt is Format.S:
+            if len(operands) != 2:
+                raise self._error("%s takes rs2, offset(rs1)" % mnemonic.value)
+            imm, rs1, reloc = self._mem_operand(operands[1])
+            self._append_instruction(_PendingInstruction(
+                mnemonic, rs1=rs1, rs2=self._reg(operands[0]), imm=imm,
+                reloc=reloc, line=self._line_number,
+            ))
+        elif fmt is Format.B:
+            if len(operands) != 3:
+                raise self._error("%s takes rs1, rs2, target" % mnemonic.value)
+            self._append_instruction(_PendingInstruction(
+                mnemonic,
+                rs1=self._reg(operands[0]),
+                rs2=self._reg(operands[1]),
+                imm=self._imm_or_symbol(operands[2]),
+                reloc="pcrel",
+                line=self._line_number,
+            ))
+        elif fmt is Format.U:
+            if len(operands) != 2:
+                raise self._error("%s takes rd, imm" % mnemonic.value)
+            reloc = self._parse_reloc(operands[1])
+            if reloc is not None:
+                kind, value = reloc
+                if kind != "hi":
+                    raise self._error("%%lo() does not fit a U-type immediate")
+                self._append_instruction(_PendingInstruction(
+                    mnemonic, rd=self._reg(operands[0]),
+                    imm=value, reloc="hi", line=self._line_number,
+                ))
+            else:
+                self._append_instruction(Instruction(
+                    mnemonic, rd=self._reg(operands[0]), imm=self._imm(operands[1]),
+                ))
+        elif fmt is Format.J:
+            if len(operands) != 2:
+                raise self._error("%s takes rd, target" % mnemonic.value)
+            self._append_instruction(_PendingInstruction(
+                mnemonic,
+                rd=self._reg(operands[0]),
+                imm=self._imm_or_symbol(operands[1]),
+                reloc="pcrel",
+                line=self._line_number,
+            ))
+        elif fmt is Format.SYSTEM:
+            self._append_instruction(Instruction(mnemonic))
+        elif fmt is Format.CSR:
+            if len(operands) != 3:
+                raise self._error("%s takes rd, csr, rs1" % mnemonic.value)
+            self._append_instruction(Instruction(
+                mnemonic,
+                rd=self._reg(operands[0]),
+                rs1=self._reg(operands[2]),
+                imm=self._imm(operands[1]),
+            ))
+        else:  # pragma: no cover - all formats handled above
+            raise self._error("cannot assemble format %r" % fmt)
+
+    def _emit_jalr(self, operands: Sequence[str]) -> None:
+        if len(operands) == 1:
+            # 'jalr rs' shorthand: jalr ra, rs, 0.
+            self._append_instruction(Instruction(
+                Mnemonic.JALR, rd=1, rs1=self._reg(operands[0]),
+            ))
+        elif len(operands) == 2:
+            imm, rs1, reloc = self._mem_operand(operands[1])
+            self._append_instruction(_PendingInstruction(
+                Mnemonic.JALR, rd=self._reg(operands[0]), rs1=rs1, imm=imm,
+                reloc=reloc, line=self._line_number,
+            ))
+        elif len(operands) == 3:
+            self._append_instruction(Instruction(
+                Mnemonic.JALR,
+                rd=self._reg(operands[0]),
+                rs1=self._reg(operands[1]),
+                imm=self._imm(operands[2]),
+            ))
+        else:
+            raise self._error("jalr takes rd, rs1, imm")
+
+    # ------------------------------------------------------------------
+    # Pseudo-instructions.
+    # ------------------------------------------------------------------
+
+    def _pseudo_nop(self, operands: Sequence[str]) -> None:
+        if operands:
+            raise self._error("nop takes no operands")
+        self._append_instruction(Instruction(Mnemonic.ADDI))
+
+    def _pseudo_mv(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("mv takes rd, rs")
+        self._append_instruction(Instruction(
+            Mnemonic.ADDI, rd=self._reg(operands[0]), rs1=self._reg(operands[1]),
+        ))
+
+    def _pseudo_not(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("not takes rd, rs")
+        self._append_instruction(Instruction(
+            Mnemonic.XORI, rd=self._reg(operands[0]), rs1=self._reg(operands[1]), imm=-1,
+        ))
+
+    def _pseudo_neg(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("neg takes rd, rs")
+        self._append_instruction(Instruction(
+            Mnemonic.SUB, rd=self._reg(operands[0]), rs1=0, rs2=self._reg(operands[1]),
+        ))
+
+    def _pseudo_seqz(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("seqz takes rd, rs")
+        self._append_instruction(Instruction(
+            Mnemonic.SLTIU, rd=self._reg(operands[0]), rs1=self._reg(operands[1]), imm=1,
+        ))
+
+    def _pseudo_snez(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("snez takes rd, rs")
+        self._append_instruction(Instruction(
+            Mnemonic.SLTU, rd=self._reg(operands[0]), rs1=0, rs2=self._reg(operands[1]),
+        ))
+
+    def _pseudo_li(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("li takes rd, constant")
+        rd = self._reg(operands[0])
+        value = self._imm(operands[1])
+        self._expand_li(rd, value)
+
+    def _expand_li(self, rd: int, value: int) -> None:
+        """Materialise an arbitrary 64-bit constant into ``rd``."""
+        if not -(1 << 63) <= value < (1 << 64):
+            raise self._error("li constant out of 64-bit range: %d" % value)
+        # Normalise to signed 64-bit.
+        if value >= (1 << 63):
+            value -= 1 << 64
+        if -2048 <= value <= 2047:
+            self._append_instruction(Instruction(Mnemonic.ADDI, rd=rd, imm=value))
+            return
+        if -(1 << 31) <= value < (1 << 31):
+            low = value & 0xFFF
+            if low >= 0x800:
+                low -= 0x1000
+            high = (value - low) >> 12
+            # lui sign-extends bit 19 of its immediate on RV64.
+            if high >= (1 << 19):
+                high -= 1 << 20
+            self._append_instruction(Instruction(Mnemonic.LUI, rd=rd, imm=high))
+            if low:
+                self._append_instruction(Instruction(
+                    Mnemonic.ADDIW, rd=rd, rs1=rd, imm=low,
+                ))
+            return
+        # General 64-bit: build the upper part recursively, then shift in
+        # 12-bit chunks (the standard las-resort expansion).
+        low = value & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        upper = (value - low) >> 12
+        self._expand_li(rd, upper)
+        self._append_instruction(Instruction(Mnemonic.SLLI, rd=rd, rs1=rd, imm=12))
+        if low:
+            self._append_instruction(Instruction(Mnemonic.ADDI, rd=rd, rs1=rd, imm=low))
+
+    def _pseudo_la(self, operands: Sequence[str]) -> None:
+        if len(operands) != 2:
+            raise self._error("la takes rd, symbol")
+        rd = self._reg(operands[0])
+        target = self._imm_or_symbol(operands[1])
+        if isinstance(target, int):
+            self._expand_li(rd, target)
+            return
+        self._append_instruction(_PendingInstruction(
+            Mnemonic.LUI, rd=rd, imm=target, reloc="hi", line=self._line_number,
+        ))
+        self._append_instruction(_PendingInstruction(
+            Mnemonic.ADDIW, rd=rd, rs1=rd, imm=target, reloc="lo",
+            line=self._line_number,
+        ))
+
+    def _pseudo_j(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error("j takes a target")
+        self._append_instruction(_PendingInstruction(
+            Mnemonic.JAL, rd=0, imm=self._imm_or_symbol(operands[0]),
+            reloc="pcrel", line=self._line_number,
+        ))
+
+    def _pseudo_jr(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error("jr takes a register")
+        self._append_instruction(Instruction(
+            Mnemonic.JALR, rd=0, rs1=self._reg(operands[0]),
+        ))
+
+    def _pseudo_ret(self, operands: Sequence[str]) -> None:
+        if operands:
+            raise self._error("ret takes no operands")
+        self._append_instruction(Instruction(Mnemonic.JALR, rd=0, rs1=1))
+
+    def _pseudo_call(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error("call takes a target")
+        self._append_instruction(_PendingInstruction(
+            Mnemonic.JAL, rd=1, imm=self._imm_or_symbol(operands[0]),
+            reloc="pcrel", line=self._line_number,
+        ))
+
+    def _pseudo_tail(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error("tail takes a target")
+        self._append_instruction(_PendingInstruction(
+            Mnemonic.JAL, rd=0, imm=self._imm_or_symbol(operands[0]),
+            reloc="pcrel", line=self._line_number,
+        ))
+
+    def _branch_zero(self, mnemonic: Mnemonic, operands: Sequence[str], swap: bool) -> None:
+        if len(operands) != 2:
+            raise self._error("branch-on-zero takes rs, target")
+        rs = self._reg(operands[0])
+        rs1, rs2 = (0, rs) if swap else (rs, 0)
+        self._append_instruction(_PendingInstruction(
+            mnemonic, rs1=rs1, rs2=rs2, imm=self._imm_or_symbol(operands[1]),
+            reloc="pcrel", line=self._line_number,
+        ))
+
+    def _pseudo_beqz(self, operands: Sequence[str]) -> None:
+        self._branch_zero(Mnemonic.BEQ, operands, swap=False)
+
+    def _pseudo_bnez(self, operands: Sequence[str]) -> None:
+        self._branch_zero(Mnemonic.BNE, operands, swap=False)
+
+    def _pseudo_blez(self, operands: Sequence[str]) -> None:
+        self._branch_zero(Mnemonic.BGE, operands, swap=True)
+
+    def _pseudo_bgez(self, operands: Sequence[str]) -> None:
+        self._branch_zero(Mnemonic.BGE, operands, swap=False)
+
+    def _pseudo_bltz(self, operands: Sequence[str]) -> None:
+        self._branch_zero(Mnemonic.BLT, operands, swap=False)
+
+    def _pseudo_bgtz(self, operands: Sequence[str]) -> None:
+        self._branch_zero(Mnemonic.BLT, operands, swap=True)
+
+    def _swapped_branch(self, mnemonic: Mnemonic, operands: Sequence[str]) -> None:
+        if len(operands) != 3:
+            raise self._error("branch takes rs1, rs2, target")
+        self._append_instruction(_PendingInstruction(
+            mnemonic,
+            rs1=self._reg(operands[1]),
+            rs2=self._reg(operands[0]),
+            imm=self._imm_or_symbol(operands[2]),
+            reloc="pcrel",
+            line=self._line_number,
+        ))
+
+    def _pseudo_bgt(self, operands: Sequence[str]) -> None:
+        self._swapped_branch(Mnemonic.BLT, operands)
+
+    def _pseudo_ble(self, operands: Sequence[str]) -> None:
+        self._swapped_branch(Mnemonic.BGE, operands)
+
+    def _pseudo_bgtu(self, operands: Sequence[str]) -> None:
+        self._swapped_branch(Mnemonic.BLTU, operands)
+
+    def _pseudo_bleu(self, operands: Sequence[str]) -> None:
+        self._swapped_branch(Mnemonic.BGEU, operands)
+
+    def _pseudo_rdcycle(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error("rdcycle takes rd")
+        self._append_instruction(Instruction(
+            Mnemonic.CSRRS, rd=self._reg(operands[0]), imm=CSR_CYCLE,
+        ))
+
+    def _pseudo_rdinstret(self, operands: Sequence[str]) -> None:
+        if len(operands) != 1:
+            raise self._error("rdinstret takes rd")
+        self._append_instruction(Instruction(
+            Mnemonic.CSRRS, rd=self._reg(operands[0]), imm=CSR_INSTRET,
+        ))
+
+    # ------------------------------------------------------------------
+    # Pass 2: symbol resolution and encoding.
+    # ------------------------------------------------------------------
+
+    def _resolve(self, value: SymValue, line: int) -> int:
+        if isinstance(value, int):
+            return value
+        name, addend = value
+        if name in self._symbols:
+            return self._symbols[name] + addend
+        if name in self._equates:
+            return self._equates[name] + addend
+        raise AssemblerError("undefined symbol: %r" % name, line)
+
+    def _link(self) -> Program:
+        text = bytearray()
+        for pending in self._pending:
+            imm = pending.imm
+            if pending.reloc == "pcrel" or isinstance(imm, tuple) or pending.reloc in ("hi", "lo"):
+                resolved = self._resolve(imm, pending.line) if isinstance(imm, tuple) else imm
+                if pending.reloc == "pcrel" and isinstance(imm, tuple):
+                    resolved -= pending.address
+                elif pending.reloc in ("hi", "lo"):
+                    low = resolved & 0xFFF
+                    if low >= 0x800:
+                        low -= 0x1000
+                    if pending.reloc == "hi":
+                        resolved = (resolved - low) >> 12
+                    else:
+                        resolved = low
+                imm = resolved
+            inst = Instruction(
+                pending.mnemonic,
+                rd=pending.rd,
+                rs1=pending.rs1,
+                rs2=pending.rs2,
+                imm=imm,
+                address=pending.address,
+            )
+            try:
+                text += encode_bytes(inst)
+            except ValueError as exc:
+                raise AssemblerError(str(exc), pending.line) from exc
+        data = bytearray()
+        for item in self._data_items:
+            value = self._resolve(item.value, item.line)
+            mask = (1 << (item.width * 8)) - 1
+            data += (value & mask).to_bytes(item.width, "little")
+        if self.text_base + len(text) > self.data_base and data:
+            raise AssemblerError(
+                "text image (%d bytes) overlaps data base %#x"
+                % (len(text), self.data_base)
+            )
+        entry = self._symbols.get("_start", self.text_base)
+        return Program(
+            text=bytes(text),
+            data=bytes(data),
+            text_base=self.text_base,
+            data_base=self.data_base,
+            entry=entry,
+            symbols=dict(self._symbols),
+        )
+
+
+def assemble(
+    source: str,
+    text_base: int = DEFAULT_TEXT_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Assemble ``source`` with default bases; convenience wrapper."""
+    return Assembler(text_base=text_base, data_base=data_base).assemble(source)

@@ -1,0 +1,114 @@
+"""Flat binary container for linked guest programs.
+
+A minimal executable format (think "ELF for this platform") so programs
+can be assembled once and shipped/run as files:
+
+```
+offset  size  field
+0       4     magic  b"RPRO"
+4       2     format version (currently 1)
+6       2     flags (reserved, zero)
+8       8     text base address
+16      8     data base address
+24      8     entry address
+32      4     text length (bytes)
+36      4     data length (bytes)
+40      4     symbol count
+44      -     text image, then data image
+...           symbols: u16 name length + UTF-8 name + u64 value, repeated
+```
+
+All integers little-endian.  `Program.save`/`Program.load`-style helpers
+are exposed as :func:`save_program` / :func:`load_program` plus
+byte-level :func:`to_bytes` / :func:`from_bytes`.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+from .program import Program
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQQQIII")
+
+
+class ContainerError(ValueError):
+    """Raised on malformed container files."""
+
+
+def to_bytes(program: Program) -> bytes:
+    """Serialise ``program`` into the container format."""
+    out = bytearray()
+    out += _HEADER.pack(
+        MAGIC, VERSION, 0,
+        program.text_base, program.data_base, program.entry,
+        len(program.text), len(program.data), len(program.symbols),
+    )
+    out += program.text
+    out += program.data
+    for name in sorted(program.symbols):
+        encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ContainerError("symbol name too long: %r" % name)
+        out += struct.pack("<H", len(encoded))
+        out += encoded
+        out += struct.pack("<Q", program.symbols[name])
+    return bytes(out)
+
+
+def from_bytes(raw: bytes) -> Program:
+    """Deserialise a container image."""
+    if len(raw) < _HEADER.size:
+        raise ContainerError("truncated container (no header)")
+    (magic, version, _flags, text_base, data_base, entry,
+     text_len, data_len, symbol_count) = _HEADER.unpack_from(raw, 0)
+    if magic != MAGIC:
+        raise ContainerError("bad magic: %r" % magic)
+    if version != VERSION:
+        raise ContainerError("unsupported container version: %d" % version)
+    offset = _HEADER.size
+    end_text = offset + text_len
+    end_data = end_text + data_len
+    if len(raw) < end_data:
+        raise ContainerError("truncated container (images)")
+    text = raw[offset:end_text]
+    data = raw[end_text:end_data]
+    symbols = {}
+    cursor = end_data
+    for _ in range(symbol_count):
+        if len(raw) < cursor + 2:
+            raise ContainerError("truncated container (symbols)")
+        (name_len,) = struct.unpack_from("<H", raw, cursor)
+        cursor += 2
+        if len(raw) < cursor + name_len + 8:
+            raise ContainerError("truncated container (symbol entry)")
+        name = raw[cursor:cursor + name_len].decode("utf-8")
+        cursor += name_len
+        (value,) = struct.unpack_from("<Q", raw, cursor)
+        cursor += 8
+        symbols[name] = value
+    return Program(
+        text=text, data=data,
+        text_base=text_base, data_base=data_base, entry=entry,
+        symbols=symbols,
+    )
+
+
+def is_container(raw: bytes) -> bool:
+    """Whether ``raw`` starts with the container magic."""
+    return raw[:4] == MAGIC
+
+
+def save_program(program: Program, path: Union[str, Path]) -> None:
+    """Write ``program`` to ``path``."""
+    Path(path).write_bytes(to_bytes(program))
+
+
+def load_program(path: Union[str, Path]) -> Program:
+    """Read a program from ``path``."""
+    return from_bytes(Path(path).read_bytes())

@@ -1,0 +1,194 @@
+"""Binary decoder: 32-bit RISC-V word -> :class:`Instruction`.
+
+Inverse of :mod:`repro.isa.encoding`; the two are exercised as a
+round-trip pair by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .instruction import Instruction
+from .opcodes import (
+    Format,
+    Mnemonic,
+    OP_BRANCH,
+    OP_CUSTOM0,
+    OP_IMM,
+    OP_IMM32,
+    OP_JAL,
+    OP_JALR,
+    OP_LOAD,
+    OP_LUI,
+    OP_AUIPC,
+    OP_MISC_MEM,
+    OP_REG,
+    OP_REG32,
+    OP_STORE,
+    OP_SYSTEM,
+    SPECS,
+)
+
+
+class DecodingError(ValueError):
+    """Raised when a word is not a recognised guest instruction."""
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value & ((1 << bits) - 1)) - ((value & mask) << 1)
+
+
+# Lookup tables keyed by the fields that discriminate each format.
+_R_TABLE: Dict[Tuple[int, int, int], Mnemonic] = {}
+_I_TABLE: Dict[Tuple[int, int], Mnemonic] = {}
+_SHIFT_TABLE: Dict[Tuple[int, int, int], Mnemonic] = {}
+_S_TABLE: Dict[int, Mnemonic] = {}
+_B_TABLE: Dict[int, Mnemonic] = {}
+_CSR_TABLE: Dict[int, Mnemonic] = {}
+
+for _spec in SPECS.values():
+    if _spec.fmt is Format.R:
+        _R_TABLE[(_spec.opcode, _spec.funct3, _spec.funct7)] = _spec.mnemonic
+    elif _spec.fmt is Format.I:
+        _I_TABLE[(_spec.opcode, _spec.funct3)] = _spec.mnemonic
+    elif _spec.fmt is Format.I_SHIFT:
+        _SHIFT_TABLE[(_spec.opcode, _spec.funct3, _spec.funct7)] = _spec.mnemonic
+    elif _spec.fmt is Format.S:
+        _S_TABLE[_spec.funct3] = _spec.mnemonic
+    elif _spec.fmt is Format.B:
+        _B_TABLE[_spec.funct3] = _spec.mnemonic
+    elif _spec.fmt is Format.CSR:
+        _CSR_TABLE[_spec.funct3] = _spec.mnemonic
+
+
+def decode(word: int, address: int = None) -> Instruction:
+    """Decode a 32-bit instruction ``word``.
+
+    ``address`` (if given) is attached to the returned instruction for
+    diagnostics and PC-relative reasoning.
+    """
+    if not 0 <= word < (1 << 32):
+        raise DecodingError("instruction word out of range: %#x" % word)
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == OP_LUI:
+        return Instruction(Mnemonic.LUI, rd=rd, imm=_sign_extend(word >> 12, 20), address=address)
+    if opcode == OP_AUIPC:
+        return Instruction(Mnemonic.AUIPC, rd=rd, imm=_sign_extend(word >> 12, 20), address=address)
+    if opcode == OP_JAL:
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return Instruction(Mnemonic.JAL, rd=rd, imm=_sign_extend(imm, 21), address=address)
+    if opcode == OP_JALR:
+        if funct3 != 0:
+            raise DecodingError("bad jalr funct3: %d" % funct3)
+        return Instruction(
+            Mnemonic.JALR, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12), address=address
+        )
+    if opcode == OP_BRANCH:
+        try:
+            mnemonic = _B_TABLE[funct3]
+        except KeyError:
+            raise DecodingError("bad branch funct3: %d" % funct3) from None
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 1) << 11)
+        )
+        return Instruction(
+            mnemonic, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 13), address=address
+        )
+    if opcode == OP_STORE:
+        try:
+            mnemonic = _S_TABLE[funct3]
+        except KeyError:
+            raise DecodingError("bad store funct3: %d" % funct3) from None
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Instruction(
+            mnemonic, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 12), address=address
+        )
+    if opcode in (OP_REG, OP_REG32):
+        try:
+            mnemonic = _R_TABLE[(opcode, funct3, funct7)]
+        except KeyError:
+            raise DecodingError(
+                "bad R-type funct fields: opcode=%#x funct3=%d funct7=%#x"
+                % (opcode, funct3, funct7)
+            ) from None
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, address=address)
+    if opcode in (OP_IMM, OP_IMM32):
+        # Shifts are discriminated by funct3 (and funct7 for sra/srl).
+        if funct3 in (0b001, 0b101):
+            is_word_op = opcode == OP_IMM32
+            if is_word_op:
+                shamt = rs2  # 5-bit shamt
+                funct_high = funct7
+            else:
+                shamt = (word >> 20) & 0x3F  # 6-bit shamt
+                funct_high = funct7 & 0b1111110  # bit 25 belongs to shamt
+            try:
+                mnemonic = _SHIFT_TABLE[(opcode, funct3, funct_high)]
+            except KeyError:
+                raise DecodingError(
+                    "bad shift encoding: opcode=%#x funct3=%d funct7=%#x"
+                    % (opcode, funct3, funct7)
+                ) from None
+            return Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt, address=address)
+        try:
+            mnemonic = _I_TABLE[(opcode, funct3)]
+        except KeyError:
+            raise DecodingError(
+                "bad OP-IMM funct3: opcode=%#x funct3=%d" % (opcode, funct3)
+            ) from None
+        return Instruction(
+            mnemonic, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12), address=address
+        )
+    if opcode == OP_LOAD:
+        try:
+            mnemonic = _I_TABLE[(opcode, funct3)]
+        except KeyError:
+            raise DecodingError("bad load funct3: %d" % funct3) from None
+        return Instruction(
+            mnemonic, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12), address=address
+        )
+    if opcode == OP_MISC_MEM:
+        if funct3 != 0:
+            raise DecodingError("bad fence funct3: %d" % funct3)
+        return Instruction(Mnemonic.FENCE, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12), address=address)
+    if opcode == OP_SYSTEM:
+        if funct3 == 0:
+            if word == 0x00000073:
+                return Instruction(Mnemonic.ECALL, address=address)
+            if word == 0x00100073:
+                return Instruction(Mnemonic.EBREAK, address=address)
+            raise DecodingError("bad SYSTEM word: %#010x" % word)
+        try:
+            mnemonic = _CSR_TABLE[funct3]
+        except KeyError:
+            raise DecodingError("bad CSR funct3: %d" % funct3) from None
+        return Instruction(mnemonic, rd=rd, rs1=rs1, imm=(word >> 20) & 0xFFF, address=address)
+    if opcode == OP_CUSTOM0:
+        if funct3 != 0:
+            raise DecodingError("bad custom-0 funct3: %d" % funct3)
+        return Instruction(
+            Mnemonic.CFLUSH, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12), address=address
+        )
+    raise DecodingError("unknown major opcode: %#04x (word %#010x)" % (opcode, word))
+
+
+def decode_bytes(raw: bytes, address: int = None) -> Instruction:
+    """Decode 4 little-endian bytes."""
+    if len(raw) != 4:
+        raise DecodingError("instruction must be 4 bytes, got %d" % len(raw))
+    return decode(int.from_bytes(raw, "little"), address=address)

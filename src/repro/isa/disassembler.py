@@ -1,0 +1,46 @@
+"""Disassembler for guest binaries.
+
+Turns encoded text images back into readable assembly, used for
+diagnostics, golden tests, and the DBT engine's trace dumps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .decoding import decode
+from .instruction import Instruction, format_instruction
+from .program import Program
+
+
+def disassemble_word(word: int, address: Optional[int] = None) -> str:
+    """Disassemble a single 32-bit word."""
+    return format_instruction(decode(word, address=address))
+
+
+def disassemble_program(program: Program) -> List[Tuple[int, str]]:
+    """Disassemble a whole program: list of (address, text) pairs."""
+    return [
+        (inst.address, format_instruction(inst))
+        for inst in program.instructions()
+    ]
+
+
+def dump(program: Program) -> str:
+    """Human-readable listing with addresses, labels and encodings."""
+    address_to_label = {}
+    for name, value in program.symbols.items():
+        if program.contains_text(value):
+            address_to_label.setdefault(value, []).append(name)
+    lines: List[str] = []
+    for inst in program.instructions():
+        for label in sorted(address_to_label.get(inst.address, ())):
+            lines.append("%s:" % label)
+        word = program.word_at(inst.address)
+        lines.append("  %#08x: %08x  %s" % (inst.address, word, format_instruction(inst)))
+    return "\n".join(lines)
+
+
+def iter_instructions(program: Program) -> Iterator[Instruction]:
+    """Alias for :meth:`Program.instructions` kept for API symmetry."""
+    return program.instructions()

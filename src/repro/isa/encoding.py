@@ -1,0 +1,111 @@
+"""Binary encoder: :class:`Instruction` -> 32-bit RISC-V word.
+
+The encoder produces genuine RV64IM machine words so that the toolchain
+round-trips through real binaries (the DBT engine consumes words, not
+Python objects — exactly as Hybrid-DBT consumes RISC-V binaries).
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .opcodes import Format, Mnemonic, SPECS
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded (field out of range)."""
+
+
+def _check_register(value: int, what: str) -> int:
+    if not 0 <= value < 32:
+        raise EncodingError("%s out of range: %d" % (what, value))
+    return value
+
+
+def _check_imm_signed(value: int, bits: int, what: str) -> int:
+    low = -(1 << (bits - 1))
+    high = (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            "%s immediate %d does not fit in %d signed bits" % (what, value, bits)
+        )
+    return value & ((1 << bits) - 1)
+
+
+def encode(inst: Instruction) -> int:
+    """Encode ``inst`` as a 32-bit little-endian instruction word."""
+    spec = SPECS[inst.mnemonic]
+    fmt = spec.fmt
+    opcode = spec.opcode
+
+    if fmt is Format.SYSTEM:
+        assert spec.fixed_word is not None
+        return spec.fixed_word
+
+    rd = _check_register(inst.rd, "rd")
+    rs1 = _check_register(inst.rs1, "rs1")
+    rs2 = _check_register(inst.rs2, "rs2")
+
+    if fmt is Format.R:
+        return (
+            (spec.funct7 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | (rd << 7) | opcode
+        )
+    if fmt is Format.I:
+        imm = _check_imm_signed(inst.imm, 12, inst.mnemonic.value)
+        return (imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+    if fmt is Format.I_SHIFT:
+        # RV64 shifts: 6-bit shamt for 64-bit ops, 5-bit for *W ops.
+        is_word_op = inst.mnemonic in (Mnemonic.SLLIW, Mnemonic.SRLIW, Mnemonic.SRAIW)
+        max_shift = 31 if is_word_op else 63
+        if not 0 <= inst.imm <= max_shift:
+            raise EncodingError(
+                "shift amount %d out of range for %s" % (inst.imm, inst.mnemonic.value)
+            )
+        high = spec.funct7 << 25
+        return high | (inst.imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+    if fmt is Format.S:
+        imm = _check_imm_signed(inst.imm, 12, inst.mnemonic.value)
+        imm_high = (imm >> 5) & 0x7F
+        imm_low = imm & 0x1F
+        return (
+            (imm_high << 25) | (rs2 << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | (imm_low << 7) | opcode
+        )
+    if fmt is Format.B:
+        if inst.imm % 2:
+            raise EncodingError("branch offset must be even: %d" % inst.imm)
+        imm = _check_imm_signed(inst.imm, 13, inst.mnemonic.value)
+        bit12 = (imm >> 12) & 1
+        bits10_5 = (imm >> 5) & 0x3F
+        bits4_1 = (imm >> 1) & 0xF
+        bit11 = (imm >> 11) & 1
+        return (
+            (bit12 << 31) | (bits10_5 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | (bits4_1 << 8) | (bit11 << 7) | opcode
+        )
+    if fmt is Format.U:
+        if not -(1 << 19) <= inst.imm < (1 << 20):
+            raise EncodingError("U-type immediate out of range: %d" % inst.imm)
+        return ((inst.imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+    if fmt is Format.J:
+        if inst.imm % 2:
+            raise EncodingError("jump offset must be even: %d" % inst.imm)
+        imm = _check_imm_signed(inst.imm, 21, inst.mnemonic.value)
+        bit20 = (imm >> 20) & 1
+        bits10_1 = (imm >> 1) & 0x3FF
+        bit11 = (imm >> 11) & 1
+        bits19_12 = (imm >> 12) & 0xFF
+        return (
+            (bit20 << 31) | (bits10_1 << 21) | (bit11 << 20)
+            | (bits19_12 << 12) | (rd << 7) | opcode
+        )
+    if fmt is Format.CSR:
+        if not 0 <= inst.imm < (1 << 12):
+            raise EncodingError("CSR number out of range: %#x" % inst.imm)
+        return (inst.imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+    raise EncodingError("unhandled format: %r" % fmt)  # pragma: no cover
+
+
+def encode_bytes(inst: Instruction) -> bytes:
+    """Encode ``inst`` as its 4 little-endian bytes."""
+    return encode(inst).to_bytes(4, "little")

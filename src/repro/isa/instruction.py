@@ -1,0 +1,145 @@
+"""Decoded guest instruction model.
+
+An :class:`Instruction` is the decoded, format-independent view of one
+32-bit guest instruction word.  It is produced by the assembler and the
+binary decoder, consumed by the functional interpreter and by the DBT
+engine's first-pass translator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import (
+    ACCESS_WIDTH,
+    Format,
+    Mnemonic,
+    SPECS,
+    is_branch,
+    is_control_flow,
+    is_jump,
+    is_load,
+    is_store,
+)
+from .registers import register_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded guest instruction.
+
+    Fields that do not apply to a given format are zero: e.g. a ``lui``
+    has no ``rs1``/``rs2``, an ``sb`` has no ``rd``.  ``imm`` holds the
+    sign-extended immediate (the CSR number for Zicsr instructions, the
+    shift amount for immediate shifts).
+    """
+
+    mnemonic: Mnemonic
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    #: Address the instruction was assembled/decoded at, if known.
+    address: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def fmt(self) -> Format:
+        """Encoding format of this instruction."""
+        return SPECS[self.mnemonic].fmt
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.mnemonic)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.mnemonic)
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the instruction accesses data memory."""
+        return self.is_load or self.is_store or self.mnemonic is Mnemonic.CFLUSH
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.mnemonic)
+
+    @property
+    def is_jump(self) -> bool:
+        return is_jump(self.mnemonic)
+
+    @property
+    def is_control_flow(self) -> bool:
+        return is_control_flow(self.mnemonic)
+
+    @property
+    def is_system(self) -> bool:
+        return self.mnemonic in (Mnemonic.ECALL, Mnemonic.EBREAK)
+
+    @property
+    def access_width(self) -> int:
+        """Width in bytes of the memory access (loads/stores only)."""
+        return ACCESS_WIDTH[self.mnemonic]
+
+    def reads(self) -> Tuple[int, ...]:
+        """Architectural registers read by this instruction.
+
+        ``x0`` reads are reported as-is (the consumer decides whether to
+        treat them as constants).
+        """
+        fmt = self.fmt
+        if fmt in (Format.U, Format.J):
+            return ()
+        if fmt in (Format.R, Format.S, Format.B):
+            return (self.rs1, self.rs2)
+        if fmt is Format.SYSTEM:
+            return ()
+        # I, I_SHIFT, CSR, and custom cflush all read rs1 only.
+        return (self.rs1,)
+
+    def writes(self) -> Tuple[int, ...]:
+        """Architectural registers written by this instruction."""
+        fmt = self.fmt
+        if fmt in (Format.S, Format.B, Format.SYSTEM):
+            return ()
+        if self.mnemonic is Mnemonic.CFLUSH or self.mnemonic is Mnemonic.FENCE:
+            return ()
+        if self.rd == 0:
+            return ()
+        return (self.rd,)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return format_instruction(self)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render ``inst`` in assembler syntax (used by the disassembler)."""
+    name = inst.mnemonic.value
+    fmt = inst.fmt
+    rd = register_name(inst.rd) if inst.rd < 32 else "x%d" % inst.rd
+    rs1 = register_name(inst.rs1) if inst.rs1 < 32 else "x%d" % inst.rs1
+    rs2 = register_name(inst.rs2) if inst.rs2 < 32 else "x%d" % inst.rs2
+    if fmt is Format.R:
+        return "%s %s, %s, %s" % (name, rd, rs1, rs2)
+    if fmt is Format.I:
+        if inst.is_load:
+            return "%s %s, %d(%s)" % (name, rd, inst.imm, rs1)
+        if inst.mnemonic is Mnemonic.CFLUSH:
+            return "%s %d(%s)" % (name, inst.imm, rs1)
+        if inst.mnemonic is Mnemonic.FENCE:
+            return name
+        return "%s %s, %s, %d" % (name, rd, rs1, inst.imm)
+    if fmt is Format.I_SHIFT:
+        return "%s %s, %s, %d" % (name, rd, rs1, inst.imm)
+    if fmt is Format.S:
+        return "%s %s, %d(%s)" % (name, rs2, inst.imm, rs1)
+    if fmt is Format.B:
+        return "%s %s, %s, %d" % (name, rs1, rs2, inst.imm)
+    if fmt is Format.U:
+        return "%s %s, %d" % (name, rd, inst.imm)
+    if fmt is Format.J:
+        return "%s %s, %d" % (name, rd, inst.imm)
+    if fmt is Format.CSR:
+        return "%s %s, %#x, %s" % (name, rd, inst.imm, rs1)
+    return name

@@ -1,0 +1,296 @@
+"""Opcode and instruction-format tables for the RV64IM guest ISA.
+
+The guest ISA implemented by this reproduction is the ``rv64im`` subset used
+by the paper (Section V-A: "implemented ... in RISC-V (using the rv64im
+ISA)"), extended with:
+
+* ``rdcycle`` (via the Zicsr ``csrrs`` encoding of the ``cycle`` CSR), which
+  the paper's RISC-V attack uses to time probe loads, and
+* a custom ``cflush`` instruction (custom-0 major opcode) performing an
+  explicit data-cache line flush, standing in for the line-by-line flush
+  the paper's RISC-V attack performs.
+
+Each mnemonic is described by an :class:`InstructionSpec` carrying its
+encoding format and the fixed fields (major opcode, funct3, funct7) needed
+to produce and recognise real 32-bit instruction words.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Format(enum.Enum):
+    """RISC-V instruction encoding formats."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - standard RISC-V format name
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    #: I-format with a shift amount in the low immediate bits (shamt).
+    I_SHIFT = "I_SHIFT"
+    #: System instructions with a fully fixed 32-bit encoding.
+    SYSTEM = "SYSTEM"
+    #: Zicsr instructions: I-format with the CSR number in the immediate.
+    CSR = "CSR"
+
+
+class Mnemonic(enum.Enum):
+    """All guest instructions understood by the toolchain."""
+
+    # RV32I base.
+    LUI = "lui"
+    AUIPC = "auipc"
+    JAL = "jal"
+    JALR = "jalr"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    LB = "lb"
+    LH = "lh"
+    LW = "lw"
+    LBU = "lbu"
+    LHU = "lhu"
+    SB = "sb"
+    SH = "sh"
+    SW = "sw"
+    ADDI = "addi"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    XORI = "xori"
+    ORI = "ori"
+    ANDI = "andi"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    ADD = "add"
+    SUB = "sub"
+    SLL = "sll"
+    SLT = "slt"
+    SLTU = "sltu"
+    XOR = "xor"
+    SRL = "srl"
+    SRA = "sra"
+    OR = "or"
+    AND = "and"
+    FENCE = "fence"
+    ECALL = "ecall"
+    EBREAK = "ebreak"
+    # RV64I widening / 64-bit memory.
+    LWU = "lwu"
+    LD = "ld"
+    SD = "sd"
+    ADDIW = "addiw"
+    SLLIW = "slliw"
+    SRLIW = "srliw"
+    SRAIW = "sraiw"
+    ADDW = "addw"
+    SUBW = "subw"
+    SLLW = "sllw"
+    SRLW = "srlw"
+    SRAW = "sraw"
+    # M extension.
+    MUL = "mul"
+    MULH = "mulh"
+    MULHSU = "mulhsu"
+    MULHU = "mulhu"
+    DIV = "div"
+    DIVU = "divu"
+    REM = "rem"
+    REMU = "remu"
+    MULW = "mulw"
+    DIVW = "divw"
+    DIVUW = "divuw"
+    REMW = "remw"
+    REMUW = "remuw"
+    # Zicsr (only the register forms; enough for rdcycle and friends).
+    CSRRW = "csrrw"
+    CSRRS = "csrrs"
+    CSRRC = "csrrc"
+    # Custom cache management (custom-0 major opcode).
+    CFLUSH = "cflush"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static encoding description of one mnemonic."""
+
+    mnemonic: Mnemonic
+    fmt: Format
+    opcode: int
+    funct3: Optional[int] = None
+    funct7: Optional[int] = None
+    #: For SYSTEM format: the full fixed 32-bit word.
+    fixed_word: Optional[int] = None
+
+
+# Major opcodes (bits [6:0]).
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_IMM32 = 0b0011011
+OP_REG = 0b0110011
+OP_REG32 = 0b0111011
+OP_MISC_MEM = 0b0001111
+OP_SYSTEM = 0b1110011
+OP_CUSTOM0 = 0b0001011
+
+#: CSR numbers exposed to the guest.
+CSR_CYCLE = 0xC00
+CSR_TIME = 0xC01
+CSR_INSTRET = 0xC02
+
+_R = Format.R
+_I = Format.I
+_S = Format.S
+_B = Format.B
+_U = Format.U
+_J = Format.J
+
+_SPEC_LIST = [
+    InstructionSpec(Mnemonic.LUI, _U, OP_LUI),
+    InstructionSpec(Mnemonic.AUIPC, _U, OP_AUIPC),
+    InstructionSpec(Mnemonic.JAL, _J, OP_JAL),
+    InstructionSpec(Mnemonic.JALR, _I, OP_JALR, funct3=0b000),
+    InstructionSpec(Mnemonic.BEQ, _B, OP_BRANCH, funct3=0b000),
+    InstructionSpec(Mnemonic.BNE, _B, OP_BRANCH, funct3=0b001),
+    InstructionSpec(Mnemonic.BLT, _B, OP_BRANCH, funct3=0b100),
+    InstructionSpec(Mnemonic.BGE, _B, OP_BRANCH, funct3=0b101),
+    InstructionSpec(Mnemonic.BLTU, _B, OP_BRANCH, funct3=0b110),
+    InstructionSpec(Mnemonic.BGEU, _B, OP_BRANCH, funct3=0b111),
+    InstructionSpec(Mnemonic.LB, _I, OP_LOAD, funct3=0b000),
+    InstructionSpec(Mnemonic.LH, _I, OP_LOAD, funct3=0b001),
+    InstructionSpec(Mnemonic.LW, _I, OP_LOAD, funct3=0b010),
+    InstructionSpec(Mnemonic.LD, _I, OP_LOAD, funct3=0b011),
+    InstructionSpec(Mnemonic.LBU, _I, OP_LOAD, funct3=0b100),
+    InstructionSpec(Mnemonic.LHU, _I, OP_LOAD, funct3=0b101),
+    InstructionSpec(Mnemonic.LWU, _I, OP_LOAD, funct3=0b110),
+    InstructionSpec(Mnemonic.SB, _S, OP_STORE, funct3=0b000),
+    InstructionSpec(Mnemonic.SH, _S, OP_STORE, funct3=0b001),
+    InstructionSpec(Mnemonic.SW, _S, OP_STORE, funct3=0b010),
+    InstructionSpec(Mnemonic.SD, _S, OP_STORE, funct3=0b011),
+    InstructionSpec(Mnemonic.ADDI, _I, OP_IMM, funct3=0b000),
+    InstructionSpec(Mnemonic.SLTI, _I, OP_IMM, funct3=0b010),
+    InstructionSpec(Mnemonic.SLTIU, _I, OP_IMM, funct3=0b011),
+    InstructionSpec(Mnemonic.XORI, _I, OP_IMM, funct3=0b100),
+    InstructionSpec(Mnemonic.ORI, _I, OP_IMM, funct3=0b110),
+    InstructionSpec(Mnemonic.ANDI, _I, OP_IMM, funct3=0b111),
+    # RV64 shifts use a 6-bit shamt; funct7 here is the top 6 bits
+    # (funct6) shifted into the funct7 position with bit 0 free.
+    InstructionSpec(Mnemonic.SLLI, Format.I_SHIFT, OP_IMM, funct3=0b001, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRLI, Format.I_SHIFT, OP_IMM, funct3=0b101, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRAI, Format.I_SHIFT, OP_IMM, funct3=0b101, funct7=0b0100000),
+    InstructionSpec(Mnemonic.ADD, _R, OP_REG, funct3=0b000, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SUB, _R, OP_REG, funct3=0b000, funct7=0b0100000),
+    InstructionSpec(Mnemonic.SLL, _R, OP_REG, funct3=0b001, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SLT, _R, OP_REG, funct3=0b010, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SLTU, _R, OP_REG, funct3=0b011, funct7=0b0000000),
+    InstructionSpec(Mnemonic.XOR, _R, OP_REG, funct3=0b100, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRL, _R, OP_REG, funct3=0b101, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRA, _R, OP_REG, funct3=0b101, funct7=0b0100000),
+    InstructionSpec(Mnemonic.OR, _R, OP_REG, funct3=0b110, funct7=0b0000000),
+    InstructionSpec(Mnemonic.AND, _R, OP_REG, funct3=0b111, funct7=0b0000000),
+    InstructionSpec(Mnemonic.FENCE, _I, OP_MISC_MEM, funct3=0b000),
+    InstructionSpec(Mnemonic.ECALL, Format.SYSTEM, OP_SYSTEM, fixed_word=0x00000073),
+    InstructionSpec(Mnemonic.EBREAK, Format.SYSTEM, OP_SYSTEM, fixed_word=0x00100073),
+    InstructionSpec(Mnemonic.ADDIW, _I, OP_IMM32, funct3=0b000),
+    InstructionSpec(Mnemonic.SLLIW, Format.I_SHIFT, OP_IMM32, funct3=0b001, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRLIW, Format.I_SHIFT, OP_IMM32, funct3=0b101, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRAIW, Format.I_SHIFT, OP_IMM32, funct3=0b101, funct7=0b0100000),
+    InstructionSpec(Mnemonic.ADDW, _R, OP_REG32, funct3=0b000, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SUBW, _R, OP_REG32, funct3=0b000, funct7=0b0100000),
+    InstructionSpec(Mnemonic.SLLW, _R, OP_REG32, funct3=0b001, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRLW, _R, OP_REG32, funct3=0b101, funct7=0b0000000),
+    InstructionSpec(Mnemonic.SRAW, _R, OP_REG32, funct3=0b101, funct7=0b0100000),
+    InstructionSpec(Mnemonic.MUL, _R, OP_REG, funct3=0b000, funct7=0b0000001),
+    InstructionSpec(Mnemonic.MULH, _R, OP_REG, funct3=0b001, funct7=0b0000001),
+    InstructionSpec(Mnemonic.MULHSU, _R, OP_REG, funct3=0b010, funct7=0b0000001),
+    InstructionSpec(Mnemonic.MULHU, _R, OP_REG, funct3=0b011, funct7=0b0000001),
+    InstructionSpec(Mnemonic.DIV, _R, OP_REG, funct3=0b100, funct7=0b0000001),
+    InstructionSpec(Mnemonic.DIVU, _R, OP_REG, funct3=0b101, funct7=0b0000001),
+    InstructionSpec(Mnemonic.REM, _R, OP_REG, funct3=0b110, funct7=0b0000001),
+    InstructionSpec(Mnemonic.REMU, _R, OP_REG, funct3=0b111, funct7=0b0000001),
+    InstructionSpec(Mnemonic.MULW, _R, OP_REG32, funct3=0b000, funct7=0b0000001),
+    InstructionSpec(Mnemonic.DIVW, _R, OP_REG32, funct3=0b100, funct7=0b0000001),
+    InstructionSpec(Mnemonic.DIVUW, _R, OP_REG32, funct3=0b101, funct7=0b0000001),
+    InstructionSpec(Mnemonic.REMW, _R, OP_REG32, funct3=0b110, funct7=0b0000001),
+    InstructionSpec(Mnemonic.REMUW, _R, OP_REG32, funct3=0b111, funct7=0b0000001),
+    InstructionSpec(Mnemonic.CSRRW, Format.CSR, OP_SYSTEM, funct3=0b001),
+    InstructionSpec(Mnemonic.CSRRS, Format.CSR, OP_SYSTEM, funct3=0b010),
+    InstructionSpec(Mnemonic.CSRRC, Format.CSR, OP_SYSTEM, funct3=0b011),
+    InstructionSpec(Mnemonic.CFLUSH, _I, OP_CUSTOM0, funct3=0b000),
+]
+
+#: Mnemonic -> spec.
+SPECS: Dict[Mnemonic, InstructionSpec] = {spec.mnemonic: spec for spec in _SPEC_LIST}
+
+#: Mnemonic text (e.g. ``"addi"``) -> Mnemonic.
+MNEMONIC_BY_NAME: Dict[str, Mnemonic] = {m.value: m for m in Mnemonic}
+
+#: Mnemonics whose semantics read data memory.
+LOAD_MNEMONICS = frozenset({
+    Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LD,
+    Mnemonic.LBU, Mnemonic.LHU, Mnemonic.LWU,
+})
+
+#: Mnemonics whose semantics write data memory.
+STORE_MNEMONICS = frozenset({
+    Mnemonic.SB, Mnemonic.SH, Mnemonic.SW, Mnemonic.SD,
+})
+
+#: Conditional branches.
+BRANCH_MNEMONICS = frozenset({
+    Mnemonic.BEQ, Mnemonic.BNE, Mnemonic.BLT,
+    Mnemonic.BGE, Mnemonic.BLTU, Mnemonic.BGEU,
+})
+
+#: Unconditional control transfers.
+JUMP_MNEMONICS = frozenset({Mnemonic.JAL, Mnemonic.JALR})
+
+#: Access width in bytes of each memory mnemonic.
+ACCESS_WIDTH = {
+    Mnemonic.LB: 1, Mnemonic.LBU: 1, Mnemonic.SB: 1,
+    Mnemonic.LH: 2, Mnemonic.LHU: 2, Mnemonic.SH: 2,
+    Mnemonic.LW: 4, Mnemonic.LWU: 4, Mnemonic.SW: 4,
+    Mnemonic.LD: 8, Mnemonic.SD: 8,
+}
+
+#: Loads whose result is sign-extended.
+SIGNED_LOADS = frozenset({Mnemonic.LB, Mnemonic.LH, Mnemonic.LW, Mnemonic.LD})
+
+
+def is_load(mnemonic: Mnemonic) -> bool:
+    """Whether ``mnemonic`` reads data memory."""
+    return mnemonic in LOAD_MNEMONICS
+
+
+def is_store(mnemonic: Mnemonic) -> bool:
+    """Whether ``mnemonic`` writes data memory."""
+    return mnemonic in STORE_MNEMONICS
+
+
+def is_branch(mnemonic: Mnemonic) -> bool:
+    """Whether ``mnemonic`` is a conditional branch."""
+    return mnemonic in BRANCH_MNEMONICS
+
+
+def is_jump(mnemonic: Mnemonic) -> bool:
+    """Whether ``mnemonic`` is an unconditional jump."""
+    return mnemonic in JUMP_MNEMONICS
+
+
+def is_control_flow(mnemonic: Mnemonic) -> bool:
+    """Whether ``mnemonic`` may redirect the PC."""
+    return is_branch(mnemonic) or is_jump(mnemonic)

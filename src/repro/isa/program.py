@@ -1,0 +1,94 @@
+"""Linked guest program container.
+
+A :class:`Program` is the output of the assembler and the input of both
+the functional interpreter and the DBT engine: two byte images (text and
+data), their base addresses, an entry point and a symbol table.  The text
+image holds real encoded RV64IM words — consumers decode it, they never
+see assembler-level objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from .decoding import decode
+from .instruction import Instruction
+
+#: Default load addresses.  Small and page-aligned; the simulated address
+#: space is flat so the exact values only matter for cache-set mapping.
+DEFAULT_TEXT_BASE = 0x0001_0000
+DEFAULT_DATA_BASE = 0x0010_0000
+#: Default top-of-stack for the interpreter / platform runners.
+DEFAULT_STACK_TOP = 0x0080_0000
+
+
+class SymbolError(KeyError):
+    """Raised when a symbol is missing from a program's symbol table."""
+
+
+@dataclass
+class Program:
+    """A fully linked guest binary."""
+
+    text: bytes
+    data: bytes = b""
+    text_base: int = DEFAULT_TEXT_BASE
+    data_base: int = DEFAULT_DATA_BASE
+    entry: int = DEFAULT_TEXT_BASE
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.text) % 4:
+            raise ValueError("text image length must be a multiple of 4")
+        if self.text_base % 4:
+            raise ValueError("text base must be word aligned")
+
+    @property
+    def text_end(self) -> int:
+        """First address past the text image."""
+        return self.text_base + len(self.text)
+
+    @property
+    def data_end(self) -> int:
+        """First address past the data image."""
+        return self.data_base + len(self.data)
+
+    def symbol(self, name: str) -> int:
+        """Address of symbol ``name``."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise SymbolError("undefined symbol: %r" % name) from None
+
+    def contains_text(self, address: int) -> bool:
+        """Whether ``address`` falls inside the text image."""
+        return self.text_base <= address < self.text_end
+
+    def word_at(self, address: int) -> int:
+        """Raw 32-bit instruction word at ``address``."""
+        if not self.contains_text(address):
+            raise ValueError("address %#x outside text image" % address)
+        offset = address - self.text_base
+        return int.from_bytes(self.text[offset:offset + 4], "little")
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Decode the instruction at ``address``."""
+        return decode(self.word_at(address), address=address)
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Decode the whole text image in address order."""
+        for offset in range(0, len(self.text), 4):
+            address = self.text_base + offset
+            yield decode(
+                int.from_bytes(self.text[offset:offset + 4], "little"),
+                address=address,
+            )
+
+    def instruction_count(self) -> int:
+        """Number of instruction words in the text image."""
+        return len(self.text) // 4
+
+    def segments(self) -> Tuple[Tuple[int, bytes], ...]:
+        """(base, image) pairs to load into guest memory."""
+        return ((self.text_base, self.text), (self.data_base, self.data))

@@ -1,0 +1,67 @@
+"""Architectural register names for the RV64 guest ISA.
+
+The guest ISA exposes the 32 integer registers of RISC-V.  Registers can be
+written either as ``x0`` .. ``x31`` or with their standard ABI names
+(``zero``, ``ra``, ``sp``, ...).  Internally every register is an integer
+index in ``range(32)``; this module owns the mapping in both directions.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+#: ABI names indexed by register number, per the RISC-V psABI.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_INDEX = {name: index for index, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX.update({"x%d" % index: index for index in range(NUM_REGISTERS)})
+# 'fp' is the conventional alias for s0/x8.
+_NAME_TO_INDEX["fp"] = 8
+
+ZERO = 0
+RA = 1
+SP = 2
+A0 = 10
+A1 = 11
+A7 = 17
+
+
+class UnknownRegisterError(ValueError):
+    """Raised when a register name cannot be resolved."""
+
+
+def parse_register(name: str) -> int:
+    """Return the register index for ``name`` (ABI or ``xN`` form).
+
+    >>> parse_register("sp")
+    2
+    >>> parse_register("x31")
+    31
+    """
+    try:
+        return _NAME_TO_INDEX[name.strip().lower()]
+    except KeyError:
+        raise UnknownRegisterError("unknown register name: %r" % name) from None
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI name for register ``index``.
+
+    >>> register_name(2)
+    'sp'
+    """
+    if not 0 <= index < NUM_REGISTERS:
+        raise UnknownRegisterError("register index out of range: %r" % index)
+    return ABI_NAMES[index]
+
+
+def is_valid_register(index: int) -> bool:
+    """Whether ``index`` denotes an architectural integer register."""
+    return 0 <= index < NUM_REGISTERS

@@ -1,0 +1,295 @@
+"""Kernel DSL abstract syntax.
+
+The paper benchmarks Polybench kernels compiled to RISC-V.  With no
+cross-compiler available offline, this package provides a deliberately
+small loop-nest language and a compiler to guest assembly
+(:mod:`repro.kernels.compiler`).  The language covers everything the
+Polybench subset needs: integer scalars, multi-dimensional arrays
+(linearised by the kernel definitions), ``for`` loops, loads/stores, and
+raw address loads for the pointer-table (double indirection) matrix
+representation of Section V-B.
+
+All values are 64-bit integers — the guest ISA is rv64im, so the
+floating-point Polybench kernels are reinterpreted over int64 (documented
+substitution; the memory/ILP structure, which is what drives the DBT's
+speculation, is unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class of DSL expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "ExprLike") -> "Bin":
+        return Bin("+", self, wrap(other))
+
+    def __radd__(self, other: "ExprLike") -> "Bin":
+        return Bin("+", wrap(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Bin":
+        return Bin("-", self, wrap(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Bin":
+        return Bin("-", wrap(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Bin":
+        return Bin("*", self, wrap(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Bin":
+        return Bin("*", wrap(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "Bin":
+        return Bin("/", self, wrap(other))
+
+    def __floordiv__(self, other: "ExprLike") -> "Bin":
+        return Bin("/", self, wrap(other))
+
+    def __mod__(self, other: "ExprLike") -> "Bin":
+        return Bin("%", self, wrap(other))
+
+    def __lshift__(self, other: "ExprLike") -> "Bin":
+        return Bin("<<", self, wrap(other))
+
+    def __rshift__(self, other: "ExprLike") -> "Bin":
+        return Bin(">>", self, wrap(other))
+
+    def __and__(self, other: "ExprLike") -> "Bin":
+        return Bin("&", self, wrap(other))
+
+    def __or__(self, other: "ExprLike") -> "Bin":
+        return Bin("|", self, wrap(other))
+
+    def __xor__(self, other: "ExprLike") -> "Bin":
+        return Bin("^", self, wrap(other))
+
+
+ExprLike = Union[Expr, int]
+
+
+def wrap(value: ExprLike) -> Expr:
+    """Lift plain ints to :class:`Const`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError("cannot use %r in a kernel expression" % (value,))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Scalar variable (register-allocated by the compiler)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """Binary operation.  ``op`` in ``+ - * / % << >> & | ^``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    _OPS = frozenset({"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"})
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError("unknown binary op: %r" % self.op)
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """``array[index]`` — element load from a declared array."""
+
+    array: str
+    index: Expr
+    width: int = 8
+    signed: bool = True
+
+
+@dataclass(frozen=True)
+class LoadAt(Expr):
+    """``*(address)`` — raw load; the double-indirection primitive."""
+
+    address: Expr
+    width: int = 8
+    signed: bool = True
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """``&array[index]`` (index defaults to 0)."""
+
+    array: str
+    index: Expr = Const(0)
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class of DSL statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Let(Stmt):
+    """``name = expr`` — define or update a scalar."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """``array[index] = value``."""
+
+    array: str
+    index: Expr
+    value: Expr
+    width: int = 8
+
+
+@dataclass(frozen=True)
+class StoreAt(Stmt):
+    """``*(address) = value`` — raw store."""
+
+    address: Expr
+    value: Expr
+    width: int = 8
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for var in range(start, end, step): body``.
+
+    ``start`` and ``step`` must be constants; ``end`` a constant or a
+    scalar — enough for the Polybench loop nests while keeping the
+    compiler's register allocation trivial.
+    """
+
+    var: str
+    start: int
+    end: ExprLike
+    body: Tuple[Stmt, ...]
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise ValueError("loop step must be non-zero")
+        end = self.end
+        if not isinstance(end, (int, Var)):
+            raise ValueError("loop end must be a constant or a Var")
+
+
+def loop(var: str, start: int, end: ExprLike, body: Sequence[Stmt], step: int = 1) -> For:
+    """Convenience constructor for :class:`For`."""
+    return For(var=var, start=start, end=end, body=tuple(body), step=step)
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A comparison for :class:`If`: ``left OP right``.
+
+    ``op`` in ``< <= == != > >=`` (signed) or ``u< u>=`` (unsigned).
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    _OPS = frozenset({"<", "<=", "==", "!=", ">", ">=", "u<", "u>="})
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError("unknown comparison: %r" % self.op)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if cond: then else: orelse`` — a real guest branch.
+
+    Conditionals in kernels create the biased in-trace branches the DBT
+    engine speculates across (Section III-A): when one arm strongly
+    dominates, the superblock follows it and hoists its loads above the
+    guard.
+    """
+
+    cond: Compare
+    then: Tuple[Stmt, ...]
+    orelse: Tuple[Stmt, ...] = ()
+
+
+def when(op: str, left: ExprLike, right: ExprLike,
+         then: Sequence[Stmt], orelse: Sequence[Stmt] = ()) -> If:
+    """Convenience constructor for :class:`If`."""
+    return If(cond=Compare(op, wrap(left), wrap(right)),
+              then=tuple(then), orelse=tuple(orelse))
+
+
+# ---------------------------------------------------------------------------
+# Kernel container.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """One statically allocated array.
+
+    ``init`` entries may be ints or ``(symbol, addend)`` pairs — the
+    latter become ``.dword symbol+addend`` (pointer tables).
+    """
+
+    name: str
+    length: int
+    elem_size: int = 8
+    init: Optional[Tuple[Union[int, Tuple[str, int]], ...]] = None
+    align: int = 6  # log2 alignment; default cache-line aligned
+
+    def __post_init__(self) -> None:
+        if self.elem_size not in (1, 2, 4, 8):
+            raise ValueError("bad element size: %r" % self.elem_size)
+        if self.init is not None and len(self.init) > self.length:
+            raise ValueError(
+                "array %s: %d initialisers for %d elements"
+                % (self.name, len(self.init), self.length)
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.length * self.elem_size
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A complete kernel: arrays, body, and a checksum expression whose
+    low 7 bits become the guest's exit code (the correctness oracle)."""
+
+    name: str
+    arrays: Tuple[ArrayDecl, ...]
+    body: Tuple[Stmt, ...]
+    result: Expr
+
+    def array(self, name: str) -> ArrayDecl:
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise KeyError("kernel %s has no array %r" % (self.name, name))

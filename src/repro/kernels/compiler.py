@@ -1,0 +1,411 @@
+"""Kernel DSL compiler: loop-nest AST -> guest assembly -> Program.
+
+A deliberately simple one-pass code generator:
+
+* every scalar (loop variable or ``Let`` target) lives in a dedicated
+  callee register for the whole kernel (no spilling — kernels are small
+  loop nests);
+* every array base is preloaded into a register at kernel entry;
+* expressions evaluate into a small stack of caller-saved temporaries;
+* the kernel's ``result`` expression, masked to 7 bits, becomes the
+  guest exit code — the cross-checkable checksum.
+
+The generated code is ordinary scalar RISC-V, exactly the shape a ``-O1``
+compiler would emit for Polybench loop nests: address arithmetic, loads,
+a multiply-accumulate, a store, a counted back edge.  All scheduling and
+speculation then happens in the DBT engine, as on the paper's platform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .ast import (
+    AddrOf,
+    ArrayDecl,
+    Bin,
+    Compare,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    LoadAt,
+    Stmt,
+    Store,
+    StoreAt,
+    Var,
+)
+
+
+class CompileError(Exception):
+    """Raised on register exhaustion or malformed kernels."""
+
+
+#: Registers for scalars and array bases (callee-saved + spare args).
+_VAR_POOL = (
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6",
+)
+#: Expression-evaluation temporaries.
+_TEMP_POOL = ("t0", "t1", "t2", "t3", "t4", "t5", "t6")
+
+_WIDTH_LOAD = {1: "lbu", 2: "lhu", 4: "lw", 8: "ld"}
+_WIDTH_LOAD_SIGNED = {1: "lb", 2: "lh", 4: "lw", 8: "ld"}
+_WIDTH_STORE = {1: "sb", 2: "sh", 4: "sw", 8: "sd"}
+_WIDTH_DIRECTIVE = {1: ".byte", 2: ".half", 4: ".word", 8: ".dword"}
+
+_BIN_INSTRUCTION = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "<<": "sll", ">>": "srl", "&": "and", "|": "or", "^": "xor",
+}
+
+
+class _Temps:
+    """LIFO pool of expression temporaries."""
+
+    def __init__(self) -> None:
+        self._free = list(_TEMP_POOL)
+
+    def acquire(self) -> str:
+        if not self._free:
+            raise CompileError("expression too deep: temporaries exhausted")
+        return self._free.pop(0)
+
+    def release(self, reg: str) -> None:
+        if reg in _TEMP_POOL and reg not in self._free:
+            self._free.insert(0, reg)
+
+
+class KernelCompiler:
+    """Compiles one :class:`Kernel` to assembly text."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._lines: List[str] = []
+        self._vars: Dict[str, str] = {}
+        self._bases: Dict[str, str] = {}
+        self._pool = list(_VAR_POOL)
+        self._labels = itertools.count()
+        self._temps = _Temps()
+
+    # ------------------------------------------------------------------
+    # Register management.
+    # ------------------------------------------------------------------
+
+    def _allocate(self, what: str) -> str:
+        if not self._pool:
+            raise CompileError(
+                "kernel %s: out of scalar registers at %s"
+                % (self.kernel.name, what)
+            )
+        return self._pool.pop(0)
+
+    def _var_reg(self, name: str) -> str:
+        reg = self._vars.get(name)
+        if reg is None:
+            reg = self._allocate("variable %r" % name)
+            self._vars[name] = reg
+        return reg
+
+    def _base_reg(self, array: str) -> str:
+        try:
+            return self._bases[array]
+        except KeyError:
+            raise CompileError(
+                "kernel %s references undeclared array %r"
+                % (self.kernel.name, array)
+            ) from None
+
+    def _array_decl(self, array: str) -> ArrayDecl:
+        try:
+            return self.kernel.array(array)
+        except KeyError:
+            raise CompileError(
+                "kernel %s references undeclared array %r"
+                % (self.kernel.name, array)
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Emission helpers.
+    # ------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append("    " + text)
+
+    def _label(self, prefix: str) -> str:
+        return "%s_%d" % (prefix, next(self._labels))
+
+    def _place_label(self, label: str) -> None:
+        self._lines.append(label + ":")
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def _compile_expr(self, expr: Expr) -> Tuple[str, bool]:
+        """Compile ``expr``; returns (register, is_temporary)."""
+        if isinstance(expr, Const):
+            reg = self._temps.acquire()
+            self._emit("li %s, %d" % (reg, expr.value))
+            return reg, True
+        if isinstance(expr, Var):
+            if expr.name not in self._vars:
+                raise CompileError("use of undefined variable %r" % expr.name)
+            return self._vars[expr.name], False
+        if isinstance(expr, Bin):
+            return self._compile_bin(expr)
+        if isinstance(expr, Load):
+            return self._compile_load(expr)
+        if isinstance(expr, LoadAt):
+            address, addr_temp = self._compile_expr(expr.address)
+            dest = address if addr_temp else self._temps.acquire()
+            table = _WIDTH_LOAD_SIGNED if expr.signed else _WIDTH_LOAD
+            self._emit("%s %s, 0(%s)" % (table[expr.width], dest, address))
+            return dest, True
+        if isinstance(expr, AddrOf):
+            dest = self._temps.acquire()
+            decl = self._array_decl(expr.array)
+            index, index_temp = self._compile_expr(expr.index)
+            shift = decl.elem_size.bit_length() - 1
+            if shift:
+                self._emit("slli %s, %s, %d" % (dest, index, shift))
+                self._emit("add %s, %s, %s" % (dest, self._base_reg(expr.array), dest))
+            else:
+                self._emit("add %s, %s, %s" % (dest, self._base_reg(expr.array), index))
+            if index_temp:
+                self._temps.release(index)
+            return dest, True
+        raise CompileError("cannot compile expression %r" % (expr,))
+
+    def _compile_bin(self, expr: Bin) -> Tuple[str, bool]:
+        immediate = self._try_immediate_form(expr)
+        if immediate is not None:
+            return immediate
+        left, left_temp = self._compile_expr(expr.left)
+        right, right_temp = self._compile_expr(expr.right)
+        dest = left if left_temp else (right if right_temp else self._temps.acquire())
+        self._emit("%s %s, %s, %s" % (_BIN_INSTRUCTION[expr.op], dest, left, right))
+        if left_temp and dest != left:
+            self._temps.release(left)
+        if right_temp and dest != right:
+            self._temps.release(right)
+        return dest, True
+
+    def _try_immediate_form(self, expr: Bin) -> Optional[Tuple[str, bool]]:
+        """Peephole: use RISC-V immediate instructions for constant RHS
+        (and strength-reduce multiplies by powers of two to shifts)."""
+        if not isinstance(expr.right, Const):
+            return None
+        value = expr.right.value
+        op = expr.op
+        mnemonic: Optional[str] = None
+        imm = value
+        if op == "+" and -2048 <= value <= 2047:
+            mnemonic = "addi"
+        elif op == "-" and -2047 <= value <= 2048:
+            mnemonic, imm = "addi", -value
+        elif op == "<<" and 0 <= value <= 63:
+            mnemonic = "slli"
+        elif op == ">>" and 0 <= value <= 63:
+            mnemonic = "srli"
+        elif op == "&" and -2048 <= value <= 2047:
+            mnemonic = "andi"
+        elif op == "|" and -2048 <= value <= 2047:
+            mnemonic = "ori"
+        elif op == "^" and -2048 <= value <= 2047:
+            mnemonic = "xori"
+        elif op == "*" and value > 0 and value & (value - 1) == 0:
+            mnemonic, imm = "slli", value.bit_length() - 1
+        if mnemonic is None:
+            return None
+        left, left_temp = self._compile_expr(expr.left)
+        dest = left if left_temp else self._temps.acquire()
+        self._emit("%s %s, %s, %d" % (mnemonic, dest, left, imm))
+        return dest, True
+
+    def _compile_load(self, expr: Load) -> Tuple[str, bool]:
+        decl = self._array_decl(expr.array)
+        index, index_temp = self._compile_expr(expr.index)
+        address = index if index_temp else self._temps.acquire()
+        shift = decl.elem_size.bit_length() - 1
+        if shift:
+            self._emit("slli %s, %s, %d" % (address, index, shift))
+            self._emit("add %s, %s, %s" % (address, self._base_reg(expr.array), address))
+        else:
+            self._emit("add %s, %s, %s" % (address, self._base_reg(expr.array), index))
+        table = _WIDTH_LOAD_SIGNED if expr.signed else _WIDTH_LOAD
+        self._emit("%s %s, 0(%s)" % (table[expr.width], address, address))
+        return address, True
+
+    def _element_address(self, array: str, index: Expr) -> str:
+        """Compute &array[index] into a fresh temp."""
+        decl = self._array_decl(array)
+        index_reg, index_temp = self._compile_expr(index)
+        address = index_reg if index_temp else self._temps.acquire()
+        shift = decl.elem_size.bit_length() - 1
+        if shift:
+            self._emit("slli %s, %s, %d" % (address, index_reg, shift))
+            self._emit("add %s, %s, %s" % (address, self._base_reg(array), address))
+        else:
+            self._emit("add %s, %s, %s" % (address, self._base_reg(array), index_reg))
+        return address
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def _compile_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Let):
+            value, value_temp = self._compile_expr(stmt.expr)
+            home = self._var_reg(stmt.name)
+            if value != home:
+                self._emit("mv %s, %s" % (home, value))
+            if value_temp:
+                self._temps.release(value)
+        elif isinstance(stmt, Store):
+            value, value_temp = self._compile_expr(stmt.value)
+            address = self._element_address(stmt.array, stmt.index)
+            self._emit("%s %s, 0(%s)" % (_WIDTH_STORE[stmt.width], value, address))
+            self._temps.release(address)
+            if value_temp:
+                self._temps.release(value)
+        elif isinstance(stmt, StoreAt):
+            value, value_temp = self._compile_expr(stmt.value)
+            address, addr_temp = self._compile_expr(stmt.address)
+            self._emit("%s %s, 0(%s)" % (_WIDTH_STORE[stmt.width], value, address))
+            if addr_temp:
+                self._temps.release(address)
+            if value_temp:
+                self._temps.release(value)
+        elif isinstance(stmt, For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, If):
+            self._compile_if(stmt)
+        else:
+            raise CompileError("cannot compile statement %r" % (stmt,))
+
+    #: Comparison -> branch taken when the comparison is FALSE.
+    _INVERSE_BRANCH = {
+        "<": "bge", "<=": "bgt", "==": "bne", "!=": "beq",
+        ">": "ble", ">=": "blt", "u<": "bgeu", "u>=": "bltu",
+    }
+
+    def _compile_if(self, stmt: If) -> None:
+        left, left_temp = self._compile_expr(stmt.cond.left)
+        right, right_temp = self._compile_expr(stmt.cond.right)
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        self._emit("%s %s, %s, %s" % (
+            self._INVERSE_BRANCH[stmt.cond.op], left, right,
+            else_label if stmt.orelse else end_label,
+        ))
+        if left_temp:
+            self._temps.release(left)
+        if right_temp:
+            self._temps.release(right)
+        for inner in stmt.then:
+            self._compile_stmt(inner)
+        if stmt.orelse:
+            self._emit("j %s" % end_label)
+            self._place_label(else_label)
+            for inner in stmt.orelse:
+                self._compile_stmt(inner)
+        self._place_label(end_label)
+
+    def _compile_for(self, stmt: For) -> None:
+        var = self._var_reg(stmt.var)
+        head = self._label("loop_%s" % stmt.var)
+        done = self._label("done_%s" % stmt.var)
+        self._emit("li %s, %d" % (var, stmt.start))
+        self._place_label(head)
+        # Guard at the top so zero-trip loops are handled.
+        limit = self._loop_limit(stmt)
+        if stmt.step > 0:
+            self._emit("bge %s, %s, %s" % (var, limit[0], done))
+        else:
+            self._emit("ble %s, %s, %s" % (var, limit[0], done))
+        if limit[1]:
+            self._temps.release(limit[0])
+        for inner in stmt.body:
+            self._compile_stmt(inner)
+        self._emit("addi %s, %s, %d" % (var, var, stmt.step))
+        self._emit("j %s" % head)
+        self._place_label(done)
+
+    def _loop_limit(self, stmt: For) -> Tuple[str, bool]:
+        end = stmt.end
+        if isinstance(end, int):
+            reg = self._temps.acquire()
+            self._emit("li %s, %d" % (reg, end))
+            return reg, True
+        if isinstance(end, Var):
+            if end.name not in self._vars:
+                raise CompileError("loop bound uses undefined variable %r" % end.name)
+            return self._vars[end.name], False
+        raise CompileError("unsupported loop bound %r" % (end,))
+
+    # ------------------------------------------------------------------
+    # Top level.
+    # ------------------------------------------------------------------
+
+    def compile(self) -> str:
+        """Produce the full assembly text."""
+        kernel = self.kernel
+        self._lines = []
+        self._lines.append("# kernel: %s (generated by repro.kernels.compiler)" % kernel.name)
+        self._lines.append("_start:")
+        for decl in kernel.arrays:
+            base = self._allocate("base of array %r" % decl.name)
+            self._bases[decl.name] = base
+            self._emit("la %s, %s" % (base, decl.name))
+        for stmt in kernel.body:
+            self._compile_stmt(stmt)
+        value, value_temp = self._compile_expr(kernel.result)
+        self._emit("andi a0, %s, 0x7f" % value)
+        if value_temp:
+            self._temps.release(value)
+        self._emit("li a7, 93")
+        self._emit("ecall")
+        self._lines.append(".data")
+        for decl in kernel.arrays:
+            self._emit_array(decl)
+        return "\n".join(self._lines) + "\n"
+
+    def _emit_array(self, decl: ArrayDecl) -> None:
+        self._lines.append(".align %d" % decl.align)
+        self._lines.append("%s:" % decl.name)
+        directive = _WIDTH_DIRECTIVE[decl.elem_size]
+        initialised = 0
+        if decl.init:
+            for entry in decl.init:
+                if isinstance(entry, tuple):
+                    symbol, addend = entry
+                    if decl.elem_size != 8:
+                        raise CompileError("pointer entries need 8-byte elements")
+                    if addend:
+                        self._lines.append("    .dword %s+%d" % (symbol, addend))
+                    else:
+                        self._lines.append("    .dword %s" % symbol)
+                else:
+                    mask = (1 << (decl.elem_size * 8)) - 1
+                    self._lines.append("    %s %d" % (directive, entry & mask))
+            initialised = len(decl.init)
+        remaining = (decl.length - initialised) * decl.elem_size
+        if remaining:
+            self._lines.append("    .space %d" % remaining)
+
+
+def compile_kernel(kernel: Kernel) -> str:
+    """Kernel -> assembly text."""
+    return KernelCompiler(kernel).compile()
+
+
+def build_kernel_program(kernel: Kernel) -> Program:
+    """Kernel -> linked guest Program."""
+    return assemble(compile_kernel(kernel))

@@ -1,0 +1,675 @@
+"""Polybench-style workloads for the Figure 4 experiment.
+
+The paper benchmarks data-intensive Polybench applications ("DBT
+processors are more efficient on data-intensive applications").  This
+module defines the corresponding loop nests in the kernel DSL, over
+int64 data (the guest ISA is rv64im — documented substitution; the
+memory/ILP structure that drives the DBT's speculation is preserved).
+
+Each entry also computes a checksum over its outputs whose low 7 bits
+become the guest exit code, giving every benchmark run an end-to-end
+correctness oracle against the reference interpreter.
+
+``matmul_ptr`` is the Section V-B ablation: the same matrix multiply with
+the 2D arrays represented as arrays of row pointers, creating the double
+indirection (load feeding a load's address) that triggers the Spectre
+pattern detector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .ast import (
+    ArrayDecl,
+    Const,
+    Kernel,
+    Let,
+    Load,
+    LoadAt,
+    Store,
+    StoreAt,
+    Var,
+    loop,
+    when,
+)
+
+
+def _values(count: int, seed: int, bound: int = 9) -> Tuple[int, ...]:
+    """Deterministic small positive values (LCG), 1..bound."""
+    state = seed or 1
+    out: List[int] = []
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(1 + state % bound)
+    return tuple(out)
+
+
+def _checksum_over(array: str, length: int) -> Tuple:
+    """Statements accumulating ``chk`` over one array."""
+    return (
+        loop("t", 0, length, [
+            Let("chk", Var("chk") + Load(array, Var("t"))),
+        ]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernels.  Default sizes are chosen so a full 4-policy comparison of the
+# whole suite runs in minutes on the Python platform; pass a smaller
+# ``scale`` for quick tests.
+# ---------------------------------------------------------------------------
+
+def gemm(n: int = 12) -> Kernel:
+    """C = alpha*A*B + beta*C."""
+    i, j, k = Var("i"), Var("j"), Var("k")
+    return Kernel(
+        name="gemm",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 11)),
+            ArrayDecl("B", n * n, init=_values(n * n, 23)),
+            ArrayDecl("C", n * n, init=_values(n * n, 37)),
+        ),
+        body=(
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Let("acc", Const(0)),
+                    loop("k", 0, n, [
+                        Let("acc", Var("acc") + Load("A", i * n + k) * Load("B", k * n + j)),
+                    ]),
+                    Store("C", i * n + j, Load("C", i * n + j) * 2 + Var("acc") * 3),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("C", n * n),
+        result=Var("chk"),
+    )
+
+
+def two_mm(n: int = 10) -> Kernel:
+    """D = A*B, then E = D*C (Polybench 2mm, int variant)."""
+    i, j, k = Var("i"), Var("j"), Var("k")
+
+    def matmul(dst: str, lhs: str, rhs: str) -> Tuple:
+        return (
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Let("acc", Const(0)),
+                    loop("k", 0, n, [
+                        Let("acc", Var("acc") + Load(lhs, i * n + k) * Load(rhs, k * n + j)),
+                    ]),
+                    Store(dst, i * n + j, Var("acc")),
+                ]),
+            ]),
+        )
+
+    return Kernel(
+        name="2mm",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 3)),
+            ArrayDecl("B", n * n, init=_values(n * n, 5)),
+            ArrayDecl("C", n * n, init=_values(n * n, 7)),
+            ArrayDecl("D", n * n),
+            ArrayDecl("E", n * n),
+        ),
+        body=matmul("D", "A", "B") + matmul("E", "D", "C") + (Let("chk", Const(0)),)
+        + _checksum_over("E", n * n),
+        result=Var("chk"),
+    )
+
+
+def three_mm(n: int = 9) -> Kernel:
+    """E = A*B, F = C*D, G = E*F (Polybench 3mm)."""
+    i, j, k = Var("i"), Var("j"), Var("k")
+
+    def matmul(dst: str, lhs: str, rhs: str) -> Tuple:
+        return (
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Let("acc", Const(0)),
+                    loop("k", 0, n, [
+                        Let("acc", Var("acc") + Load(lhs, i * n + k) * Load(rhs, k * n + j)),
+                    ]),
+                    Store(dst, i * n + j, Var("acc")),
+                ]),
+            ]),
+        )
+
+    return Kernel(
+        name="3mm",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 3)),
+            ArrayDecl("B", n * n, init=_values(n * n, 5)),
+            ArrayDecl("C", n * n, init=_values(n * n, 7)),
+            ArrayDecl("D", n * n, init=_values(n * n, 9)),
+            ArrayDecl("E", n * n),
+            ArrayDecl("F", n * n),
+            ArrayDecl("G", n * n),
+        ),
+        body=matmul("E", "A", "B") + matmul("F", "C", "D") + matmul("G", "E", "F")
+        + (Let("chk", Const(0)),) + _checksum_over("G", n * n),
+        result=Var("chk"),
+    )
+
+
+def atax(n: int = 24) -> Kernel:
+    """y = A^T (A x)."""
+    i, j = Var("i"), Var("j")
+    return Kernel(
+        name="atax",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 13)),
+            ArrayDecl("x", n, init=_values(n, 17)),
+            ArrayDecl("tmp", n),
+            ArrayDecl("y", n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                Let("acc", Const(0)),
+                loop("j", 0, n, [
+                    Let("acc", Var("acc") + Load("A", i * n + j) * Load("x", j)),
+                ]),
+                Store("tmp", i, Var("acc")),
+            ]),
+            loop("j", 0, n, [Store("y", j, Const(0))]),
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Store("y", j, Load("y", j) + Load("A", i * n + j) * Load("tmp", i)),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("y", n),
+        result=Var("chk"),
+    )
+
+
+def bicg(n: int = 24) -> Kernel:
+    """s = A^T r ; q = A p."""
+    i, j = Var("i"), Var("j")
+    return Kernel(
+        name="bicg",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 19)),
+            ArrayDecl("p", n, init=_values(n, 29)),
+            ArrayDecl("r", n, init=_values(n, 31)),
+            ArrayDecl("s", n),
+            ArrayDecl("q", n),
+        ),
+        body=(
+            loop("j", 0, n, [Store("s", j, Const(0))]),
+            loop("i", 0, n, [
+                Let("acc", Const(0)),
+                loop("j", 0, n, [
+                    Store("s", j, Load("s", j) + Load("r", i) * Load("A", i * n + j)),
+                    Let("acc", Var("acc") + Load("A", i * n + j) * Load("p", j)),
+                ]),
+                Store("q", i, Var("acc")),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("s", n) + _checksum_over("q", n),
+        result=Var("chk"),
+    )
+
+
+def mvt(n: int = 24) -> Kernel:
+    """x1 += A y1 ; x2 += A^T y2."""
+    i, j = Var("i"), Var("j")
+    return Kernel(
+        name="mvt",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 41)),
+            ArrayDecl("x1", n, init=_values(n, 43)),
+            ArrayDecl("x2", n, init=_values(n, 47)),
+            ArrayDecl("y1", n, init=_values(n, 53)),
+            ArrayDecl("y2", n, init=_values(n, 59)),
+        ),
+        body=(
+            loop("i", 0, n, [
+                Let("acc", Load("x1", i)),
+                loop("j", 0, n, [
+                    Let("acc", Var("acc") + Load("A", i * n + j) * Load("y1", j)),
+                ]),
+                Store("x1", i, Var("acc")),
+            ]),
+            loop("i", 0, n, [
+                Let("acc", Load("x2", i)),
+                loop("j", 0, n, [
+                    Let("acc", Var("acc") + Load("A", j * n + i) * Load("y2", j)),
+                ]),
+                Store("x2", i, Var("acc")),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("x1", n) + _checksum_over("x2", n),
+        result=Var("chk"),
+    )
+
+
+def gesummv(n: int = 20) -> Kernel:
+    """y = alpha*A*x + beta*B*x."""
+    i, j = Var("i"), Var("j")
+    return Kernel(
+        name="gesummv",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 61)),
+            ArrayDecl("B", n * n, init=_values(n * n, 67)),
+            ArrayDecl("x", n, init=_values(n, 71)),
+            ArrayDecl("y", n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                Let("ta", Const(0)),
+                Let("tb", Const(0)),
+                loop("j", 0, n, [
+                    Let("ta", Var("ta") + Load("A", i * n + j) * Load("x", j)),
+                    Let("tb", Var("tb") + Load("B", i * n + j) * Load("x", j)),
+                ]),
+                Store("y", i, Var("ta") * 3 + Var("tb") * 2),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("y", n),
+        result=Var("chk"),
+    )
+
+
+def gemver(n: int = 16) -> Kernel:
+    """A += u1 v1^T + u2 v2^T ; x = beta*A^T*y + z ; w = alpha*A*x."""
+    i, j = Var("i"), Var("j")
+    return Kernel(
+        name="gemver",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 73)),
+            ArrayDecl("u1", n, init=_values(n, 79)),
+            ArrayDecl("v1", n, init=_values(n, 83)),
+            ArrayDecl("u2", n, init=_values(n, 89)),
+            ArrayDecl("v2", n, init=_values(n, 97)),
+            ArrayDecl("y", n, init=_values(n, 101)),
+            ArrayDecl("z", n, init=_values(n, 103)),
+            ArrayDecl("x", n),
+            ArrayDecl("w", n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Store("A", i * n + j,
+                          Load("A", i * n + j)
+                          + Load("u1", i) * Load("v1", j)
+                          + Load("u2", i) * Load("v2", j)),
+                ]),
+            ]),
+            loop("i", 0, n, [
+                Let("acc", Const(0)),
+                loop("j", 0, n, [
+                    Let("acc", Var("acc") + Load("A", j * n + i) * Load("y", j)),
+                ]),
+                Store("x", i, Var("acc") * 2 + Load("z", i)),
+            ]),
+            loop("i", 0, n, [
+                Let("acc", Const(0)),
+                loop("j", 0, n, [
+                    Let("acc", Var("acc") + Load("A", i * n + j) * Load("x", j)),
+                ]),
+                Store("w", i, Var("acc") * 3),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("w", n),
+        result=Var("chk"),
+    )
+
+
+def doitgen(nr: int = 8, nq: int = 8, np_: int = 8) -> Kernel:
+    """sum[p] = sum_s A[r][q][s] * C4[s][p]; A[r][q][p] = sum[p]."""
+    r, q, p, s = Var("r"), Var("q"), Var("p"), Var("s")
+    return Kernel(
+        name="doitgen",
+        arrays=(
+            ArrayDecl("A", nr * nq * np_, init=_values(nr * nq * np_, 107)),
+            ArrayDecl("C4", np_ * np_, init=_values(np_ * np_, 109)),
+            ArrayDecl("sum", np_),
+        ),
+        body=(
+            loop("r", 0, nr, [
+                loop("q", 0, nq, [
+                    loop("p", 0, np_, [
+                        Let("acc", Const(0)),
+                        loop("s", 0, np_, [
+                            Let("acc", Var("acc")
+                                + Load("A", (r * nq + q) * np_ + s) * Load("C4", s * np_ + p)),
+                        ]),
+                        Store("sum", p, Var("acc")),
+                    ]),
+                    loop("p", 0, np_, [
+                        Store("A", (r * nq + q) * np_ + p, Load("sum", p)),
+                    ]),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("A", nr * nq * np_),
+        result=Var("chk"),
+    )
+
+
+def jacobi_1d(n: int = 240, steps: int = 12) -> Kernel:
+    """1-D 3-point stencil, ping-ponging A -> B -> A."""
+    i = Var("i")
+    return Kernel(
+        name="jacobi-1d",
+        arrays=(
+            ArrayDecl("A", n, init=_values(n, 113)),
+            ArrayDecl("B", n, init=_values(n, 127)),
+        ),
+        body=(
+            loop("t", 0, steps, [
+                loop("i", 1, n - 1, [
+                    Store("B", i, (Load("A", i - 1) + Load("A", i) + Load("A", i + 1)) >> 1),
+                ]),
+                loop("i", 1, n - 1, [
+                    Store("A", i, (Load("B", i - 1) + Load("B", i) + Load("B", i + 1)) >> 1),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("A", n),
+        result=Var("chk"),
+    )
+
+
+def jacobi_2d(n: int = 16, steps: int = 6) -> Kernel:
+    """2-D 5-point stencil, ping-ponging A -> B -> A."""
+    i, j = Var("i"), Var("j")
+
+    def sweep(dst: str, src: str) -> Tuple:
+        return (
+            loop("i", 1, n - 1, [
+                loop("j", 1, n - 1, [
+                    Store(dst, i * n + j,
+                          (Load(src, i * n + j)
+                           + Load(src, i * n + j - 1)
+                           + Load(src, i * n + j + 1)
+                           + Load(src, (i - 1) * n + j)
+                           + Load(src, (i + 1) * n + j)) >> 2),
+                ]),
+            ]),
+        )
+
+    return Kernel(
+        name="jacobi-2d",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 131)),
+            ArrayDecl("B", n * n, init=_values(n * n, 137)),
+        ),
+        body=(
+            loop("t", 0, steps, list(sweep("B", "A") + sweep("A", "B"))),
+            Let("chk", Const(0)),
+        ) + _checksum_over("A", n * n),
+        result=Var("chk"),
+    )
+
+
+def trisolv(n: int = 28) -> Kernel:
+    """Forward substitution: x = L^-1 b (unit-ish lower triangular)."""
+    i, j = Var("i"), Var("j")
+    diag = tuple(1 + v % 4 for v in _values(n, 139))
+    lower = _values(n * n, 149)
+    l_init = tuple(
+        diag[r] if r == c else (lower[r * n + c] if c < r else 0)
+        for r in range(n) for c in range(n)
+    )
+    return Kernel(
+        name="trisolv",
+        arrays=(
+            ArrayDecl("L", n * n, init=l_init),
+            ArrayDecl("b", n, init=_values(n, 151, bound=100)),
+            ArrayDecl("x", n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                Let("acc", Load("b", Var("i"))),
+                loop("j", 0, Var("i"), [
+                    Let("acc", Var("acc") - Load("L", i * n + j) * Load("x", j)),
+                ]),
+                Store("x", i, Var("acc") / Load("L", i * n + i)),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("x", n),
+        result=Var("chk"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section V-B ablation: matrix multiply over arrays of row pointers.
+# ---------------------------------------------------------------------------
+
+def matmul_ptr(n: int = 12) -> Kernel:
+    """Matrix multiply with pointer-table 2D representation.
+
+    "We have modified the way 2D arrays are represented, selecting the
+    one based on arrays of pointers.  Consequently, there are much more
+    double indirection accesses, which increase the occurrence rate of
+    Spectre patterns."  Every element access loads the row pointer first
+    and then dereferences it — the row-pointer load speculates, poisoning
+    the element address.
+    """
+    i, j, k = Var("i"), Var("j"), Var("k")
+
+    def row_table(name: str, data: str) -> ArrayDecl:
+        return ArrayDecl(
+            name, n, init=tuple((data, r * n * 8) for r in range(n)),
+        )
+
+    def elem(table: str, row, col) -> LoadAt:
+        return LoadAt(Load(table, row) + (col << 3))
+
+    return Kernel(
+        name="matmul-ptr",
+        arrays=(
+            row_table("A_rows", "A_data"),
+            row_table("B_rows", "B_data"),
+            row_table("C_rows", "C_data"),
+            ArrayDecl("A_data", n * n, init=_values(n * n, 157)),
+            ArrayDecl("B_data", n * n, init=_values(n * n, 163)),
+            ArrayDecl("C_data", n * n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Let("acc", Const(0)),
+                    loop("k", 0, n, [
+                        Let("acc", Var("acc") + elem("A_rows", i, k) * elem("B_rows", k, j)),
+                    ]),
+                    StoreAt(Load("C_rows", i) + (j << 3), Var("acc")),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("C_data", n * n),
+        result=Var("chk"),
+    )
+
+
+def matmul_flat(n: int = 12) -> Kernel:
+    """The flat-array twin of :func:`matmul_ptr` (same data, same sizes),
+    for side-by-side comparison in the Section V-B experiment."""
+    i, j, k = Var("i"), Var("j"), Var("k")
+    return Kernel(
+        name="matmul-flat",
+        arrays=(
+            ArrayDecl("A", n * n, init=_values(n * n, 157)),
+            ArrayDecl("B", n * n, init=_values(n * n, 163)),
+            ArrayDecl("C", n * n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                loop("j", 0, n, [
+                    Let("acc", Const(0)),
+                    loop("k", 0, n, [
+                        Let("acc", Var("acc") + Load("A", i * n + k) * Load("B", k * n + j)),
+                    ]),
+                    Store("C", i * n + j, Var("acc")),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("C", n * n),
+        result=Var("chk"),
+    )
+
+
+def seidel_2d(n: int = 14, steps: int = 4) -> Kernel:
+    """Gauss-Seidel 2-D sweep (in-place 9-point average, Polybench
+    'seidel-2d' over int64 with a shift instead of /9)."""
+    i, j = Var("i"), Var("j")
+    return Kernel(
+        name="seidel-2d",
+        arrays=(ArrayDecl("A", n * n, init=_values(n * n, 179, bound=64)),),
+        body=(
+            loop("t", 0, steps, [
+                loop("i", 1, n - 1, [
+                    loop("j", 1, n - 1, [
+                        Store("A", i * n + j,
+                              (Load("A", (i - 1) * n + j - 1)
+                               + Load("A", (i - 1) * n + j)
+                               + Load("A", (i - 1) * n + j + 1)
+                               + Load("A", i * n + j - 1)
+                               + Load("A", i * n + j)
+                               + Load("A", i * n + j + 1)
+                               + Load("A", (i + 1) * n + j - 1)
+                               + Load("A", (i + 1) * n + j)
+                               + Load("A", (i + 1) * n + j + 1)) >> 3),
+                    ]),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("A", n * n),
+        result=Var("chk"),
+    )
+
+
+def floyd_warshall(n: int = 10) -> Kernel:
+    """All-pairs shortest paths (Polybench 'floyd-warshall', medley).
+
+    The relaxation is a data-dependent conditional, so unlike the linear-
+    algebra kernels this one carries an in-trace branch whose bias the
+    profile discovers (most relaxations fail once paths settle).
+    """
+    i, j, k = Var("i"), Var("j"), Var("k")
+    weights = tuple(
+        0 if r == c else 10 + v
+        for (r, c), v in zip(
+            ((r, c) for r in range(n) for c in range(n)),
+            _values(n * n, 181, bound=90),
+        )
+    )
+    return Kernel(
+        name="floyd-warshall",
+        arrays=(ArrayDecl("W", n * n, init=weights),),
+        body=(
+            loop("k", 0, n, [
+                loop("i", 0, n, [
+                    loop("j", 0, n, [
+                        Let("via", Load("W", i * n + k) + Load("W", k * n + j)),
+                        when("<", Var("via"), Load("W", i * n + j), [
+                            Store("W", i * n + j, Var("via")),
+                        ]),
+                    ]),
+                ]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("W", n * n),
+        result=Var("chk"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Branchy extras (not part of the paper's Figure 4 suite): kernels with
+# data-dependent conditionals, exercising biased in-trace side exits.
+# ---------------------------------------------------------------------------
+
+def relu(n: int = 96) -> Kernel:
+    """y[i] = max(x[i], 0) over mostly-positive data.
+
+    ~94% of the inputs are positive, so the sign check is strongly
+    biased: the superblock follows the positive arm and speculates the
+    next iteration's load above the check.
+    """
+    i = Var("i")
+    raw = _values(n, 167, bound=16)
+    # One in 16 values negative.
+    signed = tuple(-v if v == 16 else v for v in raw)
+    return Kernel(
+        name="relu",
+        arrays=(
+            ArrayDecl("x", n, init=signed),
+            ArrayDecl("y", n),
+        ),
+        body=(
+            loop("i", 0, n, [
+                Let("v", Load("x", i)),
+                when(">", Var("v"), 0,
+                     [Store("y", i, Var("v"))],
+                     [Store("y", i, Const(0))]),
+            ]),
+            Let("chk", Const(0)),
+        ) + _checksum_over("y", n),
+        result=Var("chk"),
+    )
+
+
+def count_above(n: int = 96, threshold: int = 3) -> Kernel:
+    """Count and accumulate the elements above a threshold."""
+    i = Var("i")
+    return Kernel(
+        name="count-above",
+        arrays=(ArrayDecl("x", n, init=_values(n, 173, bound=9)),),
+        body=(
+            Let("count", Const(0)),
+            Let("total", Const(0)),
+            loop("i", 0, n, [
+                Let("v", Load("x", i)),
+                when(">", Var("v"), threshold, [
+                    Let("count", Var("count") + 1),
+                    Let("total", Var("total") + Var("v")),
+                ]),
+            ]),
+        ),
+        result=Var("total") + Var("count"),
+    )
+
+
+#: Workloads beyond the paper's suite (used by extension tests/benches).
+EXTRA_KERNELS: Dict[str, Callable[[], Kernel]] = {
+    "relu": relu,
+    "count-above": count_above,
+}
+
+#: The Figure 4 suite: name -> kernel factory (default = paper-scale).
+POLYBENCH_SUITE: Dict[str, Callable[[], Kernel]] = {
+    "gemm": gemm,
+    "2mm": two_mm,
+    "3mm": three_mm,
+    "atax": atax,
+    "bicg": bicg,
+    "mvt": mvt,
+    "gesummv": gesummv,
+    "gemver": gemver,
+    "doitgen": doitgen,
+    "jacobi-1d": jacobi_1d,
+    "jacobi-2d": jacobi_2d,
+    "seidel-2d": seidel_2d,
+    "floyd-warshall": floyd_warshall,
+    "trisolv": trisolv,
+}
+
+#: Reduced sizes for fast unit tests.
+SMALL_SIZES: Dict[str, Callable[[], Kernel]] = {
+    "gemm": lambda: gemm(6),
+    "2mm": lambda: two_mm(5),
+    "3mm": lambda: three_mm(4),
+    "atax": lambda: atax(8),
+    "bicg": lambda: bicg(8),
+    "mvt": lambda: mvt(8),
+    "gesummv": lambda: gesummv(8),
+    "gemver": lambda: gemver(6),
+    "doitgen": lambda: doitgen(4, 4, 4),
+    "jacobi-1d": lambda: jacobi_1d(48, 4),
+    "jacobi-2d": lambda: jacobi_2d(8, 3),
+    "seidel-2d": lambda: seidel_2d(7, 2),
+    "floyd-warshall": lambda: floyd_warshall(6),
+    "trisolv": lambda: trisolv(10),
+}

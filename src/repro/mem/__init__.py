@@ -1,0 +1,17 @@
+"""Memory hierarchy: set-associative L1 data cache over flat memory.
+
+The cache is the side channel of the paper: speculative loads leave their
+fills behind even when the architectural effects are rolled back, and the
+guest can observe residency through timed probe loads (``rdcycle``).
+"""
+
+from .cache import CacheConfig, CacheStats, SetAssociativeCache
+from .hierarchy import AccessResult, DataMemorySystem
+
+__all__ = [
+    "AccessResult",
+    "CacheConfig",
+    "CacheStats",
+    "DataMemorySystem",
+    "SetAssociativeCache",
+]

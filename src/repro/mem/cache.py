@@ -1,0 +1,194 @@
+"""Set-associative data-cache model.
+
+This is a *timing and presence* model: the cache tracks which lines are
+resident (tags + LRU) and charges hit/miss latencies, while data always
+lives in the backing :class:`~repro.interp.memory.Memory`.  That split is
+deliberate — it is what makes the Spectre leak visible and persistent:
+when the Memory Conflict Buffer rolls architectural state back, the cache
+deliberately keeps its (micro-architectural) state, exactly the paper's
+point that "the cache has been affected by the speculative execution".
+
+The guest interacts with the cache through timed loads/stores and the
+custom ``cflush`` line-flush instruction (the paper's RISC-V attack flushes
+line by line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+#: Supported replacement policies.
+REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level.
+
+    Defaults follow a small embedded L1 D-cache, in the spirit of the
+    VexRiscv-based Hybrid-DBT prototype: 16 KiB, 4-way, 64-byte lines,
+    3-cycle hits, 30-cycle misses to main memory.
+
+    ``replacement`` selects the victim policy: ``lru`` (default),
+    ``fifo`` (insertion order, no refresh on hit), or ``random``
+    (deterministic LCG so runs stay reproducible).
+    """
+
+    size_bytes: int = 16 * 1024
+    line_size: int = 64
+    associativity: int = 4
+    hit_latency: int = 3
+    miss_latency: int = 30
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a power of two")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ValueError("cache size must be a multiple of line*ways")
+        if self.hit_latency < 1 or self.miss_latency < self.hit_latency:
+            raise ValueError("latencies must satisfy 1 <= hit <= miss")
+        if self.replacement not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                "unknown replacement policy %r (choose from %s)"
+                % (self.replacement, ", ".join(REPLACEMENT_POLICIES))
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Aggregate access counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache (tags only, see module docstring)."""
+
+    def __init__(self, config: Optional[CacheConfig] = None):
+        self.config = config or CacheConfig()
+        #: Per-set list of resident tags; LRU keeps most-recently-used
+        #: last, FIFO keeps insertion order, RANDOM evicts via an LCG.
+        self._sets: List[List[int]] = [[] for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+        #: Deterministic LCG state for the 'random' policy.
+        self._lcg_state = 0x2545F491
+
+    # ------------------------------------------------------------------
+    # Address decomposition.
+    # ------------------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Address of the cache line containing ``address``."""
+        return address & ~(self.config.line_size - 1)
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_size
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, size: int = 1) -> Tuple[bool, int]:
+        """Access ``size`` bytes at ``address``.
+
+        Returns ``(hit, latency_cycles)``.  An access spanning two lines
+        is charged as the worse of the two and fills both.
+        """
+        first_line = self.line_address(address)
+        last_line = self.line_address(address + max(size, 1) - 1)
+        hit = True
+        for line in range(first_line, last_line + 1, self.config.line_size):
+            if not self._touch(line):
+                hit = False
+        latency = self.config.hit_latency if hit else self.config.miss_latency
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return hit, latency
+
+    def _touch(self, line_base: int) -> bool:
+        """Access one line: update recency, fill on miss.  Returns hit."""
+        index, tag = self._index_tag(line_base)
+        ways = self._sets[index]
+        if tag in ways:
+            if self.config.replacement == "lru":
+                ways.remove(tag)
+                ways.append(tag)
+            return True
+        if len(ways) >= self.config.associativity:
+            ways.pop(self._victim_position(len(ways)))
+            self.stats.evictions += 1
+        ways.append(tag)
+        return False
+
+    def _victim_position(self, occupancy: int) -> int:
+        """Index of the way to evict under the configured policy."""
+        if self.config.replacement == "random":
+            self._lcg_state = (self._lcg_state * 1103515245 + 12345) & 0x7FFFFFFF
+            return self._lcg_state % occupancy
+        return 0  # LRU and FIFO both evict the list head
+
+    def probe(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no LRU update,
+        no fill, no stats) — a pure observer used by tests and metrics."""
+        index, tag = self._index_tag(self.line_address(address))
+        return tag in self._sets[index]
+
+    # ------------------------------------------------------------------
+    # Maintenance operations.
+    # ------------------------------------------------------------------
+
+    def flush_line(self, address: int) -> bool:
+        """Invalidate the line holding ``address``; returns whether it was
+        resident.  Implements the guest ``cflush`` instruction."""
+        index, tag = self._index_tag(self.line_address(address))
+        ways = self._sets[index]
+        self.stats.flushes += 1
+        if tag in ways:
+            ways.remove(tag)
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        """Invalidate every line."""
+        for ways in self._sets:
+            ways.clear()
+
+    def resident_lines(self) -> List[int]:
+        """Base addresses of all resident lines (diagnostics)."""
+        lines = []
+        for index, ways in enumerate(self._sets):
+            for tag in ways:
+                line_number = tag * self.config.num_sets + index
+                lines.append(line_number * self.config.line_size)
+        return sorted(lines)
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,78 @@
+"""Timed data-memory system: backing memory behind an L1 data cache.
+
+This is the memory the VLIW core talks to.  Every load/store returns both
+the value semantics (delegated to the flat :class:`Memory`) and a latency
+in cycles (delegated to the cache model).  The translated code produced by
+the DBT engine executes from a host-side translation cache, so there is no
+instruction-side model — matching Hybrid-DBT, where the VLIW fetches from
+a dedicated code memory written by the DBT engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..interp.memory import Memory
+from .cache import CacheConfig, CacheStats, SetAssociativeCache
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one timed access."""
+
+    value: int
+    hit: bool
+    latency: int
+
+
+class DataMemorySystem:
+    """Flat memory + L1 D-cache with load/store timing."""
+
+    def __init__(
+        self,
+        memory: Optional[Memory] = None,
+        cache_config: Optional[CacheConfig] = None,
+    ):
+        self.memory = memory if memory is not None else Memory()
+        self.cache = SetAssociativeCache(cache_config)
+
+    # ------------------------------------------------------------------
+    # Timed accesses.
+    # ------------------------------------------------------------------
+
+    def load(self, address: int, width: int, signed: bool = False) -> AccessResult:
+        """Timed load of ``width`` bytes."""
+        hit, latency = self.cache.access(address, width)
+        value = self.memory.load_int(address, width, signed=signed)
+        return AccessResult(value=value, hit=hit, latency=latency)
+
+    def store(self, address: int, value: int, width: int) -> AccessResult:
+        """Timed store of ``width`` bytes (write-allocate)."""
+        hit, latency = self.cache.access(address, width)
+        self.memory.store_int(address, value, width)
+        return AccessResult(value=value, hit=hit, latency=latency)
+
+    def flush_line(self, address: int) -> int:
+        """Guest ``cflush``: invalidate the line, charge a fixed cost."""
+        self.cache.flush_line(address)
+        return self.cache.config.hit_latency
+
+    # ------------------------------------------------------------------
+    # Untimed accessors (setup, inspection).
+    # ------------------------------------------------------------------
+
+    def peek(self, address: int, width: int, signed: bool = False) -> int:
+        """Read memory without touching the cache."""
+        return self.memory.load_int(address, width, signed=signed)
+
+    def poke(self, address: int, value: int, width: int) -> None:
+        """Write memory without touching the cache."""
+        self.memory.store_int(address, value, width)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def line_size(self) -> int:
+        return self.cache.config.line_size

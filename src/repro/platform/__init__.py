@@ -1,0 +1,28 @@
+"""Whole-platform glue: guest program + DBT engine + VLIW core + cache."""
+
+from .comparison import ascii_figure, compare_policies, slowdown_table
+from .lockstep import Divergence, LockstepReport, lockstep_run
+from .metrics import PolicyComparison, SystemRunResult
+from .system import (
+    DbtSystem,
+    GuestBreakpoint,
+    PlatformConfig,
+    PlatformError,
+    run_on_platform,
+)
+
+__all__ = [
+    "DbtSystem",
+    "Divergence",
+    "LockstepReport",
+    "GuestBreakpoint",
+    "PlatformConfig",
+    "PlatformError",
+    "PolicyComparison",
+    "ascii_figure",
+    "SystemRunResult",
+    "compare_policies",
+    "lockstep_run",
+    "run_on_platform",
+    "slowdown_table",
+]

@@ -1,0 +1,101 @@
+"""Multi-policy comparison runner.
+
+Runs the same guest binary under several mitigation policies and reports
+cycle counts and slowdowns versus the unsafe baseline — the measurement
+harness behind Figure 4 and the Section V-B ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..isa.program import Program
+from ..security.policy import ALL_POLICIES, MitigationPolicy
+from ..dbt.engine import DbtEngineConfig
+from ..vliw.config import VliwConfig
+from .metrics import PolicyComparison
+from .system import DbtSystem
+
+
+def compare_policies(
+    name: str,
+    program: Program,
+    policies: Sequence[MitigationPolicy] = ALL_POLICIES,
+    vliw_config: Optional[VliwConfig] = None,
+    engine_config: Optional[DbtEngineConfig] = None,
+    expect_exit_code: Optional[int] = None,
+) -> PolicyComparison:
+    """Run ``program`` once per policy and collect the results.
+
+    Each run uses a fresh platform (fresh caches, fresh profile) so the
+    policies are compared from identical cold starts.  When
+    ``expect_exit_code`` is given, every run is checked against it —
+    a cheap end-to-end correctness guard for the benchmarks.
+    """
+    comparison = PolicyComparison(workload=name)
+    for policy in policies:
+        system = DbtSystem(
+            program,
+            policy=policy,
+            vliw_config=vliw_config,
+            engine_config=engine_config,
+        )
+        result = system.run()
+        if expect_exit_code is not None and result.exit_code != expect_exit_code:
+            raise AssertionError(
+                "%s under %s exited with %d (expected %d)"
+                % (name, policy.value, result.exit_code, expect_exit_code)
+            )
+        comparison.results[policy.label] = result
+    return comparison
+
+
+def ascii_figure(
+    comparisons: Iterable[PolicyComparison],
+    policy: MitigationPolicy = MitigationPolicy.NO_SPECULATION,
+    width: int = 50,
+    ceiling: float = 2.0,
+) -> str:
+    """Render a Figure-4-style ASCII bar chart for one policy.
+
+    Bars start at 100% (the unsafe baseline) and are scaled so that
+    ``ceiling`` (default 200%) fills the full ``width``.
+    """
+    label = policy.label
+    lines = ["slowdown of '%s' vs unsafe execution (|= 100%%)" % label, ""]
+    for comparison in comparisons:
+        ratio = comparison.slowdown(label)
+        span = max(0.0, min(ratio - 1.0, ceiling - 1.0))
+        bars = int(round(span / (ceiling - 1.0) * width))
+        lines.append("%-24s |%-*s %6.1f%%" % (
+            comparison.workload, width, "#" * bars, 100.0 * ratio,
+        ))
+    return "\n".join(lines)
+
+
+def slowdown_table(
+    comparisons: Iterable[PolicyComparison],
+    policies: Sequence[MitigationPolicy] = (
+        MitigationPolicy.GHOSTBUSTERS, MitigationPolicy.NO_SPECULATION,
+    ),
+) -> str:
+    """Render Figure-4-style rows: per workload, slowdown vs unsafe."""
+    labels = [policy.label for policy in policies]
+    header = "%-24s" % "benchmark" + "".join("%20s" % label for label in labels)
+    lines = [header, "-" * len(header)]
+    sums = [0.0] * len(labels)
+    count = 0
+    for comparison in comparisons:
+        row = "%-24s" % comparison.workload
+        for position, label in enumerate(labels):
+            ratio = comparison.slowdown(label)
+            sums[position] += ratio
+            row += "%19.1f%%" % (100.0 * ratio)
+        lines.append(row)
+        count += 1
+    if count:
+        row = "%-24s" % "geomean/avg"
+        for position in range(len(labels)):
+            row += "%19.1f%%" % (100.0 * sums[position] / count)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Lockstep differential execution: DBT platform vs reference interpreter.
+
+Runs the same guest program on both engines, synchronising at every
+translated-block boundary: the platform executes one block (retiring N
+guest instructions), the interpreter steps exactly N instructions, and
+the architectural states are compared.  The first divergence is reported
+with full context — the debugging tool you want when changing the
+scheduler.
+
+A ``fault_injector`` hook can corrupt the platform state between blocks;
+the test suite uses it to prove the checker actually catches register,
+memory and control-flow divergences (failure injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..interp.executor import Interpreter
+from ..isa.program import Program
+from ..isa.registers import register_name
+from ..security.policy import MitigationPolicy
+from ..vliw.config import VliwConfig
+from ..dbt.engine import DbtEngineConfig
+from .system import DbtSystem
+
+
+@dataclass
+class Divergence:
+    """First detected mismatch between the two executions."""
+
+    block_index: int
+    pc: int
+    kind: str  # 'pc', 'registers', 'memory', 'exit-code', 'output'
+    details: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        head = "divergence after block %d (guest pc %#x): %s" % (
+            self.block_index, self.pc, self.kind,
+        )
+        return "\n".join([head] + ["  " + line for line in self.details])
+
+
+@dataclass
+class LockstepReport:
+    """Outcome of a lockstep run."""
+
+    blocks_executed: int
+    divergence: Optional[Divergence] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+def lockstep_run(
+    program: Program,
+    policy: MitigationPolicy = MitigationPolicy.UNSAFE,
+    vliw_config: Optional[VliwConfig] = None,
+    engine_config: Optional[DbtEngineConfig] = None,
+    max_blocks: int = 200_000,
+    memory_check_interval: int = 64,
+    fault_injector: Optional[Callable[[DbtSystem, int], None]] = None,
+) -> LockstepReport:
+    """Run ``program`` in lockstep; stop at the first divergence.
+
+    ``memory_check_interval`` bounds the cost of full-memory comparison:
+    registers are compared at every block boundary, memory every N
+    blocks and at exit.
+    """
+    system = DbtSystem(
+        program, policy=policy, vliw_config=vliw_config,
+        engine_config=engine_config,
+    )
+    interp = Interpreter(program)
+    block_index = 0
+
+    while not system.exited and block_index < max_blocks:
+        instret_before = system.core.instret
+        system.step_block()
+        block_index += 1
+        retired = system.core.instret - instret_before
+        for _ in range(retired):
+            if interp.exited:
+                break
+            interp.step()
+        if fault_injector is not None:
+            fault_injector(system, block_index)
+
+        if system.exited != interp.exited:
+            return LockstepReport(block_index, Divergence(
+                block_index, system.pc, "exit",
+                ["platform exited: %s, interpreter exited: %s"
+                 % (system.exited, interp.exited)],
+            ))
+        if not system.exited and system.pc != interp.state.pc:
+            return LockstepReport(block_index, Divergence(
+                block_index, system.pc, "pc",
+                ["platform pc %#x != interpreter pc %#x"
+                 % (system.pc, interp.state.pc)],
+            ))
+        mismatches = _register_mismatches(system, interp)
+        if mismatches:
+            return LockstepReport(block_index, Divergence(
+                block_index, system.pc, "registers", mismatches,
+            ))
+        if block_index % memory_check_interval == 0:
+            detail = _memory_mismatch(system, interp)
+            if detail is not None:
+                return LockstepReport(block_index, Divergence(
+                    block_index, system.pc, "memory", [detail],
+                ))
+
+    if system.exited:
+        if system.exit_code != interp.exit_code:
+            return LockstepReport(block_index, Divergence(
+                block_index, system.pc, "exit-code",
+                ["platform %d != interpreter %d"
+                 % (system.exit_code, interp.exit_code)],
+            ))
+        if bytes(system.output) != bytes(interp.output):
+            return LockstepReport(block_index, Divergence(
+                block_index, system.pc, "output",
+                ["platform %r != interpreter %r"
+                 % (bytes(system.output), bytes(interp.output))],
+            ))
+        detail = _memory_mismatch(system, interp)
+        if detail is not None:
+            return LockstepReport(block_index, Divergence(
+                block_index, system.pc, "memory", [detail],
+            ))
+    return LockstepReport(block_index)
+
+
+def _register_mismatches(system: DbtSystem, interp: Interpreter) -> List[str]:
+    platform_regs = system.core.regs.architectural()
+    reference_regs = interp.state.regs
+    return [
+        "%s: platform %#x != interpreter %#x"
+        % (register_name(index), platform_regs[index], reference_regs[index])
+        for index in range(32)
+        if platform_regs[index] != reference_regs[index]
+    ]
+
+
+def _memory_mismatch(system: DbtSystem, interp: Interpreter) -> Optional[str]:
+    if system.memory.memory.equal_contents(interp.memory):
+        return None
+    # Locate the first differing page for the report.
+    platform_pages = dict(system.memory.memory.pages())
+    for base, contents in interp.memory.pages():
+        other = platform_pages.get(base, bytes(len(contents)))
+        if contents != other:
+            for offset, (a, b) in enumerate(zip(other, contents)):
+                if a != b:
+                    return ("first difference at %#x: platform %#04x != "
+                            "interpreter %#04x" % (base + offset, a, b))
+    for base, contents in platform_pages.items():
+        if any(contents):
+            return "platform wrote page %#x the interpreter never touched" % base
+    return "memory images differ"

@@ -1,0 +1,68 @@
+"""Run metrics collected by the platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..dbt.engine import DbtEngineStats
+from ..mem.cache import CacheStats
+from ..vliw.pipeline import CoreStats
+
+
+@dataclass
+class SystemRunResult:
+    """Outcome of running a guest program on the DBT platform."""
+
+    exit_code: int
+    cycles: int
+    instructions: int
+    output: bytes = b""
+    blocks_executed: int = 0
+    rollbacks: int = 0
+    core: Optional[CoreStats] = None
+    cache: Optional[CacheStats] = None
+    engine: Optional[DbtEngineStats] = None
+
+    @property
+    def ipc(self) -> float:
+        """Retired guest instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            "exit code      : %d" % self.exit_code,
+            "cycles         : %d" % self.cycles,
+            "guest instrs   : %d (IPC %.2f)" % (self.instructions, self.ipc),
+            "blocks executed: %d" % self.blocks_executed,
+            "MCB rollbacks  : %d" % self.rollbacks,
+        ]
+        if self.engine is not None:
+            lines.append(
+                "DBT            : %d first-pass, %d optimized, %d patterns, %d spec loads"
+                % (
+                    self.engine.first_pass_translations,
+                    self.engine.optimizations,
+                    self.engine.spectre_patterns_detected,
+                    self.engine.speculative_loads_emitted,
+                )
+            )
+        if self.cache is not None:
+            lines.append(
+                "D-cache        : %d hits / %d misses (%.1f%% hit rate)"
+                % (self.cache.hits, self.cache.misses, 100.0 * self.cache.hit_rate)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PolicyComparison:
+    """Cycle counts of one workload across mitigation policies."""
+
+    workload: str
+    results: Dict[str, SystemRunResult] = field(default_factory=dict)
+
+    def slowdown(self, policy_label: str, baseline_label: str = "unsafe") -> float:
+        """Execution-time ratio of ``policy_label`` over the baseline."""
+        base = self.results[baseline_label].cycles
+        return self.results[policy_label].cycles / base if base else float("inf")

@@ -1,0 +1,183 @@
+"""The complete DBT-based processor platform.
+
+:class:`DbtSystem` wires together a guest program, the DBT engine, the
+VLIW core and the timed memory hierarchy, and runs guest programs to
+completion: look up (or translate) the block at the current PC, execute
+it on the core, feed the profile, service syscalls, repeat.
+
+This is the object every attack, example and benchmark in the repository
+drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..interp.executor import SYSCALL_EXIT, SYSCALL_WRITE
+from ..interp.state import to_signed
+from ..isa.program import DEFAULT_STACK_TOP, Program
+from ..mem.hierarchy import DataMemorySystem
+from ..security.policy import MitigationPolicy
+from ..dbt.engine import DbtEngine, DbtEngineConfig
+from ..vliw.config import VliwConfig
+from ..vliw.pipeline import ExitReason, VliwCore
+from .metrics import SystemRunResult
+
+#: Register indices used by the syscall convention.
+_REG_A0 = 10
+_REG_A1 = 11
+_REG_A2 = 12
+_REG_A7 = 17
+_REG_SP = 2
+
+
+class PlatformError(Exception):
+    """Raised on platform-level failures (budget exhausted, bad syscall)."""
+
+
+class GuestBreakpoint(Exception):
+    """Raised when the guest executes ``ebreak``."""
+
+
+@dataclass
+class PlatformConfig:
+    """Run-level tunables."""
+
+    stack_top: int = DEFAULT_STACK_TOP
+    #: Abort runs that execute more than this many translated blocks.
+    max_blocks: int = 5_000_000
+    #: Abort runs that exceed this many cycles.
+    max_cycles: int = 2_000_000_000
+
+
+class DbtSystem:
+    """A DBT-based processor running one guest program."""
+
+    def __init__(
+        self,
+        program: Program,
+        policy: MitigationPolicy = MitigationPolicy.UNSAFE,
+        vliw_config: Optional[VliwConfig] = None,
+        engine_config: Optional[DbtEngineConfig] = None,
+        platform_config: Optional[PlatformConfig] = None,
+    ):
+        self.program = program
+        self.policy = policy
+        self.vliw_config = vliw_config or VliwConfig()
+        self.platform_config = platform_config or PlatformConfig()
+        self.memory = DataMemorySystem(cache_config=self.vliw_config.cache)
+        for base, image in program.segments():
+            self.memory.memory.load_image(base, image)
+        self.core = VliwCore(self.vliw_config, self.memory)
+        self.core.regs.write(_REG_SP, self.platform_config.stack_top)
+        self.engine = DbtEngine(
+            program,
+            vliw_config=self.vliw_config,
+            policy=policy,
+            config=engine_config,
+        )
+        self.pc = program.entry
+        self.exited = False
+        self.exit_code = 0
+        self.output = bytearray()
+        self.blocks_executed = 0
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def step_block(self) -> None:
+        """Translate (if needed) and execute one block."""
+        if self.exited:
+            raise PlatformError("stepping an exited guest")
+        block = self.engine.lookup(self.pc)
+        result = self.core.execute_block(block)
+        self.blocks_executed += 1
+        self.engine.record_execution(block, result)
+        if result.reason is ExitReason.SYSCALL:
+            self._handle_syscall(result.next_pc)
+        else:
+            self.pc = result.next_pc
+
+    def run(self) -> SystemRunResult:
+        """Run the guest to completion."""
+        limits = self.platform_config
+        while not self.exited:
+            if self.blocks_executed >= limits.max_blocks:
+                raise PlatformError(
+                    "block budget exhausted (%d) at pc %#x"
+                    % (limits.max_blocks, self.pc)
+                )
+            if self.core.cycle >= limits.max_cycles:
+                raise PlatformError(
+                    "cycle budget exhausted (%d) at pc %#x"
+                    % (limits.max_cycles, self.pc)
+                )
+            self.step_block()
+        return self.result()
+
+    def result(self) -> SystemRunResult:
+        return SystemRunResult(
+            exit_code=self.exit_code,
+            cycles=self.core.cycle,
+            instructions=self.core.instret,
+            output=bytes(self.output),
+            blocks_executed=self.blocks_executed,
+            rollbacks=self.core.stats.rollbacks,
+            core=self.core.stats,
+            cache=self.memory.stats,
+            engine=self.engine.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Syscalls.
+    # ------------------------------------------------------------------
+
+    def _handle_syscall(self, ecall_address: int) -> None:
+        regs = self.core.regs
+        # ebreak and ecall share the SYSCALL exit; disambiguate on the
+        # guest word at the exit address.
+        word = self.program.word_at(ecall_address) if self.program.contains_text(ecall_address) else 0
+        if word == 0x00100073:
+            raise GuestBreakpoint("ebreak at pc %#x" % ecall_address)
+        number = regs.read(_REG_A7)
+        if number == SYSCALL_EXIT:
+            self.exited = True
+            self.exit_code = to_signed(regs.read(_REG_A0), 32)
+        elif number == SYSCALL_WRITE:
+            address = regs.read(_REG_A1)
+            length = regs.read(_REG_A2)
+            self.output += self.memory.memory.load_bytes(address, length)
+            regs.write(_REG_A0, length)
+        else:
+            raise PlatformError(
+                "unknown syscall %d at pc %#x" % (number, ecall_address)
+            )
+        self.pc = ecall_address + 4
+
+    # ------------------------------------------------------------------
+    # Guest-memory convenience accessors (tests, attack harnesses).
+    # ------------------------------------------------------------------
+
+    def read_memory(self, address: int, size: int) -> bytes:
+        return self.memory.memory.load_bytes(address, size)
+
+    def write_memory(self, address: int, data: bytes) -> None:
+        self.memory.memory.store_bytes(address, data)
+
+    def read_symbol(self, name: str, size: int) -> bytes:
+        return self.read_memory(self.program.symbol(name), size)
+
+
+def run_on_platform(
+    program: Program,
+    policy: MitigationPolicy = MitigationPolicy.UNSAFE,
+    vliw_config: Optional[VliwConfig] = None,
+    engine_config: Optional[DbtEngineConfig] = None,
+) -> SystemRunResult:
+    """One-shot convenience: run ``program`` under ``policy``."""
+    system = DbtSystem(
+        program, policy=policy, vliw_config=vliw_config, engine_config=engine_config,
+    )
+    return system.run()

@@ -1,0 +1,22 @@
+"""GhostBusters: Spectre-pattern detection and mitigation (the paper's
+core contribution).
+
+``poison`` implements the taint analysis over IR blocks, ``mitigation``
+turns its findings into scheduling constraints, ``policy`` enumerates the
+four configurations of the paper's evaluation.
+"""
+
+from .mitigation import MitigationResult, apply_fence, apply_ghostbusters
+from .poison import FlaggedAccess, PoisonReport, analyze_block
+from .policy import ALL_POLICIES, MitigationPolicy
+
+__all__ = [
+    "ALL_POLICIES",
+    "FlaggedAccess",
+    "MitigationPolicy",
+    "MitigationResult",
+    "PoisonReport",
+    "analyze_block",
+    "apply_fence",
+    "apply_ghostbusters",
+]

@@ -1,0 +1,67 @@
+"""Schedule-constraining mitigations.
+
+Both mitigations communicate with the scheduler purely through extra
+``SPECTRE`` dependence edges on the IR block:
+
+* :func:`apply_ghostbusters` — the paper's fine-grained countermeasure
+  (Section IV-B): for every flagged access, insert a control dependency
+  from each of its guards (the branch or store whose dependence the
+  scheduler would have relaxed) to the access itself.  Only the risky
+  instruction is constrained; everything else still speculates.
+* :func:`apply_fence` — the comparison point of Section V-B: a fence at
+  the detected pattern.  A fence stalls instruction fetch until all
+  in-flight speculation commits, which at schedule level means nothing
+  crosses the flagged instruction in either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dbt.ir import IRBlock
+from .poison import PoisonReport
+
+
+@dataclass(frozen=True)
+class MitigationResult:
+    """What a mitigation pass did to a block."""
+
+    policy: str
+    patterns: int
+    edges_added: int
+
+    @property
+    def applied(self) -> bool:
+        return self.edges_added > 0
+
+
+def apply_ghostbusters(block: IRBlock, report: PoisonReport) -> MitigationResult:
+    """Pin each flagged access behind its guards (fine-grained)."""
+    edges = 0
+    for access in report.flagged:
+        for guard in access.guards:
+            block.add_spectre_dependence(guard, access.index)
+            edges += 1
+    return MitigationResult(
+        policy="ghostbusters", patterns=report.pattern_count, edges_added=edges,
+    )
+
+
+def apply_fence(block: IRBlock, report: PoisonReport) -> MitigationResult:
+    """Serialise the schedule at each flagged access (coarse-grained).
+
+    Equivalent to inserting a fence immediately before the access: no
+    instruction may move from one side of the access to the other.
+    """
+    edges = 0
+    size = len(block.instructions)
+    for access in report.flagged:
+        for before in range(access.index):
+            block.add_spectre_dependence(before, access.index)
+            edges += 1
+        for after in range(access.index + 1, size):
+            block.add_spectre_dependence(access.index, after)
+            edges += 1
+    return MitigationResult(
+        policy="fence", patterns=report.pattern_count, edges_added=edges,
+    )

@@ -1,0 +1,57 @@
+"""Mitigation policies evaluated by the paper.
+
+The four configurations of Section V:
+
+* ``UNSAFE`` — full speculation, no countermeasure (the baseline of
+  Figure 4);
+* ``GHOSTBUSTERS`` — the paper's contribution: poison analysis plus
+  fine-grained control dependencies on exactly the flagged accesses
+  ("our approach" in Figure 4);
+* ``FENCE`` — poison analysis plus a full serialisation (fence) at each
+  detected pattern (the third experiment of Section V-B);
+* ``NO_SPECULATION`` — both speculation mechanisms turned off in the
+  DBT engine (the naive countermeasure, ~16% slower on average).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MitigationPolicy(enum.Enum):
+    """Countermeasure configuration of the DBT engine."""
+
+    UNSAFE = "unsafe"
+    GHOSTBUSTERS = "ghostbusters"
+    FENCE = "fence"
+    NO_SPECULATION = "no_speculation"
+
+    @property
+    def speculation_enabled(self) -> bool:
+        """Whether the scheduler may speculate at all."""
+        return self is not MitigationPolicy.NO_SPECULATION
+
+    @property
+    def analyzes_patterns(self) -> bool:
+        """Whether the poison analysis runs before scheduling."""
+        return self in (MitigationPolicy.GHOSTBUSTERS, MitigationPolicy.FENCE)
+
+    @property
+    def label(self) -> str:
+        """Display name used by the benchmark harnesses."""
+        return _LABELS[self]
+
+
+_LABELS = {
+    MitigationPolicy.UNSAFE: "unsafe",
+    MitigationPolicy.GHOSTBUSTERS: "our approach",
+    MitigationPolicy.FENCE: "fence on detection",
+    MitigationPolicy.NO_SPECULATION: "no speculation",
+}
+
+ALL_POLICIES = (
+    MitigationPolicy.UNSAFE,
+    MitigationPolicy.GHOSTBUSTERS,
+    MitigationPolicy.FENCE,
+    MitigationPolicy.NO_SPECULATION,
+)

@@ -1,0 +1,50 @@
+"""The in-order VLIW target core.
+
+Explicitly parallel ISA (with speculative-load opcodes and hidden
+registers), bundle model, machine configuration, Memory Conflict Buffer,
+and the scoreboarded cycle-level pipeline that executes DBT output.
+"""
+
+from .block import TranslatedBlock
+from .bundle import Bundle, BundleError, assign_slots, fits, make_bundle
+from .config import DEFAULT_SLOTS, UnitClass, VliwConfig, wide_config
+from .isa import Condition, VliwOp, VliwOpcode
+from .mcb import McbConflict, McbEntry, MemoryConflictBuffer
+from .pipeline import (
+    BlockResult,
+    CoreStats,
+    ExecutionTrace,
+    ExitReason,
+    TraceEvent,
+    VliwCore,
+    VliwExecutionError,
+)
+from .regfile import ARCH_WINDOW, VliwRegisterFile
+
+__all__ = [
+    "ARCH_WINDOW",
+    "BlockResult",
+    "Bundle",
+    "BundleError",
+    "Condition",
+    "CoreStats",
+    "DEFAULT_SLOTS",
+    "ExecutionTrace",
+    "ExitReason",
+    "McbConflict",
+    "McbEntry",
+    "MemoryConflictBuffer",
+    "TraceEvent",
+    "TranslatedBlock",
+    "UnitClass",
+    "VliwConfig",
+    "VliwCore",
+    "VliwExecutionError",
+    "VliwOp",
+    "VliwOpcode",
+    "VliwRegisterFile",
+    "assign_slots",
+    "fits",
+    "make_bundle",
+    "wide_config",
+]

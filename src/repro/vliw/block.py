@@ -1,0 +1,75 @@
+"""Translated-code container executed by the VLIW core.
+
+A :class:`TranslatedBlock` is the unit the DBT engine installs in the
+translation cache: a straight-line sequence of bundles covering one guest
+basic block or superblock, plus the metadata the pipeline and the
+experiments need (speculation counts, an optional non-speculative
+*recovery* variant for MCB rollback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .bundle import Bundle
+from .isa import VliwOp, VliwOpcode
+
+
+@dataclass
+class TranslatedBlock:
+    """One entry of the translation cache."""
+
+    #: Guest address this block translates.
+    guest_entry: int
+    bundles: Tuple[Bundle, ...]
+    #: Number of guest instructions covered (profiling/metrics).
+    guest_length: int = 0
+    #: Kind of translation: 'firstpass' or 'optimized'.
+    kind: str = "firstpass"
+    #: Non-speculative variant executed after an MCB rollback.  ``None``
+    #: when the block contains no memory speculation.
+    recovery: Optional["TranslatedBlock"] = None
+    #: Guest addresses of the side-exit targets (diagnostics).
+    exits: Tuple[int, ...] = ()
+    #: Statistics filled in by the scheduler.
+    speculative_loads: int = 0
+    branch_hoisted_ops: int = 0
+    spectre_patterns_found: int = 0
+    mitigations_applied: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bundles:
+            raise ValueError("a translated block needs at least one bundle")
+
+    @property
+    def num_bundles(self) -> int:
+        return len(self.bundles)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(bundle) for bundle in self.bundles)
+
+    @property
+    def uses_memory_speculation(self) -> bool:
+        return self.speculative_loads > 0
+
+    def ops(self) -> List[VliwOp]:
+        """All ops in schedule order (bundle-major)."""
+        return [op for bundle in self.bundles for op in bundle]
+
+    def terminates(self) -> bool:
+        """Whether the last bundle contains an unconditional exit."""
+        for op in self.bundles[-1]:
+            if op.opcode in (VliwOpcode.JUMP, VliwOpcode.JUMPR, VliwOpcode.SYSCALL):
+                return True
+        return False
+
+    def describe(self) -> str:
+        """Multi-line schedule listing (one line per bundle)."""
+        lines = ["block @ %#x (%s, %d bundles, %d guest insts)" % (
+            self.guest_entry, self.kind, self.num_bundles, self.guest_length,
+        )]
+        for index, bundle in enumerate(self.bundles):
+            lines.append("  %3d: %s" % (index, bundle.describe()))
+        return "\n".join(lines)

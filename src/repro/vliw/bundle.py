@@ -1,0 +1,85 @@
+"""VLIW instruction bundles.
+
+A bundle is the set of operations issued in one cycle.  Bundle legality
+(which slot can hold which unit class) is checked against the machine
+configuration at construction time, so that the scheduler cannot emit
+code the core could not issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .config import VliwConfig
+from .isa import VliwOp
+
+
+class BundleError(ValueError):
+    """Raised when operations cannot legally share a bundle."""
+
+
+@dataclass
+class Bundle:
+    """One issue group: at most one op per slot, capabilities respected."""
+
+    ops: Tuple[VliwOp, ...]
+
+    def __iter__(self) -> Iterator[VliwOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def describe(self) -> str:
+        return " ; ".join(op.describe() for op in self.ops) if self.ops else "nop"
+
+
+def assign_slots(ops: Sequence[VliwOp], config: VliwConfig) -> Optional[List[Optional[VliwOp]]]:
+    """Try to place ``ops`` into the machine's issue slots.
+
+    Returns a slot assignment (one entry per slot, ``None`` for empty) or
+    ``None`` when the ops cannot be co-issued.  Uses a simple bipartite
+    matching (augmenting paths) so that capability-constrained slots are
+    used optimally.
+    """
+    if len(ops) > config.issue_width:
+        return None
+    slot_of_op: List[Optional[int]] = [None] * len(ops)
+    op_of_slot: List[Optional[int]] = [None] * config.issue_width
+
+    def try_place(op_index: int, visited: List[bool]) -> bool:
+        op = ops[op_index]
+        for slot_index in config.slots_for(op.unit):
+            if visited[slot_index]:
+                continue
+            visited[slot_index] = True
+            if op_of_slot[slot_index] is None or try_place(op_of_slot[slot_index], visited):
+                op_of_slot[slot_index] = op_index
+                slot_of_op[op_index] = slot_index
+                return True
+        return False
+
+    for op_index in range(len(ops)):
+        if not try_place(op_index, [False] * config.issue_width):
+            return None
+    placed: List[Optional[VliwOp]] = [None] * config.issue_width
+    for slot_index, op_index in enumerate(op_of_slot):
+        if op_index is not None:
+            placed[slot_index] = ops[op_index]
+    return placed
+
+
+def make_bundle(ops: Sequence[VliwOp], config: VliwConfig) -> Bundle:
+    """Build a legality-checked bundle from ``ops``."""
+    if assign_slots(ops, config) is None:
+        raise BundleError(
+            "ops cannot be co-issued on this machine: %s"
+            % "; ".join(op.describe() for op in ops)
+        )
+    return Bundle(ops=tuple(ops))
+
+
+def fits(ops: Sequence[VliwOp], config: VliwConfig) -> bool:
+    """Whether ``ops`` can legally share one bundle."""
+    return assign_slots(ops, config) is not None

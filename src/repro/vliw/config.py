@@ -1,0 +1,109 @@
+"""Machine configuration of the in-order VLIW core.
+
+The default machine mirrors the published Hybrid-DBT prototype: a 4-issue
+VLIW with one memory unit, one multiplier and a branch unit, a register
+file twice the size of the guest's (the upper half being the *hidden*
+registers the DBT uses for speculation), and a Memory Conflict Buffer for
+memory-dependency speculation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from ..mem.cache import CacheConfig
+
+
+class UnitClass(enum.Enum):
+    """Functional-unit classes an operation may require."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    MEM = "mem"
+    BRANCH = "branch"
+    SYSTEM = "system"
+
+
+#: Issue-slot capability sets for the default 4-wide machine.  Slot 0 is
+#: the control slot, slot 1 the memory slot, slot 2 the multiply slot.
+DEFAULT_SLOTS: Tuple[FrozenSet[UnitClass], ...] = (
+    frozenset({UnitClass.ALU, UnitClass.BRANCH, UnitClass.SYSTEM}),
+    frozenset({UnitClass.ALU, UnitClass.MEM}),
+    frozenset({UnitClass.ALU, UnitClass.MUL, UnitClass.DIV}),
+    frozenset({UnitClass.ALU}),
+)
+
+
+def _default_latencies() -> Dict[UnitClass, int]:
+    return {
+        UnitClass.ALU: 1,
+        UnitClass.MUL: 3,
+        UnitClass.DIV: 18,
+        UnitClass.MEM: 0,  # memory latency comes from the cache model
+        UnitClass.BRANCH: 1,
+        UnitClass.SYSTEM: 1,
+    }
+
+
+@dataclass(frozen=True)
+class VliwConfig:
+    """Static description of the VLIW machine."""
+
+    #: Capability set of each issue slot; its length is the issue width.
+    slots: Tuple[FrozenSet[UnitClass], ...] = DEFAULT_SLOTS
+    #: Total physical registers; the first 32 mirror the guest ISA
+    #: registers, the rest are hidden (speculation) registers.
+    num_registers: int = 64
+    #: Producer-to-consumer latency per unit class (cycles).
+    latencies: Dict[UnitClass, int] = field(default_factory=_default_latencies)
+    #: Cycles lost on a taken trace side-exit (pipeline redirect).
+    exit_penalty: int = 2
+    #: Cycles lost when the MCB detects a conflict and triggers recovery.
+    rollback_penalty: int = 12
+    #: Number of in-flight speculative loads the MCB can track.
+    mcb_entries: int = 16
+    #: Data-cache geometry/latencies.
+    cache: CacheConfig = field(default_factory=CacheConfig)
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("machine needs at least one issue slot")
+        if self.num_registers < 33:
+            raise ValueError("need the 32 architectural registers plus hidden ones")
+        if self.mcb_entries < 1:
+            raise ValueError("MCB needs at least one entry")
+
+    @property
+    def issue_width(self) -> int:
+        return len(self.slots)
+
+    @property
+    def num_hidden_registers(self) -> int:
+        return self.num_registers - 32
+
+    def hidden_registers(self) -> range:
+        """Physical indices of the hidden (non-ISA) registers."""
+        return range(32, self.num_registers)
+
+    def slots_for(self, unit: UnitClass) -> Tuple[int, ...]:
+        """Issue-slot indices able to execute ``unit`` operations."""
+        return tuple(i for i, caps in enumerate(self.slots) if unit in caps)
+
+
+def wide_config(issue_width: int = 8) -> VliwConfig:
+    """A wider machine (Denver/Carmel-flavoured): 2 mem, 2 mul slots."""
+    if issue_width < 4:
+        raise ValueError("wide configuration needs at least 4 slots")
+    slots = [
+        frozenset({UnitClass.ALU, UnitClass.BRANCH, UnitClass.SYSTEM}),
+        frozenset({UnitClass.ALU, UnitClass.MEM}),
+        frozenset({UnitClass.ALU, UnitClass.MEM}),
+        frozenset({UnitClass.ALU, UnitClass.MUL, UnitClass.DIV}),
+    ]
+    while len(slots) < issue_width - 1:
+        slots.append(frozenset({UnitClass.ALU}))
+    slots.append(frozenset({UnitClass.ALU, UnitClass.MUL}))
+    return VliwConfig(slots=tuple(slots), num_registers=96)

@@ -1,0 +1,211 @@
+"""VLIW target instruction set.
+
+The DBT engine emits these operations; they are *explicitly parallel*
+(grouped into bundles) and reference the VLIW physical register file
+(architectural registers 0-31 plus hidden registers).  Two details are
+load-bearing for the paper:
+
+* speculative loads carry ``speculative=True`` — "those speculative memory
+  operations are clearly identified in the binaries (i.e., using a
+  distinct opcode in the VLIW ISA)" — and are tracked by the Memory
+  Conflict Buffer;
+* loads/ALU ops hoisted above a conditional branch write *hidden*
+  registers, with an explicit ``MOV`` committing the value at the
+  original program point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..interp.alu import OPERATIONS
+from .config import UnitClass
+
+
+class VliwOpcode(enum.Enum):
+    """Operation kinds of the VLIW ISA."""
+
+    ALU = "alu"          # dest = op(src1, src2|imm)
+    LI = "li"            # dest = imm (64-bit materialisation)
+    MOV = "mov"          # dest = src1 (commit / copy)
+    LOAD = "load"        # dest = mem[src1 + imm]
+    STORE = "store"      # mem[src1 + imm] = src2
+    CFLUSH = "cflush"    # flush cache line at src1 + imm
+    FENCE = "fence"      # scheduling barrier (runtime no-op)
+    BRANCH = "branch"    # trace side-exit if cmp(src1, src2)
+    JUMP = "jump"        # unconditional trace exit to target
+    JUMPR = "jumpr"      # indirect trace exit to src1 + imm
+    SYSCALL = "syscall"  # trace exit into the platform's ecall handler
+    RDCYCLE = "rdcycle"  # dest = core cycle counter
+    RDINSTRET = "rdinstret"  # dest = retired guest instruction counter
+
+
+#: Branch condition codes (mirroring the guest branch mnemonics).
+class Condition(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    GE = "ge"
+    LTU = "ltu"
+    GEU = "geu"
+
+    def negated(self) -> "Condition":
+        return _NEGATION[self]
+
+
+_NEGATION = {
+    Condition.EQ: Condition.NE,
+    Condition.NE: Condition.EQ,
+    Condition.LT: Condition.GE,
+    Condition.GE: Condition.LT,
+    Condition.LTU: Condition.GEU,
+    Condition.GEU: Condition.LTU,
+}
+
+
+@dataclass(frozen=True)
+class VliwOp:
+    """One VLIW operation.
+
+    ``dest``/``src1``/``src2`` are physical register indices; ``imm`` is
+    the immediate (ALU second operand when ``src2 is None``, memory
+    offset, jump target...).
+    """
+
+    opcode: VliwOpcode
+    #: ALU sub-operation name (key into the shared ALU table).
+    alu_op: Optional[str] = None
+    dest: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    #: LOAD only: access width in bytes and signedness.
+    width: int = 8
+    signed: bool = True
+    #: LOAD only: memory-dependency speculation (MCB-checked "ld.spec").
+    speculative: bool = False
+    #: LOAD only: MCB tag identifying this speculative load's entry.
+    spec_tag: int = 0
+    #: STORE only: tags of speculative loads whose *release point* this
+    #: store is — their MCB entries are dropped after this store's own
+    #: address check passes (classic MCB check semantics).
+    mcb_releases: Tuple[int, ...] = ()
+    #: BRANCH only: condition; JUMP/BRANCH: guest-PC exit target.
+    condition: Optional[Condition] = None
+    target: Optional[int] = None
+    #: Index of the originating guest instruction inside its IR block
+    #: (diagnostics; lets traces be mapped back to guest code).
+    origin: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.opcode is VliwOpcode.ALU:
+            if self.alu_op not in OPERATIONS:
+                raise ValueError("unknown ALU op: %r" % (self.alu_op,))
+            if self.dest is None or self.src1 is None:
+                raise ValueError("ALU op needs dest and src1")
+        if self.opcode is VliwOpcode.BRANCH and self.condition is None:
+            raise ValueError("branch needs a condition")
+        if self.opcode in (VliwOpcode.BRANCH, VliwOpcode.JUMP) and self.target is None:
+            raise ValueError("%s needs a guest target" % self.opcode.value)
+        if self.speculative and self.opcode is not VliwOpcode.LOAD:
+            raise ValueError("only loads can be MCB-speculative")
+
+    # ------------------------------------------------------------------
+    # Classification.
+    # ------------------------------------------------------------------
+
+    @property
+    def unit(self) -> UnitClass:
+        """Functional-unit class this operation occupies."""
+        if self.opcode in (VliwOpcode.LOAD, VliwOpcode.STORE, VliwOpcode.CFLUSH):
+            return UnitClass.MEM
+        if self.opcode is VliwOpcode.ALU:
+            if self.alu_op in _MUL_OPS:
+                return UnitClass.MUL
+            if self.alu_op in _DIV_OPS:
+                return UnitClass.DIV
+            return UnitClass.ALU
+        if self.opcode in (VliwOpcode.BRANCH, VliwOpcode.JUMP, VliwOpcode.JUMPR):
+            return UnitClass.BRANCH
+        if self.opcode in (VliwOpcode.SYSCALL, VliwOpcode.RDCYCLE, VliwOpcode.RDINSTRET):
+            return UnitClass.SYSTEM
+        return UnitClass.ALU  # LI, MOV, FENCE
+
+    @property
+    def is_exit(self) -> bool:
+        """Whether this op can leave the translated block."""
+        return self.opcode in (
+            VliwOpcode.BRANCH, VliwOpcode.JUMP, VliwOpcode.JUMPR, VliwOpcode.SYSCALL,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (VliwOpcode.LOAD, VliwOpcode.STORE, VliwOpcode.CFLUSH)
+
+    def sources(self) -> Tuple[int, ...]:
+        """Physical registers read by this op."""
+        regs = []
+        if self.src1 is not None:
+            regs.append(self.src1)
+        if self.src2 is not None:
+            regs.append(self.src2)
+        return tuple(regs)
+
+    def destination(self) -> Optional[int]:
+        """Physical register written, or None."""
+        if self.dest is not None and self.dest != 0:
+            return self.dest
+        return None
+
+    def as_speculative(self, tag: int = 0) -> "VliwOp":
+        """A copy of this load marked as MCB-speculative."""
+        if self.opcode is not VliwOpcode.LOAD:
+            raise ValueError("only loads can become speculative")
+        return replace(self, speculative=True, spec_tag=tag)
+
+    def with_releases(self, tags: Tuple[int, ...]) -> "VliwOp":
+        """A copy of this store releasing the given MCB tags."""
+        if self.opcode is not VliwOpcode.STORE:
+            raise ValueError("only stores release MCB entries")
+        return replace(self, mcb_releases=tags)
+
+    def with_dest(self, dest: int) -> "VliwOp":
+        """A copy writing ``dest`` instead (hidden-register renaming)."""
+        return replace(self, dest=dest)
+
+    def describe(self) -> str:
+        """Compact human-readable rendering (trace dumps)."""
+        op = self.opcode
+        if op is VliwOpcode.ALU:
+            rhs = "r%d" % self.src2 if self.src2 is not None else str(self.imm)
+            return "%s r%d, r%d, %s" % (self.alu_op, self.dest, self.src1, rhs)
+        if op is VliwOpcode.LI:
+            return "li r%d, %d" % (self.dest, self.imm)
+        if op is VliwOpcode.MOV:
+            return "mov r%d, r%d" % (self.dest, self.src1)
+        if op is VliwOpcode.LOAD:
+            name = "ld.spec" if self.speculative else "ld"
+            return "%s%d r%d, %d(r%d)" % (name, self.width * 8, self.dest, self.imm, self.src1)
+        if op is VliwOpcode.STORE:
+            return "st%d r%d, %d(r%d)" % (self.width * 8, self.src2, self.imm, self.src1)
+        if op is VliwOpcode.CFLUSH:
+            return "cflush %d(r%d)" % (self.imm, self.src1)
+        if op is VliwOpcode.BRANCH:
+            return "br.%s r%d, r%d -> %#x" % (
+                self.condition.value, self.src1, self.src2, self.target,
+            )
+        if op is VliwOpcode.JUMP:
+            return "jump -> %#x" % self.target
+        if op is VliwOpcode.JUMPR:
+            return "jumpr r%d + %d" % (self.src1, self.imm)
+        if op is VliwOpcode.RDCYCLE:
+            return "rdcycle r%d" % self.dest
+        if op is VliwOpcode.RDINSTRET:
+            return "rdinstret r%d" % self.dest
+        return op.value
+
+
+_MUL_OPS = frozenset({"mul", "mulh", "mulhsu", "mulhu", "mulw"})
+_DIV_OPS = frozenset({"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"})

@@ -1,0 +1,112 @@
+"""Memory Conflict Buffer (MCB).
+
+Dedicated hardware for memory-dependency speculation, after Gallagher et
+al. (ASPLOS'94), as used by Transmeta, Denver and Hybrid-DBT (paper
+Section II-B/III-B): when the DBT schedules a load *above* a store it
+could not disambiguate, the load executes with a speculative opcode and
+its address range is recorded here.  Every subsequent store compares its
+address range against the recorded entries; an overlap means the
+speculation was wrong and execution must roll back to the block entry and
+run recovery code.
+
+The crucial security property reproduced from the paper: the MCB rolls
+back *architectural* state only — the data cache keeps whatever lines the
+wrong-path load pulled in, which is the Spectre v4 leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class McbEntry:
+    """One in-flight speculative load."""
+
+    address: int
+    width: int
+    dest: int
+    #: Schedule position of the load (diagnostics).
+    op_index: int
+    #: Scheduler-assigned tag; the store that is this load's *release
+    #: point* (the last store it was scheduled above) drops the entry
+    #: after its own check passes.
+    tag: int = 0
+
+    def overlaps(self, address: int, width: int) -> bool:
+        """Byte-range overlap test against a store."""
+        return address < self.address + self.width and self.address < address + width
+
+
+@dataclass(frozen=True)
+class McbConflict:
+    """A detected mis-speculation: the store that hit a speculative load."""
+
+    store_address: int
+    store_width: int
+    entry: McbEntry
+
+
+class MemoryConflictBuffer:
+    """Fixed-capacity associative buffer of speculative-load addresses."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("MCB capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[McbEntry] = []
+        #: Statistics over the lifetime of the core.
+        self.loads_tracked = 0
+        self.conflicts = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def record_load(self, address: int, width: int, dest: int,
+                    op_index: int, tag: int = 0) -> bool:
+        """Track a speculative load.
+
+        Returns ``False`` on capacity overflow — the core must then treat
+        the situation conservatively (our pipeline triggers the same
+        rollback path a conflict would, which is always safe).
+        """
+        if self.full:
+            self.overflows += 1
+            return False
+        self._entries.append(McbEntry(address, width, dest, op_index, tag))
+        self.loads_tracked += 1
+        return True
+
+    def release(self, tag: int) -> bool:
+        """Drop the entry carrying ``tag`` (its release store has checked).
+
+        Returns whether an entry was removed; releasing an unknown tag is
+        a no-op (the release store may execute on a path where the load's
+        bundle was cut short by a trace exit)."""
+        for position, entry in enumerate(self._entries):
+            if entry.tag == tag:
+                del self._entries[position]
+                return True
+        return False
+
+    def check_store(self, address: int, width: int) -> Optional[McbConflict]:
+        """Compare a store against all tracked speculative loads."""
+        for entry in self._entries:
+            if entry.overlaps(address, width):
+                self.conflicts += 1
+                return McbConflict(store_address=address, store_width=width, entry=entry)
+        return None
+
+    def clear(self) -> None:
+        """Drop all entries (block commit or rollback)."""
+        self._entries.clear()
+
+    def entries(self) -> List[McbEntry]:
+        """Snapshot of tracked entries (diagnostics)."""
+        return list(self._entries)

@@ -1,0 +1,335 @@
+"""In-order VLIW pipeline with scoreboarded loads and MCB rollback.
+
+Timing model (bundle-level, cycle-accurate in the sense the paper needs):
+
+* one bundle issues per cycle, in program (schedule) order;
+* results become *ready* after the unit latency — loads after the cache
+  hit/miss latency — and a bundle **stalls at issue** until every source
+  register of every op in it is ready (classic in-order scoreboard);
+* loads are therefore non-blocking: hoisting a load away from its first
+  use hides its latency, which is exactly the performance the DBT's
+  speculation buys and the "No speculation" configuration loses;
+* ``rdcycle`` (and ``fence``) are serialising: they wait for all pending
+  results, so the guest's timed cache probes measure true load latency;
+* a taken trace side-exit costs ``exit_penalty`` cycles (redirect);
+* an MCB conflict costs ``rollback_penalty`` cycles, undoes this block's
+  stores and register writes, then runs the block's recovery variant —
+  while the data cache keeps every line speculation touched (the leak).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..interp.alu import apply as alu_apply
+from ..interp.state import MASK64, to_signed
+from ..mem.hierarchy import DataMemorySystem
+from .block import TranslatedBlock
+from .config import VliwConfig
+from .isa import Condition, VliwOp, VliwOpcode
+from .mcb import MemoryConflictBuffer
+from .regfile import VliwRegisterFile
+
+
+class VliwExecutionError(Exception):
+    """Raised on malformed translated code or machine misuse."""
+
+
+class ExitReason(enum.Enum):
+    """Why a translated block returned control to the platform."""
+
+    BRANCH = "branch"      # taken side exit
+    JUMP = "jump"          # unconditional direct exit
+    INDIRECT = "indirect"  # jumpr (ret / indirect call)
+    SYSCALL = "syscall"    # ecall reached; platform must service it
+
+
+@dataclass
+class BlockResult:
+    """Outcome of executing one translated block."""
+
+    next_pc: int
+    reason: ExitReason
+    cycles: int
+    rolled_back: bool = False
+    #: Guest instructions attributed to this execution (approximate for
+    #: side exits; used for statistics only).
+    guest_instructions: int = 0
+
+
+@dataclass
+class CoreStats:
+    """Lifetime counters of the core."""
+
+    bundles: int = 0
+    ops: int = 0
+    stall_cycles: int = 0
+    exits_taken: int = 0
+    rollbacks: int = 0
+    blocks_executed: int = 0
+
+    def reset(self) -> None:
+        self.bundles = 0
+        self.ops = 0
+        self.stall_cycles = 0
+        self.exits_taken = 0
+        self.rollbacks = 0
+        self.blocks_executed = 0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded pipeline event (when tracing is enabled)."""
+
+    cycle: int
+    kind: str            # 'issue', 'exit', 'rollback', 'recovery'
+    detail: str
+    block_entry: int
+
+
+class ExecutionTrace:
+    """Bounded recorder of pipeline events.
+
+    Attach via ``core.tracer = ExecutionTrace()``; every issued bundle,
+    taken exit and rollback is recorded (up to ``limit`` events, then
+    recording stops — traces are a debugging aid, not a profiler).
+    """
+
+    def __init__(self, limit: int = 10_000):
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+
+    def record(self, cycle: int, kind: str, detail: str, block_entry: int) -> None:
+        if len(self.events) < self.limit:
+            self.events.append(TraceEvent(cycle, kind, detail, block_entry))
+
+    def render(self, limit: Optional[int] = None) -> str:
+        rows = self.events if limit is None else self.events[:limit]
+        return "\n".join(
+            "%8d  %-8s  %s" % (event.cycle, event.kind, event.detail)
+            for event in rows
+        )
+
+
+class _RollbackSignal(Exception):
+    """Internal: MCB conflict (or overflow) during speculative execution."""
+
+
+_CONDITION_EVAL: Dict[Condition, Callable[[int, int], bool]] = {
+    Condition.EQ: lambda a, b: a == b,
+    Condition.NE: lambda a, b: a != b,
+    Condition.LT: lambda a, b: to_signed(a) < to_signed(b),
+    Condition.GE: lambda a, b: to_signed(a) >= to_signed(b),
+    Condition.LTU: lambda a, b: a < b,
+    Condition.GEU: lambda a, b: a >= b,
+}
+
+
+class VliwCore:
+    """The in-order VLIW execution engine."""
+
+    def __init__(self, config: Optional[VliwConfig] = None,
+                 memory: Optional[DataMemorySystem] = None):
+        self.config = config or VliwConfig()
+        self.memory = memory if memory is not None else DataMemorySystem(
+            cache_config=self.config.cache,
+        )
+        self.regs = VliwRegisterFile(self.config.num_registers)
+        self.mcb = MemoryConflictBuffer(self.config.mcb_entries)
+        #: Global cycle counter, monotonically increasing across blocks;
+        #: this is what the guest's ``rdcycle`` reads.
+        self.cycle = 0
+        #: Retired guest instructions (approximate on side exits).
+        self.instret = 0
+        self.stats = CoreStats()
+        #: Optional :class:`ExecutionTrace` recording issued bundles,
+        #: exits and rollbacks (None = tracing off, the default).
+        self.tracer: Optional[ExecutionTrace] = None
+        #: Scoreboard: physical register -> cycle its value is ready.
+        self._ready: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public execution API.
+    # ------------------------------------------------------------------
+
+    def execute_block(self, block: TranslatedBlock) -> BlockResult:
+        """Execute one translated block to its exit, handling rollback."""
+        self.stats.blocks_executed += 1
+        entry_regs = self.regs.snapshot()
+        store_log: List[Tuple[int, bytes]] = []
+        try:
+            result = self._run(block, store_log)
+        except _RollbackSignal:
+            self._undo(entry_regs, store_log)
+            self.mcb.clear()
+            self.stats.rollbacks += 1
+            self.cycle += self.config.rollback_penalty
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.cycle, "rollback",
+                    "MCB conflict in block %#x" % block.guest_entry,
+                    block.guest_entry,
+                )
+            recovery = block.recovery
+            if recovery is None:
+                raise VliwExecutionError(
+                    "MCB conflict in block %#x with no recovery code"
+                    % block.guest_entry
+                )
+            result = self._run(recovery, store_log=None)
+            result.rolled_back = True
+        self.mcb.clear()
+        self.instret += result.guest_instructions
+        return result
+
+    # ------------------------------------------------------------------
+    # Core loop.
+    # ------------------------------------------------------------------
+
+    def _run(self, block: TranslatedBlock,
+             store_log: Optional[List[Tuple[int, bytes]]]) -> BlockResult:
+        start_cycle = self.cycle
+        regs = self.regs
+        memory = self.memory
+        # The scoreboard persists across blocks: a load issued at the end
+        # of one block still stalls its first use in the next.
+        ready = self._ready
+
+        for bundle in block.bundles:
+            issue = self.cycle
+            # In-order issue: stall until every source of every op is ready.
+            for op in bundle:
+                for src in op.sources():
+                    if src != 0:
+                        issue = max(issue, ready.get(src, issue))
+                if op.opcode in (VliwOpcode.RDCYCLE, VliwOpcode.FENCE):
+                    # Serialising: drain all pending results.
+                    if ready:
+                        issue = max(issue, max(ready.values()))
+            self.stats.stall_cycles += issue - self.cycle
+            self.stats.bundles += 1
+            self.stats.ops += len(bundle)
+            if self.tracer is not None:
+                self.tracer.record(
+                    issue, "issue", bundle.describe(), block.guest_entry,
+                )
+
+            # VLIW read phase: all sources sampled before any write.
+            source_values = [
+                (regs.read(op.src1) if op.src1 is not None else 0,
+                 regs.read(op.src2) if op.src2 is not None else 0)
+                for op in bundle
+            ]
+
+            exit_result: Optional[BlockResult] = None
+            for op, (value1, value2) in zip(bundle, source_values):
+                opcode = op.opcode
+                if opcode is VliwOpcode.ALU:
+                    rhs = value2 if op.src2 is not None else op.imm & MASK64
+                    regs.write(op.dest, alu_apply(op.alu_op, value1, rhs))
+                    self._mark_ready(op, issue)
+                elif opcode is VliwOpcode.LI:
+                    regs.write(op.dest, op.imm & MASK64)
+                    self._mark_ready(op, issue)
+                elif opcode is VliwOpcode.MOV:
+                    regs.write(op.dest, value1)
+                    self._mark_ready(op, issue)
+                elif opcode is VliwOpcode.LOAD:
+                    address = (value1 + op.imm) & MASK64
+                    access = memory.load(address, op.width, signed=op.signed)
+                    regs.write(op.dest, access.value & MASK64)
+                    if op.dest and op.dest != 0:
+                        ready[op.dest] = issue + access.latency
+                    if op.speculative:
+                        tracked = self.mcb.record_load(
+                            address, op.width, op.dest, op.origin or 0,
+                            tag=op.spec_tag,
+                        )
+                        if not tracked:
+                            raise _RollbackSignal()
+                elif opcode is VliwOpcode.STORE:
+                    address = (value1 + op.imm) & MASK64
+                    if self.mcb.check_store(address, op.width) is not None:
+                        # Conflict: the speculatively loaded value was stale.
+                        raise _RollbackSignal()
+                    for tag in op.mcb_releases:
+                        self.mcb.release(tag)
+                    if store_log is not None:
+                        store_log.append(
+                            (address, memory.memory.load_bytes(address, op.width))
+                        )
+                    memory.store(address, value2, op.width)
+                elif opcode is VliwOpcode.CFLUSH:
+                    address = (value1 + op.imm) & MASK64
+                    memory.flush_line(address)
+                elif opcode is VliwOpcode.FENCE:
+                    pass  # Serialisation handled at issue.
+                elif opcode is VliwOpcode.RDCYCLE:
+                    regs.write(op.dest, issue & MASK64)
+                    self._mark_ready(op, issue)
+                elif opcode is VliwOpcode.RDINSTRET:
+                    regs.write(op.dest, self.instret & MASK64)
+                    self._mark_ready(op, issue)
+                elif opcode is VliwOpcode.BRANCH:
+                    if _CONDITION_EVAL[op.condition](value1, value2):
+                        self.stats.exits_taken += 1
+                        self.cycle = issue + 1 + self.config.exit_penalty
+                        exit_result = BlockResult(
+                            next_pc=op.target,
+                            reason=ExitReason.BRANCH,
+                            cycles=self.cycle - start_cycle,
+                            guest_instructions=(op.origin or 0) + 1,
+                        )
+                elif opcode is VliwOpcode.JUMP:
+                    self.cycle = issue + 1
+                    exit_result = BlockResult(
+                        next_pc=op.target,
+                        reason=ExitReason.JUMP,
+                        cycles=self.cycle - start_cycle,
+                        guest_instructions=block.guest_length,
+                    )
+                elif opcode is VliwOpcode.JUMPR:
+                    self.cycle = issue + 1 + self.config.exit_penalty
+                    exit_result = BlockResult(
+                        next_pc=(value1 + op.imm) & MASK64 & ~1,
+                        reason=ExitReason.INDIRECT,
+                        cycles=self.cycle - start_cycle,
+                        guest_instructions=block.guest_length,
+                    )
+                elif opcode is VliwOpcode.SYSCALL:
+                    self.cycle = issue + 1
+                    exit_result = BlockResult(
+                        next_pc=op.target if op.target is not None else 0,
+                        reason=ExitReason.SYSCALL,
+                        cycles=self.cycle - start_cycle,
+                        guest_instructions=block.guest_length,
+                    )
+                else:  # pragma: no cover
+                    raise VliwExecutionError("unhandled opcode: %r" % opcode)
+
+            if exit_result is not None:
+                return exit_result
+            self.cycle = issue + 1
+
+        raise VliwExecutionError(
+            "translated block %#x fell off the end without an exit"
+            % block.guest_entry
+        )
+
+    def _mark_ready(self, op: VliwOp, issue: int) -> None:
+        dest = op.destination()
+        if dest is not None:
+            self._ready[dest] = issue + self.config.latencies[op.unit]
+
+    # ------------------------------------------------------------------
+    # Rollback.
+    # ------------------------------------------------------------------
+
+    def _undo(self, entry_regs: List[int], store_log: List[Tuple[int, bytes]]) -> None:
+        """Restore architectural state; the cache is deliberately left
+        touched (micro-architectural state survives rollback — the leak)."""
+        self.regs.restore(entry_regs)
+        for address, old_bytes in reversed(store_log):
+            self.memory.memory.store_bytes(address, old_bytes)

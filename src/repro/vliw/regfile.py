@@ -1,0 +1,63 @@
+"""VLIW physical register file.
+
+Physical registers 0-31 mirror the guest architectural registers (the DBT
+uses an identity mapping for committed state, so block boundaries always
+find guest values in their architectural homes).  Registers 32 and up are
+the *hidden* registers of the paper: scratch space for speculatively
+executed operations, invisible to the guest ISA and dropped at block
+boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..interp.state import MASK64
+
+ARCH_WINDOW = 32
+
+
+class VliwRegisterFile:
+    """Flat physical register file with an architectural window."""
+
+    __slots__ = ("_regs", "size")
+
+    def __init__(self, size: int = 64):
+        if size < ARCH_WINDOW + 1:
+            raise ValueError("register file too small: %d" % size)
+        self.size = size
+        self._regs: List[int] = [0] * size
+
+    def read(self, index: int) -> int:
+        """Read physical register ``index`` (r0 is hardwired to zero)."""
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write physical register ``index``; writes to r0 are discarded."""
+        if index != 0:
+            self._regs[index] = value & MASK64
+
+    # ------------------------------------------------------------------
+    # Architectural window.
+    # ------------------------------------------------------------------
+
+    def architectural(self) -> List[int]:
+        """Snapshot of the guest-visible registers."""
+        return self._regs[:ARCH_WINDOW]
+
+    def load_architectural(self, values: List[int]) -> None:
+        """Install guest register values into the architectural window."""
+        if len(values) != ARCH_WINDOW:
+            raise ValueError("expected %d architectural values" % ARCH_WINDOW)
+        self._regs[:ARCH_WINDOW] = [v & MASK64 for v in values]
+        self._regs[0] = 0
+
+    def snapshot(self) -> List[int]:
+        """Full physical snapshot (for MCB rollback)."""
+        return list(self._regs)
+
+    def restore(self, snapshot: List[int]) -> None:
+        """Restore a full physical snapshot."""
+        if len(snapshot) != self.size:
+            raise ValueError("snapshot size mismatch")
+        self._regs = list(snapshot)

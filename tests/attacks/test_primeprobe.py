@@ -1,0 +1,65 @@
+"""Prime+probe (flushless) Spectre variant tests."""
+
+import pytest
+
+from repro.attacks.primeprobe import (
+    PrimeProbeConfig,
+    RESERVED_SETS,
+    build_program,
+    direct_mapped_config,
+    run_primeprobe,
+)
+from repro.isa.opcodes import Mnemonic
+from repro.security.policy import MitigationPolicy
+
+SECRET = b"GB!"
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        policy: run_primeprobe(policy, SECRET)
+        for policy in MitigationPolicy
+    }
+
+
+def test_unsafe_leaks_without_any_flush(outcomes):
+    recovered, result = outcomes[MitigationPolicy.UNSAFE]
+    assert recovered == SECRET
+    assert result.exit_code == 0
+
+
+def test_program_contains_no_cflush():
+    program = build_program(PrimeProbeConfig(secret=SECRET))
+    mnemonics = {inst.mnemonic for inst in program.instructions()}
+    assert Mnemonic.CFLUSH not in mnemonics
+
+
+@pytest.mark.parametrize("policy", [
+    MitigationPolicy.GHOSTBUSTERS,
+    MitigationPolicy.FENCE,
+    MitigationPolicy.NO_SPECULATION,
+])
+def test_mitigations_block_the_flushless_channel(outcomes, policy):
+    recovered, _ = outcomes[policy]
+    assert recovered != SECRET
+    assert all(byte == 0 for byte in recovered)
+
+
+def test_direct_mapped_geometry():
+    config = direct_mapped_config()
+    assert config.cache.associativity == 1
+    assert config.cache.num_sets == 256  # one set per byte value
+
+
+def test_secret_bytes_must_avoid_reserved_sets():
+    with pytest.raises(ValueError, match="reserved"):
+        PrimeProbeConfig(secret=bytes([RESERVED_SETS - 1]))
+    with pytest.raises(ValueError):
+        PrimeProbeConfig(secret=b"")
+
+
+def test_arrays_are_cache_aligned():
+    program = build_program(PrimeProbeConfig(secret=SECRET))
+    assert program.symbol("array_val") % (1 << 14) == 0
+    assert program.symbol("probe_arr") % (1 << 14) == 0

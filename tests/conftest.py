@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.interp.executor import Interpreter, run_program
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+from repro.dbt.engine import DbtEngineConfig
+
+
+def run_exit_code(source: str) -> int:
+    """Assemble and interpret ``source``; return the guest exit code."""
+    return run_program(assemble(source)).exit_code
+
+
+def run_both(source: str, policy: MitigationPolicy = MitigationPolicy.UNSAFE):
+    """Run ``source`` on the interpreter and the DBT platform; return
+    (interpreter result, platform result) after asserting equal exits."""
+    program = assemble(source)
+    reference = run_program(program)
+    system = DbtSystem(program, policy=policy)
+    platform = system.run()
+    assert platform.exit_code == reference.exit_code, (
+        "platform diverged: %d != %d" % (platform.exit_code, reference.exit_code)
+    )
+    return reference, platform
+
+
+@pytest.fixture
+def fast_engine_config() -> DbtEngineConfig:
+    """An engine that optimizes almost immediately (fast-running tests)."""
+    return DbtEngineConfig(hot_threshold=4)
+
+
+EXIT_SNIPPET = """
+    li a7, 93
+    ecall
+"""

@@ -1,0 +1,218 @@
+"""Basic-block discovery, profiling and translation-cache tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.dbt.blocks import BlockDiscoveryError, discover_block
+from repro.dbt.profile import ExecutionProfile
+from repro.dbt.translation_cache import TranslationCache
+from repro.vliw.block import TranslatedBlock
+from repro.vliw.bundle import Bundle
+from repro.vliw.isa import VliwOp, VliwOpcode
+
+
+# ---------------------------------------------------------------------------
+# Block discovery.
+# ---------------------------------------------------------------------------
+
+def test_block_ends_at_branch():
+    program = assemble("""
+    addi t0, t0, 1
+    addi t1, t1, 2
+    beq t0, t1, 0
+    addi t2, t2, 3
+    ecall
+""")
+    block = discover_block(program, program.entry)
+    assert block.size == 3
+    assert block.terminator.is_branch
+    assert block.fallthrough == program.entry + 12
+
+
+def test_block_ends_at_ecall_and_jal():
+    program = assemble("""
+    ecall
+    j 0
+""")
+    first = discover_block(program, program.entry)
+    assert first.size == 1
+    second = discover_block(program, program.entry + 4)
+    assert second.terminator.is_jump
+
+
+def test_successors():
+    program = assemble("""
+a:
+    beq t0, t1, a
+    ret
+""")
+    block = discover_block(program, program.entry)
+    taken, fallthrough = block.successors()
+    assert taken == program.entry
+    assert fallthrough == program.entry + 4
+    ret_block = discover_block(program, program.entry + 4)
+    assert ret_block.successors() == (None,)
+
+
+def test_branch_targets():
+    program = assemble("""
+a:
+    bne t0, t1, a
+    ecall
+""")
+    block = discover_block(program, program.entry)
+    assert block.branch_targets() == (program.entry, program.entry + 4)
+    ecall_block = discover_block(program, program.entry + 4)
+    assert ecall_block.branch_targets() is None
+
+
+def test_discovery_outside_text_rejected():
+    program = assemble("ecall")
+    with pytest.raises(BlockDiscoveryError):
+        discover_block(program, 0xDEAD0000)
+
+
+def test_runaway_block_rejected():
+    # A block that never reaches a terminator before the text ends.
+    program = assemble("nop\nnop\nnop")
+    with pytest.raises(BlockDiscoveryError):
+        discover_block(program, program.entry)
+
+
+# ---------------------------------------------------------------------------
+# Profile.
+# ---------------------------------------------------------------------------
+
+def test_block_counting():
+    profile = ExecutionProfile()
+    assert profile.record_block(0x100) == 1
+    assert profile.record_block(0x100) == 2
+    assert profile.block_count(0x100) == 2
+    assert profile.block_count(0x200) == 0
+
+
+def test_branch_bias():
+    profile = ExecutionProfile()
+    for _ in range(9):
+        profile.record_branch(0x40, taken=True)
+    profile.record_branch(0x40, taken=False)
+    branch = profile.branch(0x40)
+    assert branch.total == 10
+    assert branch.bias == pytest.approx(0.9)
+    assert branch.predicted_taken
+
+
+def test_predicted_direction_thresholds():
+    profile = ExecutionProfile()
+    assert profile.predicted_direction(0x40, 4, 0.7) is None  # no data
+    for _ in range(3):
+        profile.record_branch(0x40, taken=False)
+    assert profile.predicted_direction(0x40, 4, 0.7) is None  # too few
+    profile.record_branch(0x40, taken=False)
+    assert profile.predicted_direction(0x40, 4, 0.7) is False
+    # Weak bias.
+    for _ in range(4):
+        profile.record_branch(0x40, taken=True)
+    assert profile.predicted_direction(0x40, 4, 0.7) is None
+
+
+def test_hottest_blocks():
+    profile = ExecutionProfile()
+    for _ in range(5):
+        profile.record_block(0xA)
+    profile.record_block(0xB)
+    assert profile.hottest_blocks(1) == ((0xA, 5),)
+    profile.reset()
+    assert profile.hottest_blocks() == ()
+
+
+# ---------------------------------------------------------------------------
+# Translation cache.
+# ---------------------------------------------------------------------------
+
+def _dummy_block(entry: int, kind: str = "firstpass") -> TranslatedBlock:
+    return TranslatedBlock(
+        guest_entry=entry,
+        bundles=(Bundle(ops=(VliwOp(VliwOpcode.JUMP, target=0),)),),
+        kind=kind,
+    )
+
+
+def test_cache_miss_then_hit():
+    cache = TranslationCache()
+    assert cache.lookup(0x10) is None
+    cache.install(_dummy_block(0x10))
+    assert cache.lookup(0x10) is not None
+    assert cache.stats.lookups == 2
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_replacement_counts():
+    cache = TranslationCache()
+    cache.install(_dummy_block(0x10))
+    cache.install(_dummy_block(0x10, kind="optimized"))
+    assert cache.stats.replacements == 1
+    assert cache.get(0x10).kind == "optimized"
+    assert len(cache) == 1
+    assert 0x10 in cache
+
+
+def test_cache_invalidate_and_clear():
+    cache = TranslationCache()
+    cache.install(_dummy_block(0x10))
+    assert cache.invalidate(0x10)
+    assert not cache.invalidate(0x10)
+    cache.install(_dummy_block(0x20))
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_capacity_flushes_wholesale():
+    cache = TranslationCache(capacity=2)
+    cache.install(_dummy_block(0x10))
+    cache.install(_dummy_block(0x20))
+    cache.install(_dummy_block(0x30))  # forces a flush first
+    assert cache.stats.capacity_flushes == 1
+    assert len(cache) == 1
+    assert cache.get(0x30) is not None
+    assert cache.get(0x10) is None
+
+
+def test_cache_capacity_replacement_does_not_flush():
+    cache = TranslationCache(capacity=1)
+    cache.install(_dummy_block(0x10))
+    cache.install(_dummy_block(0x10, kind="optimized"))  # replacement
+    assert cache.stats.capacity_flushes == 0
+
+
+def test_cache_capacity_validation():
+    with pytest.raises(ValueError):
+        TranslationCache(capacity=0)
+
+
+def test_platform_correct_under_tiny_code_cache():
+    from repro.dbt.engine import DbtEngineConfig
+    from repro.platform.system import DbtSystem
+    from repro.interp.executor import run_program
+
+    program = assemble("""
+_start:
+    li a0, 0
+    li t0, 0
+    li t1, 30
+head:
+    addi t0, t0, 1
+    add a0, a0, t0
+    blt t0, t1, head
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+""")
+    expected = run_program(program).exit_code
+    system = DbtSystem(program, engine_config=DbtEngineConfig(
+        hot_threshold=4, code_cache_capacity=2,
+    ))
+    result = system.run()
+    assert result.exit_code == expected
+    assert system.engine.cache.stats.capacity_flushes > 0

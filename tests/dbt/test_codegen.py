@@ -1,0 +1,92 @@
+"""IR -> VLIW lowering table tests."""
+
+import pytest
+
+from repro.dbt.codegen import CodegenError, sequential_translate, vliw_op_from_ir
+from repro.dbt.ir import IRBlock, IRInstruction, IRKind
+from repro.vliw.config import VliwConfig
+from repro.vliw.isa import Condition, VliwOpcode
+
+CONFIG = VliwConfig()
+
+
+def test_alu_lowering():
+    op = vliw_op_from_ir(IRInstruction(
+        IRKind.ALU, op="mul", dst=3, src1=1, src2=2,
+    ))
+    assert op.opcode is VliwOpcode.ALU
+    assert (op.alu_op, op.dest, op.src1, op.src2) == ("mul", 3, 1, 2)
+
+
+def test_alui_lowering_uses_immediate():
+    op = vliw_op_from_ir(IRInstruction(
+        IRKind.ALUI, op="add", dst=3, src1=1, imm=-7,
+    ))
+    assert op.src2 is None and op.imm == -7
+
+
+def test_load_store_lowering_preserves_width_and_sign():
+    load = vliw_op_from_ir(IRInstruction(
+        IRKind.LOAD, dst=4, src1=5, imm=16, width=1, signed=False,
+    ))
+    assert load.opcode is VliwOpcode.LOAD
+    assert (load.width, load.signed, load.imm) == (1, False, 16)
+    assert not load.speculative
+    store = vliw_op_from_ir(IRInstruction(
+        IRKind.STORE, src1=5, src2=6, imm=8, width=4,
+    ))
+    assert store.opcode is VliwOpcode.STORE
+    assert (store.src1, store.src2, store.width) == (5, 6, 4)
+
+
+def test_exit_lowerings():
+    branch = vliw_op_from_ir(IRInstruction(
+        IRKind.BRANCH_EXIT, condition=Condition.LTU, src1=1, src2=2, target=0x40,
+    ))
+    assert branch.opcode is VliwOpcode.BRANCH
+    assert branch.condition is Condition.LTU and branch.target == 0x40
+    jump = vliw_op_from_ir(IRInstruction(IRKind.JUMP_EXIT, target=0x80))
+    assert jump.opcode is VliwOpcode.JUMP
+    indirect = vliw_op_from_ir(IRInstruction(IRKind.INDIRECT_EXIT, src1=1, imm=4))
+    assert indirect.opcode is VliwOpcode.JUMPR and indirect.imm == 4
+    syscall = vliw_op_from_ir(IRInstruction(IRKind.SYSCALL_EXIT, target=0xC0))
+    assert syscall.opcode is VliwOpcode.SYSCALL
+
+
+def test_source_remapping_and_dest_override():
+    inst = IRInstruction(IRKind.ALU, op="add", dst=3, src1=1, src2=2)
+    op = vliw_op_from_ir(inst, src_map=lambda r: r + 40, dest_override=55)
+    assert (op.dest, op.src1, op.src2) == (55, 41, 42)
+
+
+def test_misc_lowerings():
+    assert vliw_op_from_ir(IRInstruction(IRKind.LI, dst=1, imm=9)).opcode is VliwOpcode.LI
+    assert vliw_op_from_ir(IRInstruction(IRKind.MOV, dst=1, src1=2)).opcode is VliwOpcode.MOV
+    assert vliw_op_from_ir(IRInstruction(IRKind.FENCE)).opcode is VliwOpcode.FENCE
+    assert vliw_op_from_ir(IRInstruction(IRKind.CFLUSH, src1=1)).opcode is VliwOpcode.CFLUSH
+    assert vliw_op_from_ir(IRInstruction(IRKind.RDCYCLE, dst=1)).opcode is VliwOpcode.RDCYCLE
+    assert vliw_op_from_ir(IRInstruction(IRKind.RDINSTRET, dst=1)).opcode is VliwOpcode.RDINSTRET
+
+
+def test_origin_carried_through():
+    inst = IRInstruction(IRKind.LI, dst=1, imm=0, guest_index=17)
+    assert vliw_op_from_ir(inst).origin == 17
+
+
+def test_sequential_translate_one_op_per_bundle():
+    block = IRBlock(entry=0x1000, instructions=[
+        IRInstruction(IRKind.LI, dst=1, imm=1),
+        IRInstruction(IRKind.ALU, op="add", dst=2, src1=1, src2=1),
+        IRInstruction(IRKind.JUMP_EXIT, target=0x2000),
+    ])
+    block.guest_length = 3
+    translated = sequential_translate(block, CONFIG)
+    assert translated.num_bundles == 3
+    assert all(len(bundle) == 1 for bundle in translated.bundles)
+    assert translated.kind == "firstpass"
+    assert translated.exits == (0x2000,)
+
+
+def test_sequential_translate_rejects_empty():
+    with pytest.raises(CodegenError):
+        sequential_translate(IRBlock(entry=0), CONFIG)

@@ -1,0 +1,107 @@
+"""DBT engine integration tests: translation, profiling, optimization."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.dbt.engine import DbtEngine, DbtEngineConfig
+from repro.security.policy import MitigationPolicy
+from repro.platform.system import DbtSystem
+
+LOOP_PROGRAM = """
+_start:
+    li t0, 0
+    li t1, 40
+head:
+    addi t0, t0, 1
+    blt t0, t1, head
+    mv a0, t0
+    li a7, 93
+    ecall
+"""
+
+
+def test_lookup_translates_on_miss():
+    program = assemble(LOOP_PROGRAM)
+    engine = DbtEngine(program)
+    block = engine.lookup(program.entry)
+    assert block.kind == "firstpass"
+    assert engine.stats.first_pass_translations == 1
+    # Second lookup hits the cache.
+    assert engine.lookup(program.entry) is block
+    assert engine.stats.first_pass_translations == 1
+
+
+def test_hot_block_gets_optimized():
+    program = assemble(LOOP_PROGRAM)
+    system = DbtSystem(program, engine_config=DbtEngineConfig(hot_threshold=8))
+    result = system.run()
+    assert result.exit_code == 40
+    engine = system.engine
+    assert engine.stats.optimizations >= 1
+    head = program.symbol("head")
+    optimized = engine.cache.get(head)
+    assert optimized is not None and optimized.kind == "optimized"
+    # Unrolling happened: more guest instructions than the basic block.
+    assert optimized.guest_length > 2
+
+
+def test_cold_code_is_never_optimized():
+    program = assemble(LOOP_PROGRAM)
+    system = DbtSystem(program, engine_config=DbtEngineConfig(hot_threshold=1000))
+    system.run()
+    assert system.engine.stats.optimizations == 0
+
+
+def test_policy_controls_scheduler_options():
+    program = assemble(LOOP_PROGRAM)
+    for policy, expected in [
+        (MitigationPolicy.UNSAFE, True),
+        (MitigationPolicy.GHOSTBUSTERS, True),
+        (MitigationPolicy.FENCE, True),
+        (MitigationPolicy.NO_SPECULATION, False),
+    ]:
+        engine = DbtEngine(program, policy=policy)
+        options = engine.scheduler_options()
+        assert options.branch_speculation is expected
+        assert options.memory_speculation is expected
+
+
+def test_analysis_runs_only_for_analyzing_policies():
+    source = LOOP_PROGRAM
+    program = assemble(source)
+    for policy in (MitigationPolicy.GHOSTBUSTERS, MitigationPolicy.FENCE):
+        system = DbtSystem(program, policy=policy,
+                           engine_config=DbtEngineConfig(hot_threshold=4))
+        system.run()
+        assert system.engine.reports  # poison reports recorded
+    system = DbtSystem(program, policy=MitigationPolicy.UNSAFE,
+                       engine_config=DbtEngineConfig(hot_threshold=4))
+    system.run()
+    assert not system.engine.reports
+
+
+def test_branch_profile_collected():
+    program = assemble(LOOP_PROGRAM)
+    system = DbtSystem(program, engine_config=DbtEngineConfig(hot_threshold=10**9))
+    system.run()
+    branch = system.engine.profile.branch(program.symbol("head") + 4)
+    assert branch is not None
+    assert branch.taken == 39
+    assert branch.not_taken == 1
+
+
+def test_optimization_cap():
+    program = assemble(LOOP_PROGRAM)
+    config = DbtEngineConfig(hot_threshold=2, max_optimizations=0)
+    system = DbtSystem(program, engine_config=config)
+    system.run()
+    assert system.engine.stats.optimizations == 0
+
+
+def test_build_ir_for_inspection():
+    program = assemble(LOOP_PROGRAM)
+    system = DbtSystem(program, engine_config=DbtEngineConfig(hot_threshold=8))
+    system.run()
+    ir = system.engine.build_ir_for(program.symbol("head"))
+    assert len(ir) > 0
+    assert ir.entry == program.symbol("head")

@@ -1,0 +1,144 @@
+"""IR dependence-graph construction tests."""
+
+from repro.dbt.ir import DepKind, Dependence, IRBlock, IRInstruction, IRKind
+from repro.vliw.isa import Condition
+
+
+def alu(dst, src1, src2):
+    return IRInstruction(IRKind.ALU, op="add", dst=dst, src1=src1, src2=src2)
+
+
+def alui(dst, src1, imm=0):
+    return IRInstruction(IRKind.ALUI, op="add", dst=dst, src1=src1, imm=imm)
+
+
+def load(dst, base, imm=0):
+    return IRInstruction(IRKind.LOAD, dst=dst, src1=base, imm=imm)
+
+
+def store(base, value, imm=0):
+    return IRInstruction(IRKind.STORE, src1=base, src2=value, imm=imm)
+
+
+def branch(src1=1, src2=2, target=0x100):
+    return IRInstruction(IRKind.BRANCH_EXIT, condition=Condition.EQ,
+                         src1=src1, src2=src2, target=target)
+
+
+def jump(target=0x200):
+    return IRInstruction(IRKind.JUMP_EXIT, target=target)
+
+
+def block(*instructions) -> IRBlock:
+    return IRBlock(entry=0x1000, instructions=list(instructions))
+
+
+def edges_of(irblock, kind=None):
+    return [
+        (edge.src, edge.dst, edge.kind, edge.relaxable)
+        for edge in irblock.dependences()
+        if kind is None or edge.kind is kind
+    ]
+
+
+def test_raw_dependence():
+    b = block(alui(5, 0, 1), alu(6, 5, 5), jump())
+    data = edges_of(b, DepKind.DATA)
+    assert (0, 1, DepKind.DATA, False) in data
+
+
+def test_war_and_waw():
+    b = block(alu(6, 5, 5), alui(5, 0, 1), alui(5, 0, 2), jump())
+    kinds = edges_of(b)
+    assert (0, 1, DepKind.ANTI, False) in kinds
+    assert (1, 2, DepKind.OUTPUT, False) in kinds
+
+
+def test_x0_never_creates_dependences():
+    b = block(alui(0, 0, 1), alui(0, 0, 2), jump())
+    register_edges = [e for e in b.dependences()
+                      if e.kind in (DepKind.DATA, DepKind.ANTI, DepKind.OUTPUT)]
+    assert register_edges == []
+
+
+def test_store_load_edge_is_relaxable():
+    b = block(store(1, 2), load(3, 4), jump())
+    mem = edges_of(b, DepKind.MEM)
+    assert (0, 1, DepKind.MEM, True) in mem
+
+
+def test_load_store_edge_is_enforced():
+    b = block(load(3, 4), store(1, 2), jump())
+    mem = edges_of(b, DepKind.MEM)
+    assert (0, 1, DepKind.MEM, False) in mem
+
+
+def test_store_store_edge_is_enforced():
+    b = block(store(1, 2), store(3, 4), jump())
+    mem = edges_of(b, DepKind.MEM)
+    assert (0, 1, DepKind.MEM, False) in mem
+
+
+def test_cflush_orders_like_a_store_but_is_not_speculable():
+    flush = IRInstruction(IRKind.CFLUSH, src1=1)
+    b = block(flush, load(3, 4), jump())
+    mem = edges_of(b, DepKind.MEM)
+    assert (0, 1, DepKind.MEM, False) in mem  # not relaxable
+
+
+def test_control_dependences():
+    b = block(branch(), load(3, 4), store(1, 2), jump())
+    ctrl = edges_of(b, DepKind.CTRL)
+    assert (0, 1, DepKind.CTRL, True) in ctrl    # load: hoistable
+    assert (0, 2, DepKind.CTRL, False) in ctrl   # store: pinned
+    assert (0, 3, DepKind.CTRL, False) in ctrl   # exit: pinned
+
+
+def test_sink_edges_point_at_exits():
+    b = block(alui(5, 0, 1), load(3, 4), branch(), jump())
+    sink = edges_of(b, DepKind.SINK)
+    assert (0, 2, DepKind.SINK, False) in sink
+    assert (1, 2, DepKind.SINK, False) in sink
+    # Everything (including the first exit) must not sink below the jump.
+    assert (2, 3, DepKind.SINK, False) in sink
+
+
+def test_barrier_serialises_everything():
+    rd = IRInstruction(IRKind.RDCYCLE, dst=5)
+    b = block(load(3, 4), rd, load(6, 7), jump())
+    barrier = edges_of(b, DepKind.BARRIER)
+    assert (0, 1, DepKind.BARRIER, False) in barrier
+    assert (1, 2, DepKind.BARRIER, False) in barrier
+    assert (1, 3, DepKind.BARRIER, False) in barrier
+
+
+def test_spectre_edges_are_extra():
+    b = block(store(1, 2), load(3, 4), jump())
+    before = len(b.dependences())
+    b.add_spectre_dependence(0, 1)
+    after = b.dependences()
+    assert len(after) == before + 1
+    spectre = [e for e in after if e.kind is DepKind.SPECTRE]
+    assert spectre[0].src == 0 and spectre[0].dst == 1
+    assert not spectre[0].relaxable
+
+
+def test_dependences_cached_until_append():
+    b = block(alui(5, 0, 1), jump())
+    first = b.dependences()
+    assert b.dependences() is not first  # extra list is concatenated fresh
+    b.append(jump())
+    assert len(b.dependences()) > 0
+
+
+def test_multiple_stores_all_edge_to_later_load():
+    b = block(store(1, 2), store(3, 4), load(5, 6), jump())
+    mem = edges_of(b, DepKind.MEM)
+    assert (0, 2, DepKind.MEM, True) in mem
+    assert (1, 2, DepKind.MEM, True) in mem
+
+
+def test_describe_smoke():
+    b = block(alui(5, 0, 1), load(3, 4), store(1, 2), branch(), jump())
+    text = b.describe()
+    assert "IR block" in text and "exit" in text

@@ -1,0 +1,178 @@
+"""Guest-instruction -> IR lowering tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.dbt.blocks import discover_block
+from repro.dbt.ir import IRKind
+from repro.dbt.irbuilder import UnsupportedGuestCode, build_ir
+from repro.vliw.isa import Condition
+
+
+def ir_for(source: str, entry_symbol: str = None, path_symbols=None, final_next=None):
+    program = assemble(source)
+    if path_symbols:
+        path = [discover_block(program, program.symbol(s)) for s in path_symbols]
+    else:
+        entry = program.symbol(entry_symbol) if entry_symbol else program.entry
+        path = [discover_block(program, entry)]
+    return program, build_ir(path, final_next=final_next)
+
+
+def kinds(block):
+    return [inst.kind for inst in block.instructions]
+
+
+def test_simple_block_lowering():
+    _, block = ir_for("""
+    addi t0, t0, 1
+    add t1, t0, t0
+    ld t2, 0(t1)
+    sd t2, 8(t1)
+    ecall
+""")
+    assert kinds(block) == [
+        IRKind.ALUI, IRKind.ALU, IRKind.LOAD, IRKind.STORE, IRKind.SYSCALL_EXIT,
+    ]
+    assert block.guest_length == 5
+
+
+def test_branch_terminated_block_gets_side_exit_and_jump():
+    program, block = ir_for("""
+target:
+    nop
+    beq t0, t1, target
+""", entry_symbol="target")
+    assert kinds(block)[-2:] == [IRKind.BRANCH_EXIT, IRKind.JUMP_EXIT]
+    branch_exit = block.instructions[-2]
+    assert branch_exit.condition is Condition.EQ
+    assert branch_exit.target == program.symbol("target")
+
+
+def test_predicted_taken_branch_negates_condition():
+    program, block = ir_for("""
+target:
+    nop
+    blt t0, t1, target
+""", entry_symbol="target", final_next=None)
+    program2, block2 = ir_for("""
+target:
+    nop
+    blt t0, t1, target
+""", entry_symbol="target", final_next=0x10000)  # = target address
+    taken_exit = block2.instructions[-2]
+    assert taken_exit.kind is IRKind.BRANCH_EXIT
+    assert taken_exit.condition is Condition.GE  # negated
+    assert taken_exit.target == program2.symbol("target") + 8  # fallthrough
+    final_jump = block2.instructions[-1]
+    assert final_jump.target == program2.symbol("target")
+
+
+def test_lui_and_auipc_become_constants():
+    program, block = ir_for("""
+    lui t0, 0x12345
+    auipc t1, 1
+    ecall
+""")
+    li0, li1 = block.instructions[0], block.instructions[1]
+    assert li0.kind is IRKind.LI and li0.imm == 0x12345 << 12
+    assert li1.kind is IRKind.LI
+    assert li1.imm == program.entry + 4 + (1 << 12)
+
+
+def test_jal_with_link_materialises_return_address():
+    program, block = ir_for("""
+    jal ra, helper
+helper:
+    ecall
+""")
+    assert kinds(block) == [IRKind.LI, IRKind.JUMP_EXIT]
+    assert block.instructions[0].dst == 1
+    assert block.instructions[0].imm == program.entry + 4
+
+
+def test_jalr_lowering():
+    _, block = ir_for("""
+    jalr ra, 0(t0)
+""")
+    assert kinds(block) == [IRKind.LI, IRKind.INDIRECT_EXIT]
+    assert block.instructions[1].src1 == 5
+
+
+def test_jalr_rd_equals_rs1_unsupported():
+    with pytest.raises(UnsupportedGuestCode):
+        ir_for("jalr ra, 0(ra)")
+
+
+def test_ret_is_plain_indirect_exit():
+    _, block = ir_for("ret")
+    assert kinds(block) == [IRKind.INDIRECT_EXIT]
+
+
+def test_csr_lowering():
+    _, block = ir_for("""
+    rdcycle t0
+    rdinstret t1
+    ecall
+""")
+    assert kinds(block)[:2] == [IRKind.RDCYCLE, IRKind.RDINSTRET]
+
+
+def test_csr_write_unsupported():
+    with pytest.raises(UnsupportedGuestCode):
+        ir_for("csrrw t0, 0xc00, t1\necall")
+
+
+def test_fence_and_cflush():
+    _, block = ir_for("""
+    fence
+    cflush 8(t0)
+    ecall
+""")
+    assert kinds(block)[:2] == [IRKind.FENCE, IRKind.CFLUSH]
+    assert block.instructions[1].imm == 8
+
+
+def test_multi_block_path_merges():
+    program = assemble("""
+head:
+    beq t0, t1, out
+    addi t2, t2, 1
+out:
+    ecall
+""")
+    head = discover_block(program, program.symbol("head"))
+    then = discover_block(program, program.symbol("head") + 4)
+    block = build_ir([head, then])
+    assert kinds(block) == [IRKind.BRANCH_EXIT, IRKind.ALUI, IRKind.SYSCALL_EXIT]
+    # The mid-trace branch exits to 'out' when taken.
+    assert block.instructions[0].target == program.symbol("out")
+
+
+def test_followed_jump_disappears():
+    program = assemble("""
+a:
+    addi t0, t0, 1
+    j b
+b:
+    ecall
+""")
+    block_a = discover_block(program, program.symbol("a"))
+    block_b = discover_block(program, program.symbol("b"))
+    merged = build_ir([block_a, block_b])
+    assert kinds(merged) == [IRKind.ALUI, IRKind.SYSCALL_EXIT]
+
+
+def test_guest_indices_monotonic():
+    _, block = ir_for("""
+    addi t0, t0, 1
+    addi t1, t1, 2
+    ecall
+""")
+    indices = [inst.guest_index for inst in block.instructions]
+    assert indices == sorted(indices)
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        build_ir([])

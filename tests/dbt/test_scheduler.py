@@ -1,0 +1,363 @@
+"""Speculative scheduler tests: legality, equivalence, speculation."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.dbt.blocks import discover_block
+from repro.dbt.codegen import sequential_translate
+from repro.dbt.ir import DepKind, IRBlock, IRInstruction, IRKind
+from repro.dbt.irbuilder import build_ir
+from repro.dbt.scheduler import SchedulerOptions, schedule_block
+from repro.mem.hierarchy import DataMemorySystem
+from repro.security.poison import analyze_block
+from repro.security.mitigation import apply_ghostbusters
+from repro.vliw.config import VliwConfig
+from repro.vliw.isa import VliwOpcode
+from repro.vliw.pipeline import VliwCore
+
+CONFIG = VliwConfig()
+
+
+def ir_from(source: str, path_symbols=None, final_next=None):
+    program = assemble(source)
+    if path_symbols:
+        path = [discover_block(program, program.symbol(s)) for s in path_symbols]
+    else:
+        path = [discover_block(program, program.entry)]
+    return build_ir(path, final_next=final_next)
+
+
+def schedule(source: str, options=None, **kwargs):
+    return schedule_block(ir_from(source, **kwargs), CONFIG,
+                          options or SchedulerOptions())
+
+
+# ---------------------------------------------------------------------------
+# Structural legality.
+# ---------------------------------------------------------------------------
+
+def _bundle_of(block, predicate):
+    for index, bundle in enumerate(block.bundles):
+        for op in bundle:
+            if predicate(op):
+                return index
+    return None
+
+
+def test_all_ops_scheduled_exactly_once():
+    block = schedule("""
+    addi t0, t0, 1
+    addi t1, t1, 2
+    add t2, t0, t1
+    ld t3, 0(t2)
+    sd t3, 8(t2)
+    ecall
+""")
+    # 6 guest instructions -> 6 ops (no exits before them -> no renames).
+    assert block.num_ops == 6
+
+
+def test_data_dependences_respected():
+    block = schedule("""
+    addi t0, zero, 1
+    add t1, t0, t0
+    add t2, t1, t1
+    ecall
+""")
+    ops = []
+    for index, bundle in enumerate(block.bundles):
+        for op in bundle:
+            ops.append((index, op))
+    def bundle_writing(reg):
+        return next(i for i, op in ops
+                    if op.opcode is VliwOpcode.ALU and op.dest == reg)
+    assert bundle_writing(5) < bundle_writing(6) < bundle_writing(7)
+
+
+def test_parallel_ops_share_bundles():
+    block = schedule("""
+    addi t0, zero, 1
+    addi t1, zero, 2
+    addi t2, zero, 3
+    ecall
+""")
+    # Three independent ALU ops fit one 4-wide bundle.
+    assert block.num_bundles <= 2
+
+
+def test_block_ends_with_exit():
+    block = schedule("""
+    addi t0, t0, 1
+    ecall
+""")
+    assert block.terminates() or any(
+        op.is_exit for op in block.bundles[-1]
+    )
+
+
+def test_store_never_crosses_exit():
+    program = assemble("""
+head:
+    beq t0, t1, head
+    sd t2, 0(t3)
+    ecall
+""")
+    head = discover_block(program, program.symbol("head"))
+    then = discover_block(program, head.fallthrough)
+    block = schedule_block(build_ir([head, then]), CONFIG, SchedulerOptions())
+    branch_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.BRANCH)
+    store_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.STORE)
+    assert store_bundle > branch_bundle
+
+
+def test_nothing_sinks_below_exit():
+    block = schedule("""
+    addi t0, t0, 1
+    addi t1, t1, 2
+head:
+    beq t0, t1, head
+    ecall
+""")
+    branch_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.BRANCH)
+    for index, bundle in enumerate(block.bundles):
+        for op in bundle:
+            if op.opcode is VliwOpcode.ALU:
+                assert index <= branch_bundle
+
+
+# ---------------------------------------------------------------------------
+# Branch speculation (hidden registers).
+# ---------------------------------------------------------------------------
+
+V1_SHAPE = """
+head:
+    ld t0, 0(s3)
+    ld t0, 0(t0)
+    ld t0, 0(t0)
+    bgeu a0, t0, out
+    add t1, s0, a0
+    lbu t2, 0(t1)
+    slli t2, t2, 6
+    add t3, s1, t2
+    lbu t4, 0(t3)
+out:
+    ecall
+"""
+
+
+def _v1_ir():
+    program = assemble(V1_SHAPE)
+    head = discover_block(program, program.symbol("head"))
+    then = discover_block(program, head.fallthrough)
+    return build_ir([head, then])
+
+
+def _v1_block(options=None):
+    ir = _v1_ir()
+    return ir, schedule_block(ir, CONFIG, options or SchedulerOptions())
+
+
+def _byte_load_bundles(block):
+    """Bundle indices of the guarded probe loads (width-1 loads)."""
+    return [
+        index
+        for index, bundle in enumerate(block.bundles)
+        for op in bundle
+        if op.opcode is VliwOpcode.LOAD and op.width == 1
+    ]
+
+
+def test_loads_hoisted_above_branch_use_hidden_registers():
+    _, block = _v1_block()
+    branch_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.BRANCH)
+    hoisted_loads = [
+        op
+        for index, bundle in enumerate(block.bundles) if index <= branch_bundle
+        for op in bundle
+        if op.opcode is VliwOpcode.LOAD and op.width == 1
+    ]
+    assert hoisted_loads, "speculation should hoist the dependent loads"
+    for op in hoisted_loads:
+        assert op.dest >= 32, "hoisted load must write a hidden register"
+    assert block.branch_hoisted_ops > 0
+
+
+def test_no_speculation_keeps_loads_behind_branch():
+    _, block = _v1_block(SchedulerOptions(
+        branch_speculation=False, memory_speculation=False,
+    ))
+    branch_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.BRANCH)
+    for index in _byte_load_bundles(block):
+        assert index > branch_bundle
+    assert block.branch_hoisted_ops == 0
+    assert block.recovery is None
+
+
+def test_commit_movs_stay_behind_branch():
+    _, block = _v1_block()
+    branch_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.BRANCH)
+    movs = [
+        index
+        for index, bundle in enumerate(block.bundles)
+        for op in bundle if op.opcode is VliwOpcode.MOV and op.dest < 32
+    ]
+    for index in movs:
+        assert index > branch_bundle
+
+
+def test_mitigated_flagged_load_stays_behind_branch():
+    ir = _v1_ir()
+    report = analyze_block(ir)
+    assert report.has_pattern
+    apply_ghostbusters(ir, report)
+    block = schedule_block(ir, CONFIG, SchedulerOptions())
+    branch_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.BRANCH)
+    # The *second* (flagged) load must remain behind the branch; the first
+    # may still speculate.
+    load_bundles = [
+        index
+        for index, bundle in enumerate(block.bundles)
+        for op in bundle if op.opcode is VliwOpcode.LOAD
+    ]
+    assert max(load_bundles) > branch_bundle
+
+
+# ---------------------------------------------------------------------------
+# Memory speculation.
+# ---------------------------------------------------------------------------
+
+V4_SHAPE = """
+    li t3, 1000000
+    li t4, 997
+    div t5, t3, t4
+    div t5, t5, t4
+    andi t5, t5, 7
+    sd t5, 0(s2)
+    ld a0, 0(s2)
+    add t1, s0, a0
+    lbu a1, 0(t1)
+    slli a1, a1, 6
+    add t3, s1, a1
+    lbu a2, 0(t3)
+    ecall
+"""
+
+
+def test_loads_hoisted_above_slow_store_become_speculative():
+    block = schedule(V4_SHAPE)
+    assert block.speculative_loads >= 1
+    assert block.recovery is not None
+    assert block.recovery.kind == "recovery"
+    store_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.STORE)
+    spec_bundles = [
+        index
+        for index, bundle in enumerate(block.bundles)
+        for op in bundle if op.opcode is VliwOpcode.LOAD and op.speculative
+    ]
+    assert spec_bundles and all(b < store_bundle for b in spec_bundles)
+
+
+def test_release_tags_attached_to_bypassed_store():
+    block = schedule(V4_SHAPE)
+    stores = [op for op in block.ops() if op.opcode is VliwOpcode.STORE]
+    released = [tag for op in stores for tag in op.mcb_releases]
+    spec_tags = [op.spec_tag for op in block.ops()
+                 if op.opcode is VliwOpcode.LOAD and op.speculative]
+    assert sorted(released) == sorted(spec_tags)
+
+
+def test_memory_speculation_disabled():
+    block = schedule(V4_SHAPE, SchedulerOptions(
+        branch_speculation=True, memory_speculation=False,
+    ))
+    assert block.speculative_loads == 0
+    assert block.recovery is None
+    store_bundle = _bundle_of(block, lambda op: op.opcode is VliwOpcode.STORE)
+    load_bundles = [
+        index
+        for index, bundle in enumerate(block.bundles)
+        for op in bundle if op.opcode is VliwOpcode.LOAD
+    ]
+    assert all(b > store_bundle for b in load_bundles)
+
+
+def test_spec_budget_respected():
+    options = SchedulerOptions(max_speculative_loads=1)
+    block = schedule(V4_SHAPE, options)
+    assert block.speculative_loads <= 1
+
+
+# ---------------------------------------------------------------------------
+# Execution equivalence: optimized schedule == sequential translation.
+# ---------------------------------------------------------------------------
+
+EQUIVALENCE_SOURCES = [
+    """
+    addi t0, zero, 5
+    addi t1, zero, 7
+    mul t2, t0, t1
+    sub t3, t2, t0
+    ecall
+""",
+    V1_SHAPE,
+    V4_SHAPE,
+    """
+    ld t0, 0(s2)
+    sd t0, 8(s2)
+    ld t1, 8(s2)
+    add t2, t0, t1
+    sd t2, 16(s2)
+    ecall
+""",
+    """
+head:
+    addi t0, t0, 1
+    ld t1, 0(s2)
+    blt t0, t1, head
+    sd t0, 8(s2)
+    ecall
+""",
+]
+
+
+def _run_block(translated, seed_regs, seed_memory):
+    core = VliwCore(CONFIG, DataMemorySystem())
+    for address, value in seed_memory.items():
+        core.memory.poke(address, value, 8)
+    for reg, value in seed_regs.items():
+        core.regs.write(reg, value)
+    result = core.execute_block(translated)
+    return core, result
+
+
+@pytest.mark.parametrize("source", EQUIVALENCE_SOURCES)
+@pytest.mark.parametrize("options", [
+    SchedulerOptions(),
+    SchedulerOptions(branch_speculation=False, memory_speculation=True),
+    SchedulerOptions(branch_speculation=True, memory_speculation=False),
+    SchedulerOptions(branch_speculation=False, memory_speculation=False),
+])
+def test_scheduled_block_matches_sequential(source, options):
+    program = assemble(source)
+    if "head:" in source and "bgeu" in source:
+        head = discover_block(program, program.symbol("head"))
+        then = discover_block(program, head.fallthrough)
+        ir = build_ir([head, then])
+    else:
+        ir = build_ir([discover_block(program, program.entry)])
+    sequential = sequential_translate(ir, CONFIG)
+    optimized = schedule_block(ir, CONFIG, options)
+
+    seed_regs = {8: 0x2000, 9: 0x3000, 18: 0x4000, 19: 0x5000, 10: 2, 5: 16}
+    seed_memory = {0x2000 + i * 8: (i * 37 + 5) & 0xFF for i in range(8)}
+    seed_memory.update({0x4000 + i * 8: (i * 11 + 1) & 0xFF for i in range(8)})
+    # Pointer chase for the V1 shape: s3 -> cell -> cell -> bound.
+    seed_memory.update({0x5000: 0x5008, 0x5008: 0x5010, 0x5010: 16})
+
+    core_a, result_a = _run_block(sequential, seed_regs, seed_memory)
+    core_b, result_b = _run_block(optimized, seed_regs, seed_memory)
+
+    assert result_a.next_pc == result_b.next_pc
+    assert result_a.reason == result_b.reason
+    assert core_a.regs.architectural() == core_b.regs.architectural()
+    assert core_a.memory.memory.equal_contents(core_b.memory.memory)

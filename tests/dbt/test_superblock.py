@@ -1,0 +1,128 @@
+"""Superblock construction tests."""
+
+from repro.isa.assembler import assemble
+from repro.dbt.profile import ExecutionProfile
+from repro.dbt.superblock import SuperblockLimits, build_superblock
+
+LOOP = """
+head:
+    addi t0, t0, 1
+    blt t0, t1, head
+    ecall
+"""
+
+DIAMOND = """
+entry:
+    beq t0, t1, cold
+    addi t2, t2, 1
+    j join
+cold:
+    addi t2, t2, 2
+    j join
+join:
+    ecall
+"""
+
+
+def _profile_branch(program, symbol_or_addr, taken, count=20):
+    profile = ExecutionProfile()
+    if isinstance(symbol_or_addr, str):
+        address = program.symbol(symbol_or_addr)
+    else:
+        address = symbol_or_addr
+    for _ in range(count):
+        profile.record_branch(address, taken)
+    return profile
+
+
+def test_cold_branch_stops_growth():
+    program = assemble(DIAMOND)
+    plan = build_superblock(program, program.entry, ExecutionProfile())
+    assert len(plan.path) == 1
+    assert plan.final_next is None
+
+
+def test_biased_not_taken_follows_fallthrough():
+    program = assemble(DIAMOND)
+    profile = _profile_branch(program, "entry", taken=False)
+    plan = build_superblock(program, program.entry, profile)
+    entries = [block.entry for block in plan.path]
+    # entry block, hot arm, join (followed through the direct jumps).
+    assert program.entry in entries
+    assert program.symbol("join") in entries
+    assert program.symbol("cold") not in entries
+
+
+def test_biased_taken_follows_target():
+    program = assemble(DIAMOND)
+    profile = _profile_branch(program, "entry", taken=True)
+    plan = build_superblock(program, program.entry, profile)
+    entries = [block.entry for block in plan.path]
+    assert program.symbol("cold") in entries
+
+
+def test_loop_unrolls_to_size_limit():
+    program = assemble(LOOP)
+    profile = _profile_branch(program, program.symbol("head") + 4, taken=True, count=50)
+    limits = SuperblockLimits(max_instructions=10)
+    plan = build_superblock(program, program.symbol("head"), profile, limits)
+    assert len(plan.path) == 5  # 2 instructions per body
+    assert plan.guest_instructions == 10
+    # Final branch predicted taken: back edge to head.
+    assert plan.final_next == program.symbol("head")
+
+
+def test_unrolling_disabled_stops_at_revisit():
+    program = assemble(LOOP)
+    profile = _profile_branch(program, program.symbol("head") + 4, taken=True, count=50)
+    limits = SuperblockLimits(max_instructions=64, allow_unrolling=False)
+    plan = build_superblock(program, program.symbol("head"), profile, limits)
+    assert len(plan.path) == 1
+    assert plan.final_next == program.symbol("head")
+
+
+def test_trace_stops_at_return():
+    program = assemble("""
+fn:
+    addi t0, t0, 1
+    ret
+""")
+    plan = build_superblock(program, program.symbol("fn"), ExecutionProfile())
+    assert len(plan.path) == 1
+    assert plan.final_next is None
+
+
+def test_trace_stops_at_call():
+    program = assemble("""
+main:
+    addi t0, t0, 1
+    call helper
+helper:
+    ret
+""")
+    plan = build_superblock(program, program.symbol("main"), ExecutionProfile())
+    assert len(plan.path) == 1
+
+
+def test_trace_follows_direct_jump():
+    program = assemble("""
+a:
+    addi t0, t0, 1
+    j b
+b:
+    ecall
+""")
+    plan = build_superblock(program, program.symbol("a"), ExecutionProfile())
+    entries = [block.entry for block in plan.path]
+    assert entries == [program.symbol("a"), program.symbol("b")]
+
+
+def test_weakly_biased_final_branch_prediction_is_conservative():
+    program = assemble(LOOP)
+    profile = ExecutionProfile()
+    address = program.symbol("head") + 4
+    profile.record_branch(address, True)
+    profile.record_branch(address, False)
+    plan = build_superblock(program, program.symbol("head"), profile)
+    # Bias too weak: growth stops after one block, no final prediction.
+    assert len(plan.path) == 1

@@ -1,0 +1,119 @@
+"""ALU semantics: unit cases plus property tests against Python ints."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp.alu import OPERATIONS, apply
+from repro.interp.state import MASK64, to_signed, to_unsigned
+
+U64 = st.integers(0, MASK64)
+INT64_MIN = -(1 << 63)
+
+
+def test_add_wraps():
+    assert apply("add", MASK64, 1) == 0
+
+
+def test_sub_wraps():
+    assert apply("sub", 0, 1) == MASK64
+
+
+def test_shifts_mask_amount():
+    assert apply("sll", 1, 64) == 1  # shamt masked to 6 bits
+    assert apply("srl", 1 << 63, 63) == 1
+    assert apply("sra", to_unsigned(-8), 1) == to_unsigned(-4)
+
+
+def test_comparisons():
+    assert apply("slt", to_unsigned(-1), 0) == 1
+    assert apply("slt", 0, to_unsigned(-1)) == 0
+    assert apply("sltu", 0, to_unsigned(-1)) == 1  # -1 is huge unsigned
+
+
+def test_word_ops_sign_extend():
+    assert apply("addw", 0x7FFFFFFF, 1) == to_unsigned(-(1 << 31))
+    assert apply("subw", 0, 1) == MASK64
+    assert apply("sllw", 1, 31) == to_unsigned(-(1 << 31))
+    assert apply("srlw", to_unsigned(-1), 0) == to_unsigned(-1)
+    assert apply("sraw", 0x80000000, 4) == to_unsigned(-(1 << 27))
+
+
+def test_mul_family():
+    assert apply("mul", MASK64, 2) == to_unsigned(-2)
+    assert apply("mulh", to_unsigned(-1), to_unsigned(-1)) == 0
+    assert apply("mulhu", MASK64, MASK64) == MASK64 - 1
+    assert apply("mulhsu", to_unsigned(-1), MASK64) == MASK64  # -1 * huge
+
+
+def test_div_by_zero_returns_all_ones():
+    assert apply("div", 42, 0) == MASK64
+    assert apply("divu", 42, 0) == MASK64
+    assert apply("divw", 42, 0) == MASK64
+    assert apply("divuw", 42, 0) == MASK64
+
+
+def test_rem_by_zero_returns_dividend():
+    assert apply("rem", 42, 0) == 42
+    assert apply("remu", 42, 0) == 42
+    assert apply("remw", to_unsigned(-7), 0) == to_unsigned(-7)
+
+
+def test_div_overflow():
+    minimum = to_unsigned(INT64_MIN)
+    assert apply("div", minimum, MASK64) == minimum
+    assert apply("rem", minimum, MASK64) == 0
+    min32 = to_unsigned(-(1 << 31))
+    assert apply("divw", min32, MASK64) == min32
+    assert apply("remw", min32, MASK64) == 0
+
+
+def test_div_truncates_toward_zero():
+    assert to_signed(apply("div", to_unsigned(-7), 2)) == -3
+    assert to_signed(apply("rem", to_unsigned(-7), 2)) == -1
+    assert to_signed(apply("div", 7, to_unsigned(-2))) == -3
+    assert to_signed(apply("rem", 7, to_unsigned(-2))) == 1
+
+
+@given(U64, U64)
+@settings(max_examples=200)
+def test_property_results_fit_64_bits(a, b):
+    for op in OPERATIONS:
+        result = apply(op, a, b)
+        assert 0 <= result <= MASK64, op
+
+
+@given(U64, U64)
+@settings(max_examples=200)
+def test_property_add_sub_inverse(a, b):
+    assert apply("sub", apply("add", a, b), b) == a
+
+
+@given(U64, st.integers(1, MASK64))
+@settings(max_examples=200)
+def test_property_divu_remu_identity(a, b):
+    q = apply("divu", a, b)
+    r = apply("remu", a, b)
+    assert apply("add", apply("mul", q, b), r) == a
+    assert r < b
+
+
+@given(U64, U64)
+@settings(max_examples=200)
+def test_property_signed_div_identity(a, b):
+    if b == 0:
+        return
+    sa, sb = to_signed(a), to_signed(b)
+    if sa == INT64_MIN and sb == -1:
+        return
+    q = to_signed(apply("div", a, b))
+    r = to_signed(apply("rem", a, b))
+    assert q * sb + r == sa
+    assert abs(r) < abs(sb)
+
+
+@given(U64, U64)
+@settings(max_examples=100)
+def test_property_logic_ops_match_python(a, b):
+    assert apply("xor", a, b) == a ^ b
+    assert apply("or", a, b) == a | b
+    assert apply("and", a, b) == a & b

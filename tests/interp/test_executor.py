@@ -1,0 +1,263 @@
+"""Functional interpreter tests: whole-program behaviours."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.interp.executor import (
+    ExecutionError,
+    GuestTrap,
+    Interpreter,
+    run_program,
+)
+from repro.interp.state import to_unsigned
+
+from ..conftest import run_exit_code
+
+
+def test_exit_code_propagates():
+    assert run_exit_code("""
+    li a0, 42
+    li a7, 93
+    ecall
+""") == 42
+
+
+def test_exit_code_is_signed_32bit():
+    assert run_exit_code("""
+    li a0, -1
+    li a7, 93
+    ecall
+""") == -1
+
+
+def test_arithmetic_chain():
+    assert run_exit_code("""
+    li t0, 6
+    li t1, 7
+    mul a0, t0, t1
+    li a7, 93
+    ecall
+""") == 42
+
+
+def test_branch_taken_and_not_taken():
+    assert run_exit_code("""
+    li t0, 5
+    li t1, 5
+    li a0, 0
+    bne t0, t1, bad
+    li a0, 1
+bad:
+    li a7, 93
+    ecall
+""") == 1
+
+
+def test_unsigned_branches():
+    assert run_exit_code("""
+    li t0, -1          # huge unsigned
+    li t1, 1
+    li a0, 0
+    bltu t1, t0, good
+    j end
+good:
+    li a0, 1
+end:
+    li a7, 93
+    ecall
+""") == 1
+
+
+def test_loads_and_stores_all_widths():
+    assert run_exit_code("""
+    la t0, buf
+    li t1, -2
+    sb t1, 0(t0)
+    sh t1, 2(t0)
+    sw t1, 4(t0)
+    sd t1, 8(t0)
+    lbu a0, 0(t0)      # 0xfe
+    lhu t2, 2(t0)      # 0xfffe
+    add a0, a0, t2
+    lb t3, 0(t0)       # -2
+    add a0, a0, t3
+    lw t4, 4(t0)       # -2
+    add a0, a0, t4
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+buf:
+    .space 16
+""") == (0xFE + 0xFFFE - 2 - 2) & 0x7F
+
+
+def test_function_call_and_return():
+    assert run_exit_code("""
+_start:
+    li a0, 5
+    call double
+    call double
+    li a7, 93
+    ecall
+double:
+    add a0, a0, a0
+    ret
+""") == 20
+
+
+def test_write_syscall_collects_output():
+    program = assemble("""
+    li a7, 64
+    li a0, 1
+    la a1, msg
+    li a2, 5
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+msg:
+    .asciz "hello"
+""")
+    result = run_program(program)
+    assert result.output == b"hello"
+
+
+def test_rdcycle_monotonic():
+    assert run_exit_code("""
+    rdcycle t0
+    nop
+    nop
+    rdcycle t1
+    sub a0, t1, t0
+    li a7, 93
+    ecall
+""") == 3  # one per retired instruction in the functional model
+
+
+def test_rdinstret():
+    assert run_exit_code("""
+    rdinstret t0
+    rdinstret t1
+    sub a0, t1, t0
+    li a7, 93
+    ecall
+""") == 1
+
+
+def test_ebreak_raises_trap():
+    with pytest.raises(GuestTrap):
+        run_program(assemble("ebreak"))
+
+
+def test_unknown_syscall_raises():
+    with pytest.raises(ExecutionError, match="unknown syscall"):
+        run_program(assemble("""
+    li a7, 777
+    ecall
+"""))
+
+
+def test_instruction_budget():
+    program = assemble("""
+spin:
+    j spin
+""")
+    with pytest.raises(ExecutionError, match="budget"):
+        run_program(program, max_instructions=100)
+
+
+def test_misaligned_pc_rejected():
+    program = assemble("""
+    li t0, 0x10002
+    jr t0
+""")
+    with pytest.raises(ExecutionError, match="misaligned"):
+        run_program(program)
+
+
+def test_x0_is_hardwired_zero():
+    assert run_exit_code("""
+    li t0, 99
+    add x0, t0, t0
+    mv a0, x0
+    li a7, 93
+    ecall
+""") == 0
+
+
+def test_jalr_clears_low_bit():
+    assert run_exit_code("""
+    la t0, target
+    ori t0, t0, 1
+    jalr ra, 0(t0)
+bad:
+    li a0, 9
+    li a7, 93
+    ecall
+target:
+    li a0, 3
+    li a7, 93
+    ecall
+""") == 3
+
+
+def test_lui_auipc():
+    interp = Interpreter(assemble("""
+    lui t0, 0x12345
+    auipc t1, 0
+    ebreak
+"""))
+    with pytest.raises(GuestTrap):
+        interp.run()
+    assert interp.state.read(5) == 0x12345000
+    assert interp.state.read(6) == interp.program.entry + 4
+
+
+def test_lui_sign_extends_on_rv64():
+    interp = Interpreter(assemble("""
+    lui t0, 0x80000
+    ebreak
+"""))
+    with pytest.raises(GuestTrap):
+        interp.run()
+    assert interp.state.read(5) == to_unsigned(-(1 << 31))
+
+
+def test_fence_and_cflush_are_functional_noops():
+    assert run_exit_code("""
+    la t0, buf
+    li t1, 7
+    sd t1, 0(t0)
+    fence
+    cflush 0(t0)
+    ld a0, 0(t0)
+    li a7, 93
+    ecall
+.data
+buf:
+    .space 8
+""") == 7
+
+
+def test_stack_pointer_initialised():
+    assert run_exit_code("""
+    addi sp, sp, -16
+    li t0, 11
+    sd t0, 0(sp)
+    ld a0, 0(sp)
+    li a7, 93
+    ecall
+""") == 11
+
+
+def test_stepping_after_exit_fails():
+    interp = Interpreter(assemble("""
+    li a7, 93
+    li a0, 0
+    ecall
+"""))
+    interp.run()
+    with pytest.raises(ExecutionError):
+        interp.step()

@@ -1,0 +1,102 @@
+"""Tests for the flat sparse memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp.memory import Memory, MemoryError_, PAGE_SIZE
+
+
+def test_unwritten_memory_reads_zero():
+    memory = Memory()
+    assert memory.load_bytes(0x1234, 8) == b"\x00" * 8
+    assert memory.load_int(99, 4) == 0
+
+
+def test_store_load_roundtrip():
+    memory = Memory()
+    memory.store_bytes(100, b"hello")
+    assert memory.load_bytes(100, 5) == b"hello"
+
+
+def test_cross_page_access():
+    memory = Memory()
+    address = PAGE_SIZE - 3
+    memory.store_bytes(address, b"abcdef")
+    assert memory.load_bytes(address, 6) == b"abcdef"
+    memory.store_int(PAGE_SIZE - 4, 0x1122334455667788, 8)
+    assert memory.load_int(PAGE_SIZE - 4, 8) == 0x1122334455667788
+
+
+def test_scalar_sign_handling():
+    memory = Memory()
+    memory.store_int(0, -1, 4)
+    assert memory.load_int(0, 4) == 0xFFFFFFFF
+    assert memory.load_int(0, 4, signed=True) == -1
+
+
+def test_store_masks_value():
+    memory = Memory()
+    memory.store_int(0, 0x1FF, 1)
+    assert memory.load_int(0, 1) == 0xFF
+
+
+def test_bad_widths_rejected():
+    memory = Memory()
+    with pytest.raises(MemoryError_):
+        memory.load_int(0, 3)
+    with pytest.raises(MemoryError_):
+        memory.store_int(0, 0, 16)
+
+
+def test_negative_address_rejected():
+    memory = Memory()
+    with pytest.raises(MemoryError_):
+        memory.load_bytes(-1, 4)
+    with pytest.raises(MemoryError_):
+        memory.store_bytes(-4, b"1234")
+
+
+def test_load_image():
+    memory = Memory()
+    memory.load_image(0x1000, b"\x01\x02\x03")
+    assert memory.load_bytes(0x1000, 3) == b"\x01\x02\x03"
+
+
+def test_snapshot_is_independent():
+    memory = Memory()
+    memory.store_int(8, 42, 8)
+    snapshot = memory.snapshot()
+    memory.store_int(8, 99, 8)
+    assert snapshot.load_int(8, 8) == 42
+    assert memory.load_int(8, 8) == 99
+
+
+def test_equal_contents_ignores_zero_pages():
+    a = Memory()
+    b = Memory()
+    a.load_bytes(0x5000, 1)  # may or may not allocate; must not matter
+    a.store_int(0x100, 7, 8)
+    b.store_int(0x100, 7, 8)
+    b.store_bytes(0x9000, b"\x00" * 16)  # explicit zero write
+    assert a.equal_contents(b)
+    b.store_int(0x100, 8, 8)
+    assert not a.equal_contents(b)
+
+
+@given(st.integers(0, 1 << 20), st.binary(min_size=1, max_size=64))
+@settings(max_examples=100)
+def test_property_roundtrip(address, data):
+    memory = Memory()
+    memory.store_bytes(address, data)
+    assert memory.load_bytes(address, len(data)) == data
+
+
+@given(st.integers(0, 1 << 16), st.integers(0, (1 << 64) - 1),
+       st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=100)
+def test_property_scalar_roundtrip(address, value, width):
+    memory = Memory()
+    memory.store_int(address, value, width)
+    mask = (1 << (width * 8)) - 1
+    assert memory.load_int(address, width) == value & mask

@@ -1,0 +1,85 @@
+"""ArchState and integer-representation helper tests."""
+
+import pytest
+
+from repro.interp.state import (
+    ArchState,
+    MASK64,
+    sign_extend32,
+    to_signed,
+    to_unsigned,
+)
+
+
+def test_to_signed_edges():
+    assert to_signed(0) == 0
+    assert to_signed(MASK64) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+    assert to_signed(0x80, 8) == -128
+    assert to_signed(0x7F, 8) == 127
+
+
+def test_to_unsigned_edges():
+    assert to_unsigned(-1) == MASK64
+    assert to_unsigned(-1, 8) == 0xFF
+    assert to_unsigned(1 << 64) == 0
+
+
+def test_sign_extend32():
+    assert sign_extend32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert sign_extend32(0x80000000) == to_unsigned(-(1 << 31))
+    assert sign_extend32(0x1_0000_0001) == 1  # upper bits ignored
+
+
+def test_x0_write_discarded():
+    state = ArchState()
+    state.write(0, 42)
+    assert state.read(0) == 0
+
+
+def test_write_masks_to_64_bits():
+    state = ArchState()
+    state.write(5, (1 << 64) + 7)
+    assert state.read(5) == 7
+
+
+def test_copy_is_deep():
+    state = ArchState(pc=0x100)
+    state.write(3, 9)
+    state.cycles = 5
+    clone = state.copy()
+    state.write(3, 1)
+    state.pc = 0x200
+    assert clone.read(3) == 9
+    assert clone.pc == 0x100
+    assert clone.cycles == 5
+
+
+def test_same_registers_ignores_counters():
+    a = ArchState()
+    b = ArchState()
+    b.cycles = 99
+    assert a.same_registers(b)
+    b.write(7, 1)
+    assert not a.same_registers(b)
+
+
+def test_diff_reports_mismatches():
+    a = ArchState(pc=0x10)
+    b = ArchState(pc=0x20)
+    b.write(10, 5)
+    lines = a.diff(b)
+    assert any("a0" in line for line in lines)
+    assert any("pc" in line for line in lines)
+    assert a.diff(a.copy()) == []
+
+
+def test_dump_format():
+    state = ArchState()
+    state.write(2, 0x8000)
+    text = state.dump(limit=4)
+    assert "sp" in text
+    assert "0x" in text
+    assert len(text.splitlines()) == 4
+    assert len(state.dump().splitlines()) == 32

@@ -1,0 +1,342 @@
+"""Assembler tests: syntax, directives, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.opcodes import Mnemonic
+from repro.isa.program import DEFAULT_TEXT_BASE
+
+
+def _first(source: str):
+    return next(assemble(source).instructions())
+
+
+def test_empty_program_has_empty_text():
+    program = assemble("# nothing but a comment\n")
+    assert program.text == b""
+
+
+def test_basic_instruction():
+    inst = _first("addi a0, a1, 42")
+    assert inst.mnemonic is Mnemonic.ADDI
+    assert inst.rd == 10 and inst.rs1 == 11 and inst.imm == 42
+
+
+def test_memory_operand_syntax():
+    inst = _first("ld t0, -8(sp)")
+    assert inst.mnemonic is Mnemonic.LD
+    assert inst.rs1 == 2 and inst.imm == -8
+
+
+def test_store_operand_order():
+    inst = _first("sd t1, 16(a0)")
+    assert inst.rs2 == 6 and inst.rs1 == 10 and inst.imm == 16
+
+
+def test_label_branch_resolution():
+    program = assemble("""
+start:
+    addi t0, t0, 1
+    beq t0, t1, start
+""")
+    branch = list(program.instructions())[1]
+    assert branch.imm == -4
+
+
+def test_forward_reference():
+    program = assemble("""
+    j end
+    nop
+end:
+    nop
+""")
+    jump = next(program.instructions())
+    assert jump.imm == 8
+
+
+def test_undefined_symbol_raises():
+    with pytest.raises(AssemblerError, match="undefined symbol"):
+        assemble("j nowhere")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble("a:\na:\n  nop")
+
+
+def test_unknown_instruction_raises():
+    with pytest.raises(AssemblerError, match="unknown instruction"):
+        assemble("frobnicate t0, t1")
+
+
+def test_comments_and_multiple_labels():
+    program = assemble("""
+one: two:  addi x0, x0, 0  # trailing comment
+; full-line comment
+""")
+    assert program.symbol("one") == program.symbol("two") == DEFAULT_TEXT_BASE
+
+
+def test_equ_constants():
+    program = assemble("""
+.equ N, 12
+    li t0, N
+    addi t1, t0, N
+""")
+    instructions = list(program.instructions())
+    assert instructions[0].imm == 12
+    assert instructions[1].imm == 12
+
+
+def test_li_small_expands_to_addi():
+    inst = _first("li a0, -3")
+    assert inst.mnemonic is Mnemonic.ADDI and inst.imm == -3
+
+
+def test_li_32bit_expands_to_lui_pair():
+    program = assemble("li a0, 0x12345678")
+    ops = [inst.mnemonic for inst in program.instructions()]
+    assert ops == [Mnemonic.LUI, Mnemonic.ADDIW]
+
+
+def test_li_rounding_carry():
+    # Low 12 bits >= 0x800 force a carry into the lui immediate.
+    from repro.interp.executor import Interpreter
+    interp = Interpreter(assemble("li a0, 0x12345FFF\nebreak"))
+    try:
+        interp.run()
+    except Exception:
+        pass
+    assert interp.state.read(10) == 0x12345FFF
+
+
+def test_li_64bit_value():
+    from repro.interp.executor import Interpreter
+    interp = Interpreter(assemble("li a0, 0x123456789ABCDEF0\nebreak"))
+    try:
+        interp.run()
+    except Exception:
+        pass
+    assert interp.state.read(10) == 0x123456789ABCDEF0
+
+
+def test_li_negative_64bit():
+    from repro.interp.executor import Interpreter
+    interp = Interpreter(assemble("li a0, -81985529216486895\nebreak"))
+    try:
+        interp.run()
+    except Exception:
+        pass
+    assert interp.state.read(10) == (-81985529216486895) & ((1 << 64) - 1)
+
+
+def test_la_resolves_data_symbol():
+    program = assemble("""
+    la a0, table
+.data
+table:
+    .dword 1
+""")
+    from repro.interp.executor import Interpreter
+    interp = Interpreter(assemble("""
+    la a0, table
+    ebreak
+.data
+table:
+    .dword 1
+"""))
+    try:
+        interp.run()
+    except Exception:
+        pass
+    assert interp.state.read(10) == program.symbol("table")
+
+
+def test_pseudo_instructions_exist():
+    source = """
+    nop
+    mv t0, t1
+    not t0, t1
+    neg t0, t1
+    seqz t0, t1
+    snez t0, t1
+    jr ra
+    ret
+    rdcycle t3
+    beqz t0, end
+    bnez t0, end
+    bgt t0, t1, end
+    ble t0, t1, end
+    bgtu t0, t1, end
+    bleu t0, t1, end
+    blez t0, end
+    bgez t0, end
+    bltz t0, end
+    bgtz t0, end
+end:
+    nop
+"""
+    program = assemble(source)
+    assert program.instruction_count() == 20  # 19 pseudo ops + final nop
+
+
+def test_data_directives():
+    program = assemble("""
+.data
+bytes:
+    .byte 1, 2, 255
+halfs:
+    .half 0x1234
+words:
+    .word -1
+dwords:
+    .dword 0x1122334455667788
+space:
+    .space 3
+""")
+    data = program.data
+    assert data[0:3] == bytes([1, 2, 255])
+    assert data[3:5] == (0x1234).to_bytes(2, "little")
+    assert data[5:9] == b"\xff\xff\xff\xff"
+    assert data[9:17] == (0x1122334455667788).to_bytes(8, "little")
+    assert data[17:20] == b"\x00\x00\x00"
+
+
+def test_dword_with_symbol_builds_pointer_table():
+    program = assemble("""
+.data
+table:
+    .dword payload
+    .dword payload+16
+payload:
+    .space 32
+""")
+    payload = program.symbol("payload")
+    first = int.from_bytes(program.data[0:8], "little")
+    second = int.from_bytes(program.data[8:16], "little")
+    assert first == payload
+    assert second == payload + 16
+
+
+def test_align_directive():
+    program = assemble("""
+.data
+    .byte 1
+    .align 3
+v:
+    .dword 2
+""")
+    assert program.symbol("v") % 8 == 0
+
+
+def test_asciz():
+    program = assemble("""
+.data
+msg:
+    .asciz "hi\\n"
+""")
+    assert program.data[:4] == b"hi\n\x00"
+
+
+def test_instructions_only_in_text():
+    with pytest.raises(AssemblerError, match="only allowed in .text"):
+        assemble(".data\n  addi t0, t0, 1")
+
+
+def test_data_only_in_data():
+    with pytest.raises(AssemblerError, match="only allowed in .data"):
+        assemble(".word 5")
+
+
+def test_entry_defaults_to_start_symbol():
+    program = assemble("""
+    nop
+_start:
+    nop
+""")
+    assert program.entry == DEFAULT_TEXT_BASE + 4
+
+
+def test_immediate_out_of_range_reports_line():
+    with pytest.raises(AssemblerError, match="line 2"):
+        assemble("\naddi t0, t0, 100000")
+
+
+def test_branch_to_numeric_offset_is_pc_relative():
+    # A literal branch target is taken as a raw PC-relative offset.
+    program = assemble("""
+    beq t0, t1, 8
+    nop
+    nop
+""")
+    inst = next(program.instructions())
+    assert inst.imm == 8
+
+
+def test_hi_lo_relocations():
+    from repro.interp.executor import run_program
+    program = assemble("""
+_start:
+    lui t0, %hi(blob)
+    ld a0, %lo(blob)(t0)
+    addi t1, t0, %lo(blob)
+    ld t2, 8(t1)
+    add a0, a0, t2
+    sd a0, %lo(blob+16)(t0)
+    ld a0, %lo(blob+16)(t0)
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+blob:
+    .dword 40
+    .dword 2
+    .dword 0
+""")
+    assert run_program(program).exit_code == 42
+
+
+def test_hi_in_itype_rejected():
+    with pytest.raises(AssemblerError, match="hi"):
+        assemble("""
+    addi t0, t0, %hi(blob)
+.data
+blob:
+    .dword 1
+""")
+
+
+def test_lo_in_lui_rejected():
+    with pytest.raises(AssemblerError, match="lo"):
+        assemble("""
+    lui t0, %lo(blob)
+.data
+blob:
+    .dword 1
+""")
+
+
+def test_hi_as_memory_offset_rejected():
+    with pytest.raises(AssemblerError, match="lo"):
+        assemble("""
+    ld t0, %hi(blob)(t1)
+.data
+blob:
+    .dword 1
+""")
+
+
+def test_reloc_with_equate():
+    program = assemble("""
+.equ BASE, 0x12345678
+    lui t0, %hi(BASE)
+    addi t0, t0, %lo(BASE)
+    ebreak
+""")
+    from repro.interp.executor import Interpreter
+    interp = Interpreter(program)
+    try:
+        interp.run()
+    except Exception:
+        pass
+    assert interp.state.read(5) == 0x12345678

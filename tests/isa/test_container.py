@@ -1,0 +1,100 @@
+"""Binary container (RPRO) round-trip and robustness tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.container import (
+    ContainerError,
+    from_bytes,
+    is_container,
+    load_program,
+    save_program,
+    to_bytes,
+)
+from repro.isa.program import Program
+from repro.interp.executor import run_program
+
+SOURCE = """
+_start:
+    la t0, blob
+    ld a0, 0(t0)
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+blob:
+    .dword 0x2A
+"""
+
+
+def test_roundtrip_preserves_everything():
+    program = assemble(SOURCE)
+    clone = from_bytes(to_bytes(program))
+    assert clone.text == program.text
+    assert clone.data == program.data
+    assert clone.text_base == program.text_base
+    assert clone.data_base == program.data_base
+    assert clone.entry == program.entry
+    assert clone.symbols == program.symbols
+
+
+def test_loaded_program_runs_identically():
+    program = assemble(SOURCE)
+    clone = from_bytes(to_bytes(program))
+    assert run_program(clone).exit_code == run_program(program).exit_code == 0x2A
+
+
+def test_file_roundtrip(tmp_path):
+    program = assemble(SOURCE)
+    path = tmp_path / "prog.bin"
+    save_program(program, path)
+    assert is_container(path.read_bytes())
+    assert load_program(path).symbols == program.symbols
+
+
+def test_is_container_rejects_text():
+    assert not is_container(b"_start:\n  nop\n")
+    assert not is_container(b"")
+
+
+def test_bad_magic():
+    with pytest.raises(ContainerError, match="magic"):
+        from_bytes(b"NOPE" + b"\x00" * 64)
+
+
+def test_truncated_header():
+    with pytest.raises(ContainerError, match="truncated"):
+        from_bytes(b"RPRO\x01\x00")
+
+
+def test_truncated_images():
+    program = assemble(SOURCE)
+    raw = to_bytes(program)
+    with pytest.raises(ContainerError, match="truncated"):
+        from_bytes(raw[:50])
+
+
+def test_unsupported_version():
+    program = assemble("nop")
+    raw = bytearray(to_bytes(program))
+    raw[4] = 99
+    with pytest.raises(ContainerError, match="version"):
+        from_bytes(bytes(raw))
+
+
+@given(
+    st.binary(min_size=0, max_size=64).map(lambda b: b[:len(b) // 4 * 4]),
+    st.dictionaries(
+        st.text(min_size=1, max_size=16), st.integers(0, (1 << 64) - 1),
+        max_size=8,
+    ),
+)
+@settings(max_examples=50)
+def test_property_roundtrip(text, symbols):
+    program = Program(text=text, data=b"\x01\x02", symbols=symbols)
+    clone = from_bytes(to_bytes(program))
+    assert clone.text == program.text
+    assert clone.data == program.data
+    assert clone.symbols == program.symbols

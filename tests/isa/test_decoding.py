@@ -1,0 +1,86 @@
+"""Unit tests for the binary decoder."""
+
+import pytest
+
+from repro.isa.decoding import DecodingError, decode, decode_bytes
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Mnemonic
+
+
+def test_decode_addi():
+    inst = decode(encode(Instruction(Mnemonic.ADDI, rd=1, rs1=2, imm=-7)))
+    assert inst.mnemonic is Mnemonic.ADDI
+    assert inst.rd == 1 and inst.rs1 == 2 and inst.imm == -7
+
+
+def test_decode_attaches_address():
+    inst = decode(0x00000073, address=0x1000)
+    assert inst.mnemonic is Mnemonic.ECALL
+    assert inst.address == 0x1000
+
+
+def test_decode_branch_sign_extension():
+    inst = decode(encode(Instruction(Mnemonic.BNE, rs1=3, rs2=4, imm=-4096)))
+    assert inst.imm == -4096
+
+
+def test_decode_jal_offset():
+    inst = decode(encode(Instruction(Mnemonic.JAL, rd=1, imm=-1048576)))
+    assert inst.imm == -1048576
+    inst = decode(encode(Instruction(Mnemonic.JAL, rd=0, imm=2046)))
+    assert inst.imm == 2046
+
+
+def test_decode_rejects_unknown_major_opcode():
+    with pytest.raises(DecodingError):
+        decode(0x0000007F)
+
+
+def test_decode_rejects_bad_funct_fields():
+    # OP-REG with funct7 garbage.
+    word = (0x7F << 25) | 0b0110011
+    with pytest.raises(DecodingError):
+        decode(word)
+
+
+def test_decode_rejects_bad_system_word():
+    with pytest.raises(DecodingError):
+        decode((2 << 20) | 0x73)  # funct3=0, imm=2 is neither ecall nor ebreak
+
+
+def test_decode_rejects_out_of_range_word():
+    with pytest.raises(DecodingError):
+        decode(1 << 32)
+    with pytest.raises(DecodingError):
+        decode(-1)
+
+
+def test_decode_bytes_requires_four():
+    with pytest.raises(DecodingError):
+        decode_bytes(b"\x00" * 3)
+
+
+def test_decode_shifts_distinguish_srai_srli():
+    srai = decode(encode(Instruction(Mnemonic.SRAI, rd=1, rs1=2, imm=5)))
+    srli = decode(encode(Instruction(Mnemonic.SRLI, rd=1, rs1=2, imm=5)))
+    assert srai.mnemonic is Mnemonic.SRAI
+    assert srli.mnemonic is Mnemonic.SRLI
+    assert srai.imm == srli.imm == 5
+
+
+def test_decode_rv64_shift_amount_uses_six_bits():
+    inst = decode(encode(Instruction(Mnemonic.SRLI, rd=1, rs1=2, imm=45)))
+    assert inst.imm == 45
+
+
+def test_decode_csr():
+    inst = decode(encode(Instruction(Mnemonic.CSRRS, rd=7, rs1=0, imm=0xC02)))
+    assert inst.mnemonic is Mnemonic.CSRRS
+    assert inst.imm == 0xC02
+
+
+def test_decode_cflush():
+    inst = decode(encode(Instruction(Mnemonic.CFLUSH, rs1=9, imm=-64)))
+    assert inst.mnemonic is Mnemonic.CFLUSH
+    assert inst.rs1 == 9 and inst.imm == -64

@@ -1,0 +1,113 @@
+"""Unit tests for the binary encoder (golden encodings per format)."""
+
+import pytest
+
+from repro.isa.encoding import EncodingError, encode, encode_bytes
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Mnemonic
+
+
+def test_encode_addi():
+    # addi x1, x2, 5  -> imm=5, rs1=2, funct3=000, rd=1, opcode=0010011
+    word = encode(Instruction(Mnemonic.ADDI, rd=1, rs1=2, imm=5))
+    assert word == (5 << 20) | (2 << 15) | (0 << 12) | (1 << 7) | 0b0010011
+
+
+def test_encode_add():
+    word = encode(Instruction(Mnemonic.ADD, rd=3, rs1=4, rs2=5))
+    assert word == (5 << 20) | (4 << 15) | (3 << 7) | 0b0110011
+
+
+def test_encode_sub_sets_funct7():
+    word = encode(Instruction(Mnemonic.SUB, rd=3, rs1=4, rs2=5))
+    assert (word >> 25) == 0b0100000
+
+
+def test_encode_mul_uses_m_extension_funct7():
+    word = encode(Instruction(Mnemonic.MUL, rd=1, rs1=2, rs2=3))
+    assert (word >> 25) == 0b0000001
+
+
+def test_encode_negative_immediate():
+    word = encode(Instruction(Mnemonic.ADDI, rd=1, rs1=1, imm=-1))
+    assert (word >> 20) == 0xFFF
+
+
+def test_encode_store_splits_immediate():
+    # sd x5, 40(x2): imm 40 = 0b0101000 -> high=1, low=8
+    word = encode(Instruction(Mnemonic.SD, rs1=2, rs2=5, imm=40))
+    assert (word >> 25) == (40 >> 5)
+    assert ((word >> 7) & 0x1F) == (40 & 0x1F)
+
+
+def test_encode_branch_even_offsets_only():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.BEQ, rs1=1, rs2=2, imm=3))
+
+
+def test_encode_branch_offset_fields():
+    # beq x0, x0, -4
+    word = encode(Instruction(Mnemonic.BEQ, imm=-4))
+    assert (word >> 31) == 1  # sign bit
+    assert (word & 0x7F) == 0b1100011
+
+
+def test_encode_jal_range():
+    encode(Instruction(Mnemonic.JAL, rd=1, imm=(1 << 20) - 2))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.JAL, rd=1, imm=1 << 20))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.JAL, rd=1, imm=5))  # odd
+
+
+def test_encode_lui_immediate_window():
+    encode(Instruction(Mnemonic.LUI, rd=1, imm=-(1 << 19)))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.LUI, rd=1, imm=1 << 20))
+
+
+def test_encode_shift_amounts():
+    word = encode(Instruction(Mnemonic.SLLI, rd=1, rs1=1, imm=63))
+    assert ((word >> 20) & 0x3F) == 63
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.SLLI, rd=1, rs1=1, imm=64))
+    # Word shifts only allow 5-bit amounts.
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.SLLIW, rd=1, rs1=1, imm=32))
+
+
+def test_encode_srai_funct7():
+    word = encode(Instruction(Mnemonic.SRAI, rd=1, rs1=1, imm=7))
+    assert (word >> 26) == 0b010000
+
+
+def test_encode_system_fixed_words():
+    assert encode(Instruction(Mnemonic.ECALL)) == 0x00000073
+    assert encode(Instruction(Mnemonic.EBREAK)) == 0x00100073
+
+
+def test_encode_csr_number_in_immediate():
+    word = encode(Instruction(Mnemonic.CSRRS, rd=5, imm=0xC00))
+    assert (word >> 20) == 0xC00
+
+
+def test_encode_register_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.ADD, rd=32, rs1=0, rs2=0))
+
+
+def test_encode_immediate_overflow():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.ADDI, rd=1, rs1=1, imm=2048))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.ADDI, rd=1, rs1=1, imm=-2049))
+
+
+def test_encode_bytes_little_endian():
+    raw = encode_bytes(Instruction(Mnemonic.ECALL))
+    assert raw == b"\x73\x00\x00\x00"
+
+
+def test_encode_cflush_custom_opcode():
+    word = encode(Instruction(Mnemonic.CFLUSH, rs1=5, imm=16))
+    assert (word & 0x7F) == 0b0001011

@@ -1,0 +1,94 @@
+"""Tests for the Program container and the disassembler."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_program, disassemble_word, dump
+from repro.isa.program import Program, SymbolError
+
+
+def test_program_requires_word_aligned_text():
+    with pytest.raises(ValueError):
+        Program(text=b"\x00" * 5)
+    with pytest.raises(ValueError):
+        Program(text=b"", text_base=2)
+
+
+def test_symbol_lookup():
+    program = assemble("""
+here:
+    nop
+.data
+there:
+    .byte 1
+""")
+    assert program.symbol("here") == program.text_base
+    assert program.symbol("there") == program.data_base
+    with pytest.raises(SymbolError):
+        program.symbol("missing")
+
+
+def test_word_and_instruction_access():
+    program = assemble("addi t0, t0, 7")
+    word = program.word_at(program.text_base)
+    inst = program.instruction_at(program.text_base)
+    assert word == (7 << 20) | (5 << 15) | (5 << 7) | 0b0010011
+    assert inst.imm == 7
+    with pytest.raises(ValueError):
+        program.word_at(program.text_base - 4)
+
+
+def test_segments_and_bounds():
+    program = assemble("""
+    nop
+    nop
+.data
+    .word 1
+""")
+    segments = dict(program.segments())
+    assert segments[program.text_base] == program.text
+    assert segments[program.data_base] == program.data
+    assert program.text_end == program.text_base + 8
+    assert program.contains_text(program.text_base + 4)
+    assert not program.contains_text(program.text_end)
+
+
+def test_disassemble_word():
+    assert disassemble_word(0x00000073) == "ecall"
+
+
+def test_disassembler_roundtrips_through_assembler():
+    source = """
+_start:
+    li t0, 5
+    addi t1, t0, -3
+    sub t2, t1, t0
+    sd t2, 8(sp)
+    ld t3, 8(sp)
+    beq t2, t3, _start
+    jal ra, _start
+    jalr zero, 0(ra)
+    ecall
+"""
+    program = assemble(source)
+    listing = disassemble_program(program)
+    assert len(listing) == program.instruction_count()
+    # Reassembling each line (with numeric branch offsets) must re-encode
+    # to the same words.
+    for (address, text), expected in zip(listing, program.instructions()):
+        reassembled = assemble(".text\n" + text)
+        got = next(reassembled.instructions())
+        assert got.mnemonic == expected.mnemonic
+        assert (got.rd, got.rs1, got.rs2, got.imm) == (
+            expected.rd, expected.rs1, expected.rs2, expected.imm,
+        )
+
+
+def test_dump_includes_labels():
+    program = assemble("""
+main:
+    nop
+""")
+    text = dump(program)
+    assert "main:" in text
+    assert "%#08x" % program.text_base in text or "0x10000" in text

@@ -1,0 +1,58 @@
+"""Tests for register name parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    UnknownRegisterError,
+    is_valid_register,
+    parse_register,
+    register_name,
+)
+
+
+def test_abi_names_cover_all_registers():
+    assert len(ABI_NAMES) == NUM_REGISTERS == 32
+
+
+def test_parse_abi_names_roundtrip():
+    for index, name in enumerate(ABI_NAMES):
+        assert parse_register(name) == index
+        assert register_name(index) == name
+
+
+def test_parse_numeric_names():
+    for index in range(NUM_REGISTERS):
+        assert parse_register("x%d" % index) == index
+
+
+def test_parse_is_case_insensitive_and_strips():
+    assert parse_register(" SP ") == 2
+    assert parse_register("X31") == 31
+
+
+def test_fp_alias():
+    assert parse_register("fp") == 8
+    assert parse_register("s0") == 8
+
+
+def test_unknown_register_raises():
+    with pytest.raises(UnknownRegisterError):
+        parse_register("x32")
+    with pytest.raises(UnknownRegisterError):
+        parse_register("bogus")
+
+
+def test_register_name_range_check():
+    with pytest.raises(UnknownRegisterError):
+        register_name(32)
+    with pytest.raises(UnknownRegisterError):
+        register_name(-1)
+
+
+def test_is_valid_register():
+    assert is_valid_register(0)
+    assert is_valid_register(31)
+    assert not is_valid_register(32)
+    assert not is_valid_register(-1)

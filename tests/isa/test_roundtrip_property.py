@@ -1,0 +1,60 @@
+"""Property-based encode/decode round-trip over the whole ISA."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.decoding import decode
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Mnemonic, SPECS
+
+_REG = st.integers(0, 31)
+
+
+def _imm_for(spec) -> st.SearchStrategy:
+    fmt = spec.fmt
+    if fmt is Format.I:
+        return st.integers(-2048, 2047)
+    if fmt is Format.I_SHIFT:
+        word_op = spec.mnemonic in (Mnemonic.SLLIW, Mnemonic.SRLIW, Mnemonic.SRAIW)
+        return st.integers(0, 31 if word_op else 63)
+    if fmt is Format.S:
+        return st.integers(-2048, 2047)
+    if fmt is Format.B:
+        return st.integers(-2048, 2047).map(lambda v: v * 2)
+    if fmt is Format.U:
+        return st.integers(-(1 << 19), (1 << 19) - 1)
+    if fmt is Format.J:
+        return st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2)
+    if fmt is Format.CSR:
+        return st.integers(0, (1 << 12) - 1)
+    return st.just(0)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(sorted(SPECS, key=lambda m: m.value)))
+    spec = SPECS[mnemonic]
+    return Instruction(
+        mnemonic,
+        rd=draw(_REG) if spec.fmt not in (Format.S, Format.B, Format.SYSTEM) else 0,
+        rs1=draw(_REG) if spec.fmt not in (Format.U, Format.J, Format.SYSTEM) else 0,
+        rs2=draw(_REG) if spec.fmt in (Format.R, Format.S, Format.B) else 0,
+        imm=draw(_imm_for(spec)),
+    )
+
+
+@given(instructions())
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(inst):
+    word = encode(inst)
+    assert 0 <= word < (1 << 32)
+    decoded = decode(word)
+    assert decoded == inst
+
+
+@given(instructions())
+@settings(max_examples=200)
+def test_reencode_is_stable(inst):
+    word = encode(inst)
+    assert encode(decode(word)) == word

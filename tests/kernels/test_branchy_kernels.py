@@ -1,0 +1,111 @@
+"""Tests for If/Compare DSL support and the branchy extra kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import ArrayDecl, Compare, Const, If, Kernel, Let, Load, Store, Var, loop, when
+from repro.kernels.compiler import CompileError, build_kernel_program, compile_kernel
+from repro.kernels.polybench import EXTRA_KERNELS, _values, count_above, relu
+from repro.interp.executor import run_program
+from repro.dbt.engine import DbtEngineConfig
+from repro.platform.system import DbtSystem
+from repro.security.policy import ALL_POLICIES
+
+
+def _run(kernel):
+    return run_program(build_kernel_program(kernel)).exit_code
+
+
+def _if_kernel(op, left, right, then_value, else_value=None):
+    orelse = [Let("r", Const(else_value))] if else_value is not None else ()
+    return Kernel(
+        name="t", arrays=(),
+        body=(
+            Let("r", Const(0)),
+            when(op, left, right, [Let("r", Const(then_value))], orelse),
+        ),
+        result=Var("r"),
+    )
+
+
+@pytest.mark.parametrize("op,left,right,expected", [
+    ("<", 1, 2, 10), ("<", 2, 1, 0),
+    ("<=", 2, 2, 10), ("<=", 3, 2, 0),
+    ("==", 5, 5, 10), ("==", 5, 6, 0),
+    ("!=", 5, 6, 10), ("!=", 5, 5, 0),
+    (">", 3, 2, 10), (">", 2, 3, 0),
+    (">=", 2, 2, 10), (">=", 1, 2, 0),
+    ("u<", 1, 2, 10),
+    ("u>=", 2, 2, 10),
+])
+def test_comparisons(op, left, right, expected):
+    kernel = _if_kernel(op, Const(left), Const(right), 10)
+    assert _run(kernel) == expected
+
+
+def test_signed_vs_unsigned_comparison():
+    # -1 is huge unsigned: u< flips vs <.
+    assert _run(_if_kernel("<", Const(-1), Const(1), 10)) == 10
+    assert _run(_if_kernel("u<", Const(-1), Const(1), 10)) == 0
+
+
+def test_else_branch():
+    assert _run(_if_kernel("<", Const(2), Const(1), 10, else_value=7)) == 7
+
+
+def test_nested_if():
+    kernel = Kernel(
+        name="nested", arrays=(),
+        body=(
+            Let("r", Const(0)),
+            when(">", 5, 1, [
+                when(">", 3, 2, [Let("r", Const(42))]),
+            ]),
+        ),
+        result=Var("r"),
+    )
+    assert _run(kernel) == 42
+
+
+def test_bad_comparison_rejected():
+    with pytest.raises(ValueError):
+        Compare("~", Const(1), Const(2))
+
+
+def test_relu_matches_numpy():
+    kernel = relu(32)
+    raw = _values(32, 167, bound=16)
+    x = np.array([-v if v == 16 else v for v in raw], dtype=np.int64)
+    expected = int(np.maximum(x, 0).sum()) & 0x7F
+    assert _run(kernel) == expected
+
+
+def test_count_above_reference():
+    kernel = count_above(32, threshold=3)
+    x = _values(32, 173, bound=9)
+    count = sum(1 for v in x if v > 3)
+    total = sum(v for v in x if v > 3)
+    assert _run(kernel) == (count + total) & 0x7F
+
+
+@pytest.mark.parametrize("name", sorted(EXTRA_KERNELS))
+def test_branchy_kernels_platform_equivalence(name):
+    program = build_kernel_program(EXTRA_KERNELS[name]())
+    expected = run_program(program).exit_code
+    for policy in ALL_POLICIES:
+        system = DbtSystem(
+            program, policy=policy,
+            engine_config=DbtEngineConfig(hot_threshold=6),
+        )
+        assert system.run().exit_code == expected, (name, policy)
+
+
+def test_biased_branch_builds_cross_branch_superblock():
+    # relu's sign check is ~94% biased: the optimized trace must span it
+    # (guest_length beyond one basic block) and hoist loads above it.
+    program = build_kernel_program(relu())
+    system = DbtSystem(program, engine_config=DbtEngineConfig(hot_threshold=8))
+    system.run()
+    optimized = [b for b in system.engine.cache.blocks() if b.kind == "optimized"]
+    assert optimized
+    assert any(b.branch_hoisted_ops > 0 for b in optimized)

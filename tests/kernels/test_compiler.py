@@ -1,0 +1,213 @@
+"""Kernel DSL and compiler tests."""
+
+import pytest
+
+from repro.kernels.ast import (
+    ArrayDecl,
+    Bin,
+    Const,
+    For,
+    Kernel,
+    Let,
+    Load,
+    LoadAt,
+    Store,
+    StoreAt,
+    Var,
+    loop,
+    wrap,
+)
+from repro.kernels.compiler import CompileError, build_kernel_program, compile_kernel
+from repro.interp.executor import run_program
+
+
+def run_kernel(kernel: Kernel) -> int:
+    return run_program(build_kernel_program(kernel)).exit_code
+
+
+def simple_kernel(body, result, arrays=()):
+    return Kernel(name="t", arrays=tuple(arrays), body=tuple(body), result=result)
+
+
+# ---------------------------------------------------------------------------
+# AST sugar.
+# ---------------------------------------------------------------------------
+
+def test_operator_sugar_builds_bin_nodes():
+    expr = Var("a") + 1
+    assert isinstance(expr, Bin) and expr.op == "+"
+    assert (Var("a") * 2).op == "*"
+    assert (Var("a") - Var("b")).op == "-"
+    assert (Var("a") << 3).op == "<<"
+    assert (Var("a") / 2).op == "/"
+    assert (Var("a") % 2).op == "%"
+    assert (1 + Var("a")).op == "+"
+
+
+def test_wrap_rejects_junk():
+    with pytest.raises(TypeError):
+        wrap("nope")
+
+
+def test_bad_bin_op_rejected():
+    with pytest.raises(ValueError):
+        Bin("**", Const(1), Const(2))
+
+
+def test_loop_validation():
+    with pytest.raises(ValueError):
+        For(var="i", start=0, end=10, body=(), step=0)
+    with pytest.raises(ValueError):
+        For(var="i", start=0, end=Const(10) + 1, body=())
+
+
+def test_array_decl_validation():
+    with pytest.raises(ValueError):
+        ArrayDecl("a", 4, elem_size=3)
+    with pytest.raises(ValueError):
+        ArrayDecl("a", 2, init=(1, 2, 3))
+
+
+# ---------------------------------------------------------------------------
+# Compiled semantics.
+# ---------------------------------------------------------------------------
+
+def test_constant_result():
+    assert run_kernel(simple_kernel([], Const(55))) == 55
+
+
+def test_let_and_arithmetic():
+    kernel = simple_kernel(
+        [Let("x", Const(6)), Let("y", Var("x") * 7)],
+        Var("y"),
+    )
+    assert run_kernel(kernel) == 42
+
+
+def test_division_and_modulo():
+    kernel = simple_kernel(
+        [Let("q", Const(17) / 5), Let("r", Const(17) % 5)],
+        Var("q") * 10 + Var("r"),
+    )
+    assert run_kernel(kernel) == 32
+
+
+def test_loop_sums():
+    kernel = simple_kernel(
+        [
+            Let("acc", Const(0)),
+            loop("i", 1, 11, [Let("acc", Var("acc") + Var("i"))]),
+        ],
+        Var("acc"),
+    )
+    assert run_kernel(kernel) == 55
+
+
+def test_zero_trip_loop():
+    kernel = simple_kernel(
+        [
+            Let("acc", Const(9)),
+            loop("i", 5, 5, [Let("acc", Const(1))]),
+        ],
+        Var("acc"),
+    )
+    assert run_kernel(kernel) == 9
+
+
+def test_negative_step_loop():
+    kernel = simple_kernel(
+        [
+            Let("acc", Const(0)),
+            loop("i", 5, 0, [Let("acc", Var("acc") + Var("i"))], step=-1),
+        ],
+        Var("acc"),
+    )
+    assert run_kernel(kernel) == 15  # 5+4+3+2+1
+
+
+def test_variable_loop_bound():
+    kernel = simple_kernel(
+        [
+            Let("n", Const(4)),
+            Let("acc", Const(0)),
+            loop("i", 0, Var("n"), [Let("acc", Var("acc") + 2)]),
+        ],
+        Var("acc"),
+    )
+    assert run_kernel(kernel) == 8
+
+
+def test_array_load_store():
+    kernel = simple_kernel(
+        [
+            Store("a", Const(0), Const(7)),
+            Store("a", Const(1), Load("a", Const(0)) + 1),
+        ],
+        Load("a", Const(1)),
+        arrays=[ArrayDecl("a", 4)],
+    )
+    assert run_kernel(kernel) == 8
+
+
+def test_initialised_array():
+    kernel = simple_kernel(
+        [],
+        Load("a", Const(2)),
+        arrays=[ArrayDecl("a", 4, init=(10, 20, 30, 40))],
+    )
+    assert run_kernel(kernel) == 30
+
+
+def test_byte_array():
+    kernel = simple_kernel(
+        [Store("a", Const(1), Const(300), width=1)],
+        Load("a", Const(1), width=1, signed=False),
+        arrays=[ArrayDecl("a", 4, elem_size=1)],
+    )
+    assert run_kernel(kernel) == 300 & 0xFF
+
+
+def test_pointer_table_double_indirection():
+    rows = ArrayDecl("rows", 2, init=(("data", 0), ("data", 16)))
+    data = ArrayDecl("data", 4, init=(5, 6, 7, 8))
+    kernel = simple_kernel(
+        [
+            Let("p", Load("rows", Const(1))),
+            Let("v", LoadAt(Var("p") + 8)),
+            StoreAt(Var("p"), Var("v") * 2),
+        ],
+        LoadAt(Load("rows", Const(1))),
+        arrays=[rows, data],
+    )
+    assert run_kernel(kernel) == 16  # data[3] * 2
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(CompileError, match="undefined"):
+        compile_kernel(simple_kernel([], Var("ghost")))
+
+
+def test_undeclared_array_rejected():
+    with pytest.raises(CompileError, match="undeclared array"):
+        compile_kernel(simple_kernel([], Load("missing", Const(0))))
+
+
+def test_register_exhaustion_reported():
+    body = [Let("v%d" % i, Const(i)) for i in range(25)]
+    with pytest.raises(CompileError, match="out of scalar registers"):
+        compile_kernel(simple_kernel(body, Const(0)))
+
+
+def test_immediate_peephole_emits_no_li():
+    kernel = simple_kernel(
+        [Let("x", Const(5)), Let("y", Var("x") + 3), Let("z", Var("y") * 8)],
+        Var("z"),
+    )
+    asm = compile_kernel(kernel)
+    assert "addi" in asm
+    assert "slli" in asm
+    assert run_kernel(kernel) == 64
+
+
+def test_checksum_masked_to_7_bits():
+    assert run_kernel(simple_kernel([], Const(0x1FF))) == 0x7F

@@ -1,0 +1,163 @@
+"""Polybench suite validation: checksums vs numpy references, platform
+equivalence, and the matmul-ptr Spectre-pattern property."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.polybench import (
+    SMALL_SIZES,
+    _values,
+    gemm,
+    jacobi_1d,
+    matmul_flat,
+    matmul_ptr,
+    trisolv,
+)
+from repro.kernels.compiler import build_kernel_program
+from repro.interp.executor import run_program
+from repro.dbt.engine import DbtEngineConfig
+from repro.platform.system import DbtSystem
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+
+
+def _exit_code(kernel) -> int:
+    return run_program(build_kernel_program(kernel)).exit_code
+
+
+# ---------------------------------------------------------------------------
+# Reference checksums in numpy.
+# ---------------------------------------------------------------------------
+
+def test_gemm_checksum_matches_numpy():
+    n = 6
+    kernel = gemm(n)
+    a = np.array(_values(n * n, 11), dtype=np.int64).reshape(n, n)
+    b = np.array(_values(n * n, 23), dtype=np.int64).reshape(n, n)
+    c = np.array(_values(n * n, 37), dtype=np.int64).reshape(n, n)
+    expected = int((c * 2 + (a @ b) * 3).sum()) & 0x7F
+    assert _exit_code(kernel) == expected
+
+
+def test_matmul_variants_agree():
+    # Pointer-table and flat matmul compute the same product.
+    assert _exit_code(matmul_ptr(6)) == _exit_code(matmul_flat(6))
+
+
+def test_trisolv_solves_the_system():
+    n = 8
+    kernel = trisolv(n)
+    # Rebuild L and b exactly as the kernel factory does.
+    diag = tuple(1 + v % 4 for v in _values(n, 139))
+    lower = _values(n * n, 149)
+    L = np.zeros((n, n), dtype=np.int64)
+    for r in range(n):
+        for c in range(n):
+            if r == c:
+                L[r, c] = diag[r]
+            elif c < r:
+                L[r, c] = lower[r * n + c]
+    b = np.array(_values(n, 151, bound=100), dtype=np.int64)
+    x = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        acc = b[i] - int(L[i, :i] @ x[:i])
+        # RISC-V div truncates toward zero, matching int() on the ratio.
+        x[i] = int(acc / int(L[i, i]))
+    assert _exit_code(kernel) == int(x.sum()) & 0x7F
+
+
+def test_jacobi_1d_reference():
+    n, steps = 16, 2
+    kernel = jacobi_1d(n, steps)
+    a = np.array(_values(n, 113), dtype=np.int64)
+    b = np.array(_values(n, 127), dtype=np.int64)
+    for _ in range(steps):
+        for i in range(1, n - 1):
+            b[i] = (a[i - 1] + a[i] + a[i + 1]) >> 1
+        for i in range(1, n - 1):
+            a[i] = (b[i - 1] + b[i] + b[i + 1]) >> 1
+    assert _exit_code(kernel) == int(a.sum()) & 0x7F
+
+
+# ---------------------------------------------------------------------------
+# Whole-suite platform equivalence (small sizes).
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+def test_small_suite_platform_equivalence(name):
+    kernel = SMALL_SIZES[name]()
+    program = build_kernel_program(kernel)
+    expected = run_program(program).exit_code
+    for policy in ALL_POLICIES:
+        system = DbtSystem(
+            program, policy=policy,
+            engine_config=DbtEngineConfig(hot_threshold=6),
+        )
+        result = system.run()
+        assert result.exit_code == expected, (name, policy)
+
+
+# ---------------------------------------------------------------------------
+# The Section V-B property: only the pointer-table variant has patterns.
+# ---------------------------------------------------------------------------
+
+def _patterns_under_ghostbusters(kernel) -> int:
+    program = build_kernel_program(kernel)
+    system = DbtSystem(
+        program, policy=MitigationPolicy.GHOSTBUSTERS,
+        engine_config=DbtEngineConfig(hot_threshold=6),
+    )
+    system.run()
+    return system.engine.stats.spectre_patterns_detected
+
+
+def test_flat_matmul_has_no_spectre_pattern():
+    assert _patterns_under_ghostbusters(matmul_flat(6)) == 0
+
+
+def test_pointer_matmul_triggers_spectre_pattern():
+    assert _patterns_under_ghostbusters(matmul_ptr(6)) > 0
+
+
+def test_polybench_suite_is_pattern_free():
+    for name, factory in SMALL_SIZES.items():
+        assert _patterns_under_ghostbusters(factory()) == 0, name
+
+
+def test_seidel_2d_reference():
+    import numpy as np
+    n, steps = 7, 2
+    kernel = __import__("repro.kernels.polybench", fromlist=["seidel_2d"]).seidel_2d(n, steps)
+    a = np.array(_values(n * n, 179, bound=64), dtype=np.int64).reshape(n, n)
+    for _ in range(steps):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i, j] = (
+                    a[i - 1, j - 1] + a[i - 1, j] + a[i - 1, j + 1]
+                    + a[i, j - 1] + a[i, j] + a[i, j + 1]
+                    + a[i + 1, j - 1] + a[i + 1, j] + a[i + 1, j + 1]
+                ) >> 3
+    expected = int(a.sum()) & 0x7F
+    assert _exit_code(kernel) == expected
+
+
+def test_floyd_warshall_reference():
+    import numpy as np
+    from repro.kernels.polybench import floyd_warshall
+
+    n = 6
+    kernel = floyd_warshall(n)
+    weights = [
+        0 if r == c else 10 + v
+        for (r, c), v in zip(
+            ((r, c) for r in range(n) for c in range(n)),
+            _values(n * n, 181, bound=90),
+        )
+    ]
+    W = np.array(weights, dtype=np.int64).reshape(n, n)
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                via = W[i, k] + W[k, j]
+                if via < W[i, j]:
+                    W[i, j] = via
+    assert _exit_code(kernel) == int(W.sum()) & 0x7F

@@ -1,0 +1,145 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+
+
+def small_cache(ways: int = 2, sets: int = 4, line: int = 64) -> SetAssociativeCache:
+    return SetAssociativeCache(CacheConfig(
+        size_bytes=ways * sets * line, line_size=line, associativity=ways,
+        hit_latency=3, miss_latency=30,
+    ))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(line_size=48)  # not a power of two
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000)  # not a multiple of line*ways
+    with pytest.raises(ValueError):
+        CacheConfig(hit_latency=5, miss_latency=4)
+
+
+def test_num_sets():
+    config = CacheConfig(size_bytes=16384, line_size=64, associativity=4)
+    assert config.num_sets == 64
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    hit, latency = cache.access(0x1000)
+    assert not hit and latency == 30
+    hit, latency = cache.access(0x1000)
+    assert hit and latency == 3
+    # Same line, different offset.
+    hit, _ = cache.access(0x1000 + 63)
+    assert hit
+
+
+def test_access_spanning_two_lines():
+    cache = small_cache()
+    hit, latency = cache.access(0x1000 + 60, size=8)
+    assert not hit and latency == 30
+    assert cache.probe(0x1000)
+    assert cache.probe(0x1040)
+
+
+def test_lru_eviction():
+    cache = small_cache(ways=2, sets=1, line=64)
+    cache.access(0 * 64)
+    cache.access(1 * 64)
+    cache.access(0 * 64)  # refresh line 0; line 1 is now LRU
+    cache.access(2 * 64)  # evicts line 1
+    assert cache.probe(0)
+    assert not cache.probe(64)
+    assert cache.probe(128)
+    assert cache.stats.evictions == 1
+
+
+def test_set_indexing_separates_lines():
+    cache = small_cache(ways=1, sets=4)
+    cache.access(0 * 64)   # set 0
+    cache.access(1 * 64)   # set 1
+    assert cache.probe(0) and cache.probe(64)
+    cache.access(4 * 64)   # set 0 again -> evicts line 0 (1-way)
+    assert not cache.probe(0)
+    assert cache.probe(64)
+
+
+def test_flush_line():
+    cache = small_cache()
+    cache.access(0x2000)
+    assert cache.flush_line(0x2000 + 10)  # any offset within the line
+    assert not cache.probe(0x2000)
+    assert not cache.flush_line(0x2000)  # already gone
+    assert cache.stats.flushes == 2
+
+
+def test_flush_all():
+    cache = small_cache()
+    for index in range(4):
+        cache.access(index * 64)
+    cache.flush_all()
+    assert cache.occupancy() == 0
+
+
+def test_probe_does_not_disturb_state():
+    cache = small_cache()
+    cache.access(0x3000)
+    hits_before = cache.stats.hits
+    misses_before = cache.stats.misses
+    assert cache.probe(0x3000)
+    assert not cache.probe(0x4000)
+    assert cache.stats.hits == hits_before
+    assert cache.stats.misses == misses_before
+    assert not cache.probe(0x4000)  # probing a miss does not fill
+
+
+def test_resident_lines_reporting():
+    cache = small_cache()
+    cache.access(0)
+    cache.access(64)
+    assert cache.resident_lines() == [0, 64]
+
+
+def test_stats_hit_rate():
+    cache = small_cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.accesses == 3
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+    cache.stats.reset()
+    assert cache.stats.accesses == 0
+
+
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_property_occupancy_bounded(addresses):
+    cache = small_cache(ways=2, sets=4)
+    for address in addresses:
+        cache.access(address)
+    assert cache.occupancy() <= 8
+    for ways in cache._sets:
+        assert len(ways) <= 2
+
+
+@given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_property_probe_after_access_hits(addresses):
+    cache = SetAssociativeCache()  # default 16 KiB, plenty
+    for address in addresses:
+        cache.access(address)
+        assert cache.probe(address)
+
+
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_property_hits_plus_misses(addresses):
+    cache = small_cache()
+    for address in addresses:
+        cache.access(address)
+    assert cache.stats.hits + cache.stats.misses == len(addresses)

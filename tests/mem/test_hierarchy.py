@@ -1,0 +1,62 @@
+"""Tests for the timed data-memory system."""
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import DataMemorySystem
+
+
+def make() -> DataMemorySystem:
+    return DataMemorySystem(cache_config=CacheConfig(
+        size_bytes=1024, line_size=64, associativity=2,
+        hit_latency=2, miss_latency=20,
+    ))
+
+
+def test_load_timing_miss_then_hit():
+    system = make()
+    first = system.load(0x100, 8)
+    assert not first.hit and first.latency == 20
+    second = system.load(0x100, 8)
+    assert second.hit and second.latency == 2
+
+
+def test_store_then_load_value():
+    system = make()
+    system.store(0x200, 0xDEAD, 8)
+    assert system.load(0x200, 8).value == 0xDEAD
+
+
+def test_store_allocates_line():
+    system = make()
+    result = system.store(0x300, 1, 8)
+    assert not result.hit
+    assert system.load(0x300, 1).hit
+
+
+def test_signed_load():
+    system = make()
+    system.store(0x80, 0xFF, 1)
+    assert system.load(0x80, 1, signed=True).value == -1
+    assert system.load(0x80, 1, signed=False).value == 0xFF
+
+
+def test_flush_line_restores_miss_latency():
+    system = make()
+    system.load(0x100, 8)
+    system.flush_line(0x100)
+    assert not system.load(0x100, 8).hit
+
+
+def test_peek_poke_do_not_touch_cache():
+    system = make()
+    system.poke(0x400, 77, 8)
+    assert system.peek(0x400, 8) == 77
+    assert not system.cache.probe(0x400)
+    assert system.stats.accesses == 0
+
+
+def test_flush_keeps_data():
+    # The cache is a timing model: flushing must never lose data.
+    system = make()
+    system.store(0x500, 123456, 8)
+    system.flush_line(0x500)
+    assert system.load(0x500, 8).value == 123456

@@ -1,0 +1,74 @@
+"""Multi-policy comparison runner tests."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.platform.comparison import compare_policies, slowdown_table
+from repro.security.policy import MitigationPolicy
+
+SOURCE = """
+_start:
+    li a0, 0
+    li t0, 0
+    li t1, 60
+    la t2, data
+head:
+    slli t3, t0, 3
+    andi t3, t3, 127
+    add t3, t2, t3
+    ld t4, 0(t3)
+    add a0, a0, t4
+    mul t4, t4, t4
+    sd t4, 128(t3)
+    addi t0, t0, 1
+    blt t0, t1, head
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+data:
+    .dword 1, 2, 3, 4, 5, 6, 7, 8
+    .dword 9, 10, 11, 12, 13, 14, 15, 16
+    .space 256
+"""
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_policies("demo", assemble(SOURCE))
+
+
+def test_all_policies_present(comparison):
+    assert set(comparison.results) == {
+        "unsafe", "our approach", "fence on detection", "no speculation",
+    }
+
+
+def test_no_speculation_is_slower(comparison):
+    assert comparison.slowdown("no speculation") > 1.0
+
+
+def test_ghostbusters_is_free_without_patterns(comparison):
+    assert comparison.slowdown("our approach") == pytest.approx(1.0)
+
+
+def test_exit_code_guard():
+    with pytest.raises(AssertionError, match="exited with"):
+        compare_policies("demo", assemble(SOURCE), expect_exit_code=1)
+
+
+def test_expected_exit_code_accepted(comparison):
+    expected = comparison.results["unsafe"].exit_code
+    compare_policies(
+        "demo", assemble(SOURCE),
+        policies=[MitigationPolicy.UNSAFE],
+        expect_exit_code=expected,
+    )
+
+
+def test_slowdown_table_renders(comparison):
+    table = slowdown_table([comparison])
+    assert "demo" in table
+    assert "our approach" in table
+    assert "%" in table
+    assert "geomean/avg" in table

@@ -1,0 +1,83 @@
+"""Lockstep differential-execution tests, including fault injection."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.lockstep import lockstep_run
+from repro.security.policy import ALL_POLICIES
+
+PROGRAM = """
+_start:
+    li a0, 0
+    li t0, 0
+    li t1, 50
+    la t2, data
+head:
+    andi t3, t0, 15
+    slli t3, t3, 3
+    add t3, t2, t3
+    ld t4, 0(t3)
+    add a0, a0, t4
+    sd a0, 128(t3)
+    addi t0, t0, 1
+    blt t0, t1, head
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+data:
+    .dword 3, 1, 4, 1, 5, 9, 2, 6
+    .dword 5, 3, 5, 8, 9, 7, 9, 3
+    .space 256
+"""
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_clean_run_has_no_divergence(policy):
+    report = lockstep_run(assemble(PROGRAM), policy=policy,
+                          memory_check_interval=8)
+    assert report.ok, report.divergence and report.divergence.describe()
+    assert report.blocks_executed > 10
+
+
+def test_kernel_lockstep():
+    program = build_kernel_program(SMALL_SIZES["gemm"]())
+    report = lockstep_run(program)
+    assert report.ok
+
+
+def test_register_fault_detected():
+    def corrupt(system, block_index):
+        if block_index == 20:
+            system.core.regs.write(10, 0xDEAD)  # clobber a0
+
+    report = lockstep_run(assemble(PROGRAM), fault_injector=corrupt)
+    assert not report.ok
+    assert report.divergence.kind == "registers"
+    assert report.divergence.block_index == 20
+    assert any("a0" in line for line in report.divergence.details)
+    assert "divergence" in report.divergence.describe()
+
+
+def test_memory_fault_detected():
+    def corrupt(system, block_index):
+        if block_index == 16:
+            base = system.program.symbol("data")
+            system.memory.poke(base + 128, 0x77, 1)
+
+    report = lockstep_run(assemble(PROGRAM), fault_injector=corrupt,
+                          memory_check_interval=4)
+    assert not report.ok
+    assert report.divergence.kind == "memory"
+    assert "0x77" in report.divergence.details[0]
+
+
+def test_pc_fault_detected():
+    def corrupt(system, block_index):
+        if block_index == 10 and not system.exited:
+            system.pc = system.program.entry  # warp back to the start
+
+    report = lockstep_run(assemble(PROGRAM), fault_injector=corrupt)
+    assert not report.ok
+    assert report.divergence.kind in ("pc", "registers")

@@ -1,0 +1,61 @@
+"""Metrics / comparison rendering tests."""
+
+import pytest
+
+from repro.platform.comparison import ascii_figure, slowdown_table
+from repro.platform.metrics import PolicyComparison, SystemRunResult
+from repro.security.policy import MitigationPolicy
+
+
+def _comparison(name="demo", unsafe=1000, ghostbusters=1000, no_spec=1500):
+    return PolicyComparison(name, {
+        "unsafe": SystemRunResult(0, unsafe, 500),
+        "our approach": SystemRunResult(0, ghostbusters, 500),
+        "no speculation": SystemRunResult(0, no_spec, 500),
+    })
+
+
+def test_slowdown_ratios():
+    comparison = _comparison()
+    assert comparison.slowdown("no speculation") == pytest.approx(1.5)
+    assert comparison.slowdown("our approach") == pytest.approx(1.0)
+
+
+def test_ipc():
+    result = SystemRunResult(exit_code=0, cycles=200, instructions=100)
+    assert result.ipc == pytest.approx(0.5)
+    assert SystemRunResult(0, 0, 0).ipc == 0.0
+
+
+def test_summary_lines():
+    result = SystemRunResult(exit_code=3, cycles=10, instructions=5,
+                             blocks_executed=2, rollbacks=1)
+    text = result.summary()
+    assert "exit code      : 3" in text
+    assert "MCB rollbacks  : 1" in text
+
+
+def test_slowdown_table_columns():
+    table = slowdown_table([_comparison()], policies=(
+        MitigationPolicy.GHOSTBUSTERS, MitigationPolicy.NO_SPECULATION,
+    ))
+    lines = table.splitlines()
+    assert "our approach" in lines[0] and "no speculation" in lines[0]
+    assert "150.0%" in table
+    assert "geomean/avg" in lines[-1]
+
+
+def test_ascii_figure_scaling():
+    chart = ascii_figure([_comparison(no_spec=2000)], width=10, ceiling=2.0)
+    # 200% fills the whole width.
+    assert "#" * 10 in chart
+    chart = ascii_figure([_comparison(no_spec=1000)], width=10)
+    # 100% draws an empty bar.
+    assert "#" not in chart.splitlines()[-1]
+
+
+def test_ascii_figure_clamps_above_ceiling():
+    chart = ascii_figure([_comparison(no_spec=5000)], width=10, ceiling=2.0)
+    last = chart.splitlines()[-1]
+    assert "#" * 10 in last and "#" * 11 not in last
+    assert "500.0%" in last

@@ -1,0 +1,159 @@
+"""Platform integration tests: syscalls, run loop, statistics."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.dbt.engine import DbtEngineConfig
+from repro.platform.system import (
+    DbtSystem,
+    GuestBreakpoint,
+    PlatformConfig,
+    PlatformError,
+    run_on_platform,
+)
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+
+from ..conftest import run_both
+
+
+def test_exit_code():
+    result = run_on_platform(assemble("""
+    li a0, 33
+    li a7, 93
+    ecall
+"""))
+    assert result.exit_code == 33
+
+
+def test_write_output():
+    result = run_on_platform(assemble("""
+    li a7, 64
+    li a0, 1
+    la a1, msg
+    li a2, 3
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+msg:
+    .asciz "abc"
+"""))
+    assert result.output == b"abc"
+
+
+def test_ebreak_raises():
+    with pytest.raises(GuestBreakpoint):
+        run_on_platform(assemble("ebreak"))
+
+
+def test_unknown_syscall():
+    with pytest.raises(PlatformError, match="unknown syscall"):
+        run_on_platform(assemble("""
+    li a7, 123
+    ecall
+"""))
+
+
+def test_block_budget():
+    program = assemble("""
+spin:
+    j spin
+""")
+    system = DbtSystem(program, platform_config=PlatformConfig(max_blocks=50))
+    with pytest.raises(PlatformError, match="block budget"):
+        system.run()
+
+
+def test_cycle_budget():
+    program = assemble("""
+spin:
+    j spin
+""")
+    system = DbtSystem(program, platform_config=PlatformConfig(max_cycles=100))
+    with pytest.raises(PlatformError, match="cycle budget"):
+        system.run()
+
+
+def test_matches_interpreter_on_all_policies():
+    source = """
+_start:
+    li a0, 0
+    li t0, 0
+    li t1, 30
+head:
+    slli t2, t0, 3
+    la t3, data
+    add t3, t3, t2
+    ld t4, 0(t3)
+    add a0, a0, t4
+    sd a0, 0(t3)
+    addi t0, t0, 1
+    rem t5, t0, t1
+    blt t0, t1, head
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+data:
+    .space 256
+"""
+    for policy in ALL_POLICIES:
+        run_both(source, policy)
+
+
+def test_statistics_populated():
+    result = run_on_platform(assemble("""
+    li t0, 0
+    li t1, 40
+head:
+    addi t0, t0, 1
+    blt t0, t1, head
+    li a0, 0
+    li a7, 93
+    ecall
+"""))
+    assert result.cycles > 0
+    assert result.instructions > 0
+    assert result.blocks_executed > 0
+    assert 0 < result.ipc < 8
+    assert result.engine.first_pass_translations >= 2
+    summary = result.summary()
+    assert "cycles" in summary and "DBT" in summary
+
+
+def test_memory_accessors():
+    program = assemble("""
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+blob:
+    .dword 0x1122334455667788
+""")
+    system = DbtSystem(program)
+    assert system.read_symbol("blob", 8) == (0x1122334455667788).to_bytes(8, "little")
+    system.write_memory(program.symbol("blob"), b"\x01")
+    assert system.read_memory(program.symbol("blob"), 1) == b"\x01"
+
+
+def test_rdcycle_visible_to_guest():
+    result = run_on_platform(assemble("""
+    rdcycle t0
+    rdcycle t1
+    sub a0, t1, t0
+    li a7, 93
+    ecall
+"""))
+    assert result.exit_code >= 1
+
+
+def test_stepping_exited_guest_fails():
+    system = DbtSystem(assemble("""
+    li a7, 93
+    li a0, 0
+    ecall
+"""))
+    system.run()
+    with pytest.raises(PlatformError):
+        system.step_block()

@@ -1,0 +1,70 @@
+"""Mitigation pass and policy-enum tests."""
+
+from repro.dbt.ir import DepKind, IRBlock, IRInstruction, IRKind
+from repro.security.mitigation import apply_fence, apply_ghostbusters
+from repro.security.poison import analyze_block
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+from repro.vliw.isa import Condition
+
+
+def _v4_block():
+    return IRBlock(entry=0x1000, instructions=[
+        IRInstruction(IRKind.STORE, src1=1, src2=2),
+        IRInstruction(IRKind.LOAD, dst=5, src1=1),
+        IRInstruction(IRKind.LOAD, dst=6, src1=5),
+        IRInstruction(IRKind.JUMP_EXIT, target=0x100),
+    ])
+
+
+def _spectre_edges(block):
+    return [(e.src, e.dst) for e in block.extra_dependences
+            if e.kind is DepKind.SPECTRE]
+
+
+def test_ghostbusters_pins_flagged_access_to_guards():
+    block = _v4_block()
+    report = analyze_block(block)
+    result = apply_ghostbusters(block, report)
+    assert result.applied
+    assert result.patterns == 1
+    assert (0, 2) in _spectre_edges(block)  # store -> flagged load
+    # The speculative source itself is NOT pinned (paper Figure 3C).
+    assert (0, 1) not in _spectre_edges(block)
+
+
+def test_fence_serialises_around_flagged_access():
+    block = _v4_block()
+    report = analyze_block(block)
+    result = apply_fence(block, report)
+    edges = _spectre_edges(block)
+    assert (0, 2) in edges and (1, 2) in edges  # everything before -> access
+    assert (2, 3) in edges                      # access -> everything after
+    assert result.edges_added == 3
+
+
+def test_no_pattern_means_no_edges():
+    block = IRBlock(entry=0, instructions=[
+        IRInstruction(IRKind.LOAD, dst=5, src1=1),
+        IRInstruction(IRKind.JUMP_EXIT, target=0x100),
+    ])
+    report = analyze_block(block)
+    assert not apply_ghostbusters(block, report).applied
+    assert not apply_fence(block, report).applied
+
+
+def test_policy_properties():
+    assert MitigationPolicy.UNSAFE.speculation_enabled
+    assert MitigationPolicy.GHOSTBUSTERS.speculation_enabled
+    assert MitigationPolicy.FENCE.speculation_enabled
+    assert not MitigationPolicy.NO_SPECULATION.speculation_enabled
+
+    assert not MitigationPolicy.UNSAFE.analyzes_patterns
+    assert MitigationPolicy.GHOSTBUSTERS.analyzes_patterns
+    assert MitigationPolicy.FENCE.analyzes_patterns
+    assert not MitigationPolicy.NO_SPECULATION.analyzes_patterns
+
+
+def test_policy_labels_match_paper_vocabulary():
+    assert MitigationPolicy.GHOSTBUSTERS.label == "our approach"
+    assert MitigationPolicy.NO_SPECULATION.label == "no speculation"
+    assert len(ALL_POLICIES) == 4

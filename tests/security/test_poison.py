@@ -1,0 +1,192 @@
+"""Poison-analysis tests (paper Section IV-A rules)."""
+
+from repro.dbt.ir import IRBlock, IRInstruction, IRKind
+from repro.security.poison import analyze_block
+from repro.vliw.isa import Condition
+
+
+def alu(dst, src1, src2=None, imm=0):
+    if src2 is None:
+        return IRInstruction(IRKind.ALUI, op="add", dst=dst, src1=src1, imm=imm)
+    return IRInstruction(IRKind.ALU, op="add", dst=dst, src1=src1, src2=src2)
+
+
+def load(dst, base, imm=0):
+    return IRInstruction(IRKind.LOAD, dst=dst, src1=base, imm=imm,
+                         guest_address=0x40 + dst)
+
+
+def store(base, value):
+    return IRInstruction(IRKind.STORE, src1=base, src2=value)
+
+
+def branch():
+    return IRInstruction(IRKind.BRANCH_EXIT, condition=Condition.GEU,
+                         src1=10, src2=11, target=0x99)
+
+
+def jump():
+    return IRInstruction(IRKind.JUMP_EXIT, target=0x100)
+
+
+def block(*instructions):
+    return IRBlock(entry=0x1000, instructions=list(instructions))
+
+
+# ---------------------------------------------------------------------------
+# The two canonical patterns.
+# ---------------------------------------------------------------------------
+
+def test_v1_pattern_detected():
+    # branch ; load a=buf[x] ; shift ; load arrayVal[a] -> flagged.
+    b = block(
+        branch(),
+        load(5, 1),        # speculative source (above-branch candidate)
+        alu(6, 5, imm=64),
+        load(7, 6),        # address derives from the speculative load
+        jump(),
+    )
+    report = analyze_block(b)
+    assert report.has_pattern
+    assert [f.index for f in report.flagged] == [3]
+    assert 1 in report.speculative_sources
+    assert report.flagged[0].address_register == 6
+    assert 0 in report.flagged[0].guards  # the branch guards it
+
+
+def test_v4_pattern_detected():
+    # store addrBuf ; load addrBuf ; load buffer[a] ; load arrayVal[b].
+    b = block(
+        store(1, 2),
+        load(5, 1),        # may be hoisted above the store
+        load(6, 5),        # poisoned address -> flagged
+        alu(7, 6, imm=64),
+        load(8, 7),        # transitively poisoned -> flagged too
+        jump(),
+    )
+    report = analyze_block(b)
+    flagged = [f.index for f in report.flagged]
+    assert flagged == [2, 4]
+    assert report.flagged[0].guards == (0,)
+
+
+# ---------------------------------------------------------------------------
+# Propagation rules.
+# ---------------------------------------------------------------------------
+
+def test_clean_code_has_no_pattern():
+    b = block(
+        load(5, 1),
+        alu(6, 5, imm=1),
+        store(2, 6),
+        jump(),
+    )
+    report = analyze_block(b)
+    assert not report.has_pattern
+    assert report.speculative_sources == ()
+
+
+def test_arithmetic_propagates_poison():
+    b = block(
+        branch(),
+        load(5, 1),
+        alu(6, 5, 5),
+        alu(7, 6, imm=3),
+        load(8, 7),
+        jump(),
+    )
+    report = analyze_block(b)
+    assert [f.index for f in report.flagged] == [4]
+
+
+def test_clean_redefinition_kills_poison():
+    b = block(
+        branch(),
+        load(5, 1),       # poisons r5
+        alu(5, 2, imm=0),  # overwrites r5 with a clean value
+        load(6, 5),        # address is clean now
+        jump(),
+    )
+    report = analyze_block(b)
+    assert not report.has_pattern
+
+
+def test_store_with_poisoned_address_is_flagged():
+    b = block(
+        store(1, 2),
+        load(5, 1),
+        store(5, 3),       # poisoned address used by a store
+        jump(),
+    )
+    report = analyze_block(b)
+    assert [f.index for f in report.flagged] == [2]
+
+
+def test_poisoned_value_stored_is_not_flagged():
+    # Storing a poisoned *value* to a clean address cannot leak.
+    b = block(
+        store(1, 2),
+        load(5, 1),
+        store(3, 5),       # value poisoned, address clean
+        jump(),
+    )
+    report = analyze_block(b)
+    assert not report.has_pattern
+
+
+def test_branch_speculation_disabled_removes_v1_sources():
+    b = block(
+        branch(),
+        load(5, 1),
+        alu(6, 5, imm=64),
+        load(7, 6),
+        jump(),
+    )
+    report = analyze_block(b, branch_speculation=False)
+    assert not report.has_pattern
+
+
+def test_memory_speculation_disabled_removes_v4_sources():
+    b = block(
+        store(1, 2),
+        load(5, 1),
+        load(6, 5),
+        jump(),
+    )
+    report = analyze_block(b, memory_speculation=False)
+    assert not report.has_pattern
+
+
+def test_load_before_any_guard_is_not_speculative():
+    b = block(
+        load(5, 1),        # nothing to speculate above
+        load(6, 5),        # dependent, but source is non-speculative
+        branch(),
+        jump(),
+    )
+    report = analyze_block(b)
+    assert not report.has_pattern
+
+
+def test_poisoned_outputs_recorded_for_dfg_dump():
+    b = block(
+        store(1, 2),
+        load(5, 1),
+        alu(6, 5, imm=1),
+        jump(),
+    )
+    report = analyze_block(b)
+    assert report.poisoned_outputs[1] is True
+    assert report.poisoned_outputs[2] is True
+
+
+def test_report_counts():
+    b = block(
+        store(1, 2),
+        load(5, 1),
+        load(6, 5),
+        jump(),
+    )
+    report = analyze_block(b)
+    assert report.pattern_count == 1
+    assert report.entry == 0x1000

@@ -1,0 +1,112 @@
+"""Structural (non-)vulnerability results.
+
+The paper considers "the Spectre variants based on branch prediction and
+load/store queue because they have their equivalent in a DBT based
+processor."  Two other well-known variants have *no* equivalent on this
+platform, and the tests below pin down why — the properties are
+guaranteed by construction, not by a mitigation:
+
+* **Spectre v1.1 (speculative buffer overflow)** needs a *store* executed
+  under a mispredicted bounds check.  The DBT scheduler never moves a
+  store above a trace exit (CTRL edges to stores are not relaxable), so
+  there is no speculative store to exploit.
+* **Meltdown-style deferred faults** need an access that architecturally
+  faults but micro-architecturally forwards data.  There is no
+  forward-then-fault window in this model: speculative loads are ordinary
+  loads to hidden registers.
+"""
+
+from repro.isa.assembler import assemble
+from repro.dbt.blocks import discover_block
+from repro.dbt.ir import DepKind, IRKind
+from repro.dbt.irbuilder import build_ir
+from repro.dbt.scheduler import SchedulerOptions, schedule_block
+from repro.vliw.config import VliwConfig
+from repro.vliw.isa import VliwOpcode
+
+CONFIG = VliwConfig()
+
+# A v1.1-shaped victim: bounds check guarding a *store* through an
+# attacker-influenced index.
+V11_SHAPE = """
+head:
+    ld t0, 0(s3)
+    ld t0, 0(t0)
+    ld t0, 0(t0)
+    bgeu a0, t0, out
+    add t1, s0, a0
+    sb a1, 0(t1)       # store under the bounds check
+out:
+    ecall
+"""
+
+
+def _v11_ir():
+    program = assemble(V11_SHAPE)
+    head = discover_block(program, program.symbol("head"))
+    then = discover_block(program, head.fallthrough)
+    return build_ir([head, then])
+
+
+def test_store_control_dependence_is_never_relaxable():
+    ir = _v11_ir()
+    store_index = next(
+        index for index, inst in enumerate(ir.instructions)
+        if inst.kind is IRKind.STORE
+    )
+    ctrl_edges = [
+        edge for edge in ir.dependences()
+        if edge.kind is DepKind.CTRL and edge.dst == store_index
+    ]
+    assert ctrl_edges, "the store must be control-dependent on the check"
+    assert all(not edge.relaxable for edge in ctrl_edges)
+
+
+def test_scheduler_never_hoists_the_guarded_store():
+    ir = _v11_ir()
+    block = schedule_block(ir, CONFIG, SchedulerOptions())
+    branch_bundle = None
+    store_bundle = None
+    for index, bundle in enumerate(block.bundles):
+        for op in bundle:
+            if op.opcode is VliwOpcode.BRANCH:
+                branch_bundle = index
+            if op.opcode is VliwOpcode.STORE:
+                store_bundle = index
+    assert store_bundle > branch_bundle, (
+        "Spectre v1.1 requires a speculative store; the DBT never emits one"
+    )
+
+
+def test_no_speculative_store_opcode_exists():
+    # The VLIW ISA has no speculative store: only loads carry the flag.
+    import pytest
+    from repro.vliw.isa import VliwOp
+
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.STORE, src1=1, src2=2, speculative=True)
+
+
+def test_hoisted_loads_write_hidden_registers_only():
+    # Meltdown-style forwarding would need wrong-path data to reach
+    # architectural state; hoisted values live in hidden registers and
+    # commits are pinned behind the exits.
+    ir = _v11_ir()
+    block = schedule_block(ir, CONFIG, SchedulerOptions())
+    branch_bundle = max(
+        index for index, bundle in enumerate(block.bundles)
+        for op in bundle if op.opcode is VliwOpcode.BRANCH
+    )
+    for index, bundle in enumerate(block.bundles):
+        for op in bundle:
+            if index <= branch_bundle and op.origin is not None:
+                # Ops at-or-before the last exit that originate from
+                # beyond it must not write architectural registers.
+                origin_inst = None
+                dest = op.destination()
+                if dest is not None and dest < 32 and op.opcode in (
+                    VliwOpcode.LOAD,
+                ):
+                    # Architectural load before the exit must originate
+                    # from before the exit in program order.
+                    assert op.origin <= 3, op.describe()

@@ -1,0 +1,100 @@
+"""CLI tests (argument handling and each subcommand end-to-end)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM = """
+_start:
+    li a0, 7
+    li a7, 93
+    ecall
+"""
+
+LOOP_PROGRAM = """
+_start:
+    li t0, 0
+    li t1, 40
+head:
+    addi t0, t0, 1
+    blt t0, t1, head
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.s"
+    path.write_text(LOOP_PROGRAM)
+    return str(path)
+
+
+def test_run_platform(asm_file, capsys):
+    assert main(["run", asm_file]) == 0
+    out = capsys.readouterr().out
+    assert "exit code : 7" in out
+    assert "cycles" in out
+
+
+def test_run_interpreter(asm_file, capsys):
+    assert main(["run", asm_file, "--interp"]) == 0
+    out = capsys.readouterr().out
+    assert "exit code : 7" in out
+    assert "instret" in out
+
+
+def test_run_with_stats_and_policy(asm_file, capsys):
+    assert main(["run", asm_file, "--stats", "--policy", "ghostbusters"]) == 0
+    out = capsys.readouterr().out
+    assert "DBT" in out
+
+
+def test_run_wide_machine(loop_file, capsys):
+    assert main(["run", loop_file, "--wide", "8"]) == 0
+    assert "exit code : 0" in capsys.readouterr().out
+
+
+def test_bad_policy_rejected(asm_file):
+    with pytest.raises(SystemExit):
+        main(["run", asm_file, "--policy", "yolo"])
+
+
+def test_dis(asm_file, capsys):
+    assert main(["dis", asm_file]) == 0
+    out = capsys.readouterr().out
+    assert "_start:" in out
+    assert "ecall" in out
+
+
+def test_trace_shows_optimized_blocks(loop_file, capsys):
+    assert main(["trace", loop_file]) == 0
+    out = capsys.readouterr().out
+    assert "optimized" in out
+    assert "jump" in out
+
+
+def test_trace_all_includes_firstpass(asm_file, capsys):
+    assert main(["trace", asm_file, "--all"]) == 0
+    assert "firstpass" in capsys.readouterr().out
+
+
+def test_attack_subcommand_single_policy(capsys):
+    # Short secret; GhostBusters blocks -> returns 0 (explicit policy).
+    assert main(["attack", "v1", "--secret", "Z",
+                 "--policy", "ghostbusters"]) == 0
+    out = capsys.readouterr().out
+    assert "blocked" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

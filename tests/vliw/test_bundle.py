@@ -1,0 +1,81 @@
+"""Bundle legality / slot-matching tests."""
+
+import pytest
+
+from repro.vliw.bundle import BundleError, assign_slots, fits, make_bundle
+from repro.vliw.config import UnitClass, VliwConfig, wide_config
+from repro.vliw.isa import Condition, VliwOp, VliwOpcode
+
+
+def alu(dest=1, src=2):
+    return VliwOp(VliwOpcode.ALU, alu_op="add", dest=dest, src1=src, src2=src)
+
+
+def mul(dest=3):
+    return VliwOp(VliwOpcode.ALU, alu_op="mul", dest=dest, src1=1, src2=2)
+
+
+def load(dest=4):
+    return VliwOp(VliwOpcode.LOAD, dest=dest, src1=2)
+
+
+def store():
+    return VliwOp(VliwOpcode.STORE, src1=2, src2=3)
+
+
+def branch():
+    return VliwOp(VliwOpcode.BRANCH, condition=Condition.EQ, src1=1, src2=2, target=0x100)
+
+
+def test_four_alus_fit_default_machine():
+    assert fits([alu(i + 1) for i in range(4)], VliwConfig())
+
+
+def test_five_ops_do_not_fit():
+    assert not fits([alu(i + 1) for i in range(5)], VliwConfig())
+
+
+def test_two_memory_ops_do_not_fit_default():
+    assert not fits([load(4), store()], VliwConfig())
+
+
+def test_two_memory_ops_fit_wide_machine():
+    assert fits([load(4), store()], wide_config())
+
+
+def test_branch_and_mem_and_mul_and_alu_fit():
+    assert fits([branch(), load(4), mul(3), alu(1)], VliwConfig())
+
+
+def test_two_branches_do_not_fit():
+    assert not fits([branch(), branch()], VliwConfig())
+
+
+def test_matching_backtracks():
+    # ALU ops greedily placed in the mem-capable slot must give way to
+    # the load (bipartite matching, not first-fit).
+    ops = [alu(1), alu(2), alu(3), load(4)]
+    placed = assign_slots(ops, VliwConfig())
+    assert placed is not None
+    slots_with_load = [i for i, op in enumerate(placed) if op is not None
+                       and op.opcode is VliwOpcode.LOAD]
+    assert slots_with_load == [1]  # the only MEM-capable slot
+
+
+def test_make_bundle_raises_on_illegal():
+    with pytest.raises(BundleError):
+        make_bundle([branch(), branch()], VliwConfig())
+
+
+def test_make_bundle_describe():
+    bundle = make_bundle([alu(1)], VliwConfig())
+    assert "add" in bundle.describe()
+    empty = make_bundle([], VliwConfig())
+    assert empty.describe() == "nop"
+
+
+def test_slots_for_units():
+    config = VliwConfig()
+    assert config.slots_for(UnitClass.MEM) == (1,)
+    assert config.slots_for(UnitClass.BRANCH) == (0,)
+    assert len(config.slots_for(UnitClass.ALU)) == 4

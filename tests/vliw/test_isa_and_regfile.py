@@ -1,0 +1,153 @@
+"""VLIW op model, machine config and register-file tests."""
+
+import pytest
+
+from repro.vliw.config import UnitClass, VliwConfig, wide_config
+from repro.vliw.isa import Condition, VliwOp, VliwOpcode
+from repro.vliw.regfile import ARCH_WINDOW, VliwRegisterFile
+
+
+# ---------------------------------------------------------------------------
+# VliwOp.
+# ---------------------------------------------------------------------------
+
+def test_alu_op_validation():
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.ALU, alu_op="nope", dest=1, src1=2)
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.ALU, alu_op="add")  # missing dest/src1
+
+
+def test_branch_validation():
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.BRANCH, src1=1, src2=2, target=4)  # no condition
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.BRANCH, condition=Condition.EQ, src1=1, src2=2)
+
+
+def test_only_loads_speculative():
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.STORE, src1=1, src2=2, speculative=True)
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=2)
+    spec = load.as_speculative(tag=4)
+    assert spec.speculative and spec.spec_tag == 4
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.MOV, dest=1, src1=2).as_speculative()
+
+
+def test_with_releases_only_on_stores():
+    store = VliwOp(VliwOpcode.STORE, src1=1, src2=2)
+    assert store.with_releases((1, 2)).mcb_releases == (1, 2)
+    with pytest.raises(ValueError):
+        VliwOp(VliwOpcode.LOAD, dest=1, src1=2).with_releases((1,))
+
+
+def test_unit_classification():
+    assert VliwOp(VliwOpcode.LOAD, dest=1, src1=2).unit is UnitClass.MEM
+    assert VliwOp(VliwOpcode.ALU, alu_op="mul", dest=1, src1=2, src2=3).unit is UnitClass.MUL
+    assert VliwOp(VliwOpcode.ALU, alu_op="div", dest=1, src1=2, src2=3).unit is UnitClass.DIV
+    assert VliwOp(VliwOpcode.ALU, alu_op="add", dest=1, src1=2, src2=3).unit is UnitClass.ALU
+    assert VliwOp(VliwOpcode.JUMP, target=0).unit is UnitClass.BRANCH
+    assert VliwOp(VliwOpcode.SYSCALL).unit is UnitClass.SYSTEM
+    assert VliwOp(VliwOpcode.MOV, dest=1, src1=2).unit is UnitClass.ALU
+
+
+def test_sources_and_destination():
+    op = VliwOp(VliwOpcode.ALU, alu_op="add", dest=3, src1=1, src2=2)
+    assert op.sources() == (1, 2)
+    assert op.destination() == 3
+    zero_dest = VliwOp(VliwOpcode.ALU, alu_op="add", dest=0, src1=1, src2=2)
+    assert zero_dest.destination() is None
+
+
+def test_condition_negation():
+    assert Condition.EQ.negated() is Condition.NE
+    assert Condition.LT.negated() is Condition.GE
+    assert Condition.GEU.negated() is Condition.LTU
+    for condition in Condition:
+        assert condition.negated().negated() is condition
+
+
+def test_describe_smoke():
+    ops = [
+        VliwOp(VliwOpcode.LOAD, dest=1, src1=2, speculative=True),
+        VliwOp(VliwOpcode.STORE, src1=1, src2=2),
+        VliwOp(VliwOpcode.BRANCH, condition=Condition.LT, src1=1, src2=2, target=8),
+        VliwOp(VliwOpcode.RDCYCLE, dest=4),
+        VliwOp(VliwOpcode.FENCE),
+    ]
+    for op in ops:
+        assert op.describe()
+    assert "ld.spec" in ops[0].describe()
+
+
+# ---------------------------------------------------------------------------
+# Config.
+# ---------------------------------------------------------------------------
+
+def test_default_config_shape():
+    config = VliwConfig()
+    assert config.issue_width == 4
+    assert config.num_hidden_registers == 32
+    assert list(config.hidden_registers()) == list(range(32, 64))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        VliwConfig(slots=())
+    with pytest.raises(ValueError):
+        VliwConfig(num_registers=32)
+    with pytest.raises(ValueError):
+        VliwConfig(mcb_entries=0)
+
+
+def test_wide_config():
+    config = wide_config(8)
+    assert config.issue_width == 8
+    assert len(config.slots_for(UnitClass.MEM)) == 2
+    with pytest.raises(ValueError):
+        wide_config(2)
+
+
+# ---------------------------------------------------------------------------
+# Register file.
+# ---------------------------------------------------------------------------
+
+def test_regfile_r0_hardwired():
+    regs = VliwRegisterFile(64)
+    regs.write(0, 55)
+    assert regs.read(0) == 0
+
+
+def test_regfile_masks_to_64_bits():
+    regs = VliwRegisterFile(64)
+    regs.write(1, 1 << 64)
+    assert regs.read(1) == 0
+
+
+def test_architectural_window():
+    regs = VliwRegisterFile(64)
+    regs.write(31, 7)
+    regs.write(32, 9)  # hidden
+    window = regs.architectural()
+    assert len(window) == ARCH_WINDOW
+    assert window[31] == 7
+    regs.load_architectural([0] * 32)
+    assert regs.read(31) == 0
+    assert regs.read(32) == 9  # hidden untouched
+
+
+def test_snapshot_restore():
+    regs = VliwRegisterFile(64)
+    regs.write(5, 42)
+    snapshot = regs.snapshot()
+    regs.write(5, 1)
+    regs.restore(snapshot)
+    assert regs.read(5) == 42
+    with pytest.raises(ValueError):
+        regs.restore([0] * 63)
+
+
+def test_regfile_size_validation():
+    with pytest.raises(ValueError):
+        VliwRegisterFile(16)

@@ -1,0 +1,68 @@
+"""Memory Conflict Buffer tests."""
+
+import pytest
+
+from repro.vliw.mcb import MemoryConflictBuffer
+
+
+def test_no_conflict_on_disjoint_addresses():
+    mcb = MemoryConflictBuffer()
+    mcb.record_load(0x100, 8, dest=5, op_index=0)
+    assert mcb.check_store(0x108, 8) is None
+    assert mcb.check_store(0xF8, 8) is None
+
+
+def test_conflict_on_exact_overlap():
+    mcb = MemoryConflictBuffer()
+    mcb.record_load(0x100, 8, dest=5, op_index=3)
+    conflict = mcb.check_store(0x100, 8)
+    assert conflict is not None
+    assert conflict.entry.dest == 5
+    assert mcb.conflicts == 1
+
+
+def test_conflict_on_partial_overlap():
+    mcb = MemoryConflictBuffer()
+    mcb.record_load(0x100, 8, dest=5, op_index=0)
+    assert mcb.check_store(0x104, 1) is not None
+    assert mcb.check_store(0xFF, 2) is not None  # last byte overlaps 0x100
+    assert mcb.check_store(0xFF, 1) is None
+
+
+def test_byte_granularity():
+    mcb = MemoryConflictBuffer()
+    mcb.record_load(0x10, 1, dest=1, op_index=0)
+    assert mcb.check_store(0x10, 1) is not None
+    assert mcb.check_store(0x11, 1) is None
+
+
+def test_capacity_overflow():
+    mcb = MemoryConflictBuffer(capacity=2)
+    assert mcb.record_load(0, 8, 1, 0)
+    assert mcb.record_load(8, 8, 2, 1)
+    assert not mcb.record_load(16, 8, 3, 2)
+    assert mcb.overflows == 1
+    assert len(mcb) == 2
+
+
+def test_release_by_tag():
+    mcb = MemoryConflictBuffer()
+    mcb.record_load(0x100, 8, dest=5, op_index=0, tag=7)
+    mcb.record_load(0x200, 8, dest=6, op_index=1, tag=8)
+    assert mcb.release(7)
+    assert not mcb.release(7)  # already gone; no-op
+    assert mcb.check_store(0x100, 8) is None  # released entry gone
+    assert mcb.check_store(0x200, 8) is not None  # other entry remains
+
+
+def test_clear():
+    mcb = MemoryConflictBuffer()
+    mcb.record_load(0, 8, 1, 0)
+    mcb.clear()
+    assert len(mcb) == 0
+    assert mcb.check_store(0, 8) is None
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MemoryConflictBuffer(capacity=0)

@@ -1,0 +1,281 @@
+"""Cycle-level pipeline tests: timing, exits, MCB rollback, side effects."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import DataMemorySystem
+from repro.vliw.block import TranslatedBlock
+from repro.vliw.bundle import Bundle
+from repro.vliw.config import VliwConfig
+from repro.vliw.isa import Condition, VliwOp, VliwOpcode
+from repro.vliw.pipeline import ExitReason, VliwCore, VliwExecutionError
+
+CONFIG = VliwConfig(cache=CacheConfig(
+    size_bytes=1024, line_size=64, associativity=2,
+    hit_latency=3, miss_latency=30,
+))
+
+
+def make_core() -> VliwCore:
+    return VliwCore(CONFIG, DataMemorySystem(cache_config=CONFIG.cache))
+
+
+def block(*bundle_ops, entry=0x1000, guest_length=0, recovery=None):
+    bundles = tuple(Bundle(ops=tuple(ops)) for ops in bundle_ops)
+    return TranslatedBlock(
+        guest_entry=entry, bundles=bundles,
+        guest_length=guest_length or len(bundles), recovery=recovery,
+    )
+
+
+def jump(target=0x2000):
+    return VliwOp(VliwOpcode.JUMP, target=target)
+
+
+def li(dest, value):
+    return VliwOp(VliwOpcode.LI, dest=dest, imm=value)
+
+
+def test_block_must_end_with_exit():
+    core = make_core()
+    bad = block([li(1, 5)])
+    with pytest.raises(VliwExecutionError, match="fell off the end"):
+        core.execute_block(bad)
+
+
+def test_jump_exit():
+    core = make_core()
+    result = core.execute_block(block([li(1, 5)], [jump(0x4242)]))
+    assert result.reason is ExitReason.JUMP
+    assert result.next_pc == 0x4242
+    assert core.regs.read(1) == 5
+
+
+def test_one_bundle_per_cycle():
+    core = make_core()
+    core.execute_block(block([li(1, 1)], [li(2, 2)], [li(3, 3)], [jump()]))
+    assert core.cycle == 4
+
+
+def test_load_use_stall():
+    core = make_core()
+    core.memory.poke(0x100, 99, 8)
+    # Warm the line so latency is the hit latency (3).
+    core.memory.load(0x100, 8)
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x100)
+    use = VliwOp(VliwOpcode.ALU, alu_op="add", dest=2, src1=1, src2=1)
+    core.execute_block(block([load], [use], [jump()]))
+    # load at 0, value ready at 3, use stalls 1->3, jump at 4, +1.
+    assert core.regs.read(2) == 198
+    assert core.cycle == 5
+    assert core.stats.stall_cycles == 2
+
+
+def test_independent_work_hides_load_latency():
+    core = make_core()
+    core.memory.load(0x100, 8)  # warm
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x100)
+    other = [li(10 + i, i) for i in range(3)]
+    use = VliwOp(VliwOpcode.ALU, alu_op="add", dest=2, src1=1, src2=1)
+    core.execute_block(block([load], *[[op] for op in other], [use], [jump()]))
+    assert core.stats.stall_cycles == 0
+
+
+def test_miss_latency_much_longer():
+    core = make_core()
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x100)
+    use = VliwOp(VliwOpcode.ALU, alu_op="add", dest=2, src1=1, src2=1)
+    core.execute_block(block([load], [use], [jump()]))
+    assert core.stats.stall_cycles == 29  # issue 0, ready 30, use stalled 1..30
+
+
+def test_rdcycle_serialises():
+    core = make_core()
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x100)
+    t0 = VliwOp(VliwOpcode.RDCYCLE, dest=5)
+    t1 = VliwOp(VliwOpcode.RDCYCLE, dest=6)
+    core.execute_block(block([t0], [load], [t1], [jump()]))
+    measured = core.regs.read(6) - core.regs.read(5)
+    assert measured == 1 + 30  # issue + miss latency
+
+
+def test_branch_taken_charges_penalty_and_skips_rest():
+    core = make_core()
+    taken = VliwOp(VliwOpcode.BRANCH, condition=Condition.EQ,
+                   src1=0, src2=0, target=0x3000)
+    poison = li(7, 99)
+    result = core.execute_block(block([taken], [poison], [jump()]))
+    assert result.reason is ExitReason.BRANCH
+    assert result.next_pc == 0x3000
+    assert core.regs.read(7) == 0  # later bundle never executed
+    assert core.cycle == 1 + CONFIG.exit_penalty
+
+
+def test_branch_not_taken_falls_through():
+    core = make_core()
+    not_taken = VliwOp(VliwOpcode.BRANCH, condition=Condition.NE,
+                       src1=0, src2=0, target=0x3000)
+    result = core.execute_block(block([not_taken], [jump(0x2000)]))
+    assert result.next_pc == 0x2000
+
+
+def test_ops_in_same_bundle_as_taken_branch_still_execute():
+    # VLIW semantics: the whole bundle executes, then the redirect.
+    core = make_core()
+    taken = VliwOp(VliwOpcode.BRANCH, condition=Condition.EQ,
+                   src1=0, src2=0, target=0x3000)
+    sibling = li(9, 42)
+    result = core.execute_block(block([taken, sibling], [jump()]))
+    assert result.reason is ExitReason.BRANCH
+    assert core.regs.read(9) == 42
+
+
+def test_indirect_exit():
+    core = make_core()
+    core.regs.write(1, 0x5554)
+    ret = VliwOp(VliwOpcode.JUMPR, src1=1, imm=1)  # bit 0 cleared
+    result = core.execute_block(block([ret]))
+    assert result.reason is ExitReason.INDIRECT
+    assert result.next_pc == 0x5554  # (0x5554 + 1) & ~1
+
+
+def test_syscall_exit():
+    core = make_core()
+    syscall = VliwOp(VliwOpcode.SYSCALL, target=0x1010)
+    result = core.execute_block(block([syscall]))
+    assert result.reason is ExitReason.SYSCALL
+    assert result.next_pc == 0x1010
+
+
+def test_store_and_cflush_effects():
+    core = make_core()
+    core.regs.write(1, 0x200)
+    core.regs.write(2, 77)
+    store = VliwOp(VliwOpcode.STORE, src1=1, src2=2, imm=0)
+    flush = VliwOp(VliwOpcode.CFLUSH, src1=1, imm=0)
+    core.execute_block(block([store], [flush], [jump()]))
+    assert core.memory.peek(0x200, 8) == 77
+    assert not core.memory.cache.probe(0x200)
+
+
+def test_read_before_write_within_bundle():
+    core = make_core()
+    core.regs.write(1, 5)
+    # Both ops read r1's old value even though the first writes r1.
+    bump = VliwOp(VliwOpcode.ALU, alu_op="add", dest=1, src1=1, imm=10)
+    copy = VliwOp(VliwOpcode.MOV, dest=2, src1=1)
+    core.execute_block(block([bump, copy], [jump()]))
+    assert core.regs.read(1) == 15
+    assert core.regs.read(2) == 5
+
+
+def test_mcb_conflict_rolls_back_and_runs_recovery():
+    config = CONFIG
+    core = make_core()
+    core.memory.poke(0x100, 111, 8)  # stale value
+    core.regs.write(1, 0x100)
+    core.regs.write(2, 222)
+
+    spec_load = VliwOp(VliwOpcode.LOAD, dest=3, src1=1, imm=0,
+                       speculative=True, spec_tag=1)
+    store = VliwOp(VliwOpcode.STORE, src1=1, src2=2, imm=0,
+                   mcb_releases=(1,))
+    recovery = block(
+        [VliwOp(VliwOpcode.STORE, src1=1, src2=2, imm=0)],
+        [VliwOp(VliwOpcode.LOAD, dest=3, src1=1, imm=0)],
+        [jump(0x9999)],
+    )
+    speculative_block = block([spec_load], [store], [jump(0x9999)],
+                              recovery=recovery)
+    result = core.execute_block(speculative_block)
+    assert result.rolled_back
+    assert core.stats.rollbacks == 1
+    # Recovery executed in order: r3 holds the *stored* value.
+    assert core.regs.read(3) == 222
+    assert core.memory.peek(0x100, 8) == 222
+    # The cache keeps the speculatively touched line (the leak!).
+    assert core.memory.cache.probe(0x100)
+
+
+def test_mcb_rollback_restores_registers_and_stores():
+    core = make_core()
+    core.memory.poke(0x100, 1, 8)
+    core.memory.poke(0x300, 50, 8)
+    core.regs.write(1, 0x100)
+    core.regs.write(2, 9)
+    core.regs.write(4, 0x300)
+    core.regs.write(5, 60)
+
+    clobber = li(6, 12345)
+    early_store = VliwOp(VliwOpcode.STORE, src1=4, src2=5, imm=0)  # 0x300=60
+    spec_load = VliwOp(VliwOpcode.LOAD, dest=3, src1=1, imm=0,
+                       speculative=True, spec_tag=1)
+    conflicting = VliwOp(VliwOpcode.STORE, src1=1, src2=2, imm=0)
+    recovery = block([jump(0x7777)], entry=0x1000)
+    speculative_block = block(
+        [clobber], [spec_load], [early_store], [conflicting], [jump(0x7777)],
+        recovery=recovery,
+    )
+    core.execute_block(speculative_block)
+    # Register writes and the early store were undone before recovery.
+    assert core.regs.read(6) == 0
+    assert core.regs.read(3) == 0
+    assert core.memory.peek(0x300, 8) == 50
+    assert core.memory.peek(0x100, 8) == 1
+
+
+def test_mcb_release_prevents_false_conflict():
+    core = make_core()
+    core.regs.write(1, 0x100)
+    core.regs.write(2, 5)
+    # Speculative load of 0x180, store to 0x100 (release), store to 0x180.
+    spec_load = VliwOp(VliwOpcode.LOAD, dest=3, src1=1, imm=0x80,
+                       speculative=True, spec_tag=1)
+    bypassed = VliwOp(VliwOpcode.STORE, src1=1, src2=2, imm=0,
+                      mcb_releases=(1,))
+    same_address = VliwOp(VliwOpcode.STORE, src1=1, src2=2, imm=0x80)
+    b = block([spec_load], [bypassed], [same_address], [jump()])
+    result = core.execute_block(b)
+    assert not result.rolled_back
+    assert core.stats.rollbacks == 0
+
+
+def test_mcb_overflow_triggers_rollback():
+    config = VliwConfig(mcb_entries=1, cache=CONFIG.cache)
+    core = VliwCore(config, DataMemorySystem(cache_config=config.cache))
+    core.regs.write(1, 0x100)
+    loads = [
+        VliwOp(VliwOpcode.LOAD, dest=3 + i, src1=1, imm=i * 8,
+               speculative=True, spec_tag=i + 1)
+        for i in range(2)
+    ]
+    recovery = block([jump(0x1234)])
+    b = block([loads[0]], [loads[1]], [jump(0x1234)], recovery=recovery)
+    result = core.execute_block(b)
+    assert result.rolled_back
+    assert core.mcb.overflows == 1
+
+
+def test_missing_recovery_is_an_error():
+    core = make_core()
+    core.regs.write(1, 0x100)
+    spec_load = VliwOp(VliwOpcode.LOAD, dest=3, src1=1, imm=0,
+                       speculative=True, spec_tag=1)
+    store = VliwOp(VliwOpcode.STORE, src1=1, src2=0, imm=0)
+    b = block([spec_load], [store], [jump()])
+    with pytest.raises(VliwExecutionError, match="no recovery"):
+        core.execute_block(b)
+
+
+def test_rdcycle_reads_issue_cycle():
+    core = make_core()
+    rd = VliwOp(VliwOpcode.RDCYCLE, dest=5)
+    core.execute_block(block([li(1, 0)], [rd], [jump()]))
+    assert core.regs.read(5) == 1
+
+
+def test_guest_instruction_attribution():
+    core = make_core()
+    result = core.execute_block(block([li(1, 0)], [jump()], guest_length=7))
+    assert result.guest_instructions == 7
+    assert core.instret == 7

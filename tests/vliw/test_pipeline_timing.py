@@ -1,0 +1,166 @@
+"""Additional pipeline timing tests: latencies, widths, serialisation."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import DataMemorySystem
+from repro.vliw.block import TranslatedBlock
+from repro.vliw.bundle import Bundle
+from repro.vliw.config import UnitClass, VliwConfig, wide_config
+from repro.vliw.isa import VliwOp, VliwOpcode
+from repro.vliw.pipeline import VliwCore
+
+CONFIG = VliwConfig()
+
+
+def _core(config=CONFIG):
+    return VliwCore(config, DataMemorySystem(cache_config=config.cache))
+
+
+def _block(*bundle_ops, entry=0x1000):
+    return TranslatedBlock(
+        guest_entry=entry,
+        bundles=tuple(Bundle(ops=tuple(ops)) for ops in bundle_ops),
+        guest_length=1,
+    )
+
+
+def jump():
+    return VliwOp(VliwOpcode.JUMP, target=0)
+
+
+def test_mul_latency():
+    core = _core()
+    mul = VliwOp(VliwOpcode.ALU, alu_op="mul", dest=1, src1=2, src2=3)
+    use = VliwOp(VliwOpcode.ALU, alu_op="add", dest=4, src1=1, src2=1)
+    core.execute_block(_block([mul], [use], [jump()]))
+    # mul at 0 -> ready at 3; use stalls 1 -> 3; jump 4; +1.
+    assert core.cycle == 5
+    assert core.stats.stall_cycles == 2
+
+
+def test_div_latency():
+    core = _core()
+    core.regs.write(2, 100)
+    core.regs.write(3, 7)
+    div = VliwOp(VliwOpcode.ALU, alu_op="div", dest=1, src1=2, src2=3)
+    use = VliwOp(VliwOpcode.ALU, alu_op="add", dest=4, src1=1, src2=1)
+    core.execute_block(_block([div], [use], [jump()]))
+    assert core.regs.read(1) == 14
+    assert core.stats.stall_cycles == CONFIG.latencies[UnitClass.DIV] - 1
+
+
+def test_full_bundle_executes_in_one_cycle():
+    core = _core()
+    ops = [
+        VliwOp(VliwOpcode.LI, dest=1 + i, imm=i) for i in range(4)
+    ]
+    core.execute_block(_block(ops, [jump()]))
+    assert core.cycle == 2
+    for i in range(4):
+        assert core.regs.read(1 + i) == i
+
+
+def test_wide_machine_dual_memory_ops():
+    config = wide_config(8)
+    core = _core(config)
+    core.memory.poke(0x100, 7, 8)
+    core.memory.poke(0x200, 9, 8)
+    load_a = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x100)
+    load_b = VliwOp(VliwOpcode.LOAD, dest=2, src1=0, imm=0x200)
+    core.execute_block(_block([load_a, load_b], [jump()]))
+    assert core.regs.read(1) == 7
+    assert core.regs.read(2) == 9
+    assert core.cycle == 2
+
+
+def test_fence_drains_pending_loads():
+    core = _core()
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x300)
+    fence = VliwOp(VliwOpcode.FENCE)
+    after = VliwOp(VliwOpcode.LI, dest=2, imm=5)
+    core.execute_block(_block([load], [fence], [after], [jump()]))
+    # Miss latency 30: fence stalls until cycle 30, LI at 31, jump 32, +1.
+    assert core.cycle == 33
+
+
+def test_scoreboard_persists_across_blocks():
+    core = _core()
+    load = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x400)
+    first = _block([load], [jump()])
+    core.execute_block(first)
+    cycle_after_first = core.cycle
+    use = VliwOp(VliwOpcode.ALU, alu_op="add", dest=2, src1=1, src2=1)
+    core.execute_block(_block([use], [jump()], entry=0x2000))
+    # The miss issued in block 1 still delays its use in block 2.
+    assert core.stats.stall_cycles > 0
+    assert core.cycle > cycle_after_first + 2
+
+
+def test_rdinstret_reads_counter():
+    core = _core()
+    core.execute_block(_block([jump()]))  # guest_length=1 retires 1
+    rd = VliwOp(VliwOpcode.RDINSTRET, dest=5)
+    core.execute_block(_block([rd], [jump()], entry=0x2000))
+    assert core.regs.read(5) == 1
+
+
+def test_stats_accumulate():
+    core = _core()
+    core.execute_block(_block([jump()]))
+    core.execute_block(_block([jump()], entry=0x2000))
+    assert core.stats.blocks_executed == 2
+    assert core.stats.bundles == 2
+    core.stats.reset()
+    assert core.stats.blocks_executed == 0
+
+
+def test_same_cache_line_loads_one_miss():
+    core = _core()
+    load_a = VliwOp(VliwOpcode.LOAD, dest=1, src1=0, imm=0x100)
+    load_b = VliwOp(VliwOpcode.LOAD, dest=2, src1=0, imm=0x108)
+    core.execute_block(_block([load_a], [load_b], [jump()]))
+    assert core.memory.stats.misses == 1
+    assert core.memory.stats.hits == 1
+
+
+def test_execution_trace_records_events():
+    from repro.vliw.pipeline import ExecutionTrace
+
+    core = _core()
+    core.tracer = ExecutionTrace()
+    core.execute_block(_block([VliwOp(VliwOpcode.LI, dest=1, imm=5)], [jump()]))
+    kinds = [event.kind for event in core.tracer.events]
+    assert kinds == ["issue", "issue"]
+    rendered = core.tracer.render()
+    assert "li r1, 5" in rendered
+
+
+def test_execution_trace_bounded():
+    from repro.vliw.pipeline import ExecutionTrace
+
+    core = _core()
+    core.tracer = ExecutionTrace(limit=1)
+    core.execute_block(_block([VliwOp(VliwOpcode.LI, dest=1, imm=5)], [jump()]))
+    assert len(core.tracer.events) == 1
+
+
+def test_execution_trace_records_rollback():
+    from repro.vliw.pipeline import ExecutionTrace
+    from repro.vliw.block import TranslatedBlock
+    from repro.vliw.bundle import Bundle
+
+    core = _core()
+    core.tracer = ExecutionTrace()
+    core.regs.write(1, 0x100)
+    spec = VliwOp(VliwOpcode.LOAD, dest=3, src1=1, speculative=True, spec_tag=1)
+    store = VliwOp(VliwOpcode.STORE, src1=1, src2=2)
+    recovery = _block([jump()])
+    block = TranslatedBlock(
+        guest_entry=0x1000,
+        bundles=(Bundle(ops=(spec,)), Bundle(ops=(store,)),
+                 Bundle(ops=(jump(),))),
+        guest_length=1, recovery=recovery,
+    )
+    core.execute_block(block)
+    assert any(event.kind == "rollback" for event in core.tracer.events)
