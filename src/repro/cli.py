@@ -24,7 +24,14 @@ Subcommands
     Run a Spectre proof-of-concept under one or all mitigation policies.
 
 ``sweep``
-    Quick Figure-4 style sweep over the (reduced-size) Polybench suite.
+    Quick Figure-4 style sweep over the (reduced-size) Polybench suite
+    (``--json``/``--csv`` for machine-readable output).
+
+``stats``
+    Run a guest (or a Spectre PoC via ``--attack``) under each policy
+    with the observability layer attached and print a per-policy cycle
+    attribution table (stalls vs rollbacks vs pinned loads).  See
+    docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -95,6 +102,29 @@ def cmd_asm(args) -> int:
     return 0
 
 
+def _make_observer(args):
+    """Observer for ``repro run``'s export flags (None when unused)."""
+    wants_trace = getattr(args, "trace_out", None)
+    wants_metrics = (getattr(args, "metrics_out", None)
+                     or getattr(args, "prom_out", None))
+    if not wants_trace and not wants_metrics:
+        return None
+    from .obs import Observer, Tracer
+
+    tracer = Tracer(limit=args.trace_limit) if wants_trace else None
+    return Observer(tracer=tracer)
+
+
+def _write_text(path: str, text: str) -> None:
+    if path == "-":
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+        return
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
 def cmd_run(args) -> int:
     program = _load_guest(args.file)
     if args.interp:
@@ -104,8 +134,9 @@ def cmd_run(args) -> int:
         if result.output:
             print("output    : %r" % result.output)
         return 0
+    observer = _make_observer(args)
     system = DbtSystem(program, policy=args.policy,
-                       vliw_config=_vliw_config(args))
+                       vliw_config=_vliw_config(args), observer=observer)
     result = system.run()
     print("exit code : %d" % result.exit_code)
     if result.output:
@@ -114,6 +145,22 @@ def cmd_run(args) -> int:
         print(result.summary())
     else:
         print("cycles    : %d" % result.cycles)
+    if observer is not None:
+        if args.trace_out:
+            tracer = observer.tracer
+            tracer.write(args.trace_out)
+            print("trace     : wrote %s (%d spans, %d events%s)" % (
+                args.trace_out, len(tracer.spans), len(tracer.instants),
+                ", %d dropped" % tracer.dropped if tracer.dropped else ""))
+        if args.metrics_out:
+            _write_text(args.metrics_out, observer.registry.to_json() + "\n")
+            if args.metrics_out != "-":
+                print("metrics   : wrote %s (%d metrics)"
+                      % (args.metrics_out, len(observer.registry)))
+        if args.prom_out:
+            _write_text(args.prom_out, observer.registry.to_prometheus())
+            if args.prom_out != "-":
+                print("metrics   : wrote %s (Prometheus text)" % args.prom_out)
     return 0
 
 
@@ -159,6 +206,7 @@ def cmd_attack(args) -> int:
 
 def cmd_sweep(args) -> int:
     from .kernels import SMALL_SIZES, POLYBENCH_SUITE, build_kernel_program
+    from .platform.comparison import comparison_csv, comparison_json
 
     suite = POLYBENCH_SUITE if args.full else SMALL_SIZES
     comparisons = []
@@ -169,11 +217,47 @@ def cmd_sweep(args) -> int:
             compare_policies(name, program, expect_exit_code=expected)
         )
         print("%-12s done" % name, file=sys.stderr)
-    print(slowdown_table(comparisons, policies=(
-        MitigationPolicy.GHOSTBUSTERS,
-        MitigationPolicy.FENCE,
-        MitigationPolicy.NO_SPECULATION,
-    )))
+    if args.json:
+        _write_text(args.json, comparison_json(comparisons) + "\n")
+    if args.csv:
+        _write_text(args.csv, comparison_csv(comparisons))
+    # The ASCII table stays on stdout unless it is being used for one of
+    # the machine-readable formats.
+    if "-" not in (args.json, args.csv):
+        print(slowdown_table(comparisons, policies=(
+            MitigationPolicy.GHOSTBUSTERS,
+            MitigationPolicy.FENCE,
+            MitigationPolicy.NO_SPECULATION,
+        )))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs.attribution import attribute_policies, attribution_table
+
+    if args.attack:
+        if args.file:
+            print("error: give either a guest file or --attack, not both",
+                  file=sys.stderr)
+            return 2
+        variant = (AttackVariant.SPECTRE_V1 if args.attack == "v1"
+                   else AttackVariant.SPECTRE_V4)
+        from .attacks.harness import build_attack_program
+
+        program = build_attack_program(variant, args.secret.encode())
+        workload = "attack %s" % args.attack
+    elif args.file:
+        program = _load_guest(args.file)
+        workload = args.file
+    else:
+        print("error: give a guest file or --attack {v1,v4}",
+              file=sys.stderr)
+        return 2
+    policies = [args.policy] if args.policy else list(ALL_POLICIES)
+    rows = attribute_policies(program, policies,
+                              vliw_config=_vliw_config(args))
+    print("cycle attribution for %s\n" % workload)
+    print(attribution_table(rows))
     return 0
 
 
@@ -211,6 +295,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="use the reference interpreter")
     run_parser.add_argument("--stats", action="store_true",
                             help="print full platform statistics")
+    run_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                            help="write a Chrome-trace JSON timeline "
+                                 "(open in chrome://tracing or Perfetto)")
+    run_parser.add_argument("--trace-limit", type=int, default=200_000,
+                            metavar="N",
+                            help="max trace records before truncation")
+    run_parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                            help="write the metrics registry as JSON "
+                                 "('-' for stdout)")
+    run_parser.add_argument("--prom-out", metavar="FILE", default=None,
+                            help="write the metrics registry in Prometheus "
+                                 "text format ('-' for stdout)")
     add_policy(run_parser)
     add_wide(run_parser)
     run_parser.set_defaults(func=cmd_run)
@@ -240,7 +336,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
     sweep_parser.add_argument("--full", action="store_true",
                               help="paper-size kernels (slower)")
+    sweep_parser.add_argument("--json", metavar="FILE", default=None,
+                              help="also write results as JSON "
+                                   "('-' for stdout)")
+    sweep_parser.add_argument("--csv", metavar="FILE", default=None,
+                              help="also write results as CSV "
+                                   "('-' for stdout)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    stats_parser = sub.add_parser(
+        "stats", help="per-policy cycle attribution table",
+    )
+    stats_parser.add_argument("file", nargs="?", default=None,
+                              help="guest assembly or container file")
+    stats_parser.add_argument("--attack", choices=("v1", "v4"), default=None,
+                              help="attribute a Spectre PoC instead of a file")
+    stats_parser.add_argument("--secret", default="GHOST",
+                              help="secret for --attack PoCs")
+    stats_parser.add_argument("--policy", type=_policy, default=None,
+                              help="single policy (default: all four)")
+    add_wide(stats_parser)
+    stats_parser.set_defaults(func=cmd_stats)
 
     return parser
 

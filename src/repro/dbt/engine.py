@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..isa.program import Program
+from ..obs.observer import Observer, maybe_phase
 from ..security.mitigation import MitigationResult, apply_fence, apply_ghostbusters
 from ..security.poison import PoisonReport, analyze_block
 from ..security.policy import MitigationPolicy
@@ -87,6 +88,9 @@ class DbtEngine:
         self.cache = TranslationCache(capacity=self.config.code_cache_capacity)
         self.profile = ExecutionProfile()
         self.stats = DbtEngineStats()
+        #: Optional :class:`~repro.obs.observer.Observer` (set by the
+        #: platform); every hook is guarded by one ``is not None`` check.
+        self.observer: Optional[Observer] = None
         #: Basic blocks backing each first-pass translation (profiling).
         self._basic_blocks: Dict[int, BasicBlock] = {}
         #: Poison reports per optimized entry (inspection / examples).
@@ -102,7 +106,12 @@ class DbtEngine:
         """Return the translation for ``pc``, first-pass translating on miss."""
         block = self.cache.lookup(pc)
         if block is None:
-            block = self._translate_first_pass(pc)
+            with maybe_phase(self.observer, "translate",
+                             entry="%#x" % pc, kind="firstpass"):
+                block = self._translate_first_pass(pc)
+            if self.observer is not None:
+                self.observer.emit("block_translated", entry="%#x" % pc,
+                                   guest_instructions=block.guest_length)
             self.cache.install(block)
         return block
 
@@ -122,8 +131,11 @@ class DbtEngine:
     def record_execution(self, block: TranslatedBlock, result: BlockResult) -> None:
         """Feed one block execution back into the profile and trigger
         optimization when the block becomes hot."""
+        observer = self.observer
         entry = block.guest_entry
         count = self.profile.record_block(entry)
+        if observer is not None:
+            observer.profile_block()
         basic_block = self._basic_blocks.get(entry)
         if basic_block is not None and basic_block.terminator.is_branch:
             targets = basic_block.branch_targets()
@@ -134,11 +146,16 @@ class DbtEngine:
                         basic_block.terminator.address,
                         result.next_pc == taken_target,
                     )
+                    if observer is not None:
+                        observer.profile_branch()
         if (
             block.kind == "firstpass"
             and count >= self.config.hot_threshold
             and self.stats.optimizations < self.config.max_optimizations
         ):
+            if observer is not None:
+                observer.emit("hot_block", entry="%#x" % entry,
+                              executions=count)
             self.optimize(entry)
         elif result.rolled_back:
             self._note_rollback(block)
@@ -162,32 +179,36 @@ class DbtEngine:
         rollback plus a sequential recovery run), so the engine pins
         loads behind stores while keeping branch speculation.
         """
-        plan = build_superblock(
-            self.program, entry, self.profile, self.config.superblock,
-        )
-        ir = build_ir(plan.path, plan.final_next)
-        options = self.scheduler_options()
-        options = SchedulerOptions(
-            branch_speculation=options.branch_speculation,
-            memory_speculation=False,
-            max_speculative_loads=options.max_speculative_loads,
-        )
-        if self.policy.analyzes_patterns:
-            report = analyze_block(
-                ir,
+        observer = self.observer
+        if observer is not None:
+            observer.emit("conflict_retranslation", entry="%#x" % entry)
+        with maybe_phase(observer, "retranslate", entry="%#x" % entry):
+            plan = build_superblock(
+                self.program, entry, self.profile, self.config.superblock,
+            )
+            ir = build_ir(plan.path, plan.final_next)
+            options = self.scheduler_options()
+            options = SchedulerOptions(
                 branch_speculation=options.branch_speculation,
                 memory_speculation=False,
+                max_speculative_loads=options.max_speculative_loads,
             )
-            self.reports[entry] = report
-            if report.has_pattern:
-                if self.policy is MitigationPolicy.GHOSTBUSTERS:
-                    apply_ghostbusters(ir, report)
-                else:
-                    apply_fence(ir, report)
-        translated = schedule_block(ir, self.vliw_config, options,
-                                    kind="reoptimized")
-        self.stats.conflict_retranslations += 1
-        self.cache.install(translated)
+            if self.policy.analyzes_patterns:
+                report = analyze_block(
+                    ir,
+                    branch_speculation=options.branch_speculation,
+                    memory_speculation=False,
+                )
+                self.reports[entry] = report
+                if report.has_pattern:
+                    if self.policy is MitigationPolicy.GHOSTBUSTERS:
+                        apply_ghostbusters(ir, report)
+                    else:
+                        apply_fence(ir, report)
+            translated = schedule_block(ir, self.vliw_config, options,
+                                        kind="reoptimized", observer=observer)
+            self.stats.conflict_retranslations += 1
+            self.cache.install(translated)
         return translated
 
     # ------------------------------------------------------------------
@@ -205,37 +226,58 @@ class DbtEngine:
 
     def optimize(self, entry: int) -> TranslatedBlock:
         """Build, secure, schedule and install the superblock at ``entry``."""
-        plan = build_superblock(
-            self.program, entry, self.profile, self.config.superblock,
-        )
-        ir = build_ir(plan.path, plan.final_next)
-        report: Optional[PoisonReport] = None
-        mitigation: Optional[MitigationResult] = None
-        options = self.scheduler_options()
+        observer = self.observer
+        with maybe_phase(observer, "optimize", entry="%#x" % entry):
+            with maybe_phase(observer, "superblock", entry="%#x" % entry):
+                plan = build_superblock(
+                    self.program, entry, self.profile, self.config.superblock,
+                )
+            with maybe_phase(observer, "irbuild", entry="%#x" % entry):
+                ir = build_ir(plan.path, plan.final_next)
+            report: Optional[PoisonReport] = None
+            mitigation: Optional[MitigationResult] = None
+            options = self.scheduler_options()
 
-        if self.policy.analyzes_patterns:
-            report = analyze_block(
-                ir,
-                branch_speculation=options.branch_speculation,
-                memory_speculation=options.memory_speculation,
-            )
-            self.reports[entry] = report
-            if report.has_pattern:
-                if self.policy is MitigationPolicy.GHOSTBUSTERS:
-                    mitigation = apply_ghostbusters(ir, report)
-                else:
-                    mitigation = apply_fence(ir, report)
+            if self.policy.analyzes_patterns:
+                with maybe_phase(observer, "poison_analysis",
+                                 entry="%#x" % entry):
+                    report = analyze_block(
+                        ir,
+                        branch_speculation=options.branch_speculation,
+                        memory_speculation=options.memory_speculation,
+                    )
+                self.reports[entry] = report
+                if report.has_pattern:
+                    if observer is not None:
+                        for access in report.flagged:
+                            observer.emit(
+                                "spectre_pattern_detected",
+                                entry="%#x" % entry,
+                                guest_address="%#x" % access.guest_address,
+                                address_register=access.address_register,
+                            )
+                    with maybe_phase(observer, "mitigation",
+                                     entry="%#x" % entry,
+                                     policy=self.policy.value):
+                        if self.policy is MitigationPolicy.GHOSTBUSTERS:
+                            mitigation = apply_ghostbusters(ir, report)
+                        else:
+                            mitigation = apply_fence(ir, report)
 
-        translated = schedule_block(ir, self.vliw_config, options)
-        if report is not None:
-            translated.spectre_patterns_found = report.pattern_count
-            self.stats.spectre_patterns_detected += report.pattern_count
-        if mitigation is not None:
-            translated.mitigations_applied = mitigation.edges_added
-            self.stats.mitigation_edges_added += mitigation.edges_added
-        self.stats.optimizations += 1
-        self.stats.speculative_loads_emitted += translated.speculative_loads
-        self.cache.install(translated)
+            translated = schedule_block(ir, self.vliw_config, options,
+                                        observer=observer)
+            if report is not None:
+                translated.spectre_patterns_found = report.pattern_count
+                self.stats.spectre_patterns_detected += report.pattern_count
+            if mitigation is not None:
+                translated.mitigations_applied = mitigation.edges_added
+                self.stats.mitigation_edges_added += mitigation.edges_added
+            self.stats.optimizations += 1
+            self.stats.speculative_loads_emitted += translated.speculative_loads
+            if observer is not None and translated.speculative_loads:
+                observer.emit("spec_load_emitted", entry="%#x" % entry,
+                              count=translated.speculative_loads)
+            self.cache.install(translated)
         return translated
 
     # ------------------------------------------------------------------

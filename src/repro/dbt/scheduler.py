@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.observer import maybe_phase
 from ..vliw.block import TranslatedBlock
 from ..vliw.bundle import Bundle, assign_slots
 from ..vliw.config import VliwConfig
@@ -212,12 +213,36 @@ def schedule_block(
     options: Optional[SchedulerOptions] = None,
     kind: str = "optimized",
     build_recovery: bool = True,
+    observer=None,
 ) -> TranslatedBlock:
-    """Schedule ``ir`` into a :class:`TranslatedBlock` under ``options``."""
+    """Schedule ``ir`` into a :class:`TranslatedBlock` under ``options``.
+
+    ``observer`` (an optional :class:`repro.obs.observer.Observer`)
+    records the two scheduler phases as trace spans: ``regalloc`` (the
+    hidden-register renaming prepass) and ``schedule`` (list scheduling,
+    bundle emission and recovery-code build).
+    """
     options = options or SchedulerOptions()
-    block, renames = _rename_for_speculation(
-        ir, config, enabled=options.branch_speculation,
-    )
+    with maybe_phase(observer, "regalloc", entry="%#x" % ir.entry):
+        block, renames = _rename_for_speculation(
+            ir, config, enabled=options.branch_speculation,
+        )
+    with maybe_phase(observer, "schedule", entry="%#x" % ir.entry, kind=kind):
+        return _schedule_renamed(
+            ir, block, renames, config, options, kind, build_recovery,
+        )
+
+
+def _schedule_renamed(
+    ir: IRBlock,
+    block: IRBlock,
+    renames: "_RenameResult",
+    config: VliwConfig,
+    options: SchedulerOptions,
+    kind: str,
+    build_recovery: bool,
+) -> TranslatedBlock:
+    """List-schedule the renamed ``block`` (the body of ``schedule_block``)."""
     ops = [vliw_op_from_ir(inst) for inst in block.instructions]
     count = len(ops)
     if count == 0:

@@ -1,0 +1,43 @@
+"""Observability layer: structured events, metrics, and tracing.
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and exporter
+formats.  :mod:`repro.obs.attribution` (the ``repro stats`` backend) is
+imported explicitly where needed — it depends on the platform package,
+which in turn imports this one.
+"""
+
+from .events import Event, EventBus
+from .observer import Observer, maybe_phase
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .trace import (
+    TICKS_PER_CYCLE,
+    TRACK_CORE,
+    TRACK_ENGINE,
+    TRACK_EVENTS,
+    TRACK_MEM,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Observer",
+    "TICKS_PER_CYCLE",
+    "TRACK_CORE",
+    "TRACK_ENGINE",
+    "TRACK_EVENTS",
+    "TRACK_MEM",
+    "Tracer",
+    "maybe_phase",
+]

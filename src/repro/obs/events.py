@@ -1,0 +1,89 @@
+"""Structured event bus for the observability layer.
+
+The platform emits *typed events* (a name, the simulated cycle they
+happened at, and a flat attribute mapping) through a tiny synchronous
+bus.  Handlers subscribe to one event name or to every event; dispatch
+is deterministic (subscription order) so traces and tests are stable.
+
+Design constraint (see docs/OBSERVABILITY.md): the *disabled* path must
+be a single branch in the instrumented code.  Instrumented layers hold
+``observer = None`` by default and guard every hook with
+``if observer is not None``; inside the observer, publishing to the bus
+is further gated on :attr:`EventBus.active` so an observer used only for
+metrics never builds :class:`Event` objects for the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured platform event.
+
+    ``attrs`` is a flat, JSON-serialisable mapping; guest addresses are
+    passed as integers and rendered hex by the exporters.
+    """
+
+    name: str
+    cycle: int
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for :class:`Event`.
+
+    Handlers registered for a specific name run before wildcard
+    handlers; within each group, subscription order is preserved.
+    Handler exceptions propagate — observability must never silently
+    swallow a broken assertion in a test handler.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, List[Handler]] = {}
+        self._wildcard: List[Handler] = []
+        #: Events published (even with no subscribers), per name.
+        self.published: Dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        """Whether any handler is subscribed (emitters may skip building
+        events when this is False)."""
+        return bool(self._by_name or self._wildcard)
+
+    def subscribe(self, handler: Handler,
+                  name: Optional[str] = None) -> Callable[[], None]:
+        """Register ``handler`` for event ``name`` (None = all events).
+
+        Returns a zero-argument unsubscribe callable.
+        """
+        if name is None:
+            self._wildcard.append(handler)
+        else:
+            self._by_name.setdefault(name, []).append(handler)
+
+        def unsubscribe() -> None:
+            bucket = self._wildcard if name is None else self._by_name.get(name, [])
+            if handler in bucket:
+                bucket.remove(handler)
+            if name is not None and not bucket:
+                self._by_name.pop(name, None)
+
+        return unsubscribe
+
+    def emit(self, event: Event) -> None:
+        """Dispatch ``event`` to its subscribers."""
+        self.published[event.name] = self.published.get(event.name, 0) + 1
+        for handler in self._by_name.get(event.name, ()):
+            handler(event)
+        for handler in self._wildcard:
+            handler(event)
+
+    def emit_named(self, name: str, cycle: int, **attrs: Any) -> None:
+        """Convenience: build and emit an :class:`Event` in one call."""
+        self.emit(Event(name, cycle, attrs))

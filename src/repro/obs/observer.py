@@ -1,0 +1,245 @@
+"""The :class:`Observer` facade the platform layers are instrumented with.
+
+One object bundles the three sinks of the observability layer:
+
+* a :class:`~repro.obs.registry.MetricsRegistry` (always present);
+* an optional :class:`~repro.obs.trace.Tracer` (span/event timeline);
+* an :class:`~repro.obs.events.EventBus` for programmatic subscribers.
+
+The platform threads a single optional observer through
+:class:`~repro.platform.system.DbtSystem` into the DBT engine, the
+scheduler, and the VLIW core.  Every instrumented hot path is guarded by
+exactly one ``if observer is not None`` — the disabled (default) path
+costs one pointer comparison and cannot perturb the timing model, which
+only ever advances through ``core.cycle`` arithmetic the observer never
+touches.
+
+Hook methods are *typed* (one method per platform event kind) so the hot
+layers never build dictionaries on the fast path; the generic
+:meth:`Observer.emit` covers cold, ad-hoc events.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Any, Callable, ContextManager, Optional
+
+from .events import Event, EventBus
+from .registry import MetricsRegistry
+from .trace import (
+    TRACK_CORE,
+    TRACK_ENGINE,
+    TRACK_EVENTS,
+    TRACK_MEM,
+    Tracer,
+)
+
+#: Load-latency histogram buckets: 3 = L1 hit, 30 = miss under the
+#: default cache geometry; the rest bracket non-default configs.
+LOAD_LATENCY_BUCKETS = (1, 2, 3, 5, 10, 20, 30, 60, 120)
+
+
+def maybe_phase(observer: Optional["Observer"], name: str,
+                **args: Any) -> ContextManager[None]:
+    """``observer.phase(...)`` or a no-op context when tracing is off."""
+    if observer is None:
+        return nullcontext()
+    return observer.phase(name, **args)
+
+
+class Observer:
+    """Structured-event, metrics and tracing sink for one platform run."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.bus = bus if bus is not None else EventBus()
+        #: Simulated-cycle clock; the platform points this at the core.
+        self.clock: Callable[[], int] = lambda: 0
+
+        reg = self.registry
+        # Hot-path metrics are pre-created so instrumented code pays one
+        # attribute load + one add per sample, never a dict lookup.
+        self._c_blocks = reg.counter(
+            "core.blocks_executed_total", "translated blocks executed")
+        self._c_loads = reg.counter(
+            "mem.loads_total", "timed guest loads issued")
+        self._c_load_misses = reg.counter(
+            "mem.load_misses_total", "guest loads that missed the L1")
+        self._c_spec_misses = reg.counter(
+            "mem.speculative_load_misses_total",
+            "misses caused by speculatively issued loads")
+        self._h_load_latency = reg.histogram(
+            "mem.load_latency_cycles", LOAD_LATENCY_BUCKETS,
+            "observed load latency distribution")
+        self._c_rollbacks = reg.counter(
+            "mcb.rollbacks_total", "MCB conflict/overflow rollbacks")
+        self._c_rollback_cycles = reg.counter(
+            "mcb.rollback_cycles_total",
+            "cycles wasted on aborted speculative runs + rollback penalty")
+        self._c_profile_blocks = reg.counter(
+            "dbt.profile_block_records_total", "block executions profiled")
+        self._c_profile_branches = reg.counter(
+            "dbt.profile_branch_records_total", "branch outcomes profiled")
+
+    # ------------------------------------------------------------------
+    # Generic events and phases.
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, **attrs: Any) -> None:
+        """Record a cold structured event (counter + trace instant + bus)."""
+        self.registry.counter("events." + name).inc()
+        cycle = self.clock()
+        if self.tracer is not None:
+            self.tracer.add_instant(name, TRACK_EVENTS,
+                                    self.tracer.tick(cycle), args=attrs)
+        if self.bus.active:
+            self.bus.emit(Event(name, cycle, attrs))
+
+    @contextmanager
+    def phase(self, name: str, **args: Any):
+        """Span covering one DBT-engine phase (translate, superblock,
+        poison_analysis, schedule, ...).  Engine work consumes no
+        simulated cycles, so nesting rides the tracer's sub-cycle tick.
+        """
+        tracer = self.tracer
+        start = tracer.tick(self.clock()) if tracer is not None else 0
+        try:
+            yield
+        finally:
+            self.registry.counter("dbt.phases." + name).inc()
+            if tracer is not None:
+                tracer.add_span(name, TRACK_ENGINE, start,
+                                tracer.tick(self.clock()),
+                                category="dbt", args=args)
+
+    # ------------------------------------------------------------------
+    # Core (VLIW pipeline) hooks.
+    # ------------------------------------------------------------------
+
+    def block_executed(self, block: Any, result: Any, start_cycle: int,
+                       end_cycle: int) -> None:
+        """One translated block ran from ``start_cycle`` to ``end_cycle``."""
+        self._c_blocks.inc()
+        self.registry.counter("core.blocks." + block.kind).inc()
+        if self.tracer is not None:
+            self.tracer.add_cycle_span(
+                "execute", TRACK_CORE, start_cycle, end_cycle,
+                category="core",
+                args={
+                    "entry": "%#x" % block.guest_entry,
+                    "kind": block.kind,
+                    "exit": result.reason.value,
+                    "rolled_back": result.rolled_back,
+                })
+        if self.bus.active:
+            self.bus.emit(Event("block_executed", end_cycle, {
+                "entry": block.guest_entry,
+                "kind": block.kind,
+                "cycles": end_cycle - start_cycle,
+                "rolled_back": result.rolled_back,
+            }))
+
+    def rollback(self, entry: int, wasted_cycles: int, cycle: int) -> None:
+        """MCB conflict/overflow: the block at ``entry`` rolled back
+        after burning ``wasted_cycles`` (aborted run + penalty)."""
+        self._c_rollbacks.inc()
+        self._c_rollback_cycles.inc(wasted_cycles)
+        if self.tracer is not None:
+            self.tracer.add_instant(
+                "mcb_rollback", TRACK_CORE, self.tracer.tick(cycle),
+                category="core",
+                args={"entry": "%#x" % entry, "wasted_cycles": wasted_cycles})
+        if self.bus.active:
+            self.bus.emit(Event("mcb_rollback", cycle, {
+                "entry": entry, "wasted_cycles": wasted_cycles}))
+
+    # ------------------------------------------------------------------
+    # Memory hooks.
+    # ------------------------------------------------------------------
+
+    def load_access(self, address: int, hit: bool, latency: int,
+                    speculative: bool, cycle: int) -> None:
+        """One timed guest load completed."""
+        self._c_loads.inc()
+        self._h_load_latency.observe(latency)
+        if hit:
+            return
+        self._c_load_misses.inc()
+        if speculative:
+            self._c_spec_misses.inc()
+        if self.tracer is not None:
+            self.tracer.add_instant(
+                "cache_miss", TRACK_MEM, self.tracer.tick(cycle),
+                category="mem",
+                args={"address": "%#x" % address, "latency": latency,
+                      "speculative": speculative})
+        if self.bus.active:
+            self.bus.emit(Event("cache_miss", cycle, {
+                "address": address, "latency": latency,
+                "speculative": speculative}))
+
+    def cflush(self, address: int, cycle: int) -> None:
+        """Guest executed ``cflush`` (attack instrumentation)."""
+        self.registry.counter("mem.cflush_total").inc()
+        if self.tracer is not None:
+            self.tracer.add_instant(
+                "cflush", TRACK_MEM, self.tracer.tick(cycle),
+                category="mem", args={"address": "%#x" % address})
+
+    # ------------------------------------------------------------------
+    # DBT-engine hooks (cold paths; profiling counters are hot).
+    # ------------------------------------------------------------------
+
+    def profile_block(self) -> None:
+        self._c_profile_blocks.inc()
+
+    def profile_branch(self) -> None:
+        self._c_profile_branches.inc()
+
+    # ------------------------------------------------------------------
+    # End-of-run snapshot.
+    # ------------------------------------------------------------------
+
+    def snapshot(self, result: Any) -> None:
+        """Copy the final platform statistics into gauges, so a metrics
+        export carries both event-driven counters and run totals."""
+        reg = self.registry
+        reg.gauge("run.cycles").set(result.cycles)
+        reg.gauge("run.instructions").set(result.instructions)
+        reg.gauge("run.ipc").set(result.ipc)
+        reg.gauge("run.blocks_executed").set(result.blocks_executed)
+        reg.gauge("run.exit_code").set(result.exit_code)
+        core = result.core
+        if core is not None:
+            reg.gauge("core.bundles").set(core.bundles)
+            reg.gauge("core.ops").set(core.ops)
+            reg.gauge("core.stall_cycles").set(core.stall_cycles)
+            reg.gauge("core.exits_taken").set(core.exits_taken)
+            reg.gauge("core.rollbacks").set(core.rollbacks)
+        cache = result.cache
+        if cache is not None:
+            reg.gauge("cache.hits").set(cache.hits)
+            reg.gauge("cache.misses").set(cache.misses)
+            reg.gauge("cache.evictions").set(cache.evictions)
+            reg.gauge("cache.flushes").set(cache.flushes)
+        engine = result.engine
+        if engine is not None:
+            reg.gauge("dbt.first_pass_translations").set(
+                engine.first_pass_translations)
+            reg.gauge("dbt.optimizations").set(engine.optimizations)
+            reg.gauge("dbt.guest_instructions_translated").set(
+                engine.guest_instructions_translated)
+            reg.gauge("dbt.spectre_patterns_detected").set(
+                engine.spectre_patterns_detected)
+            reg.gauge("dbt.mitigation_edges_added").set(
+                engine.mitigation_edges_added)
+            reg.gauge("dbt.speculative_loads_emitted").set(
+                engine.speculative_loads_emitted)
+            reg.gauge("dbt.conflict_retranslations").set(
+                engine.conflict_retranslations)

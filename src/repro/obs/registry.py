@@ -1,0 +1,223 @@
+"""Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+Zero-dependency, deterministic, and cheap on the hot path: instrumented
+code holds direct references to the metric objects it updates (one
+attribute load + one integer add per sample), and the registry is only
+consulted at creation and export time.
+
+Two exporters are provided:
+
+* :meth:`MetricsRegistry.to_json` — a nested JSON document (the format
+  ``repro run --metrics-out`` writes);
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  format (``# TYPE`` lines, cumulative ``_bucket{le="..."}`` series for
+  histograms), for scraping a long-running service.
+
+Metric names are dotted (``mem.load_latency_cycles``); the Prometheus
+exporter rewrites dots to underscores and prefixes ``repro_``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+
+
+class MetricError(Exception):
+    """Raised on invalid metric names, kinds or values."""
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise MetricError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (may go up and down)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+#: Default histogram buckets, tuned for cycle latencies (L1 hit = 3,
+#: miss = 30 under the default cache config).
+DEFAULT_BUCKETS: Tuple[Number, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89)
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``buckets`` are the *inclusive upper bounds* of each finite bucket,
+    strictly increasing; an implicit ``+Inf`` bucket catches the rest.
+    A sample ``v`` lands in the first bucket with ``v <= bound``.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[Number] = DEFAULT_BUCKETS,
+                 help: str = ""):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise MetricError("histogram %s needs at least one bucket" % name)
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise MetricError(
+                "histogram %s buckets must be strictly increasing" % name)
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        #: Per-bucket counts; the final slot is the +Inf bucket.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: Number = 0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bucket (Prometheus ``le`` semantics)."""
+        running = 0
+        out = []
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Creation / lookup.
+    # ------------------------------------------------------------------
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if metric.kind != kind:
+                raise MetricError(
+                    "metric %s already registered as a %s (wanted %s)"
+                    % (name, metric.kind, kind))
+            return metric
+        if not _NAME_RE.match(name):
+            raise MetricError("invalid metric name %r" % name)
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(self, name: str,
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, help), "histogram")
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        """Scalar value of a counter/gauge (0 for missing metrics)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise MetricError("%s is a histogram; read .sum/.count" % name)
+        return metric.value
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Exporters.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Nested export: counters/gauges as scalars, histograms with
+        bucket bounds and counts."""
+        counters: Dict[str, Number] = {}
+        gauges: Dict[str, Number] = {}
+        histograms: Dict[str, dict] = {}
+        for metric in self:
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = metric.value
+            else:
+                histograms[metric.name] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self:
+            name = prefix + metric.name.replace(".", "_")
+            if metric.help:
+                lines.append("# HELP %s %s" % (name, metric.help))
+            lines.append("# TYPE %s %s" % (name, metric.kind))
+            if isinstance(metric, Histogram):
+                cumulative = metric.cumulative()
+                for bound, count in zip(metric.buckets, cumulative):
+                    lines.append('%s_bucket{le="%s"} %s' % (name, bound, count))
+                lines.append('%s_bucket{le="+Inf"} %s' % (name, cumulative[-1]))
+                lines.append("%s_sum %s" % (name, metric.sum))
+                lines.append("%s_count %s" % (name, metric.count))
+            else:
+                lines.append("%s %s" % (name, metric.value))
+        return "\n".join(lines) + "\n"

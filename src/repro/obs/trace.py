@@ -1,0 +1,196 @@
+"""Span recorder with a Chrome ``chrome://tracing`` exporter.
+
+Spans and instant events are keyed by *simulated cycle time*.  Because
+the DBT engine's own work (translation, analysis, scheduling) consumes
+no simulated cycles, the tracer maintains a monotonic sub-cycle tick:
+
+* 1 simulated cycle = :data:`TICKS_PER_CYCLE` ticks;
+* :meth:`Tracer.tick` returns ``max(cycle * TICKS_PER_CYCLE,
+  last_tick + 1)``, so zero-duration engine phases at the same cycle
+  still form strictly nested, strictly ordered intervals;
+* core execution spans bypass the sub-cycle clock and tile the timeline
+  exactly (:meth:`Tracer.add_cycle_span`).
+
+The exporter emits the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: complete (``"X"``)
+events for spans, instant (``"i"``) events, and metadata (``"M"``)
+events naming the process and one thread per track.  Timestamps are in
+microseconds, so one simulated cycle renders as one millisecond.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Sub-cycle resolution of the trace clock.
+TICKS_PER_CYCLE = 1000
+
+#: Canonical track names (one pseudo-thread per subsystem).
+TRACK_ENGINE = "dbt-engine"
+TRACK_CORE = "vliw-core"
+TRACK_MEM = "mem"
+TRACK_EVENTS = "events"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed interval on a track, in ticks."""
+
+    name: str
+    track: str
+    start: int
+    end: int
+    category: str = ""
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """One point event on a track, in ticks."""
+
+    name: str
+    track: str
+    ts: int
+    category: str = ""
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded recorder of spans and instant events.
+
+    ``limit`` bounds the *total* number of records; past it, new records
+    are counted in :attr:`dropped` instead of stored, so tracing a
+    multi-million-block run degrades to a truncated trace rather than
+    unbounded memory growth.
+    """
+
+    def __init__(self, limit: int = 200_000):
+        if limit < 1:
+            raise ValueError("trace limit must be positive")
+        self.limit = limit
+        self.spans: List[SpanRecord] = []
+        self.instants: List[InstantRecord] = []
+        self.dropped = 0
+        self._last_tick = 0
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.limit
+
+    # ------------------------------------------------------------------
+    # Clock.
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> int:
+        """Monotonic trace timestamp for simulated ``cycle``."""
+        tick = max(cycle * TICKS_PER_CYCLE, self._last_tick + 1)
+        self._last_tick = tick
+        return tick
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def add_span(self, name: str, track: str, start: int, end: int,
+                 category: str = "",
+                 args: Optional[Mapping[str, Any]] = None) -> None:
+        """Record a span between two tick timestamps."""
+        if self.full:
+            self.dropped += 1
+            return
+        if end < start:
+            raise ValueError("span %r ends before it starts" % name)
+        self.spans.append(SpanRecord(name, track, start, end, category,
+                                     args or {}))
+
+    def add_cycle_span(self, name: str, track: str, start_cycle: int,
+                       end_cycle: int, category: str = "",
+                       args: Optional[Mapping[str, Any]] = None) -> None:
+        """Record a span between two simulated cycles (exact tiling —
+        does not advance the sub-cycle clock)."""
+        self.add_span(name, track, start_cycle * TICKS_PER_CYCLE,
+                      end_cycle * TICKS_PER_CYCLE, category, args)
+        self._last_tick = max(self._last_tick, end_cycle * TICKS_PER_CYCLE)
+
+    def add_instant(self, name: str, track: str, ts: int,
+                    category: str = "",
+                    args: Optional[Mapping[str, Any]] = None) -> None:
+        if self.full:
+            self.dropped += 1
+            return
+        self.instants.append(InstantRecord(name, track, ts, category,
+                                           args or {}))
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+
+    def to_chrome(self, pid: int = 1) -> dict:
+        """Trace Event Format document (``chrome://tracing`` / Perfetto)."""
+        tids: Dict[str, int] = {}
+
+        def tid_for(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+            return tids[track]
+
+        # Stable thread numbering regardless of record interleaving.
+        for track in (TRACK_ENGINE, TRACK_CORE, TRACK_MEM, TRACK_EVENTS):
+            tid_for(track)
+        for record in self.spans:
+            tid_for(record.track)
+        for record in self.instants:
+            tid_for(record.track)
+
+        events: List[dict] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "repro-dbt-platform"},
+        }]
+        for track, tid in tids.items():
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        for span in self.spans:
+            events.append({
+                "name": span.name,
+                "cat": span.category or span.track,
+                "ph": "X",
+                "ts": span.start,
+                "dur": span.end - span.start,
+                "pid": pid,
+                "tid": tids[span.track],
+                "args": dict(span.args),
+            })
+        for instant in self.instants:
+            events.append({
+                "name": instant.name,
+                "cat": instant.category or instant.track,
+                "ph": "i",
+                "s": "t",
+                "ts": instant.ts,
+                "pid": pid,
+                "tid": tids[instant.track],
+                "args": dict(instant.args),
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs",
+                "ticks_per_cycle": TICKS_PER_CYCLE,
+                "dropped_records": self.dropped,
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None, pid: int = 1) -> str:
+        return json.dumps(self.to_chrome(pid=pid), indent=indent)
+
+    def write(self, path: str, pid: int = 1) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json(pid=pid))

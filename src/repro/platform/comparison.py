@@ -7,7 +7,10 @@ harness behind Figure 4 and the Section V-B ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import csv
+import io
+import json
+from typing import Iterable, List, Optional, Sequence
 
 from ..isa.program import Program
 from ..security.policy import ALL_POLICIES, MitigationPolicy
@@ -71,6 +74,61 @@ def ascii_figure(
             comparison.workload, width, "#" * bars, 100.0 * ratio,
         ))
     return "\n".join(lines)
+
+
+def comparison_records(
+    comparisons: Iterable[PolicyComparison],
+    baseline_label: str = "unsafe",
+) -> List[dict]:
+    """Flatten comparisons into plain records (machine-readable sweeps).
+
+    One record per (workload, policy) pair, carrying the headline run
+    numbers plus the slowdown versus ``baseline_label``.
+    """
+    records: List[dict] = []
+    for comparison in comparisons:
+        for label, result in comparison.results.items():
+            records.append({
+                "workload": comparison.workload,
+                "policy": label,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "ipc": result.ipc,
+                "blocks_executed": result.blocks_executed,
+                "rollbacks": result.rollbacks,
+                "exit_code": result.exit_code,
+                "slowdown_vs_%s" % baseline_label:
+                    comparison.slowdown(label, baseline_label),
+            })
+    return records
+
+
+def comparison_json(
+    comparisons: Iterable[PolicyComparison],
+    baseline_label: str = "unsafe",
+    indent: int = 2,
+) -> str:
+    """JSON document for ``repro sweep --json``."""
+    return json.dumps(
+        comparison_records(comparisons, baseline_label), indent=indent)
+
+
+def comparison_csv(
+    comparisons: Iterable[PolicyComparison],
+    baseline_label: str = "unsafe",
+) -> str:
+    """CSV document for ``repro sweep --csv`` (header + one row per
+    workload/policy pair)."""
+    records = comparison_records(comparisons, baseline_label)
+    fields = ["workload", "policy", "cycles", "instructions", "ipc",
+              "blocks_executed", "rollbacks", "exit_code",
+              "slowdown_vs_%s" % baseline_label]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return buffer.getvalue()
 
 
 def slowdown_table(

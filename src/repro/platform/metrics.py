@@ -37,6 +37,25 @@ class SystemRunResult:
             "blocks executed: %d" % self.blocks_executed,
             "MCB rollbacks  : %d" % self.rollbacks,
         ]
+        if self.blocks_executed:
+            lines.append(
+                "per block      : %.1f guest instrs, %.1f cycles (IPC/block %.2f)"
+                % (
+                    self.instructions / self.blocks_executed,
+                    self.cycles / self.blocks_executed,
+                    self.ipc,
+                )
+            )
+        if self.core is not None:
+            lines.append(
+                "core           : %d bundles, %d ops, %d stall cycles, %d exits taken"
+                % (
+                    self.core.bundles,
+                    self.core.ops,
+                    self.core.stall_cycles,
+                    self.core.exits_taken,
+                )
+            )
         if self.engine is not None:
             lines.append(
                 "DBT            : %d first-pass, %d optimized, %d patterns, %d spec loads"

@@ -18,6 +18,7 @@ from ..interp.executor import SYSCALL_EXIT, SYSCALL_WRITE
 from ..interp.state import to_signed
 from ..isa.program import DEFAULT_STACK_TOP, Program
 from ..mem.hierarchy import DataMemorySystem
+from ..obs.observer import Observer
 from ..security.policy import MitigationPolicy
 from ..dbt.engine import DbtEngine, DbtEngineConfig
 from ..vliw.config import VliwConfig
@@ -61,6 +62,7 @@ class DbtSystem:
         vliw_config: Optional[VliwConfig] = None,
         engine_config: Optional[DbtEngineConfig] = None,
         platform_config: Optional[PlatformConfig] = None,
+        observer: Optional[Observer] = None,
     ):
         self.program = program
         self.policy = policy
@@ -77,6 +79,14 @@ class DbtSystem:
             policy=policy,
             config=engine_config,
         )
+        #: Optional observability sink, threaded through the core and the
+        #: engine; None (the default) keeps every hook a single dead
+        #: branch so instrumentation cannot perturb the timing model.
+        self.observer = observer
+        if observer is not None:
+            observer.clock = lambda: self.core.cycle
+            self.core.observer = observer
+            self.engine.observer = observer
         self.pc = program.entry
         self.exited = False
         self.exit_code = 0
@@ -115,7 +125,10 @@ class DbtSystem:
                     % (limits.max_cycles, self.pc)
                 )
             self.step_block()
-        return self.result()
+        result = self.result()
+        if self.observer is not None:
+            self.observer.snapshot(result)
+        return result
 
     def result(self) -> SystemRunResult:
         return SystemRunResult(
@@ -175,9 +188,11 @@ def run_on_platform(
     policy: MitigationPolicy = MitigationPolicy.UNSAFE,
     vliw_config: Optional[VliwConfig] = None,
     engine_config: Optional[DbtEngineConfig] = None,
+    observer: Optional[Observer] = None,
 ) -> SystemRunResult:
     """One-shot convenience: run ``program`` under ``policy``."""
     system = DbtSystem(
-        program, policy=policy, vliw_config=vliw_config, engine_config=engine_config,
+        program, policy=policy, vliw_config=vliw_config,
+        engine_config=engine_config, observer=observer,
     )
     return system.run()

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..interp.alu import apply as alu_apply
 from ..interp.state import MASK64, to_signed
 from ..mem.hierarchy import DataMemorySystem
+from ..obs.observer import Observer
 from .block import TranslatedBlock
 from .config import VliwConfig
 from .isa import Condition, VliwOp, VliwOpcode
@@ -147,6 +148,10 @@ class VliwCore:
         #: Optional :class:`ExecutionTrace` recording issued bundles,
         #: exits and rollbacks (None = tracing off, the default).
         self.tracer: Optional[ExecutionTrace] = None
+        #: Optional :class:`~repro.obs.observer.Observer`; every hook is
+        #: guarded by one ``is not None`` check and never touches
+        #: ``self.cycle``, so the disabled path cannot perturb timing.
+        self.observer: Optional[Observer] = None
         #: Scoreboard: physical register -> cycle its value is ready.
         self._ready: Dict[int, int] = {}
 
@@ -157,6 +162,8 @@ class VliwCore:
     def execute_block(self, block: TranslatedBlock) -> BlockResult:
         """Execute one translated block to its exit, handling rollback."""
         self.stats.blocks_executed += 1
+        observer = self.observer
+        start_cycle = self.cycle
         entry_regs = self.regs.snapshot()
         store_log: List[Tuple[int, bytes]] = []
         try:
@@ -172,6 +179,9 @@ class VliwCore:
                     "MCB conflict in block %#x" % block.guest_entry,
                     block.guest_entry,
                 )
+            if observer is not None:
+                observer.rollback(block.guest_entry,
+                                  self.cycle - start_cycle, self.cycle)
             recovery = block.recovery
             if recovery is None:
                 raise VliwExecutionError(
@@ -182,6 +192,8 @@ class VliwCore:
             result.rolled_back = True
         self.mcb.clear()
         self.instret += result.guest_instructions
+        if observer is not None:
+            observer.block_executed(block, result, start_cycle, self.cycle)
         return result
 
     # ------------------------------------------------------------------
@@ -193,6 +205,7 @@ class VliwCore:
         start_cycle = self.cycle
         regs = self.regs
         memory = self.memory
+        observer = self.observer
         # The scoreboard persists across blocks: a load issued at the end
         # of one block still stalls its first use in the next.
         ready = self._ready
@@ -239,6 +252,10 @@ class VliwCore:
                 elif opcode is VliwOpcode.LOAD:
                     address = (value1 + op.imm) & MASK64
                     access = memory.load(address, op.width, signed=op.signed)
+                    if observer is not None:
+                        observer.load_access(address, access.hit,
+                                             access.latency, op.speculative,
+                                             issue)
                     regs.write(op.dest, access.value & MASK64)
                     if op.dest and op.dest != 0:
                         ready[op.dest] = issue + access.latency
@@ -264,6 +281,8 @@ class VliwCore:
                 elif opcode is VliwOpcode.CFLUSH:
                     address = (value1 + op.imm) & MASK64
                     memory.flush_line(address)
+                    if observer is not None:
+                        observer.cflush(address, issue)
                 elif opcode is VliwOpcode.FENCE:
                     pass  # Serialisation handled at issue.
                 elif opcode is VliwOpcode.RDCYCLE:

@@ -1,0 +1,72 @@
+"""Event-bus semantics: subscription, dispatch order, enable/disable."""
+
+import pytest
+
+from repro.obs import Event, EventBus, Observer
+
+
+def test_bus_inactive_without_subscribers():
+    bus = EventBus()
+    assert not bus.active
+    bus.emit(Event("x", 0))  # no subscribers: counted, not dispatched
+    assert bus.published == {"x": 1}
+
+
+def test_named_and_wildcard_dispatch_order():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(lambda e: seen.append(("named", e.name)), name="a")
+    bus.subscribe(lambda e: seen.append(("wild", e.name)))
+    bus.emit_named("a", 5, value=1)
+    bus.emit_named("b", 6)
+    # Named handlers run before wildcard handlers; "b" only hits wildcard.
+    assert seen == [("named", "a"), ("wild", "a"), ("wild", "b")]
+
+
+def test_unsubscribe():
+    bus = EventBus()
+    seen = []
+    unsubscribe = bus.subscribe(seen.append, name="a")
+    bus.emit_named("a", 0)
+    unsubscribe()
+    assert not bus.active
+    bus.emit_named("a", 1)
+    assert len(seen) == 1
+    unsubscribe()  # idempotent
+
+
+def test_event_attrs_are_carried():
+    bus = EventBus()
+    captured = []
+    bus.subscribe(captured.append)
+    bus.emit_named("rollback", 42, entry=0x1000, wasted=17)
+    event = captured[0]
+    assert event.cycle == 42
+    assert event.attrs["entry"] == 0x1000
+    assert event.attrs["wasted"] == 17
+
+
+def test_handler_errors_propagate():
+    bus = EventBus()
+
+    def boom(event):
+        raise RuntimeError("handler failed")
+
+    bus.subscribe(boom, name="x")
+    with pytest.raises(RuntimeError):
+        bus.emit_named("x", 0)
+
+
+def test_observer_emit_gates_bus_on_activity():
+    observer = Observer()
+    # Without subscribers the bus never sees Event objects, but the
+    # registry still counts.
+    observer.emit("hot_block", entry=4)
+    assert observer.bus.published == {}
+    assert observer.registry.value("events.hot_block") == 1
+
+    seen = []
+    observer.bus.subscribe(seen.append)
+    observer.emit("hot_block", entry=8)
+    assert [e.name for e in seen] == ["hot_block"]
+    assert observer.registry.value("events.hot_block") == 2

@@ -1,0 +1,124 @@
+"""Observer wired through the whole platform: spans, events, attribution,
+and the no-Heisenberg regression (observability must not move a cycle)."""
+
+import pytest
+
+from repro.attacks.harness import AttackVariant, build_attack_program
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.obs import Observer, Tracer
+from repro.obs.attribution import attribute_policies, attribution_table
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+
+
+def _run(program, policy, observer=None):
+    return DbtSystem(program, policy=policy, observer=observer).run()
+
+
+# ---------------------------------------------------------------------------
+# Tracing a Spectre run.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def traced_v1_ghostbusters():
+    observer = Observer(tracer=Tracer())
+    program = build_attack_program(AttackVariant.SPECTRE_V1)
+    result = _run(program, MitigationPolicy.GHOSTBUSTERS, observer)
+    return observer, result
+
+
+def test_phase_spans_cover_the_dbt_pipeline(traced_v1_ghostbusters):
+    observer, _ = traced_v1_ghostbusters
+    span_names = {span.name for span in observer.tracer.spans}
+    assert {"translate", "optimize", "superblock", "irbuild",
+            "poison_analysis", "mitigation", "regalloc", "schedule",
+            "execute"} <= span_names
+
+
+def test_spectre_pattern_event_emitted(traced_v1_ghostbusters):
+    observer, _ = traced_v1_ghostbusters
+    instants = [i for i in observer.tracer.instants
+                if i.name == "spectre_pattern_detected"]
+    assert instants, "GHOSTBUSTERS must flag the v1 pattern"
+    assert all(i.args["entry"].startswith("0x") for i in instants)
+    assert observer.registry.value("events.spectre_pattern_detected") >= 1
+
+
+def test_execute_spans_tile_the_cycle_timeline(traced_v1_ghostbusters):
+    observer, result = traced_v1_ghostbusters
+    execs = [s for s in observer.tracer.spans if s.name == "execute"]
+    assert execs
+    # Spans are ordered, non-overlapping, and end at the final cycle.
+    for before, after in zip(execs, execs[1:]):
+        assert before.end <= after.start
+    from repro.obs import TICKS_PER_CYCLE
+    assert execs[-1].end <= result.cycles * TICKS_PER_CYCLE
+
+
+def test_snapshot_gauges_match_run_result(traced_v1_ghostbusters):
+    observer, result = traced_v1_ghostbusters
+    registry = observer.registry
+    assert registry.value("run.cycles") == result.cycles
+    assert registry.value("core.stall_cycles") == result.core.stall_cycles
+    assert registry.value("cache.misses") == result.cache.misses
+    assert (registry.value("dbt.spectre_patterns_detected")
+            == result.engine.spectre_patterns_detected)
+    # Event-driven counters agree with the platform's own statistics.
+    assert registry.value("core.blocks_executed_total") == result.blocks_executed
+    assert (registry.value("mem.load_misses_total")
+            <= registry.value("mem.loads_total"))
+
+
+def test_bus_subscribers_see_platform_events():
+    observer = Observer()
+    rollbacks = []
+    observer.bus.subscribe(rollbacks.append, name="mcb_rollback")
+    program = build_attack_program(AttackVariant.SPECTRE_V4)
+    result = _run(program, MitigationPolicy.UNSAFE, observer)
+    assert result.rollbacks > 0
+    assert len(rollbacks) == result.rollbacks
+    assert all(e.attrs["wasted_cycles"] > 0 for e in rollbacks)
+
+
+# ---------------------------------------------------------------------------
+# Attribution (the `repro stats` backend).
+# ---------------------------------------------------------------------------
+
+def test_v4_unsafe_attributes_nonzero_rollback_cycles():
+    program = build_attack_program(AttackVariant.SPECTRE_V4)
+    rows = attribute_policies(program, (MitigationPolicy.UNSAFE,
+                                        MitigationPolicy.NO_SPECULATION))
+    unsafe, no_spec = rows
+    assert unsafe.rollbacks > 0
+    assert unsafe.rollback_cycles > 0
+    assert no_spec.rollbacks == 0 and no_spec.rollback_cycles == 0
+    table = attribution_table(rows)
+    assert "unsafe" in table and "rollback cyc" in table
+
+
+# ---------------------------------------------------------------------------
+# No-Heisenberg regression: attaching the full observer stack must not
+# change a single architectural or timing outcome.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kernel_name", ["gemm", "jacobi-1d"])
+def test_polybench_cycles_identical_with_observer(kernel_name):
+    program = build_kernel_program(SMALL_SIZES[kernel_name]())
+    for policy in (MitigationPolicy.UNSAFE, MitigationPolicy.GHOSTBUSTERS):
+        plain = _run(program, policy)
+        observed = _run(program, policy,
+                        Observer(tracer=Tracer(limit=1000)))
+        assert observed.cycles == plain.cycles
+        assert observed.instructions == plain.instructions
+        assert observed.output == plain.output
+        assert observed.exit_code == plain.exit_code
+        assert observed.blocks_executed == plain.blocks_executed
+
+
+def test_attack_outcome_identical_with_observer():
+    program = build_attack_program(AttackVariant.SPECTRE_V4)
+    plain = _run(program, MitigationPolicy.UNSAFE)
+    observed = _run(program, MitigationPolicy.UNSAFE, Observer(tracer=Tracer()))
+    assert observed.cycles == plain.cycles
+    assert observed.output == plain.output
+    assert observed.rollbacks == plain.rollbacks

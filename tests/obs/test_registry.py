@@ -1,0 +1,91 @@
+"""Metrics registry: counters, gauges, histogram bucketing, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricError, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.b_total", "help text")
+    counter.inc()
+    counter.inc(4)
+    assert registry.value("a.b_total") == 5
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+
+    gauge = registry.gauge("g")
+    gauge.set(10)
+    gauge.dec(3)
+    assert registry.value("g") == 7
+
+
+def test_get_or_create_is_idempotent_but_kind_checked():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(MetricError):
+        registry.gauge("x")
+    with pytest.raises(MetricError):
+        registry.counter("not a name!")
+
+
+def test_histogram_bucketing_edges():
+    histogram = Histogram("h", buckets=(3, 30))
+    # Bounds are inclusive uppers: 3 -> first bucket, 4 -> second,
+    # 30 -> second, 31 -> +Inf.
+    for value in (0, 3, 4, 30, 31, 1000):
+        histogram.observe(value)
+    assert histogram.counts == [2, 2, 2]
+    assert histogram.count == 6
+    assert histogram.sum == 0 + 3 + 4 + 30 + 31 + 1000
+    assert histogram.cumulative() == [2, 4, 6]
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(MetricError):
+        Histogram("h", buckets=())
+    with pytest.raises(MetricError):
+        Histogram("h", buckets=(5, 5))
+    with pytest.raises(MetricError):
+        Histogram("h", buckets=(5, 4))
+
+
+def test_value_refuses_histograms():
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1,))
+    with pytest.raises(MetricError):
+        registry.value("h")
+    assert registry.value("missing") == 0
+
+
+def test_json_export_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h", buckets=(1, 10)).observe(4)
+    doc = json.loads(registry.to_json())
+    assert doc["counters"] == {"c": 3}
+    assert doc["gauges"] == {"g": 1.5}
+    assert doc["histograms"]["h"]["buckets"] == [1, 10]
+    assert doc["histograms"]["h"]["counts"] == [0, 1, 0]
+    assert doc["histograms"]["h"]["count"] == 1
+
+
+def test_prometheus_export_format():
+    registry = MetricsRegistry()
+    registry.counter("mcb.rollbacks_total", "rollbacks").inc(2)
+    histogram = registry.histogram("mem.load_latency_cycles", buckets=(3, 30))
+    histogram.observe(3)
+    histogram.observe(31)
+    text = registry.to_prometheus()
+    assert "# HELP repro_mcb_rollbacks_total rollbacks" in text
+    assert "# TYPE repro_mcb_rollbacks_total counter" in text
+    assert "repro_mcb_rollbacks_total 2" in text
+    # Histogram: cumulative buckets plus +Inf, _sum and _count series.
+    assert 'repro_mem_load_latency_cycles_bucket{le="3"} 1' in text
+    assert 'repro_mem_load_latency_cycles_bucket{le="30"} 1' in text
+    assert 'repro_mem_load_latency_cycles_bucket{le="+Inf"} 2' in text
+    assert "repro_mem_load_latency_cycles_sum 34" in text
+    assert "repro_mem_load_latency_cycles_count 2" in text

@@ -1,0 +1,101 @@
+"""Tracer: clock monotonicity, bounding, Chrome-trace schema round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import TICKS_PER_CYCLE, TRACK_CORE, TRACK_ENGINE, Tracer
+
+#: Phases a Trace Event Format consumer accepts from us.
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def test_tick_is_monotonic_within_a_cycle():
+    tracer = Tracer()
+    first = tracer.tick(5)
+    second = tracer.tick(5)
+    third = tracer.tick(6)
+    assert first == 5 * TICKS_PER_CYCLE
+    assert second == first + 1
+    assert third == 6 * TICKS_PER_CYCLE
+
+
+def test_span_validation_and_cycle_spans():
+    tracer = Tracer()
+    tracer.add_cycle_span("execute", TRACK_CORE, 10, 25)
+    span = tracer.spans[0]
+    assert (span.start, span.end) == (10 * TICKS_PER_CYCLE,
+                                      25 * TICKS_PER_CYCLE)
+    with pytest.raises(ValueError):
+        tracer.add_span("bad", TRACK_CORE, 10, 5)
+
+
+def test_limit_truncates_instead_of_growing():
+    tracer = Tracer(limit=3)
+    for index in range(5):
+        tracer.add_instant("e%d" % index, TRACK_CORE, index)
+    assert len(tracer.instants) == 3
+    assert tracer.dropped == 2
+    tracer.add_span("s", TRACK_CORE, 0, 1)
+    assert tracer.dropped == 3
+    assert not tracer.spans
+
+
+def test_chrome_trace_schema_round_trip():
+    tracer = Tracer()
+    start = tracer.tick(0)
+    tracer.add_span("translate", TRACK_ENGINE, start, tracer.tick(0),
+                    category="dbt", args={"entry": "0x1000"})
+    tracer.add_cycle_span("execute", TRACK_CORE, 0, 7,
+                          args={"kind": "firstpass"})
+    tracer.add_instant("spectre_pattern_detected", "events",
+                       tracer.tick(7), args={"entry": "0x1000"})
+
+    doc = json.loads(tracer.to_json(indent=2))
+    events = doc["traceEvents"]
+    assert doc["otherData"]["ticks_per_cycle"] == TICKS_PER_CYCLE
+    assert doc["otherData"]["dropped_records"] == 0
+
+    names = set()
+    for event in events:
+        assert event["ph"] in _VALID_PHASES
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+            assert isinstance(event["ts"], int)
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+        names.add(event["name"])
+    assert {"translate", "execute", "spectre_pattern_detected"} <= names
+    # Track metadata present for both used tracks.
+    thread_names = {e["args"]["name"] for e in events
+                    if e["name"] == "thread_name"}
+    assert {TRACK_ENGINE, TRACK_CORE} <= thread_names
+
+
+def test_thread_ids_are_stable_across_interleavings():
+    first = Tracer()
+    first.add_instant("a", TRACK_CORE, 0)
+    first.add_instant("b", TRACK_ENGINE, 1)
+    second = Tracer()
+    second.add_instant("b", TRACK_ENGINE, 0)
+    second.add_instant("a", TRACK_CORE, 1)
+
+    def tid_of(doc, track):
+        return next(e["tid"] for e in doc["traceEvents"]
+                    if e["name"] == "thread_name"
+                    and e["args"]["name"] == track)
+
+    doc1, doc2 = first.to_chrome(), second.to_chrome()
+    assert tid_of(doc1, TRACK_CORE) == tid_of(doc2, TRACK_CORE)
+    assert tid_of(doc1, TRACK_ENGINE) == tid_of(doc2, TRACK_ENGINE)
+
+
+def test_write_produces_loadable_file(tmp_path):
+    tracer = Tracer()
+    tracer.add_cycle_span("execute", TRACK_CORE, 0, 1)
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    doc = json.loads(path.read_text())
+    assert any(e["name"] == "execute" for e in doc["traceEvents"])

@@ -1,9 +1,19 @@
 """Multi-policy comparison runner tests."""
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.isa.assembler import assemble
-from repro.platform.comparison import compare_policies, slowdown_table
+from repro.platform.comparison import (
+    compare_policies,
+    comparison_csv,
+    comparison_json,
+    comparison_records,
+    slowdown_table,
+)
 from repro.security.policy import MitigationPolicy
 
 SOURCE = """
@@ -72,3 +82,27 @@ def test_slowdown_table_renders(comparison):
     assert "our approach" in table
     assert "%" in table
     assert "geomean/avg" in table
+
+
+def test_comparison_records_flatten(comparison):
+    records = comparison_records([comparison])
+    assert len(records) == 4
+    unsafe = next(r for r in records if r["policy"] == "unsafe")
+    assert unsafe["workload"] == "demo"
+    assert unsafe["slowdown_vs_unsafe"] == pytest.approx(1.0)
+    assert unsafe["cycles"] > 0
+
+
+def test_comparison_json_is_machine_readable(comparison):
+    records = json.loads(comparison_json([comparison]))
+    no_spec = next(r for r in records if r["policy"] == "no speculation")
+    assert no_spec["slowdown_vs_unsafe"] > 1.0
+
+
+def test_comparison_csv_round_trips(comparison):
+    rows = list(csv.DictReader(io.StringIO(comparison_csv([comparison]))))
+    assert len(rows) == 4
+    assert {row["policy"] for row in rows} == {
+        "unsafe", "our approach", "fence on detection", "no speculation",
+    }
+    assert all(int(row["cycles"]) > 0 for row in rows)

@@ -1,5 +1,7 @@
 """CLI tests (argument handling and each subcommand end-to-end)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -98,3 +100,57 @@ def test_attack_subcommand_single_policy(capsys):
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# Observability flags and the stats subcommand.
+# ---------------------------------------------------------------------------
+
+def test_run_metrics_out_writes_valid_json(loop_file, tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["run", loop_file, "--metrics-out", str(metrics_path)]) == 0
+    doc = json.loads(metrics_path.read_text())
+    assert set(doc) == {"counters", "gauges", "histograms"}
+    assert doc["counters"]["core.blocks_executed_total"] > 0
+    assert doc["gauges"]["run.exit_code"] == 0
+    assert "wrote %s" % metrics_path in capsys.readouterr().out
+
+
+def test_run_trace_out_writes_chrome_trace(loop_file, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(["run", loop_file, "--trace-out", str(trace_path)]) == 0
+    doc = json.loads(trace_path.read_text())
+    names = {event["name"] for event in doc["traceEvents"]}
+    assert {"translate", "schedule", "execute"} <= names
+    assert all(event["ph"] in {"X", "i", "M"}
+               for event in doc["traceEvents"])
+
+
+def test_run_prom_out_writes_prometheus_text(loop_file, tmp_path):
+    prom_path = tmp_path / "metrics.prom"
+    assert main(["run", loop_file, "--prom-out", str(prom_path)]) == 0
+    text = prom_path.read_text()
+    assert "# TYPE repro_core_blocks_executed_total counter" in text
+
+
+def test_stats_attack_v4_reports_rollback_cycles(capsys):
+    assert main(["stats", "--attack", "v4", "--policy", "unsafe"]) == 0
+    out = capsys.readouterr().out
+    assert "rollback cyc" in out
+    row = next(line for line in out.splitlines()
+               if line.startswith("unsafe"))
+    rollback_cycles = int(row.split()[5])
+    assert rollback_cycles > 0
+
+
+def test_stats_on_guest_file(loop_file, capsys):
+    assert main(["stats", loop_file, "--policy", "ghostbusters"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle attribution" in out
+    assert "our approach" in out
+
+
+def test_stats_requires_a_workload(capsys):
+    assert main(["stats"]) == 2
+    assert main(["stats", "foo.s", "--attack", "v1"]) == 2
+
