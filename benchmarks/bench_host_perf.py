@@ -1,0 +1,63 @@
+"""Host-perf baseline — simulator throughput, not guest cycle counts.
+
+Unlike the other benchmark modules, this one measures the *host*: how
+many guest instructions per second the platform simulates, how much the
+finalized fast path (``repro.vliw.fastpath``) gains over the seed
+reference interpreter, and how the parallel sweep runner scales with
+``--jobs``.  It regenerates ``benchmarks/results/BENCH_host.json`` (the
+file ``repro bench-host`` writes) plus a human-readable summary.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI perf-smoke job)
+shortens the secret and drops to one kernel so the whole module runs in
+seconds.  Wall-clock numbers are only comparable within one machine;
+the acceptance bar that travels is the fast-path speedup ratio.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.benchhost import format_report, run_bench_host
+
+from conftest import save_result
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def host_report():
+    return run_bench_host(quick=QUICK)
+
+
+def test_fast_path_beats_reference(host_report):
+    e1 = host_report["e1_attack_matrix"]
+    assert e1["reference"]["guest_instructions"] == \
+        e1["fast"]["guest_instructions"]
+    # The tentpole bar is >= 2x on the full E1 matrix; quick mode runs
+    # are startup-dominated, so only require parity there.
+    floor = 1.0 if QUICK else 2.0
+    assert e1["fast_path_speedup"] >= floor, (
+        "fast path speedup %.2fx below %.1fx floor"
+        % (e1["fast_path_speedup"], floor))
+
+
+def test_kernel_rows_cover_both_interpreters(host_report):
+    rows = host_report["kernels"]
+    assert rows, "no kernel measurements"
+    by_key = {(r["kernel"], r["policy"], r["interpreter"]) for r in rows}
+    kernels = {r["kernel"] for r in rows}
+    policies = {r["policy"] for r in rows}
+    assert len(by_key) == len(kernels) * len(policies) * 2
+
+
+def test_sweep_scaling_recorded(host_report):
+    sweep = host_report["figure4_sweep"]
+    assert set(sweep["wall_seconds_by_jobs"]) == {"1", "4"}
+    assert all(wall > 0 for wall in sweep["wall_seconds_by_jobs"].values())
+
+
+def test_write_host_report(host_report, results_dir):
+    save_result("BENCH_host.txt", format_report(host_report))
+    path = results_dir / "BENCH_host.json"
+    path.write_text(json.dumps(host_report, indent=2, sort_keys=True) + "\n")

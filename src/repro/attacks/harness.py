@@ -75,10 +75,12 @@ def run_attack(
     policy: MitigationPolicy = MitigationPolicy.UNSAFE,
     secret: bytes = spectre_v1.DEFAULT_SECRET,
     vliw_config=None,
+    interpreter=None,
 ) -> AttackResult:
     """Run one PoC under one policy and score the recovered bytes."""
     program = build_attack_program(variant, secret)
-    system = DbtSystem(program, policy=policy, vliw_config=vliw_config)
+    system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
+                       interpreter=interpreter)
     run = system.run()
     recovered = run.output[:len(secret)]
     return AttackResult(
@@ -91,13 +93,38 @@ def attack_matrix(
     secret: bytes = spectre_v1.DEFAULT_SECRET,
     policies: Sequence[MitigationPolicy] = ALL_POLICIES,
     variants: Sequence[AttackVariant] = tuple(AttackVariant),
+    jobs: int = 1,
+    interpreter=None,
 ) -> Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]]:
-    """The Section V-A result matrix: variant x policy -> outcome."""
+    """The Section V-A result matrix: variant x policy -> outcome.
+
+    Every cell is an independent simulation, so ``jobs > 1`` fans the
+    grid out over a process pool.  Results are gathered in submission
+    order (variants outermost, policies innermost), so the returned
+    matrix is identical to the serial one.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    points = [(variant, policy) for variant in variants for policy in policies]
+    if jobs > 1 and len(points) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            outcomes = list(executor.map(
+                run_attack,
+                [variant for variant, _ in points],
+                [policy for _, policy in points],
+                [secret] * len(points),
+                [None] * len(points),
+                [interpreter] * len(points),
+            ))
+    else:
+        outcomes = [run_attack(variant, policy, secret,
+                               interpreter=interpreter)
+                    for variant, policy in points]
     matrix: Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]] = {}
-    for variant in variants:
-        matrix[variant] = {}
-        for policy in policies:
-            matrix[variant][policy] = run_attack(variant, policy, secret)
+    for (variant, policy), outcome in zip(points, outcomes):
+        matrix.setdefault(variant, {})[policy] = outcome
     return matrix
 
 

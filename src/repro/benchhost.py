@@ -1,0 +1,198 @@
+"""Host-performance baseline: how fast does the *simulator itself* run?
+
+Every experiment in the reproduction is gated on host wall-time, so this
+module measures the platform's own throughput — guest instructions
+simulated per host second — and the two levers this repository pulls to
+raise it:
+
+* the **finalized fast path** (``repro.vliw.fastpath``) versus the seed
+  per-``VliwOp`` reference interpreter, measured on the E1 attack matrix
+  and on Polybench kernels under every mitigation policy;
+* the **parallel sweep runner** (``repro.platform.parallel``), measured
+  as Figure-4 sweep wall-time at different ``--jobs`` levels.
+
+``run_bench_host`` produces one JSON document (``BENCH_host.json``)
+seeding the repository's host-perf trajectory; ``repro bench-host`` and
+``benchmarks/bench_host_perf.py`` are thin wrappers around it.  All
+numbers are wall-clock measurements of this host — compare them only
+against other numbers from the same environment.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as host_platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .attacks.harness import attack_matrix
+from .kernels import SMALL_SIZES, build_kernel_program
+from .platform.parallel import sweep_comparisons
+from .platform.system import DbtSystem
+from .security.policy import ALL_POLICIES
+
+#: Kernels timed per policy in the kernel section (two, per the
+#: host-perf baseline spec) and used for the sweep-scaling section.
+DEFAULT_KERNELS = ("gemm", "atax")
+QUICK_SECRET = b"GB"
+FULL_SECRET = b"GHOST"
+
+SCHEMA = "repro.bench_host/1"
+
+
+def _timed_run(program, policy, interpreter: str) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = DbtSystem(program, policy=policy,
+                       interpreter=interpreter).run()
+    return time.perf_counter() - start, result
+
+
+def measure_attack_matrix(secret: bytes, interpreter: str) -> dict:
+    """Wall-time one full E1 matrix (2 variants × all policies)."""
+    start = time.perf_counter()
+    matrix = attack_matrix(secret=secret, interpreter=interpreter)
+    wall = time.perf_counter() - start
+    instructions = 0
+    cycles = 0
+    points = 0
+    for per_policy in matrix.values():
+        for outcome in per_policy.values():
+            instructions += outcome.run.instructions
+            cycles += outcome.run.cycles
+            points += 1
+    return {
+        "wall_seconds": round(wall, 4),
+        "points": points,
+        "guest_instructions": instructions,
+        "guest_cycles": cycles,
+        "guest_instructions_per_second":
+            round(instructions / wall) if wall else 0,
+    }
+
+
+def measure_kernels(kernels: Sequence[str],
+                    interpreters: Sequence[str] = ("reference", "fast"),
+                    ) -> List[dict]:
+    """Per-(kernel, policy, interpreter) wall-time and throughput rows."""
+    rows: List[dict] = []
+    for name in kernels:
+        program = build_kernel_program(SMALL_SIZES[name]())
+        for policy in ALL_POLICIES:
+            for interpreter in interpreters:
+                wall, result = _timed_run(program, policy, interpreter)
+                rows.append({
+                    "kernel": name,
+                    "policy": policy.value,
+                    "interpreter": interpreter,
+                    "wall_seconds": round(wall, 4),
+                    "guest_instructions": result.instructions,
+                    "guest_cycles": result.cycles,
+                    "guest_instructions_per_second":
+                        round(result.instructions / wall) if wall else 0,
+                })
+    return rows
+
+
+def measure_sweep_scaling(kernels: Sequence[str],
+                          jobs_levels: Sequence[int] = (1, 4)) -> dict:
+    """Figure-4 sweep wall-time at each ``--jobs`` level.
+
+    No memo cache is used, so every level pays the full simulation cost
+    and the comparison isolates the process-pool scaling.
+    """
+    workloads = [(name, build_kernel_program(SMALL_SIZES[name]()))
+                 for name in kernels]
+    walls: Dict[str, float] = {}
+    for jobs in jobs_levels:
+        start = time.perf_counter()
+        sweep_comparisons(workloads, policies=ALL_POLICIES, jobs=jobs)
+        walls[str(jobs)] = round(time.perf_counter() - start, 4)
+    baseline = walls.get("1")
+    best = min(walls.values()) if walls else 0.0
+    return {
+        "workloads": list(kernels),
+        "policies": [policy.value for policy in ALL_POLICIES],
+        "wall_seconds_by_jobs": walls,
+        "parallel_speedup":
+            round(baseline / best, 3) if baseline and best else None,
+    }
+
+
+def run_bench_host(quick: bool = False,
+                   secret: Optional[bytes] = None,
+                   kernels: Sequence[str] = DEFAULT_KERNELS,
+                   jobs_levels: Sequence[int] = (1, 4),
+                   skip_sweep: bool = False) -> dict:
+    """Run the full host-perf baseline and return the report dict."""
+    import os
+
+    if secret is None:
+        secret = QUICK_SECRET if quick else FULL_SECRET
+    report = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": {
+            "python": sys.version.split()[0],
+            "implementation": host_platform.python_implementation(),
+            "machine": host_platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+    e1: Dict[str, object] = {"secret_length": len(secret)}
+    for interpreter in ("reference", "fast"):
+        e1[interpreter] = measure_attack_matrix(secret, interpreter)
+    reference_wall = e1["reference"]["wall_seconds"]
+    fast_wall = e1["fast"]["wall_seconds"]
+    e1["fast_path_speedup"] = (
+        round(reference_wall / fast_wall, 3) if fast_wall else None)
+    report["e1_attack_matrix"] = e1
+
+    kernel_names = list(kernels)[:1] if quick else list(kernels)
+    report["kernels"] = measure_kernels(kernel_names)
+
+    if not skip_sweep:
+        sweep_kernels = kernel_names if quick else list(SMALL_SIZES)[:4]
+        report["figure4_sweep"] = measure_sweep_scaling(
+            sweep_kernels, jobs_levels)
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of a bench-host report."""
+    lines = ["host-perf baseline (%s, python %s, %s cpus)" % (
+        report["host"]["machine"], report["host"]["python"],
+        report["host"]["cpu_count"])]
+    e1 = report.get("e1_attack_matrix")
+    if e1:
+        lines.append(
+            "E1 attack matrix : reference %.2fs -> fast %.2fs "
+            "(speedup %.2fx, %s guest instr/s)" % (
+                e1["reference"]["wall_seconds"], e1["fast"]["wall_seconds"],
+                e1["fast_path_speedup"] or 0.0,
+                "{:,}".format(e1["fast"]["guest_instructions_per_second"])))
+    for row in report.get("kernels", ()):
+        lines.append(
+            "%-12s %-14s %-9s %7.2fs  %12s instr/s" % (
+                row["kernel"], row["policy"], row["interpreter"],
+                row["wall_seconds"],
+                "{:,}".format(row["guest_instructions_per_second"])))
+    sweep = report.get("figure4_sweep")
+    if sweep:
+        per_jobs = "  ".join(
+            "--jobs %s: %.2fs" % (jobs, wall)
+            for jobs, wall in sorted(sweep["wall_seconds_by_jobs"].items(),
+                                     key=lambda item: int(item[0])))
+        lines.append("figure-4 sweep   : %s (speedup %s)" % (
+            per_jobs, sweep["parallel_speedup"]))
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

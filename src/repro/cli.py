@@ -25,7 +25,15 @@ Subcommands
 
 ``sweep``
     Quick Figure-4 style sweep over the (reduced-size) Polybench suite
-    (``--json``/``--csv`` for machine-readable output).
+    (``--json``/``--csv`` for machine-readable output, ``--jobs N`` to
+    fan the grid out over worker processes, ``--cache-dir`` to memoize
+    sweep points on disk).
+
+``bench-host``
+    Measure the simulator's own host throughput: fast-path vs reference
+    interpreter on the E1 attack matrix and Polybench kernels, and
+    sweep wall-time at several ``--jobs`` levels.  Writes
+    ``BENCH_host.json`` (see docs/PERFORMANCE.md).
 
 ``stats``
     Run a guest (or a Spectre PoC via ``--attack``) under each policy
@@ -44,7 +52,7 @@ from .attacks.harness import AttackVariant, run_attack
 from .interp.executor import run_program
 from .isa.assembler import assemble
 from .isa.disassembler import dump
-from .platform.comparison import compare_policies, slowdown_table
+from .platform.comparison import slowdown_table
 from .platform.system import DbtSystem
 from .security.policy import ALL_POLICIES, MitigationPolicy
 from .vliw.config import VliwConfig, wide_config
@@ -192,13 +200,21 @@ def cmd_trace(args) -> int:
 
 
 def cmd_attack(args) -> int:
+    from .attacks.harness import attack_matrix
+
     variant = (AttackVariant.SPECTRE_V1 if args.variant == "v1"
                else AttackVariant.SPECTRE_V4)
     secret = args.secret.encode()
     policies = [args.policy] if args.policy else list(ALL_POLICIES)
+    if args.jobs > 1 and len(policies) > 1:
+        matrix = attack_matrix(secret=secret, policies=policies,
+                               variants=(variant,), jobs=args.jobs)
+        results = [matrix[variant][policy] for policy in policies]
+    else:
+        results = [run_attack(variant, policy, secret=secret)
+                   for policy in policies]
     leaked_anywhere = False
-    for policy in policies:
-        result = run_attack(variant, policy, secret=secret)
+    for result in results:
         print(result.describe() + "  recovered=%r" % bytes(result.recovered))
         leaked_anywhere |= result.leaked
     return 0 if leaked_anywhere or args.policy else 1
@@ -207,15 +223,20 @@ def cmd_attack(args) -> int:
 def cmd_sweep(args) -> int:
     from .kernels import SMALL_SIZES, POLYBENCH_SUITE, build_kernel_program
     from .platform.comparison import comparison_csv, comparison_json
+    from .platform.parallel import sweep_comparisons
 
     suite = POLYBENCH_SUITE if args.full else SMALL_SIZES
-    comparisons = []
+    workloads = []
+    expected = {}
     for name, factory in suite.items():
         program = build_kernel_program(factory())
-        expected = run_program(program).exit_code
-        comparisons.append(
-            compare_policies(name, program, expect_exit_code=expected)
-        )
+        expected[name] = run_program(program).exit_code
+        workloads.append((name, program))
+    comparisons = sweep_comparisons(
+        workloads, jobs=args.jobs, cache_dir=args.cache_dir,
+        expect_exit_codes=expected,
+    )
+    for name, _program in workloads:
         print("%-12s done" % name, file=sys.stderr)
     if args.json:
         _write_text(args.json, comparison_json(comparisons) + "\n")
@@ -229,6 +250,17 @@ def cmd_sweep(args) -> int:
             MitigationPolicy.FENCE,
             MitigationPolicy.NO_SPECULATION,
         )))
+    return 0
+
+
+def cmd_bench_host(args) -> int:
+    from .benchhost import format_report, run_bench_host, write_report
+
+    report = run_bench_host(quick=args.quick, skip_sweep=args.skip_sweep)
+    print(format_report(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print("wrote %s" % path, file=sys.stderr)
     return 0
 
 
@@ -331,6 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="secret string to plant and recover")
     attack_parser.add_argument("--policy", type=_policy, default=None,
                                help="single policy (default: all four)")
+    attack_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the per-policy runs; results are "
+             "gathered in submission order, so output is identical to "
+             "--jobs 1 (default: 1)")
     attack_parser.set_defaults(func=cmd_attack)
 
     sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
@@ -342,7 +379,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--csv", metavar="FILE", default=None,
                               help="also write results as CSV "
                                    "('-' for stdout)")
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the (kernel x policy) grid; rows are "
+             "emitted in deterministic submission order, so JSON/CSV "
+             "output is byte-identical to --jobs 1 (default: 1)")
+    sweep_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="memoize sweep points on disk under DIR (keyed by program "
+             "bytes + policy + machine config); re-runs only simulate "
+             "changed points")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    bench_parser = sub.add_parser(
+        "bench-host",
+        help="measure simulator host throughput (fast path vs reference)",
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="short secret and fewer kernels "
+                                   "(CI smoke mode)")
+    bench_parser.add_argument("--skip-sweep", action="store_true",
+                              help="skip the --jobs scaling section")
+    bench_parser.add_argument("--out", metavar="FILE",
+                              default="benchmarks/results/BENCH_host.json",
+                              help="where to write the JSON report "
+                                   "(default: %(default)s)")
+    bench_parser.set_defaults(func=cmd_bench_host)
 
     stats_parser = sub.add_parser(
         "stats", help="per-policy cycle attribution table",

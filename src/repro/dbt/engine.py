@@ -27,6 +27,7 @@ from ..security.poison import PoisonReport, analyze_block
 from ..security.policy import MitigationPolicy
 from ..vliw.block import TranslatedBlock
 from ..vliw.config import VliwConfig
+from ..vliw.fastpath import finalize_block
 from ..vliw.pipeline import BlockResult, ExitReason
 from .blocks import BasicBlock, discover_block
 from .codegen import sequential_translate
@@ -85,7 +86,10 @@ class DbtEngine:
         self.vliw_config = vliw_config or VliwConfig()
         self.policy = policy
         self.config = config or DbtEngineConfig()
-        self.cache = TranslationCache(capacity=self.config.code_cache_capacity)
+        self.cache = TranslationCache(
+            capacity=self.config.code_cache_capacity,
+            finalizer=lambda block: finalize_block(block, self.vliw_config),
+        )
         self.profile = ExecutionProfile()
         self.stats = DbtEngineStats()
         #: Optional :class:`~repro.obs.observer.Observer` (set by the

@@ -8,7 +8,7 @@ same entry; the cache keeps both generations' statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from ..vliw.block import TranslatedBlock
 
@@ -38,10 +38,16 @@ class TranslationCache:
     flushes the whole cache; hot code simply retranslates.
     """
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(self, capacity: Optional[int] = None,
+                 finalizer: Optional[Callable[[TranslatedBlock], object]] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("translation cache capacity must be positive")
         self.capacity = capacity
+        #: Optional lowering hook run once per installed block — the DBT
+        #: engine points this at :func:`repro.vliw.fastpath.finalize_block`
+        #: so translations are pre-decoded for the core's fast path at
+        #: install time instead of on first execution.
+        self.finalizer = finalizer
         self._blocks: Dict[int, TranslatedBlock] = {}
         self.stats = TranslationCacheStats()
 
@@ -59,6 +65,8 @@ class TranslationCache:
             self._blocks.clear()
             self.stats.capacity_flushes += 1
         self.stats.installs += 1
+        if self.finalizer is not None:
+            self.finalizer(block)
         self._blocks[block.guest_entry] = block
 
     def get(self, entry: int) -> Optional[TranslatedBlock]:

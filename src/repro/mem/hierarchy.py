@@ -17,7 +17,7 @@ from ..interp.memory import Memory
 from .cache import CacheConfig, CacheStats, SetAssociativeCache
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one timed access."""
 

@@ -1,0 +1,243 @@
+"""Parallel experiment runner with on-disk sweep-point memoization.
+
+Every point of the reproduction's experiment grids — one
+(workload × policy × machine-config) simulation — is completely
+independent of every other point: each run builds a fresh platform from
+a picklable :class:`~repro.isa.program.Program` and pure-value configs.
+That makes the grids embarrassingly parallel, and this module exploits
+it twice over:
+
+* ``sweep_comparisons`` fans the points of a Figure-4 style sweep out
+  over a ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` worker
+  processes; ``jobs=1`` stays in-process with byte-identical results —
+  the ordering test in ``tests/platform/test_parallel_sweep.py`` holds
+  the two paths to the same rows);
+* an optional **on-disk memo cache** keyed by ``(program container
+  bytes, policy, VLIW config, engine config, interpreter)`` under
+  ``benchmarks/results/cache/`` short-circuits points that were already
+  simulated by an earlier run — re-running a sweep after editing one
+  kernel only pays for that kernel.
+
+Determinism contract: results are assembled strictly in submission
+order (workloads outermost, policies innermost), never in completion
+order, so ``--jobs N`` emits exactly the same JSON/CSV rows as a serial
+sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..dbt.engine import DbtEngineConfig
+from ..isa.container import to_bytes as program_to_bytes
+from ..isa.program import Program
+from ..security.policy import ALL_POLICIES, MitigationPolicy
+from ..vliw.config import VliwConfig
+from .metrics import PolicyComparison, SystemRunResult
+from .system import DbtSystem
+
+#: Default memo-cache location (relative to the repository root when the
+#: CLI runs from a checkout; callers may pass any directory).
+DEFAULT_CACHE_DIR = Path("benchmarks") / "results" / "cache"
+
+#: Bump when the cached record layout (or anything feeding the key)
+#: changes; stale entries are then simply never looked up again.
+_CACHE_VERSION = 1
+
+#: Record fields persisted per sweep point.  ``ipc`` and slowdowns are
+#: derived downstream, so caching the raw counters is enough to rebuild
+#: byte-identical sweep rows.
+_RECORD_FIELDS = ("exit_code", "cycles", "instructions",
+                  "blocks_executed", "rollbacks")
+
+
+# ---------------------------------------------------------------------------
+# Memo-cache keys.
+# ---------------------------------------------------------------------------
+
+def config_fingerprint(vliw_config: Optional[VliwConfig],
+                       engine_config: Optional[DbtEngineConfig]) -> str:
+    """Stable textual fingerprint of the machine + engine configuration.
+
+    ``repr`` is not usable here: slot capability sets are ``frozenset``s
+    whose iteration order varies between interpreter runs.  Canonicalise
+    everything order-sensitive instead.
+    """
+    vliw_config = vliw_config or VliwConfig()
+    engine_config = engine_config or DbtEngineConfig()
+    vliw_part = {
+        "slots": [sorted(unit.value for unit in caps)
+                  for caps in vliw_config.slots],
+        "num_registers": vliw_config.num_registers,
+        "latencies": sorted(
+            (unit.value, latency)
+            for unit, latency in vliw_config.latencies.items()),
+        "exit_penalty": vliw_config.exit_penalty,
+        "rollback_penalty": vliw_config.rollback_penalty,
+        "mcb_entries": vliw_config.mcb_entries,
+        "cache": asdict(vliw_config.cache),
+    }
+    engine_part = {
+        "hot_threshold": engine_config.hot_threshold,
+        "superblock": asdict(engine_config.superblock),
+        "max_optimizations": engine_config.max_optimizations,
+        "conflict_retranslate_threshold":
+            engine_config.conflict_retranslate_threshold,
+        "code_cache_capacity": engine_config.code_cache_capacity,
+    }
+    return json.dumps({"vliw": vliw_part, "engine": engine_part},
+                      sort_keys=True)
+
+
+def sweep_point_key(program: Program, policy: MitigationPolicy,
+                    vliw_config: Optional[VliwConfig] = None,
+                    engine_config: Optional[DbtEngineConfig] = None,
+                    interpreter: str = "fast") -> str:
+    """Content hash identifying one sweep point across runs."""
+    digest = hashlib.sha256()
+    digest.update(b"repro-sweep-point-v%d\n" % _CACHE_VERSION)
+    digest.update(program_to_bytes(program))
+    digest.update(policy.value.encode())
+    digest.update(b"\n")
+    digest.update(config_fingerprint(vliw_config, engine_config).encode())
+    digest.update(interpreter.encode())
+    return digest.hexdigest()
+
+
+def _cache_load(cache_dir: Path, key: str) -> Optional[dict]:
+    path = cache_dir / (key + ".json")
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not all(field in record for field in _RECORD_FIELDS):
+        return None
+    return record
+
+
+def _cache_store(cache_dir: Path, key: str, record: dict) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / (key + ".json")
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(record, sort_keys=True, indent=1) + "\n")
+    tmp.replace(path)  # atomic: concurrent sweeps may share the cache
+
+
+# ---------------------------------------------------------------------------
+# Worker (runs in the pool processes; must stay module-level picklable).
+# ---------------------------------------------------------------------------
+
+def run_sweep_point(program: Program, policy: MitigationPolicy,
+                    vliw_config: Optional[VliwConfig] = None,
+                    engine_config: Optional[DbtEngineConfig] = None,
+                    interpreter: Optional[str] = None) -> dict:
+    """Simulate one (program, policy) point and return its slim record."""
+    system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
+                       engine_config=engine_config, interpreter=interpreter)
+    result = system.run()
+    record = {field: getattr(result, field) for field in _RECORD_FIELDS}
+    record["output"] = result.output.hex()
+    return record
+
+
+def _record_to_result(record: dict) -> SystemRunResult:
+    return SystemRunResult(
+        exit_code=record["exit_code"],
+        cycles=record["cycles"],
+        instructions=record["instructions"],
+        output=bytes.fromhex(record.get("output", "")),
+        blocks_executed=record["blocks_executed"],
+        rollbacks=record["rollbacks"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The parallel sweep.
+# ---------------------------------------------------------------------------
+
+def sweep_comparisons(
+    workloads: Sequence[Tuple[str, Program]],
+    policies: Sequence[MitigationPolicy] = ALL_POLICIES,
+    jobs: int = 1,
+    vliw_config: Optional[VliwConfig] = None,
+    engine_config: Optional[DbtEngineConfig] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    expect_exit_codes: Optional[Dict[str, int]] = None,
+    interpreter: Optional[str] = None,
+) -> List[PolicyComparison]:
+    """Run ``workloads`` × ``policies`` and return one
+    :class:`PolicyComparison` per workload, in input order.
+
+    ``jobs > 1`` distributes points over a process pool; ``cache_dir``
+    (optional) memoizes points on disk keyed by
+    :func:`sweep_point_key`.  Output ordering is independent of both.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+    interp_label = interpreter if interpreter is not None else "fast"
+
+    points = [(name, program, policy)
+              for name, program in workloads for policy in policies]
+    records: List[Optional[dict]] = [None] * len(points)
+
+    # Phase 1: satisfy what we can from the memo cache.
+    misses: List[int] = []
+    keys: List[Optional[str]] = [None] * len(points)
+    for index, (name, program, policy) in enumerate(points):
+        if cache_path is not None:
+            key = sweep_point_key(program, policy, vliw_config,
+                                  engine_config, interp_label)
+            keys[index] = key
+            records[index] = _cache_load(cache_path, key)
+        if records[index] is None:
+            misses.append(index)
+
+    # Phase 2: simulate the misses — in a pool when jobs > 1, inline
+    # otherwise.  ``executor.map`` yields in submission order, keeping
+    # the records (and therefore every downstream row) deterministic.
+    if misses:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                computed = list(executor.map(
+                    run_sweep_point,
+                    [points[i][1] for i in misses],
+                    [points[i][2] for i in misses],
+                    [vliw_config] * len(misses),
+                    [engine_config] * len(misses),
+                    [interpreter] * len(misses),
+                ))
+        else:
+            computed = [
+                run_sweep_point(points[i][1], points[i][2], vliw_config,
+                                engine_config, interpreter)
+                for i in misses
+            ]
+        for index, record in zip(misses, computed):
+            records[index] = record
+            if cache_path is not None and keys[index] is not None:
+                _cache_store(cache_path, keys[index], record)
+
+    # Phase 3: reassemble per-workload comparisons in input order.
+    comparisons: List[PolicyComparison] = []
+    by_name: Dict[str, PolicyComparison] = {}
+    for (name, _program, policy), record in zip(points, records):
+        comparison = by_name.get(name)
+        if comparison is None:
+            comparison = PolicyComparison(workload=name)
+            by_name[name] = comparison
+            comparisons.append(comparison)
+        result = _record_to_result(record)
+        expected = (expect_exit_codes or {}).get(name)
+        if expected is not None and result.exit_code != expected:
+            raise AssertionError(
+                "%s under %s exited with %d (expected %d)"
+                % (name, policy.value, result.exit_code, expected))
+        comparison.results[policy.label] = result
+    return comparisons

@@ -63,6 +63,7 @@ class DbtSystem:
         engine_config: Optional[DbtEngineConfig] = None,
         platform_config: Optional[PlatformConfig] = None,
         observer: Optional[Observer] = None,
+        interpreter: Optional[str] = None,
     ):
         self.program = program
         self.policy = policy
@@ -72,6 +73,12 @@ class DbtSystem:
         for base, image in program.segments():
             self.memory.memory.load_image(base, image)
         self.core = VliwCore(self.vliw_config, self.memory)
+        if interpreter is not None:
+            if interpreter not in ("fast", "reference"):
+                raise ValueError(
+                    "interpreter must be 'fast' or 'reference', got %r"
+                    % (interpreter,))
+            self.core.use_fast_path = interpreter == "fast"
         self.core.regs.write(_REG_SP, self.platform_config.stack_top)
         self.engine = DbtEngine(
             program,
@@ -189,10 +196,12 @@ def run_on_platform(
     vliw_config: Optional[VliwConfig] = None,
     engine_config: Optional[DbtEngineConfig] = None,
     observer: Optional[Observer] = None,
+    interpreter: Optional[str] = None,
 ) -> SystemRunResult:
     """One-shot convenience: run ``program`` under ``policy``."""
     system = DbtSystem(
         program, policy=policy, vliw_config=vliw_config,
         engine_config=engine_config, observer=observer,
+        interpreter=interpreter,
     )
     return system.run()

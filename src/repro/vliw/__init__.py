@@ -8,6 +8,7 @@ and the scoreboarded cycle-level pipeline that executes DBT output.
 from .block import TranslatedBlock
 from .bundle import Bundle, BundleError, assign_slots, fits, make_bundle
 from .config import DEFAULT_SLOTS, UnitClass, VliwConfig, wide_config
+from .fastpath import FinalizedBlock, finalize_block
 from .isa import Condition, VliwOp, VliwOpcode
 from .mcb import McbConflict, McbEntry, MemoryConflictBuffer
 from .pipeline import (
@@ -31,6 +32,8 @@ __all__ = [
     "DEFAULT_SLOTS",
     "ExecutionTrace",
     "ExitReason",
+    "FinalizedBlock",
+    "finalize_block",
     "McbConflict",
     "McbEntry",
     "MemoryConflictBuffer",

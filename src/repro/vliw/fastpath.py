@@ -1,0 +1,185 @@
+"""Host-execution fast path: pre-decoded (finalized) translated blocks.
+
+The seed interpreter in ``VliwCore._run`` walks dataclass ``VliwOp``
+objects on every issue: per-op ``sources()`` tuple building, attribute
+chains (``op.opcode``/``op.src1``/...), enum identity dispatch through a
+long ``if/elif`` ladder, and a per-bundle ``source_values`` list
+comprehension.  None of that work depends on run-time state — it is all
+a pure function of the block and the machine configuration — so this
+module performs it **once per translation**, in the spirit of the DBT
+itself (translate cold code once, then execute the lowered form): a
+meta-DBT step applied to our own translated code.
+
+``finalize_block`` lowers a :class:`~repro.vliw.block.TranslatedBlock`
+into a :class:`FinalizedBlock` whose bundles are flat tuples::
+
+    (decoded ops, read regs, stall sources, serializing?, op count, bundle)
+
+* *decoded ops* — per-op tuples led by a small-int opcode ordinal (the
+  ``ORD_*`` constants) followed by exactly the pre-computed operands the
+  executor needs: resolved ALU callables, masked immediates, per-op unit
+  latencies from ``config.latencies``, MCB metadata, branch-condition
+  callables;
+* *read regs* — two physical register indices per op (``0`` when a
+  source is absent; ``r0`` always reads zero), sampled in one pass
+  before any op writes, preserving the VLIW read-before-write phase;
+* *stall sources* — the distinct non-zero sources of the whole bundle
+  (scoreboard stalling is a commutative ``max``, so order and duplicates
+  are irrelevant);
+* *serializing?* — whether the bundle holds ``rdcycle``/``fence``,
+  which drain the scoreboard at issue.
+
+The executor (``VliwCore._run_fast``) dispatches on the leading ordinal
+with plain integer comparisons and never touches a ``VliwOp`` again.
+
+The non-negotiable invariant (enforced by
+``tests/platform/test_fastpath_differential.py``): executing the
+finalized form is **bit-identical** to the seed interpreter — cycles,
+stalls, rollbacks, architectural state and recovered attack bytes — for
+every mitigation policy.  Finalization must therefore never reorder,
+merge or drop work; it only pre-computes representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..interp.alu import OPERATIONS
+from ..interp.state import MASK64, to_signed
+from .block import TranslatedBlock
+from .config import VliwConfig
+from .isa import Condition, VliwOpcode
+
+# ---------------------------------------------------------------------------
+# Opcode ordinals of the finalized form.  ALU is split by operand kind so
+# the executor needs no per-issue "is src2 a register?" test.  Writing
+# ops fold the scoreboard destination into ``dest``: ``VliwOp`` semantics
+# make the register write and the ready-time update share the same
+# "dest is a real register" condition.
+# ---------------------------------------------------------------------------
+
+ORD_ALU_RR = 0    # (ord, fn, dest, latency)             result = fn(v1, v2)
+ORD_ALU_RI = 1    # (ord, fn, dest, imm_masked, latency) result = fn(v1, imm)
+ORD_LI = 2        # (ord, dest, imm_masked, latency)
+ORD_MOV = 3       # (ord, dest, latency)                 result = v1
+ORD_LOAD = 4      # (ord, dest, imm, width, signed, spec, tag, origin)
+ORD_STORE = 5     # (ord, imm, width, mcb_releases)      value = v2
+ORD_CFLUSH = 6    # (ord, imm)
+ORD_FENCE = 7     # (ord,)
+ORD_RDCYCLE = 8   # (ord, dest, latency)
+ORD_RDINSTRET = 9  # (ord, dest, latency)
+ORD_BRANCH = 10   # (ord, cond_fn, target, guest_insts)  taken = cond(v1, v2)
+ORD_JUMP = 11     # (ord, target)
+ORD_JUMPR = 12    # (ord, imm)                           target = v1 + imm
+ORD_SYSCALL = 13  # (ord, target_or_0)
+
+#: Branch condition -> predicate.  Mirrors the pipeline's table but is
+#: owned here so finalization does not import the pipeline (which
+#: imports us).
+CONDITION_EVAL = {
+    Condition.EQ: lambda a, b: a == b,
+    Condition.NE: lambda a, b: a != b,
+    Condition.LT: lambda a, b: to_signed(a) < to_signed(b),
+    Condition.GE: lambda a, b: to_signed(a) >= to_signed(b),
+    Condition.LTU: lambda a, b: a < b,
+    Condition.GEU: lambda a, b: a >= b,
+}
+
+
+class FinalizedBlock:
+    """Flattened, pre-decoded executable form of one translated block.
+
+    Consumed directly by ``VliwCore._run_fast``; immutable after
+    construction.
+    """
+
+    __slots__ = ("block", "bundles", "guest_entry", "guest_length",
+                 "recovery", "config")
+
+    def __init__(self, block: TranslatedBlock, config: VliwConfig):
+        self.block = block
+        self.config = config
+        self.guest_entry = block.guest_entry
+        self.guest_length = block.guest_length
+        self.bundles: Tuple[tuple, ...] = tuple(
+            _finalize_bundle(bundle, config) for bundle in block.bundles
+        )
+        #: Recovery variant, finalized eagerly so a rollback never pays a
+        #: finalization hiccup mid-experiment.
+        self.recovery: Optional["FinalizedBlock"] = (
+            finalize_block(block.recovery, config)
+            if block.recovery is not None else None
+        )
+
+
+def _finalize_bundle(bundle, config: VliwConfig) -> tuple:
+    """Lower one bundle into the executor's flat tuple form."""
+    dops: List[tuple] = []
+    reads: List[int] = []
+    stall_sources: List[int] = []
+    serialize = False
+    latencies = config.latencies
+    for op in bundle:
+        reads.append(op.src1 or 0)
+        reads.append(op.src2 or 0)
+        for src in op.sources():
+            if src != 0 and src not in stall_sources:
+                stall_sources.append(src)
+        if op.opcode in (VliwOpcode.RDCYCLE, VliwOpcode.FENCE):
+            serialize = True
+        dops.append(_finalize_op(op, latencies))
+    return (tuple(dops), tuple(reads), tuple(stall_sources), serialize,
+            len(dops), bundle)
+
+
+def _finalize_op(op, latencies) -> tuple:
+    opcode = op.opcode
+    if opcode is VliwOpcode.ALU:
+        fn = OPERATIONS[op.alu_op]
+        latency = latencies[op.unit]
+        if op.src2 is not None:
+            return (ORD_ALU_RR, fn, op.dest, latency)
+        return (ORD_ALU_RI, fn, op.dest, op.imm & MASK64, latency)
+    if opcode is VliwOpcode.LI:
+        return (ORD_LI, op.dest, op.imm & MASK64, latencies[op.unit])
+    if opcode is VliwOpcode.MOV:
+        return (ORD_MOV, op.dest, latencies[op.unit])
+    if opcode is VliwOpcode.LOAD:
+        return (ORD_LOAD, op.dest, op.imm, op.width, op.signed,
+                op.speculative, op.spec_tag, op.origin or 0)
+    if opcode is VliwOpcode.STORE:
+        return (ORD_STORE, op.imm, op.width, op.mcb_releases)
+    if opcode is VliwOpcode.CFLUSH:
+        return (ORD_CFLUSH, op.imm)
+    if opcode is VliwOpcode.FENCE:
+        return (ORD_FENCE,)
+    if opcode is VliwOpcode.RDCYCLE:
+        return (ORD_RDCYCLE, op.dest, latencies[op.unit])
+    if opcode is VliwOpcode.RDINSTRET:
+        return (ORD_RDINSTRET, op.dest, latencies[op.unit])
+    if opcode is VliwOpcode.BRANCH:
+        return (ORD_BRANCH, CONDITION_EVAL[op.condition], op.target,
+                (op.origin or 0) + 1)
+    if opcode is VliwOpcode.JUMP:
+        return (ORD_JUMP, op.target)
+    if opcode is VliwOpcode.JUMPR:
+        return (ORD_JUMPR, op.imm)
+    if opcode is VliwOpcode.SYSCALL:
+        return (ORD_SYSCALL, op.target if op.target is not None else 0)
+    raise ValueError("unhandled opcode during finalization: %r" % opcode)
+
+
+def finalize_block(block: TranslatedBlock, config: VliwConfig) -> FinalizedBlock:
+    """Return the finalized form of ``block`` for ``config``, cached.
+
+    The finalized form is memoized on the block itself (keyed by config
+    identity), so the translation cache can finalize at install time and
+    the core still transparently finalizes blocks handed to it directly
+    (unit tests, ad-hoc harnesses) on first execution.
+    """
+    cached = getattr(block, "_finalized", None)
+    if cached is not None and cached.config is config:
+        return cached
+    finalized = FinalizedBlock(block, config)
+    block._finalized = finalized
+    return finalized

@@ -65,7 +65,7 @@ _NEGATION = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VliwOp:
     """One VLIW operation.
 

@@ -15,11 +15,27 @@ Timing model (bundle-level, cycle-accurate in the sense the paper needs):
 * an MCB conflict costs ``rollback_penalty`` cycles, undoes this block's
   stores and register writes, then runs the block's recovery variant —
   while the data cache keeps every line speculation touched (the leak).
+
+Two interpreters implement this model:
+
+* ``_run_fast`` (the default) executes the pre-decoded
+  :class:`~repro.vliw.fastpath.FinalizedBlock` form — flat tuples, an
+  integer-ordinal dispatch table, hoisted locals — several times faster
+  on the host;
+* ``_run_reference`` is the original per-``VliwOp`` interpreter, kept
+  verbatim as the semantic reference.
+
+Both must be **bit-identical** in every observable (cycles, stalls,
+rollbacks, architectural state, attack outcomes); the differential test
+in ``tests/platform/test_fastpath_differential.py`` enforces it.  Select
+the reference with ``core.use_fast_path = False`` or the environment
+variable ``REPRO_INTERP=reference``.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -29,6 +45,7 @@ from ..mem.hierarchy import DataMemorySystem
 from ..obs.observer import Observer
 from .block import TranslatedBlock
 from .config import VliwConfig
+from .fastpath import FinalizedBlock, finalize_block
 from .isa import Condition, VliwOp, VliwOpcode
 from .mcb import MemoryConflictBuffer
 from .regfile import VliwRegisterFile
@@ -80,7 +97,7 @@ class CoreStats:
         self.blocks_executed = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded pipeline event (when tracing is enabled)."""
 
@@ -96,15 +113,27 @@ class ExecutionTrace:
     Attach via ``core.tracer = ExecutionTrace()``; every issued bundle,
     taken exit and rollback is recorded (up to ``limit`` events, then
     recording stops — traces are a debugging aid, not a profiler).
+
+    ``saturated`` flips to True once the limit is reached; hot callers
+    check it *before* formatting a detail string, so a full trace buffer
+    stops costing anything beyond one attribute load.
     """
+
+    __slots__ = ("limit", "events", "saturated")
 
     def __init__(self, limit: int = 10_000):
         self.limit = limit
         self.events: List[TraceEvent] = []
+        #: True once the buffer is full and further records are dropped.
+        self.saturated = limit <= 0
 
     def record(self, cycle: int, kind: str, detail: str, block_entry: int) -> None:
         if len(self.events) < self.limit:
             self.events.append(TraceEvent(cycle, kind, detail, block_entry))
+            if len(self.events) >= self.limit:
+                self.saturated = True
+        else:
+            self.saturated = True
 
     def render(self, limit: Optional[int] = None) -> str:
         rows = self.events if limit is None else self.events[:limit]
@@ -126,6 +155,12 @@ _CONDITION_EVAL: Dict[Condition, Callable[[int, int], bool]] = {
     Condition.LTU: lambda a, b: a < b,
     Condition.GEU: lambda a, b: a >= b,
 }
+
+
+def _default_use_fast_path() -> bool:
+    """Interpreter selection: ``REPRO_INTERP=reference`` forces the seed
+    interpreter (differential testing, baseline measurements)."""
+    return os.environ.get("REPRO_INTERP", "fast") != "reference"
 
 
 class VliwCore:
@@ -152,8 +187,12 @@ class VliwCore:
         #: guarded by one ``is not None`` check and never touches
         #: ``self.cycle``, so the disabled path cannot perturb timing.
         self.observer: Optional[Observer] = None
+        #: Which interpreter executes blocks (see module docstring).
+        self.use_fast_path = _default_use_fast_path()
         #: Scoreboard: physical register -> cycle its value is ready.
         self._ready: Dict[int, int] = {}
+        #: Hoisted unit-latency table (shared dict on the frozen config).
+        self._latencies = self.config.latencies
 
     # ------------------------------------------------------------------
     # Public execution API.
@@ -173,7 +212,7 @@ class VliwCore:
             self.mcb.clear()
             self.stats.rollbacks += 1
             self.cycle += self.config.rollback_penalty
-            if self.tracer is not None:
+            if self.tracer is not None and not self.tracer.saturated:
                 self.tracer.record(
                     self.cycle, "rollback",
                     "MCB conflict in block %#x" % block.guest_entry,
@@ -197,15 +236,202 @@ class VliwCore:
         return result
 
     # ------------------------------------------------------------------
-    # Core loop.
+    # Interpreter dispatch.
     # ------------------------------------------------------------------
 
     def _run(self, block: TranslatedBlock,
              store_log: Optional[List[Tuple[int, bytes]]]) -> BlockResult:
+        if self.use_fast_path:
+            return self._run_fast(finalize_block(block, self.config), store_log)
+        return self._run_reference(block, store_log)
+
+    # ------------------------------------------------------------------
+    # Fast path: executes the pre-decoded FinalizedBlock form.
+    # ------------------------------------------------------------------
+
+    def _run_fast(self, fblock: FinalizedBlock,
+                  store_log: Optional[List[Tuple[int, bytes]]]) -> BlockResult:
+        start_cycle = self.cycle
+        cycle = start_cycle
+        # Hoisted hot state.  ``regs_list`` is safe to cache: the register
+        # file only rebinds ``_regs`` in ``restore()``, which the platform
+        # never calls while a block is in flight.
+        regs_list = self.regs._regs
+        memory = self.memory
+        cache_access = memory.cache.access
+        mem_load_int = memory.memory.load_int
+        mem_store_int = memory.memory.store_int
+        mem_load_bytes = memory.memory.load_bytes
+        flush_line = memory.flush_line
+        mcb_record = self.mcb.record_load
+        mcb_check = self.mcb.check_store
+        mcb_release = self.mcb.release
+        observer = self.observer
+        tracer = self.tracer
+        ready = self._ready
+        ready_get = ready.get
+        guest_entry = fblock.guest_entry
+        exit_cost = self.config.exit_penalty + 1
+        bundles_c = ops_c = stall_c = exits_c = 0
+        exit_pc = 0
+        exit_reason: Optional[ExitReason] = None
+        exit_ginsts = 0
+        try:
+            for dops, reads, stall_sources, serialize, nops, bundle in fblock.bundles:
+                # In-order issue: stall until every source is ready;
+                # serializing bundles additionally drain the scoreboard.
+                issue = cycle
+                for src in stall_sources:
+                    t = ready_get(src)
+                    if t is not None and t > issue:
+                        issue = t
+                if serialize and ready:
+                    t = max(ready.values())
+                    if t > issue:
+                        issue = t
+                stall_c += issue - cycle
+                bundles_c += 1
+                ops_c += nops
+                if tracer is not None and not tracer.saturated:
+                    tracer.record(issue, "issue", bundle.describe(), guest_entry)
+
+                # VLIW read phase: all sources sampled before any write.
+                vals = [regs_list[r] for r in reads]
+
+                base = 0
+                for d in dops:
+                    o = d[0]
+                    v1 = vals[base]
+                    v2 = vals[base + 1]
+                    base += 2
+                    if o == 0:  # ALU reg-reg
+                        dest = d[2]
+                        if dest:
+                            regs_list[dest] = d[1](v1, v2) & MASK64
+                            ready[dest] = issue + d[3]
+                    elif o == 1:  # ALU reg-imm
+                        dest = d[2]
+                        if dest:
+                            regs_list[dest] = d[1](v1, d[3]) & MASK64
+                            ready[dest] = issue + d[4]
+                    elif o == 2:  # LI
+                        dest = d[1]
+                        if dest:
+                            regs_list[dest] = d[2]
+                            ready[dest] = issue + d[3]
+                    elif o == 3:  # MOV
+                        dest = d[1]
+                        if dest:
+                            regs_list[dest] = v1
+                            ready[dest] = issue + d[2]
+                    elif o == 4:  # LOAD
+                        address = (v1 + d[2]) & MASK64
+                        width = d[3]
+                        hit, latency = cache_access(address, width)
+                        value = mem_load_int(address, width, d[4])
+                        if observer is not None:
+                            observer.load_access(address, hit, latency,
+                                                 d[5], issue)
+                        dest = d[1]
+                        if dest:
+                            regs_list[dest] = value & MASK64
+                            ready[dest] = issue + latency
+                        if d[5]:  # MCB-speculative
+                            if not mcb_record(address, width, dest, d[7],
+                                              tag=d[6]):
+                                raise _RollbackSignal()
+                    elif o == 5:  # STORE
+                        address = (v1 + d[1]) & MASK64
+                        width = d[2]
+                        if mcb_check(address, width) is not None:
+                            # Conflict: the speculative load was stale.
+                            raise _RollbackSignal()
+                        for tag in d[3]:
+                            mcb_release(tag)
+                        if store_log is not None:
+                            store_log.append(
+                                (address, mem_load_bytes(address, width)))
+                        cache_access(address, width)
+                        mem_store_int(address, v2, width)
+                    elif o == 10:  # BRANCH
+                        if d[1](v1, v2):
+                            exits_c += 1
+                            cycle = issue + exit_cost
+                            exit_pc = d[2]
+                            exit_reason = ExitReason.BRANCH
+                            exit_ginsts = d[3]
+                    elif o == 8:  # RDCYCLE
+                        dest = d[1]
+                        if dest:
+                            regs_list[dest] = issue & MASK64
+                            ready[dest] = issue + d[2]
+                    elif o == 6:  # CFLUSH
+                        address = (v1 + d[1]) & MASK64
+                        flush_line(address)
+                        if observer is not None:
+                            observer.cflush(address, issue)
+                    elif o == 11:  # JUMP
+                        cycle = issue + 1
+                        exit_pc = d[1]
+                        exit_reason = ExitReason.JUMP
+                        exit_ginsts = fblock.guest_length
+                    elif o == 12:  # JUMPR
+                        cycle = issue + exit_cost
+                        exit_pc = (v1 + d[1]) & MASK64 & ~1
+                        exit_reason = ExitReason.INDIRECT
+                        exit_ginsts = fblock.guest_length
+                    elif o == 13:  # SYSCALL
+                        cycle = issue + 1
+                        exit_pc = d[1]
+                        exit_reason = ExitReason.SYSCALL
+                        exit_ginsts = fblock.guest_length
+                    elif o == 9:  # RDINSTRET
+                        dest = d[1]
+                        if dest:
+                            regs_list[dest] = self.instret & MASK64
+                            ready[dest] = issue + d[2]
+                    elif o == 7:  # FENCE: serialisation handled at issue.
+                        pass
+                    else:  # pragma: no cover
+                        raise VliwExecutionError(
+                            "unhandled finalized ordinal: %r" % (o,))
+
+                if exit_reason is not None:
+                    return BlockResult(
+                        next_pc=exit_pc,
+                        reason=exit_reason,
+                        cycles=cycle - start_cycle,
+                        guest_instructions=exit_ginsts,
+                    )
+                cycle = issue + 1
+        finally:
+            # Commit hoisted state even when a rollback signal (or a
+            # platform error) unwinds mid-block, exactly mirroring the
+            # reference interpreter's incremental updates.
+            self.cycle = cycle
+            stats = self.stats
+            stats.bundles += bundles_c
+            stats.ops += ops_c
+            stats.stall_cycles += stall_c
+            stats.exits_taken += exits_c
+
+        raise VliwExecutionError(
+            "translated block %#x fell off the end without an exit"
+            % fblock.guest_entry
+        )
+
+    # ------------------------------------------------------------------
+    # Reference interpreter (the seed implementation, kept verbatim as
+    # the semantic baseline for the differential tests and benchmarks).
+    # ------------------------------------------------------------------
+
+    def _run_reference(self, block: TranslatedBlock,
+                       store_log: Optional[List[Tuple[int, bytes]]]) -> BlockResult:
         start_cycle = self.cycle
         regs = self.regs
         memory = self.memory
         observer = self.observer
+        stats = self.stats
         # The scoreboard persists across blocks: a load issued at the end
         # of one block still stalls its first use in the next.
         ready = self._ready
@@ -221,10 +447,10 @@ class VliwCore:
                     # Serialising: drain all pending results.
                     if ready:
                         issue = max(issue, max(ready.values()))
-            self.stats.stall_cycles += issue - self.cycle
-            self.stats.bundles += 1
-            self.stats.ops += len(bundle)
-            if self.tracer is not None:
+            stats.stall_cycles += issue - self.cycle
+            stats.bundles += 1
+            stats.ops += len(bundle)
+            if self.tracer is not None and not self.tracer.saturated:
                 self.tracer.record(
                     issue, "issue", bundle.describe(), block.guest_entry,
                 )
@@ -293,7 +519,7 @@ class VliwCore:
                     self._mark_ready(op, issue)
                 elif opcode is VliwOpcode.BRANCH:
                     if _CONDITION_EVAL[op.condition](value1, value2):
-                        self.stats.exits_taken += 1
+                        stats.exits_taken += 1
                         self.cycle = issue + 1 + self.config.exit_penalty
                         exit_result = BlockResult(
                             next_pc=op.target,
@@ -340,7 +566,7 @@ class VliwCore:
     def _mark_ready(self, op: VliwOp, issue: int) -> None:
         dest = op.destination()
         if dest is not None:
-            self._ready[dest] = issue + self.config.latencies[op.unit]
+            self._ready[dest] = issue + self._latencies[op.unit]
 
     # ------------------------------------------------------------------
     # Rollback.

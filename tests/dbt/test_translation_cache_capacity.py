@@ -1,0 +1,86 @@
+"""Translation-cache capacity behaviour and the install-time finalizer.
+
+The cache models a fixed code-cache memory: overflowing ``capacity``
+flushes the *whole* cache (production DBTs avoid partial-eviction
+bookkeeping), evicted blocks retranslate and re-install, and optimized
+superblocks replace first-pass translations in place.
+"""
+
+import pytest
+
+from repro.dbt.translation_cache import TranslationCache
+from repro.vliw.bundle import make_bundle
+from repro.vliw.config import VliwConfig
+from repro.vliw.fastpath import finalize_block
+from repro.vliw.isa import VliwOp, VliwOpcode
+
+
+def _block(entry: int, kind: str = "firstpass"):
+    from repro.vliw.block import TranslatedBlock
+
+    config = VliwConfig()
+    bundle = make_bundle(
+        [VliwOp(opcode=VliwOpcode.JUMP, target=entry + 4)], config)
+    return TranslatedBlock(guest_entry=entry, bundles=(bundle,),
+                           guest_length=1, kind=kind)
+
+
+def test_capacity_overflow_flushes_everything():
+    cache = TranslationCache(capacity=2)
+    first, second, third = _block(0x100), _block(0x200), _block(0x300)
+    cache.install(first)
+    cache.install(second)
+    assert len(cache) == 2
+    cache.install(third)  # over capacity: wholesale flush, then install
+    assert len(cache) == 1
+    assert cache.get(0x300) is third
+    assert cache.get(0x100) is None and cache.get(0x200) is None
+    assert cache.stats.capacity_flushes == 1
+    assert cache.stats.installs == 3
+
+
+def test_evicted_block_can_be_reinstalled():
+    cache = TranslationCache(capacity=1)
+    first = _block(0x100)
+    cache.install(first)
+    cache.install(_block(0x200))  # evicts 0x100
+    assert 0x100 not in cache
+    retranslated = _block(0x100)
+    cache.install(retranslated)  # second flush (capacity=1), re-install
+    assert cache.get(0x100) is retranslated
+    assert cache.stats.capacity_flushes == 2
+    # Re-installation after eviction is an install, not a replacement.
+    assert cache.stats.replacements == 0
+
+
+def test_optimized_replaces_firstpass_without_flush():
+    cache = TranslationCache(capacity=2)
+    cache.install(_block(0x100))
+    cache.install(_block(0x200))
+    optimized = _block(0x100, kind="optimized")
+    cache.install(optimized)  # same entry: replacement, no capacity event
+    assert len(cache) == 2
+    assert cache.get(0x100) is optimized
+    assert cache.stats.replacements == 1
+    assert cache.stats.capacity_flushes == 0
+    reoptimized = _block(0x100, kind="reoptimized")
+    cache.install(reoptimized)
+    assert cache.get(0x100) is reoptimized
+    assert cache.stats.replacements == 2
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TranslationCache(capacity=0)
+
+
+def test_finalizer_runs_at_install_time():
+    config = VliwConfig()
+    cache = TranslationCache(
+        capacity=1, finalizer=lambda b: finalize_block(b, config))
+    block = _block(0x100)
+    cache.install(block)
+    # The block was pre-decoded during install, not on first execution.
+    finalized = block._finalized
+    assert finalized is not None
+    assert finalize_block(block, config) is finalized  # memoized

@@ -1,0 +1,97 @@
+"""Parallel sweep runner: determinism, memoization, key stability.
+
+The ordering guarantee under test is the one ``repro sweep --jobs N``
+advertises: a parallel sweep emits exactly the same JSON/CSV rows as a
+serial one, because results are assembled in submission order rather
+than completion order.
+"""
+
+import pytest
+
+import repro.platform.parallel as parallel
+from repro.dbt.engine import DbtEngineConfig
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.comparison import comparison_csv, comparison_json
+from repro.platform.parallel import (
+    sweep_comparisons,
+    sweep_point_key,
+)
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+from repro.vliw.config import VliwConfig, wide_config
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [(name, build_kernel_program(SMALL_SIZES[name]()))
+            for name in ("gemm", "atax")]
+
+
+def test_parallel_rows_identical_to_serial(workloads):
+    serial = sweep_comparisons(workloads, jobs=1)
+    fanned = sweep_comparisons(workloads, jobs=2)
+    assert comparison_json(serial) == comparison_json(fanned)
+    assert comparison_csv(serial) == comparison_csv(fanned)
+
+
+def test_workload_order_preserved(workloads):
+    comparisons = sweep_comparisons(workloads, jobs=2)
+    assert [c.workload for c in comparisons] == [n for n, _ in workloads]
+    for comparison in comparisons:
+        assert list(comparison.results) == [p.label for p in ALL_POLICIES]
+
+
+def test_memo_cache_round_trip(tmp_path, workloads):
+    first = sweep_comparisons(workloads, cache_dir=tmp_path)
+    entries = list(tmp_path.glob("*.json"))
+    assert len(entries) == len(workloads) * len(ALL_POLICIES)
+    cached = sweep_comparisons(workloads, cache_dir=tmp_path)
+    assert comparison_json(first) == comparison_json(cached)
+
+
+def test_memo_cache_skips_simulation(tmp_path, workloads, monkeypatch):
+    sweep_comparisons(workloads, cache_dir=tmp_path)
+
+    def explode(*args, **kwargs):
+        raise AssertionError("cache hit should not re-simulate")
+
+    monkeypatch.setattr(parallel, "run_sweep_point", explode)
+    sweep_comparisons(workloads, cache_dir=tmp_path)  # all hits
+    with pytest.raises(AssertionError):
+        sweep_comparisons(workloads)  # no cache -> must simulate
+
+
+def test_corrupt_cache_entry_recomputed(tmp_path, workloads):
+    baseline = sweep_comparisons(workloads, cache_dir=tmp_path)
+    for entry in tmp_path.glob("*.json"):
+        entry.write_text("{not json")
+    recomputed = sweep_comparisons(workloads, cache_dir=tmp_path)
+    assert comparison_json(baseline) == comparison_json(recomputed)
+
+
+def test_sweep_point_key_sensitivity(workloads):
+    _name, program = workloads[0]
+    base = sweep_point_key(program, MitigationPolicy.UNSAFE)
+    assert base == sweep_point_key(program, MitigationPolicy.UNSAFE)
+    assert base != sweep_point_key(program, MitigationPolicy.GHOSTBUSTERS)
+    assert base != sweep_point_key(program, MitigationPolicy.UNSAFE,
+                                   vliw_config=wide_config(8))
+    assert base != sweep_point_key(
+        program, MitigationPolicy.UNSAFE,
+        engine_config=DbtEngineConfig(hot_threshold=2))
+    assert base != sweep_point_key(program, MitigationPolicy.UNSAFE,
+                                   interpreter="reference")
+    # Default configs fingerprint identically to explicit defaults.
+    assert base == sweep_point_key(program, MitigationPolicy.UNSAFE,
+                                   vliw_config=VliwConfig(),
+                                   engine_config=DbtEngineConfig())
+
+
+def test_jobs_must_be_positive(workloads):
+    with pytest.raises(ValueError):
+        sweep_comparisons(workloads, jobs=0)
+
+
+def test_expected_exit_code_enforced(workloads):
+    name, _program = workloads[0]
+    with pytest.raises(AssertionError):
+        sweep_comparisons(workloads, expect_exit_codes={name: -12345})

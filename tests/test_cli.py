@@ -97,9 +97,30 @@ def test_attack_subcommand_single_policy(capsys):
     assert "blocked" in out
 
 
+def test_attack_jobs_output_matches_serial(capsys):
+    # All four policies, so --jobs 2 really goes through the pool.
+    assert main(["attack", "v1", "--secret", "Z", "--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["attack", "v1", "--secret", "Z", "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+    assert "LEAKED" in serial
+
+
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_parser_knows_jobs_and_bench_host():
+    parser = build_parser()
+    sweep = parser.parse_args(["sweep", "--jobs", "4",
+                               "--cache-dir", "/tmp/cache"])
+    assert sweep.jobs == 4 and sweep.cache_dir == "/tmp/cache"
+    attack = parser.parse_args(["attack", "v1", "--jobs", "2"])
+    assert attack.jobs == 2
+    bench = parser.parse_args(["bench-host", "--quick", "--skip-sweep"])
+    assert bench.quick and bench.skip_sweep
+    assert bench.out.endswith("BENCH_host.json")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,171 @@
+"""Unit tests for the block-finalization fast path.
+
+Finalization happens once per (block, config) at translation-cache
+install time; these tests pin down the lowering itself — ordinal
+dispatch tables, memoization, recovery handling — plus the satellite
+micro-optimisations (``__slots__`` dataclasses, trace saturation).
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.mem.hierarchy import AccessResult
+from repro.platform.system import DbtSystem
+from repro.vliw.bundle import make_bundle
+from repro.vliw.block import TranslatedBlock
+from repro.vliw.config import VliwConfig, wide_config
+from repro.vliw.fastpath import (
+    ORD_ALU_RI,
+    ORD_ALU_RR,
+    ORD_BRANCH,
+    ORD_JUMP,
+    ORD_LOAD,
+    ORD_STORE,
+    FinalizedBlock,
+    finalize_block,
+)
+from repro.vliw.isa import Condition, VliwOp, VliwOpcode
+from repro.vliw.pipeline import ExecutionTrace, TraceEvent
+
+
+def _block(ops_per_bundle, entry=0x100, recovery=None):
+    config = VliwConfig()
+    bundles = tuple(make_bundle(ops, config) for ops in ops_per_bundle)
+    return TranslatedBlock(guest_entry=entry, bundles=bundles,
+                           guest_length=len(ops_per_bundle),
+                           recovery=recovery)
+
+
+def test_finalize_is_memoized_per_config():
+    config = VliwConfig()
+    block = _block([[VliwOp(opcode=VliwOpcode.JUMP, target=0x104)]])
+    first = finalize_block(block, config)
+    assert isinstance(first, FinalizedBlock)
+    assert finalize_block(block, config) is first
+    # A different config object invalidates the memo.
+    other = finalize_block(block, wide_config(8))
+    assert other is not first
+
+
+def test_alu_ops_split_by_operand_kind():
+    block = _block([[
+        VliwOp(opcode=VliwOpcode.ALU, alu_op="add", dest=5, src1=6, src2=7),
+        VliwOp(opcode=VliwOpcode.ALU, alu_op="add", dest=8, src1=6, imm=3),
+    ], [VliwOp(opcode=VliwOpcode.JUMP, target=0x108)]])
+    finalized = finalize_block(block, VliwConfig())
+    dops = finalized.bundles[0][0]
+    assert dops[0][0] == ORD_ALU_RR
+    assert dops[1][0] == ORD_ALU_RI
+    jump = finalized.bundles[1][0][0]
+    assert jump[0] == ORD_JUMP and jump[1] == 0x108
+
+
+def test_reads_normalize_missing_sources_to_x0():
+    block = _block([[
+        VliwOp(opcode=VliwOpcode.STORE, src1=5, src2=None, imm=8),
+        VliwOp(opcode=VliwOpcode.BRANCH, condition=Condition.EQ,
+               src1=6, target=0x200),
+    ]])
+    finalized = finalize_block(block, VliwConfig())
+    dops, reads, stall_sources = finalized.bundles[0][:3]
+    assert dops[0][0] == ORD_STORE and dops[1][0] == ORD_BRANCH
+    # Missing src2 reads register 0 (always zero), exactly like the
+    # reference interpreter's ``else 0``.  The tuple is flat: (src1,
+    # src2) per op, in bundle order.
+    assert reads == (5, 0, 6, 0)
+    assert set(stall_sources) == {5, 6}  # deduped, zero dropped
+
+
+def test_speculative_load_metadata_survives_lowering():
+    block = _block([[
+        VliwOp(opcode=VliwOpcode.LOAD, dest=9, src1=5, imm=16, width=4,
+               signed=False, speculative=True, spec_tag=3),
+    ], [VliwOp(opcode=VliwOpcode.JUMP, target=0x108)]])
+    finalized = finalize_block(block, VliwConfig())
+    load = finalized.bundles[0][0][0]
+    assert load[0] == ORD_LOAD
+    assert load[1:6] == (9, 16, 4, False, True)
+    assert load[6] == 3  # MCB tag
+
+
+def test_recovery_block_finalized_eagerly():
+    recovery = _block([[VliwOp(opcode=VliwOpcode.JUMP, target=0x104)]])
+    block = _block([[VliwOp(opcode=VliwOpcode.JUMP, target=0x104)]],
+                   recovery=recovery)
+    finalized = finalize_block(block, VliwConfig())
+    assert finalized.recovery is not None
+    assert finalized.recovery.block is recovery
+
+
+def test_engine_finalizes_at_install_time():
+    program = assemble("""
+_start:
+    li a0, 7
+    li a7, 93
+    ecall
+""")
+    system = DbtSystem(program)
+    result = system.run()
+    assert result.exit_code == 7
+    for block in system.engine.cache.blocks():
+        assert getattr(block, "_finalized", None) is not None
+
+
+def test_fast_path_defaults_on_and_reference_opt_out(monkeypatch):
+    program = assemble("""
+_start:
+    li a0, 3
+    li a7, 93
+    ecall
+""")
+    assert DbtSystem(program).core.use_fast_path is True
+    assert DbtSystem(program, interpreter="reference").core.use_fast_path \
+        is False
+    monkeypatch.setenv("REPRO_INTERP", "reference")
+    assert DbtSystem(program).core.use_fast_path is False
+
+
+# ---------------------------------------------------------------------------
+# Satellite micro-optimisations.
+# ---------------------------------------------------------------------------
+
+def test_slots_dataclasses_have_no_dict():
+    op = VliwOp(opcode=VliwOpcode.JUMP, target=4)
+    event = TraceEvent(cycle=0, kind="issue", detail="", block_entry=0)
+    access = AccessResult(value=0, hit=True, latency=1)
+    for instance in (op, event, access):
+        with pytest.raises(AttributeError):
+            instance.__dict__
+
+
+def test_trace_saturation_flag():
+    trace = ExecutionTrace(limit=2)
+    assert trace.saturated is False
+    trace.record(0, "issue", "a", 0)
+    assert trace.saturated is False
+    trace.record(1, "issue", "b", 0)
+    assert trace.saturated is True
+    trace.record(2, "issue", "c", 0)  # dropped
+    assert len(trace.events) == 2
+    assert ExecutionTrace(limit=0).saturated is True
+
+
+def test_saturated_trace_stops_recording_but_core_keeps_counting():
+    program = assemble("""
+_start:
+    li t0, 0
+    li t1, 20
+head:
+    addi t0, t0, 1
+    blt t0, t1, head
+    mv a0, t0
+    li a7, 93
+    ecall
+""")
+    system = DbtSystem(program)
+    system.core.tracer = ExecutionTrace(limit=5)
+    result = system.run()
+    assert result.exit_code == 20
+    assert system.core.tracer.saturated is True
+    assert len(system.core.tracer.events) == 5
+    assert result.core.bundles > 5  # execution continued past the limit
