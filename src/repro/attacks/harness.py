@@ -14,6 +14,7 @@ from typing import Dict, Sequence
 from ..isa.program import Program
 from ..platform.metrics import SystemRunResult
 from ..platform.system import DbtSystem
+from ..resilience.faults import apply_worker_fault
 from ..security.policy import ALL_POLICIES, MitigationPolicy
 from . import spectre_v1, spectre_v4
 
@@ -76,8 +77,10 @@ def run_attack(
     secret: bytes = spectre_v1.DEFAULT_SECRET,
     vliw_config=None,
     interpreter=None,
+    fault=None,
 ) -> AttackResult:
     """Run one PoC under one policy and score the recovered bytes."""
+    apply_worker_fault(fault)
     program = build_attack_program(variant, secret)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
                        interpreter=interpreter)
@@ -95,33 +98,41 @@ def attack_matrix(
     variants: Sequence[AttackVariant] = tuple(AttackVariant),
     jobs: int = 1,
     interpreter=None,
+    timeout=None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    telemetry=None,
+    worker_faults=None,
 ) -> Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]]:
     """The Section V-A result matrix: variant x policy -> outcome.
 
     Every cell is an independent simulation, so ``jobs > 1`` fans the
-    grid out over a process pool.  Results are gathered in submission
-    order (variants outermost, policies innermost), so the returned
-    matrix is identical to the serial one.
+    grid out over the hardened runner
+    (:func:`repro.platform.parallel.run_points` — per-point ``timeout``,
+    crash detection, ``retries`` with ``backoff``, serial fallback, and
+    a :class:`~repro.platform.parallel.ParallelRunError` failure table
+    when cells still fail).  Results are gathered in submission order
+    (variants outermost, policies innermost), so the returned matrix is
+    identical to the serial one.
     """
+    from ..platform.parallel import run_points
+
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     points = [(variant, policy) for variant in variants for policy in policies]
-    if jobs > 1 and len(points) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            outcomes = list(executor.map(
-                run_attack,
-                [variant for variant, _ in points],
-                [policy for _, policy in points],
-                [secret] * len(points),
-                [None] * len(points),
-                [interpreter] * len(points),
-            ))
-    else:
-        outcomes = [run_attack(variant, policy, secret,
-                               interpreter=interpreter)
-                    for variant, policy in points]
+    outcomes = run_points(
+        run_attack,
+        [(variant, policy, secret, None, interpreter)
+         for variant, policy in points],
+        labels=["%s/%s" % (variant.value, policy.value)
+                for variant, policy in points],
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        telemetry=telemetry,
+        worker_faults=worker_faults,
+    )
     matrix: Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]] = {}
     for (variant, policy), outcome in zip(points, outcomes):
         matrix.setdefault(variant, {})[policy] = outcome

@@ -40,6 +40,13 @@ Subcommands
     with the observability layer attached and print a per-policy cycle
     attribution table (stalls vs rollbacks vs pinned loads).  See
     docs/OBSERVABILITY.md.
+
+``chaos``
+    Run the resilience fault matrix: every named fault site injected
+    (seed-deterministic), detected, recovered, and the recovered run
+    verified bit-identical to a fault-free reference.  Exits nonzero if
+    any cell fails — CI gates on ``repro chaos --seed 0``.  See
+    docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -143,8 +150,14 @@ def cmd_run(args) -> int:
             print("output    : %r" % result.output)
         return 0
     observer = _make_observer(args)
+    supervisor = None
+    if args.supervise:
+        from .resilience import ExecutionSupervisor
+
+        supervisor = ExecutionSupervisor(observer=observer)
     system = DbtSystem(program, policy=args.policy,
-                       vliw_config=_vliw_config(args), observer=observer)
+                       vliw_config=_vliw_config(args), observer=observer,
+                       supervisor=supervisor)
     result = system.run()
     print("exit code : %d" % result.exit_code)
     if result.output:
@@ -169,6 +182,10 @@ def cmd_run(args) -> int:
             _write_text(args.prom_out, observer.registry.to_prometheus())
             if args.prom_out != "-":
                 print("metrics   : wrote %s (Prometheus text)" % args.prom_out)
+    if supervisor is not None:
+        print("supervisor:")
+        for line in supervisor.stats.summary().splitlines():
+            print("  " + line)
     return 0
 
 
@@ -199,16 +216,30 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _print_run_failures(error) -> None:
+    from .platform.parallel import failure_table
+
+    print("error: %s" % error, file=sys.stderr)
+    print(failure_table(error.failures), file=sys.stderr)
+
+
 def cmd_attack(args) -> int:
     from .attacks.harness import attack_matrix
+    from .platform.parallel import ParallelRunError
 
     variant = (AttackVariant.SPECTRE_V1 if args.variant == "v1"
                else AttackVariant.SPECTRE_V4)
     secret = args.secret.encode()
     policies = [args.policy] if args.policy else list(ALL_POLICIES)
     if args.jobs > 1 and len(policies) > 1:
-        matrix = attack_matrix(secret=secret, policies=policies,
-                               variants=(variant,), jobs=args.jobs)
+        try:
+            matrix = attack_matrix(secret=secret, policies=policies,
+                                   variants=(variant,), jobs=args.jobs,
+                                   timeout=args.timeout,
+                                   retries=args.retries)
+        except ParallelRunError as error:
+            _print_run_failures(error)
+            return 1
         results = [matrix[variant][policy] for policy in policies]
     else:
         results = [run_attack(variant, policy, secret=secret)
@@ -223,7 +254,11 @@ def cmd_attack(args) -> int:
 def cmd_sweep(args) -> int:
     from .kernels import SMALL_SIZES, POLYBENCH_SUITE, build_kernel_program
     from .platform.comparison import comparison_csv, comparison_json
-    from .platform.parallel import sweep_comparisons
+    from .platform.parallel import (
+        ParallelRunError,
+        RunnerTelemetry,
+        sweep_comparisons,
+    )
 
     suite = POLYBENCH_SUITE if args.full else SMALL_SIZES
     workloads = []
@@ -232,10 +267,20 @@ def cmd_sweep(args) -> int:
         program = build_kernel_program(factory())
         expected[name] = run_program(program).exit_code
         workloads.append((name, program))
-    comparisons = sweep_comparisons(
-        workloads, jobs=args.jobs, cache_dir=args.cache_dir,
-        expect_exit_codes=expected,
-    )
+    telemetry = RunnerTelemetry()
+    try:
+        comparisons = sweep_comparisons(
+            workloads, jobs=args.jobs, cache_dir=args.cache_dir,
+            expect_exit_codes=expected,
+            timeout=args.timeout, retries=args.retries,
+            checkpoint=args.resume, telemetry=telemetry,
+        )
+    except ParallelRunError as error:
+        _print_run_failures(error)
+        print("runner: %s" % telemetry.summary(), file=sys.stderr)
+        return 1
+    if telemetry.faults_survived or telemetry.checkpoint_hits:
+        print("runner: %s" % telemetry.summary(), file=sys.stderr)
     for name, _program in workloads:
         print("%-12s done" % name, file=sys.stderr)
     if args.json:
@@ -293,6 +338,23 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .resilience.chaos import format_chaos_table, run_chaos_matrix
+
+    outcomes = run_chaos_matrix(
+        seed=args.seed, kernel=args.kernel, jobs=args.jobs,
+        hang_timeout=args.hang_timeout,
+    )
+    print(format_chaos_table(outcomes))
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        print("\n%d of %d chaos cells FAILED" % (len(failed), len(outcomes)),
+              file=sys.stderr)
+        return 1
+    print("\nall %d chaos cells ok (seed %d)" % (len(outcomes), args.seed))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser.
 # ---------------------------------------------------------------------------
@@ -339,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--prom-out", metavar="FILE", default=None,
                             help="write the metrics registry in Prometheus "
                                  "text format ('-' for stdout)")
+    run_parser.add_argument(
+        "--supervise", action="store_true",
+        help="attach the execution supervisor (install-time schedule "
+             "gate, guarded execution, quarantine + degradation ladder) "
+             "and print its detection/recovery counters")
     add_policy(run_parser)
     add_wide(run_parser)
     run_parser.set_defaults(func=cmd_run)
@@ -368,6 +435,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the per-policy runs; results are "
              "gathered in submission order, so output is identical to "
              "--jobs 1 (default: 1)")
+    attack_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell timeout under --jobs; hung workers are reaped "
+             "and the cell retried (default: none)")
+    attack_parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="pool retry attempts for crashed/timed-out cells before "
+             "the serial fallback (default: %(default)s)")
     attack_parser.set_defaults(func=cmd_attack)
 
     sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
@@ -389,6 +464,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize sweep points on disk under DIR (keyed by program "
              "bytes + policy + machine config); re-runs only simulate "
              "changed points")
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point timeout under --jobs; hung workers are reaped "
+             "and the point retried (default: none)")
+    sweep_parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="pool retry attempts for crashed/timed-out points before "
+             "the serial fallback (default: %(default)s)")
+    sweep_parser.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="JSONL checkpoint: completed points are appended as they "
+             "land and replayed on the next run, so a killed sweep "
+             "resumes instead of starting over")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     bench_parser = sub.add_parser(
@@ -419,6 +507,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="single policy (default: all four)")
     add_wide(stats_parser)
     stats_parser.set_defaults(func=cmd_stats)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run the resilience fault matrix (inject, detect, recover, "
+             "verify bit-identical)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="fault-plan seed; the same seed "
+                                   "reproduces the same faults "
+                                   "(default: %(default)s)")
+    chaos_parser.add_argument("--kernel", default="atax",
+                              help="polybench kernel for the compute "
+                                   "scenarios (default: %(default)s)")
+    chaos_parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                              help="pool width for the runner-fault "
+                                   "scenarios (min 2; default: "
+                                   "%(default)s)")
+    chaos_parser.add_argument("--hang-timeout", type=float, default=8.0,
+                              metavar="SECONDS",
+                              help="per-point timeout the hung-worker "
+                                   "scenario must survive "
+                                   "(default: %(default)s)")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     return parser
 

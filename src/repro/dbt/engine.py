@@ -95,6 +95,12 @@ class DbtEngine:
         #: Optional :class:`~repro.obs.observer.Observer` (set by the
         #: platform); every hook is guarded by one ``is not None`` check.
         self.observer: Optional[Observer] = None
+        #: Optional :class:`~repro.resilience.supervisor.ExecutionSupervisor`
+        #: (set by the platform).  When present, optimized installs pass
+        #: through the legality gate and the translation cache is watched
+        #: for unexpected evictions; every hook is a single ``is not
+        #: None`` check, like the observer's.
+        self.supervisor = None
         #: Basic blocks backing each first-pass translation (profiling).
         self._basic_blocks: Dict[int, BasicBlock] = {}
         #: Poison reports per optimized entry (inspection / examples).
@@ -110,14 +116,22 @@ class DbtEngine:
         """Return the translation for ``pc``, first-pass translating on miss."""
         block = self.cache.lookup(pc)
         if block is None:
+            if self.supervisor is not None:
+                self.supervisor.note_lookup_miss(pc, self.cache)
             with maybe_phase(self.observer, "translate",
                              entry="%#x" % pc, kind="firstpass"):
                 block = self._translate_first_pass(pc)
             if self.observer is not None:
                 self.observer.emit("block_translated", entry="%#x" % pc,
                                    guest_instructions=block.guest_length)
-            self.cache.install(block)
+            self._install(block)
         return block
+
+    def _install(self, block: TranslatedBlock) -> None:
+        """Install ``block``, notifying the supervisor when one is wired."""
+        self.cache.install(block)
+        if self.supervisor is not None:
+            self.supervisor.post_install(block, self.cache)
 
     def _translate_first_pass(self, pc: int) -> TranslatedBlock:
         basic_block = discover_block(self.program, pc)
@@ -212,7 +226,7 @@ class DbtEngine:
             translated = schedule_block(ir, self.vliw_config, options,
                                         kind="reoptimized", observer=observer)
             self.stats.conflict_retranslations += 1
-            self.cache.install(translated)
+            self._install(translated)
         return translated
 
     # ------------------------------------------------------------------
@@ -270,6 +284,18 @@ class DbtEngine:
 
             translated = schedule_block(ir, self.vliw_config, options,
                                         observer=observer)
+            if self.supervisor is not None:
+                translated = self.supervisor.gate_schedule(
+                    entry, ir, translated, self.vliw_config,
+                    lambda: schedule_block(ir, self.vliw_config, options,
+                                           observer=observer),
+                    lambda: schedule_block(
+                        ir, self.vliw_config,
+                        SchedulerOptions(branch_speculation=False,
+                                         memory_speculation=False,
+                                         max_speculative_loads=0),
+                        observer=observer),
+                )
             if report is not None:
                 translated.spectre_patterns_found = report.pattern_count
                 self.stats.spectre_patterns_detected += report.pattern_count
@@ -281,7 +307,7 @@ class DbtEngine:
             if observer is not None and translated.speculative_loads:
                 observer.emit("spec_load_emitted", entry="%#x" % entry,
                               count=translated.speculative_loads)
-            self.cache.install(translated)
+            self._install(translated)
         return translated
 
     # ------------------------------------------------------------------

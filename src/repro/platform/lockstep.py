@@ -62,22 +62,36 @@ def lockstep_run(
     max_blocks: int = 200_000,
     memory_check_interval: int = 64,
     fault_injector: Optional[Callable[[DbtSystem, int], None]] = None,
+    supervisor=None,
 ) -> LockstepReport:
     """Run ``program`` in lockstep; stop at the first divergence.
 
     ``memory_check_interval`` bounds the cost of full-memory comparison:
     registers are compared at every block boundary, memory every N
-    blocks and at exit.
+    blocks and at exit.  When a ``supervisor`` is attached, every
+    divergence is also reported to it (which quarantines the offending
+    translation) before the report is returned.
     """
     system = DbtSystem(
         program, policy=policy, vliw_config=vliw_config,
-        engine_config=engine_config,
+        engine_config=engine_config, supervisor=supervisor,
     )
     interp = Interpreter(program)
     block_index = 0
 
+    last_entry = system.pc
+
+    def _diverged(pc: int, kind: str, details: List[str]) -> LockstepReport:
+        if supervisor is not None:
+            supervisor.note_divergence(
+                last_entry, system.engine.cache, detail=kind)
+        return LockstepReport(block_index, Divergence(
+            block_index, pc, kind, details,
+        ))
+
     while not system.exited and block_index < max_blocks:
         instret_before = system.core.instret
+        last_entry = system.pc
         system.step_block()
         block_index += 1
         retired = system.core.instret - instret_before
@@ -89,47 +103,33 @@ def lockstep_run(
             fault_injector(system, block_index)
 
         if system.exited != interp.exited:
-            return LockstepReport(block_index, Divergence(
-                block_index, system.pc, "exit",
-                ["platform exited: %s, interpreter exited: %s"
-                 % (system.exited, interp.exited)],
-            ))
+            return _diverged(system.pc, "exit",
+                             ["platform exited: %s, interpreter exited: %s"
+                              % (system.exited, interp.exited)])
         if not system.exited and system.pc != interp.state.pc:
-            return LockstepReport(block_index, Divergence(
-                block_index, system.pc, "pc",
-                ["platform pc %#x != interpreter pc %#x"
-                 % (system.pc, interp.state.pc)],
-            ))
+            return _diverged(system.pc, "pc",
+                             ["platform pc %#x != interpreter pc %#x"
+                              % (system.pc, interp.state.pc)])
         mismatches = _register_mismatches(system, interp)
         if mismatches:
-            return LockstepReport(block_index, Divergence(
-                block_index, system.pc, "registers", mismatches,
-            ))
+            return _diverged(system.pc, "registers", mismatches)
         if block_index % memory_check_interval == 0:
             detail = _memory_mismatch(system, interp)
             if detail is not None:
-                return LockstepReport(block_index, Divergence(
-                    block_index, system.pc, "memory", [detail],
-                ))
+                return _diverged(system.pc, "memory", [detail])
 
     if system.exited:
         if system.exit_code != interp.exit_code:
-            return LockstepReport(block_index, Divergence(
-                block_index, system.pc, "exit-code",
-                ["platform %d != interpreter %d"
-                 % (system.exit_code, interp.exit_code)],
-            ))
+            return _diverged(system.pc, "exit-code",
+                             ["platform %d != interpreter %d"
+                              % (system.exit_code, interp.exit_code)])
         if bytes(system.output) != bytes(interp.output):
-            return LockstepReport(block_index, Divergence(
-                block_index, system.pc, "output",
-                ["platform %r != interpreter %r"
-                 % (bytes(system.output), bytes(interp.output))],
-            ))
+            return _diverged(system.pc, "output",
+                             ["platform %r != interpreter %r"
+                              % (bytes(system.output), bytes(interp.output))])
         detail = _memory_mismatch(system, interp)
         if detail is not None:
-            return LockstepReport(block_index, Divergence(
-                block_index, system.pc, "memory", [detail],
-            ))
+            return _diverged(system.pc, "memory", [detail])
     return LockstepReport(block_index)
 
 

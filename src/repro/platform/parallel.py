@@ -1,4 +1,4 @@
-"""Parallel experiment runner with on-disk sweep-point memoization.
+"""Hardened parallel experiment runner with on-disk memoization.
 
 Every point of the reproduction's experiment grids — one
 (workload × policy × machine-config) simulation — is completely
@@ -7,8 +7,8 @@ a picklable :class:`~repro.isa.program.Program` and pure-value configs.
 That makes the grids embarrassingly parallel, and this module exploits
 it twice over:
 
-* ``sweep_comparisons`` fans the points of a Figure-4 style sweep out
-  over a ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` worker
+* :func:`run_points` fans independent points out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` worker
   processes; ``jobs=1`` stays in-process with byte-identical results —
   the ordering test in ``tests/platform/test_parallel_sweep.py`` holds
   the two paths to the same rows);
@@ -18,24 +18,54 @@ it twice over:
   simulated by an earlier run — re-running a sweep after editing one
   kernel only pays for that kernel.
 
+The runner is hardened against the real failure modes of long sweeps
+(``tests/platform/test_parallel_hardening.py`` injects every one):
+
+* **worker crashes** (``BrokenProcessPool``) are detected, the pool is
+  rebuilt, and the affected points retried with exponential backoff;
+* **hung workers** are bounded by a per-point ``timeout``; on expiry the
+  stuck processes are reaped and the points retried in a fresh pool;
+* after the retry budget, surviving points are re-run **serially
+  in-process** (no pool to break) before the runner gives up;
+* points that still fail raise :class:`ParallelRunError` carrying a
+  per-point failure table and the partial results — callers report the
+  table and exit nonzero instead of dying on the first exception;
+* memo-cache records carry a **sha256 checksum**; corrupt records are
+  quarantined (moved to ``<cache>/quarantine/``) and recomputed;
+* an optional JSONL **checkpoint** file makes sweeps resumable after a
+  hard kill: finished points are appended as they complete and replayed
+  on the next run.
+
 Determinism contract: results are assembled strictly in submission
 order (workloads outermost, policies innermost), never in completion
 order, so ``--jobs N`` emits exactly the same JSON/CSV rows as a serial
-sweep.
+sweep — crashes, retries and resumes included.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..dbt.engine import DbtEngineConfig
 from ..isa.container import to_bytes as program_to_bytes
 from ..isa.program import Program
+from ..resilience.faults import WorkerFault, apply_worker_fault
 from ..security.policy import ALL_POLICIES, MitigationPolicy
 from ..vliw.config import VliwConfig
 from .metrics import PolicyComparison, SystemRunResult
@@ -47,7 +77,8 @@ DEFAULT_CACHE_DIR = Path("benchmarks") / "results" / "cache"
 
 #: Bump when the cached record layout (or anything feeding the key)
 #: changes; stale entries are then simply never looked up again.
-_CACHE_VERSION = 1
+#: v2: records are wrapped in a checksum envelope.
+_CACHE_VERSION = 2
 
 #: Record fields persisted per sweep point.  ``ipc`` and slowdowns are
 #: derived downstream, so caching the raw counters is enough to rebuild
@@ -55,9 +86,84 @@ _CACHE_VERSION = 1
 _RECORD_FIELDS = ("exit_code", "cycles", "instructions",
                   "blocks_executed", "rollbacks")
 
+#: Subdirectory corrupt cache records are moved into for post-mortems.
+_QUARANTINE_DIR = "quarantine"
+
 
 # ---------------------------------------------------------------------------
-# Memo-cache keys.
+# Runner telemetry and failure reporting.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunnerTelemetry:
+    """What the hardened runner had to do to get the results out."""
+
+    attempts: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    worker_errors: int = 0
+    retries: int = 0
+    pool_restarts: int = 0
+    serial_fallbacks: int = 0
+    checkpoint_hits: int = 0
+    quarantined_cache_files: int = 0
+
+    @property
+    def faults_survived(self) -> int:
+        return (self.crashes + self.timeouts + self.worker_errors
+                + self.quarantined_cache_files)
+
+    def summary(self) -> str:
+        return ("attempts=%d crashes=%d timeouts=%d worker_errors=%d "
+                "retries=%d pool_restarts=%d serial_fallbacks=%d "
+                "checkpoint_hits=%d quarantined=%d"
+                % (self.attempts, self.crashes, self.timeouts,
+                   self.worker_errors, self.retries, self.pool_restarts,
+                   self.serial_fallbacks, self.checkpoint_hits,
+                   self.quarantined_cache_files))
+
+
+@dataclass
+class PointFailure:
+    """Terminal failure of one grid point (after all retries)."""
+
+    index: int
+    label: str
+    kind: str  # 'crash' | 'timeout' | 'error'
+    error: str
+    attempts: int
+
+
+class ParallelRunError(RuntimeError):
+    """Some grid points failed after every retry.
+
+    Carries the per-point :attr:`failures` for the CLI's failure table
+    and the :attr:`partial` results (``None`` at failed indices) so a
+    caller can still use what succeeded.
+    """
+
+    def __init__(self, message: str, failures: List[PointFailure],
+                 partial: List[Optional[object]]):
+        super().__init__(message)
+        self.failures = failures
+        self.partial = partial
+
+
+def failure_table(failures: Sequence[PointFailure]) -> str:
+    """Render terminal point failures as an aligned table."""
+    width = max([len(f.label) for f in failures] + [len("point")])
+    lines = ["%-*s  %-8s  %-8s  %s" % (width, "point", "kind",
+                                       "attempts", "error")]
+    lines.append("-" * len(lines[0]))
+    for fail in failures:
+        lines.append("%-*s  %-8s  %-8d  %s"
+                     % (width, fail.label, fail.kind, fail.attempts,
+                        fail.error))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Memo-cache keys and checksummed records.
 # ---------------------------------------------------------------------------
 
 def config_fingerprint(vliw_config: Optional[VliwConfig],
@@ -109,14 +215,48 @@ def sweep_point_key(program: Program, policy: MitigationPolicy,
     return digest.hexdigest()
 
 
-def _cache_load(cache_dir: Path, key: str) -> Optional[dict]:
+def _record_checksum(record: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(record, sort_keys=True).encode()).hexdigest()
+
+
+def _quarantine(cache_dir: Path, path: Path) -> None:
+    """Move a corrupt cache record aside (delete if even that fails)."""
+    try:
+        target_dir = cache_dir / _QUARANTINE_DIR
+        target_dir.mkdir(parents=True, exist_ok=True)
+        path.replace(target_dir / path.name)
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def _cache_load(cache_dir: Path, key: str,
+                telemetry: Optional[RunnerTelemetry] = None) -> Optional[dict]:
+    """Load one checksummed record; quarantine anything that fails
+    parsing, the field check, or checksum verification."""
     path = cache_dir / (key + ".json")
     try:
         with open(path) as handle:
-            record = json.load(handle)
-    except (OSError, ValueError):
+            envelope = json.load(handle)
+    except OSError:
         return None
-    if not all(field in record for field in _RECORD_FIELDS):
+    except ValueError:
+        _quarantine(cache_dir, path)
+        if telemetry is not None:
+            telemetry.quarantined_cache_files += 1
+        return None
+    record = envelope.get("record") if isinstance(envelope, dict) else None
+    if (
+        not isinstance(record, dict)
+        or not all(field_ in record for field_ in _RECORD_FIELDS)
+        or envelope.get("sha256") != _record_checksum(record)
+    ):
+        _quarantine(cache_dir, path)
+        if telemetry is not None:
+            telemetry.quarantined_cache_files += 1
         return None
     return record
 
@@ -124,24 +264,64 @@ def _cache_load(cache_dir: Path, key: str) -> Optional[dict]:
 def _cache_store(cache_dir: Path, key: str, record: dict) -> None:
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = cache_dir / (key + ".json")
+    envelope = {"record": record, "sha256": _record_checksum(record),
+                "version": _CACHE_VERSION}
     tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(record, sort_keys=True, indent=1) + "\n")
+    tmp.write_text(json.dumps(envelope, sort_keys=True, indent=1) + "\n")
     tmp.replace(path)  # atomic: concurrent sweeps may share the cache
 
 
 # ---------------------------------------------------------------------------
-# Worker (runs in the pool processes; must stay module-level picklable).
+# Resumable checkpoints (JSONL; tolerant of a torn final line).
+# ---------------------------------------------------------------------------
+
+def checkpoint_load(path: Union[str, Path]) -> Dict[str, dict]:
+    """Load a sweep checkpoint: ``key -> record`` for every completed
+    point.  Partial (killed-mid-write) lines are ignored."""
+    records: Dict[str, dict] = {}
+    try:
+        with open(path) as handle:
+            for line in handle:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail of a killed run
+                if (isinstance(entry, dict)
+                        and isinstance(entry.get("key"), str)
+                        and isinstance(entry.get("record"), dict)
+                        and all(field_ in entry["record"]
+                                for field_ in _RECORD_FIELDS)):
+                    records[entry["key"]] = entry["record"]
+    except OSError:
+        return {}
+    return records
+
+
+def checkpoint_append(path: Union[str, Path], key: str, record: dict) -> None:
+    """Append one completed point to the checkpoint (flushed per line so
+    a kill loses at most the line being written)."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"key": key, "record": record},
+                                sort_keys=True) + "\n")
+        handle.flush()
+
+
+# ---------------------------------------------------------------------------
+# Workers (run in the pool processes; must stay module-level picklable).
 # ---------------------------------------------------------------------------
 
 def run_sweep_point(program: Program, policy: MitigationPolicy,
                     vliw_config: Optional[VliwConfig] = None,
                     engine_config: Optional[DbtEngineConfig] = None,
-                    interpreter: Optional[str] = None) -> dict:
+                    interpreter: Optional[str] = None,
+                    fault: Optional[WorkerFault] = None) -> dict:
     """Simulate one (program, policy) point and return its slim record."""
+    apply_worker_fault(fault)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
                        engine_config=engine_config, interpreter=interpreter)
     result = system.run()
-    record = {field: getattr(result, field) for field in _RECORD_FIELDS}
+    record = {field_: getattr(result, field_) for field_ in _RECORD_FIELDS}
     record["output"] = result.output.hex()
     return record
 
@@ -158,6 +338,170 @@ def _record_to_result(record: dict) -> SystemRunResult:
 
 
 # ---------------------------------------------------------------------------
+# The hardened fan-out core.
+# ---------------------------------------------------------------------------
+
+def _reap(executor: ProcessPoolExecutor) -> None:
+    """Terminate a pool whose workers can no longer be trusted (hung or
+    crashed); the points it still owed are retried in a fresh pool."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_points(
+    worker: Callable[..., object],
+    tasks: Sequence[Tuple],
+    labels: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    telemetry: Optional[RunnerTelemetry] = None,
+    worker_faults: Optional[Dict[int, WorkerFault]] = None,
+    serial_fallback: bool = True,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List[object]:
+    """Run ``worker(*task, fault)`` for every task, hardened.
+
+    Results come back in task order regardless of ``jobs``, retries or
+    fallbacks.  ``worker`` must accept a trailing
+    :class:`~repro.resilience.faults.WorkerFault` argument (``None``
+    outside chaos runs); ``worker_faults`` maps task index → fault and
+    is only applied on the *first pool attempt* — retries and the serial
+    fallback always run fault-free, which is what lets the runner heal.
+
+    * ``timeout`` bounds each point (pool mode only); expiry reaps the
+      pool and retries the point.
+    * ``retries`` pool attempts are separated by exponential ``backoff``.
+    * With ``serial_fallback``, points still failing after the last pool
+      attempt run once more in-process.
+    * Any point that still has no result raises :class:`ParallelRunError`
+      with the failure table and partial results.
+
+    ``on_result(index, result)`` fires as each point completes (in
+    completion order) — the checkpoint/memo hook.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if telemetry is None:
+        telemetry = RunnerTelemetry()
+    if labels is None:
+        labels = ["point %d" % index for index in range(len(tasks))]
+
+    results: List[Optional[object]] = [None] * len(tasks)
+    done: List[bool] = [False] * len(tasks)
+    failures: Dict[int, PointFailure] = {}
+    attempts: Dict[int, int] = {index: 0 for index in range(len(tasks))}
+    pending = set(range(len(tasks)))
+
+    def _complete(index: int, result: object) -> None:
+        results[index] = result
+        done[index] = True
+        pending.discard(index)
+        failures.pop(index, None)
+        if on_result is not None:
+            on_result(index, result)
+
+    def _failed(index: int, kind: str, error: str) -> None:
+        if kind == "crash":
+            telemetry.crashes += 1
+        elif kind == "timeout":
+            telemetry.timeouts += 1
+        else:
+            telemetry.worker_errors += 1
+        failures[index] = PointFailure(index, labels[index], kind,
+                                       error, attempts[index])
+
+    def _serial_pass(indices: Sequence[int]) -> None:
+        # In-process: never apply worker faults (a crash fault would
+        # take the parent down) and no timeout enforcement.
+        for index in indices:
+            attempts[index] += 1
+            telemetry.attempts += 1
+            try:
+                _complete(index, worker(*tasks[index], None))
+            except Exception as error:  # noqa: BLE001 — reported per point
+                _failed(index, "error", "%s: %s"
+                        % (type(error).__name__, error))
+
+    def _pool_pass(indices: Sequence[int], apply_faults: bool) -> None:
+        executor = ProcessPoolExecutor(max_workers=jobs)
+        abandoned = False
+        try:
+            futures = {}
+            for index in indices:
+                fault = (worker_faults or {}).get(index) if apply_faults else None
+                attempts[index] += 1
+                telemetry.attempts += 1
+                futures[index] = executor.submit(worker, *tasks[index], fault)
+            for index in indices:
+                try:
+                    _complete(index, futures[index].result(timeout=timeout))
+                except FuturesTimeoutError:
+                    _failed(index, "timeout",
+                            "no result within %gs" % (timeout or 0.0))
+                    abandoned = True
+                    return  # pool is reaped; survivors retry fresh
+                except BrokenProcessPool as error:
+                    _failed(index, "crash",
+                            str(error) or "worker process died")
+                    abandoned = True
+                    return
+                except Exception as error:  # noqa: BLE001 — per point
+                    _failed(index, "error", "%s: %s"
+                            % (type(error).__name__, error))
+        finally:
+            if abandoned:
+                _reap(executor)
+            else:
+                executor.shutdown(wait=True)
+
+    if jobs == 1:
+        # Serial mode is the seed code path: exceptions propagate
+        # directly.  Deterministic in-process failures don't heal on
+        # retry, and callers (tests included) rely on seeing the
+        # original exception rather than a wrapped failure table.
+        for index in range(len(tasks)):
+            attempts[index] += 1
+            telemetry.attempts += 1
+            _complete(index, worker(*tasks[index], None))
+        return results
+    else:
+        for attempt in range(retries + 1):
+            if not pending:
+                break
+            if attempt:
+                telemetry.retries += 1
+                telemetry.pool_restarts += 1
+                time.sleep(backoff * (2 ** (attempt - 1)))
+            _pool_pass(sorted(pending), apply_faults=(attempt == 0))
+        if pending and serial_fallback:
+            telemetry.serial_fallbacks += 1
+            _serial_pass(sorted(pending))
+
+    if pending:
+        terminal = [
+            failures.get(index) or PointFailure(
+                index, labels[index], "crash",
+                "abandoned when the worker pool died", attempts[index])
+            for index in sorted(pending)
+        ]
+        raise ParallelRunError(
+            "%d of %d points failed after %d pool attempt(s)%s"
+            % (len(terminal), len(tasks), retries + 1,
+               " + serial fallback" if serial_fallback and jobs > 1 else ""),
+            terminal,
+            [results[i] if done[i] else None for i in range(len(tasks))],
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
 # The parallel sweep.
 # ---------------------------------------------------------------------------
 
@@ -170,16 +514,32 @@ def sweep_comparisons(
     cache_dir: Optional[Union[str, Path]] = None,
     expect_exit_codes: Optional[Dict[str, int]] = None,
     interpreter: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    checkpoint: Optional[Union[str, Path]] = None,
+    telemetry: Optional[RunnerTelemetry] = None,
+    worker_faults: Optional[Dict[int, WorkerFault]] = None,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
 
-    ``jobs > 1`` distributes points over a process pool; ``cache_dir``
-    (optional) memoizes points on disk keyed by
-    :func:`sweep_point_key`.  Output ordering is independent of both.
+    ``jobs > 1`` distributes points over a hardened process pool (see
+    :func:`run_points` for ``timeout``/``retries``/``backoff`` and the
+    failure contract); ``cache_dir`` (optional) memoizes points on disk
+    keyed by :func:`sweep_point_key`; ``checkpoint`` (optional) makes
+    the sweep resumable after a hard kill.  Output ordering is
+    independent of all of them.
+
+    ``worker_faults`` (chaos runs only) maps the index of a *simulated*
+    point — cache/checkpoint hits don't count — to the
+    :class:`~repro.resilience.faults.WorkerFault` its worker applies to
+    itself on the first pool attempt.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if telemetry is None:
+        telemetry = RunnerTelemetry()
     cache_path = Path(cache_dir) if cache_dir is not None else None
     interp_label = interpreter if interpreter is not None else "fast"
 
@@ -187,42 +547,56 @@ def sweep_comparisons(
               for name, program in workloads for policy in policies]
     records: List[Optional[dict]] = [None] * len(points)
 
-    # Phase 1: satisfy what we can from the memo cache.
+    # Phase 1: satisfy what we can from the checkpoint and memo cache.
+    resumed = checkpoint_load(checkpoint) if checkpoint is not None else {}
     misses: List[int] = []
     keys: List[Optional[str]] = [None] * len(points)
     for index, (name, program, policy) in enumerate(points):
-        if cache_path is not None:
+        if cache_path is not None or checkpoint is not None:
             key = sweep_point_key(program, policy, vliw_config,
                                   engine_config, interp_label)
             keys[index] = key
-            records[index] = _cache_load(cache_path, key)
+            if key in resumed:
+                records[index] = resumed[key]
+                telemetry.checkpoint_hits += 1
+            elif cache_path is not None:
+                records[index] = _cache_load(cache_path, key, telemetry)
         if records[index] is None:
             misses.append(index)
 
-    # Phase 2: simulate the misses — in a pool when jobs > 1, inline
-    # otherwise.  ``executor.map`` yields in submission order, keeping
-    # the records (and therefore every downstream row) deterministic.
+    # Phase 2: simulate the misses through the hardened runner.  Records
+    # are persisted as each point lands, so a killed sweep resumes from
+    # its checkpoint instead of starting over.
     if misses:
-        if jobs > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as executor:
-                computed = list(executor.map(
-                    run_sweep_point,
-                    [points[i][1] for i in misses],
-                    [points[i][2] for i in misses],
-                    [vliw_config] * len(misses),
-                    [engine_config] * len(misses),
-                    [interpreter] * len(misses),
-                ))
-        else:
-            computed = [
-                run_sweep_point(points[i][1], points[i][2], vliw_config,
-                                engine_config, interpreter)
-                for i in misses
-            ]
+        def _persist(miss_position: int, record: dict) -> None:
+            index = misses[miss_position]
+            if keys[index] is not None:
+                if cache_path is not None:
+                    _cache_store(cache_path, keys[index], record)
+                if checkpoint is not None:
+                    checkpoint_append(checkpoint, keys[index], record)
+
+        try:
+            computed = run_points(
+                run_sweep_point,
+                [(points[i][1], points[i][2], vliw_config, engine_config,
+                  interpreter) for i in misses],
+                labels=["%s/%s" % (points[i][0], points[i][2].value)
+                        for i in misses],
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                telemetry=telemetry,
+                worker_faults=worker_faults,
+                on_result=_persist,
+            )
+        except ParallelRunError as error:
+            raise ParallelRunError(
+                "sweep: %s" % error, error.failures, error.partial,
+            ) from None
         for index, record in zip(misses, computed):
             records[index] = record
-            if cache_path is not None and keys[index] is not None:
-                _cache_store(cache_path, keys[index], record)
 
     # Phase 3: reassemble per-workload comparisons in input order.
     comparisons: List[PolicyComparison] = []

@@ -64,6 +64,7 @@ class DbtSystem:
         platform_config: Optional[PlatformConfig] = None,
         observer: Optional[Observer] = None,
         interpreter: Optional[str] = None,
+        supervisor=None,
     ):
         self.program = program
         self.policy = policy
@@ -94,6 +95,11 @@ class DbtSystem:
             observer.clock = lambda: self.core.cycle
             self.core.observer = observer
             self.engine.observer = observer
+        #: Optional :class:`~repro.resilience.supervisor.ExecutionSupervisor`;
+        #: None (the default) keeps step_block on the exact seed code path.
+        self.supervisor = supervisor
+        if supervisor is not None:
+            supervisor.attach(self)
         self.pc = program.entry
         self.exited = False
         self.exit_code = 0
@@ -109,7 +115,10 @@ class DbtSystem:
         if self.exited:
             raise PlatformError("stepping an exited guest")
         block = self.engine.lookup(self.pc)
-        result = self.core.execute_block(block)
+        if self.supervisor is not None:
+            result, block = self.supervisor.execute(self, block)
+        else:
+            result = self.core.execute_block(block)
         self.blocks_executed += 1
         self.engine.record_execution(block, result)
         if result.reason is ExitReason.SYSCALL:
@@ -197,11 +206,12 @@ def run_on_platform(
     engine_config: Optional[DbtEngineConfig] = None,
     observer: Optional[Observer] = None,
     interpreter: Optional[str] = None,
+    supervisor=None,
 ) -> SystemRunResult:
     """One-shot convenience: run ``program`` under ``policy``."""
     system = DbtSystem(
         program, policy=policy, vliw_config=vliw_config,
         engine_config=engine_config, observer=observer,
-        interpreter=interpreter,
+        interpreter=interpreter, supervisor=supervisor,
     )
     return system.run()

@@ -1,0 +1,44 @@
+"""Resilience layer: fault injection, supervised execution, chaos harness.
+
+The paper's guarantee — every translated block went through the
+mitigation pass the policy demands — is only as strong as the machinery
+enforcing it.  This package makes that enforcement testable:
+
+* :mod:`repro.resilience.faults` — a deterministic, seed-driven fault
+  injector with named fault sites across the stack (translation-cache
+  corruption/eviction, dropped scheduler constraints, fast-path lowering
+  corruption, sweep-cache record corruption, worker crash/hang);
+* :mod:`repro.resilience.supervisor` — the :class:`ExecutionSupervisor`
+  that gates installs through the static legality verifier, quarantines
+  anomalous blocks and walks them down a graceful-degradation ladder;
+* :mod:`repro.resilience.chaos` — the ``repro chaos`` fault matrix:
+  every site injected, detected, recovered, and the recovered run
+  checked bit-identical (architectural state + attack bytes) against a
+  fault-free reference.
+"""
+
+from .faults import (
+    ENGINE_SITES,
+    RUNNER_SITES,
+    FaultInjector,
+    FaultRecord,
+    FaultSite,
+)
+from .supervisor import (
+    ExecutionSupervisor,
+    ResilienceError,
+    SupervisorConfig,
+    SupervisorStats,
+)
+
+__all__ = [
+    "ENGINE_SITES",
+    "RUNNER_SITES",
+    "ExecutionSupervisor",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSite",
+    "ResilienceError",
+    "SupervisorConfig",
+    "SupervisorStats",
+]

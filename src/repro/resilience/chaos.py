@@ -1,0 +1,240 @@
+"""The ``repro chaos`` fault matrix: inject → detect → recover → verify.
+
+For every named :class:`~repro.resilience.faults.FaultSite` the matrix
+runs a small scenario with that one site armed, then scores four
+booleans the resilience layer must earn:
+
+* **fired** — the injector actually applied the corruption (a scenario
+  that never offers the site an opportunity proves nothing);
+* **detected** — the supervisor (engine sites) or the hardened runner's
+  telemetry (runner sites) registered at least one anomaly, *without*
+  being told a fault happened;
+* **recovered** — the run still completed;
+* **identical** — the recovered run is bit-identical to a fault-free
+  reference in everything architectural: exit code and output bytes
+  (which carry the attack's recovered secret).  Cycle counts are
+  excluded — recovery legitimately costs time.
+
+Engine sites run twice, on a polybench kernel under GHOSTBUSTERS and on
+the Spectre-v1 PoC under UNSAFE, so corruption is exercised on both a
+compute workload and the attack the paper is about.  Runner sites drive
+small real sweeps through :func:`repro.platform.parallel.run_points`.
+
+``repro chaos --seed N`` reruns the exact same fault plan; CI gates on
+seed 0 (every row must come back ``ok``).
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..attacks.harness import AttackVariant, build_attack_program
+from ..dbt.engine import DbtEngineConfig
+from ..kernels import SMALL_SIZES, build_kernel_program
+from ..platform.comparison import comparison_json
+from ..platform.parallel import (
+    ParallelRunError,
+    RunnerTelemetry,
+    sweep_comparisons,
+)
+from ..platform.system import DbtSystem
+from ..security.policy import MitigationPolicy
+from .faults import (
+    ENGINE_SITES,
+    FaultInjector,
+    FaultSite,
+    WorkerFault,
+    corrupt_sweep_cache,
+)
+from .supervisor import ExecutionSupervisor
+
+
+@dataclass
+class ChaosOutcome:
+    """Scorecard of one (fault site, scenario) cell."""
+
+    site: FaultSite
+    scenario: str
+    fired: bool
+    detected: bool
+    recovered: bool
+    identical: bool
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.fired and self.detected and self.recovered and self.identical
+
+
+def format_chaos_table(outcomes: List[ChaosOutcome]) -> str:
+    """Render the matrix; failing rows keep their detail for triage."""
+    def _mark(flag: bool) -> str:
+        return "yes" if flag else "NO"
+
+    width = max([len(o.scenario) for o in outcomes] + [len("scenario")])
+    header = ("%-22s %-*s %-6s %-9s %-10s %-10s %s"
+              % ("site", width, "scenario", "fired", "detected",
+                 "recovered", "identical", "ok"))
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        lines.append("%-22s %-*s %-6s %-9s %-10s %-10s %s"
+                     % (outcome.site.value, width, outcome.scenario,
+                        _mark(outcome.fired), _mark(outcome.detected),
+                        _mark(outcome.recovered), _mark(outcome.identical),
+                        "ok" if outcome.ok else "FAIL"))
+        if not outcome.ok and outcome.detail:
+            lines.append("    detail: %s" % outcome.detail)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Engine-side scenarios (one supervised platform per cell).
+# ---------------------------------------------------------------------------
+
+#: Hotness threshold the chaos guests run with — low, so optimized
+#: blocks (the interesting fault targets) appear within the first few
+#: loop iterations and scenarios stay cheap.
+_CHAOS_ENGINE_CONFIG = DbtEngineConfig(hot_threshold=4)
+
+
+def _chaos_guests(kernel: str):
+    return [
+        ("kernel:%s" % kernel,
+         build_kernel_program(SMALL_SIZES[kernel]()),
+         MitigationPolicy.GHOSTBUSTERS),
+        ("attack:spectre_v1",
+         build_attack_program(AttackVariant.SPECTRE_V1),
+         MitigationPolicy.UNSAFE),
+    ]
+
+
+def _engine_cell(site: FaultSite, seed: int, scenario: str, program,
+                 policy: MitigationPolicy, reference) -> ChaosOutcome:
+    injector = FaultInjector(seed=seed, sites=[site])
+    supervisor = ExecutionSupervisor(injector=injector)
+    try:
+        result = DbtSystem(program, policy=policy,
+                           engine_config=_CHAOS_ENGINE_CONFIG,
+                           supervisor=supervisor).run()
+    except Exception as error:  # noqa: BLE001 — scored, not propagated
+        return ChaosOutcome(
+            site, scenario, fired=bool(injector.fired),
+            detected=supervisor.stats.detections > 0,
+            recovered=False, identical=False,
+            detail="%s: %s" % (type(error).__name__, error))
+    fired = len(injector.fired)
+    return ChaosOutcome(
+        site, scenario,
+        fired=fired > 0,
+        detected=supervisor.stats.detections >= fired and fired > 0,
+        recovered=supervisor.stats.recoveries >= fired and fired > 0,
+        identical=(result.exit_code, result.output)
+                  == (reference.exit_code, reference.output),
+        detail="; ".join(record.detail for record in injector.fired)
+               or "fault never fired",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runner-side scenarios (small real sweeps through the hardened runner).
+# ---------------------------------------------------------------------------
+
+_SWEEP_POLICIES = (MitigationPolicy.UNSAFE, MitigationPolicy.GHOSTBUSTERS)
+
+
+def _sweep_rows(workloads, **kwargs) -> str:
+    return comparison_json(sweep_comparisons(
+        workloads, policies=_SWEEP_POLICIES,
+        engine_config=_CHAOS_ENGINE_CONFIG, **kwargs))
+
+
+def _sweepcache_cell(seed: int, scenario: str, workloads, baseline: str,
+                     work_dir: Path) -> ChaosOutcome:
+    cache_dir = work_dir / "sweep-cache"
+    _sweep_rows(workloads, cache_dir=cache_dir)  # populate
+    detail = corrupt_sweep_cache(cache_dir, random.Random(seed))
+    telemetry = RunnerTelemetry()
+    rows = _sweep_rows(workloads, cache_dir=cache_dir, telemetry=telemetry)
+    return ChaosOutcome(
+        FaultSite.SWEEPCACHE_CORRUPT, scenario,
+        fired=detail is not None,
+        detected=telemetry.quarantined_cache_files >= 1,
+        recovered=True,
+        identical=rows == baseline,
+        detail=detail or "no cache files to corrupt",
+    )
+
+
+def _worker_cell(site: FaultSite, scenario: str, workloads, baseline: str,
+                 fault: WorkerFault, jobs: int,
+                 timeout: Optional[float]) -> ChaosOutcome:
+    telemetry = RunnerTelemetry()
+    try:
+        rows = _sweep_rows(workloads, jobs=jobs, timeout=timeout,
+                           retries=2, backoff=0.1, telemetry=telemetry,
+                           worker_faults={0: fault})
+        recovered = True
+        identical = rows == baseline
+        detail = telemetry.summary()
+    except ParallelRunError as error:
+        recovered = False
+        identical = False
+        detail = str(error)
+    detected = (telemetry.crashes >= 1 if fault.kind == "crash"
+                else telemetry.timeouts >= 1)
+    return ChaosOutcome(site, scenario, fired=True, detected=detected,
+                        recovered=recovered, identical=identical,
+                        detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# The matrix.
+# ---------------------------------------------------------------------------
+
+def run_chaos_matrix(
+    seed: int = 0,
+    kernel: str = "atax",
+    jobs: int = 2,
+    hang_timeout: float = 8.0,
+    work_dir: Optional[Union[str, Path]] = None,
+) -> List[ChaosOutcome]:
+    """Run every fault site's scenario; returns one outcome per cell.
+
+    Deterministic in ``seed``: the same seed yields the same fault plan
+    (and therefore the same table).  ``hang_timeout`` is the per-point
+    timeout the hung-worker scenario must survive; the injected hang
+    sleeps several times longer, so detection is unambiguous.
+    """
+    jobs = max(2, jobs)  # runner faults only apply under a real pool
+    outcomes: List[ChaosOutcome] = []
+
+    guests = _chaos_guests(kernel)
+    references = {
+        name: DbtSystem(program, policy=policy,
+                        engine_config=_CHAOS_ENGINE_CONFIG).run()
+        for name, program, policy in guests
+    }
+    for site in ENGINE_SITES:
+        for name, program, policy in guests:
+            outcomes.append(_engine_cell(site, seed, name, program, policy,
+                                         references[name]))
+
+    workloads = [(kernel, guests[0][1])]
+    baseline = _sweep_rows(workloads)
+    scenario = "sweep:%s" % kernel
+    work_path = (Path(work_dir) if work_dir is not None
+                 else Path(tempfile.mkdtemp(prefix="repro-chaos-")))
+    outcomes.append(_sweepcache_cell(seed, scenario, workloads, baseline,
+                                     work_path))
+    outcomes.append(_worker_cell(
+        FaultSite.WORKER_CRASH, scenario, workloads, baseline,
+        WorkerFault("crash"), jobs, timeout=None))
+    outcomes.append(_worker_cell(
+        FaultSite.WORKER_HANG, scenario, workloads, baseline,
+        WorkerFault("hang", seconds=hang_timeout * 6), jobs,
+        timeout=hang_timeout))
+    return outcomes

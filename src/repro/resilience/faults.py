@@ -1,0 +1,255 @@
+"""Deterministic, seed-driven fault injection.
+
+Every fault the resilience layer defends against has a *named site*
+(:class:`FaultSite`) and a concrete, reproducible corruption.  The
+:class:`FaultInjector` decides **when** a site fires — the Nth
+opportunity, with N drawn from a seeded RNG — so a chaos run with the
+same seed injects exactly the same faults in exactly the same places.
+The corruption helpers in this module perform the actual damage; the
+supervisor and the parallel runner must then *detect and recover*
+without being told a fault happened (the injector's own record is only
+consulted afterwards, by the chaos harness, to score the run).
+
+Engine-side sites are applied through
+:class:`~repro.resilience.supervisor.ExecutionSupervisor` hooks; the
+runner-side sites (:data:`RUNNER_SITES`) are applied by the chaos
+harness and the hardened parallel runner
+(:mod:`repro.platform.parallel`).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..vliw.bundle import Bundle
+from ..vliw.isa import VliwOpcode
+
+#: Ordinal no fast-path dispatch arm handles; executing it raises
+#: ``VliwExecutionError`` (see ``VliwCore._run_fast``'s else arm).
+BAD_ORDINAL = 99
+
+
+class FaultSite(enum.Enum):
+    """Named fault-injection points across the stack."""
+
+    #: Corrupt an installed translation-cache entry (truncate bundles).
+    TCACHE_CORRUPT = "tcache-corrupt"
+    #: Silently drop a hot translation-cache entry.
+    TCACHE_EVICT = "tcache-evict"
+    #: Strip a scheduler constraint from an optimized schedule (a buggy
+    #: GhostBusters/scheduler pass that forgot to mark a load).
+    SCHED_DROP_CONSTRAINT = "sched-drop-constraint"
+    #: Corrupt the fast-path lowering (poison a finalized opcode ordinal).
+    FASTPATH_CORRUPT = "fastpath-corrupt"
+    #: Flip a byte in an on-disk sweep-cache record.
+    SWEEPCACHE_CORRUPT = "sweepcache-corrupt"
+    #: Kill a parallel sweep worker mid-point.
+    WORKER_CRASH = "worker-crash"
+    #: Hang a parallel sweep worker past the runner's timeout.
+    WORKER_HANG = "worker-hang"
+
+
+#: Sites injected inside one supervised platform (detection: supervisor).
+ENGINE_SITES = (
+    FaultSite.TCACHE_CORRUPT,
+    FaultSite.TCACHE_EVICT,
+    FaultSite.SCHED_DROP_CONSTRAINT,
+    FaultSite.FASTPATH_CORRUPT,
+)
+
+#: Sites injected around the parallel experiment runner.
+RUNNER_SITES = (
+    FaultSite.SWEEPCACHE_CORRUPT,
+    FaultSite.WORKER_CRASH,
+    FaultSite.WORKER_HANG,
+)
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault (the chaos harness's scoring evidence)."""
+
+    site: FaultSite
+    detail: str
+    opportunity: int
+
+
+class FaultInjector:
+    """Seeded decision-maker for when each armed site fires.
+
+    Each armed site fires on its Nth *opportunity* (N drawn once from
+    the seed; runner sites always fire on the first, since a chaos run
+    offers them exactly one).  ``fires_per_site`` bounds how often a
+    site may fire; the default of one fault per site keeps recovery
+    scoring unambiguous.
+    """
+
+    def __init__(self, seed: int = 0,
+                 sites: Optional[Sequence[FaultSite]] = None,
+                 fires_per_site: int = 1):
+        self.seed = seed
+        self.sites = frozenset(sites if sites is not None else FaultSite)
+        self.rng = random.Random(seed)
+        self._trigger: Dict[FaultSite, int] = {}
+        # Draw in a fixed order so the plan depends only on the seed,
+        # never on which sites happen to be armed.
+        for site in sorted(FaultSite, key=lambda s: s.value):
+            self._trigger[site] = (1 if site in RUNNER_SITES
+                                   else self.rng.randint(1, 2))
+        self._opportunities: Dict[FaultSite, int] = {s: 0 for s in FaultSite}
+        self._remaining: Dict[FaultSite, int] = {
+            site: (fires_per_site if site in self.sites else 0)
+            for site in FaultSite
+        }
+        self.fired: List[FaultRecord] = []
+
+    def armed(self, site: FaultSite) -> bool:
+        """Whether ``site`` may still fire (cheap pre-check for hooks)."""
+        return self._remaining[site] > 0
+
+    def should_fire(self, site: FaultSite) -> bool:
+        """Count one opportunity for ``site``; True when it must fire now.
+
+        A True return *consumes* one firing; the caller either performs
+        the corruption and calls :meth:`record`, or calls :meth:`refund`
+        if the corruption turned out to be inapplicable.
+        """
+        if self._remaining[site] <= 0:
+            return False
+        self._opportunities[site] += 1
+        if self._opportunities[site] < self._trigger[site]:
+            return False
+        self._remaining[site] -= 1
+        return True
+
+    def record(self, site: FaultSite, detail: str) -> None:
+        self.fired.append(
+            FaultRecord(site, detail, self._opportunities[site]))
+
+    def refund(self, site: FaultSite) -> None:
+        """Undo a consumed firing (corruption was not applicable here);
+        the site re-arms for its next opportunity."""
+        self._remaining[site] += 1
+        self._trigger[site] = self._opportunities[site] + 1
+
+    def fired_sites(self) -> List[FaultSite]:
+        return [record.site for record in self.fired]
+
+
+# ---------------------------------------------------------------------------
+# Corruption helpers (the actual damage, kept separate from the policy
+# of when to apply it).  Each returns a human-readable detail string, or
+# None when the corruption is not applicable to the given target.
+# ---------------------------------------------------------------------------
+
+def drop_finalized(block) -> None:
+    """Discard a block's cached fast-path lowering (it will re-finalize
+    on next execution)."""
+    if getattr(block, "_finalized", None) is not None:
+        block._finalized = None
+
+
+def corrupt_translated_block(block) -> str:
+    """Truncate the block's bundle list — a partially overwritten code
+    cache entry.  The block now falls off the end without an exit, which
+    both interpreters report as a ``VliwExecutionError``."""
+    block.bundles = block.bundles[:-1]
+    drop_finalized(block)
+    return "truncated to %d bundles" % len(block.bundles)
+
+
+def corrupt_finalized_block(block) -> Optional[str]:
+    """Poison the first opcode ordinal of the block's finalized form —
+    a corrupted fast-path lowering the reference interpreter never sees."""
+    fblock = getattr(block, "_finalized", None)
+    if fblock is None or not fblock.bundles:
+        return None
+    first = fblock.bundles[0]
+    dops = list(first[0])
+    if not dops:
+        return None
+    dops[0] = (BAD_ORDINAL,) + tuple(dops[0])[1:]
+    fblock.bundles = ((tuple(dops),) + first[1:],) + fblock.bundles[1:]
+    return "poisoned ordinal of op 0 in bundle 0"
+
+
+def corrupt_schedule(block) -> Optional[str]:
+    """Simulate a buggy scheduler/GhostBusters pass.
+
+    Preferred corruption: clear the ``speculative`` marker on one
+    MCB-tracked load — the exact bug class the paper's guarantee hinges
+    on (an unconstrained speculative load).  Fallback for schedules with
+    no speculation: swap the first two bundles, violating an enforced
+    dependence edge.  Both are caught by ``check_schedule``.
+    """
+    for bundle_index, bundle in enumerate(block.bundles):
+        for op_index, op in enumerate(bundle):
+            if op.opcode is VliwOpcode.LOAD and op.speculative:
+                ops = list(bundle.ops)
+                ops[op_index] = replace(op, speculative=False, spec_tag=0)
+                bundles = list(block.bundles)
+                bundles[bundle_index] = Bundle(tuple(ops))
+                block.bundles = tuple(bundles)
+                drop_finalized(block)
+                return ("cleared speculative marker on load in bundle %d"
+                        % bundle_index)
+    if len(block.bundles) >= 2:
+        bundles = list(block.bundles)
+        bundles[0], bundles[1] = bundles[1], bundles[0]
+        block.bundles = tuple(bundles)
+        drop_finalized(block)
+        return "swapped bundles 0 and 1"
+    return None
+
+
+def corrupt_sweep_cache(cache_dir, rng: random.Random) -> Optional[str]:
+    """Flip one byte in the middle of a seeded-random sweep-cache record."""
+    cache_dir = Path(cache_dir)
+    entries = sorted(cache_dir.glob("*.json"))
+    if not entries:
+        return None
+    target = entries[rng.randrange(len(entries))]
+    data = bytearray(target.read_bytes())
+    if not data:
+        return None
+    position = len(data) // 2
+    data[position] ^= 0xFF
+    target.write_bytes(bytes(data))
+    return "flipped byte %d of %s" % (position, target.name)
+
+
+# ---------------------------------------------------------------------------
+# Worker faults (cross the process boundary; must stay picklable).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """A fault a sweep worker applies to itself before simulating."""
+
+    kind: str            # 'crash' or 'hang'
+    seconds: float = 30.0  # hang duration (bounded; workers self-heal)
+    exit_code: int = 23
+
+
+def apply_worker_fault(fault: Optional[WorkerFault]) -> None:
+    """Executed inside a pool worker, before the real work.
+
+    ``crash`` hard-exits the process (the parent sees a broken pool);
+    ``hang`` sleeps past any reasonable per-point timeout and then
+    proceeds normally — so a generous timeout turns the fault benign.
+    """
+    if fault is None:
+        return
+    if fault.kind == "crash":
+        import os
+
+        os._exit(fault.exit_code)
+    elif fault.kind == "hang":
+        time.sleep(fault.seconds)
+    else:
+        raise ValueError("unknown worker fault kind %r" % (fault.kind,))

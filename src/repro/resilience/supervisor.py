@@ -1,0 +1,349 @@
+"""Supervised execution: runtime gates, quarantine, degradation ladder.
+
+The :class:`ExecutionSupervisor` is the runtime half of the paper's
+trust argument.  The static legality verifier
+(:func:`repro.dbt.verify.check_schedule`) can prove a schedule only
+speculates where the policy allows — but in the seed it only ran inside
+tests.  The supervisor promotes it to an **install-time gate** on every
+optimized translation, and wraps block execution in a guarded mode that
+turns any anomaly into a detect-quarantine-recover cycle instead of a
+crash or (worse) silently wrong results:
+
+* **gate failure** — an optimized schedule that violates a dependence or
+  speculation invariant is never installed; the engine reschedules it,
+  falling back to a speculation-disabled schedule if the violation
+  persists;
+* **fast-path exception** — a fault during block execution rolls the
+  architectural state back to the block entry (registers, memory,
+  cycle, scoreboard) and walks the block down the degradation ladder:
+  re-finalize the fast-path lowering → reference interpreter →
+  quarantine + speculation-free retranslation;
+* **unexpected eviction** — a translation the supervisor saw installed
+  that vanishes without a legitimate capacity flush is detected at
+  lookup and healed by retranslation;
+* **lockstep divergence** — reported by
+  :func:`repro.platform.lockstep.lockstep_run`; the offending block is
+  quarantined.
+
+Every detection and recovery is counted in :class:`SupervisorStats` and
+emitted through the :mod:`repro.obs` observer when one is attached.
+When no supervisor is attached the platform runs the exact seed code
+paths (one ``is not None`` check per hook — the same no-Heisenberg
+contract the observer keeps, regression-tested in
+``tests/resilience/test_no_heisenberg.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from ..dbt.verify import ScheduleViolation, check_schedule
+from ..obs.observer import Observer
+from . import faults as _faults
+from .faults import FaultInjector, FaultSite
+
+
+class ResilienceError(RuntimeError):
+    """Raised when every rung of the degradation ladder has failed."""
+
+
+@dataclass
+class SupervisorConfig:
+    """Supervisor tunables."""
+
+    #: Run ``check_schedule`` on every optimized install (the gate).
+    verify_installs: bool = True
+    #: How many degradation-ladder rungs to try after a failed execution
+    #: (1 = re-finalize, 2 = + reference interpreter, 3 = + retranslate).
+    max_block_retries: int = 3
+    #: Executions before a block is eviction-eligible for the injector.
+    eviction_hotness: int = 4
+
+
+@dataclass
+class SupervisorStats:
+    """Detection and recovery counters."""
+
+    installs_verified: int = 0
+    gate_failures: int = 0
+    execution_faults: int = 0
+    evictions_detected: int = 0
+    divergences: int = 0
+    quarantines: int = 0
+    recoveries: int = 0
+    #: Successful recoveries per ladder rung / gate stage.
+    ladder: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def detections(self) -> int:
+        return (self.gate_failures + self.execution_faults
+                + self.evictions_detected + self.divergences)
+
+    def summary(self) -> str:
+        parts = [
+            "installs verified : %d" % self.installs_verified,
+            "detections        : %d (gate %d, execution %d, eviction %d, "
+            "divergence %d)" % (self.detections, self.gate_failures,
+                                self.execution_faults,
+                                self.evictions_detected, self.divergences),
+            "quarantines       : %d" % self.quarantines,
+            "recoveries        : %d" % self.recoveries,
+        ]
+        if self.ladder:
+            parts.append("ladder            : " + ", ".join(
+                "%s=%d" % (rung, count)
+                for rung, count in sorted(self.ladder.items())))
+        return "\n".join(parts)
+
+
+#: Degradation-ladder rungs, in order of decreasing performance.
+_LADDER = ("refinalize", "reference", "retranslate")
+
+
+class ExecutionSupervisor:
+    """Runtime anomaly detection and recovery for one platform.
+
+    Attach by passing ``supervisor=`` to
+    :class:`~repro.platform.system.DbtSystem`; the system wires the
+    supervisor into the DBT engine (install gate, eviction tracking) and
+    flips the core into guarded execution.  An optional
+    :class:`~repro.resilience.faults.FaultInjector` lets the chaos
+    harness corrupt the very structures the supervisor watches.
+    """
+
+    def __init__(self, config: Optional[SupervisorConfig] = None,
+                 injector: Optional[FaultInjector] = None,
+                 observer: Optional[Observer] = None):
+        self.config = config or SupervisorConfig()
+        self.injector = injector
+        self.observer = observer
+        self.stats = SupervisorStats()
+        #: Entries the supervisor has seen installed (eviction tracking).
+        self._installed: Set[int] = set()
+        #: Entries detected missing, awaiting their healing re-install.
+        self._missing: Set[int] = set()
+        self._seen_flushes = 0
+        #: Per-entry execution counts (injector eviction eligibility).
+        self._exec_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+
+    def attach(self, system) -> None:
+        """Wire this supervisor through ``system``'s engine and core."""
+        system.engine.supervisor = self
+        system.core.guard_faults = True
+        if self.observer is None and system.observer is not None:
+            self.observer = system.observer
+
+    def _emit(self, name: str, **attrs) -> None:
+        if self.observer is not None:
+            self.observer.emit(name, **attrs)
+
+    def _recovered(self, how: str, entry: int) -> None:
+        self.stats.recoveries += 1
+        self.stats.ladder[how] = self.stats.ladder.get(how, 0) + 1
+        self._emit("resilience_recovered", entry="%#x" % entry, how=how)
+
+    # ------------------------------------------------------------------
+    # Engine hooks: install gate + eviction tracking.
+    # ------------------------------------------------------------------
+
+    def note_lookup_miss(self, pc: int, cache) -> None:
+        """A translation-cache miss; detect unexpected disappearances."""
+        flushes = cache.stats.capacity_flushes
+        if flushes != self._seen_flushes:
+            # A legitimate wholesale capacity flush dropped everything.
+            self._seen_flushes = flushes
+            self._installed.clear()
+            return
+        if pc in self._installed:
+            self._installed.discard(pc)
+            self._missing.add(pc)
+            self.stats.evictions_detected += 1
+            self._emit("resilience_unexpected_eviction", entry="%#x" % pc)
+
+    def post_install(self, block, cache) -> None:
+        """A translation was installed; register it and let the injector
+        attack it (corruption must be detected later, not remembered)."""
+        entry = block.guest_entry
+        flushes = cache.stats.capacity_flushes
+        if flushes != self._seen_flushes:
+            # This install triggered a legitimate wholesale capacity
+            # flush: everything previously tracked is gone by design.
+            self._seen_flushes = flushes
+            self._installed.clear()
+        if entry in self._missing:
+            self._missing.discard(entry)
+            self._recovered("refill", entry)
+        self._installed.add(entry)
+        injector = self.injector
+        if injector is None:
+            return
+        if (injector.armed(FaultSite.TCACHE_CORRUPT)
+                and injector.should_fire(FaultSite.TCACHE_CORRUPT)):
+            injector.record(FaultSite.TCACHE_CORRUPT,
+                            "%#x: %s" % (entry,
+                                         _faults.corrupt_translated_block(block)))
+        if (injector.armed(FaultSite.FASTPATH_CORRUPT)
+                and injector.should_fire(FaultSite.FASTPATH_CORRUPT)):
+            detail = _faults.corrupt_finalized_block(block)
+            if detail is None:
+                injector.refund(FaultSite.FASTPATH_CORRUPT)
+            else:
+                injector.record(FaultSite.FASTPATH_CORRUPT,
+                                "%#x: %s" % (entry, detail))
+
+    def gate_schedule(self, entry: int, ir, block, vliw_config,
+                      reschedule: Callable[[], object],
+                      reschedule_safe: Callable[[], object]):
+        """Install-time legality gate for an optimized schedule.
+
+        Returns the block to install — the candidate itself when it
+        verifies, otherwise the first ladder replacement that does:
+        a clean reschedule, then a speculation-disabled schedule.
+        """
+        injector = self.injector
+        if (injector is not None
+                and injector.armed(FaultSite.SCHED_DROP_CONSTRAINT)
+                and injector.should_fire(FaultSite.SCHED_DROP_CONSTRAINT)):
+            detail = _faults.corrupt_schedule(block)
+            if detail is None:
+                injector.refund(FaultSite.SCHED_DROP_CONSTRAINT)
+            else:
+                injector.record(FaultSite.SCHED_DROP_CONSTRAINT,
+                                "%#x: %s" % (entry, detail))
+        if not self.config.verify_installs:
+            return block
+        self.stats.installs_verified += 1
+        try:
+            check_schedule(ir, block, vliw_config)
+            return block
+        except ScheduleViolation as violation:
+            self.stats.gate_failures += 1
+            self._emit("resilience_gate_failure", entry="%#x" % entry,
+                       error=str(violation))
+        candidate = reschedule()
+        try:
+            check_schedule(ir, candidate, vliw_config)
+        except ScheduleViolation:
+            self.stats.gate_failures += 1
+            candidate = reschedule_safe()
+            try:
+                check_schedule(ir, candidate, vliw_config)
+            except ScheduleViolation as violation:
+                raise ResilienceError(
+                    "block %#x: even the speculation-disabled schedule "
+                    "fails the legality gate" % entry) from violation
+            self._recovered("schedule_safe", entry)
+            return candidate
+        self._recovered("reschedule", entry)
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Core hook: guarded execution with the degradation ladder.
+    # ------------------------------------------------------------------
+
+    def execute(self, system, block):
+        """Execute ``block``, recovering from faults down the ladder.
+
+        Returns ``(result, block)`` — the block may have been replaced
+        by a quarantine-and-retranslate recovery.
+        """
+        from ..vliw.pipeline import BlockExecutionFault
+
+        core = system.core
+        entry = block.guest_entry
+        try:
+            result = core.execute_block(block)
+            self._post_execute(system, block)
+            return result, block
+        except BlockExecutionFault as fault:
+            self._fault_detected(entry, "initial", fault)
+            last_fault = fault
+        for rung in _LADDER[:max(0, self.config.max_block_retries)]:
+            try:
+                if rung == "refinalize":
+                    _faults.drop_finalized(block)
+                    result = core.execute_block(block)
+                elif rung == "reference":
+                    result = self._execute_reference(core, block)
+                else:
+                    block = self._retranslate(system, entry)
+                    result = core.execute_block(block)
+            except BlockExecutionFault as fault:
+                self._fault_detected(entry, rung, fault)
+                last_fault = fault
+                continue
+            self._recovered(rung, entry)
+            self._post_execute(system, block)
+            return result, block
+        raise ResilienceError(
+            "block %#x failed every rung of the degradation ladder"
+            % entry) from last_fault
+
+    def _fault_detected(self, entry: int, stage: str, fault) -> None:
+        self.stats.execution_faults += 1
+        self._emit("resilience_execution_fault", entry="%#x" % entry,
+                   stage=stage, error=str(fault.cause))
+
+    def _execute_reference(self, core, block):
+        saved = core.use_fast_path
+        core.use_fast_path = False
+        try:
+            return core.execute_block(block)
+        finally:
+            core.use_fast_path = saved
+
+    def _retranslate(self, system, entry: int):
+        """Quarantine the installed translation and rebuild from guest
+        code with a speculation-free first-pass schedule."""
+        self.stats.quarantines += 1
+        self._installed.discard(entry)
+        self._exec_counts.pop(entry, None)
+        system.engine.cache.invalidate(entry)
+        self._emit("resilience_quarantine", entry="%#x" % entry)
+        return system.engine.lookup(entry)
+
+    def _post_execute(self, system, block) -> None:
+        """Successful execution bookkeeping (injector eviction site).
+
+        The eviction fault only targets *optimized* blocks executed at
+        least ``eviction_hotness`` times: those are loop bodies that are
+        guaranteed to be looked up again (so the disappearance is
+        observable) and are not about to be legitimately replaced by
+        the optimizer (which would mask the fault).
+        """
+        injector = self.injector
+        if injector is None or not injector.armed(FaultSite.TCACHE_EVICT):
+            return
+        if block.kind != "optimized":
+            return
+        entry = block.guest_entry
+        count = self._exec_counts.get(entry, 0) + 1
+        self._exec_counts[entry] = count
+        if count < self.config.eviction_hotness:
+            return
+        if injector.should_fire(FaultSite.TCACHE_EVICT):
+            if system.engine.cache.invalidate(entry):
+                injector.record(
+                    FaultSite.TCACHE_EVICT,
+                    "%#x evicted after execution %d" % (entry, count))
+            else:
+                injector.refund(FaultSite.TCACHE_EVICT)
+
+    # ------------------------------------------------------------------
+    # External detectors.
+    # ------------------------------------------------------------------
+
+    def note_divergence(self, entry: int, cache=None, detail: str = "") -> None:
+        """A lockstep (or other differential) checker caught this block
+        producing divergent architectural state; quarantine it."""
+        self.stats.divergences += 1
+        self._emit("resilience_divergence", entry="%#x" % entry,
+                   detail=detail)
+        if cache is not None and cache.invalidate(entry):
+            self.stats.quarantines += 1
+            self._installed.discard(entry)

@@ -55,6 +55,22 @@ class VliwExecutionError(Exception):
     """Raised on malformed translated code or machine misuse."""
 
 
+class BlockExecutionFault(Exception):
+    """A guarded block execution failed and was rolled back.
+
+    Raised only when ``core.guard_faults`` is set (the resilience
+    supervisor's mode): the architectural state — registers, memory,
+    cycle/instret counters, scoreboard, statistics — has been restored
+    to the block entry, so the supervisor can retry the block down its
+    degradation ladder.  ``cause`` is the original error.
+    """
+
+    def __init__(self, entry: int, cause: BaseException):
+        super().__init__("block %#x faulted: %s" % (entry, cause))
+        self.entry = entry
+        self.cause = cause
+
+
 class ExitReason(enum.Enum):
     """Why a translated block returned control to the platform."""
 
@@ -189,6 +205,12 @@ class VliwCore:
         self.observer: Optional[Observer] = None
         #: Which interpreter executes blocks (see module docstring).
         self.use_fast_path = _default_use_fast_path()
+        #: Guarded execution (set by the resilience supervisor): faults
+        #: during a block roll all state back to the block entry and
+        #: surface as :class:`BlockExecutionFault` instead of corrupting
+        #: the run.  Off by default — the unguarded path is the seed
+        #: code, byte for byte.
+        self.guard_faults = False
         #: Scoreboard: physical register -> cycle its value is ready.
         self._ready: Dict[int, int] = {}
         #: Hoisted unit-latency table (shared dict on the frozen config).
@@ -200,11 +222,20 @@ class VliwCore:
 
     def execute_block(self, block: TranslatedBlock) -> BlockResult:
         """Execute one translated block to its exit, handling rollback."""
+        if self.guard_faults:
+            return self._execute_guarded(block)
+        return self._execute(block)
+
+    def _execute(self, block: TranslatedBlock,
+                 entry_regs: Optional[List[int]] = None,
+                 store_log: Optional[List[Tuple[int, bytes]]] = None) -> BlockResult:
         self.stats.blocks_executed += 1
         observer = self.observer
         start_cycle = self.cycle
-        entry_regs = self.regs.snapshot()
-        store_log: List[Tuple[int, bytes]] = []
+        if entry_regs is None:
+            entry_regs = self.regs.snapshot()
+        if store_log is None:
+            store_log = []
         try:
             result = self._run(block, store_log)
         except _RollbackSignal:
@@ -227,13 +258,48 @@ class VliwCore:
                     "MCB conflict in block %#x with no recovery code"
                     % block.guest_entry
                 )
-            result = self._run(recovery, store_log=None)
+            if self.guard_faults:
+                # Keep logging into the (now replayed) store log so a
+                # fault inside the recovery run can still be undone.
+                del store_log[:]
+                result = self._run(recovery, store_log)
+            else:
+                result = self._run(recovery, store_log=None)
             result.rolled_back = True
         self.mcb.clear()
         self.instret += result.guest_instructions
         if observer is not None:
             observer.block_executed(block, result, start_cycle, self.cycle)
         return result
+
+    def _execute_guarded(self, block: TranslatedBlock) -> BlockResult:
+        """Guarded execution: any failure restores every piece of state
+        the block touched and re-raises as :class:`BlockExecutionFault`.
+
+        The data cache's content (hit/miss state) is deliberately *not*
+        restored — exactly like an MCB rollback, micro-architectural
+        state survives; only architectural state and the timing counters
+        are rewound.
+        """
+        stats = self.stats
+        snapshot = (self.cycle, self.instret, stats.bundles, stats.ops,
+                    stats.stall_cycles, stats.exits_taken, stats.rollbacks,
+                    stats.blocks_executed)
+        ready_snapshot = dict(self._ready)
+        entry_regs = self.regs.snapshot()
+        store_log: List[Tuple[int, bytes]] = []
+        try:
+            return self._execute(block, entry_regs, store_log)
+        except BlockExecutionFault:
+            raise
+        except Exception as cause:
+            self._undo(entry_regs, store_log)
+            self.mcb.clear()
+            (self.cycle, self.instret, stats.bundles, stats.ops,
+             stats.stall_cycles, stats.exits_taken, stats.rollbacks,
+             stats.blocks_executed) = snapshot
+            self._ready = ready_snapshot
+            raise BlockExecutionFault(block.guest_entry, cause) from cause
 
     # ------------------------------------------------------------------
     # Interpreter dispatch.

@@ -1,0 +1,271 @@
+"""Hardened parallel runner: crashes, hangs, fallbacks, checksums,
+checkpoints — every failure mode injected and survived.
+
+The expensive scenarios (real worker pools) share one small grid:
+one kernel × two policies, so each pool pass simulates two points.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.platform.parallel as parallel
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.comparison import comparison_json
+from repro.platform.parallel import (
+    ParallelRunError,
+    PointFailure,
+    RunnerTelemetry,
+    checkpoint_append,
+    checkpoint_load,
+    failure_table,
+    run_points,
+    run_sweep_point,
+    sweep_comparisons,
+    sweep_point_key,
+)
+from repro.resilience.faults import WorkerFault
+from repro.security.policy import MitigationPolicy
+
+POLICIES = (MitigationPolicy.UNSAFE, MitigationPolicy.GHOSTBUSTERS)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [("atax", build_kernel_program(SMALL_SIZES["atax"]()))]
+
+
+@pytest.fixture(scope="module")
+def baseline(workloads):
+    return comparison_json(sweep_comparisons(workloads, policies=POLICIES))
+
+
+def _rows(workloads, **kwargs):
+    return comparison_json(sweep_comparisons(workloads, policies=POLICIES,
+                                             **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Worker crash / hang / fallback.
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_detected_and_retried(workloads, baseline):
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, jobs=2, retries=2, backoff=0.05,
+                 telemetry=telemetry,
+                 worker_faults={0: WorkerFault("crash")})
+    assert telemetry.crashes >= 1
+    assert telemetry.retries >= 1
+    assert rows == baseline
+
+
+def test_worker_hang_reaped_on_timeout(workloads, baseline):
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, jobs=2, timeout=6.0, retries=2, backoff=0.05,
+                 telemetry=telemetry,
+                 worker_faults={0: WorkerFault("hang", seconds=60.0)})
+    assert telemetry.timeouts >= 1
+    assert rows == baseline
+
+
+def test_serial_fallback_heals_exhausted_pool(workloads, baseline):
+    """retries=0: the only pool attempt eats the crash, then the serial
+    in-process fallback (which never applies faults) finishes the job."""
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, jobs=2, retries=0, telemetry=telemetry,
+                 worker_faults={0: WorkerFault("crash")})
+    assert telemetry.crashes >= 1
+    assert telemetry.serial_fallbacks == 1
+    assert rows == baseline
+
+
+def test_terminal_failure_raises_with_table(workloads):
+    """With retries and the fallback both disabled, a crashed point is
+    terminal: ParallelRunError carries the failure row and the partial
+    results instead of an opaque BrokenProcessPool."""
+    telemetry = RunnerTelemetry()
+    with pytest.raises(ParallelRunError) as excinfo:
+        run_points(
+            run_sweep_point,
+            [(program, policy, None, None, None)
+             for _, program in workloads for policy in POLICIES],
+            labels=["atax/%s" % policy.value for policy in POLICIES],
+            jobs=2, retries=0, serial_fallback=False,
+            telemetry=telemetry,
+            worker_faults={0: WorkerFault("crash")},
+        )
+    error = excinfo.value
+    assert error.failures
+    assert error.failures[0].kind == "crash"
+    assert len(error.partial) == len(POLICIES)
+    table = failure_table(error.failures)
+    assert "crash" in table and "atax/" in table
+
+
+def test_worker_faults_ignored_in_serial_mode(workloads, baseline):
+    """jobs=1 never applies faults — a crash fault would take down the
+    test process itself."""
+    rows = _rows(workloads, jobs=1,
+                 worker_faults={0: WorkerFault("crash")})
+    assert rows == baseline
+
+
+def test_failure_table_formatting():
+    table = failure_table([
+        PointFailure(0, "gemm/unsafe", "timeout", "no result within 5s", 3),
+        PointFailure(2, "atax/fence", "error", "ValueError: boom", 1),
+    ])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "gemm/unsafe" in lines[2] and "timeout" in lines[2]
+    assert "atax/fence" in lines[3] and "ValueError" in lines[3]
+
+
+# ---------------------------------------------------------------------------
+# Checksummed memo cache.
+# ---------------------------------------------------------------------------
+
+def test_corrupt_record_quarantined_and_recomputed(tmp_path, workloads,
+                                                   baseline):
+    _rows(workloads, cache_dir=tmp_path)
+    entries = sorted(tmp_path.glob("*.json"))
+    assert entries
+    # Valid JSON, valid fields, wrong checksum: only the checksum layer
+    # can catch this.
+    envelope = json.loads(entries[0].read_text())
+    envelope["record"]["cycles"] += 1
+    entries[0].write_text(json.dumps(envelope))
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, cache_dir=tmp_path, telemetry=telemetry)
+    assert telemetry.quarantined_cache_files == 1
+    assert rows == baseline
+    quarantined = list((tmp_path / "quarantine").glob("*.json"))
+    assert len(quarantined) == 1
+    assert quarantined[0].name == entries[0].name
+
+
+def test_legacy_unchecksummed_record_rejected(tmp_path, workloads, baseline):
+    _rows(workloads, cache_dir=tmp_path)
+    target = sorted(tmp_path.glob("*.json"))[0]
+    envelope = json.loads(target.read_text())
+    target.write_text(json.dumps(envelope["record"]))  # v1-style bare record
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, cache_dir=tmp_path, telemetry=telemetry)
+    assert telemetry.quarantined_cache_files == 1
+    assert rows == baseline
+
+
+# ---------------------------------------------------------------------------
+# Resumable checkpoints.
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_round_trip(tmp_path):
+    path = tmp_path / "ckpt.jsonl"
+    record = {"exit_code": 0, "cycles": 1, "instructions": 2,
+              "blocks_executed": 3, "rollbacks": 0}
+    checkpoint_append(path, "abc", record)
+    checkpoint_append(path, "def", record)
+    with open(path, "a") as handle:
+        handle.write('{"key": "torn-li')  # killed mid-write
+    loaded = checkpoint_load(path)
+    assert set(loaded) == {"abc", "def"}
+    assert loaded["abc"] == record
+
+
+def test_checkpoint_load_missing_file(tmp_path):
+    assert checkpoint_load(tmp_path / "nope.jsonl") == {}
+
+
+def test_resume_skips_completed_points(tmp_path, workloads, baseline,
+                                       monkeypatch):
+    path = tmp_path / "ckpt.jsonl"
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, checkpoint=path, telemetry=telemetry)
+    assert rows == baseline
+    assert telemetry.checkpoint_hits == 0
+    assert len(checkpoint_load(path)) == len(POLICIES)
+
+    # Drop the last completed point — a "killed just before the end" run.
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+
+    calls = []
+    real = parallel.run_sweep_point
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(parallel, "run_sweep_point", counting)
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, checkpoint=path, telemetry=telemetry)
+    assert rows == baseline
+    assert telemetry.checkpoint_hits == len(POLICIES) - 1
+    assert len(calls) == 1  # only the dropped point was re-simulated
+    assert len(checkpoint_load(path)) == len(POLICIES)  # healed
+
+
+_KILL_SCRIPT = """
+import sys
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.parallel import sweep_comparisons
+
+workloads = [(name, build_kernel_program(SMALL_SIZES[name]()))
+             for name in ("atax", "gemm")]
+sweep_comparisons(workloads, checkpoint=sys.argv[1])
+"""
+
+
+def test_kill_and_resume_sweep(tmp_path, workloads, baseline):
+    """SIGKILL a sweep mid-run; the next run resumes from the
+    checkpoint and produces byte-identical rows."""
+    path = tmp_path / "ckpt.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(parallel.__file__).parents[2])
+    child = subprocess.Popen([sys.executable, "-c", _KILL_SCRIPT, str(path)],
+                             env=env, stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 60
+        while time.time() < deadline and child.poll() is None:
+            if path.exists() and len(checkpoint_load(path)) >= 1:
+                break
+            time.sleep(0.01)
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+    completed = checkpoint_load(path)
+    assert completed  # the child got at least one point down
+
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, checkpoint=path, telemetry=telemetry)
+    assert telemetry.checkpoint_hits >= 1
+    assert rows == baseline
+
+
+# ---------------------------------------------------------------------------
+# run_points argument validation.
+# ---------------------------------------------------------------------------
+
+def test_run_points_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_points(run_sweep_point, [], jobs=0)
+
+
+def test_checkpoint_key_matches_sweep_key(tmp_path, workloads):
+    """Checkpoint entries are keyed by the same content hash as the memo
+    cache, so a checkpoint survives unrelated grid reordering."""
+    path = tmp_path / "ckpt.jsonl"
+    _rows(workloads, checkpoint=path)
+    name, program = workloads[0]
+    keys = {sweep_point_key(program, policy) for policy in POLICIES}
+    assert set(checkpoint_load(path)) == keys

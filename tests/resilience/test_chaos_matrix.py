@@ -1,0 +1,19 @@
+"""The chaos matrix end to end: every site fired, detected, recovered,
+bit-identical — the acceptance criterion CI gates on."""
+
+from repro.resilience.chaos import format_chaos_table, run_chaos_matrix
+from repro.resilience.faults import FaultSite
+
+
+def test_chaos_matrix_all_ok(tmp_path):
+    outcomes = run_chaos_matrix(seed=0, work_dir=tmp_path)
+    table = format_chaos_table(outcomes)
+    assert all(outcome.ok for outcome in outcomes), "\n" + table
+    # Every named fault site appears in the matrix.
+    assert {outcome.site for outcome in outcomes} == set(FaultSite)
+    # Engine sites run on both a kernel and the attack PoC.
+    scenarios = {outcome.scenario for outcome in outcomes}
+    assert any(s.startswith("kernel:") for s in scenarios)
+    assert any(s.startswith("attack:") for s in scenarios)
+    # The table renders one scored row per cell.
+    assert table.count(" ok") >= len(outcomes)

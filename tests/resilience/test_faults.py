@@ -1,0 +1,158 @@
+"""Fault injector: determinism, firing bounds, refund, corruption helpers."""
+
+import random
+
+import pytest
+
+from repro.dbt.engine import DbtEngineConfig
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.system import DbtSystem
+from repro.resilience.faults import (
+    ENGINE_SITES,
+    RUNNER_SITES,
+    FaultInjector,
+    FaultSite,
+    WorkerFault,
+    apply_worker_fault,
+    corrupt_finalized_block,
+    corrupt_schedule,
+    corrupt_sweep_cache,
+    corrupt_translated_block,
+    drop_finalized,
+)
+from repro.security.policy import MitigationPolicy
+
+
+def test_site_partition_is_total():
+    assert set(ENGINE_SITES) | set(RUNNER_SITES) == set(FaultSite)
+    assert not set(ENGINE_SITES) & set(RUNNER_SITES)
+
+
+def test_same_seed_same_plan():
+    a, b = FaultInjector(seed=7), FaultInjector(seed=7)
+    for _ in range(5):
+        for site in FaultSite:
+            assert a.should_fire(site) == b.should_fire(site)
+    assert a._trigger == b._trigger
+
+
+def test_plan_independent_of_armed_subset():
+    """The seed alone decides the plan; arming fewer sites must not
+    shift when the remaining ones fire."""
+    full = FaultInjector(seed=3)
+    only_one = FaultInjector(seed=3, sites=[FaultSite.TCACHE_CORRUPT])
+    assert full._trigger == only_one._trigger
+
+
+def test_runner_sites_fire_first_opportunity():
+    injector = FaultInjector(seed=11)
+    for site in RUNNER_SITES:
+        assert injector.should_fire(site)
+
+
+def test_fires_per_site_bounds_firing():
+    injector = FaultInjector(seed=0, fires_per_site=1)
+    site = FaultSite.SWEEPCACHE_CORRUPT  # trigger == 1, fires immediately
+    assert injector.should_fire(site)
+    injector.record(site, "x")
+    for _ in range(10):
+        assert not injector.should_fire(site)
+    assert injector.fired_sites() == [site]
+
+
+def test_unarmed_site_never_fires():
+    injector = FaultInjector(seed=0, sites=[FaultSite.TCACHE_EVICT])
+    assert not injector.armed(FaultSite.WORKER_CRASH)
+    for _ in range(10):
+        assert not injector.should_fire(FaultSite.WORKER_CRASH)
+
+
+def test_refund_rearms_for_next_opportunity():
+    injector = FaultInjector(seed=0, sites=[FaultSite.SCHED_DROP_CONSTRAINT])
+    site = FaultSite.SCHED_DROP_CONSTRAINT
+    fired_at = None
+    for opportunity in range(1, 10):
+        if injector.should_fire(site):
+            fired_at = opportunity
+            break
+    assert fired_at is not None
+    injector.refund(site)
+    # Re-armed: the very next opportunity fires again.
+    assert injector.armed(site)
+    assert injector.should_fire(site)
+
+
+def _optimized_blocks(policy=MitigationPolicy.UNSAFE):
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    system = DbtSystem(program, policy=policy,
+                       engine_config=DbtEngineConfig(hot_threshold=4))
+    system.run()
+    blocks = [block for block in system.engine.cache.blocks()
+              if block.kind == "optimized"]
+    assert blocks
+    return blocks
+
+
+def test_corrupt_translated_block_breaks_execution():
+    block = _optimized_blocks()[0]
+    before = len(block.bundles)
+    detail = corrupt_translated_block(block)
+    assert len(block.bundles) == before - 1
+    assert "truncated" in detail
+
+
+def test_corrupt_finalized_block_poisons_ordinal():
+    from repro.vliw.config import VliwConfig
+    from repro.vliw.fastpath import finalize_block
+
+    block = _optimized_blocks()[0]
+    finalize_block(block, VliwConfig())
+    detail = corrupt_finalized_block(block)
+    assert detail is not None
+    assert block._finalized.bundles[0][0][0][0] == 99  # BAD_ORDINAL
+
+
+def test_corrupt_finalized_block_requires_finalized_form():
+    block = _optimized_blocks()[0]
+    drop_finalized(block)
+    assert corrupt_finalized_block(block) is None
+
+
+def test_corrupt_schedule_clears_speculative_marker():
+    for block in _optimized_blocks():
+        if block.speculative_loads:
+            spec_before = sum(
+                1 for bundle in block.bundles for op in bundle
+                if op.speculative)
+            detail = corrupt_schedule(block)
+            assert "speculative marker" in detail
+            spec_after = sum(
+                1 for bundle in block.bundles for op in bundle
+                if op.speculative)
+            assert spec_after == spec_before - 1
+            return
+    pytest.skip("no speculative block in the UNSAFE atax run")
+
+
+def test_corrupt_sweep_cache_flips_a_byte(tmp_path):
+    target = tmp_path / "record.json"
+    target.write_text('{"payload": 1}')
+    before = target.read_bytes()
+    detail = corrupt_sweep_cache(tmp_path, random.Random(0))
+    assert detail is not None and "record.json" in detail
+    after = target.read_bytes()
+    assert after != before and len(after) == len(before)
+
+
+def test_corrupt_sweep_cache_empty_dir(tmp_path):
+    assert corrupt_sweep_cache(tmp_path, random.Random(0)) is None
+
+
+def test_apply_worker_fault_none_and_unknown():
+    apply_worker_fault(None)  # no-op
+    with pytest.raises(ValueError):
+        apply_worker_fault(WorkerFault("melt"))
+
+
+def test_apply_worker_fault_hang_then_proceeds():
+    apply_worker_fault(WorkerFault("hang", seconds=0.01))  # returns

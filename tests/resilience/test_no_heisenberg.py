@@ -1,0 +1,77 @@
+"""The no-Heisenberg contract: supervision must not perturb the model.
+
+Two halves:
+
+* **disabled** — a platform without a supervisor runs the exact seed
+  code path: the core's guard is off, the engine hooks are dead
+  branches, and dispatch goes straight to the unguarded interpreter;
+* **enabled, fault-free** — attaching a supervisor with no fault
+  injector changes *nothing observable*: exit code, output bytes,
+  instruction count and cycle count are all bit-identical, across every
+  policy, on kernels and on the Spectre PoC alike.
+"""
+
+import pytest
+
+from repro.attacks.harness import AttackVariant, build_attack_program
+from repro.dbt.engine import DbtEngineConfig
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.system import DbtSystem
+from repro.resilience import ExecutionSupervisor
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+
+ENGINE_CONFIG = DbtEngineConfig(hot_threshold=4)
+
+
+def _fingerprint(result):
+    return (result.exit_code, result.output, result.instructions,
+            result.cycles, result.blocks_executed, result.rollbacks)
+
+
+def test_disabled_supervisor_leaves_seed_path():
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    system = DbtSystem(program, engine_config=ENGINE_CONFIG)
+    assert system.supervisor is None
+    assert system.engine.supervisor is None
+    assert system.core.guard_faults is False
+
+
+def test_attach_flips_the_guard():
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    supervisor = ExecutionSupervisor()
+    system = DbtSystem(program, engine_config=ENGINE_CONFIG,
+                       supervisor=supervisor)
+    assert system.engine.supervisor is supervisor
+    assert system.core.guard_faults is True
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES,
+                         ids=[p.value for p in ALL_POLICIES])
+@pytest.mark.parametrize("kernel", ("atax", "gemm"))
+def test_faultfree_supervised_kernel_identical(kernel, policy):
+    program = build_kernel_program(SMALL_SIZES[kernel]())
+    bare = DbtSystem(program, policy=policy,
+                     engine_config=ENGINE_CONFIG).run()
+    supervisor = ExecutionSupervisor()
+    supervised = DbtSystem(program, policy=policy,
+                           engine_config=ENGINE_CONFIG,
+                           supervisor=supervisor).run()
+    assert _fingerprint(supervised) == _fingerprint(bare)
+    assert supervisor.stats.detections == 0
+    assert supervisor.stats.recoveries == 0
+    # The gate did run — supervision is active, just unobservable.
+    assert supervisor.stats.installs_verified > 0
+
+
+@pytest.mark.parametrize("policy",
+                         (MitigationPolicy.UNSAFE,
+                          MitigationPolicy.GHOSTBUSTERS),
+                         ids=("unsafe", "ghostbusters"))
+def test_faultfree_supervised_attack_identical(policy):
+    program = build_attack_program(AttackVariant.SPECTRE_V1)
+    bare = DbtSystem(program, policy=policy,
+                     engine_config=ENGINE_CONFIG).run()
+    supervised = DbtSystem(program, policy=policy,
+                           engine_config=ENGINE_CONFIG,
+                           supervisor=ExecutionSupervisor()).run()
+    assert _fingerprint(supervised) == _fingerprint(bare)

@@ -1,0 +1,260 @@
+"""Execution supervisor: detection, quarantine, the degradation ladder.
+
+The core contract per engine fault site: the fault fires, the
+supervisor *detects* it (without consulting the injector), *recovers*,
+and the recovered run is bit-identical in architectural state (exit
+code + output bytes) to a fault-free reference.  Cycles are excluded —
+recovery legitimately costs time.
+"""
+
+import pytest
+
+from repro.attacks.harness import AttackVariant, build_attack_program
+from repro.dbt.engine import DbtEngineConfig
+from repro.isa.assembler import assemble
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.lockstep import lockstep_run
+from repro.platform.system import DbtSystem
+from repro.resilience import (
+    ENGINE_SITES,
+    ExecutionSupervisor,
+    FaultInjector,
+    FaultSite,
+    ResilienceError,
+    SupervisorConfig,
+)
+from repro.resilience.faults import corrupt_schedule, corrupt_translated_block
+from repro.security.policy import MitigationPolicy
+
+ENGINE_CONFIG = DbtEngineConfig(hot_threshold=4)
+
+
+@pytest.fixture(scope="module")
+def atax():
+    return build_kernel_program(SMALL_SIZES["atax"]())
+
+
+@pytest.fixture(scope="module")
+def atax_reference(atax):
+    return DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                     engine_config=ENGINE_CONFIG).run()
+
+
+@pytest.mark.parametrize("site", ENGINE_SITES,
+                         ids=[site.value for site in ENGINE_SITES])
+def test_site_detected_recovered_identical(site, atax, atax_reference):
+    injector = FaultInjector(seed=0, sites=[site])
+    supervisor = ExecutionSupervisor(injector=injector)
+    result = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                       engine_config=ENGINE_CONFIG,
+                       supervisor=supervisor).run()
+    assert injector.fired, "fault never fired — the scenario proves nothing"
+    assert supervisor.stats.detections >= len(injector.fired)
+    assert supervisor.stats.recoveries >= len(injector.fired)
+    assert result.exit_code == atax_reference.exit_code
+    assert result.output == atax_reference.output
+
+
+def test_attack_survives_fastpath_corruption():
+    """The Spectre PoC still recovers its secret after the fast-path
+    lowering of a hot block is poisoned mid-attack."""
+    program = build_attack_program(AttackVariant.SPECTRE_V1)
+    reference = DbtSystem(program, policy=MitigationPolicy.UNSAFE,
+                          engine_config=ENGINE_CONFIG).run()
+    injector = FaultInjector(seed=0, sites=[FaultSite.FASTPATH_CORRUPT])
+    supervisor = ExecutionSupervisor(injector=injector)
+    result = DbtSystem(program, policy=MitigationPolicy.UNSAFE,
+                       engine_config=ENGINE_CONFIG,
+                       supervisor=supervisor).run()
+    assert injector.fired
+    assert supervisor.stats.recoveries >= 1
+    assert result.output == reference.output  # the leaked bytes too
+
+
+# ---------------------------------------------------------------------------
+# The install-time legality gate.
+# ---------------------------------------------------------------------------
+
+def _gate_fixture(atax):
+    """A real optimized schedule plus everything gate_schedule needs."""
+    from repro.dbt.scheduler import SchedulerOptions, schedule_block
+
+    system = DbtSystem(atax, policy=MitigationPolicy.UNSAFE,
+                       engine_config=ENGINE_CONFIG)
+    system.run()
+    engine = system.engine
+    entries = [block.guest_entry for block in engine.cache.blocks()
+               if block.kind == "optimized" and block.speculative_loads]
+    assert entries
+    entry = entries[0]
+    ir = engine.build_ir_for(entry)
+    options = engine.scheduler_options()
+    clean = lambda: schedule_block(ir, engine.vliw_config, options)
+    safe = lambda: schedule_block(
+        ir, engine.vliw_config,
+        SchedulerOptions(branch_speculation=False, memory_speculation=False,
+                         max_speculative_loads=0))
+    return entry, ir, engine.vliw_config, clean, safe
+
+
+def test_gate_passes_clean_schedule(atax):
+    entry, ir, vliw_config, clean, safe = _gate_fixture(atax)
+    supervisor = ExecutionSupervisor()
+    block = clean()
+    assert supervisor.gate_schedule(entry, ir, block, vliw_config,
+                                    clean, safe) is block
+    assert supervisor.stats.installs_verified == 1
+    assert supervisor.stats.gate_failures == 0
+
+
+def test_gate_rejects_and_reschedules(atax):
+    entry, ir, vliw_config, clean, safe = _gate_fixture(atax)
+    supervisor = ExecutionSupervisor()
+    corrupt = clean()
+    assert corrupt_schedule(corrupt) is not None
+    installed = supervisor.gate_schedule(entry, ir, corrupt, vliw_config,
+                                         clean, safe)
+    assert installed is not corrupt
+    assert supervisor.stats.gate_failures == 1
+    assert supervisor.stats.ladder.get("reschedule") == 1
+
+
+def test_gate_falls_back_to_safe_schedule(atax):
+    entry, ir, vliw_config, clean, safe = _gate_fixture(atax)
+    supervisor = ExecutionSupervisor()
+
+    def corrupt_reschedule():
+        block = clean()
+        corrupt_schedule(block)
+        return block
+
+    corrupt = corrupt_reschedule()
+    installed = supervisor.gate_schedule(entry, ir, corrupt, vliw_config,
+                                         corrupt_reschedule, safe)
+    assert supervisor.stats.gate_failures == 2
+    assert supervisor.stats.ladder.get("schedule_safe") == 1
+    assert installed.speculative_loads == 0
+
+
+def test_gate_error_when_even_safe_fails(atax):
+    entry, ir, vliw_config, clean, safe = _gate_fixture(atax)
+    supervisor = ExecutionSupervisor()
+
+    def corrupt_reschedule():
+        block = clean()
+        corrupt_schedule(block)
+        return block
+
+    with pytest.raises(ResilienceError):
+        supervisor.gate_schedule(entry, ir, corrupt_reschedule(),
+                                 vliw_config, corrupt_reschedule,
+                                 corrupt_reschedule)
+
+
+def test_gate_disabled_installs_anything(atax):
+    entry, ir, vliw_config, clean, safe = _gate_fixture(atax)
+    supervisor = ExecutionSupervisor(SupervisorConfig(verify_installs=False))
+    corrupt = clean()
+    corrupt_schedule(corrupt)
+    assert supervisor.gate_schedule(entry, ir, corrupt, vliw_config,
+                                    clean, safe) is corrupt
+    assert supervisor.stats.installs_verified == 0
+
+
+# ---------------------------------------------------------------------------
+# Ladder exhaustion and eviction bookkeeping.
+# ---------------------------------------------------------------------------
+
+def test_ladder_exhaustion_raises(atax):
+    """With zero retries, the first execution fault is terminal."""
+    injector = FaultInjector(seed=0, sites=[FaultSite.TCACHE_CORRUPT])
+    supervisor = ExecutionSupervisor(
+        SupervisorConfig(max_block_retries=0), injector=injector)
+    with pytest.raises(ResilienceError):
+        DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                  engine_config=ENGINE_CONFIG, supervisor=supervisor).run()
+    assert supervisor.stats.execution_faults >= 1
+    assert supervisor.stats.recoveries == 0
+
+
+def test_execution_fault_rolls_back_architectural_state(atax):
+    """The guarded core restores registers/memory/counters, so the
+    recovered run ends with the same exit code as an unfaulted one even
+    though a block blew up mid-flight (covered per site above; this
+    pins the cycle restoration specifically)."""
+    injector = FaultInjector(seed=0, sites=[FaultSite.FASTPATH_CORRUPT])
+    supervisor = ExecutionSupervisor(injector=injector)
+    system = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                       engine_config=ENGINE_CONFIG, supervisor=supervisor)
+    result = system.run()
+    assert injector.fired
+    # The failed attempt's cycles were rolled back: instret matches the
+    # reference interpreter count exactly (every instruction retired once).
+    reference = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                          engine_config=ENGINE_CONFIG).run()
+    assert result.instructions == reference.instructions
+
+
+def test_capacity_flush_not_misreported_as_eviction(atax):
+    """Legitimate wholesale code-cache flushes are not anomalies."""
+    config = DbtEngineConfig(hot_threshold=4, code_cache_capacity=4)
+    supervisor = ExecutionSupervisor()
+    system = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                       engine_config=config, supervisor=supervisor)
+    result = system.run()
+    assert system.engine.cache.stats.capacity_flushes > 0
+    assert supervisor.stats.evictions_detected == 0
+    reference = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                          engine_config=config).run()
+    assert (result.exit_code, result.output, result.cycles) == \
+        (reference.exit_code, reference.output, reference.cycles)
+
+
+# ---------------------------------------------------------------------------
+# Lockstep divergence reporting.
+# ---------------------------------------------------------------------------
+
+LOCKSTEP_PROGRAM = """
+_start:
+    li a0, 0
+    li t0, 0
+    li t1, 50
+    la t2, data
+head:
+    andi t3, t0, 15
+    slli t3, t3, 3
+    add t3, t2, t3
+    ld t4, 0(t3)
+    add a0, a0, t4
+    addi t0, t0, 1
+    blt t0, t1, head
+    andi a0, a0, 0x7f
+    li a7, 93
+    ecall
+.data
+data:
+    .dword 3, 1, 4, 1, 5, 9, 2, 6
+    .dword 5, 3, 5, 8, 9, 7, 9, 3
+"""
+
+
+def test_lockstep_divergence_quarantines():
+    def corrupt(system, block_index):
+        if block_index == 20:
+            system.core.regs.write(10, 0xDEAD)
+
+    supervisor = ExecutionSupervisor()
+    report = lockstep_run(assemble(LOCKSTEP_PROGRAM),
+                          fault_injector=corrupt, supervisor=supervisor)
+    assert not report.ok
+    assert report.divergence.kind == "registers"
+    assert supervisor.stats.divergences == 1
+    assert supervisor.stats.quarantines == 1
+
+
+def test_lockstep_clean_run_reports_nothing():
+    supervisor = ExecutionSupervisor()
+    report = lockstep_run(assemble(LOCKSTEP_PROGRAM), supervisor=supervisor)
+    assert report.ok
+    assert supervisor.stats.divergences == 0
+    assert supervisor.stats.detections == 0

@@ -175,3 +175,74 @@ def test_stats_requires_a_workload(capsys):
     assert main(["stats"]) == 2
     assert main(["stats", "foo.s", "--attack", "v1"]) == 2
 
+
+
+def test_run_supervise_prints_supervisor_stats(loop_file, capsys):
+    assert main(["run", loop_file, "--supervise"]) == 0
+    out = capsys.readouterr().out
+    assert "supervisor:" in out
+    assert "installs verified" in out
+    assert "detections" in out
+
+
+def test_run_supervise_same_result_as_bare(loop_file, capsys):
+    assert main(["run", loop_file]) == 0
+    bare = capsys.readouterr().out
+    assert main(["run", loop_file, "--supervise"]) == 0
+    supervised = capsys.readouterr().out
+    assert supervised.startswith(bare.rstrip("\n").split("supervisor")[0][:20])
+    # exit code and cycles lines are identical
+    assert [l for l in supervised.splitlines() if l.startswith(("exit", "cyc"))] \
+        == [l for l in bare.splitlines() if l.startswith(("exit", "cyc"))]
+
+
+def test_sweep_failure_exits_nonzero_with_table(monkeypatch, capsys):
+    import repro.platform.parallel as parallel
+    from repro.platform.parallel import ParallelRunError, PointFailure
+
+    def boom(*args, **kwargs):
+        raise ParallelRunError(
+            "sweep: 1 of 8 points failed",
+            [PointFailure(0, "atax/unsafe", "crash", "worker died", 3)],
+            [None] * 8)
+
+    monkeypatch.setattr(parallel, "sweep_comparisons", boom)
+    assert main(["sweep", "--jobs", "2"]) == 1
+    err = capsys.readouterr().err
+    assert "atax/unsafe" in err
+    assert "crash" in err
+
+
+def test_chaos_exit_codes(monkeypatch, capsys):
+    import repro.resilience.chaos as chaos
+    from repro.resilience.chaos import ChaosOutcome
+    from repro.resilience.faults import FaultSite
+
+    good = ChaosOutcome(FaultSite.TCACHE_CORRUPT, "kernel:atax",
+                        True, True, True, True)
+    bad = ChaosOutcome(FaultSite.WORKER_HANG, "sweep:atax",
+                       True, False, True, True, detail="missed")
+
+    monkeypatch.setattr(chaos, "run_chaos_matrix", lambda **kw: [good])
+    assert main(["chaos", "--seed", "3"]) == 0
+    assert "all 1 chaos cells ok (seed 3)" in capsys.readouterr().out
+
+    monkeypatch.setattr(chaos, "run_chaos_matrix", lambda **kw: [good, bad])
+    assert main(["chaos"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "missed" in captured.out
+    assert "1 of 2 chaos cells FAILED" in captured.err
+
+
+def test_parser_knows_resilience_flags():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--timeout", "5", "--retries", "1",
+                              "--resume", "ckpt.jsonl", "--jobs", "4"])
+    assert args.timeout == 5.0 and args.retries == 1
+    assert args.resume == "ckpt.jsonl"
+    args = parser.parse_args(["attack", "v1", "--timeout", "9"])
+    assert args.timeout == 9.0 and args.retries == 2
+    args = parser.parse_args(["chaos", "--seed", "5", "--hang-timeout", "3"])
+    assert args.seed == 5 and args.hang_timeout == 3.0
+    assert args.kernel == "atax" and args.jobs == 2
