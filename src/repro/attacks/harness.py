@@ -77,13 +77,22 @@ def run_attack(
     secret: bytes = spectre_v1.DEFAULT_SECRET,
     vliw_config=None,
     interpreter=None,
+    engine_config=None,
+    program=None,
     fault=None,
 ) -> AttackResult:
-    """Run one PoC under one policy and score the recovered bytes."""
+    """Run one PoC under one policy and score the recovered bytes.
+
+    ``program`` may carry a pre-assembled PoC binary (it must have been
+    built for ``variant`` and ``secret``); when omitted the binary is
+    assembled here.  Benchmarks prebuild so their walls measure the DBT
+    platform rather than the guest assembler.
+    """
     apply_worker_fault(fault)
-    program = build_attack_program(variant, secret)
+    if program is None:
+        program = build_attack_program(variant, secret)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
-                       interpreter=interpreter)
+                       engine_config=engine_config, interpreter=interpreter)
     run = system.run()
     recovered = run.output[:len(secret)]
     return AttackResult(
@@ -98,11 +107,13 @@ def attack_matrix(
     variants: Sequence[AttackVariant] = tuple(AttackVariant),
     jobs: int = 1,
     interpreter=None,
+    engine_config=None,
     timeout=None,
     retries: int = 2,
     backoff: float = 0.5,
     telemetry=None,
     worker_faults=None,
+    programs=None,
 ) -> Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]]:
     """The Section V-A result matrix: variant x policy -> outcome.
 
@@ -114,6 +125,9 @@ def attack_matrix(
     when cells still fail).  Results are gathered in submission order
     (variants outermost, policies innermost), so the returned matrix is
     identical to the serial one.
+
+    ``programs`` maps :class:`AttackVariant` to a pre-assembled PoC
+    binary (built for this ``secret``); see :func:`run_attack`.
     """
     from ..platform.parallel import run_points
 
@@ -122,7 +136,8 @@ def attack_matrix(
     points = [(variant, policy) for variant in variants for policy in policies]
     outcomes = run_points(
         run_attack,
-        [(variant, policy, secret, None, interpreter)
+        [(variant, policy, secret, None, interpreter, engine_config,
+          programs.get(variant) if programs else None)
          for variant, policy in points],
         labels=["%s/%s" % (variant.value, policy.value)
                 for variant, policy in points],

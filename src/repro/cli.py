@@ -60,6 +60,7 @@ from .interp.executor import run_program
 from .isa.assembler import assemble
 from .isa.disassembler import dump
 from .platform.comparison import slowdown_table
+from .dbt.engine import DbtEngineConfig
 from .platform.system import DbtSystem
 from .security.policy import ALL_POLICIES, MitigationPolicy
 from .vliw.config import VliwConfig, wide_config
@@ -140,6 +141,18 @@ def _write_text(path: str, text: str) -> None:
         handle.write(text)
 
 
+def _engine_config(args) -> Optional[DbtEngineConfig]:
+    """Engine config from the shared --chain/--cache-* flags, or None
+    when every flag is at its default (the seed configuration)."""
+    chain = getattr(args, "chain", False)
+    cache_policy = getattr(args, "cache_policy", "flush")
+    cache_capacity = getattr(args, "cache_capacity", None)
+    if not chain and cache_policy == "flush" and cache_capacity is None:
+        return None
+    return DbtEngineConfig(chain=chain, code_cache_policy=cache_policy,
+                           code_cache_capacity=cache_capacity)
+
+
 def cmd_run(args) -> int:
     program = _load_guest(args.file)
     if args.interp:
@@ -156,7 +169,8 @@ def cmd_run(args) -> int:
 
         supervisor = ExecutionSupervisor(observer=observer)
     system = DbtSystem(program, policy=args.policy,
-                       vliw_config=_vliw_config(args), observer=observer,
+                       vliw_config=_vliw_config(args),
+                       engine_config=_engine_config(args), observer=observer,
                        supervisor=supervisor)
     result = system.run()
     print("exit code : %d" % result.exit_code)
@@ -231,10 +245,12 @@ def cmd_attack(args) -> int:
                else AttackVariant.SPECTRE_V4)
     secret = args.secret.encode()
     policies = [args.policy] if args.policy else list(ALL_POLICIES)
+    engine_config = _engine_config(args)
     if args.jobs > 1 and len(policies) > 1:
         try:
             matrix = attack_matrix(secret=secret, policies=policies,
                                    variants=(variant,), jobs=args.jobs,
+                                   engine_config=engine_config,
                                    timeout=args.timeout,
                                    retries=args.retries)
         except ParallelRunError as error:
@@ -242,7 +258,8 @@ def cmd_attack(args) -> int:
             return 1
         results = [matrix[variant][policy] for policy in policies]
     else:
-        results = [run_attack(variant, policy, secret=secret)
+        results = [run_attack(variant, policy, secret=secret,
+                              engine_config=engine_config)
                    for policy in policies]
     leaked_anywhere = False
     for result in results:
@@ -271,6 +288,7 @@ def cmd_sweep(args) -> int:
     try:
         comparisons = sweep_comparisons(
             workloads, jobs=args.jobs, cache_dir=args.cache_dir,
+            engine_config=_engine_config(args),
             expect_exit_codes=expected,
             timeout=args.timeout, retries=args.retries,
             checkpoint=args.resume, telemetry=telemetry,
@@ -343,7 +361,7 @@ def cmd_chaos(args) -> int:
 
     outcomes = run_chaos_matrix(
         seed=args.seed, kernel=args.kernel, jobs=args.jobs,
-        hang_timeout=args.hang_timeout,
+        hang_timeout=args.hang_timeout, chain=args.chain,
     )
     print(format_chaos_table(outcomes))
     failed = [outcome for outcome in outcomes if not outcome.ok]
@@ -351,7 +369,8 @@ def cmd_chaos(args) -> int:
         print("\n%d of %d chaos cells FAILED" % (len(failed), len(outcomes)),
               file=sys.stderr)
         return 1
-    print("\nall %d chaos cells ok (seed %d)" % (len(outcomes), args.seed))
+    print("\nall %d chaos cells ok (seed %d%s)"
+          % (len(outcomes), args.seed, ", chained" if args.chain else ""))
     return 0
 
 
@@ -374,6 +393,21 @@ def build_parser() -> argparse.ArgumentParser:
     def add_wide(p):
         p.add_argument("--wide", type=int, default=None, metavar="N",
                        help="use an N-wide machine instead of the default 4-wide")
+
+    def add_engine(p):
+        p.add_argument(
+            "--chain", action="store_true",
+            help="chain translated blocks so dispatch goes block→block "
+                 "without an engine round trip (bit-identical results, "
+                 "faster host execution)")
+        p.add_argument(
+            "--cache-policy", choices=("flush", "lru"), default="flush",
+            help="code-cache capacity policy: wholesale flush (seed "
+                 "behavior) or LRU partial eviction (default: %(default)s)")
+        p.add_argument(
+            "--cache-capacity", type=int, default=None, metavar="N",
+            help="bound the code cache to N translations "
+                 "(default: unbounded)")
 
     asm_parser = sub.add_parser(
         "asm", help="assemble to a binary container (.bin)",
@@ -408,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
              "and print its detection/recovery counters")
     add_policy(run_parser)
     add_wide(run_parser)
+    add_engine(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     dis_parser = sub.add_parser("dis", help="assemble and disassemble")
@@ -443,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2, metavar="N",
         help="pool retry attempts for crashed/timed-out cells before "
              "the serial fallback (default: %(default)s)")
+    add_engine(attack_parser)
     attack_parser.set_defaults(func=cmd_attack)
 
     sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
@@ -477,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint: completed points are appended as they "
              "land and replayed on the next run, so a killed sweep "
              "resumes instead of starting over")
+    add_engine(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     bench_parser = sub.add_parser(
@@ -529,6 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-point timeout the hung-worker "
                                    "scenario must survive "
                                    "(default: %(default)s)")
+    chaos_parser.add_argument("--chain", action="store_true",
+                              help="run every engine scenario with block "
+                                   "chaining enabled")
     chaos_parser.set_defaults(func=cmd_chaos)
 
     return parser

@@ -1,0 +1,435 @@
+"""Block chaining: direct block→block dispatch without engine round trips.
+
+Production DBTs (QEMU's ``tb_jmp_cache`` chaining, Transmeta CMS)
+rarely return to the dispatcher between translated blocks: each block's
+exit is patched to jump straight to the next translation.  This module
+is the software analogue for our platform.  When chaining is enabled
+(``DbtEngineConfig.chain``), :class:`ChainedDispatcher` follows a
+block's exit PC to the next installed translation and executes it
+directly, skipping the per-block round trip through
+``DbtSystem.step_block`` → ``DbtEngine.lookup`` →
+``DbtEngine.record_execution`` that dominates host cost now that
+intra-block execution runs on the fast path.
+
+Two dispatch strategies implement the same semantics:
+
+* the **fused fast path** (:meth:`~repro.vliw.pipeline.VliwCore.execute_chain`)
+  — when the core runs the fast path with no observer, tracer,
+  supervisor or fault guard, the whole chain executes inside one core
+  call: machine state is hoisted once and successive blocks run
+  back-to-back, with the profiling seam (block counts, branch outcomes,
+  the hotness trigger, budget checks) inlined between blocks.  This is
+  the configuration ``repro bench-host`` measures;
+* the **general loop** (:meth:`ChainedDispatcher._dispatch_general`) —
+  with a supervisor, observer, tracer or the reference interpreter
+  attached, each block still goes through ``core.execute_block`` (or
+  ``supervisor.execute``) so every hook fires exactly as in the seed
+  loop, and only the engine round trip is elided.
+
+Both record profiling feedback with the exact semantics of
+:meth:`~repro.dbt.engine.DbtEngine.record_execution`, and break out of
+the chain back to the engine loop precisely when the seed loop would do
+engine-visible work:
+
+* ``hot`` — a first-pass block crossed ``hot_threshold`` and was
+  optimized (the replacement must be fetched through ``engine.lookup``);
+* ``rollback`` — an MCB rollback occurred (adaptive conflict
+  retranslation may replace the block);
+* ``syscall`` — the platform must service the syscall;
+* ``miss`` — the exit PC has no installed translation;
+* ``budget`` — the platform's block/cycle budget is due for a check.
+
+Because every engine decision still happens at the same block boundary
+with the same profile state, translation order, optimization decisions
+and cycle counts are **bit-identical** to the unchained loop (gated by
+``tests/platform/test_fastpath_differential.py``).
+
+Chain links are bookkeeping over the translation cache's contents, so
+every cache mutation must tear down the affected links: installs that
+replace a translation, invalidations (including supervisor
+quarantines), LRU evictions, and wholesale capacity flushes all unlink
+through :class:`ChainIndex` — synchronously, inside the cache, because
+under supervision a mid-chain injector fault can evict the very block
+the dispatcher is about to jump to.  The per-entry :class:`ChainLink`
+records (pre-resolved finalized form, branch-profiling metadata,
+rollback possibility) live in the same index and die with the links, so
+a replaced translation can never be executed through a stale record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..vliw.block import TranslatedBlock
+from ..vliw.fastpath import finalize_block
+from ..vliw.isa import VliwOpcode
+from ..vliw.pipeline import BlockResult, ExitReason
+from .profile import BranchProfile
+
+
+@dataclass
+class ChainStats:
+    """Lifetime counters of one chained dispatcher."""
+
+    #: Links created (pred exit PC resolved to an installed translation).
+    links: int = 0
+    #: Blocks executed from inside a chain (including the chain heads).
+    dispatches: int = 0
+    #: Chain exits back to the engine loop, by reason.
+    breaks: Dict[str, int] = field(default_factory=dict)
+
+
+class ChainLink:
+    """Per-translation dispatch record: everything the chained
+    dispatcher needs about one installed block, resolved once.
+
+    ``branch`` is ``(branch address, taken target)`` when the block's
+    terminator is a conditional branch with distinct targets (the same
+    condition ``record_execution`` re-derives on every execution), else
+    ``None``.  ``can_rollback`` is whether the block contains any
+    MCB-speculative load — the only way an execution can raise a
+    rollback — so the fused dispatcher skips the per-block register
+    snapshot and store log for blocks that cannot possibly need them.
+    ``fblock`` is the finalized form (``None`` until the fast path first
+    needs it).
+    """
+
+    __slots__ = ("block", "fblock", "entry", "firstpass", "branch",
+                 "can_rollback")
+
+    def __init__(self, block: TranslatedBlock,
+                 fblock: Optional[object],
+                 branch: Optional[Tuple[int, int]]) -> None:
+        self.block = block
+        self.fblock = fblock
+        self.entry = block.guest_entry
+        self.firstpass = block.kind == "firstpass"
+        self.branch = branch
+        self.can_rollback = any(
+            op.opcode is VliwOpcode.LOAD and op.speculative
+            for bundle in block.bundles for op in bundle
+        )
+
+
+class ChainIndex:
+    """Successor links between installed translations.
+
+    Keeps a forward map (``pred entry → {exit pc → successor link}``)
+    and a reverse map (``succ entry → {pred entries}``) so that dropping
+    a translation can sever both the links *from* it and the links *to*
+    it without scanning the whole index, plus the per-entry
+    :class:`ChainLink` records themselves — one bookkeeping object per
+    installed translation, dropped with the translation.
+    """
+
+    def __init__(self) -> None:
+        self._out: Dict[int, Dict[int, ChainLink]] = {}
+        self._preds: Dict[int, Set[int]] = {}
+        #: Dispatch records per installed entry (chain heads included).
+        self.records: Dict[int, ChainLink] = {}
+
+    def successors(self, entry: int) -> Optional[Dict[int, ChainLink]]:
+        """Forward links of ``entry`` (inspection)."""
+        return self._out.get(entry)
+
+    def link(self, pred_entry: int, next_pc: int,
+             successor: ChainLink) -> None:
+        """Record that ``pred_entry`` exiting to ``next_pc`` dispatches
+        straight to ``successor``."""
+        out = self._out.get(pred_entry)
+        if out is None:
+            out = {}
+            self._out[pred_entry] = out
+        out[next_pc] = successor
+        succ_entry = successor.entry
+        preds = self._preds.get(succ_entry)
+        if preds is None:
+            preds = set()
+            self._preds[succ_entry] = preds
+        preds.add(pred_entry)
+
+    def unlink(self, entry: int) -> None:
+        """Sever every link from and to ``entry`` (its translation is
+        being replaced, invalidated, quarantined or evicted), and drop
+        its dispatch record."""
+        self.records.pop(entry, None)
+        out = self._out.pop(entry, None)
+        if out is not None:
+            for successor in out.values():
+                preds = self._preds.get(successor.entry)
+                if preds is not None:
+                    preds.discard(entry)
+        preds = self._preds.pop(entry, None)
+        if preds is not None:
+            for pred in preds:
+                pred_out = self._out.get(pred)
+                if pred_out is not None:
+                    stale = [pc for pc, successor in pred_out.items()
+                             if successor.entry == entry]
+                    for pc in stale:
+                        del pred_out[pc]
+
+    def clear(self) -> None:
+        """Drop every link and record (wholesale capacity flush).  In
+        place: the dispatcher holds direct references to the internal
+        maps."""
+        self._out.clear()
+        self._preds.clear()
+        self.records.clear()
+
+    def link_count(self) -> int:
+        return sum(len(out) for out in self._out.values())
+
+    def has_links(self, entry: int) -> bool:
+        """Whether any link from *or* to ``entry`` survives (tests)."""
+        if self._out.get(entry):
+            return True
+        if self._preds.get(entry):
+            return True
+        return any(successor.entry == entry
+                   for out in self._out.values()
+                   for successor in out.values())
+
+
+class ChainContext:
+    """Hoisted engine state :meth:`VliwCore.execute_chain` dispatches
+    against — direct references to the live dicts, built once per
+    dispatcher.  Everything here is mutated only in place (the cache's
+    ``_blocks``, the index's ``_out`` and the profile's dicts are never
+    rebound), so the references stay valid for the system's lifetime.
+    """
+
+    __slots__ = ("out", "records", "raw_blocks", "block_counts",
+                 "branches", "branch_profile", "hot_threshold",
+                 "max_optimizations", "engine_stats", "max_blocks",
+                 "max_cycles", "lru", "link_successor")
+
+    def __init__(self, dispatcher: "ChainedDispatcher") -> None:
+        engine = dispatcher.engine
+        limits = dispatcher.system.platform_config
+        self.out = dispatcher.chains._out
+        self.records = dispatcher.chains.records
+        self.raw_blocks = engine.cache._blocks
+        self.block_counts = engine.profile._block_counts
+        self.branches = engine.profile._branches
+        self.branch_profile = BranchProfile
+        self.hot_threshold = engine.config.hot_threshold
+        self.max_optimizations = engine.config.max_optimizations
+        self.engine_stats = engine.stats
+        self.max_blocks = limits.max_blocks
+        self.max_cycles = limits.max_cycles
+        self.lru = engine.cache._lru
+        self.link_successor = dispatcher._link_successor
+
+
+class ChainedDispatcher:
+    """Runs chains of linked translations on behalf of ``DbtSystem``.
+
+    One instance per system; created when ``DbtEngineConfig.chain`` is
+    set.  ``dispatch`` takes the block ``step_block`` just looked up,
+    executes it and every linked successor, and returns the final
+    :class:`~repro.vliw.pipeline.BlockResult` — the one the seed loop
+    would have been holding at the same boundary — for the caller to
+    apply syscall/PC handling to.
+    """
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.engine = system.engine
+        self.chains: ChainIndex = system.engine.chains
+        self.stats = ChainStats()
+        self._context = ChainContext(self)
+
+    # ------------------------------------------------------------------
+    # Dispatch records.
+    # ------------------------------------------------------------------
+
+    def _record_for(self, block: TranslatedBlock) -> ChainLink:
+        """The dispatch record of ``block``, created on first sight.
+
+        Records are keyed by entry and die with the translation (every
+        cache mutation unlinks through :class:`ChainIndex`), so the
+        identity check only fires when a caller hands us a block the
+        cache does not know about yet — e.g. a supervisor mid-ladder.
+        """
+        records = self.chains.records
+        record = records.get(block.guest_entry)
+        if record is None or record.block is not block:
+            record = self._make_record(block)
+        return record
+
+    def _make_record(self, block: TranslatedBlock) -> ChainLink:
+        entry = block.guest_entry
+        basic_block = self.engine._basic_blocks.get(entry)
+        branch: Optional[Tuple[int, int]] = None
+        if basic_block is not None and basic_block.terminator.is_branch:
+            targets = basic_block.branch_targets()
+            if targets is not None and targets[0] != targets[1]:
+                branch = (basic_block.terminator.address, targets[0])
+        core = self.system.core
+        fblock = (finalize_block(block, core.config)
+                  if core.use_fast_path else None)
+        record = ChainLink(block, fblock, branch)
+        self.chains.records[entry] = record
+        return record
+
+    def _link_successor(self, pred_entry: int, next_pc: int,
+                        block: TranslatedBlock) -> ChainLink:
+        """Create the chain link ``pred_entry`` → ``next_pc`` and return
+        the successor's dispatch record."""
+        record = self._record_for(block)
+        self.chains.link(pred_entry, next_pc, record)
+        self.stats.links += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    def dispatch(self, block: TranslatedBlock) -> BlockResult:
+        """Execute ``block`` and chase chain links until a break."""
+        system = self.system
+        core = system.core
+        if (system.supervisor is None
+                and core.observer is None
+                and self.engine.observer is None
+                and core.tracer is None
+                and core.use_fast_path
+                and not core.guard_faults):
+            return self._dispatch_fused(block)
+        return self._dispatch_general(block)
+
+    def _dispatch_fused(self, block: TranslatedBlock) -> BlockResult:
+        """Whole-chain execution inside the core (see module docstring)."""
+        system = self.system
+        engine = self.engine
+        record = self._record_for(block)
+        if record.fblock is None:
+            record.fblock = finalize_block(record.block, system.core.config)
+        result, reason, record, blocks_executed, dispatches = (
+            system.core.execute_chain(record, self._context,
+                                      system.blocks_executed))
+        system.blocks_executed = blocks_executed
+        stats = self.stats
+        stats.dispatches += dispatches
+        stats.breaks[reason] = stats.breaks.get(reason, 0) + 1
+        # Engine-visible follow-ups, exactly where record_execution
+        # would have run them (after the profiling seam of the block
+        # that broke the chain).
+        if reason == "hot":
+            engine.optimize(record.entry)
+        elif reason == "rollback":
+            engine._note_rollback(record.block)
+        return result
+
+    def _dispatch_general(self, block: TranslatedBlock) -> BlockResult:
+        """Per-block chained loop for instrumented/supervised systems.
+
+        Inlines the seed loop's per-block work — execution, profiling
+        feedback, the hotness trigger, rollback notification and budget
+        checks — with everything hot hoisted into locals, while still
+        executing each block through the core's (or supervisor's) public
+        entry point so every observer, tracer and fault-guard hook fires
+        exactly as in the seed loop.
+        """
+        system = self.system
+        engine = self.engine
+        core = system.core
+        supervisor = system.supervisor
+        observer = engine.observer
+        stats = self.stats
+        chains = self.chains
+        out_links = chains._out
+        raw_blocks = engine.cache._blocks
+        profile = engine.profile
+        block_counts = profile._block_counts
+        branches = profile._branches
+        config = engine.config
+        hot_threshold = config.hot_threshold
+        max_optimizations = config.max_optimizations
+        engine_stats = engine.stats
+        limits = system.platform_config
+        max_blocks = limits.max_blocks
+        max_cycles = limits.max_cycles
+        execute_block = core.execute_block
+        syscall = ExitReason.SYSCALL
+        lru = engine.cache._lru
+        blocks_executed = system.blocks_executed
+        dispatches = 0
+
+        while True:
+            if supervisor is not None:
+                result, block = supervisor.execute(system, block)
+            else:
+                result = execute_block(block)
+            blocks_executed += 1
+            dispatches += 1
+            record = self._record_for(block)
+            entry = record.entry
+            if lru:
+                # The unchained loop refreshes LRU recency on every
+                # ``engine.lookup``; mirror it per dispatched block so
+                # eviction order stays bit-identical.  ``pop`` guards
+                # against a mid-chain invalidation (injector eviction).
+                current = raw_blocks.pop(entry, None)
+                if current is not None:
+                    raw_blocks[entry] = current
+            # record_execution, inlined: block count ...
+            count = block_counts.get(entry, 0) + 1
+            block_counts[entry] = count
+            if observer is not None:
+                observer.profile_block()
+            # ... branch outcome ...
+            meta = record.branch
+            if meta is not None and result.reason is not syscall:
+                branch_address, taken_target = meta
+                branch_profile = branches.get(branch_address)
+                if branch_profile is None:
+                    branch_profile = BranchProfile()
+                    branches[branch_address] = branch_profile
+                if result.next_pc == taken_target:
+                    branch_profile.taken += 1
+                else:
+                    branch_profile.not_taken += 1
+                if observer is not None:
+                    observer.profile_branch()
+            # ... hotness trigger / rollback notification.
+            if (
+                record.firstpass
+                and count >= hot_threshold
+                and engine_stats.optimizations < max_optimizations
+            ):
+                if observer is not None:
+                    observer.emit("hot_block", entry="%#x" % entry,
+                                  executions=count)
+                engine.optimize(entry)
+                reason = "hot"
+                break
+            elif result.rolled_back:
+                engine._note_rollback(block)
+                reason = "rollback"
+                break
+            if result.reason is syscall:
+                reason = "syscall"
+                break
+            if blocks_executed >= max_blocks or core.cycle >= max_cycles:
+                reason = "budget"
+                break
+            next_pc = result.next_pc
+            successors = out_links.get(entry)
+            successor = (successors.get(next_pc)
+                         if successors is not None else None)
+            if successor is None:
+                successor_block = raw_blocks.get(next_pc)
+                if successor_block is None:
+                    reason = "miss"
+                    break
+                successor = self._link_successor(entry, next_pc,
+                                                 successor_block)
+            block = successor.block
+
+        system.blocks_executed = blocks_executed
+        stats.dispatches += dispatches
+        stats.breaks[reason] = stats.breaks.get(reason, 0) + 1
+        return result

@@ -33,6 +33,7 @@ from .blocks import BasicBlock, discover_block
 from .codegen import sequential_translate
 from .ir import IRBlock
 from .irbuilder import build_ir
+from .chaining import ChainIndex
 from .profile import ExecutionProfile
 from .scheduler import SchedulerOptions, schedule_block
 from .superblock import SuperblockLimits, build_superblock
@@ -57,6 +58,14 @@ class DbtEngineConfig:
     #: Code-cache capacity in blocks (None = unbounded).  A full cache is
     #: flushed wholesale, as real DBT code caches are.
     code_cache_capacity: Optional[int] = None
+    #: What happens when the capacity limit is hit: ``"flush"`` (seed
+    #: behavior, wholesale flush) or ``"lru"`` (tiered partial
+    #: eviction of the least-recently-used translation).
+    code_cache_policy: str = "flush"
+    #: Chain installed translations block→block so the dispatcher skips
+    #: the engine round trip (bit-identical to the seed loop; see
+    #: :mod:`repro.dbt.chaining`).
+    chain: bool = False
 
 
 @dataclass
@@ -89,7 +98,19 @@ class DbtEngine:
         self.cache = TranslationCache(
             capacity=self.config.code_cache_capacity,
             finalizer=lambda block: finalize_block(block, self.vliw_config),
+            capacity_policy=self.config.code_cache_policy,
         )
+        #: Successor links between installed translations; the cache
+        #: unlinks through this on every mutation.  ``None`` when
+        #: chaining is off keeps every seed code path untouched.
+        self.chains: Optional[ChainIndex] = (
+            ChainIndex() if self.config.chain else None)
+        self.cache.chains = self.chains
+        # Scope per-translation bookkeeping (poison reports, rollback
+        # counts) to the cache's actual contents: evictions and flushes
+        # must not leave stale entries behind.
+        self.cache.evict_listeners.append(self._forget_translation)
+        self.cache.flush_listeners.append(self._forget_all_translations)
         self.profile = ExecutionProfile()
         self.stats = DbtEngineStats()
         #: Optional :class:`~repro.obs.observer.Observer` (set by the
@@ -132,6 +153,18 @@ class DbtEngine:
         self.cache.install(block)
         if self.supervisor is not None:
             self.supervisor.post_install(block, self.cache)
+
+    def _forget_translation(self, entry: int) -> None:
+        """An eviction dropped ``entry``'s translation; drop the
+        bookkeeping that described it so inspection tooling never serves
+        a stale poison report and the dicts stay bounded."""
+        self.reports.pop(entry, None)
+        self._rollback_counts.pop(entry, None)
+
+    def _forget_all_translations(self) -> None:
+        """A wholesale capacity flush dropped every translation."""
+        self.reports.clear()
+        self._rollback_counts.clear()
 
     def _translate_first_pass(self, pc: int) -> TranslatedBlock:
         basic_block = discover_block(self.program, pc)
@@ -211,6 +244,8 @@ class DbtEngine:
                 memory_speculation=False,
                 max_speculative_loads=options.max_speculative_loads,
             )
+            report: Optional[PoisonReport] = None
+            mitigation: Optional[MitigationResult] = None
             if self.policy.analyzes_patterns:
                 report = analyze_block(
                     ir,
@@ -220,12 +255,38 @@ class DbtEngine:
                 self.reports[entry] = report
                 if report.has_pattern:
                     if self.policy is MitigationPolicy.GHOSTBUSTERS:
-                        apply_ghostbusters(ir, report)
+                        mitigation = apply_ghostbusters(ir, report)
                     else:
-                        apply_fence(ir, report)
+                        mitigation = apply_fence(ir, report)
             translated = schedule_block(ir, self.vliw_config, options,
                                         kind="reoptimized", observer=observer)
+            if self.supervisor is not None:
+                # Same install-time legality gate optimize() passes
+                # through: a retranslated schedule is a new generation
+                # and gets no exemption.
+                translated = self.supervisor.gate_schedule(
+                    entry, ir, translated, self.vliw_config,
+                    lambda: schedule_block(ir, self.vliw_config, options,
+                                           kind="reoptimized",
+                                           observer=observer),
+                    lambda: schedule_block(
+                        ir, self.vliw_config,
+                        SchedulerOptions(branch_speculation=False,
+                                         memory_speculation=False,
+                                         max_speculative_loads=0),
+                        kind="reoptimized", observer=observer),
+                )
+            if report is not None:
+                translated.spectre_patterns_found = report.pattern_count
+                self.stats.spectre_patterns_detected += report.pattern_count
+            if mitigation is not None:
+                translated.mitigations_applied = mitigation.edges_added
+                self.stats.mitigation_edges_added += mitigation.edges_added
             self.stats.conflict_retranslations += 1
+            self.stats.speculative_loads_emitted += translated.speculative_loads
+            if observer is not None and translated.speculative_loads:
+                observer.emit("spec_load_emitted", entry="%#x" % entry,
+                              count=translated.speculative_loads)
             self._install(translated)
         return translated
 

@@ -145,7 +145,7 @@ class DepKind(enum.Enum):
     SPECTRE = "spectre"  # mitigation-inserted control dependency
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Dependence:
     """A scheduling edge: ``dst`` may not be scheduled before ``src``.
 

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..obs.observer import maybe_phase
 from ..vliw.block import TranslatedBlock
-from ..vliw.bundle import Bundle, assign_slots
+from ..vliw.bundle import Bundle
 from ..vliw.config import VliwConfig
 from ..vliw.isa import VliwOp, VliwOpcode
 from .codegen import sequential_translate, vliw_op_from_ir
@@ -253,8 +253,19 @@ def _schedule_renamed(
     relaxed_ctrl: List[List[int]] = [[] for _ in range(count)]  # pred exits
     successors: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
 
+    # Producer latency per op, computed once: DATA edges all share the
+    # same per-producer delay, and blocks carry O(n^2) edges.
+    hit_latency = config.cache.hit_latency
+    latencies = config.latencies
+    data_delay = [
+        hit_latency if op.opcode is VliwOpcode.LOAD
+        else max(1, latencies[op.unit])
+        for op in ops
+    ]
+
     for edge in block.dependences():
-        delay = _edge_delay(edge, ops, config)
+        delay = (data_delay[edge.src] if edge.kind is DepKind.DATA
+                 else edge.min_delay)
         if edge.relaxable and edge.kind is DepKind.MEM and options.memory_speculation:
             relaxed_mem[edge.dst].append(edge.src)
             continue
@@ -279,22 +290,45 @@ def _schedule_renamed(
     max_cycles = count * 64 + 256  # progress safety net
 
     order = sorted(range(count), key=lambda i: -priority[i])
+    issue_width = config.issue_width
+    slots_for = config.slots_for
     while remaining:
         if cycle > max_cycles:
             raise SchedulerError(
                 "scheduler failed to make progress on block %#x" % ir.entry
             )
+        order = [n for n in order if scheduled_bundle[n] is None]
         chosen: List[int] = []
+        chosen_set: Set[int] = set()
         chosen_ops: List[VliwOp] = []
+        # Incremental bipartite matching over the issue slots: the
+        # augmenting-path extension accepts a candidate exactly when the
+        # from-scratch ``assign_slots`` feasibility check would (a
+        # matching saturating the chosen ops extends to the candidate iff
+        # a maximum matching saturates all of them), while touching only
+        # the new op's alternating paths.
+        op_of_slot: List[Optional[int]] = [None] * issue_width
+
+        def _try_place(op_index: int, visited: List[bool]) -> bool:
+            for slot_index in slots_for(chosen_ops[op_index].unit):
+                if visited[slot_index]:
+                    continue
+                visited[slot_index] = True
+                holder = op_of_slot[slot_index]
+                if holder is None or _try_place(holder, visited):
+                    op_of_slot[slot_index] = op_index
+                    return True
+            return False
+
         progress = True
         while progress:
             progress = False
             for node in order:
-                if scheduled_bundle[node] is not None or node in chosen:
+                if node in chosen_set:
                     continue
                 placement = _placeable(
                     node, cycle, enforced, relaxed_mem, scheduled_bundle,
-                    chosen, spec_budget, ops,
+                    chosen_set, spec_budget, ops,
                 )
                 if placement is None:
                     continue
@@ -302,10 +336,15 @@ def _schedule_renamed(
                 candidate_op = ops[node]
                 if is_speculative:
                     candidate_op = candidate_op.as_speculative()
-                if assign_slots(chosen_ops + [candidate_op], config) is None:
+                if len(chosen_ops) >= issue_width:
+                    continue
+                chosen_ops.append(candidate_op)
+                if not _try_place(len(chosen_ops) - 1,
+                                  [False] * issue_width):
+                    chosen_ops.pop()
                     continue
                 chosen.append(node)
-                chosen_ops.append(candidate_op)
+                chosen_set.add(node)
                 if is_speculative:
                     speculative.add(node)
                     spec_budget -= 1
@@ -351,7 +390,7 @@ def _placeable(
     enforced: List[List[Tuple[int, int]]],
     relaxed_mem: List[List[int]],
     scheduled_bundle: List[Optional[int]],
-    chosen: List[int],
+    chosen: Set[int],
     spec_budget: int,
     ops: List[VliwOp],
 ) -> Optional[bool]:
@@ -377,16 +416,6 @@ def _placeable(
     if needs_speculation and spec_budget <= 0:
         return None
     return needs_speculation
-
-
-def _edge_delay(edge: Dependence, ops: Sequence[VliwOp], config: VliwConfig) -> int:
-    """Minimum bundle distance an enforced edge imposes."""
-    if edge.kind is DepKind.DATA:
-        producer = ops[edge.src]
-        if producer.opcode is VliwOpcode.LOAD:
-            return config.cache.hit_latency
-        return max(1, config.latencies[producer.unit])
-    return edge.min_delay
 
 
 def _critical_path(

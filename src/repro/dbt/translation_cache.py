@@ -3,14 +3,35 @@
 The software analogue of Hybrid-DBT's code memory.  First-pass
 translations can later be *replaced* by optimized superblocks for the
 same entry; the cache keeps both generations' statistics.
+
+Two capacity policies are supported when ``capacity`` is set:
+
+* ``"flush"`` (default, the seed behavior) — a full cache is flushed
+  wholesale, as classic DBT code caches are;
+* ``"lru"`` — tiered partial eviction: the least-recently-used
+  translation is dropped to make room, so long-running guests stop
+  losing every hot superblock at once.  Recency is refreshed on every
+  lookup and install; the chained dispatcher mirrors the refresh per
+  dispatched block so eviction order is identical with chaining on.
+
+The cache is also the synchronization point for block chaining: when a
+:class:`~repro.dbt.chaining.ChainIndex` is attached (``self.chains``),
+every mutation — replacement installs, invalidations, LRU evictions,
+wholesale flushes, ``clear()`` — severs the affected chain links before
+the translation goes away, so a chained dispatcher can never jump to a
+dropped block.  ``evict_listeners``/``flush_listeners`` let the engine
+and the supervisor scope their per-entry bookkeeping to the cache's
+actual contents.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..vliw.block import TranslatedBlock
+
+_CAPACITY_POLICIES = ("flush", "lru")
 
 
 @dataclass
@@ -21,8 +42,10 @@ class TranslationCacheStats:
     misses: int = 0
     installs: int = 0
     replacements: int = 0
-    #: Whole-cache flushes forced by the capacity limit.
+    #: Whole-cache flushes forced by the capacity limit (policy "flush").
     capacity_flushes: int = 0
+    #: Single-translation LRU evictions (policy "lru").
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -33,16 +56,22 @@ class TranslationCache:
     """Address-keyed store of translated blocks.
 
     ``capacity`` bounds the number of cached translations, modelling the
-    fixed code-cache memory of a real DBT.  Like most production DBTs
-    (which avoid the bookkeeping of partial eviction), hitting the limit
-    flushes the whole cache; hot code simply retranslates.
+    fixed code-cache memory of a real DBT; ``capacity_policy`` selects
+    what happens when the limit is hit (see the module docstring).
     """
 
     def __init__(self, capacity: Optional[int] = None,
-                 finalizer: Optional[Callable[[TranslatedBlock], object]] = None) -> None:
+                 finalizer: Optional[Callable[[TranslatedBlock], object]] = None,
+                 capacity_policy: str = "flush") -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("translation cache capacity must be positive")
+        if capacity_policy not in _CAPACITY_POLICIES:
+            raise ValueError(
+                "capacity_policy must be one of %r, got %r"
+                % (_CAPACITY_POLICIES, capacity_policy))
         self.capacity = capacity
+        self.capacity_policy = capacity_policy
+        self._lru = capacity_policy == "lru"
         #: Optional lowering hook run once per installed block — the DBT
         #: engine points this at :func:`repro.vliw.fastpath.finalize_block`
         #: so translations are pre-decoded for the core's fast path at
@@ -50,35 +79,74 @@ class TranslationCache:
         self.finalizer = finalizer
         self._blocks: Dict[int, TranslatedBlock] = {}
         self.stats = TranslationCacheStats()
+        #: Optional :class:`~repro.dbt.chaining.ChainIndex`; every cache
+        #: mutation unlinks through it (set by the engine when chaining
+        #: is enabled).
+        self.chains = None
+        #: Called with the evicted entry on each LRU eviction.
+        self.evict_listeners: List[Callable[[int], None]] = []
+        #: Called (no arguments) on each wholesale capacity flush.
+        self.flush_listeners: List[Callable[[], None]] = []
 
     def lookup(self, entry: int) -> Optional[TranslatedBlock]:
         self.stats.lookups += 1
         block = self._blocks.get(entry)
         if block is None:
             self.stats.misses += 1
+        elif self._lru:
+            # Refresh recency: dict insertion order is the LRU order.
+            del self._blocks[entry]
+            self._blocks[entry] = block
         return block
 
     def install(self, block: TranslatedBlock) -> None:
-        if block.guest_entry in self._blocks:
+        entry = block.guest_entry
+        if entry in self._blocks:
             self.stats.replacements += 1
+            if self.chains is not None:
+                self.chains.unlink(entry)
+            if self._lru:
+                del self._blocks[entry]  # reinstall below at MRU position
         elif self.capacity is not None and len(self._blocks) >= self.capacity:
-            self._blocks.clear()
-            self.stats.capacity_flushes += 1
+            if self._lru:
+                victim = next(iter(self._blocks))
+                del self._blocks[victim]
+                self.stats.evictions += 1
+                if self.chains is not None:
+                    self.chains.unlink(victim)
+                for listener in self.evict_listeners:
+                    listener(victim)
+            else:
+                self._blocks.clear()
+                self.stats.capacity_flushes += 1
+                if self.chains is not None:
+                    self.chains.clear()
+                for listener in self.flush_listeners:
+                    listener()
         self.stats.installs += 1
         if self.finalizer is not None:
             self.finalizer(block)
-        self._blocks[block.guest_entry] = block
+        self._blocks[entry] = block
 
     def get(self, entry: int) -> Optional[TranslatedBlock]:
         """Untracked lookup (inspection)."""
         return self._blocks.get(entry)
 
     def invalidate(self, entry: int) -> bool:
-        """Drop one translation; returns whether it existed."""
-        return self._blocks.pop(entry, None) is not None
+        """Drop one translation; returns whether it existed.
+
+        Quarantines come through here, so the entry's chain links go
+        with it.
+        """
+        existed = self._blocks.pop(entry, None) is not None
+        if existed and self.chains is not None:
+            self.chains.unlink(entry)
+        return existed
 
     def clear(self) -> None:
         self._blocks.clear()
+        if self.chains is not None:
+            self.chains.clear()
 
     def __len__(self) -> int:
         return len(self._blocks)

@@ -95,14 +95,23 @@ def _mulhu(a: int, b: int) -> int:
     return (a * b) >> 64
 
 
+def _trunc_div(sa: int, sb: int) -> int:
+    """Signed division truncating toward zero (RISC-V semantics).
+
+    Exact integer arithmetic: ``int(sa / sb)`` would round through a
+    float and corrupt quotients once |sa| exceeds 2**53.
+    """
+    quotient = abs(sa) // abs(sb)
+    return -quotient if (sa < 0) != (sb < 0) else quotient
+
+
 def _div(a: int, b: int) -> int:
     sa, sb = to_signed(a), to_signed(b)
     if sb == 0:
         return MASK64  # all ones == -1
     if sa == _INT64_MIN and sb == -1:
         return to_unsigned(_INT64_MIN)
-    # RISC-V divides truncate toward zero.
-    return to_unsigned(int(sa / sb) if sb else 0)
+    return to_unsigned(_trunc_div(sa, sb))
 
 
 def _divu(a: int, b: int) -> int:
@@ -117,7 +126,7 @@ def _rem(a: int, b: int) -> int:
         return a
     if sa == _INT64_MIN and sb == -1:
         return 0
-    return to_unsigned(sa - int(sa / sb) * sb)
+    return to_unsigned(sa - _trunc_div(sa, sb) * sb)
 
 
 def _remu(a: int, b: int) -> int:
@@ -136,7 +145,7 @@ def _divw(a: int, b: int) -> int:
         return MASK64
     if sa == _INT32_MIN and sb == -1:
         return to_unsigned(_INT32_MIN)
-    return sign_extend32(int(sa / sb))
+    return sign_extend32(_trunc_div(sa, sb))
 
 
 def _divuw(a: int, b: int) -> int:
@@ -152,7 +161,7 @@ def _remw(a: int, b: int) -> int:
         return sign_extend32(sa)
     if sa == _INT32_MIN and sb == -1:
         return 0
-    return sign_extend32(sa - int(sa / sb) * sb)
+    return sign_extend32(sa - _trunc_div(sa, sb) * sb)
 
 
 def _remuw(a: int, b: int) -> int:

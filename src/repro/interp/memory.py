@@ -42,6 +42,12 @@ class Memory:
         """Read ``size`` bytes starting at ``address``."""
         if address < 0 or size < 0:
             raise MemoryError_("bad access: address=%r size=%r" % (address, size))
+        offset = address & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset:offset + size])
         out = bytearray(size)
         position = 0
         while position < size:
@@ -76,6 +82,13 @@ class Memory:
         """Read a ``width``-byte little-endian integer."""
         if width not in (1, 2, 4, 8):
             raise MemoryError_("bad access width: %r" % width)
+        offset = address & PAGE_MASK
+        if address >= 0 and offset + width <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:offset + width], "little",
+                                  signed=signed)
         return int.from_bytes(self.load_bytes(address, width), "little", signed=signed)
 
     def store_int(self, address: int, value: int, width: int) -> None:
@@ -83,6 +96,12 @@ class Memory:
         if width not in (1, 2, 4, 8):
             raise MemoryError_("bad access width: %r" % width)
         mask = (1 << (width * 8)) - 1
+        offset = address & PAGE_MASK
+        if address >= 0 and offset + width <= PAGE_SIZE:
+            page = self._page_for(address)
+            page[offset:offset + width] = (value & mask).to_bytes(
+                width, "little")
+            return
         self.store_bytes(address, (value & mask).to_bytes(width, "little"))
 
     # ------------------------------------------------------------------

@@ -96,6 +96,16 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         #: Deterministic LCG state for the 'random' policy.
         self._lcg_state = 0x2545F491
+        # Geometry/policy unpacked from the (frozen) config: every timed
+        # guest access goes through here, so avoid per-access attribute
+        # and property chains.
+        self._line_size = self.config.line_size
+        self._line_mask = ~(self.config.line_size - 1)
+        self._num_sets = self.config.num_sets
+        self._assoc = self.config.associativity
+        self._hit_latency = self.config.hit_latency
+        self._miss_latency = self.config.miss_latency
+        self._is_lru = self.config.replacement == "lru"
 
     # ------------------------------------------------------------------
     # Address decomposition.
@@ -103,11 +113,11 @@ class SetAssociativeCache:
 
     def line_address(self, address: int) -> int:
         """Address of the cache line containing ``address``."""
-        return address & ~(self.config.line_size - 1)
+        return address & self._line_mask
 
     def _index_tag(self, address: int) -> Tuple[int, int]:
-        line = address // self.config.line_size
-        return line % self.config.num_sets, line // self.config.num_sets
+        line = address // self._line_size
+        return line % self._num_sets, line // self._num_sets
 
     # ------------------------------------------------------------------
     # Access.
@@ -119,29 +129,34 @@ class SetAssociativeCache:
         Returns ``(hit, latency_cycles)``.  An access spanning two lines
         is charged as the worse of the two and fills both.
         """
-        first_line = self.line_address(address)
-        last_line = self.line_address(address + max(size, 1) - 1)
-        hit = True
-        for line in range(first_line, last_line + 1, self.config.line_size):
-            if not self._touch(line):
-                hit = False
-        latency = self.config.hit_latency if hit else self.config.miss_latency
-        if hit:
-            self.stats.hits += 1
+        mask = self._line_mask
+        first_line = address & mask
+        last_line = (address + max(size, 1) - 1) & mask
+        if first_line == last_line:
+            hit = self._touch(first_line)
         else:
-            self.stats.misses += 1
-        return hit, latency
+            hit = True
+            for line in range(first_line, last_line + 1, self._line_size):
+                if not self._touch(line):
+                    hit = False
+        stats = self.stats
+        if hit:
+            stats.hits += 1
+            return True, self._hit_latency
+        stats.misses += 1
+        return False, self._miss_latency
 
     def _touch(self, line_base: int) -> bool:
         """Access one line: update recency, fill on miss.  Returns hit."""
-        index, tag = self._index_tag(line_base)
-        ways = self._sets[index]
+        line = line_base // self._line_size
+        ways = self._sets[line % self._num_sets]
+        tag = line // self._num_sets
         if tag in ways:
-            if self.config.replacement == "lru":
+            if self._is_lru:
                 ways.remove(tag)
                 ways.append(tag)
             return True
-        if len(ways) >= self.config.associativity:
+        if len(ways) >= self._assoc:
             ways.pop(self._victim_position(len(ways)))
             self.stats.evictions += 1
         ways.append(tag)
@@ -167,8 +182,9 @@ class SetAssociativeCache:
     def flush_line(self, address: int) -> bool:
         """Invalidate the line holding ``address``; returns whether it was
         resident.  Implements the guest ``cflush`` instruction."""
-        index, tag = self._index_tag(self.line_address(address))
-        ways = self._sets[index]
+        line = (address & self._line_mask) // self._line_size
+        ways = self._sets[line % self._num_sets]
+        tag = line // self._num_sets
         self.stats.flushes += 1
         if tag in ways:
             ways.remove(tag)

@@ -36,6 +36,7 @@ class DataMemorySystem:
     ):
         self.memory = memory if memory is not None else Memory()
         self.cache = SetAssociativeCache(cache_config)
+        self._flush_latency = self.cache.config.hit_latency
 
     # ------------------------------------------------------------------
     # Timed accesses.
@@ -56,7 +57,7 @@ class DataMemorySystem:
     def flush_line(self, address: int) -> int:
         """Guest ``cflush``: invalidate the line, charge a fixed cost."""
         self.cache.flush_line(address)
-        return self.cache.config.hit_latency
+        return self._flush_latency
 
     # ------------------------------------------------------------------
     # Untimed accessors (setup, inspection).

@@ -243,3 +243,17 @@ class Observer:
                 engine.speculative_loads_emitted)
             reg.gauge("dbt.conflict_retranslations").set(
                 engine.conflict_retranslations)
+        tcache = getattr(result, "tcache", None)
+        if tcache is not None:
+            reg.gauge("dbt.tcache.lookups").set(tcache.lookups)
+            reg.gauge("dbt.tcache.misses").set(tcache.misses)
+            reg.gauge("dbt.tcache.installs").set(tcache.installs)
+            reg.gauge("dbt.tcache.evictions").set(tcache.evictions)
+            reg.gauge("dbt.tcache.capacity_flushes").set(
+                tcache.capacity_flushes)
+        chain = getattr(result, "chain", None)
+        if chain is not None:
+            reg.gauge("dbt.chain_links").set(chain.links)
+            reg.gauge("dbt.chain_dispatches").set(chain.dispatches)
+            for reason, count in chain.breaks.items():
+                reg.gauge("dbt.chain_breaks." + reason).set(count)

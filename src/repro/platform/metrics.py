@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..dbt.chaining import ChainStats
 from ..dbt.engine import DbtEngineStats
+from ..dbt.translation_cache import TranslationCacheStats
 from ..mem.cache import CacheStats
 from ..vliw.pipeline import CoreStats
 
@@ -23,6 +25,8 @@ class SystemRunResult:
     core: Optional[CoreStats] = None
     cache: Optional[CacheStats] = None
     engine: Optional[DbtEngineStats] = None
+    tcache: Optional[TranslationCacheStats] = None
+    chain: Optional[ChainStats] = None
 
     @property
     def ipc(self) -> float:
@@ -65,6 +69,21 @@ class SystemRunResult:
                     self.engine.spectre_patterns_detected,
                     self.engine.speculative_loads_emitted,
                 )
+            )
+        if self.tcache is not None and (
+                self.tcache.evictions or self.tcache.capacity_flushes):
+            lines.append(
+                "code cache     : %d installs, %d LRU evictions, %d flushes"
+                % (self.tcache.installs, self.tcache.evictions,
+                   self.tcache.capacity_flushes)
+            )
+        if self.chain is not None:
+            breaks = ", ".join(
+                "%s=%d" % (reason, count)
+                for reason, count in sorted(self.chain.breaks.items()))
+            lines.append(
+                "chaining       : %d links, %d chained dispatches (breaks: %s)"
+                % (self.chain.links, self.chain.dispatches, breaks or "none")
             )
         if self.cache is not None:
             lines.append(

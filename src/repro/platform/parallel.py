@@ -195,6 +195,8 @@ def config_fingerprint(vliw_config: Optional[VliwConfig],
         "conflict_retranslate_threshold":
             engine_config.conflict_retranslate_threshold,
         "code_cache_capacity": engine_config.code_cache_capacity,
+        "code_cache_policy": engine_config.code_cache_policy,
+        "chain": engine_config.chain,
     }
     return json.dumps({"vliw": vliw_part, "engine": engine_part},
                       sort_keys=True)

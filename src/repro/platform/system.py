@@ -20,6 +20,7 @@ from ..isa.program import DEFAULT_STACK_TOP, Program
 from ..mem.hierarchy import DataMemorySystem
 from ..obs.observer import Observer
 from ..security.policy import MitigationPolicy
+from ..dbt.chaining import ChainedDispatcher
 from ..dbt.engine import DbtEngine, DbtEngineConfig
 from ..vliw.config import VliwConfig
 from ..vliw.pipeline import ExitReason, VliwCore
@@ -87,6 +88,18 @@ class DbtSystem:
             policy=policy,
             config=engine_config,
         )
+        if not self.core.use_fast_path:
+            # The finalized form is only consumed by the fast path;
+            # skip the install-time lowering when this system never
+            # executes it.  finalize_block still memoizes lazily should
+            # the fast path be engaged later (e.g. by the supervisor's
+            # degradation ladder toggling interpreters).
+            self.engine.cache.finalizer = None
+        #: Chained dispatcher (block→block dispatch); None keeps
+        #: step_block on the exact seed code path.
+        self.chain: Optional[ChainedDispatcher] = None
+        if self.engine.config.chain:
+            self.chain = ChainedDispatcher(self)
         #: Optional observability sink, threaded through the core and the
         #: engine; None (the default) keeps every hook a single dead
         #: branch so instrumentation cannot perturb the timing model.
@@ -115,12 +128,15 @@ class DbtSystem:
         if self.exited:
             raise PlatformError("stepping an exited guest")
         block = self.engine.lookup(self.pc)
-        if self.supervisor is not None:
-            result, block = self.supervisor.execute(self, block)
+        if self.chain is not None:
+            result = self.chain.dispatch(block)
         else:
-            result = self.core.execute_block(block)
-        self.blocks_executed += 1
-        self.engine.record_execution(block, result)
+            if self.supervisor is not None:
+                result, block = self.supervisor.execute(self, block)
+            else:
+                result = self.core.execute_block(block)
+            self.blocks_executed += 1
+            self.engine.record_execution(block, result)
         if result.reason is ExitReason.SYSCALL:
             self._handle_syscall(result.next_pc)
         else:
@@ -157,6 +173,8 @@ class DbtSystem:
             core=self.core.stats,
             cache=self.memory.stats,
             engine=self.engine.stats,
+            tcache=self.engine.cache.stats,
+            chain=self.chain.stats if self.chain is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -99,6 +99,13 @@ def format_chaos_table(outcomes: List[ChaosOutcome]) -> str:
 #: blocks (the interesting fault targets) appear within the first few
 #: loop iterations and scenarios stay cheap.
 _CHAOS_ENGINE_CONFIG = DbtEngineConfig(hot_threshold=4)
+#: Same matrix with block chaining on: mid-chain corruption/eviction
+#: must still be detected and recovered (``repro chaos --chain``).
+_CHAOS_CHAINED_CONFIG = DbtEngineConfig(hot_threshold=4, chain=True)
+
+
+def _chaos_engine_config(chain: bool) -> DbtEngineConfig:
+    return _CHAOS_CHAINED_CONFIG if chain else _CHAOS_ENGINE_CONFIG
 
 
 def _chaos_guests(kernel: str):
@@ -113,12 +120,13 @@ def _chaos_guests(kernel: str):
 
 
 def _engine_cell(site: FaultSite, seed: int, scenario: str, program,
-                 policy: MitigationPolicy, reference) -> ChaosOutcome:
+                 policy: MitigationPolicy, reference,
+                 chain: bool = False) -> ChaosOutcome:
     injector = FaultInjector(seed=seed, sites=[site])
     supervisor = ExecutionSupervisor(injector=injector)
     try:
         result = DbtSystem(program, policy=policy,
-                           engine_config=_CHAOS_ENGINE_CONFIG,
+                           engine_config=_chaos_engine_config(chain),
                            supervisor=supervisor).run()
     except Exception as error:  # noqa: BLE001 — scored, not propagated
         return ChaosOutcome(
@@ -201,6 +209,7 @@ def run_chaos_matrix(
     jobs: int = 2,
     hang_timeout: float = 8.0,
     work_dir: Optional[Union[str, Path]] = None,
+    chain: bool = False,
 ) -> List[ChaosOutcome]:
     """Run every fault site's scenario; returns one outcome per cell.
 
@@ -208,6 +217,8 @@ def run_chaos_matrix(
     (and therefore the same table).  ``hang_timeout`` is the per-point
     timeout the hung-worker scenario must survive; the injected hang
     sleeps several times longer, so detection is unambiguous.
+    ``chain`` runs the engine scenarios with block chaining enabled, so
+    mid-chain faults exercise the chain-unlink paths.
     """
     jobs = max(2, jobs)  # runner faults only apply under a real pool
     outcomes: List[ChaosOutcome] = []
@@ -215,13 +226,13 @@ def run_chaos_matrix(
     guests = _chaos_guests(kernel)
     references = {
         name: DbtSystem(program, policy=policy,
-                        engine_config=_CHAOS_ENGINE_CONFIG).run()
+                        engine_config=_chaos_engine_config(chain)).run()
         for name, program, policy in guests
     }
     for site in ENGINE_SITES:
         for name, program, policy in guests:
             outcomes.append(_engine_cell(site, seed, name, program, policy,
-                                         references[name]))
+                                         references[name], chain=chain))
 
     workloads = [(kernel, guests[0][1])]
     baseline = _sweep_rows(workloads)

@@ -135,6 +135,9 @@ class ExecutionSupervisor:
         """Wire this supervisor through ``system``'s engine and core."""
         system.engine.supervisor = self
         system.core.guard_faults = True
+        # LRU-mode partial evictions are legitimate; hear about each one
+        # so the eviction watch never flags them as anomalies.
+        system.engine.cache.evict_listeners.append(self.note_capacity_eviction)
         if self.observer is None and system.observer is not None:
             self.observer = system.observer
 
@@ -164,6 +167,12 @@ class ExecutionSupervisor:
             self._missing.add(pc)
             self.stats.evictions_detected += 1
             self._emit("resilience_unexpected_eviction", entry="%#x" % pc)
+
+    def note_capacity_eviction(self, entry: int) -> None:
+        """The cache's LRU mode legitimately evicted ``entry``; stop
+        tracking it so the next lookup miss is not flagged."""
+        self._installed.discard(entry)
+        self._exec_counts.pop(entry, None)
 
     def post_install(self, block, cache) -> None:
         """A translation was installed; register it and let the injector

@@ -90,7 +90,16 @@ class VliwConfig:
 
     def slots_for(self, unit: UnitClass) -> Tuple[int, ...]:
         """Issue-slot indices able to execute ``unit`` operations."""
-        return tuple(i for i, caps in enumerate(self.slots) if unit in caps)
+        # Memoised per config: the scheduler's slot matcher asks for this
+        # on every placement attempt and the answer never changes.
+        cache = self.__dict__.get("_slots_by_unit")
+        if cache is None:
+            cache = {
+                u: tuple(i for i, caps in enumerate(self.slots) if u in caps)
+                for u in UnitClass
+            }
+            object.__setattr__(self, "_slots_by_unit", cache)
+        return cache[unit]
 
 
 def wide_config(issue_width: int = 8) -> VliwConfig:

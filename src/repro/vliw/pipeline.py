@@ -487,6 +487,310 @@ class VliwCore:
         )
 
     # ------------------------------------------------------------------
+    # Chained fast path: whole chains of linked blocks execute inside
+    # one call, machine state hoisted once (see repro.dbt.chaining).
+    # ------------------------------------------------------------------
+
+    def execute_chain(self, record, ctx, blocks_executed: int):
+        """Execute ``record``'s block and every chained successor.
+
+        The block→block dispatch of :mod:`repro.dbt.chaining`, fused
+        into the core: the hot machine state (registers, memory, MCB,
+        scoreboard, cycle/instret) is hoisted into locals once and
+        successive linked blocks run back-to-back; between blocks only
+        the profiling seam runs — block count, branch outcome, the
+        hotness trigger, budget checks and the successor lookup — with
+        the exact semantics of the seed loop's
+        ``execute_block`` + ``record_execution`` round trip.
+
+        Preconditions (the dispatcher enforces them): fast path on, no
+        observer, no tracer, ``guard_faults`` off, no supervisor.  The
+        per-bundle body is the ``_run_fast`` interpreter verbatim; the
+        differential tests gate bit-identity against the seed loop.
+
+        Returns ``(result, break_reason, last_record, blocks_executed,
+        dispatches)``; the caller applies the engine-visible follow-up
+        (optimize / rollback notification) for ``hot``/``rollback``
+        breaks.
+        """
+        regs = self.regs
+        regs_list = regs._regs
+        memory = self.memory
+        cache_access = memory.cache.access
+        mem_load_int = memory.memory.load_int
+        mem_store_int = memory.memory.store_int
+        mem_load_bytes = memory.memory.load_bytes
+        flush_line = memory.flush_line
+        mcb = self.mcb
+        mcb_record = mcb.record_load
+        mcb_check = mcb.check_store
+        mcb_release = mcb.release
+        mcb_clear = mcb.clear
+        ready = self._ready
+        ready_get = ready.get
+        exit_cost = self.config.exit_penalty + 1
+        stats = self.stats
+        cycle = self.cycle
+        instret = self.instret
+        bundles_c = ops_c = stall_c = exits_c = blocks_c = 0
+
+        out_map = ctx.out
+        raw_blocks = ctx.raw_blocks
+        block_counts = ctx.block_counts
+        branches = ctx.branches
+        new_branch_profile = ctx.branch_profile
+        hot_threshold = ctx.hot_threshold
+        max_optimizations = ctx.max_optimizations
+        engine_stats = ctx.engine_stats
+        max_blocks = ctx.max_blocks
+        max_cycles = ctx.max_cycles
+        lru = ctx.lru
+        link_successor = ctx.link_successor
+
+        syscall = ExitReason.SYSCALL
+        branch_exit = ExitReason.BRANCH
+        jump_exit = ExitReason.JUMP
+        indirect_exit = ExitReason.INDIRECT
+        dispatches = 0
+        rolled_back = False
+        result: Optional[BlockResult] = None
+        try:
+            while True:
+                blocks_c += 1
+                blocks_executed += 1
+                dispatches += 1
+                fblock = record.fblock
+                entry = record.entry
+                if record.can_rollback:
+                    # Mirrors _execute's rollback provisions; blocks
+                    # without MCB-speculative loads can never signal a
+                    # rollback, so they skip the snapshot and store log.
+                    entry_regs = regs_list[:]
+                    store_log = []
+                else:
+                    entry_regs = None
+                    store_log = None
+                block_start = cycle
+                exit_pc = 0
+                exit_reason = None
+                exit_ginsts = 0
+                rolled_back = False
+                try:
+                    for (dops, reads, stall_sources, serialize, nops,
+                         bundle) in fblock.bundles:
+                        issue = cycle
+                        for src in stall_sources:
+                            t = ready_get(src)
+                            if t is not None and t > issue:
+                                issue = t
+                        if serialize and ready:
+                            t = max(ready.values())
+                            if t > issue:
+                                issue = t
+                        stall_c += issue - cycle
+                        bundles_c += 1
+                        ops_c += nops
+
+                        # VLIW read phase: sources sampled before writes.
+                        vals = [regs_list[r] for r in reads]
+
+                        base = 0
+                        for d in dops:
+                            o = d[0]
+                            v1 = vals[base]
+                            v2 = vals[base + 1]
+                            base += 2
+                            if o == 0:  # ALU reg-reg
+                                dest = d[2]
+                                if dest:
+                                    regs_list[dest] = d[1](v1, v2) & MASK64
+                                    ready[dest] = issue + d[3]
+                            elif o == 1:  # ALU reg-imm
+                                dest = d[2]
+                                if dest:
+                                    regs_list[dest] = d[1](v1, d[3]) & MASK64
+                                    ready[dest] = issue + d[4]
+                            elif o == 2:  # LI
+                                dest = d[1]
+                                if dest:
+                                    regs_list[dest] = d[2]
+                                    ready[dest] = issue + d[3]
+                            elif o == 3:  # MOV
+                                dest = d[1]
+                                if dest:
+                                    regs_list[dest] = v1
+                                    ready[dest] = issue + d[2]
+                            elif o == 4:  # LOAD
+                                address = (v1 + d[2]) & MASK64
+                                width = d[3]
+                                hit, latency = cache_access(address, width)
+                                value = mem_load_int(address, width, d[4])
+                                dest = d[1]
+                                if dest:
+                                    regs_list[dest] = value & MASK64
+                                    ready[dest] = issue + latency
+                                if d[5]:  # MCB-speculative
+                                    if not mcb_record(address, width, dest,
+                                                      d[7], tag=d[6]):
+                                        raise _RollbackSignal()
+                            elif o == 5:  # STORE
+                                address = (v1 + d[1]) & MASK64
+                                width = d[2]
+                                if mcb_check(address, width) is not None:
+                                    raise _RollbackSignal()
+                                for tag in d[3]:
+                                    mcb_release(tag)
+                                if store_log is not None:
+                                    store_log.append(
+                                        (address,
+                                         mem_load_bytes(address, width)))
+                                cache_access(address, width)
+                                mem_store_int(address, v2, width)
+                            elif o == 10:  # BRANCH
+                                if d[1](v1, v2):
+                                    exits_c += 1
+                                    cycle = issue + exit_cost
+                                    exit_pc = d[2]
+                                    exit_reason = branch_exit
+                                    exit_ginsts = d[3]
+                            elif o == 8:  # RDCYCLE
+                                dest = d[1]
+                                if dest:
+                                    regs_list[dest] = issue & MASK64
+                                    ready[dest] = issue + d[2]
+                            elif o == 6:  # CFLUSH
+                                address = (v1 + d[1]) & MASK64
+                                flush_line(address)
+                            elif o == 11:  # JUMP
+                                cycle = issue + 1
+                                exit_pc = d[1]
+                                exit_reason = jump_exit
+                                exit_ginsts = fblock.guest_length
+                            elif o == 12:  # JUMPR
+                                cycle = issue + exit_cost
+                                exit_pc = (v1 + d[1]) & MASK64 & ~1
+                                exit_reason = indirect_exit
+                                exit_ginsts = fblock.guest_length
+                            elif o == 13:  # SYSCALL
+                                cycle = issue + 1
+                                exit_pc = d[1]
+                                exit_reason = syscall
+                                exit_ginsts = fblock.guest_length
+                            elif o == 9:  # RDINSTRET
+                                dest = d[1]
+                                if dest:
+                                    regs_list[dest] = instret & MASK64
+                                    ready[dest] = issue + d[2]
+                            elif o == 7:  # FENCE: serialised at issue.
+                                pass
+                            else:  # pragma: no cover
+                                raise VliwExecutionError(
+                                    "unhandled finalized ordinal: %r" % (o,))
+
+                        if exit_reason is not None:
+                            break
+                        cycle = issue + 1
+                    else:
+                        raise VliwExecutionError(
+                            "translated block %#x fell off the end without "
+                            "an exit" % entry
+                        )
+                except _RollbackSignal:
+                    # Commit the hoisted state (what _run_fast's finally
+                    # does), then follow _execute's rollback path.
+                    self.cycle = cycle
+                    self.instret = instret
+                    stats.bundles += bundles_c
+                    stats.ops += ops_c
+                    stats.stall_cycles += stall_c
+                    stats.exits_taken += exits_c
+                    stats.blocks_executed += blocks_c
+                    bundles_c = ops_c = stall_c = exits_c = blocks_c = 0
+                    self._undo(entry_regs, store_log)
+                    mcb_clear()
+                    stats.rollbacks += 1
+                    self.cycle += self.config.rollback_penalty
+                    recovery = record.block.recovery
+                    if recovery is None:
+                        raise VliwExecutionError(
+                            "MCB conflict in block %#x with no recovery code"
+                            % entry
+                        )
+                    result = self._run(recovery, None)
+                    result.rolled_back = True
+                    rolled_back = True
+                    # _undo rebound the register list and the recovery
+                    # run advanced the committed state; re-hoist.
+                    regs_list = regs._regs
+                    cycle = self.cycle
+                    instret = self.instret
+                    exit_pc = result.next_pc
+                    exit_reason = result.reason
+                    exit_ginsts = result.guest_instructions
+
+                # --- the seam: _execute's epilogue + record_execution.
+                mcb_clear()
+                instret += exit_ginsts
+                if lru:
+                    current = raw_blocks.pop(entry, None)
+                    if current is not None:
+                        raw_blocks[entry] = current
+                count = block_counts.get(entry, 0) + 1
+                block_counts[entry] = count
+                branch = record.branch
+                if branch is not None and exit_reason is not syscall:
+                    branch_profile = branches.get(branch[0])
+                    if branch_profile is None:
+                        branch_profile = new_branch_profile()
+                        branches[branch[0]] = branch_profile
+                    if exit_pc == branch[1]:
+                        branch_profile.taken += 1
+                    else:
+                        branch_profile.not_taken += 1
+                if (record.firstpass and count >= hot_threshold
+                        and engine_stats.optimizations < max_optimizations):
+                    reason = "hot"
+                    break
+                elif rolled_back:
+                    reason = "rollback"
+                    break
+                if exit_reason is syscall:
+                    reason = "syscall"
+                    break
+                if blocks_executed >= max_blocks or cycle >= max_cycles:
+                    reason = "budget"
+                    break
+                successors = out_map.get(entry)
+                nxt = (successors.get(exit_pc)
+                       if successors is not None else None)
+                if nxt is None:
+                    successor_block = raw_blocks.get(exit_pc)
+                    if successor_block is None:
+                        reason = "miss"
+                        break
+                    nxt = link_successor(entry, exit_pc, successor_block)
+                    if nxt.fblock is None:
+                        nxt.fblock = finalize_block(nxt.block, self.config)
+                record = nxt
+        finally:
+            self.cycle = cycle
+            self.instret = instret
+            stats.bundles += bundles_c
+            stats.ops += ops_c
+            stats.stall_cycles += stall_c
+            stats.exits_taken += exits_c
+            stats.blocks_executed += blocks_c
+
+        if not rolled_back:
+            result = BlockResult(
+                next_pc=exit_pc,
+                reason=exit_reason,
+                cycles=cycle - block_start,
+                guest_instructions=exit_ginsts,
+            )
+        return result, reason, record, blocks_executed, dispatches
+
+    # ------------------------------------------------------------------
     # Reference interpreter (the seed implementation, kept verbatim as
     # the semantic baseline for the differential tests and benchmarks).
     # ------------------------------------------------------------------

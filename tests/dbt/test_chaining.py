@@ -1,0 +1,263 @@
+"""Block-chaining bookkeeping: links and dispatch records must die with
+their translations.
+
+This is where real DBT chaining bugs live — a stale link or record that
+survives an install, invalidation, eviction or flush dispatches straight
+into a dead translation.  The matrix below drives every cache mutation
+path and asserts the :class:`~repro.dbt.chaining.ChainIndex` is torn
+down, then end-to-end runs pin the invariant on live systems.
+"""
+
+import pytest
+
+from repro.attacks import AttackVariant, build_attack_program
+from repro.dbt.chaining import ChainIndex, ChainLink
+from repro.dbt.engine import DbtEngineConfig
+from repro.dbt.translation_cache import TranslationCache
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+from repro.vliw.block import TranslatedBlock
+from repro.vliw.bundle import make_bundle
+from repro.vliw.config import VliwConfig
+from repro.vliw.isa import VliwOp, VliwOpcode
+
+
+def _block(entry: int, kind: str = "firstpass") -> TranslatedBlock:
+    config = VliwConfig()
+    bundle = make_bundle(
+        [VliwOp(opcode=VliwOpcode.JUMP, target=entry + 4)], config)
+    return TranslatedBlock(guest_entry=entry, bundles=(bundle,),
+                           guest_length=1, kind=kind)
+
+
+def _record(block: TranslatedBlock) -> ChainLink:
+    return ChainLink(block, None, None)
+
+
+def _chained_cache(**kwargs) -> TranslationCache:
+    cache = TranslationCache(**kwargs)
+    cache.chains = ChainIndex()
+    return cache
+
+
+def _install_and_link(cache, *entries):
+    """Install a straight-line chain A→B→C… and register its records."""
+    blocks = [_block(entry) for entry in entries]
+    for block in blocks:
+        cache.install(block)
+    records = {}
+    for block in blocks:
+        record = _record(block)
+        cache.chains.records[block.guest_entry] = record
+        records[block.guest_entry] = record
+    for pred, succ in zip(blocks, blocks[1:]):
+        cache.chains.link(pred.guest_entry, succ.guest_entry,
+                          records[succ.guest_entry])
+    return blocks, records
+
+
+# ---------------------------------------------------------------------------
+# ChainIndex in isolation.
+# ---------------------------------------------------------------------------
+
+def test_unlink_severs_links_in_both_directions():
+    index = ChainIndex()
+    a, b, c = (_record(_block(addr)) for addr in (0x100, 0x200, 0x300))
+    index.records.update({0x100: a, 0x200: b, 0x300: c})
+    index.link(0x100, 0x200, b)   # a → b
+    index.link(0x200, 0x300, c)   # b → c
+    index.link(0x300, 0x200, b)   # c → b (a loop back)
+    assert index.link_count() == 3
+    index.unlink(0x200)
+    # Both the links *from* b and the links *to* b are gone; the a→?,
+    # c→? maps hold nothing stale.
+    assert not index.has_links(0x200)
+    assert index.link_count() == 0
+    assert 0x200 not in index.records
+    # Unrelated records survive.
+    assert index.records[0x100] is a and index.records[0x300] is c
+
+
+def test_unlink_keeps_unrelated_links():
+    index = ChainIndex()
+    b, c = _record(_block(0x200)), _record(_block(0x300))
+    index.link(0x100, 0x200, b)
+    index.link(0x200, 0x300, c)
+    index.unlink(0x300)
+    assert index.successors(0x100) == {0x200: b}
+    assert not index.successors(0x200)
+
+
+def test_clear_empties_in_place():
+    """The fused dispatcher holds direct references to the index's maps
+    (``ChainContext``); ``clear`` must empty them in place, never rebind."""
+    index = ChainIndex()
+    out_ref, records_ref = index._out, index.records
+    index.link(0x100, 0x200, _record(_block(0x200)))
+    index.records[0x200] = _record(_block(0x200))
+    index.clear()
+    assert index._out is out_ref and index.records is records_ref
+    assert not out_ref and not records_ref
+    assert index.link_count() == 0
+
+
+def test_unlink_unknown_entry_is_noop():
+    index = ChainIndex()
+    index.link(0x100, 0x200, _record(_block(0x200)))
+    index.unlink(0xDEAD)
+    assert index.link_count() == 1
+
+
+# ---------------------------------------------------------------------------
+# The invalidation matrix: every cache mutation unlinks.
+# ---------------------------------------------------------------------------
+
+def test_replacement_install_unlinks():
+    cache = _chained_cache()
+    _install_and_link(cache, 0x100, 0x200, 0x300)
+    optimized = _block(0x200, kind="optimized")
+    cache.install(optimized)
+    assert cache.stats.replacements == 1
+    # The old 0x200 translation is gone, so every link through it —
+    # 0x100→0x200 and 0x200→0x300 — and its record must be gone too.
+    assert not cache.chains.has_links(0x200)
+    assert 0x200 not in cache.chains.records
+    assert cache.chains.records[0x100] is not None  # neighbours survive
+
+
+def test_invalidate_unlinks():
+    cache = _chained_cache()
+    _install_and_link(cache, 0x100, 0x200, 0x300)
+    assert cache.invalidate(0x200)
+    assert not cache.chains.has_links(0x200)
+    assert 0x200 not in cache.chains.records
+    assert cache.chains.has_links(0x100) is False  # its only link died
+    assert 0x100 in cache.chains.records
+
+
+def test_quarantine_path_unlinks():
+    """Supervisor quarantines drop translations through
+    ``cache.invalidate``; a missing entry must not leave links behind
+    either way."""
+    cache = _chained_cache()
+    _install_and_link(cache, 0x100, 0x200)
+    assert cache.invalidate(0x200)       # quarantined
+    assert not cache.invalidate(0x200)   # double-quarantine: no-op
+    assert cache.chains.link_count() == 0
+
+
+def test_lru_eviction_unlinks_victim():
+    cache = _chained_cache(capacity=3, capacity_policy="lru")
+    _install_and_link(cache, 0x100, 0x200, 0x300)
+    evicted = []
+    cache.evict_listeners.append(evicted.append)
+    cache.install(_block(0x400))  # over capacity: evicts LRU victim 0x100
+    assert evicted == [0x100]
+    assert cache.stats.evictions == 1
+    assert 0x100 not in cache
+    assert not cache.chains.has_links(0x100)
+    assert 0x100 not in cache.chains.records
+    # The rest of the chain (0x200→0x300) is untouched.
+    assert cache.chains.successors(0x200)
+
+
+def test_lru_lookup_refreshes_eviction_order():
+    cache = _chained_cache(capacity=2, capacity_policy="lru")
+    cache.install(_block(0x100))
+    cache.install(_block(0x200))
+    assert cache.lookup(0x100) is not None  # 0x100 becomes MRU
+    cache.install(_block(0x300))            # victim must be 0x200
+    assert 0x100 in cache and 0x300 in cache
+    assert 0x200 not in cache
+    assert cache.stats.evictions == 1
+    assert cache.stats.capacity_flushes == 0
+
+
+def test_capacity_flush_clears_every_link():
+    cache = _chained_cache(capacity=3, capacity_policy="flush")
+    _install_and_link(cache, 0x100, 0x200, 0x300)
+    flushed = []
+    cache.flush_listeners.append(lambda: flushed.append(True))
+    cache.install(_block(0x400))
+    assert flushed == [True]
+    assert cache.stats.capacity_flushes == 1
+    assert len(cache) == 1
+    assert cache.chains.link_count() == 0
+    assert cache.chains.records == {}
+
+
+def test_clear_clears_links():
+    cache = _chained_cache()
+    _install_and_link(cache, 0x100, 0x200)
+    cache.clear()
+    assert cache.chains.link_count() == 0
+    assert cache.chains.records == {}
+
+
+def test_capacity_policy_validated():
+    with pytest.raises(ValueError):
+        TranslationCache(capacity=4, capacity_policy="random")
+
+
+# ---------------------------------------------------------------------------
+# Live systems: the invariant holds after real runs.
+# ---------------------------------------------------------------------------
+
+def _run_chained(program, policy=MitigationPolicy.UNSAFE, **config_fields):
+    system = DbtSystem(
+        program, policy=policy,
+        engine_config=DbtEngineConfig(chain=True, **config_fields))
+    result = system.run()
+    return system, result
+
+
+def _assert_chain_scoped_to_cache(system):
+    """No link or record may outlive its translation."""
+    chains = system.engine.chains
+    installed = {block.guest_entry for block in system.engine.cache.blocks()}
+    assert set(chains.records) <= installed
+    for pred, out in chains._out.items():
+        assert pred in installed
+        for successor in out.values():
+            assert successor.entry in installed
+            # The record is the live one, not a stale generation.
+            assert chains.records[successor.entry].block is successor.block
+
+
+def test_chained_attack_records_stats():
+    program = build_attack_program(AttackVariant.SPECTRE_V1, b"GB")
+    system, result = _run_chained(program)
+    assert result.chain is not None
+    assert result.chain.links > 0
+    assert result.chain.dispatches > result.chain.links
+    assert set(result.chain.breaks) <= {"hot", "rollback", "syscall",
+                                        "miss", "budget"}
+    _assert_chain_scoped_to_cache(system)
+
+
+@pytest.mark.parametrize("policy_fields", [
+    {"code_cache_capacity": 6, "code_cache_policy": "flush"},
+    {"code_cache_capacity": 6, "code_cache_policy": "lru"},
+], ids=["flush", "lru"])
+def test_chained_run_survives_capacity_events(policy_fields):
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    system, result = _run_chained(program, **policy_fields)
+    tcache = system.engine.cache.stats
+    assert tcache.capacity_flushes + tcache.evictions > 0
+    _assert_chain_scoped_to_cache(system)
+    # Architectural results match an unbounded, unchained run.
+    reference = DbtSystem(program).run()
+    assert (result.exit_code, result.output) == \
+        (reference.exit_code, reference.output)
+
+
+def test_chained_optimization_replaces_record():
+    """After a hot block is optimized, the dispatcher must chain through
+    the *optimized* generation, never the stale first-pass record."""
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    system, _ = _run_chained(program, hot_threshold=4)
+    engine = system.engine
+    assert engine.stats.optimizations > 0
+    for entry, record in engine.chains.records.items():
+        assert record.block is engine.cache.get(entry)

@@ -105,3 +105,75 @@ def test_build_ir_for_inspection():
     ir = system.engine.build_ir_for(program.symbol("head"))
     assert len(ir) > 0
     assert ir.entry == program.symbol("head")
+
+
+# ---------------------------------------------------------------------------
+# Eviction scoping of per-translation bookkeeping.
+# ---------------------------------------------------------------------------
+
+def _engine_with_capacity(policy_name, capacity):
+    program = assemble(LOOP_PROGRAM)
+    engine = DbtEngine(program, config=DbtEngineConfig(
+        code_cache_capacity=capacity, code_cache_policy=policy_name))
+    return engine
+
+
+def _synthetic_block(entry):
+    from repro.vliw.bundle import make_bundle
+    from repro.vliw.block import TranslatedBlock
+    from repro.vliw.config import VliwConfig
+    from repro.vliw.isa import VliwOp, VliwOpcode
+
+    bundle = make_bundle(
+        [VliwOp(opcode=VliwOpcode.JUMP, target=entry + 4)], VliwConfig())
+    return TranslatedBlock(guest_entry=entry, bundles=(bundle,),
+                           guest_length=1, kind="optimized")
+
+
+def test_lru_eviction_clears_stale_engine_bookkeeping():
+    """Regression: LRU capacity evictions dropped the translation but
+    left the engine's per-entry poison report and MCB rollback count
+    behind, so a later re-translation at the same entry inherited a
+    stale report and a half-spent rollback budget."""
+    engine = _engine_with_capacity("lru", 2)
+    for entry in (0x100, 0x200):
+        engine.cache.install(_synthetic_block(entry))
+        engine.reports[entry] = object()
+        engine._rollback_counts[entry] = 2
+    engine.cache.install(_synthetic_block(0x300))  # evicts LRU 0x100
+    assert 0x100 not in engine.cache
+    assert 0x100 not in engine.reports
+    assert 0x100 not in engine._rollback_counts
+    # The survivor's bookkeeping is untouched.
+    assert 0x200 in engine.reports and engine._rollback_counts[0x200] == 2
+
+
+def test_capacity_flush_clears_stale_engine_bookkeeping():
+    """Same regression, wholesale-flush flavour: a capacity flush drops
+    every translation, so every report and rollback count must go."""
+    engine = _engine_with_capacity("flush", 2)
+    for entry in (0x100, 0x200):
+        engine.cache.install(_synthetic_block(entry))
+        engine.reports[entry] = object()
+        engine._rollback_counts[entry] = 1
+    engine.cache.install(_synthetic_block(0x300))
+    assert engine.cache.stats.capacity_flushes == 1
+    assert engine.reports == {}
+    assert engine._rollback_counts == {}
+
+
+def test_run_with_capacity_keeps_bookkeeping_scoped():
+    """End to end: after a bounded run, no report or rollback count may
+    describe an entry the cache no longer holds."""
+    program = assemble(LOOP_PROGRAM)
+    for policy_name in ("flush", "lru"):
+        system = DbtSystem(
+            program, policy=MitigationPolicy.GHOSTBUSTERS,
+            engine_config=DbtEngineConfig(
+                hot_threshold=4, conflict_retranslate_threshold=2,
+                code_cache_capacity=2, code_cache_policy=policy_name))
+        system.run()
+        engine = system.engine
+        installed = {block.guest_entry for block in engine.cache.blocks()}
+        assert set(engine.reports) <= installed
+        assert set(engine._rollback_counts) <= installed

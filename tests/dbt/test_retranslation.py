@@ -58,6 +58,45 @@ def test_retranslation_incidentally_stops_the_v4_leak():
     assert recovered != SECRET
 
 
+def test_retranslation_mirrors_optimize_bookkeeping():
+    """Regression: the retranslation path used to install its block
+    without the bookkeeping ``optimize()`` performs — no poison report,
+    no ``spectre_patterns_found``/``mitigations_applied`` annotation on
+    the block, and ``speculative_loads_emitted`` silently drifting.
+    Under an analyzing policy, a reoptimized install must carry exactly
+    the same metadata an optimized install would."""
+    program = build_attack_program(AttackVariant.SPECTRE_V1, SECRET)
+    system = DbtSystem(program, policy=MitigationPolicy.GHOSTBUSTERS)
+    system.run()
+    engine = system.engine
+    entry = program.symbol("victim")
+    optimized = engine.cache.get(entry)
+    assert optimized is not None and optimized.kind == "optimized"
+    assert optimized.spectre_patterns_found > 0  # v1 pattern is branchy
+
+    before_patterns = engine.stats.spectre_patterns_detected
+    before_edges = engine.stats.mitigation_edges_added
+    before_spec_loads = engine.stats.speculative_loads_emitted
+    translated = engine.retranslate_without_memory_speculation(entry)
+
+    assert engine.cache.get(entry) is translated
+    assert translated.kind == "reoptimized"
+    # The poison report was regenerated and published, and the block
+    # annotated from it — the v1 pattern survives disabling *memory*
+    # speculation, so GhostBusters re-mitigates it.
+    report = engine.reports[entry]
+    assert translated.spectre_patterns_found == report.pattern_count > 0
+    assert translated.mitigations_applied > 0
+    # Stats moved by exactly the amounts the install carries.
+    assert engine.stats.spectre_patterns_detected == \
+        before_patterns + report.pattern_count
+    assert engine.stats.mitigation_edges_added == \
+        before_edges + translated.mitigations_applied
+    assert engine.stats.speculative_loads_emitted == \
+        before_spec_loads + translated.speculative_loads
+    assert engine.stats.conflict_retranslations == 1
+
+
 def test_retranslated_block_still_correct():
     # Exit code and output length must match the reference semantics.
     _, _, with_feature = _run_v4(threshold=2)

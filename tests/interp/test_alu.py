@@ -117,3 +117,23 @@ def test_property_logic_ops_match_python(a, b):
     assert apply("xor", a, b) == a ^ b
     assert apply("or", a, b) == a | b
     assert apply("and", a, b) == a & b
+
+
+def test_div_rem_exact_above_float_precision():
+    """Regression: ``div``/``rem`` truncated toward zero via ``int(sa /
+    sb)`` — a *float* division, which silently rounds quotients once
+    |dividend| exceeds 2**53 (e.g. ``(2**53 + 1) / 1`` == 2**53.0), so
+    ``rem`` by 1 could return 1.  Division must be exact integer
+    arithmetic at every magnitude."""
+    big = (1 << 53) + 1
+    assert apply("div", big, 1) == big
+    assert apply("rem", big, 1) == 0
+    assert apply("div", to_unsigned(-big), 1) == to_unsigned(-big)
+    assert apply("rem", to_unsigned(-big), 1) == 0
+    # Truncation toward zero (not floor) still holds for mixed signs.
+    assert to_signed(apply("div", to_unsigned(-big), 2)) == -(big // 2)
+    assert to_signed(apply("rem", to_unsigned(-big), 2)) == -1
+    # A case where float rounding flips the quotient itself.
+    a, b = (1 << 62) + 1, (1 << 31) + 1
+    assert to_signed(apply("div", a, b)) == a // b
+    assert to_signed(apply("rem", a, b)) == a - (a // b) * b

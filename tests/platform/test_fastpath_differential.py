@@ -1,23 +1,39 @@
-"""Differential test: the fast-path interpreter is bit-identical to the
-seed reference interpreter.
+"""Differential tests: the fast-path interpreter is bit-identical to the
+seed reference interpreter, and chained dispatch is bit-identical to the
+seed engine loop.
 
-This is the non-negotiable invariant of the host-execution fast path:
-pre-decoding translated blocks must not change a single architectural or
-micro-architectural observable.  Every (workload, policy) point below is
-run twice — once on the reference per-``VliwOp`` loop, once on the
-finalized fast path — and compared on cycles, stalls, rollbacks,
-register/memory state and (for the PoCs) the recovered secret bytes.
+These are the non-negotiable invariants of the host-execution layer:
+pre-decoding translated blocks (``repro.vliw.fastpath``) and chasing
+chain links between them (``repro.dbt.chaining``) must not change a
+single architectural or micro-architectural observable.  Every
+(workload, policy) point below is run twice — reference vs fast path,
+then unchained vs chained — and compared on cycles, stalls, rollbacks,
+register/memory state, the engine's translation order, optimization
+decisions, profile counts and (for the PoCs) the recovered secret bytes.
 """
+
+import dataclasses
 
 import pytest
 
-from repro.attacks.harness import AttackVariant, run_attack
+from repro.attacks.harness import AttackVariant, build_attack_program, run_attack
+from repro.dbt.engine import DbtEngineConfig
 from repro.kernels import SMALL_SIZES, build_kernel_program
 from repro.platform.system import DbtSystem
 from repro.security.policy import ALL_POLICIES
 
 SECRET = b"GB"
 KERNELS = ("gemm", "atax")
+
+#: Code-cache shapes the chained differential runs under.  The bounded
+#: shapes force capacity events mid-run, so the comparison also proves
+#: that evictions/flushes tear chains down at exactly the block
+#: boundaries where the unchained loop would retranslate.
+CACHE_MODES = {
+    "unbounded": {},
+    "flush-capacity": {"code_cache_capacity": 6, "code_cache_policy": "flush"},
+    "lru-capacity": {"code_cache_capacity": 6, "code_cache_policy": "lru"},
+}
 
 
 def _core_observables(result):
@@ -35,6 +51,56 @@ def _core_observables(result):
         "cache_hits": result.cache.hits,
         "cache_misses": result.cache.misses,
     }
+
+
+def _engine_observables(system):
+    """Everything engine-visible that chaining could plausibly skew:
+    what got translated (and in what order), what got optimized, the
+    profile feedback, and the code cache's capacity events.  The
+    translation cache's ``lookups``/``hits`` are deliberately excluded —
+    eliding the per-block engine round trip is the whole point."""
+    engine = system.engine
+    tcache = engine.cache.stats
+    return {
+        "install_order": [block.guest_entry for block in engine.cache.blocks()],
+        "install_kinds": [block.kind for block in engine.cache.blocks()],
+        "engine_stats": dataclasses.asdict(engine.stats),
+        "block_counts": dict(engine.profile._block_counts),
+        "branches": {address: (profile.taken, profile.not_taken)
+                     for address, profile in engine.profile._branches.items()},
+        "installs": tcache.installs,
+        "misses": tcache.misses,
+        "replacements": tcache.replacements,
+        "capacity_flushes": tcache.capacity_flushes,
+        "evictions": tcache.evictions,
+    }
+
+
+def _run_pair(program, policy, **config_fields):
+    """One workload under the seed loop and under chained dispatch."""
+    systems = {}
+    results = {}
+    for chain in (False, True):
+        system = DbtSystem(
+            program, policy=policy,
+            engine_config=DbtEngineConfig(chain=chain, **config_fields))
+        systems[chain] = system
+        results[chain] = system.run()
+    return systems, results
+
+
+def _assert_chain_identical(systems, results):
+    assert _core_observables(results[True]) == _core_observables(results[False])
+    assert (_engine_observables(systems[True])
+            == _engine_observables(systems[False]))
+    assert systems[True].core.regs._regs == systems[False].core.regs._regs
+    assert systems[True].core.cycle == systems[False].core.cycle
+    assert systems[True].core.instret == systems[False].core.instret
+    # The chained run actually chained (and the seed run did not).
+    assert results[False].chain is None
+    assert results[True].chain is not None
+    assert results[True].chain.dispatches > 0
+    assert sum(results[True].chain.breaks.values()) > 0
 
 
 @pytest.mark.parametrize("policy", ALL_POLICIES,
@@ -74,3 +140,51 @@ def test_interpreter_argument_validated():
     program = build_kernel_program(SMALL_SIZES["gemm"]())
     with pytest.raises(ValueError):
         DbtSystem(program, interpreter="jit")
+
+
+# ---------------------------------------------------------------------------
+# Chained dispatch vs the seed engine loop.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("policy", ALL_POLICIES,
+                         ids=[p.value for p in ALL_POLICIES])
+@pytest.mark.parametrize("variant", list(AttackVariant),
+                         ids=[v.value for v in AttackVariant])
+def test_attacks_chained_bit_identical(variant, policy):
+    program = build_attack_program(variant, SECRET)
+    systems, results = _run_pair(program, policy)
+    _assert_chain_identical(systems, results)
+    # The leak verdict — the paper's headline observable — is unchanged.
+    assert (results[True].output[:len(SECRET)]
+            == results[False].output[:len(SECRET)])
+
+
+@pytest.mark.parametrize("cache_mode", list(CACHE_MODES))
+@pytest.mark.parametrize("policy", ALL_POLICIES,
+                         ids=[p.value for p in ALL_POLICIES])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_chained_bit_identical(kernel, policy, cache_mode):
+    program = build_kernel_program(SMALL_SIZES[kernel]())
+    systems, results = _run_pair(program, policy,
+                                 **CACHE_MODES[cache_mode])
+    _assert_chain_identical(systems, results)
+    if cache_mode != "unbounded":
+        # The bounded shapes must actually exercise capacity handling,
+        # or this parametrization proves nothing.
+        tcache = systems[True].engine.cache.stats
+        assert tcache.capacity_flushes + tcache.evictions > 0
+
+
+def test_chained_reference_interpreter_matches_seed():
+    """Chaining with the reference interpreter takes the general
+    (per-block) dispatch loop; it too must be bit-identical."""
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    seed = DbtSystem(program, interpreter="reference")
+    chained = DbtSystem(program, interpreter="reference",
+                        engine_config=DbtEngineConfig(chain=True))
+    seed_result = seed.run()
+    chained_result = chained.run()
+    assert _core_observables(chained_result) == _core_observables(seed_result)
+    assert _engine_observables(chained) == _engine_observables(seed)
+    assert chained_result.chain is not None
+    assert chained_result.chain.dispatches > 0

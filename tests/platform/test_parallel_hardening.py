@@ -252,6 +252,54 @@ def test_kill_and_resume_sweep(tmp_path, workloads, baseline):
     assert rows == baseline
 
 
+_KILL_SCRIPT_CHAINED = """
+import sys
+from repro.dbt.engine import DbtEngineConfig
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.platform.parallel import sweep_comparisons
+
+workloads = [(name, build_kernel_program(SMALL_SIZES[name]()))
+             for name in ("atax", "gemm")]
+sweep_comparisons(workloads, checkpoint=sys.argv[1],
+                  engine_config=DbtEngineConfig(chain=True))
+"""
+
+
+def test_kill_and_resume_sweep_chained(tmp_path, workloads, baseline):
+    """Same SIGKILL-and-resume scenario with block chaining enabled:
+    the resumed chained sweep must produce rows byte-identical to the
+    *unchained* baseline — chaining changes host dispatch, never a
+    simulated observable, and checkpointed points survive the kill."""
+    from repro.dbt.engine import DbtEngineConfig
+
+    path = tmp_path / "ckpt.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(parallel.__file__).parents[2])
+    child = subprocess.Popen(
+        [sys.executable, "-c", _KILL_SCRIPT_CHAINED, str(path)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 60
+        while time.time() < deadline and child.poll() is None:
+            if path.exists() and len(checkpoint_load(path)) >= 1:
+                break
+            time.sleep(0.01)
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+    completed = checkpoint_load(path)
+    assert completed  # the child got at least one point down
+
+    telemetry = RunnerTelemetry()
+    rows = _rows(workloads, checkpoint=path, telemetry=telemetry,
+                 engine_config=DbtEngineConfig(chain=True))
+    assert telemetry.checkpoint_hits >= 1
+    assert rows == baseline
+
+
 # ---------------------------------------------------------------------------
 # run_points argument validation.
 # ---------------------------------------------------------------------------

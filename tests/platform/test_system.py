@@ -157,3 +157,32 @@ def test_stepping_exited_guest_fails():
     system.run()
     with pytest.raises(PlatformError):
         system.step_block()
+
+
+def test_reference_interpreter_skips_install_finalization():
+    """Regression: with ``interpreter="reference"`` the translation
+    cache still ran the fast-path finalizer on every install — pure
+    wasted host work, since the reference loop never reads the
+    finalized form.  The platform now unhooks the finalizer for
+    reference runs; behaviour is unchanged."""
+    from repro.kernels import SMALL_SIZES, build_kernel_program
+
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    reference = DbtSystem(program, interpreter="reference")
+    assert reference.engine.cache.finalizer is None
+    result = reference.run()
+    # No installed block was pre-decoded.
+    blocks = list(reference.engine.cache.blocks())
+    assert blocks
+    for block in blocks:
+        assert getattr(block, "_finalized", None) is None
+    # The fast path still finalizes at install, and both sides agree.
+    fast = DbtSystem(program)
+    assert fast.engine.cache.finalizer is not None
+    fast_result = fast.run()
+    for block in fast.engine.cache.blocks():
+        assert getattr(block, "_finalized", None) is not None
+    assert (result.exit_code, result.output, result.cycles,
+            result.instructions, result.rollbacks) == \
+        (fast_result.exit_code, fast_result.output, fast_result.cycles,
+         fast_result.instructions, fast_result.rollbacks)

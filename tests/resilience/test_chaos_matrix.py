@@ -17,3 +17,14 @@ def test_chaos_matrix_all_ok(tmp_path):
     assert any(s.startswith("attack:") for s in scenarios)
     # The table renders one scored row per cell.
     assert table.count(" ok") >= len(outcomes)
+
+
+def test_chaos_matrix_all_ok_chained(tmp_path):
+    """The full matrix again with block chaining on: every mid-chain
+    fault — including injector evictions of the very block the
+    dispatcher is about to jump to — must still be detected, recovered
+    and bit-identical (``repro chaos --chain``)."""
+    outcomes = run_chaos_matrix(seed=0, work_dir=tmp_path, chain=True)
+    table = format_chaos_table(outcomes)
+    assert all(outcome.ok for outcome in outcomes), "\n" + table
+    assert {outcome.site for outcome in outcomes} == set(FaultSite)

@@ -151,6 +151,32 @@ def test_gate_error_when_even_safe_fails(atax):
                                  corrupt_reschedule)
 
 
+def test_conflict_retranslation_passes_install_gate():
+    """Regression: ``retranslate_without_memory_speculation`` used to
+    install its rebuilt schedule directly, bypassing the supervisor's
+    install-time legality gate that every ``optimize()`` install passes
+    through.  Under supervision, *every* optimized-generation install —
+    initial optimization and conflict retranslation alike — must be
+    verified."""
+    program = build_attack_program(AttackVariant.SPECTRE_V4)
+    supervisor = ExecutionSupervisor()
+    system = DbtSystem(
+        program, policy=MitigationPolicy.UNSAFE,
+        engine_config=DbtEngineConfig(hot_threshold=16,
+                                      conflict_retranslate_threshold=3),
+        supervisor=supervisor)
+    system.run()
+    engine = system.engine
+    assert engine.stats.conflict_retranslations >= 1
+    gated_installs = (engine.stats.optimizations
+                      + engine.stats.conflict_retranslations)
+    # One gate verification per optimized/reoptimized install; before
+    # the fix the retranslated installs were missing from this count.
+    assert supervisor.stats.installs_verified == gated_installs
+    victim = engine.cache.get(program.symbol("victim"))
+    assert victim is not None and victim.kind == "reoptimized"
+
+
 def test_gate_disabled_installs_anything(atax):
     entry, ir, vliw_config, clean, safe = _gate_fixture(atax)
     supervisor = ExecutionSupervisor(SupervisorConfig(verify_installs=False))
