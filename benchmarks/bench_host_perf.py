@@ -3,14 +3,21 @@
 Unlike the other benchmark modules, this one measures the *host*: how
 many guest instructions per second the platform simulates, how much the
 finalized fast path (``repro.vliw.fastpath``) gains over the seed
-reference interpreter, and how the parallel sweep runner scales with
-``--jobs``.  It regenerates ``benchmarks/results/BENCH_host.json`` (the
-file ``repro bench-host`` writes) plus a human-readable summary.
+reference interpreter, how much more the tier-3 compiled blocks
+(``repro.vliw.codegen``) gain on top, and how the parallel sweep runner
+scales with ``--jobs``.  It regenerates
+``benchmarks/results/BENCH_host.json`` (the file ``repro bench-host``
+writes) plus a human-readable summary.
+
+Regression gating against the *stored* results file only happens when
+that file was produced by the same schema on the same host — wall-clock
+ratios do not travel across machines or report formats, so a mismatch
+means "refuse to gate", never "silently compare".
 
 Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI perf-smoke job)
 shortens the secret and drops to one kernel so the whole module runs in
 seconds.  Wall-clock numbers are only comparable within one machine;
-the acceptance bar that travels is the fast-path speedup ratio.
+the acceptance bars that travel are the speedup ratios.
 """
 
 import json
@@ -18,17 +25,98 @@ import os
 
 import pytest
 
-from repro.benchhost import format_report, run_bench_host
+from repro.benchhost import SCHEMA, format_report, run_bench_host
 
 from conftest import save_result
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: How much a stored-baseline speedup ratio may degrade before the gate
+#: fails; wall ratios on one machine still carry scheduler noise.
+BASELINE_TOLERANCE = 0.75
 
 
 @pytest.fixture(scope="module")
 def host_report():
     return run_bench_host(quick=QUICK)
 
+
+# ---------------------------------------------------------------------------
+# Stored-baseline staleness guard.
+# ---------------------------------------------------------------------------
+
+def load_gating_baseline(path, current_report):
+    """The stored report, or ``None`` with a reason when gating against
+    it would be meaningless: missing/unreadable file, a different
+    report schema, or a different host.
+    """
+    try:
+        stored = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None, "no readable stored baseline at %s" % path
+    if stored.get("schema") != current_report["schema"]:
+        return None, ("stored baseline schema %r != current %r"
+                      % (stored.get("schema"), current_report["schema"]))
+    if stored.get("host") != current_report["host"]:
+        return None, ("stored baseline host %r != current %r"
+                      % (stored.get("host"), current_report["host"]))
+    return stored, ""
+
+
+def test_gating_baseline_guard_refuses_mismatches(tmp_path):
+    current = {"schema": SCHEMA,
+               "host": {"python": "3.12.0", "machine": "x86_64"}}
+    path = tmp_path / "BENCH_host.json"
+
+    stored, reason = load_gating_baseline(path, current)
+    assert stored is None and "no readable" in reason
+
+    path.write_text("{not json")
+    stored, reason = load_gating_baseline(path, current)
+    assert stored is None and "no readable" in reason
+
+    # Old schema (the pre-tier-3 format): refuse.
+    path.write_text(json.dumps({"schema": "repro.bench_host/1",
+                                "host": current["host"]}))
+    stored, reason = load_gating_baseline(path, current)
+    assert stored is None and "schema" in reason
+
+    # Same schema, different machine: refuse.
+    path.write_text(json.dumps({
+        "schema": SCHEMA,
+        "host": {"python": "3.12.0", "machine": "aarch64"}}))
+    stored, reason = load_gating_baseline(path, current)
+    assert stored is None and "host" in reason
+
+    # Same schema, same host: gate.
+    path.write_text(json.dumps({"schema": SCHEMA, "host": current["host"],
+                                "e1_attack_matrix": {}}))
+    stored, reason = load_gating_baseline(path, current)
+    assert stored is not None and reason == ""
+
+
+def test_no_regression_vs_stored_baseline(host_report, results_dir):
+    """Gate the headline ratios against the committed results file —
+    but only when it demonstrably came from this schema and this host."""
+    stored, reason = load_gating_baseline(
+        results_dir / "BENCH_host.json", host_report)
+    if stored is None:
+        pytest.skip("refusing to gate: " + reason)
+    if QUICK != stored.get("quick", False):
+        pytest.skip("refusing to gate: stored baseline quick=%r, run is "
+                    "quick=%r" % (stored.get("quick", False), QUICK))
+    current = host_report["e1_attack_matrix"]
+    baseline = stored["e1_attack_matrix"]
+    for ratio in ("fast_path_speedup", "compiled_speedup"):
+        floor = baseline[ratio] * BASELINE_TOLERANCE
+        assert current[ratio] >= floor, (
+            "%s regressed: %.2fx vs stored %.2fx (floor %.2fx)"
+            % (ratio, current[ratio], baseline[ratio], floor))
+
+
+# ---------------------------------------------------------------------------
+# The tier ladder on the E1 attack matrix.
+# ---------------------------------------------------------------------------
 
 def test_fast_path_beats_reference(host_report):
     e1 = host_report["e1_attack_matrix"]
@@ -42,6 +130,45 @@ def test_fast_path_beats_reference(host_report):
         % (e1["fast_path_speedup"], floor))
 
 
+def test_compiled_tier_beats_fast_path(host_report):
+    """Tier-3 must simulate the same guest work and beat the fast
+    interpreter on E1 (the acceptance bar); quick mode's single noisy
+    wall sample only gates parity with the reference tier."""
+    e1 = host_report["e1_attack_matrix"]
+    compiled = e1["compiled"]
+    assert compiled["guest_instructions"] == e1["fast"]["guest_instructions"]
+    assert compiled["guest_cycles"] == e1["fast"]["guest_cycles"]
+    assert e1["compiled_speedup"] >= 1.0
+    if not QUICK:
+        assert e1["compiled_speedup"] >= e1["fast_path_speedup"], (
+            "compiled tier %.2fx below fast tier %.2fx"
+            % (e1["compiled_speedup"], e1["fast_path_speedup"]))
+
+
+def test_compiled_tier_reports_codegen_counters(host_report):
+    """The compiled E1 rows carry the ``dbt.codegen.*`` counters, and
+    the warmest repeat ran against the persistent cache."""
+    e1 = host_report["e1_attack_matrix"]
+    for row in ("compiled", "compiled_chained"):
+        codegen = e1[row]["codegen"]
+        assert codegen["persist_hits"] > 0, (
+            "%s never hit the persistent cache: %r" % (row, codegen))
+        assert codegen["compiles"] == 0, (
+            "%s still compiling when warm: %r" % (row, codegen))
+
+
+def test_tcache_persistence_cold_then_warm(host_report):
+    """The explicit cold/warm section: a second process sharing the
+    ``--tcache-dir`` loads envelopes instead of compiling."""
+    persistence = host_report["tcache_persistence"]
+    cold, warm = persistence["cold"], persistence["warm"]
+    assert cold["codegen"]["compiles"] > 0
+    assert cold["codegen"]["persist_stores"] > 0
+    assert warm["codegen"]["compiles"] == 0
+    assert warm["codegen"]["persist_hits"] > 0
+    assert persistence["warm_speedup"] > 0
+
+
 def test_chained_dispatch_identical_and_not_slower(host_report):
     """Block chaining is a dispatch-layer optimization: the chained E1
     matrix must simulate the exact same guest work (instruction and
@@ -50,7 +177,7 @@ def test_chained_dispatch_identical_and_not_slower(host_report):
     and never cost host time.  The measured gain on this matrix is
     Amdahl-bounded — dispatch is a small share of the wall once
     intra-block execution runs on the fast path — so the travelling bar
-    is parity, not a ratio; see docs/PERFORMANCE.md §4."""
+    is parity, not a ratio; see docs/PERFORMANCE.md §2."""
     e1 = host_report["e1_attack_matrix"]
     chained = e1["fast_chained"]
     assert chained["guest_instructions"] == e1["fast"]["guest_instructions"]
@@ -69,15 +196,22 @@ def test_chained_dispatch_identical_and_not_slower(host_report):
         assert e1["chain_speedup"] >= 1.0, (
             "chained dispatch slower than unchained: %.2fx"
             % e1["chain_speedup"])
+    # The compiled tier chains too, with the same guest work.
+    compiled_chained = e1["compiled_chained"]
+    assert (compiled_chained["guest_instructions"]
+            == e1["fast"]["guest_instructions"])
+    assert compiled_chained["chain"]["links"] > 0
 
 
-def test_kernel_rows_cover_both_interpreters(host_report):
+def test_kernel_rows_cover_all_tiers(host_report):
     rows = host_report["kernels"]
     assert rows, "no kernel measurements"
     by_key = {(r["kernel"], r["policy"], r["interpreter"]) for r in rows}
     kernels = {r["kernel"] for r in rows}
     policies = {r["policy"] for r in rows}
-    assert len(by_key) == len(kernels) * len(policies) * 2
+    interpreters = {r["interpreter"] for r in rows}
+    assert interpreters == {"reference", "fast", "compiled"}
+    assert len(by_key) == len(kernels) * len(policies) * 3
 
 
 def test_sweep_scaling_recorded(host_report):

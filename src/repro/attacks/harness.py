@@ -79,6 +79,7 @@ def run_attack(
     interpreter=None,
     engine_config=None,
     program=None,
+    tcache_dir=None,
     fault=None,
 ) -> AttackResult:
     """Run one PoC under one policy and score the recovered bytes.
@@ -92,7 +93,8 @@ def run_attack(
     if program is None:
         program = build_attack_program(variant, secret)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
-                       engine_config=engine_config, interpreter=interpreter)
+                       engine_config=engine_config, interpreter=interpreter,
+                       tcache_dir=tcache_dir)
     run = system.run()
     recovered = run.output[:len(secret)]
     return AttackResult(
@@ -114,6 +116,7 @@ def attack_matrix(
     telemetry=None,
     worker_faults=None,
     programs=None,
+    tcache_dir=None,
 ) -> Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]]:
     """The Section V-A result matrix: variant x policy -> outcome.
 
@@ -137,7 +140,7 @@ def attack_matrix(
     outcomes = run_points(
         run_attack,
         [(variant, policy, secret, None, interpreter, engine_config,
-          programs.get(variant) if programs else None)
+          programs.get(variant) if programs else None, tcache_dir)
          for variant, policy in points],
         labels=["%s/%s" % (variant.value, policy.value)
                 for variant, policy in points],

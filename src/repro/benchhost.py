@@ -8,6 +8,9 @@ raise it:
 * the **finalized fast path** (``repro.vliw.fastpath``) versus the seed
   per-``VliwOp`` reference interpreter, measured on the E1 attack matrix
   and on Polybench kernels under every mitigation policy;
+* the **tier-3 compiled blocks** (``repro.vliw.codegen``), measured on
+  the same grids plus a cold/warm pair over the persistent
+  cross-process codegen cache (``--tcache-dir``);
 * the **parallel sweep runner** (``repro.platform.parallel``), measured
   as Figure-4 sweep wall-time at different ``--jobs`` levels.
 
@@ -42,7 +45,9 @@ DEFAULT_KERNELS = ("gemm", "atax")
 QUICK_SECRET = b"GB"
 FULL_SECRET = b"GHOST"
 
-SCHEMA = "repro.bench_host/1"
+#: /2: adds the tier-3 ``compiled``/``compiled_chained`` E1 rows, the
+#: ``tcache_persistence`` section and per-row ``codegen`` counters.
+SCHEMA = "repro.bench_host/2"
 
 
 @contextmanager
@@ -66,7 +71,7 @@ def _timed_run(program, policy, interpreter: str) -> Tuple[float, object]:
 
 def measure_attack_matrix(secret: bytes, interpreter: str,
                           engine_config=None, programs=None,
-                          repeats: int = 1) -> dict:
+                          repeats: int = 1, tcache_dir=None) -> dict:
     """Wall-time one full E1 matrix (2 variants × all policies).
 
     The PoC binaries are assembled *outside* the timed region (pass
@@ -75,6 +80,12 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
     and dispatch — not the guest assembler.  ``repeats`` reruns the
     matrix and keeps the best wall: the simulation is deterministic, so
     the minimum is the measurement least polluted by host noise.
+
+    For the compiled tier, pass a ``tcache_dir`` shared across repeats:
+    repeat 1 pays the compiles, later repeats warm-load from the
+    persistent cache — the steady-state number a long campaign sees.
+    The ``codegen`` counters reported are the *last* repeat's (the
+    warmest), so a warm matrix shows its persistent hits.
     """
     if programs is None:
         programs = {variant: build_attack_program(variant, secret)
@@ -86,7 +97,8 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
             start = time.perf_counter()
             matrix = attack_matrix(secret=secret, interpreter=interpreter,
                                    engine_config=engine_config,
-                                   programs=programs)
+                                   programs=programs,
+                                   tcache_dir=tcache_dir)
             wall = time.perf_counter() - start
             if best_wall is None or wall < best_wall:
                 best_wall = wall
@@ -97,6 +109,9 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
     chain_links = chain_dispatches = 0
     chain_breaks: Dict[str, int] = {}
     chained = False
+    codegen_totals = {"compiles": 0, "hits": 0, "persist_hits": 0,
+                      "persist_stores": 0, "bytes": 0}
+    compiled = False
     for per_policy in matrix.values():
         for outcome in per_policy.values():
             instructions += outcome.run.instructions
@@ -108,6 +123,11 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
                 chain_dispatches += outcome.run.chain.dispatches
                 for reason, count in outcome.run.chain.breaks.items():
                     chain_breaks[reason] = chain_breaks.get(reason, 0) + count
+            if outcome.run.codegen is not None:
+                compiled = True
+                for field in codegen_totals:
+                    codegen_totals[field] += getattr(outcome.run.codegen,
+                                                     field)
     row = {
         "wall_seconds": round(wall, 4),
         "points": points,
@@ -122,13 +142,61 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
             "dispatches": chain_dispatches,
             "breaks": dict(sorted(chain_breaks.items())),
         }
+    if compiled:
+        row["codegen"] = codegen_totals
     return row
 
 
+def measure_tcache_persistence(secret: bytes, programs, tcache_dir) -> dict:
+    """Cold/warm pair over the persistent codegen cache.
+
+    Runs the Spectre-v4 PoC compiled twice against a fresh
+    ``tcache_dir``: the first run compiles and persists every block, the
+    second warm-loads them from disk.  The warm run's
+    ``persist_hits > 0`` is the acceptance evidence that cross-process
+    reuse actually happens; the wall pair shows what it buys.
+    """
+    from .attacks.harness import run_attack
+
+    def _one() -> dict:
+        with _gc_paused():
+            start = time.perf_counter()
+            outcome = run_attack(AttackVariant.SPECTRE_V4, secret=secret,
+                                 interpreter="compiled",
+                                 program=programs[AttackVariant.SPECTRE_V4],
+                                 tcache_dir=tcache_dir)
+            wall = time.perf_counter() - start
+        codegen = outcome.run.codegen
+        return {
+            "wall_seconds": round(wall, 4),
+            "codegen": {
+                "compiles": codegen.compiles,
+                "hits": codegen.hits,
+                "persist_hits": codegen.persist_hits,
+                "persist_stores": codegen.persist_stores,
+                "bytes": codegen.bytes,
+            },
+        }
+
+    cold = _one()
+    warm = _one()
+    return {
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": (round(cold["wall_seconds"] / warm["wall_seconds"], 3)
+                         if warm["wall_seconds"] else None),
+    }
+
+
 def measure_kernels(kernels: Sequence[str],
-                    interpreters: Sequence[str] = ("reference", "fast"),
+                    interpreters: Sequence[str] = ("reference", "fast",
+                                                   "compiled"),
                     ) -> List[dict]:
-    """Per-(kernel, policy, interpreter) wall-time and throughput rows."""
+    """Per-(kernel, policy, interpreter) wall-time and throughput rows.
+
+    The compiled rows run *cold* — no persistent cache — so they carry
+    the full translation + codegen cost (the honest Amdahl number;
+    docs/PERFORMANCE.md §2)."""
     rows: List[dict] = []
     for name in kernels:
         program = build_kernel_program(SMALL_SIZES[name]())
@@ -177,9 +245,17 @@ def run_bench_host(quick: bool = False,
                    secret: Optional[bytes] = None,
                    kernels: Sequence[str] = DEFAULT_KERNELS,
                    jobs_levels: Sequence[int] = (1, 4),
-                   skip_sweep: bool = False) -> dict:
-    """Run the full host-perf baseline and return the report dict."""
+                   skip_sweep: bool = False,
+                   tcache_dir=None) -> dict:
+    """Run the full host-perf baseline and return the report dict.
+
+    ``tcache_dir`` hosts the compiled tier's persistent codegen cache
+    for the E1 measurements; the default is a temporary directory, so
+    every invocation starts cold and the warm numbers come from the
+    best-of-``repeats`` loop and the explicit cold/warm section.
+    """
     import os
+    import tempfile
 
     if secret is None:
         secret = QUICK_SECRET if quick else FULL_SECRET
@@ -196,34 +272,59 @@ def run_bench_host(quick: bool = False,
     }
 
     repeats = 1 if quick else 3
+    #: The compiled tier is always measured best-of-2+ so at least one
+    #: repeat runs warm against the persistent cache.
+    compiled_repeats = max(2, repeats)
     programs = {variant: build_attack_program(variant, secret)
                 for variant in AttackVariant}
-    e1: Dict[str, object] = {"secret_length": len(secret),
-                             "repeats": repeats}
-    for interpreter in ("reference", "fast"):
-        e1[interpreter] = measure_attack_matrix(
-            secret, interpreter, programs=programs,
-            repeats=1 if interpreter == "reference" else repeats)
-    e1["fast_chained"] = measure_attack_matrix(
-        secret, "fast", engine_config=DbtEngineConfig(chain=True),
-        programs=programs, repeats=repeats)
-    reference_wall = e1["reference"]["wall_seconds"]
-    fast_wall = e1["fast"]["wall_seconds"]
-    chained_wall = e1["fast_chained"]["wall_seconds"]
-    e1["fast_path_speedup"] = (
-        round(reference_wall / fast_wall, 3) if fast_wall else None)
-    #: Chained vs unchained dispatch, both on the fast path.
-    e1["chain_speedup"] = (
-        round(fast_wall / chained_wall, 3) if chained_wall else None)
-    report["e1_attack_matrix"] = e1
+    tcache_ctx = (tempfile.TemporaryDirectory(prefix="repro-bench-tcache-")
+                  if tcache_dir is None else None)
+    tdir = Path(tcache_ctx.name) if tcache_ctx is not None else Path(tcache_dir)
+    try:
+        e1: Dict[str, object] = {"secret_length": len(secret),
+                                 "repeats": repeats}
+        for interpreter in ("reference", "fast"):
+            e1[interpreter] = measure_attack_matrix(
+                secret, interpreter, programs=programs,
+                repeats=1 if interpreter == "reference" else repeats)
+        e1["fast_chained"] = measure_attack_matrix(
+            secret, "fast", engine_config=DbtEngineConfig(chain=True),
+            programs=programs, repeats=repeats)
+        e1["compiled"] = measure_attack_matrix(
+            secret, "compiled", programs=programs,
+            repeats=compiled_repeats, tcache_dir=tdir / "e1")
+        e1["compiled_chained"] = measure_attack_matrix(
+            secret, "compiled", engine_config=DbtEngineConfig(chain=True),
+            programs=programs, repeats=compiled_repeats,
+            tcache_dir=tdir / "e1")
+        reference_wall = e1["reference"]["wall_seconds"]
+        fast_wall = e1["fast"]["wall_seconds"]
+        chained_wall = e1["fast_chained"]["wall_seconds"]
+        compiled_wall = e1["compiled"]["wall_seconds"]
+        e1["fast_path_speedup"] = (
+            round(reference_wall / fast_wall, 3) if fast_wall else None)
+        #: Chained vs unchained dispatch, both on the fast path.
+        e1["chain_speedup"] = (
+            round(fast_wall / chained_wall, 3) if chained_wall else None)
+        #: Tier-3 vs the seed loop — the headline host-perf number.
+        e1["compiled_speedup"] = (
+            round(reference_wall / compiled_wall, 3) if compiled_wall
+            else None)
+        report["e1_attack_matrix"] = e1
 
-    kernel_names = list(kernels)[:1] if quick else list(kernels)
-    report["kernels"] = measure_kernels(kernel_names)
+        report["tcache_persistence"] = measure_tcache_persistence(
+            secret, programs, tdir / "persistence")
 
-    if not skip_sweep:
-        sweep_kernels = kernel_names if quick else list(SMALL_SIZES)[:4]
-        report["figure4_sweep"] = measure_sweep_scaling(
-            sweep_kernels, jobs_levels)
+        kernel_names = list(kernels)[:1] if quick else list(kernels)
+        report["kernels"] = measure_kernels(kernel_names)
+
+        if not skip_sweep:
+            sweep_kernels = kernel_names if quick else list(SMALL_SIZES)[:4]
+            report["figure4_sweep"] = measure_sweep_scaling(
+                sweep_kernels, jobs_levels)
+    finally:
+        if tcache_ctx is not None:
+            tcache_ctx.cleanup()
     return report
 
 
@@ -248,6 +349,32 @@ def format_report(report: dict) -> str:
                     e1["fast"]["wall_seconds"], chained["wall_seconds"],
                     e1.get("chain_speedup") or 0.0,
                     "{:,}".format(chained["guest_instructions_per_second"])))
+        compiled = e1.get("compiled")
+        if compiled:
+            lines.append(
+                "  + tier-3      : reference %.2fs -> compiled %.2fs "
+                "(speedup %.2fx, %s guest instr/s)" % (
+                    e1["reference"]["wall_seconds"],
+                    compiled["wall_seconds"],
+                    e1.get("compiled_speedup") or 0.0,
+                    "{:,}".format(compiled["guest_instructions_per_second"])))
+            counters = compiled.get("codegen")
+            if counters:
+                lines.append(
+                    "    codegen     : %d compiles, %d persist hits / "
+                    "%d stores (last repeat)" % (
+                        counters["compiles"], counters["persist_hits"],
+                        counters["persist_stores"]))
+    tcache = report.get("tcache_persistence")
+    if tcache:
+        lines.append(
+            "tcache           : cold %.2fs (%d compiles) -> warm %.2fs "
+            "(%d persist hits, speedup %sx)" % (
+                tcache["cold"]["wall_seconds"],
+                tcache["cold"]["codegen"]["compiles"],
+                tcache["warm"]["wall_seconds"],
+                tcache["warm"]["codegen"]["persist_hits"],
+                tcache.get("warm_speedup")))
     for row in report.get("kernels", ()):
         lines.append(
             "%-12s %-14s %-9s %7.2fs  %12s instr/s" % (

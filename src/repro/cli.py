@@ -30,9 +30,10 @@ Subcommands
     sweep points on disk).
 
 ``bench-host``
-    Measure the simulator's own host throughput: fast-path vs reference
-    interpreter on the E1 attack matrix and Polybench kernels, and
-    sweep wall-time at several ``--jobs`` levels.  Writes
+    Measure the simulator's own host throughput: reference vs fast-path
+    vs tier-3 compiled interpreter (± block chaining) on the E1 attack
+    matrix and Polybench kernels, a cold/warm persistent-codegen-cache
+    pair, and sweep wall-time at several ``--jobs`` levels.  Writes
     ``BENCH_host.json`` (see docs/PERFORMANCE.md).
 
 ``stats``
@@ -171,7 +172,8 @@ def cmd_run(args) -> int:
     system = DbtSystem(program, policy=args.policy,
                        vliw_config=_vliw_config(args),
                        engine_config=_engine_config(args), observer=observer,
-                       supervisor=supervisor)
+                       supervisor=supervisor, interpreter=args.interpreter,
+                       tcache_dir=args.tcache_dir)
     result = system.run()
     print("exit code : %d" % result.exit_code)
     if result.output:
@@ -251,15 +253,19 @@ def cmd_attack(args) -> int:
             matrix = attack_matrix(secret=secret, policies=policies,
                                    variants=(variant,), jobs=args.jobs,
                                    engine_config=engine_config,
+                                   interpreter=args.interpreter,
                                    timeout=args.timeout,
-                                   retries=args.retries)
+                                   retries=args.retries,
+                                   tcache_dir=args.tcache_dir)
         except ParallelRunError as error:
             _print_run_failures(error)
             return 1
         results = [matrix[variant][policy] for policy in policies]
     else:
         results = [run_attack(variant, policy, secret=secret,
-                              engine_config=engine_config)
+                              engine_config=engine_config,
+                              interpreter=args.interpreter,
+                              tcache_dir=args.tcache_dir)
                    for policy in policies]
     leaked_anywhere = False
     for result in results:
@@ -290,8 +296,10 @@ def cmd_sweep(args) -> int:
             workloads, jobs=args.jobs, cache_dir=args.cache_dir,
             engine_config=_engine_config(args),
             expect_exit_codes=expected,
+            interpreter=args.interpreter,
             timeout=args.timeout, retries=args.retries,
             checkpoint=args.resume, telemetry=telemetry,
+            tcache_dir=args.tcache_dir,
         )
     except ParallelRunError as error:
         _print_run_failures(error)
@@ -319,7 +327,8 @@ def cmd_sweep(args) -> int:
 def cmd_bench_host(args) -> int:
     from .benchhost import format_report, run_bench_host, write_report
 
-    report = run_bench_host(quick=args.quick, skip_sweep=args.skip_sweep)
+    report = run_bench_host(quick=args.quick, skip_sweep=args.skip_sweep,
+                            tcache_dir=args.tcache_dir)
     print(format_report(report))
     if args.out:
         path = write_report(report, args.out)
@@ -362,6 +371,7 @@ def cmd_chaos(args) -> int:
     outcomes = run_chaos_matrix(
         seed=args.seed, kernel=args.kernel, jobs=args.jobs,
         hang_timeout=args.hang_timeout, chain=args.chain,
+        interpreter=args.interpreter,
     )
     print(format_chaos_table(outcomes))
     failed = [outcome for outcome in outcomes if not outcome.ok]
@@ -393,6 +403,20 @@ def build_parser() -> argparse.ArgumentParser:
     def add_wide(p):
         p.add_argument("--wide", type=int, default=None, metavar="N",
                        help="use an N-wide machine instead of the default 4-wide")
+
+    def add_interpreter(p, tcache=True):
+        p.add_argument(
+            "--interpreter", choices=("fast", "reference", "compiled"),
+            default=None,
+            help="host execution tier: finalized fast path (default), "
+                 "the seed reference loop, or tier-3 compiled blocks "
+                 "(bit-identical results)")
+        if tcache:
+            p.add_argument(
+                "--tcache-dir", metavar="DIR", default=None,
+                help="persistent cross-process codegen cache for "
+                     "--interpreter compiled: compiled blocks are "
+                     "stored under DIR and reloaded by later runs")
 
     def add_engine(p):
         p.add_argument(
@@ -443,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_policy(run_parser)
     add_wide(run_parser)
     add_engine(run_parser)
+    add_interpreter(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     dis_parser = sub.add_parser("dis", help="assemble and disassemble")
@@ -479,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool retry attempts for crashed/timed-out cells before "
              "the serial fallback (default: %(default)s)")
     add_engine(attack_parser)
+    add_interpreter(attack_parser)
     attack_parser.set_defaults(func=cmd_attack)
 
     sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
@@ -514,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
              "land and replayed on the next run, so a killed sweep "
              "resumes instead of starting over")
     add_engine(sweep_parser)
+    add_interpreter(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     bench_parser = sub.add_parser(
@@ -529,6 +556,10 @@ def build_parser() -> argparse.ArgumentParser:
                               default="benchmarks/results/BENCH_host.json",
                               help="where to write the JSON report "
                                    "(default: %(default)s)")
+    bench_parser.add_argument(
+        "--tcache-dir", metavar="DIR", default=None,
+        help="persistent codegen cache for the compiled-tier "
+             "measurements (default: a temporary directory)")
     bench_parser.set_defaults(func=cmd_bench_host)
 
     stats_parser = sub.add_parser(
@@ -569,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--chain", action="store_true",
                               help="run every engine scenario with block "
                                    "chaining enabled")
+    add_interpreter(chaos_parser, tcache=False)
     chaos_parser.set_defaults(func=cmd_chaos)
 
     return parser

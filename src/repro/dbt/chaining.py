@@ -62,6 +62,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
 from ..vliw.block import TranslatedBlock
+from ..vliw.codegen import run_compiled_chain
 from ..vliw.fastpath import finalize_block
 from ..vliw.isa import VliwOpcode
 from ..vliw.pipeline import BlockResult, ExitReason
@@ -301,15 +302,26 @@ class ChainedDispatcher:
         return self._dispatch_general(block)
 
     def _dispatch_fused(self, block: TranslatedBlock) -> BlockResult:
-        """Whole-chain execution inside the core (see module docstring)."""
+        """Whole-chain execution inside the core (see module docstring).
+
+        With the compiled tier selected, the chain runs through
+        :func:`repro.vliw.codegen.run_compiled_chain` — the same seam
+        semantics with each block body being its specialized compiled
+        function."""
         system = self.system
         engine = self.engine
+        core = system.core
         record = self._record_for(block)
         if record.fblock is None:
-            record.fblock = finalize_block(record.block, system.core.config)
-        result, reason, record, blocks_executed, dispatches = (
-            system.core.execute_chain(record, self._context,
-                                      system.blocks_executed))
+            record.fblock = finalize_block(record.block, core.config)
+        if core.use_compiled:
+            result, reason, record, blocks_executed, dispatches = (
+                run_compiled_chain(core, record, self._context,
+                                   system.blocks_executed))
+        else:
+            result, reason, record, blocks_executed, dispatches = (
+                core.execute_chain(record, self._context,
+                                   system.blocks_executed))
         system.blocks_executed = blocks_executed
         stats = self.stats
         stats.dispatches += dispatches

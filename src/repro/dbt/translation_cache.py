@@ -26,7 +26,14 @@ actual contents.
 
 from __future__ import annotations
 
+import base64
+import binascii
+import hashlib
+import json
+import marshal
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional
 
 from ..vliw.block import TranslatedBlock
@@ -77,6 +84,11 @@ class TranslationCache:
         #: so translations are pre-decoded for the core's fast path at
         #: install time instead of on first execution.
         self.finalizer = finalizer
+        #: Optional :class:`PersistentCodegenCache`; when set, dropping a
+        #: translation also discards its persisted compiled code, so the
+        #: on-disk cache can never serve an entry the in-memory cache
+        #: already rejected (eviction/invalidation parity).
+        self.persistent: Optional["PersistentCodegenCache"] = None
         self._blocks: Dict[int, TranslatedBlock] = {}
         self.stats = TranslationCacheStats()
         #: Optional :class:`~repro.dbt.chaining.ChainIndex`; every cache
@@ -103,6 +115,7 @@ class TranslationCache:
         entry = block.guest_entry
         if entry in self._blocks:
             self.stats.replacements += 1
+            self._forget_compiled(self._blocks[entry])
             if self.chains is not None:
                 self.chains.unlink(entry)
             if self._lru:
@@ -110,6 +123,7 @@ class TranslationCache:
         elif self.capacity is not None and len(self._blocks) >= self.capacity:
             if self._lru:
                 victim = next(iter(self._blocks))
+                self._forget_compiled(self._blocks[victim])
                 del self._blocks[victim]
                 self.stats.evictions += 1
                 if self.chains is not None:
@@ -117,6 +131,8 @@ class TranslationCache:
                 for listener in self.evict_listeners:
                     listener(victim)
             else:
+                for stale in self._blocks.values():
+                    self._forget_compiled(stale)
                 self._blocks.clear()
                 self.stats.capacity_flushes += 1
                 if self.chains is not None:
@@ -138,15 +154,35 @@ class TranslationCache:
         Quarantines come through here, so the entry's chain links go
         with it.
         """
-        existed = self._blocks.pop(entry, None) is not None
-        if existed and self.chains is not None:
-            self.chains.unlink(entry)
+        dropped = self._blocks.pop(entry, None)
+        existed = dropped is not None
+        if existed:
+            self._forget_compiled(dropped)
+            if self.chains is not None:
+                self.chains.unlink(entry)
         return existed
 
     def clear(self) -> None:
+        for block in self._blocks.values():
+            self._forget_compiled(block)
         self._blocks.clear()
         if self.chains is not None:
             self.chains.clear()
+
+    def _forget_compiled(self, block: TranslatedBlock) -> None:
+        """Tier-3 eviction parity: a translation leaving the cache takes
+        its compiled host function — and the persisted envelope that
+        could resurrect it in another process — with it, exactly as its
+        chain links go.  The recovery variant's compiled form is part of
+        the translation and goes too."""
+        fblock = getattr(block, "_finalized", None)
+        while fblock is not None:
+            fblock.compiled = None
+            key = fblock.persist_key
+            fblock.persist_key = None
+            if key is not None and self.persistent is not None:
+                self.persistent.discard(key)
+            fblock = fblock.recovery
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -156,3 +192,161 @@ class TranslationCache:
 
     def blocks(self) -> Iterator[TranslatedBlock]:
         return iter(self._blocks.values())
+
+
+# ---------------------------------------------------------------------------
+# Persistent cross-process codegen cache (tier-3).
+# ---------------------------------------------------------------------------
+
+#: Envelope format version; part of the on-disk schema, independent of
+#: the codegen key version (which already covers generator + bytecode
+#: compatibility).
+_ENVELOPE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CodegenCacheEnvelope:
+    """One persisted compiled block: versioned, checksummed, keyed.
+
+    ``code`` is the base64 of ``marshal.dumps`` of the module code
+    object; ``sha256`` covers the raw marshal bytes so truncation or
+    bit-flips are detected before ``marshal.loads`` ever runs.
+    """
+
+    version: int
+    key: str
+    sha256: str
+    code: str
+    source_bytes: int
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": self.version,
+            "key": self.key,
+            "sha256": self.sha256,
+            "code": self.code,
+            "source_bytes": self.source_bytes,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CodegenCacheEnvelope":
+        record = json.loads(text)
+        if not isinstance(record, dict):
+            raise ValueError("envelope is not an object")
+        return cls(
+            version=record["version"],
+            key=record["key"],
+            sha256=record["sha256"],
+            code=record["code"],
+            source_bytes=record["source_bytes"],
+        )
+
+
+class PersistentCodegenCache:
+    """On-disk store of compiled-block code objects, shared across
+    processes (``--tcache-dir``).
+
+    Corruption-tolerant like the sweep memo cache
+    (:mod:`repro.platform.parallel`): an unreadable, truncated,
+    version-mismatched or checksum-failing envelope is moved into a
+    ``quarantine/`` subdirectory — never deleted, so operators can
+    inspect what went wrong — counted, and recomputed.  Writes are
+    atomic (temp file + ``os.replace``) so a killed worker can never
+    leave a half-written envelope for the next one.
+
+    A small in-process memo layer fronts the disk so repeated installs
+    of the same translation inside one process (capacity flushes,
+    replacement churn) do not re-read files.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Envelopes loaded (disk or memo).
+        self.loads = 0
+        #: Envelopes written.
+        self.stores = 0
+        #: Corrupt envelopes moved to ``quarantine/``.
+        self.quarantined = 0
+        self._memory: Dict[str, object] = {}
+
+    def _path(self, key: str) -> Path:
+        return self.directory / (key + ".codegen.json")
+
+    def load(self, key: str):
+        """The code object persisted under ``key``, or ``None``."""
+        code = self._memory.get(key)
+        if code is not None:
+            self.loads += 1
+            return code
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        except UnicodeDecodeError as error:
+            # A bit-flip can break UTF-8 before it breaks JSON.
+            self._quarantine(path, error)
+            return None
+        try:
+            envelope = CodegenCacheEnvelope.from_json(text)
+            if envelope.version != _ENVELOPE_VERSION:
+                raise ValueError("envelope version %r" % (envelope.version,))
+            if envelope.key != key:
+                raise ValueError("envelope key mismatch")
+            raw = base64.b64decode(envelope.code.encode("ascii"),
+                                   validate=True)
+            if hashlib.sha256(raw).hexdigest() != envelope.sha256:
+                raise ValueError("envelope checksum mismatch")
+            code = marshal.loads(raw)
+        except (ValueError, KeyError, TypeError, EOFError,
+                binascii.Error) as error:
+            self._quarantine(path, error)
+            return None
+        self._memory[key] = code
+        self.loads += 1
+        return code
+
+    def store(self, key: str, code, source_bytes: int) -> None:
+        """Persist ``code`` under ``key`` (atomic)."""
+        raw = marshal.dumps(code)
+        envelope = CodegenCacheEnvelope(
+            version=_ENVELOPE_VERSION,
+            key=key,
+            sha256=hashlib.sha256(raw).hexdigest(),
+            code=base64.b64encode(raw).decode("ascii"),
+            source_bytes=source_bytes,
+        )
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        try:
+            tmp.write_text(envelope.to_json() + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            # Persistence is an optimization; a read-only or full disk
+            # must never fail the run.
+            return
+        self._memory[key] = code
+        self.stores += 1
+
+    def discard(self, key: str) -> None:
+        """Drop ``key``'s envelope (eviction/invalidation parity)."""
+        self._memory.pop(key, None)
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def _quarantine(self, path: Path, error: BaseException) -> None:
+        """Move a corrupt envelope aside (mirrors the sweep memo
+        cache's quarantine) and count it for the chaos matrix."""
+        self.quarantined += 1
+        quarantine_dir = self.directory / "quarantine"
+        try:
+            quarantine_dir.mkdir(exist_ok=True)
+            os.replace(path, quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -257,3 +257,12 @@ class Observer:
             reg.gauge("dbt.chain_dispatches").set(chain.dispatches)
             for reason, count in chain.breaks.items():
                 reg.gauge("dbt.chain_breaks." + reason).set(count)
+        codegen = getattr(result, "codegen", None)
+        if codegen is not None:
+            reg.gauge("dbt.codegen.compiles").set(codegen.compiles)
+            reg.gauge("dbt.codegen.hits").set(codegen.hits)
+            reg.gauge("dbt.codegen.persist_hits").set(codegen.persist_hits)
+            reg.gauge("dbt.codegen.persist_stores").set(
+                codegen.persist_stores)
+            reg.gauge("dbt.codegen.bytes").set(codegen.bytes)
+            reg.gauge("dbt.codegen.quarantined").set(codegen.quarantined)

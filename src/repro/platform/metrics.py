@@ -9,6 +9,7 @@ from ..dbt.chaining import ChainStats
 from ..dbt.engine import DbtEngineStats
 from ..dbt.translation_cache import TranslationCacheStats
 from ..mem.cache import CacheStats
+from ..vliw.codegen import CodegenStats
 from ..vliw.pipeline import CoreStats
 
 
@@ -27,6 +28,7 @@ class SystemRunResult:
     engine: Optional[DbtEngineStats] = None
     tcache: Optional[TranslationCacheStats] = None
     chain: Optional[ChainStats] = None
+    codegen: Optional[CodegenStats] = None
 
     @property
     def ipc(self) -> float:
@@ -76,6 +78,14 @@ class SystemRunResult:
                 "code cache     : %d installs, %d LRU evictions, %d flushes"
                 % (self.tcache.installs, self.tcache.evictions,
                    self.tcache.capacity_flushes)
+            )
+        if self.codegen is not None:
+            lines.append(
+                "codegen        : %d compiles (%d bytes), %d memo hits, "
+                "%d persist hits / %d stores"
+                % (self.codegen.compiles, self.codegen.bytes,
+                   self.codegen.hits, self.codegen.persist_hits,
+                   self.codegen.persist_stores)
             )
         if self.chain is not None:
             breaks = ", ".join(

@@ -317,11 +317,13 @@ def run_sweep_point(program: Program, policy: MitigationPolicy,
                     vliw_config: Optional[VliwConfig] = None,
                     engine_config: Optional[DbtEngineConfig] = None,
                     interpreter: Optional[str] = None,
+                    tcache_dir=None,
                     fault: Optional[WorkerFault] = None) -> dict:
     """Simulate one (program, policy) point and return its slim record."""
     apply_worker_fault(fault)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
-                       engine_config=engine_config, interpreter=interpreter)
+                       engine_config=engine_config, interpreter=interpreter,
+                       tcache_dir=tcache_dir)
     result = system.run()
     record = {field_: getattr(result, field_) for field_ in _RECORD_FIELDS}
     record["output"] = result.output.hex()
@@ -522,6 +524,7 @@ def sweep_comparisons(
     checkpoint: Optional[Union[str, Path]] = None,
     telemetry: Optional[RunnerTelemetry] = None,
     worker_faults: Optional[Dict[int, WorkerFault]] = None,
+    tcache_dir=None,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
@@ -582,7 +585,7 @@ def sweep_comparisons(
             computed = run_points(
                 run_sweep_point,
                 [(points[i][1], points[i][2], vliw_config, engine_config,
-                  interpreter) for i in misses],
+                  interpreter, tcache_dir) for i in misses],
                 labels=["%s/%s" % (points[i][0], points[i][2].value)
                         for i in misses],
                 jobs=jobs,

@@ -22,7 +22,10 @@ from ..obs.observer import Observer
 from ..security.policy import MitigationPolicy
 from ..dbt.chaining import ChainedDispatcher
 from ..dbt.engine import DbtEngine, DbtEngineConfig
+from ..dbt.translation_cache import PersistentCodegenCache
+from ..vliw.codegen import CodegenStats, ensure_compiled
 from ..vliw.config import VliwConfig
+from ..vliw.fastpath import finalize_block
 from ..vliw.pipeline import ExitReason, VliwCore
 from .metrics import SystemRunResult
 
@@ -66,6 +69,7 @@ class DbtSystem:
         observer: Optional[Observer] = None,
         interpreter: Optional[str] = None,
         supervisor=None,
+        tcache_dir=None,
     ):
         self.program = program
         self.policy = policy
@@ -76,11 +80,16 @@ class DbtSystem:
             self.memory.memory.load_image(base, image)
         self.core = VliwCore(self.vliw_config, self.memory)
         if interpreter is not None:
-            if interpreter not in ("fast", "reference"):
+            if interpreter not in ("fast", "reference", "compiled"):
                 raise ValueError(
-                    "interpreter must be 'fast' or 'reference', got %r"
-                    % (interpreter,))
-            self.core.use_fast_path = interpreter == "fast"
+                    "interpreter must be 'fast', 'reference' or "
+                    "'compiled', got %r" % (interpreter,))
+            self.core.use_fast_path = interpreter != "reference"
+            self.core.use_compiled = interpreter == "compiled"
+        #: The effective host tier ("compiled" / "fast" / "reference").
+        self.interpreter = ("compiled" if self.core.use_compiled
+                           else "fast" if self.core.use_fast_path
+                           else "reference")
         self.core.regs.write(_REG_SP, self.platform_config.stack_top)
         self.engine = DbtEngine(
             program,
@@ -88,7 +97,41 @@ class DbtSystem:
             policy=policy,
             config=engine_config,
         )
-        if not self.core.use_fast_path:
+        #: Tier-3 codegen counters (None unless this system compiles).
+        self.codegen: Optional[CodegenStats] = None
+        #: Persistent cross-process codegen cache (``tcache_dir``).
+        self.tcache: Optional[PersistentCodegenCache] = None
+        if self.core.use_compiled:
+            self.codegen = CodegenStats()
+            self.core.codegen_stats = self.codegen
+            if tcache_dir is not None:
+                self.tcache = PersistentCodegenCache(tcache_dir)
+                self.engine.cache.persistent = self.tcache
+            # Compile at install time, through the same finalizer hook
+            # the fast path uses for lowering.  Only optimized
+            # (reoptimized) translations are compiled: first-pass blocks
+            # are replaced after a handful of executions, so their
+            # compile cost can never amortize — they run on the fast
+            # interpreter instead, exactly like a real DBT's tiering.
+            # The recovery variant of a compiled block is compiled
+            # eagerly so a rollback never pays a compile hiccup
+            # mid-experiment.
+            stats = self.codegen
+            persistent = self.tcache
+            policy_key = policy.value
+            vliw_config = self.vliw_config
+
+            def _finalize_and_compile(block):
+                fblock = finalize_block(block, vliw_config)
+                if block.kind != "firstpass":
+                    ensure_compiled(fblock, stats, persistent, policy_key)
+                    if fblock.recovery is not None:
+                        ensure_compiled(fblock.recovery, stats, persistent,
+                                        policy_key)
+                return fblock
+
+            self.engine.cache.finalizer = _finalize_and_compile
+        elif not self.core.use_fast_path:
             # The finalized form is only consumed by the fast path;
             # skip the install-time lowering when this system never
             # executes it.  finalize_block still memoizes lazily should
@@ -163,6 +206,8 @@ class DbtSystem:
         return result
 
     def result(self) -> SystemRunResult:
+        if self.codegen is not None and self.tcache is not None:
+            self.codegen.quarantined = self.tcache.quarantined
         return SystemRunResult(
             exit_code=self.exit_code,
             cycles=self.core.cycle,
@@ -175,6 +220,7 @@ class DbtSystem:
             engine=self.engine.stats,
             tcache=self.engine.cache.stats,
             chain=self.chain.stats if self.chain is not None else None,
+            codegen=self.codegen,
         )
 
     # ------------------------------------------------------------------
@@ -225,11 +271,13 @@ def run_on_platform(
     observer: Optional[Observer] = None,
     interpreter: Optional[str] = None,
     supervisor=None,
+    tcache_dir=None,
 ) -> SystemRunResult:
     """One-shot convenience: run ``program`` under ``policy``."""
     system = DbtSystem(
         program, policy=policy, vliw_config=vliw_config,
         engine_config=engine_config, observer=observer,
         interpreter=interpreter, supervisor=supervisor,
+        tcache_dir=tcache_dir,
     )
     return system.run()

@@ -48,6 +48,7 @@ from .faults import (
     FaultInjector,
     FaultSite,
     WorkerFault,
+    corrupt_codegen_cache,
     corrupt_sweep_cache,
 )
 from .supervisor import ExecutionSupervisor
@@ -121,12 +122,14 @@ def _chaos_guests(kernel: str):
 
 def _engine_cell(site: FaultSite, seed: int, scenario: str, program,
                  policy: MitigationPolicy, reference,
-                 chain: bool = False) -> ChaosOutcome:
+                 chain: bool = False,
+                 interpreter: Optional[str] = None) -> ChaosOutcome:
     injector = FaultInjector(seed=seed, sites=[site])
     supervisor = ExecutionSupervisor(injector=injector)
     try:
         result = DbtSystem(program, policy=policy,
                            engine_config=_chaos_engine_config(chain),
+                           interpreter=interpreter,
                            supervisor=supervisor).run()
     except Exception as error:  # noqa: BLE001 — scored, not propagated
         return ChaosOutcome(
@@ -177,6 +180,31 @@ def _sweepcache_cell(seed: int, scenario: str, workloads, baseline: str,
     )
 
 
+def _tcache_disk_cell(seed: int, scenario: str, program,
+                      policy: MitigationPolicy, work_dir: Path,
+                      chain: bool) -> ChaosOutcome:
+    """Corrupt a persisted tier-3 codegen envelope between two compiled
+    runs sharing a ``--tcache-dir``.  The second run must quarantine the
+    corrupt envelope (never execute it), recompile, and still produce
+    architecturally identical output."""
+    tcache_dir = work_dir / "tcache"
+    config = _chaos_engine_config(chain)
+    cold = DbtSystem(program, policy=policy, engine_config=config,
+                     interpreter="compiled", tcache_dir=tcache_dir).run()
+    detail = corrupt_codegen_cache(tcache_dir, random.Random(seed))
+    warm = DbtSystem(program, policy=policy, engine_config=config,
+                     interpreter="compiled", tcache_dir=tcache_dir).run()
+    return ChaosOutcome(
+        FaultSite.TCACHE_DISK_CORRUPT, scenario,
+        fired=detail is not None,
+        detected=warm.codegen is not None and warm.codegen.quarantined >= 1,
+        recovered=True,
+        identical=(warm.exit_code, warm.output)
+                  == (cold.exit_code, cold.output),
+        detail=detail or "no codegen envelopes to corrupt",
+    )
+
+
 def _worker_cell(site: FaultSite, scenario: str, workloads, baseline: str,
                  fault: WorkerFault, jobs: int,
                  timeout: Optional[float]) -> ChaosOutcome:
@@ -210,6 +238,7 @@ def run_chaos_matrix(
     hang_timeout: float = 8.0,
     work_dir: Optional[Union[str, Path]] = None,
     chain: bool = False,
+    interpreter: Optional[str] = None,
 ) -> List[ChaosOutcome]:
     """Run every fault site's scenario; returns one outcome per cell.
 
@@ -218,21 +247,31 @@ def run_chaos_matrix(
     timeout the hung-worker scenario must survive; the injected hang
     sleeps several times longer, so detection is unambiguous.
     ``chain`` runs the engine scenarios with block chaining enabled, so
-    mid-chain faults exercise the chain-unlink paths.
+    mid-chain faults exercise the chain-unlink paths.  ``interpreter``
+    selects the host tier the engine scenarios run on; the two tier-3
+    sites (``codegen-corrupt``, ``tcache-disk-corrupt``) always run
+    compiled regardless, since they have nothing to corrupt elsewhere.
     """
     jobs = max(2, jobs)  # runner faults only apply under a real pool
     outcomes: List[ChaosOutcome] = []
 
     guests = _chaos_guests(kernel)
+    # One fault-free reference per guest.  The three host tiers are
+    # bit-identical in everything architectural (the differential gate),
+    # so these references also serve the always-compiled tier-3 cells.
     references = {
         name: DbtSystem(program, policy=policy,
-                        engine_config=_chaos_engine_config(chain)).run()
+                        engine_config=_chaos_engine_config(chain),
+                        interpreter=interpreter).run()
         for name, program, policy in guests
     }
     for site in ENGINE_SITES:
+        cell_interp = ("compiled" if site is FaultSite.CODEGEN_CORRUPT
+                       else interpreter)
         for name, program, policy in guests:
             outcomes.append(_engine_cell(site, seed, name, program, policy,
-                                         references[name], chain=chain))
+                                         references[name], chain=chain,
+                                         interpreter=cell_interp))
 
     workloads = [(kernel, guests[0][1])]
     baseline = _sweep_rows(workloads)
@@ -241,6 +280,9 @@ def run_chaos_matrix(
                  else Path(tempfile.mkdtemp(prefix="repro-chaos-")))
     outcomes.append(_sweepcache_cell(seed, scenario, workloads, baseline,
                                      work_path))
+    attack_name, attack_program, attack_policy = guests[1]
+    outcomes.append(_tcache_disk_cell(seed, attack_name, attack_program,
+                                      attack_policy, work_path, chain))
     outcomes.append(_worker_cell(
         FaultSite.WORKER_CRASH, scenario, workloads, baseline,
         WorkerFault("crash"), jobs, timeout=None))

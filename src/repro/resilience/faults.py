@@ -46,8 +46,12 @@ class FaultSite(enum.Enum):
     SCHED_DROP_CONSTRAINT = "sched-drop-constraint"
     #: Corrupt the fast-path lowering (poison a finalized opcode ordinal).
     FASTPATH_CORRUPT = "fastpath-corrupt"
+    #: Poison a block's tier-3 compiled host function (a miscompile).
+    CODEGEN_CORRUPT = "codegen-corrupt"
     #: Flip a byte in an on-disk sweep-cache record.
     SWEEPCACHE_CORRUPT = "sweepcache-corrupt"
+    #: Flip a byte in a persisted tier-3 codegen envelope.
+    TCACHE_DISK_CORRUPT = "tcache-disk-corrupt"
     #: Kill a parallel sweep worker mid-point.
     WORKER_CRASH = "worker-crash"
     #: Hang a parallel sweep worker past the runner's timeout.
@@ -60,11 +64,15 @@ ENGINE_SITES = (
     FaultSite.TCACHE_EVICT,
     FaultSite.SCHED_DROP_CONSTRAINT,
     FaultSite.FASTPATH_CORRUPT,
+    FaultSite.CODEGEN_CORRUPT,
 )
 
-#: Sites injected around the parallel experiment runner.
+#: Sites injected around the parallel experiment runner (and the other
+#: on-disk caches the chaos harness corrupts directly; each gets exactly
+#: one opportunity per chaos run, so they always trigger on the first).
 RUNNER_SITES = (
     FaultSite.SWEEPCACHE_CORRUPT,
+    FaultSite.TCACHE_DISK_CORRUPT,
     FaultSite.WORKER_CRASH,
     FaultSite.WORKER_HANG,
 )
@@ -175,6 +183,12 @@ def corrupt_finalized_block(block) -> Optional[str]:
         return None
     dops[0] = (BAD_ORDINAL,) + tuple(dops[0])[1:]
     fblock.bundles = ((tuple(dops),) + first[1:],) + fblock.bundles[1:]
+    # On the compiled tier the host function was generated from the
+    # (then-clean) lowering at install time; drop it so the corruption
+    # is actually consumed on the next dispatch instead of masked by
+    # stale-but-correct compiled code.
+    fblock.compiled = None
+    fblock.persist_key = None
     return "poisoned ordinal of op 0 in bundle 0"
 
 
@@ -205,6 +219,42 @@ def corrupt_schedule(block) -> Optional[str]:
         drop_finalized(block)
         return "swapped bundles 0 and 1"
     return None
+
+
+def poison_codegen(block) -> str:
+    """Poison the block's tier-3 compiled host function — a miscompiled
+    block the reference and fast tiers never see.  The poison lives on
+    the :class:`~repro.vliw.block.TranslatedBlock` (so it survives a
+    re-finalize, exactly like a deterministic codegen bug would) and the
+    poisoned function is installed on every finalized form directly:
+    merely clearing ``compiled`` would be masked by the tiering
+    fallback, which runs uncompiled blocks on the fast interpreter."""
+    from ..vliw.codegen import _compile_poisoned
+
+    block._codegen_poison = True
+    fblock = getattr(block, "_finalized", None)
+    while fblock is not None:
+        fblock.compiled = _compile_poisoned(fblock)
+        fblock.persist_key = None
+        fblock = fblock.recovery
+    return "poisoned compiled host function"
+
+
+def corrupt_codegen_cache(tcache_dir, rng: random.Random) -> Optional[str]:
+    """Flip one byte in the middle of a seeded-random persisted codegen
+    envelope (``--tcache-dir``); checksum/parse validation must catch it."""
+    tcache_dir = Path(tcache_dir)
+    entries = sorted(tcache_dir.glob("*.codegen.json"))
+    if not entries:
+        return None
+    target = entries[rng.randrange(len(entries))]
+    data = bytearray(target.read_bytes())
+    if not data:
+        return None
+    position = len(data) // 2
+    data[position] ^= 0xFF
+    target.write_bytes(bytes(data))
+    return "flipped byte %d of %s" % (position, target.name)
 
 
 def corrupt_sweep_cache(cache_dir, rng: random.Random) -> Optional[str]:

@@ -54,9 +54,11 @@ class SupervisorConfig:
 
     #: Run ``check_schedule`` on every optimized install (the gate).
     verify_installs: bool = True
-    #: How many degradation-ladder rungs to try after a failed execution
-    #: (1 = re-finalize, 2 = + reference interpreter, 3 = + retranslate).
-    max_block_retries: int = 3
+    #: How many degradation-ladder rungs to try after a failed execution.
+    #: Capped at the active ladder's length: 3 rungs on the fast/reference
+    #: tiers (re-finalize → reference → retranslate), 4 on the compiled
+    #: tier (re-finalize → fast path → reference → retranslate).
+    max_block_retries: int = 4
     #: Executions before a block is eviction-eligible for the injector.
     eviction_hotness: int = 4
 
@@ -99,6 +101,12 @@ class SupervisorStats:
 
 #: Degradation-ladder rungs, in order of decreasing performance.
 _LADDER = ("refinalize", "reference", "retranslate")
+#: Extended ladder for cores on the tier-3 compiled interpreter: a
+#: compiled-code fault first retries on the finalized fast path (same
+#: translation, interpreted instead of compiled) before degrading
+#: further — a deterministic codegen bug is healed one tier down, not
+#: by throwing the translation away.
+_LADDER_COMPILED = ("refinalize", "fastpath", "reference", "retranslate")
 
 
 class ExecutionSupervisor:
@@ -119,6 +127,10 @@ class ExecutionSupervisor:
         self.injector = injector
         self.observer = observer
         self.stats = SupervisorStats()
+        #: The attached platform (set by :meth:`attach`); consulted so
+        #: tier-3-only fault sites never fire on a core that would never
+        #: execute compiled code.
+        self._system = None
         #: Entries the supervisor has seen installed (eviction tracking).
         self._installed: Set[int] = set()
         #: Entries detected missing, awaiting their healing re-install.
@@ -133,6 +145,7 @@ class ExecutionSupervisor:
 
     def attach(self, system) -> None:
         """Wire this supervisor through ``system``'s engine and core."""
+        self._system = system
         system.engine.supervisor = self
         system.core.guard_faults = True
         # LRU-mode partial evictions are legitimate; hear about each one
@@ -204,6 +217,12 @@ class ExecutionSupervisor:
             else:
                 injector.record(FaultSite.FASTPATH_CORRUPT,
                                 "%#x: %s" % (entry, detail))
+        if (injector.armed(FaultSite.CODEGEN_CORRUPT)
+                and self._system is not None
+                and self._system.core.use_compiled
+                and injector.should_fire(FaultSite.CODEGEN_CORRUPT)):
+            injector.record(FaultSite.CODEGEN_CORRUPT,
+                            "%#x: %s" % (entry, _faults.poison_codegen(block)))
 
     def gate_schedule(self, entry: int, ir, block, vliw_config,
                       reschedule: Callable[[], object],
@@ -272,11 +291,14 @@ class ExecutionSupervisor:
         except BlockExecutionFault as fault:
             self._fault_detected(entry, "initial", fault)
             last_fault = fault
-        for rung in _LADDER[:max(0, self.config.max_block_retries)]:
+        ladder = _LADDER_COMPILED if core.use_compiled else _LADDER
+        for rung in ladder[:max(0, self.config.max_block_retries)]:
             try:
                 if rung == "refinalize":
                     _faults.drop_finalized(block)
                     result = core.execute_block(block)
+                elif rung == "fastpath":
+                    result = self._execute_fastpath(core, block)
                 elif rung == "reference":
                     result = self._execute_reference(core, block)
                 else:
@@ -298,13 +320,23 @@ class ExecutionSupervisor:
         self._emit("resilience_execution_fault", entry="%#x" % entry,
                    stage=stage, error=str(fault.cause))
 
-    def _execute_reference(self, core, block):
-        saved = core.use_fast_path
-        core.use_fast_path = False
+    def _execute_fastpath(self, core, block):
+        """One execution on the finalized fast path (compiled tier off)."""
+        saved = core.use_compiled
+        core.use_compiled = False
         try:
             return core.execute_block(block)
         finally:
-            core.use_fast_path = saved
+            core.use_compiled = saved
+
+    def _execute_reference(self, core, block):
+        saved = (core.use_fast_path, core.use_compiled)
+        core.use_fast_path = False
+        core.use_compiled = False
+        try:
+            return core.execute_block(block)
+        finally:
+            core.use_fast_path, core.use_compiled = saved
 
     def _retranslate(self, system, entry: int):
         """Quarantine the installed translation and rebuild from guest

@@ -1,0 +1,684 @@
+"""Tier-3 host codegen: compile finalized blocks to specialized Python.
+
+The fast path (:mod:`repro.vliw.fastpath`) removed per-issue decoding;
+what remains of the host cost sits in ``_run_fast``'s generic machinery:
+tuple unpacking per bundle, the ``vals`` list build, per-op operand
+indexing and the ordinal ``if/elif`` ladder.  None of that depends on
+runtime state either, so this module applies the DBT move once more:
+walk a :class:`~repro.vliw.fastpath.FinalizedBlock` and emit a
+**specialized straight-line Python function** for it — bundle loops
+unrolled, operands/latencies/immediates baked in as literals, ALU and
+branch-condition callables bound as closure-cell-like namespace
+constants, dead writes to ``r0`` elided at compile time — then
+``compile()``/``exec()`` it once at translation-cache install.
+
+The generated function has the exact shape of one ``_run_fast`` call::
+
+    _block_fn(core, store_log) -> BlockResult   # or raises _RollbackSignal
+
+and must be **bit-identical** to both other tiers in every observable:
+cycles, stall cycles, rollbacks, exits, architectural state, cache
+hits/misses, recovered attack bytes, trace/observer event streams.
+``tests/platform/test_fastpath_differential.py`` gates the three-way
+equivalence.  The generator therefore emits every seam ``_run_fast``
+has — the read-before-write register sample phase, per-source scoreboard
+stalls, serializing drains, the tracer's issue records, observer load /
+cflush hooks, the ``finally`` that commits hoisted counters even when a
+rollback signal unwinds mid-bundle — specialized but never reordered.
+
+Selection: ``DbtSystem(interpreter="compiled")``, ``--interpreter
+compiled`` on the CLI, or ``REPRO_INTERP=compiled``.  Chaining composes
+on top via :func:`run_compiled_chain`, the compiled twin of
+:meth:`~repro.vliw.pipeline.VliwCore.execute_chain`.
+
+Persistence: :func:`ensure_compiled` consults an optional
+:class:`~repro.dbt.translation_cache.PersistentCodegenCache` keyed by
+:func:`persist_key` — a sha256 over the finalized block's deterministic
+fingerprint (operands with callables name-mapped), the ``VliwConfig``,
+the mitigation policy, :data:`CODEGEN_VERSION` and the host
+interpreter's bytecode magic — so ``repro sweep --jobs`` workers stop
+re-compiling identical translations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import hashlib
+import sys
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..interp.alu import OPERATIONS
+from .fastpath import CONDITION_EVAL, FinalizedBlock, finalize_block
+from .ordinals import (
+    ORD_ALU_RI,
+    ORD_ALU_RR,
+    ORD_BRANCH,
+    ORD_CFLUSH,
+    ORD_FENCE,
+    ORD_JUMP,
+    ORD_JUMPR,
+    ORD_LI,
+    ORD_LOAD,
+    ORD_MOV,
+    ORD_RDCYCLE,
+    ORD_RDINSTRET,
+    ORD_STORE,
+    ORD_SYSCALL,
+    UNCONDITIONAL_EXITS,
+)
+
+#: Bumped whenever the generated code's shape (or the finalized form's
+#: tuple ABI in :mod:`repro.vliw.ordinals`) changes; part of the
+#: persistent-cache key so stale compiled code can never load.
+CODEGEN_VERSION = 1
+
+#: Stable cross-process names for the callables the finalized form
+#: carries, used by the persistence fingerprint (function identity is
+#: process-local; these names are not).
+_ALU_NAMES = {fn: "alu:%s" % getattr(op, "name", str(op))
+              for op, fn in OPERATIONS.items()}
+_COND_NAMES = {fn: "cond:%s" % getattr(cond, "name", str(cond))
+               for cond, fn in CONDITION_EVAL.items()}
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class CodegenStats:
+    """Lifetime counters of the tier-3 code generator.
+
+    Surfaced as ``dbt.codegen.*`` gauges in the observability registry
+    and in the ``repro bench-host`` report.
+    """
+
+    #: Blocks lowered to source and host-compiled this process.
+    compiles: int = 0
+    #: Compile requests satisfied by the in-memory memo on the block.
+    hits: int = 0
+    #: Compile requests satisfied by the persistent cache (disk or its
+    #: in-process memo layer) — no ``compile()`` paid.
+    persist_hits: int = 0
+    #: Envelopes written to the persistent cache.
+    persist_stores: int = 0
+    #: Total generated source bytes.
+    bytes: int = 0
+    #: Corrupt persistent-cache envelopes quarantined.
+    quarantined: int = 0
+
+
+class _Lowering:
+    """One walk over a finalized block, producing everything both the
+    cold and warm compile paths need with a single deterministic
+    traversal: the exec namespace (callables/bundles under stable local
+    names), the persistence fingerprint, and the specialized source."""
+
+    def __init__(self, fblock: FinalizedBlock):
+        self.fblock = fblock
+        self.namespace: dict = {}
+        self.fingerprint: List[str] = [
+            "codegen/%d" % CODEGEN_VERSION,
+            "entry=%#x" % fblock.guest_entry,
+            "glen=%d" % fblock.guest_length,
+            "kind=%s" % fblock.block.kind,
+        ]
+        #: False when the block carries a callable we cannot name
+        #: stably — such blocks compile fine but are never persisted.
+        self.persistable = True
+        self._callables: dict = {}
+        self._lines: List[str] = []
+        self._any_load = False
+        self._any_store = False
+        self._any_cflush = False
+        self._any_spec = False
+
+    # -- namespace interning ------------------------------------------
+
+    def _intern(self, fn) -> str:
+        name = self._callables.get(fn)
+        if name is None:
+            name = "_c%d" % len(self._callables)
+            self._callables[fn] = name
+            self.namespace[name] = fn
+            stable = _ALU_NAMES.get(fn) or _COND_NAMES.get(fn)
+            if stable is None:
+                self.persistable = False
+                stable = "<unstable>"
+            self.fingerprint.append("%s=%s" % (name, stable))
+        return name
+
+    # -- source assembly ----------------------------------------------
+
+    def _w(self, indent: int, text: str) -> None:
+        self._lines.append("    " * indent + text)
+
+    def source(self) -> str:
+        """Walk the block, filling namespace/fingerprint, and return the
+        specialized module source defining ``_block_fn``."""
+        fblock = self.fblock
+        w = self._w
+        body: List[str] = []
+        saved, self._lines = self._lines, body
+        exit_cost = fblock.config.exit_penalty + 1
+        last_falls_through = True
+        for bi, packed in enumerate(fblock.bundles):
+            last_falls_through = self._emit_bundle(bi, packed, exit_cost)
+        self._lines = saved
+
+        w(0, "def _block_fn(core, store_log):")
+        w(1, "cycle = core.cycle")
+        w(1, "start_cycle = cycle")
+        w(1, "regs = core.regs._regs")
+        w(1, "ready = core._ready")
+        w(1, "ready_get = ready.get")
+        w(1, "tracer = core.tracer")
+        if self._any_load or self._any_store:
+            w(1, "memory = core.memory")
+            w(1, "cache_access = memory.cache.access")
+        if self._any_load:
+            w(1, "mem_load_int = memory.memory.load_int")
+        if self._any_store:
+            w(1, "mem_store_int = memory.memory.store_int")
+            w(1, "mem_load_bytes = memory.memory.load_bytes")
+            w(1, "mcb_check = core.mcb.check_store")
+            w(1, "mcb_release = core.mcb.release")
+        if self._any_cflush:
+            w(1, "flush_line = core.memory.flush_line")
+        if self._any_spec:
+            w(1, "mcb_record = core.mcb.record_load")
+        if self._any_load or self._any_cflush:
+            w(1, "observer = core.observer")
+        w(1, "bundles_c = 0")
+        w(1, "ops_c = 0")
+        w(1, "stall_c = 0")
+        w(1, "exits_c = 0")
+        w(1, "try:")
+        if body:
+            self._lines.extend(body)
+        else:
+            w(2, "pass")
+        w(1, "finally:")
+        w(2, "core.cycle = cycle")
+        w(2, "stats = core.stats")
+        w(2, "stats.bundles += bundles_c")
+        w(2, "stats.ops += ops_c")
+        w(2, "stats.stall_cycles += stall_c")
+        w(2, "stats.exits_taken += exits_c")
+        if last_falls_through or not fblock.bundles:
+            w(1, "raise VliwExecutionError(")
+            w(2, "%r)" % ("translated block %#x fell off the end without "
+                          "an exit" % fblock.guest_entry,))
+        return "\n".join(self._lines) + "\n"
+
+    # -- per-bundle emission ------------------------------------------
+
+    def _emit_bundle(self, bi: int, packed: tuple, exit_cost: int) -> bool:
+        """Emit one unrolled bundle; returns whether control can fall
+        through to the next bundle (no unconditional exit op)."""
+        dops, reads, stall_sources, serialize, nops, bundle = packed
+        w = self._w
+        self.namespace["_b%d" % bi] = bundle
+        self.fingerprint.append(
+            "bundle:%r:%r:%r:%d" % (reads, stall_sources, serialize, nops))
+        for d in dops:
+            parts = []
+            for x in d:
+                parts.append(self._intern(x) if callable(x) else repr(x))
+            self.fingerprint.append("op:" + ",".join(parts))
+
+        w(2, "# bundle %d" % bi)
+        w(2, "issue = cycle")
+        for src in stall_sources:
+            w(2, "t = ready_get(%d)" % src)
+            w(2, "if t is not None and t > issue:")
+            w(3, "issue = t")
+        if serialize:
+            w(2, "if ready:")
+            w(3, "t = max(ready.values())")
+            w(3, "if t > issue:")
+            w(4, "issue = t")
+        if stall_sources or serialize:
+            w(2, "stall_c += issue - cycle")
+        # Straight-line code: reaching bundle ``bi`` means exactly
+        # bundles 0..bi issued, so the counters are constants here.
+        w(2, "bundles_c = %d" % (bi + 1))
+        w(2, "ops_c = %d" % (self._ops_before(bi) + nops))
+        w(2, "if tracer is not None and not tracer.saturated:")
+        w(3, "tracer.record(issue, 'issue', _b%d.describe(), %d)"
+          % (bi, self.fblock.guest_entry))
+
+        # VLIW read phase: sample every consumed source before any write.
+        consumed = self._consumed_slots(dops)
+        for slot in consumed:
+            w(2, "v%d = regs[%d]" % (slot, reads[slot]))
+
+        ordinals = [d[0] for d in dops]
+        has_uncond = any(o in UNCONDITIONAL_EXITS for o in ordinals)
+        has_branch = ORD_BRANCH in ordinals
+        # Direct-return form: when the bundle's final op exits
+        # unconditionally, any earlier pending exit is necessarily
+        # overwritten by it, so the exit bookkeeping locals collapse.
+        direct = has_uncond and ordinals[-1] in UNCONDITIONAL_EXITS
+        if has_branch and not has_uncond:
+            w(2, "exit_reason = None")
+        for oi, d in enumerate(dops):
+            self._emit_op(d, oi, exit_cost,
+                          direct_return=direct and oi == len(dops) - 1)
+        if direct:
+            return False
+        if has_uncond:
+            w(2, "return BlockResult(next_pc=exit_pc, reason=exit_reason,")
+            w(3, "cycles=cycle - start_cycle,")
+            w(3, "guest_instructions=exit_ginsts)")
+            return False
+        if has_branch:
+            w(2, "if exit_reason is not None:")
+            w(3, "return BlockResult(next_pc=exit_pc, reason=exit_reason,")
+            w(4, "cycles=cycle - start_cycle,")
+            w(4, "guest_instructions=exit_ginsts)")
+        w(2, "cycle = issue + 1")
+        return True
+
+    def _ops_before(self, bi: int) -> int:
+        return sum(packed[4] for packed in self.fblock.bundles[:bi])
+
+    @staticmethod
+    def _consumed_slots(dops) -> List[int]:
+        slots: List[int] = []
+        for oi, d in enumerate(dops):
+            o = d[0]
+            v1, v2 = 2 * oi, 2 * oi + 1
+            if o == ORD_ALU_RR:
+                if d[2]:
+                    slots.extend((v1, v2))
+            elif o in (ORD_ALU_RI, ORD_MOV):
+                if d[2] if o == ORD_ALU_RI else d[1]:
+                    slots.append(v1)
+            elif o in (ORD_LOAD, ORD_CFLUSH, ORD_JUMPR):
+                slots.append(v1)
+            elif o in (ORD_STORE, ORD_BRANCH):
+                slots.extend((v1, v2))
+        return slots
+
+    # -- per-op emission ----------------------------------------------
+
+    def _emit_op(self, d: tuple, oi: int, exit_cost: int,
+                 direct_return: bool) -> None:
+        w = self._w
+        o = d[0]
+        v1 = "v%d" % (2 * oi)
+        v2 = "v%d" % (2 * oi + 1)
+        glen = self.fblock.guest_length
+        if o == ORD_ALU_RR:
+            dest = d[2]
+            if dest:
+                w(2, "regs[%d] = %s(%s, %s) & %d"
+                  % (dest, self._intern(d[1]), v1, v2, _MASK64))
+                w(2, "ready[%d] = issue + %d" % (dest, d[3]))
+        elif o == ORD_ALU_RI:
+            dest = d[2]
+            if dest:
+                w(2, "regs[%d] = %s(%s, %d) & %d"
+                  % (dest, self._intern(d[1]), v1, d[3], _MASK64))
+                w(2, "ready[%d] = issue + %d" % (dest, d[4]))
+        elif o == ORD_LI:
+            dest = d[1]
+            if dest:
+                w(2, "regs[%d] = %d" % (dest, d[2]))
+                w(2, "ready[%d] = issue + %d" % (dest, d[3]))
+        elif o == ORD_MOV:
+            dest = d[1]
+            if dest:
+                w(2, "regs[%d] = %s" % (dest, v1))
+                w(2, "ready[%d] = issue + %d" % (dest, d[2]))
+        elif o == ORD_LOAD:
+            self._any_load = True
+            dest, imm, width, signed, spec, tag, origin = d[1:]
+            w(2, "address = (%s + %d) & %d" % (v1, imm, _MASK64))
+            w(2, "hit, latency = cache_access(address, %d)" % width)
+            w(2, "value = mem_load_int(address, %d, %r)" % (width, signed))
+            w(2, "if observer is not None:")
+            w(3, "observer.load_access(address, hit, latency, %r, issue)"
+              % (spec,))
+            if dest:
+                w(2, "regs[%d] = value & %d" % (dest, _MASK64))
+                w(2, "ready[%d] = issue + latency" % dest)
+            if spec:
+                self._any_spec = True
+                w(2, "if not mcb_record(address, %d, %d, %d, tag=%r):"
+                  % (width, dest, origin, tag))
+                w(3, "raise _RollbackSignal()")
+        elif o == ORD_STORE:
+            self._any_store = True
+            imm, width, releases = d[1:]
+            w(2, "address = (%s + %d) & %d" % (v1, imm, _MASK64))
+            w(2, "if mcb_check(address, %d) is not None:" % width)
+            w(3, "raise _RollbackSignal()")
+            for tag in releases:
+                w(2, "mcb_release(%r)" % (tag,))
+            w(2, "if store_log is not None:")
+            w(3, "store_log.append((address, mem_load_bytes(address, %d)))"
+              % width)
+            w(2, "cache_access(address, %d)" % width)
+            w(2, "mem_store_int(address, %s, %d)" % (v2, width))
+        elif o == ORD_CFLUSH:
+            self._any_cflush = True
+            w(2, "address = (%s + %d) & %d" % (v1, d[1], _MASK64))
+            w(2, "flush_line(address)")
+            w(2, "if observer is not None:")
+            w(3, "observer.cflush(address, issue)")
+        elif o == ORD_FENCE:
+            pass  # Serialisation handled at issue.
+        elif o == ORD_RDCYCLE:
+            dest = d[1]
+            if dest:
+                w(2, "regs[%d] = issue & %d" % (dest, _MASK64))
+                w(2, "ready[%d] = issue + %d" % (dest, d[2]))
+        elif o == ORD_RDINSTRET:
+            dest = d[1]
+            if dest:
+                w(2, "regs[%d] = core.instret & %d" % (dest, _MASK64))
+                w(2, "ready[%d] = issue + %d" % (dest, d[2]))
+        elif o == ORD_BRANCH:
+            w(2, "if %s(%s, %s):" % (self._intern(d[1]), v1, v2))
+            w(3, "exits_c += 1")
+            w(3, "cycle = issue + %d" % exit_cost)
+            w(3, "exit_pc = %d" % d[2])
+            w(3, "exit_reason = _BRANCH")
+            w(3, "exit_ginsts = %d" % d[3])
+        elif o == ORD_JUMP:
+            w(2, "cycle = issue + 1")
+            if direct_return:
+                self._emit_return(d[1], "_JUMP", glen)
+            else:
+                w(2, "exit_pc = %d" % d[1])
+                w(2, "exit_reason = _JUMP")
+                w(2, "exit_ginsts = %d" % glen)
+        elif o == ORD_JUMPR:
+            w(2, "cycle = issue + %d" % exit_cost)
+            target = "(%s + %d) & %d" % (v1, d[1], _MASK64 & ~1)
+            if direct_return:
+                self._emit_return(target, "_INDIRECT", glen)
+            else:
+                w(2, "exit_pc = %s" % target)
+                w(2, "exit_reason = _INDIRECT")
+                w(2, "exit_ginsts = %d" % glen)
+        elif o == ORD_SYSCALL:
+            w(2, "cycle = issue + 1")
+            if direct_return:
+                self._emit_return(str(d[1]), "_SYSCALL", glen)
+            else:
+                w(2, "exit_pc = %d" % d[1])
+                w(2, "exit_reason = _SYSCALL")
+                w(2, "exit_ginsts = %d" % glen)
+        else:  # pragma: no cover
+            raise ValueError("unhandled finalized ordinal: %r" % (o,))
+
+    def _emit_return(self, next_pc, reason: str, ginsts: int) -> None:
+        w = self._w
+        w(2, "return BlockResult(next_pc=%s, reason=%s," % (next_pc, reason))
+        w(3, "cycles=cycle - start_cycle,")
+        w(3, "guest_instructions=%d)" % ginsts)
+
+
+def _runtime_namespace(namespace: dict) -> dict:
+    """Add the runtime names every generated function references.
+
+    Imported lazily from the pipeline: ``fastpath``/``codegen`` are
+    below it in the layering and must not import it at module scope.
+    """
+    from .pipeline import (BlockResult, ExitReason, VliwExecutionError,
+                           _RollbackSignal)
+
+    namespace["BlockResult"] = BlockResult
+    namespace["VliwExecutionError"] = VliwExecutionError
+    namespace["_RollbackSignal"] = _RollbackSignal
+    namespace["_BRANCH"] = ExitReason.BRANCH
+    namespace["_JUMP"] = ExitReason.JUMP
+    namespace["_INDIRECT"] = ExitReason.INDIRECT
+    namespace["_SYSCALL"] = ExitReason.SYSCALL
+    namespace["__builtins__"] = __builtins__
+    return namespace
+
+
+def _canon(value) -> str:
+    """Canonical cross-process serialization for key hashing.
+
+    ``repr`` is NOT usable here: sets/frozensets (and dicts of enum
+    keys) iterate in per-process hash-randomized order, so a repr-keyed
+    envelope written by one process would never be found by the next —
+    silently defeating the cross-process cache.  Sort unordered
+    containers and name enums explicitly instead.
+    """
+    if isinstance(value, Enum):
+        return "%s.%s" % (type(value).__name__, value.name)
+    if isinstance(value, (frozenset, set)):
+        return "{%s}" % ",".join(sorted(_canon(v) for v in value))
+    if isinstance(value, dict):
+        items = sorted((_canon(k), _canon(v)) for k, v in value.items())
+        return "{%s}" % ",".join("%s:%s" % item for item in items)
+    if isinstance(value, (list, tuple)):
+        return "(%s)" % ",".join(_canon(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            "%s=%s" % (f.name, _canon(getattr(value, f.name)))
+            for f in dataclasses.fields(value))
+        return "%s(%s)" % (type(value).__name__, fields)
+    return repr(value)
+
+
+def persist_key(lowering: _Lowering, policy: str) -> str:
+    """Persistent-cache key: sha256 over everything that determines the
+    compiled artifact and its loadability in this interpreter."""
+    h = hashlib.sha256()
+    h.update(b"repro-codegen/%d\n" % CODEGEN_VERSION)
+    h.update(importlib.util.MAGIC_NUMBER)
+    h.update(("%s %s\n" % (sys.implementation.name,
+                           sys.version_info[:3])).encode())
+    h.update("\n".join(lowering.fingerprint).encode())
+    h.update(_canon(lowering.fblock.config).encode())
+    h.update(policy.encode())
+    return h.hexdigest()
+
+
+def compile_block(fblock: FinalizedBlock,
+                  stats: Optional[CodegenStats] = None,
+                  persistent=None, policy: str = ""):
+    """Compile ``fblock`` into its specialized host function.
+
+    Does not consult or touch ``fblock.compiled`` (that is
+    :func:`ensure_compiled`'s memo); always produces a fresh function.
+    Returns ``(fn, key)`` where ``key`` is the persistent-cache key used
+    (``None`` without a persistent cache or for unpersistable blocks).
+    """
+    if getattr(fblock.block, "_codegen_poison", False):
+        # Fault-injection seam (see repro.resilience.faults): the block
+        # was marked corrupt at install; the compiled tier must detect
+        # this at execution so the supervisor's ladder can fall back.
+        if stats is not None:
+            stats.compiles += 1
+        return _compile_poisoned(fblock), None
+    lowering = _Lowering(fblock)
+    source = lowering.source()
+    key = None
+    code = None
+    if persistent is not None and lowering.persistable:
+        key = persist_key(lowering, policy)
+        code = persistent.load(key)
+        if stats is not None:
+            stats.quarantined = persistent.quarantined
+    if code is not None:
+        if stats is not None:
+            stats.persist_hits += 1
+    else:
+        filename = "<repro-codegen:%#x:%s>" % (fblock.guest_entry,
+                                               fblock.block.kind)
+        code = compile(source, filename, "exec")
+        if stats is not None:
+            stats.compiles += 1
+            stats.bytes += len(source)
+        if key is not None:
+            persistent.store(key, code, len(source))
+            if stats is not None:
+                stats.persist_stores += 1
+    namespace = _runtime_namespace(lowering.namespace)
+    exec(code, namespace)
+    return namespace["_block_fn"], key
+
+
+def ensure_compiled(fblock: FinalizedBlock,
+                    stats: Optional[CodegenStats] = None,
+                    persistent=None, policy: str = ""):
+    """The compiled function of ``fblock``, memoized on the block."""
+    fn = fblock.compiled
+    if fn is not None:
+        if stats is not None:
+            stats.hits += 1
+        return fn
+    fn, key = compile_block(fblock, stats, persistent, policy)
+    fblock.compiled = fn
+    fblock.persist_key = key
+    return fn
+
+
+def _compile_poisoned(fblock: FinalizedBlock):
+    from .pipeline import VliwExecutionError
+
+    entry = fblock.guest_entry
+
+    def _block_fn(core, store_log):
+        raise VliwExecutionError(
+            "compiled code for block %#x is corrupt" % entry)
+
+    return _block_fn
+
+
+# ---------------------------------------------------------------------------
+# Chained compiled dispatch: the compiled twin of VliwCore.execute_chain.
+# ---------------------------------------------------------------------------
+
+def run_compiled_chain(core, record, ctx, blocks_executed: int):
+    """Execute ``record``'s compiled block and every chained successor.
+
+    Mirrors :meth:`~repro.vliw.pipeline.VliwCore.execute_chain` — the
+    same profiling seam, the same break reasons in the same order, the
+    same rollback path — but each block body is its specialized compiled
+    function, which hoists/commits ``core.cycle`` and the stat counters
+    itself, so this driver keeps ``core.cycle``/``core.instret``
+    authoritative between blocks (``rdcycle``/``rdinstret`` inside the
+    compiled bodies read the live core state).
+
+    Preconditions are the fused dispatcher's: no supervisor, observer or
+    tracer, ``guard_faults`` off.  Returns the same 5-tuple as
+    ``execute_chain``.
+    """
+    from .pipeline import ExitReason, VliwExecutionError, _RollbackSignal
+
+    regs = core.regs
+    mcb_clear = core.mcb.clear
+    core_stats = core.stats
+    config = core.config
+
+    out_map = ctx.out
+    raw_blocks = ctx.raw_blocks
+    block_counts = ctx.block_counts
+    branches = ctx.branches
+    new_branch_profile = ctx.branch_profile
+    hot_threshold = ctx.hot_threshold
+    max_optimizations = ctx.max_optimizations
+    engine_stats = ctx.engine_stats
+    max_blocks = ctx.max_blocks
+    max_cycles = ctx.max_cycles
+    lru = ctx.lru
+    link_successor = ctx.link_successor
+    syscall = ExitReason.SYSCALL
+    dispatches = 0
+
+    while True:
+        blocks_executed += 1
+        dispatches += 1
+        core_stats.blocks_executed += 1
+        fblock = record.fblock
+        if fblock is None:
+            fblock = record.fblock = finalize_block(record.block, config)
+        fn = fblock.compiled
+        entry = record.entry
+        if record.can_rollback:
+            entry_regs = regs._regs[:]
+            store_log = []
+        else:
+            entry_regs = None
+            store_log = None
+        rolled_back = False
+        try:
+            if fn is not None:
+                result = fn(core, store_log)
+            else:
+                # Tiering: first-pass blocks in the chain are never
+                # compiled; the fast interpreter honors the same
+                # contract (returns BlockResult, raises
+                # _RollbackSignal, commits cycle/stat state itself).
+                result = core._run_fast(fblock, store_log)
+        except _RollbackSignal:
+            # The compiled body's ``finally`` already committed the
+            # hoisted cycle/stat state; follow _execute's rollback path.
+            core._undo(entry_regs, store_log)
+            mcb_clear()
+            core_stats.rollbacks += 1
+            core.cycle += config.rollback_penalty
+            recovery = record.block.recovery
+            if recovery is None:
+                raise VliwExecutionError(
+                    "MCB conflict in block %#x with no recovery code"
+                    % entry)
+            result = core._run(recovery, None)
+            result.rolled_back = True
+            rolled_back = True
+
+        # --- the seam: _execute's epilogue + record_execution.
+        mcb_clear()
+        core.instret += result.guest_instructions
+        if lru:
+            current = raw_blocks.pop(entry, None)
+            if current is not None:
+                raw_blocks[entry] = current
+        count = block_counts.get(entry, 0) + 1
+        block_counts[entry] = count
+        branch = record.branch
+        reason_exit = result.reason
+        if branch is not None and reason_exit is not syscall:
+            branch_profile = branches.get(branch[0])
+            if branch_profile is None:
+                branch_profile = new_branch_profile()
+                branches[branch[0]] = branch_profile
+            if result.next_pc == branch[1]:
+                branch_profile.taken += 1
+            else:
+                branch_profile.not_taken += 1
+        if (record.firstpass and count >= hot_threshold
+                and engine_stats.optimizations < max_optimizations):
+            reason = "hot"
+            break
+        elif rolled_back:
+            reason = "rollback"
+            break
+        if reason_exit is syscall:
+            reason = "syscall"
+            break
+        if blocks_executed >= max_blocks or core.cycle >= max_cycles:
+            reason = "budget"
+            break
+        next_pc = result.next_pc
+        successors = out_map.get(entry)
+        nxt = successors.get(next_pc) if successors is not None else None
+        if nxt is None:
+            successor_block = raw_blocks.get(next_pc)
+            if successor_block is None:
+                reason = "miss"
+                break
+            nxt = link_successor(entry, next_pc, successor_block)
+        record = nxt
+
+    return result, reason, record, blocks_executed, dispatches

@@ -50,28 +50,29 @@ from .block import TranslatedBlock
 from .config import VliwConfig
 from .isa import Condition, VliwOpcode
 
-# ---------------------------------------------------------------------------
-# Opcode ordinals of the finalized form.  ALU is split by operand kind so
-# the executor needs no per-issue "is src2 a register?" test.  Writing
-# ops fold the scoreboard destination into ``dest``: ``VliwOp`` semantics
-# make the register write and the ready-time update share the same
-# "dest is a real register" condition.
-# ---------------------------------------------------------------------------
-
-ORD_ALU_RR = 0    # (ord, fn, dest, latency)             result = fn(v1, v2)
-ORD_ALU_RI = 1    # (ord, fn, dest, imm_masked, latency) result = fn(v1, imm)
-ORD_LI = 2        # (ord, dest, imm_masked, latency)
-ORD_MOV = 3       # (ord, dest, latency)                 result = v1
-ORD_LOAD = 4      # (ord, dest, imm, width, signed, spec, tag, origin)
-ORD_STORE = 5     # (ord, imm, width, mcb_releases)      value = v2
-ORD_CFLUSH = 6    # (ord, imm)
-ORD_FENCE = 7     # (ord,)
-ORD_RDCYCLE = 8   # (ord, dest, latency)
-ORD_RDINSTRET = 9  # (ord, dest, latency)
-ORD_BRANCH = 10   # (ord, cond_fn, target, guest_insts)  taken = cond(v1, v2)
-ORD_JUMP = 11     # (ord, target)
-ORD_JUMPR = 12    # (ord, imm)                           target = v1 + imm
-ORD_SYSCALL = 13  # (ord, target_or_0)
+# Opcode ordinals of the finalized form, owned by ``repro.vliw.ordinals``
+# (shared with the tier-3 codegen) and re-exported here for backwards
+# compatibility.  ALU is split by operand kind so the executor needs no
+# per-issue "is src2 a register?" test.  Writing ops fold the scoreboard
+# destination into ``dest``: ``VliwOp`` semantics make the register
+# write and the ready-time update share the same "dest is a real
+# register" condition.
+from .ordinals import (  # noqa: F401  (re-exported)
+    ORD_ALU_RI,
+    ORD_ALU_RR,
+    ORD_BRANCH,
+    ORD_CFLUSH,
+    ORD_FENCE,
+    ORD_JUMP,
+    ORD_JUMPR,
+    ORD_LI,
+    ORD_LOAD,
+    ORD_MOV,
+    ORD_RDCYCLE,
+    ORD_RDINSTRET,
+    ORD_STORE,
+    ORD_SYSCALL,
+)
 
 #: Branch condition -> predicate.  Mirrors the pipeline's table but is
 #: owned here so finalization does not import the pipeline (which
@@ -94,7 +95,7 @@ class FinalizedBlock:
     """
 
     __slots__ = ("block", "bundles", "guest_entry", "guest_length",
-                 "recovery", "config")
+                 "recovery", "config", "compiled", "persist_key")
 
     def __init__(self, block: TranslatedBlock, config: VliwConfig):
         self.block = block
@@ -110,6 +111,15 @@ class FinalizedBlock:
             finalize_block(block.recovery, config)
             if block.recovery is not None else None
         )
+        #: Tier-3 compiled form (``repro.vliw.codegen``): a specialized
+        #: host function ``fn(core, store_log) -> BlockResult``, attached
+        #: at translation-cache install and dropped whenever the
+        #: translation leaves the cache.
+        self.compiled = None
+        #: Persistent codegen-cache key of ``compiled`` (set when a
+        #: persistent cache produced or stored it), so eviction can drop
+        #: the on-disk entry together with the in-memory function.
+        self.persist_key: Optional[str] = None
 
 
 def _finalize_bundle(bundle, config: VliwConfig) -> tuple:

@@ -1,0 +1,36 @@
+"""Opcode ordinals of the finalized (pre-decoded) block form.
+
+Owned here — and only here — because two producers/consumers share the
+table: ``repro.vliw.fastpath`` assigns ordinals when lowering a
+``TranslatedBlock`` into flat tuples, and ``repro.vliw.codegen`` reads
+them back when compiling a finalized block into specialized host
+Python.  Keeping the constants in a leaf module breaks the import
+cycle the pair would otherwise form (fastpath must not import the
+codegen, which must not re-derive the encoding).
+
+The per-ordinal tuple layouts are documented next to each constant;
+they are part of the finalized form's ABI and bumping them requires a
+``repro.vliw.codegen.CODEGEN_VERSION`` bump so persisted compiled code
+is invalidated.
+"""
+
+from __future__ import annotations
+
+ORD_ALU_RR = 0    # (ord, fn, dest, latency)             result = fn(v1, v2)
+ORD_ALU_RI = 1    # (ord, fn, dest, imm_masked, latency) result = fn(v1, imm)
+ORD_LI = 2        # (ord, dest, imm_masked, latency)
+ORD_MOV = 3       # (ord, dest, latency)                 result = v1
+ORD_LOAD = 4      # (ord, dest, imm, width, signed, spec, tag, origin)
+ORD_STORE = 5     # (ord, imm, width, mcb_releases)      value = v2
+ORD_CFLUSH = 6    # (ord, imm)
+ORD_FENCE = 7     # (ord,)
+ORD_RDCYCLE = 8   # (ord, dest, latency)
+ORD_RDINSTRET = 9  # (ord, dest, latency)
+ORD_BRANCH = 10   # (ord, cond_fn, target, guest_insts)  taken = cond(v1, v2)
+ORD_JUMP = 11     # (ord, target)
+ORD_JUMPR = 12    # (ord, imm)                           target = v1 + imm
+ORD_SYSCALL = 13  # (ord, target_or_0)
+
+#: Ordinals whose op unconditionally ends the block (the bundle still
+#: finishes executing — a later exit op may overwrite the pending exit).
+UNCONDITIONAL_EXITS = frozenset((ORD_JUMP, ORD_JUMPR, ORD_SYSCALL))

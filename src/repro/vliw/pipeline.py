@@ -16,20 +16,23 @@ Timing model (bundle-level, cycle-accurate in the sense the paper needs):
   stores and register writes, then runs the block's recovery variant —
   while the data cache keeps every line speculation touched (the leak).
 
-Two interpreters implement this model:
+Three host tiers implement this model:
 
 * ``_run_fast`` (the default) executes the pre-decoded
   :class:`~repro.vliw.fastpath.FinalizedBlock` form — flat tuples, an
   integer-ordinal dispatch table, hoisted locals — several times faster
   on the host;
+* the **compiled** tier (``core.use_compiled``, see
+  :mod:`repro.vliw.codegen`) runs each block through a specialized
+  straight-line host function generated from its finalized form;
 * ``_run_reference`` is the original per-``VliwOp`` interpreter, kept
   verbatim as the semantic reference.
 
-Both must be **bit-identical** in every observable (cycles, stalls,
+All must be **bit-identical** in every observable (cycles, stalls,
 rollbacks, architectural state, attack outcomes); the differential test
 in ``tests/platform/test_fastpath_differential.py`` enforces it.  Select
-the reference with ``core.use_fast_path = False`` or the environment
-variable ``REPRO_INTERP=reference``.
+with ``REPRO_INTERP={fast,compiled,reference}`` or the corresponding
+``DbtSystem(interpreter=...)`` argument.
 """
 
 from __future__ import annotations
@@ -179,6 +182,12 @@ def _default_use_fast_path() -> bool:
     return os.environ.get("REPRO_INTERP", "fast") != "reference"
 
 
+def _default_use_compiled() -> bool:
+    """Tier-3 selection: ``REPRO_INTERP=compiled`` runs blocks through
+    the per-block host code generator (:mod:`repro.vliw.codegen`)."""
+    return os.environ.get("REPRO_INTERP", "fast") == "compiled"
+
+
 class VliwCore:
     """The in-order VLIW execution engine."""
 
@@ -205,6 +214,13 @@ class VliwCore:
         self.observer: Optional[Observer] = None
         #: Which interpreter executes blocks (see module docstring).
         self.use_fast_path = _default_use_fast_path()
+        #: Tier-3: execute blocks through their compiled specialized
+        #: host functions (:mod:`repro.vliw.codegen`).  Implies the
+        #: fast-path machinery stays available as the fallback tier.
+        self.use_compiled = _default_use_compiled()
+        #: Optional :class:`~repro.vliw.codegen.CodegenStats` fed by the
+        #: compiled tier (set by the platform when it wires codegen).
+        self.codegen_stats = None
         #: Guarded execution (set by the resilience supervisor): faults
         #: during a block roll all state back to the block entry and
         #: surface as :class:`BlockExecutionFault` instead of corrupting
@@ -307,6 +323,15 @@ class VliwCore:
 
     def _run(self, block: TranslatedBlock,
              store_log: Optional[List[Tuple[int, bytes]]]) -> BlockResult:
+        if self.use_compiled:
+            fblock = finalize_block(block, self.config)
+            fn = fblock.compiled
+            if fn is not None:
+                return fn(self, store_log)
+            # Tiering: blocks below the compile threshold (first-pass
+            # translations) run on the fast interpreter — identical
+            # observables, no compile cost for short-lived code.
+            return self._run_fast(fblock, store_log)
         if self.use_fast_path:
             return self._run_fast(finalize_block(block, self.config), store_log)
         return self._run_reference(block, store_log)

@@ -201,6 +201,91 @@ def test_capacity_policy_validated():
 
 
 # ---------------------------------------------------------------------------
+# Tier-3 eviction/invalidation parity: a translation leaving the cache
+# takes its compiled host function — and its persisted envelope — with
+# it, exactly as its chain links go.
+# ---------------------------------------------------------------------------
+
+def _compiled_cache(tmp_path, **kwargs) -> TranslationCache:
+    from repro.dbt.translation_cache import PersistentCodegenCache
+
+    cache = _chained_cache(**kwargs)
+    cache.persistent = PersistentCodegenCache(tmp_path / "tcache")
+    return cache
+
+
+def _install_compiled(cache, entry, kind="reoptimized"):
+    """Install a block and compile+persist it, as the system finalizer
+    does for optimized translations."""
+    from repro.vliw.codegen import ensure_compiled
+    from repro.vliw.fastpath import finalize_block
+
+    block = _block(entry, kind=kind)
+    cache.install(block)
+    fblock = finalize_block(block, VliwConfig())
+    ensure_compiled(fblock, None, cache.persistent, "unsafe")
+    assert fblock.compiled is not None
+    assert fblock.persist_key is not None
+    return block, fblock, fblock.persist_key
+
+
+def _assert_compiled_forgotten(cache, block, key):
+    fblock = block._finalized
+    while fblock is not None:
+        assert fblock.compiled is None
+        assert fblock.persist_key is None
+        fblock = fblock.recovery
+    # The persisted envelope is gone too — another process can never
+    # resurrect a translation this cache already rejected.
+    assert cache.persistent.load(key) is None
+    assert not cache.persistent._path(key).exists()
+
+
+def test_replacement_install_forgets_compiled(tmp_path):
+    cache = _compiled_cache(tmp_path)
+    block, _, key = _install_compiled(cache, 0x100, kind="firstpass")
+    cache.install(_block(0x100, kind="reoptimized"))
+    assert cache.stats.replacements == 1
+    _assert_compiled_forgotten(cache, block, key)
+
+
+def test_invalidate_forgets_compiled(tmp_path):
+    cache = _compiled_cache(tmp_path)
+    block, _, key = _install_compiled(cache, 0x100)
+    assert cache.invalidate(0x100)
+    _assert_compiled_forgotten(cache, block, key)
+
+
+def test_lru_eviction_forgets_compiled(tmp_path):
+    cache = _compiled_cache(tmp_path, capacity=2, capacity_policy="lru")
+    victim, _, victim_key = _install_compiled(cache, 0x100)
+    survivor, _, survivor_key = _install_compiled(cache, 0x200)
+    cache.install(_block(0x300))  # over capacity: evicts LRU victim 0x100
+    assert cache.stats.evictions == 1
+    _assert_compiled_forgotten(cache, victim, victim_key)
+    # The survivor keeps its compiled form and its envelope.
+    assert survivor._finalized.compiled is not None
+    assert cache.persistent.load(survivor_key) is not None
+
+
+def test_capacity_flush_forgets_compiled(tmp_path):
+    cache = _compiled_cache(tmp_path, capacity=2, capacity_policy="flush")
+    a, _, key_a = _install_compiled(cache, 0x100)
+    b, _, key_b = _install_compiled(cache, 0x200)
+    cache.install(_block(0x300))
+    assert cache.stats.capacity_flushes == 1
+    _assert_compiled_forgotten(cache, a, key_a)
+    _assert_compiled_forgotten(cache, b, key_b)
+
+
+def test_clear_forgets_compiled(tmp_path):
+    cache = _compiled_cache(tmp_path)
+    block, _, key = _install_compiled(cache, 0x100)
+    cache.clear()
+    _assert_compiled_forgotten(cache, block, key)
+
+
+# ---------------------------------------------------------------------------
 # Live systems: the invariant holds after real runs.
 # ---------------------------------------------------------------------------
 

@@ -1,15 +1,17 @@
-"""Differential tests: the fast-path interpreter is bit-identical to the
-seed reference interpreter, and chained dispatch is bit-identical to the
-seed engine loop.
+"""Differential tests: the three host tiers — reference, fast path, and
+tier-3 compiled — are bit-identical, and chained dispatch is
+bit-identical to the seed engine loop on every tier.
 
 These are the non-negotiable invariants of the host-execution layer:
-pre-decoding translated blocks (``repro.vliw.fastpath``) and chasing
+pre-decoding translated blocks (``repro.vliw.fastpath``), compiling
+them to specialized host functions (``repro.vliw.codegen``) and chasing
 chain links between them (``repro.dbt.chaining``) must not change a
 single architectural or micro-architectural observable.  Every
-(workload, policy) point below is run twice — reference vs fast path,
-then unchained vs chained — and compared on cycles, stalls, rollbacks,
-register/memory state, the engine's translation order, optimization
-decisions, profile counts and (for the PoCs) the recovered secret bytes.
+(workload, policy) point below is run per tier — reference vs fast vs
+compiled, then unchained vs chained — and compared on cycles, stalls,
+rollbacks, register/memory state, the engine's translation order,
+optimization decisions, profile counts and (for the PoCs) the
+recovered secret bytes.
 """
 
 import dataclasses
@@ -24,6 +26,7 @@ from repro.security.policy import ALL_POLICIES
 
 SECRET = b"GB"
 KERNELS = ("gemm", "atax")
+INTERPRETERS = ("reference", "fast", "compiled")
 
 #: Code-cache shapes the chained differential runs under.  The bounded
 #: shapes force capacity events mid-run, so the comparison also proves
@@ -76,13 +79,13 @@ def _engine_observables(system):
     }
 
 
-def _run_pair(program, policy, **config_fields):
+def _run_pair(program, policy, interpreter=None, **config_fields):
     """One workload under the seed loop and under chained dispatch."""
     systems = {}
     results = {}
     for chain in (False, True):
         system = DbtSystem(
-            program, policy=policy,
+            program, policy=policy, interpreter=interpreter,
             engine_config=DbtEngineConfig(chain=chain, **config_fields))
         systems[chain] = system
         results[chain] = system.run()
@@ -110,10 +113,12 @@ def _assert_chain_identical(systems, results):
 def test_attacks_bit_identical(variant, policy):
     reference = run_attack(variant, policy, secret=SECRET,
                            interpreter="reference")
-    fast = run_attack(variant, policy, secret=SECRET, interpreter="fast")
-    assert fast.recovered == reference.recovered
-    assert fast.bytes_recovered == reference.bytes_recovered
-    assert _core_observables(fast.run) == _core_observables(reference.run)
+    for interpreter in ("fast", "compiled"):
+        other = run_attack(variant, policy, secret=SECRET,
+                           interpreter=interpreter)
+        assert other.recovered == reference.recovered
+        assert other.bytes_recovered == reference.bytes_recovered
+        assert _core_observables(other.run) == _core_observables(reference.run)
 
 
 @pytest.mark.parametrize("policy", ALL_POLICIES,
@@ -123,17 +128,25 @@ def test_kernels_bit_identical(kernel, policy):
     program = build_kernel_program(SMALL_SIZES[kernel]())
     systems = {}
     results = {}
-    for interpreter in ("reference", "fast"):
+    for interpreter in INTERPRETERS:
         system = DbtSystem(program, policy=policy, interpreter=interpreter)
         systems[interpreter] = system
         results[interpreter] = system.run()
-    assert (_core_observables(results["fast"])
-            == _core_observables(results["reference"]))
-    # Full architectural register file and final core cycle.
-    assert (systems["fast"].core.regs._regs
-            == systems["reference"].core.regs._regs)
-    assert systems["fast"].core.cycle == systems["reference"].core.cycle
-    assert systems["fast"].core.instret == systems["reference"].core.instret
+    for interpreter in ("fast", "compiled"):
+        assert (_core_observables(results[interpreter])
+                == _core_observables(results["reference"]))
+        assert (_engine_observables(systems[interpreter])
+                == _engine_observables(systems["reference"]))
+        # Full architectural register file and final core cycle.
+        assert (systems[interpreter].core.regs._regs
+                == systems["reference"].core.regs._regs)
+        assert (systems[interpreter].core.cycle
+                == systems["reference"].core.cycle)
+        assert (systems[interpreter].core.instret
+                == systems["reference"].core.instret)
+    # The compiled tier actually compiled (or this proves nothing).
+    assert results["compiled"].codegen is not None
+    assert results["compiled"].codegen.compiles > 0
 
 
 def test_interpreter_argument_validated():
@@ -146,26 +159,29 @@ def test_interpreter_argument_validated():
 # Chained dispatch vs the seed engine loop.
 # ---------------------------------------------------------------------------
 
+@pytest.mark.parametrize("interpreter", ("fast", "compiled"))
 @pytest.mark.parametrize("policy", ALL_POLICIES,
                          ids=[p.value for p in ALL_POLICIES])
 @pytest.mark.parametrize("variant", list(AttackVariant),
                          ids=[v.value for v in AttackVariant])
-def test_attacks_chained_bit_identical(variant, policy):
+def test_attacks_chained_bit_identical(variant, policy, interpreter):
     program = build_attack_program(variant, SECRET)
-    systems, results = _run_pair(program, policy)
+    systems, results = _run_pair(program, policy, interpreter=interpreter)
     _assert_chain_identical(systems, results)
     # The leak verdict — the paper's headline observable — is unchanged.
     assert (results[True].output[:len(SECRET)]
             == results[False].output[:len(SECRET)])
 
 
+@pytest.mark.parametrize("interpreter", ("fast", "compiled"))
 @pytest.mark.parametrize("cache_mode", list(CACHE_MODES))
 @pytest.mark.parametrize("policy", ALL_POLICIES,
                          ids=[p.value for p in ALL_POLICIES])
 @pytest.mark.parametrize("kernel", KERNELS)
-def test_kernels_chained_bit_identical(kernel, policy, cache_mode):
+def test_kernels_chained_bit_identical(kernel, policy, cache_mode,
+                                       interpreter):
     program = build_kernel_program(SMALL_SIZES[kernel]())
-    systems, results = _run_pair(program, policy,
+    systems, results = _run_pair(program, policy, interpreter=interpreter,
                                  **CACHE_MODES[cache_mode])
     _assert_chain_identical(systems, results)
     if cache_mode != "unbounded":

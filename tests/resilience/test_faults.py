@@ -14,11 +14,13 @@ from repro.resilience.faults import (
     FaultSite,
     WorkerFault,
     apply_worker_fault,
+    corrupt_codegen_cache,
     corrupt_finalized_block,
     corrupt_schedule,
     corrupt_sweep_cache,
     corrupt_translated_block,
     drop_finalized,
+    poison_codegen,
 )
 from repro.security.policy import MitigationPolicy
 
@@ -132,6 +134,57 @@ def test_corrupt_schedule_clears_speculative_marker():
             assert spec_after == spec_before - 1
             return
     pytest.skip("no speculative block in the UNSAFE atax run")
+
+
+def test_corrupt_finalized_block_drops_stale_compiled_form():
+    """The compiled host function was generated from the then-clean
+    lowering; keeping it would mask the poisoned ordinal entirely."""
+    from repro.vliw.codegen import ensure_compiled
+    from repro.vliw.config import VliwConfig
+    from repro.vliw.fastpath import finalize_block
+
+    block = _optimized_blocks()[0]
+    fblock = finalize_block(block, VliwConfig())
+    ensure_compiled(fblock)
+    assert fblock.compiled is not None
+    assert corrupt_finalized_block(block) is not None
+    assert fblock.compiled is None
+    assert fblock.persist_key is None
+
+
+def test_poison_codegen_installs_raising_fn():
+    """Clearing ``compiled`` would be masked by the tiering fallback
+    (uncompiled blocks run on the fast interpreter); the poison must be
+    an installed function that raises on dispatch."""
+    from repro.vliw.config import VliwConfig
+    from repro.vliw.fastpath import finalize_block
+    from repro.vliw.pipeline import VliwExecutionError
+
+    block = _optimized_blocks()[0]
+    fblock = finalize_block(block, VliwConfig())
+    detail = poison_codegen(block)
+    assert "poisoned" in detail
+    assert block._codegen_poison
+    while fblock is not None:
+        assert fblock.compiled is not None
+        assert fblock.persist_key is None
+        with pytest.raises(VliwExecutionError):
+            fblock.compiled(None, None)
+        fblock = fblock.recovery
+
+
+def test_corrupt_codegen_cache_flips_a_byte(tmp_path):
+    target = tmp_path / "deadbeef.codegen.json"
+    target.write_text('{"code": "QUFBQQ=="}')
+    before = target.read_bytes()
+    detail = corrupt_codegen_cache(tmp_path, random.Random(0))
+    assert detail is not None and "deadbeef.codegen.json" in detail
+    after = target.read_bytes()
+    assert after != before and len(after) == len(before)
+
+
+def test_corrupt_codegen_cache_empty_dir(tmp_path):
+    assert corrupt_codegen_cache(tmp_path, random.Random(0)) is None
 
 
 def test_corrupt_sweep_cache_flips_a_byte(tmp_path):

@@ -45,8 +45,13 @@ def atax_reference(atax):
 def test_site_detected_recovered_identical(site, atax, atax_reference):
     injector = FaultInjector(seed=0, sites=[site])
     supervisor = ExecutionSupervisor(injector=injector)
+    # The codegen site only has something to corrupt on the compiled
+    # tier (the chaos matrix pins this the same way); the tiers are
+    # bit-identical architecturally, so the fast-tier reference serves.
+    interpreter = "compiled" if site is FaultSite.CODEGEN_CORRUPT else None
     result = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
                        engine_config=ENGINE_CONFIG,
+                       interpreter=interpreter,
                        supervisor=supervisor).run()
     assert injector.fired, "fault never fired — the scenario proves nothing"
     assert supervisor.stats.detections >= len(injector.fired)
@@ -69,6 +74,54 @@ def test_attack_survives_fastpath_corruption():
     assert injector.fired
     assert supervisor.stats.recoveries >= 1
     assert result.output == reference.output  # the leaked bytes too
+
+
+# ---------------------------------------------------------------------------
+# The extended (tier-3) degradation ladder.
+# ---------------------------------------------------------------------------
+
+def test_codegen_poison_recovers_on_refinalize(atax, atax_reference):
+    """A poisoned compiled function dies with the finalized form: the
+    refinalize rung produces a fresh, uncompiled lowering that the
+    tiering fallback runs on the fast interpreter."""
+    injector = FaultInjector(seed=0, sites=[FaultSite.CODEGEN_CORRUPT])
+    supervisor = ExecutionSupervisor(injector=injector)
+    result = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                       engine_config=ENGINE_CONFIG, interpreter="compiled",
+                       supervisor=supervisor).run()
+    assert injector.fired
+    assert supervisor.stats.ladder.get("refinalize", 0) >= 1
+    assert result.exit_code == atax_reference.exit_code
+    assert result.output == atax_reference.output
+
+
+def test_compiled_ladder_reaches_retranslate(atax, atax_reference):
+    """A corrupted translation fails every interpreter; on the compiled
+    tier the walk takes all four rungs (refinalize, fastpath, reference,
+    retranslate) before the quarantine-and-retranslate heals it."""
+    injector = FaultInjector(seed=0, sites=[FaultSite.TCACHE_CORRUPT])
+    supervisor = ExecutionSupervisor(injector=injector)
+    result = DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                       engine_config=ENGINE_CONFIG, interpreter="compiled",
+                       supervisor=supervisor).run()
+    assert injector.fired
+    assert supervisor.stats.ladder.get("retranslate", 0) >= 1
+    assert supervisor.stats.quarantines >= 1
+    assert result.exit_code == atax_reference.exit_code
+    assert result.output == atax_reference.output
+
+
+def test_compiled_ladder_needs_its_fourth_rung(atax):
+    """With only three retries the compiled ladder never reaches
+    retranslate for a corrupted translation — the reason the default
+    ``max_block_retries`` is the extended ladder's length."""
+    injector = FaultInjector(seed=0, sites=[FaultSite.TCACHE_CORRUPT])
+    supervisor = ExecutionSupervisor(
+        SupervisorConfig(max_block_retries=3), injector=injector)
+    with pytest.raises(ResilienceError):
+        DbtSystem(atax, policy=MitigationPolicy.GHOSTBUSTERS,
+                  engine_config=ENGINE_CONFIG, interpreter="compiled",
+                  supervisor=supervisor).run()
 
 
 # ---------------------------------------------------------------------------

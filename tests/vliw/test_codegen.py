@@ -1,0 +1,259 @@
+"""Tier-3 host codegen units: lowering, memoization, the persistent
+cross-process cache and its corruption tolerance.
+
+Bit-identity of the compiled tier against the other two is gated
+end-to-end in ``tests/platform/test_fastpath_differential.py``; this
+file pins the generator's plumbing — stable persistence keys, memo and
+persist-hit accounting, poisoned-compile detection, and the quarantine
+behavior of every way an on-disk envelope can rot.
+"""
+
+import json
+
+import pytest
+
+from repro.dbt.translation_cache import PersistentCodegenCache
+from repro.vliw.block import TranslatedBlock
+from repro.vliw.bundle import make_bundle
+from repro.vliw.codegen import (
+    CodegenStats,
+    compile_block,
+    ensure_compiled,
+    persist_key,
+    _Lowering,
+)
+from repro.vliw.config import VliwConfig
+from repro.vliw.fastpath import finalize_block
+from repro.vliw.isa import VliwOp, VliwOpcode
+from repro.vliw.pipeline import VliwExecutionError
+
+CONFIG = VliwConfig()
+
+
+def _block(entry=0x100, kind="reoptimized"):
+    bundles = (
+        make_bundle([VliwOp(opcode=VliwOpcode.LI, dest=5, imm=7)], CONFIG),
+        make_bundle([VliwOp(opcode=VliwOpcode.ALU, alu_op="add", dest=6,
+                            src1=5, src2=5)], CONFIG),
+        make_bundle([VliwOp(opcode=VliwOpcode.JUMP, target=entry + 12)],
+                    CONFIG),
+    )
+    return TranslatedBlock(guest_entry=entry, bundles=bundles,
+                           guest_length=3, kind=kind)
+
+
+def _fblock(entry=0x100):
+    return finalize_block(_block(entry), CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# Lowering and compilation.
+# ---------------------------------------------------------------------------
+
+def test_compile_block_produces_callable_and_counts():
+    stats = CodegenStats()
+    fn, key = compile_block(_fblock(), stats)
+    assert callable(fn)
+    assert key is None  # no persistent cache attached
+    assert stats.compiles == 1
+    assert stats.bytes > 0
+
+
+def test_generated_source_is_straight_line():
+    """The whole point of the tier: bundle loops unrolled, no generic
+    dispatch ladder left in the emitted body."""
+    lowering = _Lowering(_fblock())
+    source = lowering.source()
+    assert "def _block_fn(core, store_log):" in source
+    body = source.split("def _block_fn", 1)[1]
+    assert "for " not in body
+    assert "elif" not in body
+
+
+def test_ensure_compiled_memoizes_on_block():
+    stats = CodegenStats()
+    fblock = _fblock()
+    first = ensure_compiled(fblock, stats)
+    second = ensure_compiled(fblock, stats)
+    assert first is second is fblock.compiled
+    assert stats.compiles == 1
+    assert stats.hits == 1
+
+
+def test_poisoned_block_compiles_to_raising_fn():
+    block = _block()
+    block._codegen_poison = True
+    fblock = finalize_block(block, CONFIG)
+    fn, key = compile_block(fblock)
+    assert key is None
+    with pytest.raises(VliwExecutionError):
+        fn(None, None)
+
+
+# ---------------------------------------------------------------------------
+# Persistence keys.
+# ---------------------------------------------------------------------------
+
+def test_persist_key_deterministic_across_lowerings():
+    key_a = persist_key(_Lowering(_fblock()), "unsafe")
+    key_b = persist_key(_Lowering(_fblock()), "unsafe")
+    assert key_a == key_b
+
+
+def test_persist_key_stable_across_hash_randomization():
+    """The key must be identical in *other processes*: ``VliwConfig``
+    holds frozensets of enum members, whose iteration order follows the
+    per-process hash seed — a repr-based key silently misses on every
+    new process (each ``--jobs`` worker and each CLI run would
+    recompile and litter the tcache dir with orphan envelopes)."""
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.vliw.codegen import persist_key, _Lowering\n"
+        "from repro.vliw.fastpath import finalize_block\n"
+        "from tests.vliw.test_codegen import _block, CONFIG\n"
+        "print(persist_key(_Lowering(finalize_block(_block(), CONFIG)),"
+        " 'unsafe'))\n")
+    keys = set()
+    for seed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=os.pathsep.join(
+                       filter(None, [os.environ.get("PYTHONPATH", ""),
+                                     os.getcwd()])))
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, check=True)
+        keys.add(out.stdout.strip())
+    assert len(keys) == 1, "persist key differs across hash seeds"
+    assert keys == {persist_key(_Lowering(_fblock()), "unsafe")}
+
+
+def test_persist_key_covers_policy_config_and_content():
+    base = persist_key(_Lowering(_fblock()), "unsafe")
+    assert persist_key(_Lowering(_fblock()), "ghostbusters") != base
+    other_config = VliwConfig(rollback_penalty=CONFIG.rollback_penalty + 1)
+    other = finalize_block(_block(), other_config)
+    assert persist_key(_Lowering(other), "unsafe") != base
+    moved = finalize_block(_block(entry=0x200), CONFIG)
+    assert persist_key(_Lowering(moved), "unsafe") != base
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache round trip.
+# ---------------------------------------------------------------------------
+
+def test_cold_then_warm_round_trip(tmp_path):
+    persistent = PersistentCodegenCache(tmp_path)
+    cold = CodegenStats()
+    fblock = _fblock()
+    ensure_compiled(fblock, cold, persistent, "unsafe")
+    assert cold.compiles == 1
+    assert cold.persist_stores == 1
+    assert persistent._path(fblock.persist_key).exists()
+    # No half-written temp file survives the atomic store.
+    assert not list(tmp_path.glob("*.tmp"))
+
+    # A "new process": fresh cache object, fresh finalized form.
+    warm_cache = PersistentCodegenCache(tmp_path)
+    warm = CodegenStats()
+    fresh = _fblock()
+    fn = ensure_compiled(fresh, warm, warm_cache, "unsafe")
+    assert callable(fn)
+    assert warm.compiles == 0
+    assert warm.persist_hits == 1
+    assert warm.persist_stores == 0
+
+
+def test_discard_removes_envelope_and_memo(tmp_path):
+    persistent = PersistentCodegenCache(tmp_path)
+    fblock = _fblock()
+    ensure_compiled(fblock, None, persistent, "unsafe")
+    key = fblock.persist_key
+    persistent.discard(key)
+    assert not persistent._path(key).exists()
+    assert persistent.load(key) is None
+
+
+# ---------------------------------------------------------------------------
+# Corruption tolerance: every rot mode quarantines and recompiles.
+# ---------------------------------------------------------------------------
+
+def _persisted(tmp_path):
+    persistent = PersistentCodegenCache(tmp_path)
+    fblock = _fblock()
+    ensure_compiled(fblock, None, persistent, "unsafe")
+    return persistent._path(fblock.persist_key), fblock.persist_key
+
+
+def _assert_quarantined(tmp_path, path, key):
+    """A fresh cache must reject the envelope, move it aside, and a
+    recompile must succeed and re-persist."""
+    cache = PersistentCodegenCache(tmp_path)
+    assert cache.load(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert (tmp_path / "quarantine" / path.name).exists()
+    stats = CodegenStats()
+    ensure_compiled(_fblock(), stats, cache, "unsafe")
+    assert stats.compiles == 1
+    assert stats.quarantined == 1
+    assert path.exists()  # healed
+
+
+def test_bit_flip_quarantined(tmp_path):
+    path, key = _persisted(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x01
+    path.write_bytes(bytes(data))
+    _assert_quarantined(tmp_path, path, key)
+
+
+def test_invalid_utf8_quarantined(tmp_path):
+    """A flip can break UTF-8 before it breaks JSON; the read itself
+    must quarantine, not crash."""
+    path, key = _persisted(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] = 0x8A
+    path.write_bytes(bytes(data))
+    _assert_quarantined(tmp_path, path, key)
+
+
+def test_truncation_quarantined(tmp_path):
+    path, key = _persisted(tmp_path)
+    path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+    _assert_quarantined(tmp_path, path, key)
+
+
+def test_version_mismatch_quarantined(tmp_path):
+    path, key = _persisted(tmp_path)
+    envelope = json.loads(path.read_text())
+    envelope["version"] = 999
+    path.write_text(json.dumps(envelope))
+    _assert_quarantined(tmp_path, path, key)
+
+
+def test_key_mismatch_quarantined(tmp_path):
+    """An envelope renamed (or hash-collided) onto the wrong key must
+    not load under it."""
+    path, key = _persisted(tmp_path)
+    envelope = json.loads(path.read_text())
+    envelope["key"] = "0" * 64
+    path.write_text(json.dumps(envelope))
+    _assert_quarantined(tmp_path, path, key)
+
+
+def test_checksum_mismatch_quarantined(tmp_path):
+    """Valid JSON, valid base64, wrong payload: only the sha256 layer
+    can catch this."""
+    path, key = _persisted(tmp_path)
+    envelope = json.loads(path.read_text())
+    envelope["sha256"] = "0" * 64
+    path.write_text(json.dumps(envelope))
+    _assert_quarantined(tmp_path, path, key)
+
+
+def test_missing_envelope_is_a_clean_miss(tmp_path):
+    cache = PersistentCodegenCache(tmp_path)
+    assert cache.load("f" * 64) is None
+    assert cache.quarantined == 0
