@@ -1,0 +1,229 @@
+"""Non-gating host-perf trend: run bench-host and diff the committed baseline.
+
+CI's ``perf-trend`` job runs this after the test suite.  It re-measures
+the host-perf report (``repro bench-host``), diffs every comparable
+scalar against the committed ``benchmarks/results/BENCH_host.json``,
+and writes a markdown delta summary for the build artifact.
+
+It never fails the build (wall-clock on shared runners is noise — the
+bit-exactness differential test is the gate), and it refuses to produce
+a *misleading* diff: metrics are only compared when the baseline and
+the fresh run share a report schema, host fingerprint, and quick/full
+mode; otherwise the summary says so and lists the fresh numbers alone.
+
+Usage:
+    PYTHONPATH=src python benchmarks/perf_trend.py \
+        [--quick] [--baseline PATH] [--current PATH] [--out PATH]
+
+``--current PATH`` diffs an existing report instead of re-running the
+bench (handy for diffing two archived artifacts).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "results", "BENCH_host.json")
+# Quick mode shortens the secret and drops kernels, so a quick run can
+# only be diffed against a quick baseline — CI compares like with like.
+QUICK_BASELINE = os.path.join(HERE, "results", "BENCH_host_quick.json")
+DEFAULT_OUT = os.path.join(HERE, "results", "PERF_trend.md")
+
+# Walls smaller than this carry more timer jitter than signal; the
+# summary flags their deltas rather than letting a 40% swing on a 60 ms
+# wall read like a regression.
+NOISE_FLOOR_SECONDS = 0.2
+
+
+def flatten_metrics(report):
+    """Extract the comparable scalars from a bench-host report as an
+    ordered ``{name: (value, unit)}`` mapping."""
+    metrics = {}
+
+    e1 = report.get("e1_attack_matrix", {})
+    for tier in ("reference", "fast", "fast_chained", "compiled",
+                 "compiled_chained"):
+        row = e1.get(tier)
+        if row:
+            metrics["e1.%s.wall" % tier] = (row["wall_seconds"], "s")
+            metrics["e1.%s.ips" % tier] = (
+                row["guest_instructions_per_second"], "instr/s")
+    for ratio in ("fast_path_speedup", "chain_speedup", "compiled_speedup"):
+        if ratio in e1:
+            metrics["e1.%s" % ratio] = (e1[ratio], "x")
+
+    tcache = report.get("tcache_persistence", {})
+    for phase in ("cold", "warm"):
+        if phase in tcache:
+            metrics["tcache.%s.wall" % phase] = (
+                tcache[phase]["wall_seconds"], "s")
+    if "warm_speedup" in tcache:
+        metrics["tcache.warm_speedup"] = (tcache["warm_speedup"], "x")
+
+    for row in report.get("kernels", []):
+        name = "kernel.%s.%s.%s.wall" % (
+            row["kernel"], row["policy"], row["interpreter"])
+        metrics[name] = (row["wall_seconds"], "s")
+
+    sweep = report.get("figure4_sweep", {})
+    for jobs, wall in sorted(sweep.get("wall_seconds_by_jobs", {}).items()):
+        metrics["sweep.jobs%s.wall" % jobs] = (wall, "s")
+
+    profiler = report.get("profiler_overhead", {})
+    if profiler:
+        metrics["profiler.overhead"] = (profiler["overhead_percent"], "%")
+
+    return metrics
+
+
+def comparability(baseline, current):
+    """Return a list of reasons the two reports must not be diffed
+    (empty list = comparable)."""
+    reasons = []
+    if baseline is None:
+        return ["no baseline report"]
+    if baseline.get("schema") != current.get("schema"):
+        reasons.append("schema %s vs %s" % (baseline.get("schema"),
+                                            current.get("schema")))
+    if baseline.get("host") != current.get("host"):
+        reasons.append("host fingerprint differs (%s vs %s)" % (
+            baseline.get("host"), current.get("host")))
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        reasons.append("quick/full mode differs (workloads are not the "
+                       "same measurement)")
+    return reasons
+
+
+def diff_rows(baseline_metrics, current_metrics):
+    """One row per metric present in either report."""
+    rows = []
+    for name in sorted(set(baseline_metrics) | set(current_metrics)):
+        base = baseline_metrics.get(name)
+        cur = current_metrics.get(name)
+        if base is None or cur is None:
+            rows.append((name, base, cur, None, "only in %s" %
+                         ("current" if base is None else "baseline")))
+            continue
+        base_value, unit = base
+        cur_value, _ = cur
+        delta = (cur_value - base_value) / base_value * 100 if base_value \
+            else float("inf")
+        note = ""
+        if unit == "s" and max(base_value, cur_value) < NOISE_FLOOR_SECONDS:
+            note = "below noise floor"
+        rows.append((name, base, cur, delta, note))
+    return rows
+
+
+def _fmt(metric):
+    if metric is None:
+        return "—"
+    value, unit = metric
+    if unit == "instr/s":
+        return "%d %s" % (value, unit)
+    return "%.4g %s" % (value, unit)
+
+
+def render_markdown(baseline, current, reasons, rows):
+    lines = ["# Host-perf trend", ""]
+    host = current.get("host", {})
+    lines.append("Fresh run: schema `%s`, %s mode, %s %s on %s (%d CPU)." % (
+        current.get("schema"), "quick" if current.get("quick") else "full",
+        host.get("implementation"), host.get("python"), host.get("machine"),
+        host.get("cpu_count", 0)))
+    lines.append("")
+    lines.append("This summary is **non-gating**: shared-runner wall clocks "
+                 "are noise; only the bit-exactness differential test gates.")
+    lines.append("")
+
+    if reasons:
+        lines.append("## Baseline not comparable — fresh numbers only")
+        lines.append("")
+        for reason in reasons:
+            lines.append("- %s" % reason)
+        lines.append("")
+        lines.append("| metric | value |")
+        lines.append("|---|---|")
+        for name, (value, unit) in sorted(flatten_metrics(current).items()):
+            lines.append("| `%s` | %s |" % (name, _fmt((value, unit))))
+        lines.append("")
+        return "\n".join(lines)
+
+    lines.append("Baseline: `%s` from %s." % (
+        baseline.get("schema"), baseline.get("timestamp", "?")))
+    lines.append("")
+    lines.append("| metric | baseline | current | delta | note |")
+    lines.append("|---|---|---|---|---|")
+    for name, base, cur, delta, note in rows:
+        delta_text = "—" if delta is None else "%+.1f%%" % delta
+        lines.append("| `%s` | %s | %s | %s | %s |" % (
+            name, _fmt(base), _fmt(cur), delta_text, note))
+    lines.append("")
+
+    regressions = [(name, delta) for name, base, cur, delta, note in rows
+                   if delta is not None and not note
+                   and name.endswith(".wall") and delta > 25]
+    if regressions:
+        lines.append("## Walls >25% over baseline (worth a look, not a gate)")
+        lines.append("")
+        for name, delta in regressions:
+            lines.append("- `%s`: %+.1f%%" % (name, delta))
+        lines.append("")
+    else:
+        lines.append("No wall above the noise floor regressed more than "
+                     "25% against the baseline.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=None,
+                        help="committed report to diff against (default: "
+                        "the full or quick committed baseline to match "
+                        "the run mode)")
+    parser.add_argument("--current", default=None,
+                        help="diff this report instead of re-running bench")
+    parser.add_argument("--quick", action="store_true",
+                        help="run bench-host in quick (CI) mode")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="markdown summary path")
+    args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = QUICK_BASELINE if args.quick else DEFAULT_BASELINE
+
+    if args.current:
+        with open(args.current) as handle:
+            current = json.load(handle)
+    else:
+        from repro.benchhost import run_bench_host
+        current = run_bench_host(quick=args.quick)
+
+    baseline = None
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        baseline_error = str(error)
+    else:
+        baseline_error = None
+
+    reasons = comparability(baseline, current)
+    if baseline_error:
+        reasons = ["baseline unreadable: %s" % baseline_error]
+    rows = [] if reasons else diff_rows(flatten_metrics(baseline),
+                                        flatten_metrics(current))
+    text = render_markdown(baseline, current, reasons, rows)
+
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    sys.stdout.write(text + "\n")
+    sys.stdout.write("wrote %s\n" % args.out)
+    return 0  # never gates
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..isa.program import Program
+from ..obs.leakage import LeakageReport, measure_leakage
+from ..obs.pipeline import TelemetryConfig, spool_envelope, worker_observer
+from ..obs.observer import Observer
 from ..platform.metrics import SystemRunResult
 from ..platform.system import DbtSystem
 from ..resilience.faults import apply_worker_fault
@@ -35,6 +38,8 @@ class AttackResult:
     secret: bytes
     recovered: bytes
     run: SystemRunResult
+    #: Leakage meters (``run_attack(..., measure=True)`` only).
+    leakage: Optional[LeakageReport] = None
 
     @property
     def bytes_recovered(self) -> int:
@@ -80,6 +85,8 @@ def run_attack(
     engine_config=None,
     program=None,
     tcache_dir=None,
+    measure=False,
+    telemetry: Optional[TelemetryConfig] = None,
     fault=None,
 ) -> AttackResult:
     """Run one PoC under one policy and score the recovered bytes.
@@ -88,19 +95,33 @@ def run_attack(
     built for ``variant`` and ``secret``); when omitted the binary is
     assembled here.  Benchmarks prebuild so their walls measure the DBT
     platform rather than the guest assembler.
+
+    ``measure`` attaches an observer and fills
+    :attr:`AttackResult.leakage` with the run's leakage meters;
+    ``telemetry`` additionally spools a telemetry envelope (the
+    parallel pipeline).  Both leave results bit-identical — the
+    no-Heisenberg gate — and both are picklable, so the attack matrix
+    computes them inside pool workers.
     """
     apply_worker_fault(fault)
     if program is None:
         program = build_attack_program(variant, secret)
+    observer = worker_observer(telemetry)
+    if observer is None and measure:
+        observer = Observer()
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
                        engine_config=engine_config, interpreter=interpreter,
-                       tcache_dir=tcache_dir)
+                       tcache_dir=tcache_dir, observer=observer)
     run = system.run()
     recovered = run.output[:len(secret)]
-    return AttackResult(
+    result = AttackResult(
         variant=variant, policy=policy, secret=secret,
         recovered=recovered, run=run,
     )
+    if measure and observer is not None:
+        result.leakage = measure_leakage(observer.registry, result)
+    spool_envelope(telemetry, observer)
+    return result
 
 
 def attack_matrix(
@@ -117,6 +138,8 @@ def attack_matrix(
     worker_faults=None,
     programs=None,
     tcache_dir=None,
+    measure=False,
+    point_telemetry: Optional[TelemetryConfig] = None,
 ) -> Dict[AttackVariant, Dict[MitigationPolicy, AttackResult]]:
     """The Section V-A result matrix: variant x policy -> outcome.
 
@@ -131,16 +154,27 @@ def attack_matrix(
 
     ``programs`` maps :class:`AttackVariant` to a pre-assembled PoC
     binary (built for this ``secret``); see :func:`run_attack`.
+    ``measure``/``point_telemetry`` thread the leakage meters and the
+    telemetry pipeline through to every cell's worker.
     """
     from ..platform.parallel import run_points
 
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     points = [(variant, policy) for variant in variants for policy in policies]
+
+    def _cell_telemetry(variant, policy):
+        if point_telemetry is None:
+            return None
+        return point_telemetry.with_point(
+            "%s/%s" % (variant.value, policy.value),
+            variant=variant.value, policy=policy.value)
+
     outcomes = run_points(
         run_attack,
         [(variant, policy, secret, None, interpreter, engine_config,
-          programs.get(variant) if programs else None, tcache_dir)
+          programs.get(variant) if programs else None, tcache_dir,
+          measure, _cell_telemetry(variant, policy))
          for variant, policy in points],
         labels=["%s/%s" % (variant.value, policy.value)
                 for variant, policy in points],

@@ -45,9 +45,9 @@ DEFAULT_KERNELS = ("gemm", "atax")
 QUICK_SECRET = b"GB"
 FULL_SECRET = b"GHOST"
 
-#: /2: adds the tier-3 ``compiled``/``compiled_chained`` E1 rows, the
-#: ``tcache_persistence`` section and per-row ``codegen`` counters.
-SCHEMA = "repro.bench_host/2"
+#: /3: adds the ``profiler_overhead`` section (host profiler enabled vs
+#: disabled on one kernel; simulated cycles must match).
+SCHEMA = "repro.bench_host/3"
 
 
 @contextmanager
@@ -188,6 +188,52 @@ def measure_tcache_persistence(secret: bytes, programs, tcache_dir) -> dict:
     }
 
 
+def measure_profiler_overhead(kernel: str = "gemm",
+                              repeats: int = 3) -> dict:
+    """Host cost of the tier-attribution profiler on one kernel.
+
+    Times the same run bare and with a :class:`~repro.obs.HostProfiler`
+    attached (best-of-``repeats`` each) and reports the relative
+    overhead — the number docs/PERFORMANCE.md quotes.  Also asserts the
+    no-Heisenberg contract's cheap half right here: the profiled run's
+    simulated cycle count must equal the bare run's.
+    """
+    from .obs import HostProfiler
+    from .security.policy import MitigationPolicy
+
+    program = build_kernel_program(SMALL_SIZES[kernel]())
+    policy = MitigationPolicy.GHOSTBUSTERS
+
+    def _best(profiled: bool):
+        best = None
+        cycles = None
+        with _gc_paused():
+            for _ in range(max(1, repeats)):
+                profiler = HostProfiler() if profiled else None
+                start = time.perf_counter()
+                result = DbtSystem(program, policy=policy,
+                                   profiler=profiler).run()
+                wall = time.perf_counter() - start
+                if profiler is not None:
+                    profiler.detach()
+                cycles = result.cycles
+                if best is None or wall < best:
+                    best = wall
+        return best or 0.0, cycles
+
+    bare_wall, bare_cycles = _best(False)
+    profiled_wall, profiled_cycles = _best(True)
+    return {
+        "kernel": kernel,
+        "repeats": repeats,
+        "bare_wall_seconds": round(bare_wall, 4),
+        "profiled_wall_seconds": round(profiled_wall, 4),
+        "overhead_percent": (round(100.0 * (profiled_wall / bare_wall - 1), 1)
+                             if bare_wall else None),
+        "cycles_identical": bare_cycles == profiled_cycles,
+    }
+
+
 def measure_kernels(kernels: Sequence[str],
                     interpreters: Sequence[str] = ("reference", "fast",
                                                    "compiled"),
@@ -318,6 +364,9 @@ def run_bench_host(quick: bool = False,
         kernel_names = list(kernels)[:1] if quick else list(kernels)
         report["kernels"] = measure_kernels(kernel_names)
 
+        report["profiler_overhead"] = measure_profiler_overhead(
+            kernel_names[0], repeats=1 if quick else 3)
+
         if not skip_sweep:
             sweep_kernels = kernel_names if quick else list(SMALL_SIZES)[:4]
             report["figure4_sweep"] = measure_sweep_scaling(
@@ -381,6 +430,16 @@ def format_report(report: dict) -> str:
                 row["kernel"], row["policy"], row["interpreter"],
                 row["wall_seconds"],
                 "{:,}".format(row["guest_instructions_per_second"])))
+    overhead = report.get("profiler_overhead")
+    if overhead:
+        lines.append(
+            "profiler         : %s bare %.2fs -> profiled %.2fs "
+            "(+%s%%, cycles %s)" % (
+                overhead["kernel"], overhead["bare_wall_seconds"],
+                overhead["profiled_wall_seconds"],
+                overhead["overhead_percent"],
+                "identical" if overhead["cycles_identical"]
+                else "DIVERGED"))
     sweep = report.get("figure4_sweep")
     if sweep:
         per_jobs = "  ".join(

@@ -39,8 +39,17 @@ Subcommands
 ``stats``
     Run a guest (or a Spectre PoC via ``--attack``) under each policy
     with the observability layer attached and print a per-policy cycle
-    attribution table (stalls vs rollbacks vs pinned loads).  See
-    docs/OBSERVABILITY.md.
+    attribution table (stalls vs rollbacks vs pinned loads, plus the
+    tier mix: chained dispatches and compiled-tier hits).  ``--attack``
+    adds the leakage-meter table.  See docs/OBSERVABILITY.md.
+
+``profile``
+    Host-time profile of one workload: wall seconds attributed to
+    translation / scheduling / codegen / interpreter tiers /
+    chain-dispatch / supervisor / tcache-IO, per-block hotness, and
+    (``--amortize``) the compile-cost amortization table that says
+    which blocks pay back their tier-3 compile.  See
+    docs/PERFORMANCE.md.
 
 ``chaos``
     Run the resilience fault matrix: every named fault site injected
@@ -54,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from typing import List, Optional
 
 from .attacks.harness import AttackVariant, run_attack
@@ -142,6 +152,43 @@ def _write_text(path: str, text: str) -> None:
         handle.write(text)
 
 
+def _telemetry_wanted(args) -> bool:
+    return bool(getattr(args, "metrics_out", None)
+                or getattr(args, "prom_out", None)
+                or getattr(args, "trace_out", None))
+
+
+def _telemetry_config(args, spool_dir: str):
+    """Per-point telemetry template for the cross-process pipeline."""
+    from .obs import TelemetryConfig
+
+    return TelemetryConfig(spool_dir=spool_dir,
+                           trace=bool(args.trace_out),
+                           trace_limit=args.trace_limit)
+
+
+def _report_telemetry(args, spool_dir: str) -> None:
+    """Merge the spool and write the requested exports."""
+    from .obs import merge_spool
+
+    merged = merge_spool(spool_dir)
+    if args.metrics_out:
+        _write_text(args.metrics_out, merged.registry.to_json() + "\n")
+        if args.metrics_out != "-":
+            print("metrics   : wrote %s (%d metrics)"
+                  % (args.metrics_out, len(merged.registry)), file=sys.stderr)
+    if args.prom_out:
+        _write_text(args.prom_out, merged.registry.to_prometheus())
+        if args.prom_out != "-":
+            print("metrics   : wrote %s (Prometheus text)" % args.prom_out,
+                  file=sys.stderr)
+    if args.trace_out:
+        merged.write_chrome(args.trace_out)
+        print("trace     : wrote %s (one track per worker)" % args.trace_out,
+              file=sys.stderr)
+    print("telemetry : merged %s" % merged.summary(), file=sys.stderr)
+
+
 def _engine_config(args) -> Optional[DbtEngineConfig]:
     """Engine config from the shared --chain/--cache-* flags, or None
     when every flag is at its default (the seed configuration)."""
@@ -169,12 +216,27 @@ def cmd_run(args) -> int:
         from .resilience import ExecutionSupervisor
 
         supervisor = ExecutionSupervisor(observer=observer)
+    profiler = None
+    if args.profile_out:
+        from .obs import HostProfiler
+
+        profiler = HostProfiler()
     system = DbtSystem(program, policy=args.policy,
                        vliw_config=_vliw_config(args),
                        engine_config=_engine_config(args), observer=observer,
                        supervisor=supervisor, interpreter=args.interpreter,
-                       tcache_dir=args.tcache_dir)
+                       tcache_dir=args.tcache_dir, profiler=profiler)
     result = system.run()
+    if profiler is not None:
+        from .obs.profiler import write_profile
+
+        profiler.detach()
+        write_profile(profiler.report({"policy": args.policy.value,
+                                       "interpreter": system.interpreter,
+                                       "workload": args.file}),
+                      args.profile_out)
+        print("profile   : wrote %s (%.3fs host time attributed)"
+              % (args.profile_out, profiler.total_seconds), file=sys.stderr)
     print("exit code : %d" % result.exit_code)
     if result.output:
         print("output    : %r" % result.output)
@@ -248,30 +310,60 @@ def cmd_attack(args) -> int:
     secret = args.secret.encode()
     policies = [args.policy] if args.policy else list(ALL_POLICIES)
     engine_config = _engine_config(args)
-    if args.jobs > 1 and len(policies) > 1:
-        try:
-            matrix = attack_matrix(secret=secret, policies=policies,
-                                   variants=(variant,), jobs=args.jobs,
-                                   engine_config=engine_config,
-                                   interpreter=args.interpreter,
-                                   timeout=args.timeout,
-                                   retries=args.retries,
-                                   tcache_dir=args.tcache_dir)
-        except ParallelRunError as error:
-            _print_run_failures(error)
-            return 1
-        results = [matrix[variant][policy] for policy in policies]
-    else:
-        results = [run_attack(variant, policy, secret=secret,
-                              engine_config=engine_config,
-                              interpreter=args.interpreter,
-                              tcache_dir=args.tcache_dir)
-                   for policy in policies]
-    leaked_anywhere = False
-    for result in results:
-        print(result.describe() + "  recovered=%r" % bytes(result.recovered))
-        leaked_anywhere |= result.leaked
-    return 0 if leaked_anywhere or args.policy else 1
+    measure = args.leakage
+    spool = None
+    point_telemetry = None
+    if _telemetry_wanted(args):
+        spool = tempfile.TemporaryDirectory(prefix="repro-telemetry-")
+        point_telemetry = _telemetry_config(args, spool.name)
+    try:
+        if args.jobs > 1 and len(policies) > 1:
+            try:
+                matrix = attack_matrix(secret=secret, policies=policies,
+                                       variants=(variant,), jobs=args.jobs,
+                                       engine_config=engine_config,
+                                       interpreter=args.interpreter,
+                                       timeout=args.timeout,
+                                       retries=args.retries,
+                                       tcache_dir=args.tcache_dir,
+                                       measure=measure,
+                                       point_telemetry=point_telemetry)
+            except ParallelRunError as error:
+                _print_run_failures(error)
+                return 1
+            results = [matrix[variant][policy] for policy in policies]
+        else:
+            results = []
+            for policy in policies:
+                cell = None
+                if point_telemetry is not None:
+                    cell = point_telemetry.with_point(
+                        "%s/%s" % (variant.value, policy.value),
+                        variant=variant.value, policy=policy.value)
+                results.append(run_attack(variant, policy, secret=secret,
+                                          engine_config=engine_config,
+                                          interpreter=args.interpreter,
+                                          tcache_dir=args.tcache_dir,
+                                          measure=measure, telemetry=cell))
+        leaked_anywhere = False
+        for result in results:
+            print(result.describe()
+                  + "  recovered=%r" % bytes(result.recovered))
+            if measure and result.leakage is not None:
+                print("  leakage: %s" % result.leakage.describe())
+            leaked_anywhere |= result.leaked
+        if measure:
+            from .obs import leakage_table
+
+            print()
+            print(leakage_table([r.leakage for r in results
+                                 if r.leakage is not None]))
+        if spool is not None:
+            _report_telemetry(args, spool.name)
+        return 0 if leaked_anywhere or args.policy else 1
+    finally:
+        if spool is not None:
+            spool.cleanup()
 
 
 def cmd_sweep(args) -> int:
@@ -291,20 +383,32 @@ def cmd_sweep(args) -> int:
         expected[name] = run_program(program).exit_code
         workloads.append((name, program))
     telemetry = RunnerTelemetry()
+    spool = None
+    point_telemetry = None
+    if _telemetry_wanted(args):
+        spool = tempfile.TemporaryDirectory(prefix="repro-telemetry-")
+        point_telemetry = _telemetry_config(args, spool.name)
     try:
-        comparisons = sweep_comparisons(
-            workloads, jobs=args.jobs, cache_dir=args.cache_dir,
-            engine_config=_engine_config(args),
-            expect_exit_codes=expected,
-            interpreter=args.interpreter,
-            timeout=args.timeout, retries=args.retries,
-            checkpoint=args.resume, telemetry=telemetry,
-            tcache_dir=args.tcache_dir,
-        )
-    except ParallelRunError as error:
-        _print_run_failures(error)
-        print("runner: %s" % telemetry.summary(), file=sys.stderr)
-        return 1
+        try:
+            comparisons = sweep_comparisons(
+                workloads, jobs=args.jobs, cache_dir=args.cache_dir,
+                engine_config=_engine_config(args),
+                expect_exit_codes=expected,
+                interpreter=args.interpreter,
+                timeout=args.timeout, retries=args.retries,
+                checkpoint=args.resume, telemetry=telemetry,
+                tcache_dir=args.tcache_dir,
+                point_telemetry=point_telemetry,
+            )
+        except ParallelRunError as error:
+            _print_run_failures(error)
+            print("runner: %s" % telemetry.summary(), file=sys.stderr)
+            return 1
+        if spool is not None:
+            _report_telemetry(args, spool.name)
+    finally:
+        if spool is not None:
+            spool.cleanup()
     if telemetry.faults_survived or telemetry.checkpoint_hits:
         print("runner: %s" % telemetry.summary(), file=sys.stderr)
     for name, _program in workloads:
@@ -339,6 +443,7 @@ def cmd_bench_host(args) -> int:
 def cmd_stats(args) -> int:
     from .obs.attribution import attribute_policies, attribution_table
 
+    secret = None
     if args.attack:
         if args.file:
             print("error: give either a guest file or --attack, not both",
@@ -348,7 +453,8 @@ def cmd_stats(args) -> int:
                    else AttackVariant.SPECTRE_V4)
         from .attacks.harness import build_attack_program
 
-        program = build_attack_program(variant, args.secret.encode())
+        secret = args.secret.encode()
+        program = build_attack_program(variant, secret)
         workload = "attack %s" % args.attack
     elif args.file:
         program = _load_guest(args.file)
@@ -359,20 +465,55 @@ def cmd_stats(args) -> int:
         return 2
     policies = [args.policy] if args.policy else list(ALL_POLICIES)
     rows = attribute_policies(program, policies,
-                              vliw_config=_vliw_config(args))
+                              vliw_config=_vliw_config(args),
+                              engine_config=_engine_config(args),
+                              interpreter=args.interpreter,
+                              secret=secret)
     print("cycle attribution for %s\n" % workload)
     print(attribution_table(rows))
+    if args.attack:
+        from .obs import LeakageReport, leakage_table
+
+        reports = [
+            LeakageReport(
+                variant=args.attack, policy=row.policy,
+                secret_length=row.secret_length,
+                bytes_recovered=row.bytes_recovered,
+                accuracy=(row.bytes_recovered / row.secret_length
+                          if row.secret_length else 0.0),
+                leaked=row.bytes_recovered == row.secret_length,
+                rollbacks=row.rollbacks,
+                squashed_speculative_loads=row.squashed_loads,
+                wasted_speculative_cycles=row.rollback_cycles,
+                speculative_miss_probes=row.speculative_miss_probes,
+                cflushes=row.cflushes, cycles=row.cycles)
+            for row in rows
+        ]
+        print()
+        print("leakage meters for %s\n" % workload)
+        print(leakage_table(reports))
     return 0
 
 
 def cmd_chaos(args) -> int:
     from .resilience.chaos import format_chaos_table, run_chaos_matrix
 
-    outcomes = run_chaos_matrix(
-        seed=args.seed, kernel=args.kernel, jobs=args.jobs,
-        hang_timeout=args.hang_timeout, chain=args.chain,
-        interpreter=args.interpreter,
-    )
+    spool = None
+    point_telemetry = None
+    if _telemetry_wanted(args):
+        spool = tempfile.TemporaryDirectory(prefix="repro-telemetry-")
+        point_telemetry = _telemetry_config(args, spool.name)
+    try:
+        outcomes = run_chaos_matrix(
+            seed=args.seed, kernel=args.kernel, jobs=args.jobs,
+            hang_timeout=args.hang_timeout, chain=args.chain,
+            interpreter=args.interpreter, telemetry=point_telemetry,
+        )
+        if spool is not None:
+            _report_telemetry(args, spool.name)
+    finally:
+        if spool is not None:
+            spool.cleanup()
     print(format_chaos_table(outcomes))
     failed = [outcome for outcome in outcomes if not outcome.ok]
     if failed:
@@ -381,6 +522,67 @@ def cmd_chaos(args) -> int:
         return 1
     print("\nall %d chaos cells ok (seed %d%s)"
           % (len(outcomes), args.seed, ", chained" if args.chain else ""))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs.profiler import (
+        amortization_report,
+        format_amortization,
+        format_profile,
+        profile_run,
+        write_profile,
+    )
+
+    if sum(bool(x) for x in (args.file, args.attack, args.kernel)) != 1:
+        print("error: give exactly one of FILE, --attack {v1,v4}, "
+              "or --kernel NAME", file=sys.stderr)
+        return 2
+    if args.attack:
+        from .attacks.harness import build_attack_program
+
+        variant = (AttackVariant.SPECTRE_V1 if args.attack == "v1"
+                   else AttackVariant.SPECTRE_V4)
+        program = build_attack_program(variant, args.secret.encode())
+        workload = "attack %s" % args.attack
+    elif args.kernel:
+        from .kernels import SMALL_SIZES, build_kernel_program
+
+        if args.kernel not in SMALL_SIZES:
+            print("error: unknown kernel %r (choose from %s)"
+                  % (args.kernel, ", ".join(sorted(SMALL_SIZES))),
+                  file=sys.stderr)
+            return 2
+        program = build_kernel_program(SMALL_SIZES[args.kernel]())
+        workload = "kernel %s" % args.kernel
+    else:
+        program = _load_guest(args.file)
+        workload = args.file
+    vliw_config = _vliw_config(args)
+    engine_config = _engine_config(args)
+    meta = {"workload": workload}
+    if args.amortize:
+        # Same workload on both execution tiers; the amortization table
+        # joins them per block.  --interpreter is ignored here.
+        _, fast_report = profile_run(program, args.policy, vliw_config,
+                                     engine_config, interpreter="fast",
+                                     meta=meta)
+        _, report = profile_run(program, args.policy, vliw_config,
+                                engine_config, interpreter="compiled",
+                                tcache_dir=args.tcache_dir, meta=meta)
+        print(format_profile(report, top=args.top))
+        print()
+        print(format_amortization(
+            amortization_report(fast_report, report, workload=workload),
+            top=args.top))
+    else:
+        _, report = profile_run(program, args.policy, vliw_config,
+                                engine_config, interpreter=args.interpreter,
+                                tcache_dir=args.tcache_dir, meta=meta)
+        print(format_profile(report, top=args.top))
+    if args.profile_out:
+        write_profile(report, args.profile_out)
+        print("wrote %s" % args.profile_out, file=sys.stderr)
     return 0
 
 
@@ -417,6 +619,25 @@ def build_parser() -> argparse.ArgumentParser:
                 help="persistent cross-process codegen cache for "
                      "--interpreter compiled: compiled blocks are "
                      "stored under DIR and reloaded by later runs")
+
+    def add_telemetry(p):
+        p.add_argument(
+            "--metrics-out", metavar="FILE", default=None,
+            help="write the merged cross-worker metrics registry as "
+                 "JSON ('-' for stdout); counter totals are identical "
+                 "at every --jobs level (memoized points spool "
+                 "nothing — use a cold cache to account every point)")
+        p.add_argument(
+            "--prom-out", metavar="FILE", default=None,
+            help="write the merged metrics in Prometheus text format "
+                 "('-' for stdout)")
+        p.add_argument(
+            "--trace-out", metavar="FILE", default=None,
+            help="write a merged Chrome-trace JSON timeline with one "
+                 "process track per worker")
+        p.add_argument(
+            "--trace-limit", type=int, default=200_000, metavar="N",
+            help="per-point max trace records before truncation")
 
     def add_engine(p):
         p.add_argument(
@@ -459,6 +680,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--prom-out", metavar="FILE", default=None,
                             help="write the metrics registry in Prometheus "
                                  "text format ('-' for stdout)")
+    run_parser.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="attach the host profiler and write its per-phase/per-"
+             "block wall-time report as JSON (simulated results stay "
+             "bit-identical)")
     run_parser.add_argument(
         "--supervise", action="store_true",
         help="attach the execution supervisor (install-time schedule "
@@ -503,8 +729,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2, metavar="N",
         help="pool retry attempts for crashed/timed-out cells before "
              "the serial fallback (default: %(default)s)")
+    attack_parser.add_argument(
+        "--leakage", action="store_true",
+        help="attach the leakage meters: per-policy rollbacks, squashed "
+             "speculative loads, wasted speculative cycles, and probe "
+             "counts, printed per result and as a summary table")
     add_engine(attack_parser)
     add_interpreter(attack_parser)
+    add_telemetry(attack_parser)
     attack_parser.set_defaults(func=cmd_attack)
 
     sweep_parser = sub.add_parser("sweep", help="Figure-4 style policy sweep")
@@ -541,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
              "resumes instead of starting over")
     add_engine(sweep_parser)
     add_interpreter(sweep_parser)
+    add_telemetry(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     bench_parser = sub.add_parser(
@@ -574,7 +807,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--policy", type=_policy, default=None,
                               help="single policy (default: all four)")
     add_wide(stats_parser)
+    add_engine(stats_parser)
+    add_interpreter(stats_parser, tcache=False)
     stats_parser.set_defaults(func=cmd_stats)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="host-time profile with per-tier attribution and the "
+             "compile-cost amortization table",
+    )
+    profile_parser.add_argument("file", nargs="?", default=None,
+                                help="guest assembly or container file")
+    profile_parser.add_argument("--attack", choices=("v1", "v4"),
+                                default=None,
+                                help="profile a Spectre PoC instead of a "
+                                     "file")
+    profile_parser.add_argument("--secret", default="GHOST",
+                                help="secret for --attack PoCs")
+    profile_parser.add_argument("--kernel", default=None, metavar="NAME",
+                                help="profile a polybench kernel instead "
+                                     "of a file")
+    profile_parser.add_argument(
+        "--amortize", action="store_true",
+        help="profile the workload on the fast AND compiled tiers and "
+             "print the compile-cost amortization table (ignores "
+             "--interpreter)")
+    profile_parser.add_argument("--profile-out", metavar="FILE",
+                                default=None,
+                                help="also write the profile report as "
+                                     "JSON")
+    profile_parser.add_argument("--top", type=int, default=10, metavar="N",
+                                help="rows in the hottest-blocks and "
+                                     "amortization tables "
+                                     "(default: %(default)s)")
+    add_policy(profile_parser)
+    add_wide(profile_parser)
+    add_engine(profile_parser)
+    add_interpreter(profile_parser)
+    profile_parser.set_defaults(func=cmd_profile)
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -601,6 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="run every engine scenario with block "
                                    "chaining enabled")
     add_interpreter(chaos_parser, tcache=False)
+    add_telemetry(chaos_parser)
     chaos_parser.set_defaults(func=cmd_chaos)
 
     return parser

@@ -369,6 +369,7 @@ class ChainedDispatcher:
         lru = engine.cache._lru
         blocks_executed = system.blocks_executed
         dispatches = 0
+        chain_start_cycle = core.cycle if observer is not None else 0
 
         while True:
             if supervisor is not None:
@@ -444,4 +445,12 @@ class ChainedDispatcher:
         system.blocks_executed = blocks_executed
         stats.dispatches += dispatches
         stats.breaks[reason] = stats.breaks.get(reason, 0) + 1
+        if observer is not None:
+            # The fused fast path never runs with an observer attached
+            # (see ``dispatch``), so this is the only place chained runs
+            # surface in traces: one chain-level span grouping the
+            # per-block spans the core emitted, with the block count and
+            # break reason as args.
+            observer.chain_dispatch(dispatches, reason, chain_start_cycle,
+                                    core.cycle)
         return result

@@ -7,7 +7,25 @@ which in turn imports this one.
 """
 
 from .events import Event, EventBus
+from .leakage import LeakageReport, leakage_table, measure_leakage
 from .observer import Observer, maybe_phase
+from .pipeline import (
+    MergedTelemetry,
+    TelemetryConfig,
+    TelemetrySpool,
+    capture_envelope,
+    merge_envelopes,
+    merge_spool,
+    spool_envelope,
+    worker_observer,
+)
+from .profiler import (
+    HostProfiler,
+    amortization_report,
+    format_amortization,
+    format_profile,
+    profile_run,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -17,6 +35,7 @@ from .registry import (
 )
 from .trace import (
     TICKS_PER_CYCLE,
+    TRACK_CHAIN,
     TRACK_CORE,
     TRACK_ENGINE,
     TRACK_EVENTS,
@@ -30,14 +49,31 @@ __all__ = [
     "EventBus",
     "Gauge",
     "Histogram",
+    "HostProfiler",
+    "LeakageReport",
+    "MergedTelemetry",
     "MetricError",
     "MetricsRegistry",
     "Observer",
     "TICKS_PER_CYCLE",
+    "TRACK_CHAIN",
     "TRACK_CORE",
     "TRACK_ENGINE",
     "TRACK_EVENTS",
     "TRACK_MEM",
+    "TelemetryConfig",
+    "TelemetrySpool",
     "Tracer",
+    "amortization_report",
+    "capture_envelope",
+    "format_amortization",
+    "format_profile",
+    "leakage_table",
     "maybe_phase",
+    "measure_leakage",
+    "merge_envelopes",
+    "merge_spool",
+    "profile_run",
+    "spool_envelope",
+    "worker_observer",
 ]

@@ -34,6 +34,20 @@ class Attribution:
     pinned_accesses: int
     speculative_loads: int
     exit_code: int = 0
+    #: Chained dispatches (0 unless the engine ran with chaining).
+    chain_dispatches: int = 0
+    #: Compiled-tier block executions (0 unless tier-3 was selected).
+    codegen_hits: int = 0
+    #: Speculative loads squashed by MCB rollbacks.
+    squashed_loads: int = 0
+    #: Speculatively issued loads that missed the cache (the covert
+    #: channel's transmitter).
+    speculative_miss_probes: int = 0
+    #: Guest ``cflush`` executions (attack probe setup).
+    cflushes: int = 0
+    #: Secret bytes recovered (attack workloads with a known secret).
+    bytes_recovered: int = -1
+    secret_length: int = 0
 
     @property
     def ipc(self) -> float:
@@ -45,11 +59,15 @@ def attribute_policies(
     policies: Sequence[MitigationPolicy] = ALL_POLICIES,
     vliw_config=None,
     engine_config=None,
+    interpreter=None,
+    secret: Optional[bytes] = None,
 ) -> List[Attribution]:
     """Run ``program`` once per policy and attribute the cycles.
 
     Each run gets a fresh platform and a fresh observer, so rows are
     comparable cold starts (same protocol as ``compare_policies``).
+    ``secret`` (attack workloads) scores recovered bytes against the
+    run's output, feeding the leakage columns.
     """
     from ..platform.system import DbtSystem  # late: avoids import cycles
 
@@ -61,25 +79,38 @@ def attribute_policies(
             policy=policy,
             vliw_config=vliw_config,
             engine_config=engine_config,
+            interpreter=interpreter,
             observer=observer,
         )
         result = system.run()
         core = result.core
         engine = result.engine
+        value = observer.registry.value
         rows.append(Attribution(
             policy=policy.label,
             cycles=result.cycles,
             instructions=result.instructions,
             stall_cycles=core.stall_cycles if core else 0,
             rollbacks=result.rollbacks,
-            rollback_cycles=int(observer.registry.value(
-                "mcb.rollback_cycles_total")),
+            rollback_cycles=int(value("mcb.rollback_cycles_total")),
             exit_cycles=(core.exits_taken if core else 0)
             * system.vliw_config.exit_penalty,
             spectre_patterns=engine.spectre_patterns_detected if engine else 0,
             pinned_accesses=engine.mitigation_edges_added if engine else 0,
             speculative_loads=engine.speculative_loads_emitted if engine else 0,
             exit_code=result.exit_code,
+            chain_dispatches=(result.chain.dispatches
+                              if result.chain is not None else 0),
+            codegen_hits=(result.codegen.hits
+                          if result.codegen is not None else 0),
+            squashed_loads=int(value("mcb.squashed_speculative_loads_total")),
+            speculative_miss_probes=int(
+                value("mem.speculative_load_misses_total")),
+            cflushes=int(value("mem.cflush_total")),
+            bytes_recovered=(sum(
+                1 for expected, actual in zip(secret, result.output)
+                if expected == actual) if secret is not None else -1),
+            secret_length=len(secret) if secret is not None else 0,
         ))
     return rows
 
@@ -98,20 +129,25 @@ def attribution_table(rows: Sequence[Attribution],
                         rows[0].policy)
     base_cycles = next(r.cycles for r in rows if r.policy == baseline)
 
-    header = ("%-20s %12s %9s %12s %6s %12s %10s %9s %8s %10s" % (
+    header = ("%-20s %12s %9s %12s %6s %12s %10s %9s %8s %10s %10s %8s" % (
         "policy", "cycles", "vs base", "stall cyc", "rbks",
-        "rollback cyc", "exit cyc", "patterns", "pinned", "spec loads"))
+        "rollback cyc", "exit cyc", "patterns", "pinned", "spec loads",
+        "chain disp", "cg hits"))
     lines = [header, "-" * len(header)]
     for row in rows:
         ratio = row.cycles / base_cycles if base_cycles else float("inf")
-        lines.append("%-20s %12d %8.1f%% %12d %6d %12d %10d %9d %8d %10d" % (
-            row.policy, row.cycles, 100.0 * ratio, row.stall_cycles,
-            row.rollbacks, row.rollback_cycles, row.exit_cycles,
-            row.spectre_patterns, row.pinned_accesses,
-            row.speculative_loads))
+        lines.append(
+            "%-20s %12d %8.1f%% %12d %6d %12d %10d %9d %8d %10d %10d %8d" % (
+                row.policy, row.cycles, 100.0 * ratio, row.stall_cycles,
+                row.rollbacks, row.rollback_cycles, row.exit_cycles,
+                row.spectre_patterns, row.pinned_accesses,
+                row.speculative_loads, row.chain_dispatches,
+                row.codegen_hits))
     lines.append("")
     lines.append("baseline: %s; stall cyc = scoreboard issue stalls "
                  "(pinned loads surface here); rollback cyc = aborted "
                  "speculative runs + MCB penalty; exit cyc = taken "
-                 "side-exit redirects." % baseline)
+                 "side-exit redirects; chain disp / cg hits = chained "
+                 "dispatches and compiled-tier executions (tier mix)."
+                 % baseline)
     return "\n".join(lines)

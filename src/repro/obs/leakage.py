@@ -1,0 +1,115 @@
+"""Leakage meters: per-attack telemetry from MCB/rollback/cflush events.
+
+The paper's Figure-4-shaped claims — fine-grained mitigation squashes
+the leak cheaply, fences pay for it in cycles — were previously spread
+across ad-hoc harness prints.  This module turns them into queryable
+metrics: one :class:`LeakageReport` per (attack, policy) run, computed
+from the observer counters the platform already emits:
+
+* ``bytes_recovered`` / ``accuracy`` / ``leaked`` — the architectural
+  outcome (how much of the planted secret the PoC read back);
+* ``rollbacks`` and ``squashed_speculative_loads`` — how many
+  speculative runs the MCB aborted and how many in-flight speculative
+  loads died with them (the mitigation *working*);
+* ``wasted_speculative_cycles`` — the aborted-run + rollback-penalty
+  cycles, i.e. what squashing cost;
+* ``speculative_miss_probes`` — speculatively issued loads that missed
+  the cache: the micro-architectural transmitter the attack actually
+  reads (misses survive rollback — that *is* Spectre);
+* ``cflushes`` — the attacker's explicit cache-line evictions (probe
+  setup traffic).
+
+Reports are plain picklable dataclasses so the parallel attack matrix
+can compute them inside pool workers and ship them home with the
+:class:`~repro.attacks.harness.AttackResult`.  Surfaced by
+``repro attack --leakage``, the ``repro stats --attack`` leakage table,
+and the chaos matrix's ``leak`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .registry import MetricsRegistry
+
+
+@dataclass
+class LeakageReport:
+    """Leakage meters of one attack run under one policy."""
+
+    variant: str
+    policy: str
+    secret_length: int
+    bytes_recovered: int
+    accuracy: float
+    leaked: bool
+    rollbacks: int
+    squashed_speculative_loads: int
+    wasted_speculative_cycles: int
+    speculative_miss_probes: int
+    cflushes: int
+    cycles: int
+
+    def describe(self) -> str:
+        return ("rollbacks=%d squashed_spec_loads=%d "
+                "wasted_spec_cycles=%d spec_miss_probes=%d cflush=%d"
+                % (self.rollbacks, self.squashed_speculative_loads,
+                   self.wasted_speculative_cycles,
+                   self.speculative_miss_probes, self.cflushes))
+
+
+def measure_leakage(registry: MetricsRegistry, attack_result) -> LeakageReport:
+    """Fold one attack run's observer counters into a report.
+
+    ``attack_result`` is an :class:`~repro.attacks.harness.AttackResult`
+    whose run executed with the observer owning ``registry`` attached.
+    """
+    value = registry.value
+    return LeakageReport(
+        variant=attack_result.variant.value,
+        policy=attack_result.policy.value,
+        secret_length=len(attack_result.secret),
+        bytes_recovered=attack_result.bytes_recovered,
+        accuracy=attack_result.accuracy,
+        leaked=attack_result.leaked,
+        rollbacks=int(value("mcb.rollbacks_total")),
+        squashed_speculative_loads=int(
+            value("mcb.squashed_speculative_loads_total")),
+        wasted_speculative_cycles=int(value("mcb.rollback_cycles_total")),
+        speculative_miss_probes=int(
+            value("mem.speculative_load_misses_total")),
+        cflushes=int(value("mem.cflush_total")),
+        cycles=attack_result.run.cycles,
+    )
+
+
+def recovered_prefix(output: bytes, secret: bytes) -> int:
+    """Bytes of ``secret`` recovered at the head of ``output`` —
+    the chaos matrix's leak meter for runs scored outside the attack
+    harness."""
+    return sum(1 for expected, actual in zip(secret, output)
+               if expected == actual)
+
+
+def leakage_table(reports: Sequence[LeakageReport]) -> str:
+    """Render reports as the ``repro stats --attack`` leakage table."""
+    if not reports:
+        return "(no leakage reports)"
+    header = ("%-20s %10s %9s %6s %9s %13s %11s %8s" % (
+        "policy", "recovered", "accuracy", "rbks", "squashed",
+        "wasted cyc", "spec-miss", "cflush"))
+    lines: List[str] = [header, "-" * len(header)]
+    for report in reports:
+        lines.append("%-20s %6d/%-3d %8.0f%% %6d %9d %13d %11d %8d" % (
+            report.policy, report.bytes_recovered, report.secret_length,
+            100.0 * report.accuracy, report.rollbacks,
+            report.squashed_speculative_loads,
+            report.wasted_speculative_cycles,
+            report.speculative_miss_probes, report.cflushes))
+    lines.append("")
+    lines.append("squashed = speculative loads killed by MCB rollbacks; "
+                 "wasted cyc = aborted speculative runs + penalty; "
+                 "spec-miss = speculatively issued loads that missed the "
+                 "cache (the covert-channel transmitter).")
+    return "\n".join(lines)

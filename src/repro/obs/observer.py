@@ -27,6 +27,7 @@ from typing import Any, Callable, ContextManager, Optional
 from .events import Event, EventBus
 from .registry import MetricsRegistry
 from .trace import (
+    TRACK_CHAIN,
     TRACK_CORE,
     TRACK_ENGINE,
     TRACK_EVENTS,
@@ -82,6 +83,9 @@ class Observer:
         self._c_rollback_cycles = reg.counter(
             "mcb.rollback_cycles_total",
             "cycles wasted on aborted speculative runs + rollback penalty")
+        self._c_squashed_loads = reg.counter(
+            "mcb.squashed_speculative_loads_total",
+            "speculative loads in flight when their run was rolled back")
         self._c_profile_blocks = reg.counter(
             "dbt.profile_block_records_total", "block executions profiled")
         self._c_profile_branches = reg.counter(
@@ -145,19 +149,40 @@ class Observer:
                 "rolled_back": result.rolled_back,
             }))
 
-    def rollback(self, entry: int, wasted_cycles: int, cycle: int) -> None:
+    def rollback(self, entry: int, wasted_cycles: int, cycle: int,
+                 squashed_loads: int = 0) -> None:
         """MCB conflict/overflow: the block at ``entry`` rolled back
-        after burning ``wasted_cycles`` (aborted run + penalty)."""
+        after burning ``wasted_cycles`` (aborted run + penalty), squashing
+        the ``squashed_loads`` speculative loads the MCB was tracking."""
         self._c_rollbacks.inc()
         self._c_rollback_cycles.inc(wasted_cycles)
+        self._c_squashed_loads.inc(squashed_loads)
         if self.tracer is not None:
             self.tracer.add_instant(
                 "mcb_rollback", TRACK_CORE, self.tracer.tick(cycle),
                 category="core",
-                args={"entry": "%#x" % entry, "wasted_cycles": wasted_cycles})
+                args={"entry": "%#x" % entry, "wasted_cycles": wasted_cycles,
+                      "squashed_loads": squashed_loads})
         if self.bus.active:
             self.bus.emit(Event("mcb_rollback", cycle, {
-                "entry": entry, "wasted_cycles": wasted_cycles}))
+                "entry": entry, "wasted_cycles": wasted_cycles,
+                "squashed_loads": squashed_loads}))
+
+    def chain_dispatch(self, blocks: int, reason: str, start_cycle: int,
+                       end_cycle: int) -> None:
+        """One chained dispatch completed: ``blocks`` linked blocks ran
+        back-to-back before the chain broke for ``reason``."""
+        self.registry.counter("dbt.chain.walks_total").inc()
+        self.registry.counter("dbt.chain.blocks_total").inc(blocks)
+        self.registry.counter("dbt.chain.breaks." + reason).inc()
+        if self.tracer is not None:
+            self.tracer.add_cycle_span(
+                "chain", TRACK_CHAIN, start_cycle, end_cycle,
+                category="chain",
+                args={"blocks": blocks, "break": reason})
+        if self.bus.active:
+            self.bus.emit(Event("chain_dispatch", end_cycle, {
+                "blocks": blocks, "break": reason}))
 
     # ------------------------------------------------------------------
     # Memory hooks.

@@ -1,0 +1,353 @@
+"""Cross-process telemetry pipeline: spool, envelopes, and the merger.
+
+The observability layer of PR 1 is per-process and in-memory: one
+:class:`~repro.obs.observer.Observer` per platform, exported by the
+process that owns it.  Everything that runs under ``--jobs N`` — the
+hardened parallel sweep, the attack matrix, the chaos runner — therefore
+ran blind: the workers' registries died with the worker processes.
+
+This module is the missing transport.  It has three small parts:
+
+* **Envelopes** (:func:`capture_envelope`) — one JSON document per
+  simulated point carrying the point's full metrics snapshot
+  (``registry.to_dict()``), its span/instant records when a tracer was
+  attached, and run metadata (pid, label, workload/policy/interpreter).
+* **The spool** (:class:`TelemetrySpool`) — an append-only JSONL
+  directory next to the memo cache.  Each writer process appends to its
+  *own* ``telemetry-<pid>.jsonl`` (no cross-process interleaving, no
+  locks), flushing per line so a killed worker loses at most the line
+  being written.  Reads are tolerant: torn or invalid lines are counted
+  and skipped, never fatal.
+* **The merger** (:func:`merge_envelopes` / :func:`merge_spool`) —
+  folds every envelope into one live
+  :class:`~repro.obs.registry.MetricsRegistry` (counters and gauges
+  sum; histograms merge per-bucket after a bounds check) and one
+  Chrome-trace document with **one process track per worker pid**,
+  each worker's runs laid out back-to-back on its own timeline.
+
+The merged registry is deliberately a real ``MetricsRegistry`` rather
+than a dict: it is the seam a future ``repro serve`` daemon will stream
+from — workers keep appending envelopes, the daemon keeps folding them
+in and re-exporting ``/metrics``.
+
+Equivalence contract: the same grid at ``--jobs 1`` and ``--jobs N``
+produces the same *set* of envelopes (one per simulated point, pids
+aside), so the merged counter/gauge/histogram totals are equal — only
+the ``pipeline.workers`` gauge differs.  Memo-cache hits skip the
+simulation entirely and therefore produce no envelope; telemetry-bearing
+sweeps that must account every point should run with a cold cache.
+
+``TelemetryConfig`` is the picklable instruction handed to workers; the
+worker-side helpers (:func:`worker_observer`, :func:`spool_envelope`)
+keep the instrumentation in ``run_sweep_point``/``run_attack`` to two
+calls with the disabled path being ``telemetry is None``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .observer import Observer
+from .registry import Histogram, MetricError, MetricsRegistry
+from .trace import TICKS_PER_CYCLE, Tracer
+
+#: Bump when the envelope layout changes; readers skip newer versions
+#: instead of misparsing them.
+ENVELOPE_VERSION = 1
+
+#: Track name of the per-point boundary spans the merger synthesizes.
+TRACK_POINTS = "points"
+
+_SPOOL_GLOB = "telemetry-*.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Worker-side: configuration, envelopes, the spool.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TelemetryConfig:
+    """Picklable instruction for one telemetered point.
+
+    Shipped to pool workers inside the task tuple; ``with_point``
+    stamps the per-point label/metadata onto a shared template.
+    """
+
+    spool_dir: str
+    trace: bool = False
+    trace_limit: int = 200_000
+    label: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def with_point(self, label: str, **meta: Any) -> "TelemetryConfig":
+        merged = dict(self.meta)
+        merged.update(meta)
+        return replace(self, label=label, meta=merged)
+
+
+def worker_observer(telemetry: Optional[TelemetryConfig]) -> Optional[Observer]:
+    """Observer for one telemetered point (``None`` when telemetry is
+    off, keeping the worker on the exact seed code path)."""
+    if telemetry is None:
+        return None
+    tracer = Tracer(limit=telemetry.trace_limit) if telemetry.trace else None
+    return Observer(tracer=tracer)
+
+
+def capture_envelope(observer: Observer, label: str = "",
+                     meta: Optional[Mapping[str, Any]] = None) -> dict:
+    """Snapshot one observer into a JSON-serializable envelope."""
+    envelope: Dict[str, Any] = {
+        "version": ENVELOPE_VERSION,
+        "pid": os.getpid(),
+        "label": label,
+        "meta": dict(meta or {}),
+        "metrics": observer.registry.to_dict(),
+    }
+    tracer = observer.tracer
+    if tracer is not None:
+        envelope["trace"] = {
+            "spans": [[s.name, s.track, s.start, s.end, s.category,
+                       dict(s.args)] for s in tracer.spans],
+            "instants": [[i.name, i.track, i.ts, i.category, dict(i.args)]
+                         for i in tracer.instants],
+            "dropped": tracer.dropped,
+            "last_tick": tracer.last_tick,
+        }
+    return envelope
+
+
+class TelemetrySpool:
+    """Append-only JSONL spool of telemetry envelopes.
+
+    One file per writer process; see the module docstring for the
+    durability and tolerance contract.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        #: Invalid/torn lines skipped by the last :meth:`read`.
+        self.skipped = 0
+
+    def append(self, envelope: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / ("telemetry-%d.jsonl" % os.getpid())
+        with open(path, "a") as handle:
+            handle.write(json.dumps(envelope, sort_keys=True) + "\n")
+            handle.flush()
+
+    def read(self) -> List[dict]:
+        """Every valid envelope, ordered by (spool file, append order).
+
+        Deterministic for a finished run: files sort by name, lines keep
+        append order.  Torn tails of killed workers and any line that
+        does not parse as a current-version envelope are counted in
+        :attr:`skipped` and dropped.
+        """
+        self.skipped = 0
+        envelopes: List[dict] = []
+        for path in sorted(self.directory.glob(_SPOOL_GLOB)):
+            try:
+                with open(path) as handle:
+                    lines = handle.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    envelope = json.loads(line)
+                except ValueError:
+                    self.skipped += 1
+                    continue
+                if not _valid_envelope(envelope):
+                    self.skipped += 1
+                    continue
+                envelopes.append(envelope)
+        return envelopes
+
+
+def _valid_envelope(envelope: Any) -> bool:
+    if not isinstance(envelope, dict):
+        return False
+    if envelope.get("version") != ENVELOPE_VERSION:
+        return False
+    if not isinstance(envelope.get("pid"), int):
+        return False
+    metrics = envelope.get("metrics")
+    return (isinstance(metrics, dict)
+            and isinstance(metrics.get("counters"), dict)
+            and isinstance(metrics.get("gauges"), dict)
+            and isinstance(metrics.get("histograms"), dict))
+
+
+def spool_envelope(telemetry: Optional[TelemetryConfig],
+                   observer: Optional[Observer],
+                   **extra_meta: Any) -> None:
+    """Worker-side exit hook: serialize ``observer`` into the spool.
+
+    A no-op when telemetry is off; exceptions are deliberately *not*
+    swallowed — a spool that cannot be written is a caller bug (bad
+    directory), not a condition to lose telemetry over silently.
+    """
+    if telemetry is None or observer is None:
+        return
+    meta = dict(telemetry.meta)
+    meta.update(extra_meta)
+    TelemetrySpool(telemetry.spool_dir).append(
+        capture_envelope(observer, telemetry.label, meta))
+
+
+# ---------------------------------------------------------------------------
+# Parent-side: the merger.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MergedTelemetry:
+    """The parent's view of one telemetered run: every envelope folded
+    into a single live registry plus the raw envelopes for the trace
+    merger."""
+
+    registry: MetricsRegistry
+    envelopes: List[dict]
+    #: Worker pids that contributed envelopes, ascending.
+    workers: List[int]
+    #: Invalid/torn spool lines skipped while reading.
+    skipped: int = 0
+
+    def summary(self) -> str:
+        return ("%d envelope(s) from %d worker(s)%s"
+                % (len(self.envelopes), len(self.workers),
+                   ", %d skipped line(s)" % self.skipped
+                   if self.skipped else ""))
+
+    # -- trace merging ---------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """One Chrome-trace document with one process per worker pid.
+
+        Workers are numbered in pid order; within a worker, envelopes
+        are laid out back-to-back in append order, each run's records
+        offset past the previous run's extent, under a synthesized
+        per-point boundary span on the ``points`` track.
+        """
+        events: List[dict] = []
+        dropped = 0
+        for worker_index, pid in enumerate(self.workers, start=1):
+            tids: Dict[str, int] = {}
+
+            def tid_for(track: str) -> int:
+                if track not in tids:
+                    tids[track] = len(tids) + 1
+                    events.append({
+                        "name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tids[track], "args": {"name": track},
+                    })
+                return tids[track]
+
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": "worker-%d (pid %d)" % (worker_index, pid)},
+            })
+            tid_for(TRACK_POINTS)
+            offset = 0
+            for envelope in self.envelopes:
+                if envelope["pid"] != pid:
+                    continue
+                trace = envelope.get("trace")
+                if not isinstance(trace, dict):
+                    continue
+                extent = max(int(trace.get("last_tick", 0)), TICKS_PER_CYCLE)
+                dropped += int(trace.get("dropped", 0))
+                events.append({
+                    "name": envelope.get("label") or "point",
+                    "cat": "pipeline", "ph": "X",
+                    "ts": offset, "dur": extent,
+                    "pid": pid, "tid": tids[TRACK_POINTS],
+                    "args": dict(envelope.get("meta") or {}),
+                })
+                for name, track, start, end, category, args in \
+                        trace.get("spans", []):
+                    events.append({
+                        "name": name, "cat": category or track, "ph": "X",
+                        "ts": start + offset, "dur": end - start,
+                        "pid": pid, "tid": tid_for(track), "args": args,
+                    })
+                for name, track, ts, category, args in \
+                        trace.get("instants", []):
+                    events.append({
+                        "name": name, "cat": category or track, "ph": "i",
+                        "s": "t", "ts": ts + offset,
+                        "pid": pid, "tid": tid_for(track), "args": args,
+                    })
+                offset += extent
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.pipeline",
+                "ticks_per_cycle": TICKS_PER_CYCLE,
+                "workers": len(self.workers),
+                "envelopes": len(self.envelopes),
+                "dropped_records": dropped,
+            },
+        }
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+
+
+def merge_envelopes(envelopes: List[dict],
+                    skipped: int = 0) -> MergedTelemetry:
+    """Fold envelopes into one registry (see module docstring).
+
+    Counters and gauges sum — a merged gauge therefore reads as the
+    fleet total of a per-run total (e.g. ``run.cycles`` becomes the
+    grid's total simulated cycles).  Histograms merge per bucket;
+    envelopes that disagree on a histogram's bucket bounds raise
+    :class:`~repro.obs.registry.MetricError` rather than merging
+    incomparable distributions.  Pipeline self-accounting lands in
+    ``pipeline.*`` gauges so the run-counter sections stay comparable
+    across ``--jobs`` levels.
+    """
+    registry = MetricsRegistry()
+    workers = sorted({envelope["pid"] for envelope in envelopes})
+    for envelope in envelopes:
+        metrics = envelope["metrics"]
+        for name in sorted(metrics["counters"]):
+            registry.counter(name).inc(metrics["counters"][name])
+        for name in sorted(metrics["gauges"]):
+            registry.gauge(name).inc(metrics["gauges"][name])
+        for name in sorted(metrics["histograms"]):
+            data = metrics["histograms"][name]
+            bounds = tuple(data["buckets"])
+            existing = registry.get(name)
+            if isinstance(existing, Histogram) \
+                    and tuple(existing.buckets) != bounds:
+                raise MetricError(
+                    "histogram %s bucket bounds differ across envelopes "
+                    "(%r vs %r)" % (name, existing.buckets, bounds))
+            histogram = registry.histogram(name, buckets=bounds)
+            for index, count in enumerate(data["counts"]):
+                histogram.counts[index] += count
+            histogram.sum += data["sum"]
+            histogram.count += data["count"]
+    registry.gauge("pipeline.envelopes",
+                   "telemetry envelopes merged").set(len(envelopes))
+    registry.gauge("pipeline.workers",
+                   "worker processes that spooled telemetry").set(len(workers))
+    registry.gauge("pipeline.skipped_lines",
+                   "torn/invalid spool lines skipped").set(skipped)
+    return MergedTelemetry(registry=registry, envelopes=envelopes,
+                           workers=workers, skipped=skipped)
+
+
+def merge_spool(directory: Union[str, Path]) -> MergedTelemetry:
+    """Read a spool directory and merge everything in it."""
+    spool = TelemetrySpool(directory)
+    return merge_envelopes(spool.read(), skipped=spool.skipped)

@@ -1,0 +1,429 @@
+"""Host-time profiler with per-tier attribution — the ``repro profile``
+backend and the input tier-4 promote/demote decisions need.
+
+Everything else in ``repro.obs`` measures *simulated* time (cycles); a
+DBT's engineering questions are about *host* time: where do the
+wall-clock seconds of a run actually go, and for which blocks does the
+tier-3 compile cost amortize?  :class:`HostProfiler` answers both:
+
+* **Phase attribution** — wall time is billed exclusively (innermost
+  wins) to a fixed phase vocabulary: ``translation`` (first-pass
+  translate), ``scheduling`` (optimize + conflict retranslation),
+  ``codegen`` (install-time lowering + tier-3 compilation),
+  ``reference-interp`` / ``fast-interp`` / ``compiled-exec`` (block
+  execution, split by the tier the block actually ran on),
+  ``chain-dispatch`` (the chained dispatcher, including whole fused
+  chains), ``supervisor`` (guarded execution), ``tcache-io``
+  (persistent codegen-cache load/store), and ``other`` (the engine
+  loop's glue).
+* **Per-block hotness** — executions and wall seconds per
+  ``(guest entry, block kind, tier)``, plus the per-block codegen cost,
+  feeding the **compile-cost amortization table**
+  (:func:`amortization_report`): compile ms vs. saved ms per block,
+  with a per-workload verdict ("fast" or "compiled").
+
+No-Heisenberg contract: the profiler attaches by *wrapping bound
+methods as instance attributes* on one constructed system — the
+disabled path (no profiler) has **zero** new branches anywhere; the
+seed code is untouched.  The profiler never reads or writes
+``core.cycle``, so even the enabled path is bit-identical in everything
+architectural and in simulated time (gated by
+``tests/obs/test_profiler.py``); only host wall time changes, and that
+overhead is measured in docs/PERFORMANCE.md.
+
+Caveat: with block chaining enabled and no observer attached, the fused
+fast path executes whole chains inside one core call, so their time is
+billed to ``chain-dispatch`` without per-block rows.  Profile with
+chaining off (the default of ``repro profile``) when per-block hotness
+matters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+PHASE_TRANSLATION = "translation"
+PHASE_SCHEDULING = "scheduling"
+PHASE_CODEGEN = "codegen"
+PHASE_REFERENCE = "reference-interp"
+PHASE_FAST = "fast-interp"
+PHASE_COMPILED = "compiled-exec"
+PHASE_CHAIN = "chain-dispatch"
+PHASE_SUPERVISOR = "supervisor"
+PHASE_TCACHE = "tcache-io"
+PHASE_OTHER = "other"
+
+ALL_PHASES = (
+    PHASE_TRANSLATION, PHASE_SCHEDULING, PHASE_CODEGEN, PHASE_REFERENCE,
+    PHASE_FAST, PHASE_COMPILED, PHASE_CHAIN, PHASE_SUPERVISOR,
+    PHASE_TCACHE, PHASE_OTHER,
+)
+
+PROFILE_SCHEMA = "repro.profile/1"
+
+
+class _PhaseStat:
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+
+
+class _BlockProfile:
+    __slots__ = ("entry", "kind", "tier", "executions", "seconds")
+
+    def __init__(self, entry: int, kind: str, tier: str) -> None:
+        self.entry = entry
+        self.kind = kind
+        self.tier = tier
+        self.executions = 0
+        self.seconds = 0.0
+
+
+class HostProfiler:
+    """Wall-time profiler for one :class:`~repro.platform.system.DbtSystem`.
+
+    Usage::
+
+        profiler = HostProfiler()
+        system = DbtSystem(program, ..., profiler=profiler)
+        result = system.run()
+        report = profiler.report()
+
+    Attach wraps host-side entry points (``system.run``,
+    ``engine._translate_first_pass``, ``engine.optimize``,
+    ``engine.retranslate_without_memory_speculation``,
+    ``engine.cache.finalizer``, ``core.execute_block``,
+    ``chain.dispatch``, ``supervisor.execute``, ``tcache.load/store``)
+    with closures installed as *instance attributes*; :meth:`detach`
+    restores every one.  Exclusive billing rides an explicit phase
+    stack: time between profiler events is billed to the innermost open
+    phase, the root being ``other``.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.phases: Dict[str, _PhaseStat] = {
+            name: _PhaseStat() for name in ALL_PHASES}
+        #: (entry, kind, tier) -> _BlockProfile
+        self.blocks: Dict[Tuple[int, str, str], _BlockProfile] = {}
+        #: (entry, kind) -> install-time codegen seconds (lowering +
+        #: tier-3 compilation, recovery variant included).
+        self.codegen_seconds: Dict[Tuple[int, str], float] = {}
+        self.runs = 0
+        self._stack: List[str] = [PHASE_OTHER]
+        self._mark: Optional[float] = None
+        self._attached: List[Tuple[object, str, object, bool]] = []
+        self.system = None
+
+    # ------------------------------------------------------------------
+    # Exclusive-time accounting.
+    # ------------------------------------------------------------------
+
+    def _bill(self, now: float) -> None:
+        if self._mark is not None:
+            self.phases[self._stack[-1]].seconds += now - self._mark
+        self._mark = now
+
+    def _enter(self, phase: str) -> None:
+        self._bill(self.clock())
+        stat = self.phases[phase]
+        stat.calls += 1
+        self._stack.append(phase)
+
+    def _exit(self) -> None:
+        self._bill(self.clock())
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Attach / detach.
+    # ------------------------------------------------------------------
+
+    def _wrap(self, obj: object, name: str, wrapped: object) -> None:
+        was_instance = name in getattr(obj, "__dict__", {})
+        self._attached.append((obj, name, getattr(obj, name), was_instance))
+        setattr(obj, name, wrapped)
+
+    def attach(self, system) -> None:
+        """Instrument ``system``; call before ``system.run()``."""
+        if self.system is not None:
+            raise RuntimeError("profiler is already attached")
+        self.system = system
+        engine = system.engine
+        core = system.core
+
+        original_run = system.run
+
+        def run():
+            self._mark = self.clock()
+            self._stack = [PHASE_OTHER]
+            self.runs += 1
+            try:
+                return original_run()
+            finally:
+                self._bill(self.clock())
+                self._mark = None
+
+        self._wrap(system, "run", run)
+
+        self._wrap_phase(engine, "_translate_first_pass", PHASE_TRANSLATION)
+        self._wrap_phase(engine, "optimize", PHASE_SCHEDULING)
+        self._wrap_phase(engine, "retranslate_without_memory_speculation",
+                         PHASE_SCHEDULING)
+
+        finalizer = engine.cache.finalizer
+        if finalizer is not None:
+            def profiled_finalizer(block):
+                self._enter(PHASE_CODEGEN)
+                start = self._mark
+                try:
+                    return finalizer(block)
+                finally:
+                    self._exit()
+                    key = (block.guest_entry, block.kind)
+                    self.codegen_seconds[key] = (
+                        self.codegen_seconds.get(key, 0.0)
+                        + (self._mark - start))
+
+            self._wrap(engine.cache, "finalizer", profiled_finalizer)
+
+        original_execute = core.execute_block
+        # The tier split needs the finalized form's compiled slot; the
+        # import is deferred so repro.obs keeps importing before
+        # repro.vliw in cold interpreters.
+        from ..vliw.fastpath import finalize_block
+
+        def execute_block(block):
+            if not core.use_fast_path:
+                phase = PHASE_REFERENCE
+            elif core.use_compiled and \
+                    finalize_block(block, core.config).compiled is not None:
+                phase = PHASE_COMPILED
+            else:
+                phase = PHASE_FAST
+            self._enter(phase)
+            start = self._mark
+            try:
+                return original_execute(block)
+            finally:
+                self._exit()
+                key = (block.guest_entry, block.kind, phase)
+                profile = self.blocks.get(key)
+                if profile is None:
+                    profile = self.blocks[key] = _BlockProfile(
+                        block.guest_entry, block.kind, phase)
+                profile.executions += 1
+                profile.seconds += self._mark - start
+
+        self._wrap(core, "execute_block", execute_block)
+
+        if system.chain is not None:
+            self._wrap_phase(system.chain, "dispatch", PHASE_CHAIN)
+        if system.supervisor is not None:
+            self._wrap_phase(system.supervisor, "execute", PHASE_SUPERVISOR)
+        if system.tcache is not None:
+            self._wrap_phase(system.tcache, "load", PHASE_TCACHE)
+            self._wrap_phase(system.tcache, "store", PHASE_TCACHE)
+
+    def _wrap_phase(self, obj: object, name: str, phase: str) -> None:
+        original = getattr(obj, name)
+
+        def wrapped(*args, **kwargs):
+            self._enter(phase)
+            try:
+                return original(*args, **kwargs)
+            finally:
+                self._exit()
+
+        self._wrap(obj, name, wrapped)
+
+    def detach(self) -> None:
+        """Restore every wrapped entry point (idempotent)."""
+        for obj, name, original, was_instance in reversed(self._attached):
+            if was_instance:
+                setattr(obj, name, original)
+            else:
+                try:
+                    delattr(obj, name)
+                except AttributeError:
+                    pass
+        self._attached = []
+        self.system = None
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.phases.values())
+
+    def report(self, meta: Optional[Dict[str, Any]] = None) -> dict:
+        """The profile as a JSON-serializable report document."""
+        blocks = sorted(self.blocks.values(),
+                        key=lambda b: (-b.seconds, b.entry, b.tier))
+        return {
+            "schema": PROFILE_SCHEMA,
+            "meta": dict(meta or {}),
+            "runs": self.runs,
+            "total_seconds": self.total_seconds,
+            "phases": {
+                name: {"calls": stat.calls, "seconds": stat.seconds}
+                for name, stat in self.phases.items()
+                if stat.calls or stat.seconds
+            },
+            "blocks": [
+                {
+                    "entry": "%#x" % profile.entry,
+                    "kind": profile.kind,
+                    "tier": profile.tier,
+                    "executions": profile.executions,
+                    "seconds": profile.seconds,
+                    "codegen_seconds": self.codegen_seconds.get(
+                        (profile.entry, profile.kind), 0.0),
+                }
+                for profile in blocks
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# One-shot profiled runs.
+# ---------------------------------------------------------------------------
+
+def profile_run(program, policy, vliw_config=None, engine_config=None,
+                interpreter=None, tcache_dir=None,
+                meta: Optional[Dict[str, Any]] = None):
+    """Run ``program`` once with a fresh profiler attached.
+
+    Returns ``(SystemRunResult, report dict)``.
+    """
+    from ..platform.system import DbtSystem  # late: avoids import cycles
+
+    profiler = HostProfiler()
+    system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
+                       engine_config=engine_config, interpreter=interpreter,
+                       tcache_dir=tcache_dir, profiler=profiler)
+    result = system.run()
+    profiler.detach()
+    run_meta = {"policy": policy.value, "interpreter": system.interpreter}
+    run_meta.update(meta or {})
+    return result, profiler.report(run_meta)
+
+
+# ---------------------------------------------------------------------------
+# Compile-cost amortization.
+# ---------------------------------------------------------------------------
+
+def amortization_report(fast_report: dict, compiled_report: dict,
+                        workload: str = "") -> dict:
+    """Compare a fast-tier and a compiled-tier profile of the *same*
+    workload: for every block that ran compiled, did the per-execution
+    saving over the fast interpreter pay back the compile cost?
+
+    The two runs execute bit-identical block sequences (the
+    differential gate), so rows join on ``(entry, kind)``.  The verdict
+    is the tier-4 promote/demote signal: ``"compiled"`` when the summed
+    saving exceeds the summed codegen cost, else ``"fast"``.
+    """
+    fast_blocks = {
+        (row["entry"], row["kind"]): row
+        for row in fast_report.get("blocks", [])
+        if row["tier"] == PHASE_FAST
+    }
+    rows: List[dict] = []
+    total_saved = 0.0
+    total_compile = 0.0
+    for row in compiled_report.get("blocks", []):
+        if row["tier"] != PHASE_COMPILED:
+            continue
+        fast = fast_blocks.get((row["entry"], row["kind"]))
+        if fast is None or not fast["executions"] or not row["executions"]:
+            continue
+        fast_per_exec = fast["seconds"] / fast["executions"]
+        compiled_per_exec = row["seconds"] / row["executions"]
+        saved = (fast_per_exec - compiled_per_exec) * row["executions"]
+        compile_cost = row["codegen_seconds"]
+        total_saved += saved
+        total_compile += compile_cost
+        rows.append({
+            "entry": row["entry"],
+            "kind": row["kind"],
+            "executions": row["executions"],
+            "compile_ms": compile_cost * 1e3,
+            "saved_ms": saved * 1e3,
+            "amortized": saved > compile_cost,
+        })
+    rows.sort(key=lambda r: -r["saved_ms"])
+    return {
+        "schema": "repro.amortization/1",
+        "workload": workload,
+        "blocks": rows,
+        "total_compile_ms": total_compile * 1e3,
+        "total_saved_ms": total_saved * 1e3,
+        "preferred_tier": ("compiled" if total_saved > total_compile
+                           else "fast"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering.
+# ---------------------------------------------------------------------------
+
+def format_profile(report: dict, top: int = 10) -> str:
+    """Render a profile report: phase table + hottest blocks."""
+    total = report["total_seconds"] or 1e-12
+    lines = ["phase             calls      seconds   share",
+             "-" * 45]
+    phases = sorted(report["phases"].items(),
+                    key=lambda item: -item[1]["seconds"])
+    for name, stat in phases:
+        lines.append("%-16s %6d %12.6f %6.1f%%"
+                     % (name, stat["calls"], stat["seconds"],
+                        100.0 * stat["seconds"] / total))
+    lines.append("%-16s %6s %12.6f  100.0%%"
+                 % ("total", "", report["total_seconds"]))
+    blocks = report.get("blocks", [])[:top]
+    if blocks:
+        lines.append("")
+        lines.append("hottest blocks (by host seconds):")
+        lines.append("entry        kind        tier            execs"
+                     "      seconds   codegen ms")
+        lines.append("-" * 75)
+        for row in blocks:
+            lines.append("%-12s %-11s %-15s %6d %12.6f %12.3f"
+                         % (row["entry"], row["kind"], row["tier"],
+                            row["executions"], row["seconds"],
+                            row["codegen_seconds"] * 1e3))
+    return "\n".join(lines)
+
+
+def format_amortization(report: dict, top: int = 10) -> str:
+    """Render the amortization table and its verdict."""
+    lines = ["compile-cost amortization%s:"
+             % (" for %s" % report["workload"] if report["workload"] else ""),
+             "entry        kind         execs   compile ms    saved ms"
+             "   amortized",
+             "-" * 70]
+    for row in report["blocks"][:top]:
+        lines.append("%-12s %-11s %6d %12.3f %11.3f   %s"
+                     % (row["entry"], row["kind"], row["executions"],
+                        row["compile_ms"], row["saved_ms"],
+                        "yes" if row["amortized"] else "no"))
+    if not report["blocks"]:
+        lines.append("(no blocks ran on the compiled tier)")
+    lines.append("")
+    lines.append("total: compile %.3f ms vs saved %.3f ms -> prefer the "
+                 "%s tier"
+                 % (report["total_compile_ms"], report["total_saved_ms"],
+                    report["preferred_tier"]))
+    return "\n".join(lines)
+
+
+def write_profile(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

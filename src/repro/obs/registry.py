@@ -121,6 +121,19 @@ class Histogram:
 Metric = Union[Counter, Gauge, Histogram]
 
 
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the Prometheus text format:
+    backslashes and line feeds only (quotes are legal in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote and line feed."""
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 class MetricsRegistry:
     """Name-keyed store of metrics with get-or-create accessors."""
 
@@ -209,7 +222,7 @@ class MetricsRegistry:
         for metric in self:
             name = prefix + metric.name.replace(".", "_")
             if metric.help:
-                lines.append("# HELP %s %s" % (name, metric.help))
+                lines.append("# HELP %s %s" % (name, escape_help(metric.help)))
             lines.append("# TYPE %s %s" % (name, metric.kind))
             if isinstance(metric, Histogram):
                 cumulative = metric.cumulative()

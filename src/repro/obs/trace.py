@@ -32,6 +32,7 @@ TRACK_ENGINE = "dbt-engine"
 TRACK_CORE = "vliw-core"
 TRACK_MEM = "mem"
 TRACK_EVENTS = "events"
+TRACK_CHAIN = "chain"
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,11 @@ class Tracer:
     @property
     def full(self) -> bool:
         return len(self) >= self.limit
+
+    @property
+    def last_tick(self) -> int:
+        """Latest tick issued — the trace's extent on the timeline."""
+        return self._last_tick
 
     # ------------------------------------------------------------------
     # Clock.
@@ -140,7 +146,8 @@ class Tracer:
             return tids[track]
 
         # Stable thread numbering regardless of record interleaving.
-        for track in (TRACK_ENGINE, TRACK_CORE, TRACK_MEM, TRACK_EVENTS):
+        for track in (TRACK_ENGINE, TRACK_CORE, TRACK_CHAIN, TRACK_MEM,
+                      TRACK_EVENTS):
             tid_for(track)
         for record in self.spans:
             tid_for(record.track)

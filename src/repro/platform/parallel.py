@@ -65,6 +65,7 @@ from typing import (
 from ..dbt.engine import DbtEngineConfig
 from ..isa.container import to_bytes as program_to_bytes
 from ..isa.program import Program
+from ..obs.pipeline import TelemetryConfig, spool_envelope, worker_observer
 from ..resilience.faults import WorkerFault, apply_worker_fault
 from ..security.policy import ALL_POLICIES, MitigationPolicy
 from ..vliw.config import VliwConfig
@@ -318,13 +319,22 @@ def run_sweep_point(program: Program, policy: MitigationPolicy,
                     engine_config: Optional[DbtEngineConfig] = None,
                     interpreter: Optional[str] = None,
                     tcache_dir=None,
+                    telemetry: Optional[TelemetryConfig] = None,
                     fault: Optional[WorkerFault] = None) -> dict:
-    """Simulate one (program, policy) point and return its slim record."""
+    """Simulate one (program, policy) point and return its slim record.
+
+    ``telemetry`` (optional) attaches a fresh observer and appends one
+    envelope to the spool after the run — bit-identical results either
+    way (the no-Heisenberg gate), so records and memo-cache keys are
+    unaffected.
+    """
     apply_worker_fault(fault)
+    observer = worker_observer(telemetry)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
                        engine_config=engine_config, interpreter=interpreter,
-                       tcache_dir=tcache_dir)
+                       tcache_dir=tcache_dir, observer=observer)
     result = system.run()
+    spool_envelope(telemetry, observer)
     record = {field_: getattr(result, field_) for field_ in _RECORD_FIELDS}
     record["output"] = result.output.hex()
     return record
@@ -525,6 +535,7 @@ def sweep_comparisons(
     telemetry: Optional[RunnerTelemetry] = None,
     worker_faults: Optional[Dict[int, WorkerFault]] = None,
     tcache_dir=None,
+    point_telemetry: Optional[TelemetryConfig] = None,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
@@ -540,6 +551,11 @@ def sweep_comparisons(
     point — cache/checkpoint hits don't count — to the
     :class:`~repro.resilience.faults.WorkerFault` its worker applies to
     itself on the first pool attempt.
+
+    ``point_telemetry`` (a :class:`~repro.obs.pipeline.TelemetryConfig`
+    template) makes every *simulated* point spool a telemetry envelope;
+    cache/checkpoint hits skip the simulation and therefore spool
+    nothing — run with a cold cache when every point must be accounted.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -581,11 +597,20 @@ def sweep_comparisons(
                 if checkpoint is not None:
                     checkpoint_append(checkpoint, keys[index], record)
 
+        def _point_telemetry(index: int) -> Optional[TelemetryConfig]:
+            if point_telemetry is None:
+                return None
+            name, _program, policy = points[index]
+            return point_telemetry.with_point(
+                "%s/%s" % (name, policy.value), workload=name,
+                policy=policy.value, interpreter=interp_label)
+
         try:
             computed = run_points(
                 run_sweep_point,
                 [(points[i][1], points[i][2], vliw_config, engine_config,
-                  interpreter, tcache_dir) for i in misses],
+                  interpreter, tcache_dir, _point_telemetry(i))
+                 for i in misses],
                 labels=["%s/%s" % (points[i][0], points[i][2].value)
                         for i in misses],
                 jobs=jobs,

@@ -70,6 +70,7 @@ class DbtSystem:
         interpreter: Optional[str] = None,
         supervisor=None,
         tcache_dir=None,
+        profiler=None,
     ):
         self.program = program
         self.policy = policy
@@ -161,6 +162,12 @@ class DbtSystem:
         self.exit_code = 0
         self.output = bytearray()
         self.blocks_executed = 0
+        #: Optional :class:`~repro.obs.profiler.HostProfiler`.  Attaches
+        #: by wrapping host entry points as instance attributes, so the
+        #: None (default) path adds zero branches to any hot loop.
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.attach(self)
 
     # ------------------------------------------------------------------
     # Execution.

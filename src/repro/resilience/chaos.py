@@ -33,8 +33,11 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from ..attacks.harness import AttackVariant, build_attack_program
+from ..attacks.spectre_v1 import DEFAULT_SECRET
 from ..dbt.engine import DbtEngineConfig
 from ..kernels import SMALL_SIZES, build_kernel_program
+from ..obs.leakage import recovered_prefix
+from ..obs.pipeline import TelemetryConfig, spool_envelope, worker_observer
 from ..platform.comparison import comparison_json
 from ..platform.parallel import (
     ParallelRunError,
@@ -65,6 +68,9 @@ class ChaosOutcome:
     recovered: bool
     identical: bool
     detail: str = ""
+    #: Leak meter — ``"n/m"`` secret bytes recovered for attack
+    #: scenarios, ``"-"`` for compute scenarios (nothing to leak).
+    leak: str = "-"
 
     @property
     def ok(self) -> bool:
@@ -77,15 +83,16 @@ def format_chaos_table(outcomes: List[ChaosOutcome]) -> str:
         return "yes" if flag else "NO"
 
     width = max([len(o.scenario) for o in outcomes] + [len("scenario")])
-    header = ("%-22s %-*s %-6s %-9s %-10s %-10s %s"
+    header = ("%-22s %-*s %-6s %-9s %-10s %-10s %-6s %s"
               % ("site", width, "scenario", "fired", "detected",
-                 "recovered", "identical", "ok"))
+                 "recovered", "identical", "leak", "ok"))
     lines = [header, "-" * len(header)]
     for outcome in outcomes:
-        lines.append("%-22s %-*s %-6s %-9s %-10s %-10s %s"
+        lines.append("%-22s %-*s %-6s %-9s %-10s %-10s %-6s %s"
                      % (outcome.site.value, width, outcome.scenario,
                         _mark(outcome.fired), _mark(outcome.detected),
                         _mark(outcome.recovered), _mark(outcome.identical),
+                        outcome.leak,
                         "ok" if outcome.ok else "FAIL"))
         if not outcome.ok and outcome.detail:
             lines.append("    detail: %s" % outcome.detail)
@@ -120,23 +127,39 @@ def _chaos_guests(kernel: str):
     ]
 
 
+def _leak_meter(scenario: str, output: bytes) -> str:
+    """``"n/m"`` secret bytes at the head of ``output`` for attack
+    scenarios; compute scenarios have nothing to leak."""
+    if not scenario.startswith("attack:"):
+        return "-"
+    return "%d/%d" % (recovered_prefix(output, DEFAULT_SECRET),
+                      len(DEFAULT_SECRET))
+
+
 def _engine_cell(site: FaultSite, seed: int, scenario: str, program,
                  policy: MitigationPolicy, reference,
                  chain: bool = False,
-                 interpreter: Optional[str] = None) -> ChaosOutcome:
+                 interpreter: Optional[str] = None,
+                 telemetry: Optional[TelemetryConfig] = None) -> ChaosOutcome:
     injector = FaultInjector(seed=seed, sites=[site])
     supervisor = ExecutionSupervisor(injector=injector)
+    # Observer attach is chaos-safe: supervised cells always take the
+    # general dispatch path, so the fault-opportunity stream is
+    # unchanged whether or not telemetry is collected.
+    observer = worker_observer(telemetry)
     try:
         result = DbtSystem(program, policy=policy,
                            engine_config=_chaos_engine_config(chain),
                            interpreter=interpreter,
-                           supervisor=supervisor).run()
+                           supervisor=supervisor, observer=observer).run()
     except Exception as error:  # noqa: BLE001 — scored, not propagated
+        spool_envelope(telemetry, observer, failed=True)
         return ChaosOutcome(
             site, scenario, fired=bool(injector.fired),
             detected=supervisor.stats.detections > 0,
             recovered=False, identical=False,
             detail="%s: %s" % (type(error).__name__, error))
+    spool_envelope(telemetry, observer)
     fired = len(injector.fired)
     return ChaosOutcome(
         site, scenario,
@@ -147,6 +170,7 @@ def _engine_cell(site: FaultSite, seed: int, scenario: str, program,
                   == (reference.exit_code, reference.output),
         detail="; ".join(record.detail for record in injector.fired)
                or "fault never fired",
+        leak=_leak_meter(scenario, result.output),
     )
 
 
@@ -164,12 +188,15 @@ def _sweep_rows(workloads, **kwargs) -> str:
 
 
 def _sweepcache_cell(seed: int, scenario: str, workloads, baseline: str,
-                     work_dir: Path) -> ChaosOutcome:
+                     work_dir: Path,
+                     point_telemetry: Optional[TelemetryConfig] = None,
+                     ) -> ChaosOutcome:
     cache_dir = work_dir / "sweep-cache"
     _sweep_rows(workloads, cache_dir=cache_dir)  # populate
     detail = corrupt_sweep_cache(cache_dir, random.Random(seed))
     telemetry = RunnerTelemetry()
-    rows = _sweep_rows(workloads, cache_dir=cache_dir, telemetry=telemetry)
+    rows = _sweep_rows(workloads, cache_dir=cache_dir, telemetry=telemetry,
+                       point_telemetry=point_telemetry)
     return ChaosOutcome(
         FaultSite.SWEEPCACHE_CORRUPT, scenario,
         fired=detail is not None,
@@ -182,7 +209,9 @@ def _sweepcache_cell(seed: int, scenario: str, workloads, baseline: str,
 
 def _tcache_disk_cell(seed: int, scenario: str, program,
                       policy: MitigationPolicy, work_dir: Path,
-                      chain: bool) -> ChaosOutcome:
+                      chain: bool,
+                      telemetry: Optional[TelemetryConfig] = None,
+                      ) -> ChaosOutcome:
     """Corrupt a persisted tier-3 codegen envelope between two compiled
     runs sharing a ``--tcache-dir``.  The second run must quarantine the
     corrupt envelope (never execute it), recompile, and still produce
@@ -192,8 +221,11 @@ def _tcache_disk_cell(seed: int, scenario: str, program,
     cold = DbtSystem(program, policy=policy, engine_config=config,
                      interpreter="compiled", tcache_dir=tcache_dir).run()
     detail = corrupt_codegen_cache(tcache_dir, random.Random(seed))
+    observer = worker_observer(telemetry)
     warm = DbtSystem(program, policy=policy, engine_config=config,
-                     interpreter="compiled", tcache_dir=tcache_dir).run()
+                     interpreter="compiled", tcache_dir=tcache_dir,
+                     observer=observer).run()
+    spool_envelope(telemetry, observer)
     return ChaosOutcome(
         FaultSite.TCACHE_DISK_CORRUPT, scenario,
         fired=detail is not None,
@@ -202,17 +234,21 @@ def _tcache_disk_cell(seed: int, scenario: str, program,
         identical=(warm.exit_code, warm.output)
                   == (cold.exit_code, cold.output),
         detail=detail or "no codegen envelopes to corrupt",
+        leak=_leak_meter(scenario, warm.output),
     )
 
 
 def _worker_cell(site: FaultSite, scenario: str, workloads, baseline: str,
                  fault: WorkerFault, jobs: int,
-                 timeout: Optional[float]) -> ChaosOutcome:
+                 timeout: Optional[float],
+                 point_telemetry: Optional[TelemetryConfig] = None,
+                 ) -> ChaosOutcome:
     telemetry = RunnerTelemetry()
     try:
         rows = _sweep_rows(workloads, jobs=jobs, timeout=timeout,
                            retries=2, backoff=0.1, telemetry=telemetry,
-                           worker_faults={0: fault})
+                           worker_faults={0: fault},
+                           point_telemetry=point_telemetry)
         recovered = True
         identical = rows == baseline
         detail = telemetry.summary()
@@ -239,6 +275,7 @@ def run_chaos_matrix(
     work_dir: Optional[Union[str, Path]] = None,
     chain: bool = False,
     interpreter: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[ChaosOutcome]:
     """Run every fault site's scenario; returns one outcome per cell.
 
@@ -251,6 +288,9 @@ def run_chaos_matrix(
     selects the host tier the engine scenarios run on; the two tier-3
     sites (``codegen-corrupt``, ``tcache-disk-corrupt``) always run
     compiled regardless, since they have nothing to corrupt elsewhere.
+    ``telemetry`` threads the cross-process telemetry pipeline through
+    every cell: engine cells spool one envelope each, and the runner
+    scenarios pass per-point configs down the hardened runner.
     """
     jobs = max(2, jobs)  # runner faults only apply under a real pool
     outcomes: List[ChaosOutcome] = []
@@ -265,13 +305,20 @@ def run_chaos_matrix(
                         interpreter=interpreter).run()
         for name, program, policy in guests
     }
+    def _cell_telemetry(site: FaultSite, name: str):
+        if telemetry is None:
+            return None
+        return telemetry.with_point("chaos/%s/%s" % (site.value, name),
+                                    site=site.value, scenario=name)
+
     for site in ENGINE_SITES:
         cell_interp = ("compiled" if site is FaultSite.CODEGEN_CORRUPT
                        else interpreter)
         for name, program, policy in guests:
             outcomes.append(_engine_cell(site, seed, name, program, policy,
                                          references[name], chain=chain,
-                                         interpreter=cell_interp))
+                                         interpreter=cell_interp,
+                                         telemetry=_cell_telemetry(site, name)))
 
     workloads = [(kernel, guests[0][1])]
     baseline = _sweep_rows(workloads)
@@ -279,15 +326,18 @@ def run_chaos_matrix(
     work_path = (Path(work_dir) if work_dir is not None
                  else Path(tempfile.mkdtemp(prefix="repro-chaos-")))
     outcomes.append(_sweepcache_cell(seed, scenario, workloads, baseline,
-                                     work_path))
+                                     work_path, point_telemetry=telemetry))
     attack_name, attack_program, attack_policy = guests[1]
-    outcomes.append(_tcache_disk_cell(seed, attack_name, attack_program,
-                                      attack_policy, work_path, chain))
+    outcomes.append(_tcache_disk_cell(
+        seed, attack_name, attack_program, attack_policy, work_path, chain,
+        telemetry=_cell_telemetry(FaultSite.TCACHE_DISK_CORRUPT,
+                                  attack_name)))
     outcomes.append(_worker_cell(
         FaultSite.WORKER_CRASH, scenario, workloads, baseline,
-        WorkerFault("crash"), jobs, timeout=None))
+        WorkerFault("crash"), jobs, timeout=None,
+        point_telemetry=telemetry))
     outcomes.append(_worker_cell(
         FaultSite.WORKER_HANG, scenario, workloads, baseline,
         WorkerFault("hang", seconds=hang_timeout * 6), jobs,
-        timeout=hang_timeout))
+        timeout=hang_timeout, point_telemetry=telemetry))
     return outcomes

@@ -256,6 +256,7 @@ class VliwCore:
             result = self._run(block, store_log)
         except _RollbackSignal:
             self._undo(entry_regs, store_log)
+            squashed_loads = len(self.mcb)
             self.mcb.clear()
             self.stats.rollbacks += 1
             self.cycle += self.config.rollback_penalty
@@ -267,7 +268,8 @@ class VliwCore:
                 )
             if observer is not None:
                 observer.rollback(block.guest_entry,
-                                  self.cycle - start_cycle, self.cycle)
+                                  self.cycle - start_cycle, self.cycle,
+                                  squashed_loads)
             recovery = block.recovery
             if recovery is None:
                 raise VliwExecutionError(

@@ -1,0 +1,60 @@
+"""Chained dispatch in the trace: one chain-level span per walk, so
+``--trace-out`` timelines are no longer blind to chained runs."""
+
+from repro.dbt.engine import DbtEngineConfig
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.obs import TRACK_CHAIN, Observer, Tracer
+from repro.platform.system import DbtSystem
+from repro.security.policy import MitigationPolicy
+
+
+def _run_chained(observer):
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    return DbtSystem(program, policy=MitigationPolicy.UNSAFE,
+                     engine_config=DbtEngineConfig(chain=True),
+                     observer=observer).run()
+
+
+def test_chain_walks_emit_chain_level_spans():
+    observer = Observer(tracer=Tracer())
+    result = _run_chained(observer)
+
+    spans = [s for s in observer.tracer.spans if s.track == TRACK_CHAIN]
+    assert spans, "chained run produced no chain-level spans"
+    walks = observer.registry.value("dbt.chain.walks_total")
+    assert len(spans) == walks
+    # Block counts on the spans account for every chained dispatch.
+    assert sum(s.args["blocks"] for s in spans) == result.chain.dispatches
+    assert observer.registry.value("dbt.chain.blocks_total") \
+        == result.chain.dispatches
+    reasons = {s.args["break"] for s in spans}
+    assert reasons <= {"miss", "hot", "rollback", "syscall", "exit",
+                       "redirect", "loop"}
+    for span in spans:
+        assert span.end >= span.start
+
+
+def test_chain_spans_visible_in_chrome_export():
+    observer = Observer(tracer=Tracer())
+    _run_chained(observer)
+    doc = observer.tracer.to_chrome()
+    chain_tids = {e["tid"] for e in doc["traceEvents"]
+                  if e.get("ph") == "M" and e["name"] == "thread_name"
+                  and e["args"]["name"] == TRACK_CHAIN}
+    assert len(chain_tids) == 1
+    chain_events = [e for e in doc["traceEvents"]
+                    if e.get("tid") in chain_tids and e.get("ph") == "X"]
+    assert chain_events
+    assert all("blocks" in e["args"] and "break" in e["args"]
+               for e in chain_events)
+
+
+def test_break_reason_counters_sum_to_walks():
+    observer = Observer()
+    _run_chained(observer)
+    registry = observer.registry
+    walks = registry.value("dbt.chain.walks_total")
+    reason_total = sum(
+        metric.value for metric in registry
+        if metric.name.startswith("dbt.chain.breaks."))
+    assert walks > 0 and reason_total == walks

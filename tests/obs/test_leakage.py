@@ -1,0 +1,93 @@
+"""Leakage meters: per-policy attack telemetry and its surfacing."""
+
+import pytest
+
+from repro.attacks.harness import AttackVariant, attack_matrix, run_attack
+from repro.obs import LeakageReport, leakage_table
+from repro.obs.leakage import recovered_prefix
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+
+
+def test_unsafe_v4_leaks_with_speculative_probes():
+    result = run_attack(AttackVariant.SPECTRE_V4,
+                        MitigationPolicy.UNSAFE, measure=True)
+    leakage = result.leakage
+    assert leakage is not None
+    assert leakage.leaked and leakage.accuracy == 1.0
+    assert leakage.bytes_recovered == leakage.secret_length
+    # The covert channel's transmitter fired once per secret byte.
+    assert leakage.speculative_miss_probes >= leakage.secret_length
+    assert leakage.rollbacks > 0
+    assert leakage.cflushes > 0
+
+
+def test_mitigated_v4_squashes_the_leak():
+    result = run_attack(AttackVariant.SPECTRE_V4,
+                        MitigationPolicy.GHOSTBUSTERS, measure=True)
+    leakage = result.leakage
+    assert not leakage.leaked and leakage.bytes_recovered == 0
+    # The mitigation is visible in the meters: rollbacks still squash
+    # speculative loads, but no probe ever misses for the attacker.
+    assert leakage.rollbacks > 0
+    assert leakage.squashed_speculative_loads > 0
+    assert leakage.wasted_speculative_cycles > 0
+    assert leakage.speculative_miss_probes == 0
+
+
+def test_v1_blocked_at_translation_has_no_rollback_cost():
+    """GHOSTBUSTERS pins the v1 pattern at translation time, so the
+    meters show zero rollback traffic — the paper's 'cheap when it
+    matters' claim in one row."""
+    result = run_attack(AttackVariant.SPECTRE_V1,
+                        MitigationPolicy.GHOSTBUSTERS, measure=True)
+    assert not result.leakage.leaked
+    assert result.leakage.rollbacks == 0
+    assert result.leakage.wasted_speculative_cycles == 0
+
+
+def test_measure_does_not_change_results():
+    bare = run_attack(AttackVariant.SPECTRE_V4, MitigationPolicy.FENCE)
+    measured = run_attack(AttackVariant.SPECTRE_V4, MitigationPolicy.FENCE,
+                          measure=True)
+    assert bare.recovered == measured.recovered
+    assert bare.run.cycles == measured.run.cycles
+    assert bare.leakage is None and measured.leakage is not None
+
+
+def test_leakage_reports_survive_the_parallel_matrix():
+    matrix = attack_matrix(jobs=2, measure=True,
+                           variants=(AttackVariant.SPECTRE_V4,),
+                           policies=(MitigationPolicy.UNSAFE,
+                                     MitigationPolicy.GHOSTBUSTERS))
+    row = matrix[AttackVariant.SPECTRE_V4]
+    assert row[MitigationPolicy.UNSAFE].leakage.leaked
+    assert not row[MitigationPolicy.GHOSTBUSTERS].leakage.leaked
+    serial = run_attack(AttackVariant.SPECTRE_V4, MitigationPolicy.UNSAFE,
+                        measure=True)
+    assert row[MitigationPolicy.UNSAFE].leakage == serial.leakage
+
+
+def test_leakage_table_renders_every_policy():
+    reports = [run_attack(AttackVariant.SPECTRE_V4, policy,
+                          measure=True).leakage
+               for policy in ALL_POLICIES]
+    table = leakage_table(reports)
+    for policy in ALL_POLICIES:
+        assert policy.value in table
+    assert "squashed" in table and "spec-miss" in table
+    assert leakage_table([]) == "(no leakage reports)"
+
+
+def test_recovered_prefix():
+    assert recovered_prefix(b"GHOST...", b"GHOST") == 5
+    assert recovered_prefix(b"GHxST", b"GHOST") == 4
+    assert recovered_prefix(b"", b"GHOST") == 0
+
+
+def test_report_is_picklable():
+    import pickle
+
+    report = run_attack(AttackVariant.SPECTRE_V1, MitigationPolicy.UNSAFE,
+                        measure=True).leakage
+    clone = pickle.loads(pickle.dumps(report))
+    assert isinstance(clone, LeakageReport) and clone == report

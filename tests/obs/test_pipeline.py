@@ -1,0 +1,216 @@
+"""Cross-process telemetry pipeline: envelopes, spool tolerance, the
+merger, and the jobs=1 vs jobs=N equivalence contract."""
+
+import json
+
+import pytest
+
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.obs import (
+    MetricError,
+    Observer,
+    TelemetryConfig,
+    TelemetrySpool,
+    Tracer,
+    capture_envelope,
+    merge_envelopes,
+    merge_spool,
+    spool_envelope,
+    worker_observer,
+)
+from repro.obs.pipeline import ENVELOPE_VERSION
+from repro.platform.parallel import sweep_comparisons
+from repro.platform.system import DbtSystem
+from repro.security.policy import ALL_POLICIES, MitigationPolicy
+
+POLICIES = (MitigationPolicy.UNSAFE, MitigationPolicy.GHOSTBUSTERS)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [(name, build_kernel_program(SMALL_SIZES[name]()))
+            for name in ("atax", "gemm")]
+
+
+# ---------------------------------------------------------------------------
+# Envelopes and the spool.
+# ---------------------------------------------------------------------------
+
+def test_envelope_round_trip(tmp_path, workloads):
+    observer = Observer(tracer=Tracer())
+    DbtSystem(workloads[0][1], policy=MitigationPolicy.UNSAFE,
+              observer=observer).run()
+    telemetry = TelemetryConfig(spool_dir=str(tmp_path), trace=True,
+                                label="atax/unsafe",
+                                meta={"workload": "atax"})
+    spool_envelope(telemetry, observer, policy="unsafe")
+    envelopes = TelemetrySpool(tmp_path).read()
+    assert len(envelopes) == 1
+    envelope = envelopes[0]
+    assert envelope["version"] == ENVELOPE_VERSION
+    assert envelope["label"] == "atax/unsafe"
+    assert envelope["meta"] == {"workload": "atax", "policy": "unsafe"}
+    assert envelope["metrics"] == observer.registry.to_dict()
+    assert len(envelope["trace"]["spans"]) == len(observer.tracer.spans)
+    assert envelope["trace"]["last_tick"] == observer.tracer.last_tick
+
+
+def test_spool_envelope_is_noop_without_config_or_observer(tmp_path):
+    telemetry = TelemetryConfig(spool_dir=str(tmp_path))
+    spool_envelope(None, Observer())
+    spool_envelope(telemetry, None)
+    assert not list(tmp_path.iterdir())
+
+
+def test_spool_skips_torn_and_invalid_lines(tmp_path, workloads):
+    observer = Observer()
+    DbtSystem(workloads[0][1], policy=MitigationPolicy.UNSAFE,
+              observer=observer).run()
+    telemetry = TelemetryConfig(spool_dir=str(tmp_path), label="ok")
+    spool_envelope(telemetry, observer)
+    spool_file = next(tmp_path.glob("telemetry-*.jsonl"))
+    with open(spool_file, "a") as handle:
+        handle.write(json.dumps({"version": 999, "pid": 1,
+                                 "metrics": {}}) + "\n")
+        handle.write('{"torn": "mid-wri')  # killed worker tail
+    spool = TelemetrySpool(tmp_path)
+    envelopes = spool.read()
+    assert [e["label"] for e in envelopes] == ["ok"]
+    assert spool.skipped == 2
+    merged = merge_envelopes(envelopes, skipped=spool.skipped)
+    assert merged.registry.value("pipeline.skipped_lines") == 2
+
+
+def test_with_point_merges_meta_without_mutating_template():
+    template = TelemetryConfig(spool_dir="/nowhere", meta={"run": "x"})
+    point = template.with_point("a/b", policy="fence")
+    assert point.label == "a/b"
+    assert point.meta == {"run": "x", "policy": "fence"}
+    assert template.label == "" and template.meta == {"run": "x"}
+
+
+# ---------------------------------------------------------------------------
+# The merger.
+# ---------------------------------------------------------------------------
+
+def _envelope(pid, counters=None, gauges=None, histograms=None, trace=None):
+    envelope = {
+        "version": ENVELOPE_VERSION, "pid": pid, "label": "p%d" % pid,
+        "meta": {},
+        "metrics": {"counters": counters or {}, "gauges": gauges or {},
+                    "histograms": histograms or {}},
+    }
+    if trace is not None:
+        envelope["trace"] = trace
+    return envelope
+
+
+def test_merge_sums_counters_gauges_and_histograms():
+    merged = merge_envelopes([
+        _envelope(1, counters={"c": 2}, gauges={"g": 10},
+                  histograms={"h": {"buckets": [1, 5], "counts": [1, 0, 2],
+                                    "sum": 21, "count": 3}}),
+        _envelope(2, counters={"c": 3}, gauges={"g": 5},
+                  histograms={"h": {"buckets": [1, 5], "counts": [0, 4, 0],
+                                    "sum": 8, "count": 4}}),
+    ])
+    assert merged.registry.value("c") == 5
+    assert merged.registry.value("g") == 15
+    histogram = merged.registry.get("h")
+    assert histogram.counts == [1, 4, 2]
+    assert histogram.sum == 29 and histogram.count == 7
+    assert merged.workers == [1, 2]
+    assert merged.registry.value("pipeline.envelopes") == 2
+    assert merged.registry.value("pipeline.workers") == 2
+
+
+def test_merge_rejects_mismatched_histogram_bounds():
+    envelopes = [
+        _envelope(1, histograms={"h": {"buckets": [1, 5], "counts": [0, 0, 0],
+                                       "sum": 0, "count": 0}}),
+        _envelope(2, histograms={"h": {"buckets": [1, 9], "counts": [0, 0, 0],
+                                       "sum": 0, "count": 0}}),
+    ]
+    with pytest.raises(MetricError):
+        merge_envelopes(envelopes)
+
+
+def test_chrome_merge_one_process_per_worker():
+    from repro.obs import TICKS_PER_CYCLE
+
+    extent = 2 * TICKS_PER_CYCLE
+    trace = {"spans": [["run", "core", 0, extent, "core", {}]],
+             "instants": [["hit", "mem", 50, "mem", {}]],
+             "dropped": 0, "last_tick": extent}
+    merged = merge_envelopes([
+        _envelope(11, trace=dict(trace)),
+        _envelope(11, trace=dict(trace)),
+        _envelope(22, trace=dict(trace)),
+    ])
+    doc = merged.to_chrome()
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["name"] == "process_name"}
+    assert names == {"worker-1 (pid 11)", "worker-2 (pid 22)"}
+    # pid 11's second envelope is offset past the first one's extent.
+    spans_11 = [e for e in doc["traceEvents"]
+                if e.get("pid") == 11 and e["name"] == "run"]
+    assert sorted(e["ts"] for e in spans_11) == [0, extent]
+    points = [e for e in doc["traceEvents"] if e.get("cat") == "pipeline"]
+    assert len(points) == 3
+    assert doc["otherData"]["workers"] == 2
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence: the acceptance contract.
+# ---------------------------------------------------------------------------
+
+def test_jobs_equivalence_merged_counters(tmp_path, workloads):
+    """Cold-cache jobs=1 and jobs=4 runs of the same grid merge to the
+    same counter/gauge/histogram totals; only pipeline.workers and the
+    per-envelope pids differ."""
+    def _merged(jobs, subdir):
+        spool_dir = tmp_path / subdir
+        telemetry = TelemetryConfig(spool_dir=str(spool_dir), trace=True)
+        sweep_comparisons(workloads, policies=ALL_POLICIES, jobs=jobs,
+                          point_telemetry=telemetry)
+        return merge_spool(spool_dir)
+
+    serial = _merged(1, "serial")
+    parallel = _merged(4, "parallel")
+    expected_points = len(workloads) * len(ALL_POLICIES)
+    assert len(serial.envelopes) == len(parallel.envelopes) == expected_points
+
+    serial_doc = serial.registry.to_dict()
+    parallel_doc = parallel.registry.to_dict()
+    assert serial_doc["counters"] == parallel_doc["counters"]
+    assert serial_doc["histograms"] == parallel_doc["histograms"]
+    gauges_s = dict(serial_doc["gauges"])
+    gauges_p = dict(parallel_doc["gauges"])
+    assert gauges_s.pop("pipeline.workers") == 1
+    assert gauges_p.pop("pipeline.workers") >= 2
+    assert gauges_s.keys() == gauges_p.keys()
+    for name, value in gauges_s.items():
+        # Float gauges (run.ipc) sum in spool order, which differs
+        # across job levels — equal up to summation order only.
+        assert value == pytest.approx(gauges_p[name]), name
+
+    # One Chrome process track per worker, both levels.
+    assert len(serial.workers) == 1
+    assert len(parallel.workers) >= 2
+    doc = parallel.to_chrome()
+    process_pids = {e["pid"] for e in doc["traceEvents"]
+                    if e["name"] == "process_name"}
+    assert process_pids == set(parallel.workers)
+
+
+def test_memo_cache_hits_spool_nothing(tmp_path, workloads):
+    cache_dir = tmp_path / "cache"
+    spool_dir = tmp_path / "spool"
+    telemetry = TelemetryConfig(spool_dir=str(spool_dir))
+    sweep_comparisons(workloads, policies=POLICIES, cache_dir=cache_dir,
+                      point_telemetry=telemetry)
+    first = len(merge_spool(spool_dir).envelopes)
+    assert first == len(workloads) * len(POLICIES)
+    sweep_comparisons(workloads, policies=POLICIES, cache_dir=cache_dir,
+                      point_telemetry=telemetry)
+    assert len(merge_spool(spool_dir).envelopes) == first  # all hits

@@ -89,3 +89,75 @@ def test_prometheus_export_format():
     assert 'repro_mem_load_latency_cycles_bucket{le="+Inf"} 2' in text
     assert "repro_mem_load_latency_cycles_sum 34" in text
     assert "repro_mem_load_latency_cycles_count 2" in text
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exporter edge cases.
+# ---------------------------------------------------------------------------
+
+def test_prometheus_help_escaping():
+    from repro.obs.registry import escape_help
+
+    assert escape_help("a\\b") == "a\\\\b"
+    assert escape_help("line one\nline two") == "line one\\nline two"
+    assert escape_help('quotes "stay"') == 'quotes "stay"'
+
+    registry = MetricsRegistry()
+    registry.counter("weird_total", help="path C:\\tmp\nsecond line")
+    text = registry.to_prometheus()
+    help_lines = [line for line in text.splitlines()
+                  if line.startswith("# HELP")]
+    # The multi-line help stays one physical line, fully escaped.
+    assert help_lines == [
+        "# HELP repro_weird_total path C:\\\\tmp\\nsecond line"]
+
+
+def test_prometheus_label_value_escaping():
+    from repro.obs.registry import escape_label_value
+
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value("back\\slash") == "back\\\\slash"
+    assert escape_label_value("new\nline") == "new\\nline"
+
+
+def test_prometheus_histogram_buckets_cumulative_and_monotonic():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat", buckets=(1, 5, 10))
+    for value in (0, 1, 2, 7, 11, 100):
+        histogram.observe(value)
+    cumulative = histogram.cumulative()
+    assert cumulative == sorted(cumulative)  # monotone by construction
+    assert cumulative[-1] == histogram.count
+
+    text = registry.to_prometheus()
+    counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+              if "_bucket{" in line]
+    assert counts == [2, 3, 4, 6]
+    assert counts == sorted(counts)
+    assert 'le="+Inf"} 6' in text
+    assert "repro_lat_count 6" in text
+
+
+def test_prometheus_merged_registry_equals_summed_serial_registries():
+    """Merging per-worker envelopes then exporting equals exporting one
+    registry that saw all the traffic (modulo pipeline.* gauges)."""
+    from repro.obs.pipeline import ENVELOPE_VERSION, merge_envelopes
+
+    serial = MetricsRegistry()
+    envelopes = []
+    for pid, increments in ((1, 3), (2, 4)):
+        worker = MetricsRegistry()
+        for registry in (serial, worker):
+            registry.counter("hits_total").inc(increments)
+            registry.histogram("lat", buckets=(1, 10)).observe(increments)
+        envelopes.append({"version": ENVELOPE_VERSION, "pid": pid,
+                          "label": "", "meta": {},
+                          "metrics": worker.to_dict()})
+    merged = merge_envelopes(envelopes).registry
+    assert merged.value("hits_total") == serial.value("hits_total") == 7
+    serial_lines = set(serial.to_prometheus().splitlines())
+    merged_lines = set(merged.to_prometheus().splitlines())
+    assert serial_lines <= merged_lines  # extras are pipeline.* gauges
+    extras = {line.split("{")[0].split(" ")[-2] if "#" not in line
+              else line for line in merged_lines - serial_lines}
+    assert all("pipeline" in str(item) for item in extras)

@@ -93,7 +93,7 @@ def test_terminal_failure_raises_with_table(workloads):
     with pytest.raises(ParallelRunError) as excinfo:
         run_points(
             run_sweep_point,
-            [(program, policy, None, None, None, None)
+            [(program, policy, None, None, None, None, None)
              for _, program in workloads for policy in POLICIES],
             labels=["atax/%s" % policy.value for policy in POLICIES],
             jobs=2, retries=0, serial_fallback=False,
