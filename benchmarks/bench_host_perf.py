@@ -210,14 +210,76 @@ def test_kernel_rows_cover_all_tiers(host_report):
     kernels = {r["kernel"] for r in rows}
     policies = {r["policy"] for r in rows}
     interpreters = {r["interpreter"] for r in rows}
-    assert interpreters == {"reference", "fast", "compiled"}
-    assert len(by_key) == len(kernels) * len(policies) * 3
+    assert interpreters == {"reference", "fast", "compiled", "auto"}
+    assert len(by_key) == len(kernels) * len(policies) * 4
+
+
+# ---------------------------------------------------------------------------
+# Tier-4 trace compilation and profile-driven tier placement.
+# ---------------------------------------------------------------------------
+
+def test_trace_tier_identical_and_not_slower(host_report):
+    """The tier-4 megablock rows simulate the exact same guest work as
+    the chained compiled tier, actually fuse (traces recorded, compiled
+    and dispatched; warm repeats load envelopes instead of compiling),
+    and the warm E1 wall must not lose to tier-3.  Like chaining, the
+    measured gain is Amdahl-bounded — megablocks only remove dispatch
+    seam work from the share of blocks inside hot loops — so the
+    travelling bar is parity within the host noise floor, with the
+    actual measured edge recorded as ``trace_speedup`` in the stored
+    baseline; see docs/PERFORMANCE.md §7."""
+    e1 = host_report["e1_attack_matrix"]
+    traced = e1["trace_chained"]
+    compiled_chained = e1["compiled_chained"]
+    assert (traced["guest_instructions"]
+            == compiled_chained["guest_instructions"])
+    assert traced["guest_cycles"] == compiled_chained["guest_cycles"]
+    trace = traced["trace"]
+    assert trace["recorded"] > 0
+    assert trace["compiled"] > 0
+    assert trace["dispatches"] > 0
+    assert trace["blocks"] > trace["dispatches"]
+    # The warmest repeat loaded megablock envelopes from --tcache-dir.
+    assert trace["persist_hits"] > 0
+    assert e1["trace_speedup"] > 0
+    if not QUICK:
+        assert e1["trace_speedup"] >= 0.97, (
+            "trace tier lost to compiled beyond the noise floor: %.3fx"
+            % e1["trace_speedup"])
+
+
+def test_auto_tier_kernels_never_below_fast(host_report):
+    """Profile-driven tier placement must make ``--tier auto`` safe to
+    leave on: on every Polybench kernel the auto rows decline compiles
+    that cannot amortize, so their walls stay at fast-interpreter
+    parity.  Gated per kernel on the sum over policies (single-sample
+    rows are too noisy individually)."""
+    if QUICK:
+        pytest.skip("single noisy wall samples in quick mode")
+    rows = host_report["kernels"]
+    by_tier = {}
+    for row in rows:
+        by_tier.setdefault((row["kernel"], row["interpreter"]), 0.0)
+        by_tier[(row["kernel"], row["interpreter"])] += row["wall_seconds"]
+    kernels = {r["kernel"] for r in rows}
+    for kernel in kernels:
+        fast = by_tier[(kernel, "fast")]
+        auto = by_tier[(kernel, "auto")]
+        assert auto <= fast * 1.15, (
+            "auto tiering regressed %s below fast: %.4fs vs %.4fs"
+            % (kernel, auto, fast))
 
 
 def test_sweep_scaling_recorded(host_report):
     sweep = host_report["figure4_sweep"]
     assert set(sweep["wall_seconds_by_jobs"]) == {"1", "4"}
     assert all(wall > 0 for wall in sweep["wall_seconds_by_jobs"].values())
+    if not QUICK:
+        # Adaptive job sizing: --jobs 4 must never lose to serial.
+        walls = sweep["wall_seconds_by_jobs"]
+        assert walls["4"] <= walls["1"] * 1.1, (
+            "--jobs 4 slower than serial: %.3fs vs %.3fs"
+            % (walls["4"], walls["1"]))
 
 
 def test_write_host_report(host_report, results_dir):

@@ -44,13 +44,14 @@ def flatten_metrics(report):
 
     e1 = report.get("e1_attack_matrix", {})
     for tier in ("reference", "fast", "fast_chained", "compiled",
-                 "compiled_chained"):
+                 "compiled_chained", "trace_chained"):
         row = e1.get(tier)
         if row:
             metrics["e1.%s.wall" % tier] = (row["wall_seconds"], "s")
             metrics["e1.%s.ips" % tier] = (
                 row["guest_instructions_per_second"], "instr/s")
-    for ratio in ("fast_path_speedup", "chain_speedup", "compiled_speedup"):
+    for ratio in ("fast_path_speedup", "chain_speedup", "compiled_speedup",
+                  "trace_speedup"):
         if ratio in e1:
             metrics["e1.%s" % ratio] = (e1[ratio], "x")
 

@@ -47,7 +47,9 @@ FULL_SECRET = b"GHOST"
 
 #: /3: adds the ``profiler_overhead`` section (host profiler enabled vs
 #: disabled on one kernel; simulated cycles must match).
-SCHEMA = "repro.bench_host/3"
+#: /4: adds the tier-4 ``trace_chained`` E1 row (+ ``trace_speedup``)
+#: and the ``auto`` kernel rows (profile-driven tier placement).
+SCHEMA = "repro.bench_host/4"
 
 
 @contextmanager
@@ -62,10 +64,11 @@ def _gc_paused():
             gc.enable()
 
 
-def _timed_run(program, policy, interpreter: str) -> Tuple[float, object]:
+def _timed_run(program, policy, interpreter: str,
+               engine_config=None) -> Tuple[float, object]:
     start = time.perf_counter()
-    result = DbtSystem(program, policy=policy,
-                       interpreter=interpreter).run()
+    result = DbtSystem(program, policy=policy, interpreter=interpreter,
+                       engine_config=engine_config).run()
     return time.perf_counter() - start, result
 
 
@@ -112,6 +115,9 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
     codegen_totals = {"compiles": 0, "hits": 0, "persist_hits": 0,
                       "persist_stores": 0, "bytes": 0}
     compiled = False
+    trace_totals = {"recorded": 0, "compiled": 0, "persist_hits": 0,
+                    "dispatches": 0, "blocks": 0, "demotions": 0}
+    traced = False
     for per_policy in matrix.values():
         for outcome in per_policy.values():
             instructions += outcome.run.instructions
@@ -128,6 +134,10 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
                 for field in codegen_totals:
                     codegen_totals[field] += getattr(outcome.run.codegen,
                                                      field)
+            if outcome.run.trace is not None:
+                traced = True
+                for field in trace_totals:
+                    trace_totals[field] += getattr(outcome.run.trace, field)
     row = {
         "wall_seconds": round(wall, 4),
         "points": points,
@@ -144,6 +154,8 @@ def measure_attack_matrix(secret: bytes, interpreter: str,
         }
     if compiled:
         row["codegen"] = codegen_totals
+    if traced:
+        row["trace"] = trace_totals
     return row
 
 
@@ -236,19 +248,28 @@ def measure_profiler_overhead(kernel: str = "gemm",
 
 def measure_kernels(kernels: Sequence[str],
                     interpreters: Sequence[str] = ("reference", "fast",
-                                                   "compiled"),
+                                                   "compiled", "auto"),
                     ) -> List[dict]:
     """Per-(kernel, policy, interpreter) wall-time and throughput rows.
 
     The compiled rows run *cold* — no persistent cache — so they carry
     the full translation + codegen cost (the honest Amdahl number;
-    docs/PERFORMANCE.md §2)."""
+    docs/PERFORMANCE.md §2).  The ``auto`` rows run the compiled tier
+    under profile-driven tier placement (``tier_mode="auto"``): blocks
+    compile in the background only once their profile shows the compile
+    will amortize, so small kernels must never regress below the fast
+    interpreter."""
     rows: List[dict] = []
     for name in kernels:
         program = build_kernel_program(SMALL_SIZES[name]())
         for policy in ALL_POLICIES:
             for interpreter in interpreters:
-                wall, result = _timed_run(program, policy, interpreter)
+                if interpreter == "auto":
+                    wall, result = _timed_run(
+                        program, policy, "compiled",
+                        engine_config=DbtEngineConfig(tier_mode="auto"))
+                else:
+                    wall, result = _timed_run(program, policy, interpreter)
                 rows.append({
                     "kernel": name,
                     "policy": policy.value,
@@ -343,10 +364,16 @@ def run_bench_host(quick: bool = False,
             secret, "compiled", engine_config=DbtEngineConfig(chain=True),
             programs=programs, repeats=compiled_repeats,
             tcache_dir=tdir / "e1")
+        e1["trace_chained"] = measure_attack_matrix(
+            secret, "trace", engine_config=DbtEngineConfig(chain=True),
+            programs=programs, repeats=compiled_repeats,
+            tcache_dir=tdir / "e1")
         reference_wall = e1["reference"]["wall_seconds"]
         fast_wall = e1["fast"]["wall_seconds"]
         chained_wall = e1["fast_chained"]["wall_seconds"]
         compiled_wall = e1["compiled"]["wall_seconds"]
+        compiled_chained_wall = e1["compiled_chained"]["wall_seconds"]
+        trace_wall = e1["trace_chained"]["wall_seconds"]
         e1["fast_path_speedup"] = (
             round(reference_wall / fast_wall, 3) if fast_wall else None)
         #: Chained vs unchained dispatch, both on the fast path.
@@ -355,6 +382,10 @@ def run_bench_host(quick: bool = False,
         #: Tier-3 vs the seed loop — the headline host-perf number.
         e1["compiled_speedup"] = (
             round(reference_wall / compiled_wall, 3) if compiled_wall
+            else None)
+        #: Tier-4 megablock traces vs chained tier-3, both warm.
+        e1["trace_speedup"] = (
+            round(compiled_chained_wall / trace_wall, 3) if trace_wall
             else None)
         report["e1_attack_matrix"] = e1
 
@@ -414,6 +445,24 @@ def format_report(report: dict) -> str:
                     "%d stores (last repeat)" % (
                         counters["compiles"], counters["persist_hits"],
                         counters["persist_stores"]))
+        traced = e1.get("trace_chained")
+        if traced:
+            lines.append(
+                "  + tier-4      : chained compiled %.2fs -> traced %.2fs "
+                "(speedup %.2fx, %s guest instr/s)" % (
+                    e1["compiled_chained"]["wall_seconds"],
+                    traced["wall_seconds"],
+                    e1.get("trace_speedup") or 0.0,
+                    "{:,}".format(traced["guest_instructions_per_second"])))
+            counters = traced.get("trace")
+            if counters:
+                lines.append(
+                    "    megablocks  : %d recorded, %d compiled "
+                    "(%d persisted), %d dispatches over %d blocks, "
+                    "%d demotions (last repeat)" % (
+                        counters["recorded"], counters["compiled"],
+                        counters["persist_hits"], counters["dispatches"],
+                        counters["blocks"], counters["demotions"]))
     tcache = report.get("tcache_persistence")
     if tcache:
         lines.append(

@@ -190,15 +190,18 @@ def _report_telemetry(args, spool_dir: str) -> None:
 
 
 def _engine_config(args) -> Optional[DbtEngineConfig]:
-    """Engine config from the shared --chain/--cache-* flags, or None
-    when every flag is at its default (the seed configuration)."""
+    """Engine config from the shared --chain/--cache-*/--tier flags, or
+    None when every flag is at its default (the seed configuration)."""
     chain = getattr(args, "chain", False)
     cache_policy = getattr(args, "cache_policy", "flush")
     cache_capacity = getattr(args, "cache_capacity", None)
-    if not chain and cache_policy == "flush" and cache_capacity is None:
+    tier_mode = getattr(args, "tier", "eager")
+    if (not chain and cache_policy == "flush" and cache_capacity is None
+            and tier_mode == "eager"):
         return None
     return DbtEngineConfig(chain=chain, code_cache_policy=cache_policy,
-                           code_cache_capacity=cache_capacity)
+                           code_cache_capacity=cache_capacity,
+                           tier_mode=tier_mode)
 
 
 def cmd_run(args) -> int:
@@ -508,6 +511,7 @@ def cmd_chaos(args) -> int:
             seed=args.seed, kernel=args.kernel, jobs=args.jobs,
             hang_timeout=args.hang_timeout, chain=args.chain,
             interpreter=args.interpreter, telemetry=point_telemetry,
+            trace=args.trace,
         )
         if spool is not None:
             _report_telemetry(args, spool.name)
@@ -563,12 +567,15 @@ def cmd_profile(args) -> int:
     meta = {"workload": workload}
     if args.amortize:
         # Same workload on both execution tiers; the amortization table
-        # joins them per block.  --interpreter is ignored here.
+        # joins them per block.  --interpreter is ignored here.  With
+        # chaining on, the upper leg runs tier-4 so the report carries
+        # megablock rows (per-block attribution needs chaining off).
+        upper = "trace" if engine_config.chain else "compiled"
         _, fast_report = profile_run(program, args.policy, vliw_config,
                                      engine_config, interpreter="fast",
                                      meta=meta)
         _, report = profile_run(program, args.policy, vliw_config,
-                                engine_config, interpreter="compiled",
+                                engine_config, interpreter=upper,
                                 tcache_dir=args.tcache_dir, meta=meta)
         print(format_profile(report, top=args.top))
         print()
@@ -608,11 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_interpreter(p, tcache=True):
         p.add_argument(
-            "--interpreter", choices=("fast", "reference", "compiled"),
+            "--interpreter",
+            choices=("fast", "reference", "compiled", "trace"),
             default=None,
             help="host execution tier: finalized fast path (default), "
-                 "the seed reference loop, or tier-3 compiled blocks "
-                 "(bit-identical results)")
+                 "the seed reference loop, tier-3 compiled blocks, or "
+                 "tier-4 trace compilation (hot chains become compiled "
+                 "megablocks; requires --chain; bit-identical results)")
         if tcache:
             p.add_argument(
                 "--tcache-dir", metavar="DIR", default=None,
@@ -653,6 +662,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-capacity", type=int, default=None, metavar="N",
             help="bound the code cache to N translations "
                  "(default: unbounded)")
+        p.add_argument(
+            "--tier", choices=("eager", "auto"), default="eager",
+            help="host tier placement: compile every installed block "
+                 "eagerly (seed behavior) or promote blocks in the "
+                 "background from profile-driven cost/benefit "
+                 "accounting, keeping small kernels on the fast "
+                 "interpreter automatically (default: %(default)s)")
 
     asm_parser = sub.add_parser(
         "asm", help="assemble to a binary container (.bin)",
@@ -870,6 +886,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--chain", action="store_true",
                               help="run every engine scenario with block "
                                    "chaining enabled")
+    chaos_parser.add_argument("--no-trace", dest="trace",
+                              action="store_false", default=True,
+                              help="skip the tier-4 trace cells "
+                                   "(megablock corruption, compile-queue "
+                                   "hang); they run by default")
     add_interpreter(chaos_parser, tcache=False)
     add_telemetry(chaos_parser)
     chaos_parser.set_defaults(func=cmd_chaos)

@@ -241,6 +241,10 @@ class ChainedDispatcher:
         self.chains: ChainIndex = system.engine.chains
         self.stats = ChainStats()
         self._context = ChainContext(self)
+        #: Optional :class:`~repro.dbt.traces.TraceManager` (tier-4);
+        #: set by the system when the trace tier is selected.  None
+        #: keeps both dispatch strategies on the exact tier-3 code path.
+        self.traces = None
 
     # ------------------------------------------------------------------
     # Dispatch records.
@@ -315,9 +319,16 @@ class ChainedDispatcher:
         if record.fblock is None:
             record.fblock = finalize_block(record.block, core.config)
         if core.use_compiled:
-            result, reason, record, blocks_executed, dispatches = (
-                run_compiled_chain(core, record, self._context,
-                                   system.blocks_executed))
+            if self.traces is not None:
+                from .traces import run_traced_chain
+
+                result, reason, record, blocks_executed, dispatches = (
+                    run_traced_chain(core, record, self._context,
+                                     system.blocks_executed, self.traces))
+            else:
+                result, reason, record, blocks_executed, dispatches = (
+                    run_compiled_chain(core, record, self._context,
+                                       system.blocks_executed))
         else:
             result, reason, record, blocks_executed, dispatches = (
                 core.execute_chain(record, self._context,
@@ -370,6 +381,12 @@ class ChainedDispatcher:
         blocks_executed = system.blocks_executed
         dispatches = 0
         chain_start_cycle = core.cycle if observer is not None else 0
+        if self.traces is not None:
+            # Trace recording/compilation stays visible (and the
+            # background compiler warm) under instrumentation, but
+            # megablocks never *execute* here: every observer,
+            # supervisor and tracer hook must keep firing per block.
+            self.traces.observe(block.guest_entry)
 
         while True:
             if supervisor is not None:
@@ -440,6 +457,14 @@ class ChainedDispatcher:
                     break
                 successor = self._link_successor(entry, next_pc,
                                                  successor_block)
+            if self.traces is not None and next_pc <= entry:
+                # Backward-edge target: the same trace-head heuristic
+                # the fused walk applies inside ``run_traced_chain``.
+                # Without it heads only count once per chain walk and
+                # never reach the hot threshold, so recording (and the
+                # dbt.trace.* counters) would go dark the moment an
+                # observer or supervisor switches dispatch to this loop.
+                self.traces.observe(next_pc)
             block = successor.block
 
         system.blocks_executed = blocks_executed

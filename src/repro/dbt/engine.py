@@ -66,6 +66,12 @@ class DbtEngineConfig:
     #: the engine round trip (bit-identical to the seed loop; see
     #: :mod:`repro.dbt.chaining`).
     chain: bool = False
+    #: When a host tier compiles: ``"eager"`` (at install, the seed
+    #: behavior) or ``"auto"`` (profile-driven background promotion via
+    #: :class:`~repro.dbt.tiering.TierController` — small kernels stay
+    #: on the fast interpreter automatically).  Host-side only: the
+    #: choice can never change a simulated observable.
+    tier_mode: str = "eager"
 
 
 @dataclass

@@ -1,0 +1,324 @@
+"""Asynchronous host compilation and profile-driven tier placement.
+
+Tier-3/4 host codegen costs real wall time (BENCH_host measured ~3.7ms
+per block), and the seed wiring paid it *inline*: install-time
+``ensure_compiled`` stalls the engine, which is why the compiled tier
+used to lose to the fast interpreter on every Polybench kernel — most
+blocks never ran often enough to amortize their compile.
+
+This module fixes both halves of that trade:
+
+* :class:`CompileQueue` moves codegen off the engine's critical path.
+  Jobs run on a background thread (or inline, in the deterministic
+  modes) and their results are *applied* only at a *safe point* —
+  :meth:`CompileQueue.drain`, called by ``DbtSystem.run`` between block
+  dispatches — so a compiled form can never swap in mid-dispatch.
+  Until the swap, execution proceeds on the fast interpreter with
+  **bit-identical** simulated results (the compiled tier's contract),
+  so compile *timing* can never change an experiment.
+* :class:`TierController` decides *what* deserves compiling: instead of
+  compiling every optimized translation at install, it watches the
+  execution profile and promotes a block only after it has proven it
+  will amortize the compile (``min_executions``).  Small kernels
+  therefore stay on the fast interpreter automatically — no manual
+  ``--interpreter`` choice needed (``DbtEngineConfig.tier_mode="auto"``).
+
+Queue modes (all with the same observable contract):
+
+* ``"thread"`` — a daemon worker compiles in the background;
+* ``"sync"``   — compile and apply at submit (eager tiers, the seed
+  behavior for ``tier_mode="eager"``);
+* ``"manual"`` — jobs wait until :meth:`CompileQueue.pump` runs them;
+  tests use this to force compilation to finish before, during, or
+  after a trace goes hot and assert the results are identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+_QUEUE_MODES = ("thread", "sync", "manual")
+
+
+@dataclass
+class CompileQueueStats:
+    """Lifetime counters of one compile queue."""
+
+    #: Jobs submitted.
+    submitted: int = 0
+    #: Jobs whose work function finished (successfully or not).
+    completed: int = 0
+    #: Results applied at a safe point.
+    applied: int = 0
+    #: Jobs whose work function raised (the artifact is dropped and the
+    #: engine keeps running on the lower tier).
+    failures: int = 0
+    #: Jobs still unfinished when the queue closed (includes every job
+    #: wedged behind a hung worker).
+    stalled: int = 0
+
+
+class _Job:
+    __slots__ = ("label", "work", "apply", "artifact", "error")
+
+    def __init__(self, label: str, work: Callable, apply: Callable):
+        self.label = label
+        self.work = work
+        self.apply = apply
+        self.artifact = None
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self.artifact = self.work()
+        except BaseException as error:  # noqa: BLE001 - isolated worker
+            self.error = error
+
+
+class CompileQueue:
+    """Background host-codegen queue with safe-point application."""
+
+    def __init__(self, mode: str = "thread", injector=None):
+        if mode not in _QUEUE_MODES:
+            raise ValueError("compile queue mode must be one of %r, got %r"
+                             % (_QUEUE_MODES, mode))
+        self.mode = mode
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`;
+        #: the COMPILE_QUEUE_HANG site wedges the worker so the chaos
+        #: matrix can assert the engine survives on the lower tiers.
+        self.injector = injector
+        self.stats = CompileQueueStats()
+        #: True once a fault injection wedged the worker: submitted jobs
+        #: are accepted but never completed.
+        self.hung = False
+        self._pending: deque = deque()
+        self._done: deque = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        #: Started lazily on the first submitted job: a run whose tier
+        #: controller declines every promotion (small kernels under
+        #: ``tier_mode="auto"``) never pays thread startup or switches.
+        self._worker: Optional[threading.Thread] = None
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, label: str, work: Callable, apply: Callable) -> None:
+        """Queue ``work`` (runs off the critical path, returns an
+        artifact); ``apply(artifact, error)`` runs on the engine thread
+        at the next safe point."""
+        self.stats.submitted += 1
+        injector = self.injector
+        if (not self.hung and injector is not None and injector.armed
+                and injector.should_fire(_hang_site())):
+            injector.record(_hang_site(), "compile queue wedged at %r"
+                            % (label,))
+            self.hung = True
+        job = _Job(label, work, apply)
+        if self.mode == "sync" and not self.hung:
+            job.run()
+            self._finish(job)
+            self._apply(job)
+            return
+        if self.mode == "thread" and self._worker is None and not self.hung:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-compile", daemon=True)
+            self._worker.start()
+        with self._lock:
+            self._pending.append(job)
+            self._wakeup.notify()
+
+    # -- completion ----------------------------------------------------
+
+    def _finish(self, job: _Job) -> None:
+        self.stats.completed += 1
+        if job.error is not None:
+            self.stats.failures += 1
+
+    def _apply(self, job: _Job) -> None:
+        self.stats.applied += 1
+        job.apply(job.artifact, job.error)
+
+    def pump(self, limit: Optional[int] = None) -> int:
+        """Run pending jobs inline (mode ``"manual"``; also usable in
+        ``"thread"`` mode from tests).  Returns the number run."""
+        ran = 0
+        while limit is None or ran < limit:
+            with self._lock:
+                if self.hung or not self._pending:
+                    break
+                job = self._pending.popleft()
+            job.run()
+            self._finish(job)
+            with self._lock:
+                self._done.append(job)
+            ran += 1
+        return ran
+
+    def drain(self) -> int:
+        """Apply every finished job's result (safe point; engine
+        thread).  Returns the number applied."""
+        # Lock-free empty check: this runs between every block dispatch,
+        # and a result appended concurrently is simply applied at the
+        # next safe point instead of this one.
+        if not self._done:
+            return 0
+        applied = 0
+        while True:
+            with self._lock:
+                if not self._done:
+                    break
+                job = self._done.popleft()
+            self._apply(job)
+            applied += 1
+        return applied
+
+    def idle(self) -> bool:
+        """Whether no job is pending or awaiting application."""
+        with self._lock:
+            return not self._pending and not self._done
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker, apply what finished, count the rest as
+        stalled."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._worker is not None and not self.hung:
+            self._worker.join(timeout)
+        self.drain()
+        with self._lock:
+            self.stats.stalled += len(self._pending)
+            self._pending.clear()
+
+    # -- worker --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if self.hung or (self._closed and not self._pending):
+                    return
+                job = self._pending.popleft()
+            job.run()
+            with self._lock:
+                if self.hung:
+                    # Wedged mid-job: the result must never surface.
+                    self._pending.appendleft(job)
+                    return
+                self._done.append(job)
+            self._finish(job)
+
+
+def _hang_site():
+    from ..resilience.faults import FaultSite
+
+    return FaultSite.COMPILE_QUEUE_HANG
+
+
+@dataclass
+class TierStats:
+    """Lifetime counters of the automatic tier controller."""
+
+    #: Translations registered as compile candidates.
+    candidates: int = 0
+    #: Candidates promoted (compile job submitted).
+    promotions: int = 0
+    #: Candidates still uncompiled at run end (never got hot enough —
+    #: they ran on the fast interpreter, by design).
+    declined: int = 0
+
+
+class TierController:
+    """Profile-driven promotion of translations to the compiled tier.
+
+    Active with ``DbtEngineConfig.tier_mode="auto"``: the install-time
+    finalizer only lowers to the fast path; this controller watches
+    ``engine.profile`` and submits a compile job once a block's
+    execution count shows the compile will amortize.  ``poll()`` is
+    called from the run loop and rate-limits itself, so the per-dispatch
+    cost is one counter increment.
+    """
+
+    #: Dispatches between profile scans.
+    POLL_INTERVAL = 64
+
+    def __init__(self, system, queue: CompileQueue,
+                 min_executions: int = 200):
+        self.system = system
+        self.queue = queue
+        self.min_executions = min_executions
+        self.stats = TierStats()
+        self._candidates: dict = {}
+        self._ticks = 0
+
+    def note_install(self, block, fblock) -> None:
+        """Register an installed translation as a compile candidate.
+
+        First-pass blocks are never candidates: they are replaced after
+        ``hot_threshold`` executions, so their compile cannot amortize.
+        """
+        if block.kind == "firstpass":
+            return
+        self.stats.candidates += 1
+        self._candidates[block.guest_entry] = (block, fblock)
+
+    def poll(self) -> None:
+        self._ticks += 1
+        if self._ticks % self.POLL_INTERVAL:
+            return
+        self.scan()
+
+    def scan(self) -> None:
+        """Promote every candidate whose profile crossed the threshold."""
+        if not self._candidates:
+            return
+        counts = self.system.engine.profile._block_counts
+        threshold = self.min_executions
+        hot = [entry for entry in self._candidates
+               if counts.get(entry, 0) >= threshold]
+        for entry in hot:
+            block, fblock = self._candidates.pop(entry)
+            self._promote(entry, block, fblock)
+
+    def _promote(self, entry: int, block, fblock) -> None:
+        from ..vliw.codegen import compile_block
+
+        self.stats.promotions += 1
+        system = self.system
+        stats = system.codegen
+        persistent = system.tcache
+        policy_key = system.policy.value
+
+        def work():
+            fn, key = compile_block(fblock, stats, persistent, policy_key)
+            recovery = None
+            if fblock.recovery is not None:
+                recovery = compile_block(fblock.recovery, stats,
+                                         persistent, policy_key)
+            return fn, key, recovery
+
+        def apply(artifact, error):
+            if error is not None:
+                return
+            if system.engine.cache.get(entry) is not block:
+                return  # replaced/evicted while compiling
+            fn, key, recovery = artifact
+            if fblock.compiled is None:
+                fblock.compiled = fn
+                fblock.persist_key = key
+            if recovery is not None and fblock.recovery.compiled is None:
+                fblock.recovery.compiled = recovery[0]
+                fblock.recovery.persist_key = recovery[1]
+
+        self.queue.submit("block:%#x" % entry, work, apply)
+
+    def finish(self) -> None:
+        """End-of-run accounting."""
+        self.stats.declined += len(self._candidates)

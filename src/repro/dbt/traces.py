@@ -1,0 +1,608 @@
+"""Tier-4 trace recording: hot chains become compiled megablocks.
+
+The classic meta-tracing JIT move (Dynamo, QEMU's hot-path work,
+PyPy's tracing loop): once a chain head is dispatched often enough, the
+:class:`TraceManager` walks the chain index along the *profiled* path —
+following unconditional links and conditional branches whose recorded
+bias is strong — and records a **trace**: a fixed block sequence, at
+most :attr:`TraceConfig.max_blocks` long, possibly closing a loop back
+to its own head.  The trace is compiled (off the critical path, through
+the :class:`~repro.dbt.tiering.CompileQueue`) into one **megablock**
+driver by :func:`repro.vliw.codegen.compile_trace`: the constituent
+compiled block bodies called back-to-back with the successor dispatch
+baked in, and a **guard** wherever the recorded path could diverge.
+
+A guard failure (or a rollback / syscall / budget break — exactly the
+existing chain-break reasons) side-exits back to the dispatcher, which
+resumes the ordinary per-block chain walk at the divergent block.
+Because every megablock step replicates the per-block profiling seam
+verbatim, simulated observables — cycles, profile counts, branch
+outcomes, LRU recency, translation order — stay bit-identical to the
+per-block tiers under every mitigation policy
+(``tests/platform/test_fastpath_differential.py`` gates the four-way
+equivalence).
+
+Cost/benefit accounting both ways:
+
+* **promote** — only chain heads dispatched ``hot_threshold`` times are
+  recorded, and only paths the branch profile supports;
+* **demote** — a megablock whose guards fail too often (average blocks
+  per dispatch below :attr:`TraceConfig.demote_min_avg_blocks` over a
+  :attr:`TraceConfig.demote_window`) is retired and its head
+  blacklisted, so a mispredicted trace cannot keep paying guard-exit
+  overhead.
+
+Cache parity: every translation-cache mutation that touches a
+constituent block retires the covering megablock *and its persisted
+envelope* through :meth:`TraceManager.retire_entry` /
+:meth:`TraceManager.clear` — the same synchronous hooks chain links die
+by, so a megablock can never execute a replaced translation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..vliw.codegen import compile_trace, ensure_compiled
+from ..vliw.fastpath import finalize_block
+from ..vliw.pipeline import MegablockCorruptError
+
+
+@dataclass
+class TraceConfig:
+    """Trace recorder / tier-placement tunables (host-side only: none of
+    these can change a simulated observable)."""
+
+    #: Fused dispatches of a chain head before a trace is recorded.
+    hot_threshold: int = 8
+    #: Maximum blocks inlined into one megablock.
+    max_blocks: int = 16
+    #: Minimum blocks for a non-loop trace to be worth compiling.
+    min_blocks: int = 2
+    #: Branch-profile strength needed to follow a conditional edge.
+    branch_min_samples: int = 8
+    branch_min_bias: float = 0.75
+    #: Dispatches before a megablock's guard-failure rate is judged.
+    demote_window: int = 16
+    #: Minimum average blocks per dispatch to stay compiled.
+    demote_min_avg_blocks: float = 2.0
+
+
+@dataclass
+class TraceStats:
+    """Lifetime counters of one trace manager (``dbt.trace.*`` gauges)."""
+
+    #: Traces recorded (compile submitted).
+    recorded: int = 0
+    #: Megablocks installed (compile applied).
+    compiled: int = 0
+    #: Megablock drivers served from the persistent cache.
+    persist_hits: int = 0
+    #: Megablock executions.
+    dispatches: int = 0
+    #: Blocks executed inside megablocks.
+    blocks: int = 0
+    #: Megablock exits by kind (side_exit / trace_end / loop_exit /
+    #: rollback / syscall / budget).
+    guard_exits: Dict[str, int] = field(default_factory=dict)
+    #: Megablocks demoted for excessive guard failures.
+    demotions: int = 0
+    #: Megablocks retired by cache mutations (eviction parity).
+    retired: int = 0
+    #: Megablocks retired after an integrity failure (fault injection).
+    corrupt_retired: int = 0
+    #: Traces dropped at apply time (a constituent died mid-compile).
+    stale_drops: int = 0
+    #: Background wall time spent compiling traces (honest Amdahl
+    #: accounting: this is host time the engine did NOT stall for).
+    compile_seconds: float = 0.0
+
+
+class Megablock:
+    """One installed trace: the compiled driver plus its bookkeeping."""
+
+    __slots__ = ("head", "steps", "loop", "fn", "persist_key",
+                 "dispatches", "blocks", "compile_seconds")
+
+    def __init__(self, head: int, steps: Tuple, loop: bool,
+                 fn, persist_key: Optional[str],
+                 compile_seconds: float = 0.0):
+        self.head = head
+        self.steps = steps
+        self.loop = loop
+        self.fn = fn
+        self.persist_key = persist_key
+        self.dispatches = 0
+        self.blocks = 0
+        self.compile_seconds = compile_seconds
+
+
+class TraceManager:
+    """Records, installs, accounts and retires megablocks for one
+    system.  Created by ``DbtSystem`` when the trace tier is selected
+    (``interpreter="trace"`` with chaining on)."""
+
+    def __init__(self, system, queue, config: Optional[TraceConfig] = None):
+        self.system = system
+        self.engine = system.engine
+        self.chains = system.engine.chains
+        self.queue = queue
+        self.config = config if config is not None else TraceConfig()
+        self.stats = TraceStats()
+        #: Optional :class:`~repro.resilience.faults.FaultInjector` for
+        #: the TRACE_GUARD_CORRUPT site (set by the chaos matrix).
+        self.injector = None
+        self._megablocks: Dict[int, Megablock] = {}
+        #: constituent entry -> heads of megablocks containing it.
+        self._covering: Dict[int, Set[int]] = {}
+        #: Fused dispatch counts per chain head.
+        self._counts: Dict[int, int] = {}
+        #: Heads with a compile in flight.
+        self._pending: Set[int] = set()
+        #: Demoted heads, never re-recorded this run.
+        self._blacklist: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Dispatch-side entry points.
+    # ------------------------------------------------------------------
+
+    def visit(self, entry: int) -> None:
+        """Count one trace-head visit (a chain-walk start or the target
+        of a backward edge — the classic trace-JIT head heuristic) and
+        record a trace once the head is hot.  The caller has already
+        established no megablock is installed for ``entry``."""
+        counts = self._counts
+        count = counts.get(entry, 0) + 1
+        counts[entry] = count
+        if (count >= self.config.hot_threshold
+                and entry not in self._pending
+                and entry not in self._blacklist):
+            self._record(entry)
+
+    def observe(self, entry: int) -> None:
+        """General-path twin of :meth:`visit`: counts and compiles, but
+        megablocks never *execute* outside the fused path (observer and
+        supervisor hooks must keep firing per block)."""
+        if entry not in self._megablocks:
+            self.visit(entry)
+
+    def note_exit(self, mega: Megablock, kind: str, blocks: int) -> None:
+        """Account one megablock execution and apply demotion policy."""
+        stats = self.stats
+        stats.dispatches += 1
+        stats.blocks += blocks
+        stats.guard_exits[kind] = stats.guard_exits.get(kind, 0) + 1
+        mega.dispatches += 1
+        mega.blocks += blocks
+        cfg = self.config
+        if (mega.dispatches >= cfg.demote_window
+                and mega.blocks
+                < mega.dispatches * cfg.demote_min_avg_blocks):
+            self.demote(mega)
+
+    def demote(self, mega: Megablock, corrupted: bool = False) -> None:
+        """Retire ``mega`` and blacklist its head (guards fail too
+        often, or its compiled driver failed its integrity check)."""
+        stats = self.stats
+        stats.demotions += 1
+        if corrupted:
+            stats.corrupt_retired += 1
+        self._blacklist.add(mega.head)
+        if self._megablocks.get(mega.head) is mega:
+            del self._megablocks[mega.head]
+            self._unindex(mega)
+        self._emit("trace_demoted", mega.head, len(mega.steps))
+
+    def megablock_rows(self):
+        """Per-megablock accounting rows for host profiling reports
+        (``repro profile --amortize``).  Sorted hottest-first."""
+        rows = []
+        for mega in self._megablocks.values():
+            rows.append({
+                "head": mega.head,
+                "steps": len(mega.steps),
+                "loop": mega.loop,
+                "dispatches": mega.dispatches,
+                "blocks": mega.blocks,
+                "compile_seconds": mega.compile_seconds,
+            })
+        rows.sort(key=lambda row: (-row["blocks"], row["head"]))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Recording and compilation.
+    # ------------------------------------------------------------------
+
+    def _record(self, head: int) -> None:
+        steps = self._walk(head)
+        if steps is None:
+            # Not walkable yet (links or branch profile still forming).
+            # Reset the visit count so the walk retries after another
+            # hot_threshold visits instead of on every visit.
+            self._counts[head] = 0
+            return
+        steps, loop = steps
+        self._pending.add(head)
+        self.stats.recorded += 1
+        self._emit("trace_recorded", head, len(steps))
+        system = self.system
+        engine = self.engine
+        codegen_stats = system.codegen
+        persistent = system.tcache
+        policy_key = system.policy.value
+        vliw_config = system.core.config
+        lru = engine.cache._lru
+        stats = self.stats
+
+        def work():
+            started = time.perf_counter()
+            for link in steps:
+                fblock = link.fblock
+                if fblock is None:
+                    fblock = link.fblock = finalize_block(
+                        link.block, vliw_config)
+                ensure_compiled(fblock, codegen_stats, persistent,
+                                policy_key)
+            fn, key, persist_hit = compile_trace(
+                steps, loop, lru, vliw_config, codegen_stats, persistent,
+                policy_key)
+            return fn, key, persist_hit, time.perf_counter() - started
+
+        def apply(artifact, error):
+            self._pending.discard(head)
+            if error is not None:
+                return  # stay on the per-block tiers
+            fn, key, persist_hit, seconds = artifact
+            stats.compile_seconds += seconds
+            if persist_hit:
+                stats.persist_hits += 1
+            records = self.chains.records
+            for link in steps:
+                if records.get(link.entry) is not link:
+                    # A constituent was replaced/evicted mid-compile;
+                    # the trace would execute a dead translation.
+                    stats.stale_drops += 1
+                    if key is not None and persistent is not None:
+                        persistent.discard(key)
+                    return
+            injector = self.injector
+            if (injector is not None and injector.armed
+                    and injector.should_fire(_corrupt_site())):
+                injector.record(_corrupt_site(),
+                                "megablock %#x driver corrupted" % head)
+                fn = _corrupt_driver(head)
+            mega = Megablock(head, steps, loop, fn, key, seconds)
+            self._megablocks[head] = mega
+            covering = self._covering
+            for link in steps:
+                heads = covering.get(link.entry)
+                if heads is None:
+                    heads = covering[link.entry] = set()
+                heads.add(head)
+            stats.compiled += 1
+            self._emit("trace_compiled", head, len(steps))
+
+        self.queue.submit("trace:%#x" % head, work, apply)
+
+    def _walk(self, head: int):
+        """Record the profiled path from ``head`` through the chain
+        index, or ``None`` when no worthwhile trace exists (yet)."""
+        records = self.chains.records
+        record = records.get(head)
+        if record is None or record.firstpass:
+            return None
+        cfg = self.config
+        steps = [record]
+        seen = {head}
+        loop = False
+        current = record
+        while len(steps) < cfg.max_blocks:
+            nxt = self._next_step(current, head)
+            if nxt is None:
+                break
+            if nxt.entry == head:
+                loop = True
+                break
+            if nxt.entry in seen or nxt.firstpass:
+                break
+            steps.append(nxt)
+            seen.add(nxt.entry)
+            current = nxt
+        if not loop and len(steps) < cfg.min_blocks:
+            return None
+        return tuple(steps), loop
+
+    def _next_step(self, link, head: int):
+        """The profiled successor of ``link``, or ``None`` when the
+        profile cannot justify baking an edge."""
+        out = self.chains._out.get(link.entry)
+        if not out:
+            return None
+        branch = link.branch
+        if branch is None:
+            # A single observed successor is the whole story.
+            if len(out) == 1:
+                return next(iter(out.values()))
+            # Multi-exit superblock (the deciding conditional lives
+            # inside the translated region, so there is no terminator
+            # branch profile).  If one observed edge closes the loop
+            # back to the trace head, follow it: loop back-edges
+            # dominate by construction of hotness, and the megablock's
+            # guards plus the demotion policy cover a wrong guess.
+            successor = out.get(head)
+            if successor is not None:
+                return successor
+            return None
+        cfg = self.config
+        direction = self.engine.profile.predicted_direction(
+            branch[0], cfg.branch_min_samples, cfg.branch_min_bias)
+        if direction is None:
+            return None
+        if direction:
+            return out.get(branch[1])
+        fallthrough = [successor for pc, successor in out.items()
+                       if pc != branch[1]]
+        if len(fallthrough) == 1:
+            return fallthrough[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Cache-mutation parity.
+    # ------------------------------------------------------------------
+
+    def retire_entry(self, entry: int) -> None:
+        """A cache mutation dropped ``entry``'s translation: atomically
+        retire every megablock containing it (and their envelopes)."""
+        heads = self._covering.pop(entry, None)
+        if not heads:
+            return
+        for head in heads:
+            mega = self._megablocks.pop(head, None)
+            if mega is not None:
+                self._retire(mega)
+
+    def clear(self) -> None:
+        """Wholesale flush: every megablock dies with the cache."""
+        megablocks = list(self._megablocks.values())
+        self._megablocks.clear()
+        self._covering.clear()
+        for mega in megablocks:
+            self._discard_envelope(mega)
+            self.stats.retired += 1
+
+    def _retire(self, mega: Megablock) -> None:
+        self.stats.retired += 1
+        self._unindex(mega)
+        self._discard_envelope(mega)
+
+    def _unindex(self, mega: Megablock) -> None:
+        covering = self._covering
+        for link in mega.steps:
+            heads = covering.get(link.entry)
+            if heads is not None:
+                heads.discard(mega.head)
+                if not heads:
+                    del covering[link.entry]
+
+    def _discard_envelope(self, mega: Megablock) -> None:
+        if mega.persist_key is not None:
+            persistent = self.system.tcache
+            if persistent is not None:
+                persistent.discard(mega.persist_key)
+
+    # ------------------------------------------------------------------
+    # Observability (general path only; the fused path runs observer-free
+    # by definition).
+    # ------------------------------------------------------------------
+
+    def _emit(self, name: str, head: int, blocks: int) -> None:
+        observer = self.engine.observer
+        if observer is not None:
+            observer.trace_event(name, head, blocks,
+                                 self.system.core.cycle)
+
+
+def _corrupt_driver(head: int):
+    """Fault-injection stand-in for a megablock driver: fails its
+    integrity check before touching any state, so the dispatcher can
+    retire the trace and re-dispatch down the per-block tiers."""
+
+    def _trace_fn(core, ctx, blocks_executed):
+        raise MegablockCorruptError(
+            "megablock %#x driver failed integrity check" % head)
+
+    return _trace_fn
+
+
+def _corrupt_site():
+    from ..resilience.faults import FaultSite
+
+    return FaultSite.TRACE_GUARD_CORRUPT
+
+
+# ---------------------------------------------------------------------------
+# Tier-4 chained dispatch: run_compiled_chain with megablock acceleration.
+# ---------------------------------------------------------------------------
+
+def run_traced_chain(core, record, ctx, blocks_executed: int, traces):
+    """Execute ``record``'s chain with tier-4 megablock acceleration.
+
+    The per-block iteration is :func:`repro.vliw.codegen.run_compiled_chain`
+    verbatim — the same profiling seam, the same break reasons in the
+    same order.  On top of it, **trace heads** (the chain-walk start and
+    every backward-edge target, i.e. loop headers) are checked against
+    the trace manager: an installed megablock runs the whole recorded
+    path in one driver call, an uncompiled hot head is counted toward
+    recording.  Head detection must live *inside* the walk because in
+    steady state one fused dispatch can execute the entire guest loop —
+    the dispatcher boundary is far too coarse to ever see a loop header
+    twice.
+
+    Returns ``run_compiled_chain``'s 5-tuple; exactly one chain break is
+    recorded per call whichever mix of megablock and per-block execution
+    produced it.
+    """
+    from ..vliw.pipeline import ExitReason, VliwExecutionError, _RollbackSignal
+
+    regs = core.regs
+    mcb_clear = core.mcb.clear
+    core_stats = core.stats
+    config = core.config
+
+    out_map = ctx.out
+    raw_blocks = ctx.raw_blocks
+    block_counts = ctx.block_counts
+    branches = ctx.branches
+    new_branch_profile = ctx.branch_profile
+    hot_threshold = ctx.hot_threshold
+    max_optimizations = ctx.max_optimizations
+    engine_stats = ctx.engine_stats
+    max_blocks = ctx.max_blocks
+    max_cycles = ctx.max_cycles
+    lru = ctx.lru
+    link_successor = ctx.link_successor
+    syscall = ExitReason.SYSCALL
+    dispatches = 0
+
+    megablocks = traces._megablocks
+    visit = traces.visit
+    head_visit = True
+
+    while True:
+        entry = record.entry
+        if head_visit:
+            head_visit = False
+            mega = megablocks.get(entry)
+            if mega is not None:
+                if mega.steps[0] is not record:
+                    # The head's translation changed under the megablock
+                    # (the synchronous retirement hooks should make this
+                    # unreachable); never execute a stale trace.
+                    traces.retire_entry(entry)
+                    mega = None
+            else:
+                visit(entry)
+                # A sync-mode compile can install the megablock inside
+                # visit(); run it on the *next* head arrival so the
+                # recording dispatch itself stays on the per-block path.
+            if mega is not None:
+                status = None
+                try:
+                    (status, result, idx, blocks_executed,
+                     mega_dispatches) = mega.fn(core, ctx, blocks_executed)
+                except MegablockCorruptError:
+                    # Integrity failure before any state change: retire
+                    # the trace and re-dispatch this record down the
+                    # per-block tiers.
+                    traces.demote(mega, corrupted=True)
+                if status is not None:
+                    dispatches += mega_dispatches
+                    step = mega.steps[idx]
+                    if status != "cont":
+                        traces.note_exit(mega, status, mega_dispatches)
+                        record = step
+                        reason = status
+                        break
+                    kind = ("side_exit" if idx < len(mega.steps) - 1
+                            else "loop_exit" if mega.loop
+                            else "trace_end")
+                    traces.note_exit(mega, kind, mega_dispatches)
+                    # run_compiled_chain's successor tail, for the block
+                    # the trace exited from.
+                    next_pc = result.next_pc
+                    successors = out_map.get(step.entry)
+                    nxt = (successors.get(next_pc)
+                           if successors is not None else None)
+                    if nxt is None:
+                        successor_block = raw_blocks.get(next_pc)
+                        if successor_block is None:
+                            record = step
+                            reason = "miss"
+                            break
+                        nxt = link_successor(step.entry, next_pc,
+                                             successor_block)
+                    head_visit = next_pc <= step.entry
+                    record = nxt
+                    continue
+
+        # --- per-block iteration: run_compiled_chain's body, verbatim.
+        blocks_executed += 1
+        dispatches += 1
+        core_stats.blocks_executed += 1
+        fblock = record.fblock
+        if fblock is None:
+            fblock = record.fblock = finalize_block(record.block, config)
+        fn = fblock.compiled
+        if record.can_rollback:
+            entry_regs = regs._regs[:]
+            store_log = []
+        else:
+            entry_regs = None
+            store_log = None
+        rolled_back = False
+        try:
+            if fn is not None:
+                result = fn(core, store_log)
+            else:
+                result = core._run_fast(fblock, store_log)
+        except _RollbackSignal:
+            core._undo(entry_regs, store_log)
+            mcb_clear()
+            core_stats.rollbacks += 1
+            core.cycle += config.rollback_penalty
+            recovery = record.block.recovery
+            if recovery is None:
+                raise VliwExecutionError(
+                    "MCB conflict in block %#x with no recovery code"
+                    % entry)
+            result = core._run(recovery, None)
+            result.rolled_back = True
+            rolled_back = True
+
+        mcb_clear()
+        core.instret += result.guest_instructions
+        if lru:
+            current = raw_blocks.pop(entry, None)
+            if current is not None:
+                raw_blocks[entry] = current
+        count = block_counts.get(entry, 0) + 1
+        block_counts[entry] = count
+        branch = record.branch
+        reason_exit = result.reason
+        if branch is not None and reason_exit is not syscall:
+            branch_profile = branches.get(branch[0])
+            if branch_profile is None:
+                branch_profile = new_branch_profile()
+                branches[branch[0]] = branch_profile
+            if result.next_pc == branch[1]:
+                branch_profile.taken += 1
+            else:
+                branch_profile.not_taken += 1
+        if (record.firstpass and count >= hot_threshold
+                and engine_stats.optimizations < max_optimizations):
+            reason = "hot"
+            break
+        elif rolled_back:
+            reason = "rollback"
+            break
+        if reason_exit is syscall:
+            reason = "syscall"
+            break
+        if blocks_executed >= max_blocks or core.cycle >= max_cycles:
+            reason = "budget"
+            break
+        next_pc = result.next_pc
+        successors = out_map.get(entry)
+        nxt = successors.get(next_pc) if successors is not None else None
+        if nxt is None:
+            successor_block = raw_blocks.get(next_pc)
+            if successor_block is None:
+                reason = "miss"
+                break
+            nxt = link_successor(entry, next_pc, successor_block)
+        head_visit = next_pc <= entry
+        record = nxt
+
+    return result, reason, record, blocks_executed, dispatches

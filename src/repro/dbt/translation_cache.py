@@ -32,9 +32,10 @@ import hashlib
 import json
 import marshal
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..vliw.block import TranslatedBlock
 
@@ -95,6 +96,12 @@ class TranslationCache:
         #: mutation unlinks through it (set by the engine when chaining
         #: is enabled).
         self.chains = None
+        #: Optional :class:`~repro.dbt.traces.TraceManager`; every cache
+        #: mutation retires the megablocks covering the touched entry
+        #: (set by the system when the trace tier is selected), with the
+        #: same synchronicity as chain unlinking — a megablock must
+        #: never survive a constituent translation.
+        self.traces = None
         #: Called with the evicted entry on each LRU eviction.
         self.evict_listeners: List[Callable[[int], None]] = []
         #: Called (no arguments) on each wholesale capacity flush.
@@ -118,6 +125,8 @@ class TranslationCache:
             self._forget_compiled(self._blocks[entry])
             if self.chains is not None:
                 self.chains.unlink(entry)
+            if self.traces is not None:
+                self.traces.retire_entry(entry)
             if self._lru:
                 del self._blocks[entry]  # reinstall below at MRU position
         elif self.capacity is not None and len(self._blocks) >= self.capacity:
@@ -128,6 +137,8 @@ class TranslationCache:
                 self.stats.evictions += 1
                 if self.chains is not None:
                     self.chains.unlink(victim)
+                if self.traces is not None:
+                    self.traces.retire_entry(victim)
                 for listener in self.evict_listeners:
                     listener(victim)
             else:
@@ -137,6 +148,8 @@ class TranslationCache:
                 self.stats.capacity_flushes += 1
                 if self.chains is not None:
                     self.chains.clear()
+                if self.traces is not None:
+                    self.traces.clear()
                 for listener in self.flush_listeners:
                     listener()
         self.stats.installs += 1
@@ -160,6 +173,8 @@ class TranslationCache:
             self._forget_compiled(dropped)
             if self.chains is not None:
                 self.chains.unlink(entry)
+            if self.traces is not None:
+                self.traces.retire_entry(entry)
         return existed
 
     def clear(self) -> None:
@@ -168,6 +183,8 @@ class TranslationCache:
         self._blocks.clear()
         if self.chains is not None:
             self.chains.clear()
+        if self.traces is not None:
+            self.traces.clear()
 
     def _forget_compiled(self, block: TranslatedBlock) -> None:
         """Tier-3 eviction parity: a translation leaving the cache takes
@@ -202,6 +219,55 @@ class TranslationCache:
 #: the codegen key version (which already covers generator + bytecode
 #: compatibility).
 _ENVELOPE_VERSION = 1
+
+#: Process-wide memo of unmarshalled code objects, keyed by envelope
+#: path.  Cache *instances* are per-system and come and go with every
+#: experiment point, while the envelopes they share are immutable on
+#: disk — so re-reading, re-checksumming and re-unmarshalling them for
+#: every system in a long campaign is pure waste (it used to dominate
+#: the warm-tcache wall).  Each entry carries the file's
+#: ``(mtime_ns, size)`` fingerprint and a hit revalidates it with one
+#: ``stat``: any rewrite — including the chaos matrix's bit flips —
+#: changes the fingerprint and forces the full validating disk read,
+#: so corruption detection is exactly as strong as without the memo.
+_PROCESS_MEMO: "OrderedDict[str, Tuple[Tuple[int, int], object]]" = (
+    OrderedDict())
+_PROCESS_MEMO_LIMIT = 4096
+
+
+def _process_memo_put(path: Path, code) -> None:
+    try:
+        stat = path.stat()
+    except OSError:
+        return
+    _PROCESS_MEMO[str(path)] = ((stat.st_mtime_ns, stat.st_size), code)
+    _PROCESS_MEMO.move_to_end(str(path))
+    while len(_PROCESS_MEMO) > _PROCESS_MEMO_LIMIT:
+        _PROCESS_MEMO.popitem(last=False)
+
+
+def _process_memo_get(path: Path):
+    """The memoized code object for ``path``, or ``None`` when absent
+    or when the file on disk no longer matches the fingerprint."""
+    entry = _PROCESS_MEMO.get(str(path))
+    if entry is None:
+        return None
+    try:
+        stat = path.stat()
+    except OSError:
+        _PROCESS_MEMO.pop(str(path), None)
+        return None
+    if entry[0] != (stat.st_mtime_ns, stat.st_size):
+        _PROCESS_MEMO.pop(str(path), None)
+        return None
+    _PROCESS_MEMO.move_to_end(str(path))
+    return entry[1]
+
+
+def clear_process_memo() -> None:
+    """Drop every process-memoized envelope (tests simulating a fresh
+    process)."""
+    _PROCESS_MEMO.clear()
 
 
 @dataclass(frozen=True, slots=True)
@@ -280,6 +346,11 @@ class PersistentCodegenCache:
             self.loads += 1
             return code
         path = self._path(key)
+        code = _process_memo_get(path)
+        if code is not None:
+            self._memory[key] = code
+            self.loads += 1
+            return code
         try:
             text = path.read_text()
         except OSError:
@@ -304,6 +375,7 @@ class PersistentCodegenCache:
             self._quarantine(path, error)
             return None
         self._memory[key] = code
+        _process_memo_put(path, code)
         self.loads += 1
         return code
 
@@ -327,11 +399,13 @@ class PersistentCodegenCache:
             # must never fail the run.
             return
         self._memory[key] = code
+        _process_memo_put(path, code)
         self.stores += 1
 
     def discard(self, key: str) -> None:
         """Drop ``key``'s envelope (eviction/invalidation parity)."""
         self._memory.pop(key, None)
+        _PROCESS_MEMO.pop(str(self._path(key)), None)
         try:
             self._path(key).unlink()
         except OSError:

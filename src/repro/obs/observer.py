@@ -32,6 +32,7 @@ from .trace import (
     TRACK_ENGINE,
     TRACK_EVENTS,
     TRACK_MEM,
+    TRACK_TRACE,
     Tracer,
 )
 
@@ -184,6 +185,21 @@ class Observer:
             self.bus.emit(Event("chain_dispatch", end_cycle, {
                 "blocks": blocks, "break": reason}))
 
+    def trace_event(self, name: str, head: int, blocks: int,
+                    cycle: int) -> None:
+        """Tier-4 trace lifecycle event (``trace_recorded`` /
+        ``trace_compiled`` / ``trace_demoted``) for the megablock headed
+        at ``head`` covering ``blocks`` blocks."""
+        self.registry.counter("dbt.trace." + name).inc()
+        if self.tracer is not None:
+            self.tracer.add_instant(
+                name, TRACK_TRACE, self.tracer.tick(cycle),
+                category="trace",
+                args={"head": "%#x" % head, "blocks": blocks})
+        if self.bus.active:
+            self.bus.emit(Event(name, cycle,
+                                {"head": head, "blocks": blocks}))
+
     # ------------------------------------------------------------------
     # Memory hooks.
     # ------------------------------------------------------------------
@@ -291,3 +307,14 @@ class Observer:
                 codegen.persist_stores)
             reg.gauge("dbt.codegen.bytes").set(codegen.bytes)
             reg.gauge("dbt.codegen.quarantined").set(codegen.quarantined)
+        trace = getattr(result, "trace", None)
+        if trace is not None:
+            reg.gauge("dbt.trace.recorded").set(trace.recorded)
+            reg.gauge("dbt.trace.compiled").set(trace.compiled)
+            reg.gauge("dbt.trace.dispatches").set(trace.dispatches)
+            reg.gauge("dbt.trace.blocks").set(trace.blocks)
+            reg.gauge("dbt.trace.demotions").set(trace.demotions)
+            reg.gauge("dbt.trace.retired").set(trace.retired)
+            reg.gauge("dbt.trace.stale_drops").set(trace.stale_drops)
+            for kind, count in trace.guard_exits.items():
+                reg.gauge("dbt.trace.guard_exits." + kind).set(count)

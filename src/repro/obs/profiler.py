@@ -308,10 +308,29 @@ def profile_run(program, policy, vliw_config=None, engine_config=None,
                        engine_config=engine_config, interpreter=interpreter,
                        tcache_dir=tcache_dir, profiler=profiler)
     result = system.run()
+    traces = getattr(system, "traces", None)
+    trace_section = None
+    if traces is not None:
+        stats = traces.stats
+        trace_section = {
+            "recorded": stats.recorded,
+            "compiled": stats.compiled,
+            "persist_hits": stats.persist_hits,
+            "dispatches": stats.dispatches,
+            "blocks": stats.blocks,
+            "demotions": stats.demotions,
+            "guard_exits": dict(stats.guard_exits),
+            "compile_seconds": stats.compile_seconds,
+            "megablocks": [dict(row, head="%#x" % row["head"])
+                           for row in traces.megablock_rows()],
+        }
     profiler.detach()
     run_meta = {"policy": policy.value, "interpreter": system.interpreter}
     run_meta.update(meta or {})
-    return result, profiler.report(run_meta)
+    report = profiler.report(run_meta)
+    if trace_section is not None:
+        report["traces"] = trace_section
+    return result, report
 
 
 # ---------------------------------------------------------------------------
@@ -358,7 +377,7 @@ def amortization_report(fast_report: dict, compiled_report: dict,
             "amortized": saved > compile_cost,
         })
     rows.sort(key=lambda r: -r["saved_ms"])
-    return {
+    report = {
         "schema": "repro.amortization/1",
         "workload": workload,
         "blocks": rows,
@@ -367,6 +386,14 @@ def amortization_report(fast_report: dict, compiled_report: dict,
         "preferred_tier": ("compiled" if total_saved > total_compile
                            else "fast"),
     }
+    traces = compiled_report.get("traces")
+    if traces is not None:
+        # Tier-4 rows ride along verbatim: megablock compile time is
+        # background wall time (the engine never stalls for it), so it
+        # is reported next to, not merged into, the per-block ledger.
+        report["megablocks"] = traces["megablocks"]
+        report["trace_compile_ms"] = traces["compile_seconds"] * 1e3
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -398,6 +425,33 @@ def format_profile(report: dict, top: int = 10) -> str:
                          % (row["entry"], row["kind"], row["tier"],
                             row["executions"], row["seconds"],
                             row["codegen_seconds"] * 1e3))
+    traces = report.get("traces")
+    if traces is not None:
+        lines.append("")
+        lines.append("megablocks (tier-4 traces; compile time is "
+                     "background wall time):")
+        lines.append(_format_megablocks(traces["megablocks"], top))
+        lines.append("trace totals: recorded %d, compiled %d "
+                     "(%d persisted), %d dispatches over %d blocks, "
+                     "%d demotions, compile %.3f ms"
+                     % (traces["recorded"], traces["compiled"],
+                        traces["persist_hits"], traces["dispatches"],
+                        traces["blocks"], traces["demotions"],
+                        traces["compile_seconds"] * 1e3))
+    return "\n".join(lines)
+
+
+def _format_megablocks(rows: List[dict], top: int) -> str:
+    lines = ["head          steps  loop     disp       blocks   compile ms",
+             "-" * 60]
+    for row in rows[:top]:
+        lines.append("%-12s %6d %5s %8d %12d %12.3f"
+                     % (row["head"], row["steps"],
+                        "yes" if row["loop"] else "no",
+                        row["dispatches"], row["blocks"],
+                        row["compile_seconds"] * 1e3))
+    if not rows:
+        lines.append("(no megablocks installed)")
     return "\n".join(lines)
 
 
@@ -415,6 +469,14 @@ def format_amortization(report: dict, top: int = 10) -> str:
                         "yes" if row["amortized"] else "no"))
     if not report["blocks"]:
         lines.append("(no blocks ran on the compiled tier)")
+    megablocks = report.get("megablocks")
+    if megablocks is not None:
+        lines.append("")
+        lines.append("megablocks (tier-4; compiled off the hot path, so "
+                     "compile ms is background wall time):")
+        lines.append(_format_megablocks(megablocks, top))
+        lines.append("trace compile total: %.3f ms (not on the engine's "
+                     "critical path)" % report["trace_compile_ms"])
     lines.append("")
     lines.append("total: compile %.3f ms vs saved %.3f ms -> prefer the "
                  "%s tier"

@@ -33,6 +33,7 @@ TRACK_CORE = "vliw-core"
 TRACK_MEM = "mem"
 TRACK_EVENTS = "events"
 TRACK_CHAIN = "chain"
+TRACK_TRACE = "trace-compile"
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,7 @@ from typing import Dict, Optional
 
 from ..dbt.chaining import ChainStats
 from ..dbt.engine import DbtEngineStats
+from ..dbt.traces import TraceStats
 from ..dbt.translation_cache import TranslationCacheStats
 from ..mem.cache import CacheStats
 from ..vliw.codegen import CodegenStats
@@ -29,6 +30,7 @@ class SystemRunResult:
     tcache: Optional[TranslationCacheStats] = None
     chain: Optional[ChainStats] = None
     codegen: Optional[CodegenStats] = None
+    trace: Optional[TraceStats] = None
 
     @property
     def ipc(self) -> float:
@@ -94,6 +96,19 @@ class SystemRunResult:
             lines.append(
                 "chaining       : %d links, %d chained dispatches (breaks: %s)"
                 % (self.chain.links, self.chain.dispatches, breaks or "none")
+            )
+        if self.trace is not None:
+            exits = ", ".join(
+                "%s=%d" % (kind, count)
+                for kind, count in sorted(self.trace.guard_exits.items()))
+            lines.append(
+                "traces         : %d recorded, %d compiled, %d dispatches "
+                "covering %d blocks, %d demotions (exits: %s; "
+                "%.1f ms background compile)"
+                % (self.trace.recorded, self.trace.compiled,
+                   self.trace.dispatches, self.trace.blocks,
+                   self.trace.demotions, exits or "none",
+                   1e3 * self.trace.compile_seconds)
             )
         if self.cache is not None:
             lines.append(

@@ -90,6 +90,13 @@ _RECORD_FIELDS = ("exit_code", "cycles", "instructions",
 #: Subdirectory corrupt cache records are moved into for post-mortems.
 _QUARANTINE_DIR = "quarantine"
 
+#: Estimated cost of standing up a worker pool (process spawns, grid
+#: pickling, warm-up imports).  The adaptive warm-start model in
+#: :func:`run_points` only fans out when the projected parallel saving
+#: exceeds this, so ``--jobs N`` on a small sweep degrades to the serial
+#: path instead of paying pool spin-up it can never amortize.
+POOL_SPINUP_SECONDS = 1.0
+
 
 # ---------------------------------------------------------------------------
 # Runner telemetry and failure reporting.
@@ -108,6 +115,11 @@ class RunnerTelemetry:
     serial_fallbacks: int = 0
     checkpoint_hits: int = 0
     quarantined_cache_files: int = 0
+    #: Points run in-process to calibrate the adaptive cost model.
+    warm_start_points: int = 0
+    #: Points kept in-process because the sweep was too small for a
+    #: pool to pay for itself.
+    adaptive_serial_points: int = 0
 
     @property
     def faults_survived(self) -> int:
@@ -117,11 +129,13 @@ class RunnerTelemetry:
     def summary(self) -> str:
         return ("attempts=%d crashes=%d timeouts=%d worker_errors=%d "
                 "retries=%d pool_restarts=%d serial_fallbacks=%d "
-                "checkpoint_hits=%d quarantined=%d"
+                "checkpoint_hits=%d quarantined=%d warm_start=%d "
+                "adaptive_serial=%d"
                 % (self.attempts, self.crashes, self.timeouts,
                    self.worker_errors, self.retries, self.pool_restarts,
                    self.serial_fallbacks, self.checkpoint_hits,
-                   self.quarantined_cache_files))
+                   self.quarantined_cache_files, self.warm_start_points,
+                   self.adaptive_serial_points))
 
 
 @dataclass
@@ -198,6 +212,7 @@ def config_fingerprint(vliw_config: Optional[VliwConfig],
         "code_cache_capacity": engine_config.code_cache_capacity,
         "code_cache_policy": engine_config.code_cache_policy,
         "chain": engine_config.chain,
+        "tier_mode": engine_config.tier_mode,
     }
     return json.dumps({"vliw": vliw_part, "engine": engine_part},
                       sort_keys=True)
@@ -379,6 +394,7 @@ def run_points(
     worker_faults: Optional[Dict[int, WorkerFault]] = None,
     serial_fallback: bool = True,
     on_result: Optional[Callable[[int, object], None]] = None,
+    adaptive: bool = True,
 ) -> List[object]:
     """Run ``worker(*task, fault)`` for every task, hardened.
 
@@ -399,6 +415,11 @@ def run_points(
 
     ``on_result(index, result)`` fires as each point completes (in
     completion order) — the checkpoint/memo hook.
+
+    ``adaptive=False`` disables the warm-start cost model, so
+    ``jobs > 1`` always stands up a pool even when the sweep is too
+    small to amortize it — for callers that need real workers (e.g.
+    exercising the multi-process telemetry merge).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -486,6 +507,26 @@ def run_points(
             _complete(index, worker(*tasks[index], None))
         return results
     else:
+        # Adaptive warm-start cost model: a pool costs real wall time to
+        # stand up (process spawns, pickling, imports), which small
+        # sweeps can never amortize — measured regressions showed
+        # ``--jobs 4`` losing to serial on the small figure-4 grid.  Run
+        # the first point in-process to calibrate the per-point cost,
+        # then fan out only when the projected parallel saving over the
+        # remaining points beats the spin-up cost.  Only safe without
+        # injected faults (serial never applies them) and without a
+        # timeout (serial cannot enforce one).
+        if adaptive and pending and worker_faults is None and timeout is None:
+            first = min(pending)
+            start = time.perf_counter()
+            _serial_pass([first])
+            per_point = time.perf_counter() - start
+            telemetry.warm_start_points += 1
+            remaining = len(pending)
+            projected_saving = per_point * remaining * (jobs - 1) / jobs
+            if projected_saving <= POOL_SPINUP_SECONDS:
+                telemetry.adaptive_serial_points += remaining
+                _serial_pass(sorted(pending))
         for attempt in range(retries + 1):
             if not pending:
                 break
@@ -536,6 +577,7 @@ def sweep_comparisons(
     worker_faults: Optional[Dict[int, WorkerFault]] = None,
     tcache_dir=None,
     point_telemetry: Optional[TelemetryConfig] = None,
+    adaptive: bool = True,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
@@ -556,6 +598,9 @@ def sweep_comparisons(
     template) makes every *simulated* point spool a telemetry envelope;
     cache/checkpoint hits skip the simulation and therefore spool
     nothing — run with a cold cache when every point must be accounted.
+
+    ``adaptive=False`` forces a real pool for ``jobs > 1`` even when
+    the adaptive cost model would keep a small sweep in-process.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -620,6 +665,7 @@ def sweep_comparisons(
                 telemetry=telemetry,
                 worker_faults=worker_faults,
                 on_result=_persist,
+                adaptive=adaptive,
             )
         except ParallelRunError as error:
             raise ParallelRunError(

@@ -22,6 +22,8 @@ from ..obs.observer import Observer
 from ..security.policy import MitigationPolicy
 from ..dbt.chaining import ChainedDispatcher
 from ..dbt.engine import DbtEngine, DbtEngineConfig
+from ..dbt.tiering import CompileQueue, TierController
+from ..dbt.traces import TraceConfig, TraceManager
 from ..dbt.translation_cache import PersistentCodegenCache
 from ..vliw.codegen import CodegenStats, ensure_compiled
 from ..vliw.config import VliwConfig
@@ -71,6 +73,8 @@ class DbtSystem:
         supervisor=None,
         tcache_dir=None,
         profiler=None,
+        trace_config: Optional[TraceConfig] = None,
+        compile_queue_mode: Optional[str] = None,
     ):
         self.program = program
         self.policy = policy
@@ -81,14 +85,18 @@ class DbtSystem:
             self.memory.memory.load_image(base, image)
         self.core = VliwCore(self.vliw_config, self.memory)
         if interpreter is not None:
-            if interpreter not in ("fast", "reference", "compiled"):
+            if interpreter not in ("fast", "reference", "compiled",
+                                   "trace"):
                 raise ValueError(
-                    "interpreter must be 'fast', 'reference' or "
-                    "'compiled', got %r" % (interpreter,))
+                    "interpreter must be 'fast', 'reference', "
+                    "'compiled' or 'trace', got %r" % (interpreter,))
             self.core.use_fast_path = interpreter != "reference"
-            self.core.use_compiled = interpreter == "compiled"
-        #: The effective host tier ("compiled" / "fast" / "reference").
-        self.interpreter = ("compiled" if self.core.use_compiled
+            self.core.use_compiled = interpreter in ("compiled", "trace")
+        #: The effective host tier ("trace" / "compiled" / "fast" /
+        #: "reference").  "trace" is tier-3 plus megablock trace
+        #: compilation on top (bit-identical simulated results).
+        self.interpreter = ("trace" if interpreter == "trace"
+                           else "compiled" if self.core.use_compiled
                            else "fast" if self.core.use_fast_path
                            else "reference")
         self.core.regs.write(_REG_SP, self.platform_config.stack_top)
@@ -102,36 +110,72 @@ class DbtSystem:
         self.codegen: Optional[CodegenStats] = None
         #: Persistent cross-process codegen cache (``tcache_dir``).
         self.tcache: Optional[PersistentCodegenCache] = None
+        #: Background compile queue; None keeps codegen fully inline.
+        self.compile_queue: Optional[CompileQueue] = None
+        #: Profile-driven tier placement (``tier_mode="auto"``).
+        self.tier: Optional[TierController] = None
+        #: Tier-4 trace manager (``interpreter="trace"`` with chaining).
+        self.traces: Optional[TraceManager] = None
+        tier_auto = self.engine.config.tier_mode == "auto"
+        use_traces = (self.interpreter == "trace"
+                      and self.engine.config.chain)
         if self.core.use_compiled:
             self.codegen = CodegenStats()
             self.core.codegen_stats = self.codegen
             if tcache_dir is not None:
                 self.tcache = PersistentCodegenCache(tcache_dir)
                 self.engine.cache.persistent = self.tcache
-            # Compile at install time, through the same finalizer hook
-            # the fast path uses for lowering.  Only optimized
-            # (reoptimized) translations are compiled: first-pass blocks
-            # are replaced after a handful of executions, so their
-            # compile cost can never amortize — they run on the fast
-            # interpreter instead, exactly like a real DBT's tiering.
-            # The recovery variant of a compiled block is compiled
-            # eagerly so a rollback never pays a compile hiccup
-            # mid-experiment.
+            if tier_auto or use_traces:
+                # Traces under an eager tier compile synchronously (at
+                # submit); automatic tiering compiles on a background
+                # thread.  Either way results are applied only at safe
+                # points, and compile *timing* can never change a
+                # simulated observable — blocks simply execute on the
+                # fast interpreter until the compiled form swaps in.
+                mode = (compile_queue_mode
+                        if compile_queue_mode is not None
+                        else "thread" if tier_auto else "sync")
+                self.compile_queue = CompileQueue(mode)
             stats = self.codegen
             persistent = self.tcache
             policy_key = policy.value
             vliw_config = self.vliw_config
+            if tier_auto:
+                # Profile-driven promotion: install only lowers to the
+                # fast path; the controller compiles a block in the
+                # background once its execution count shows the compile
+                # will amortize.  Small kernels thus never pay codegen.
+                self.tier = TierController(self, self.compile_queue)
+                tier = self.tier
 
-            def _finalize_and_compile(block):
-                fblock = finalize_block(block, vliw_config)
-                if block.kind != "firstpass":
-                    ensure_compiled(fblock, stats, persistent, policy_key)
-                    if fblock.recovery is not None:
-                        ensure_compiled(fblock.recovery, stats, persistent,
+                def _finalize_and_note(block):
+                    fblock = finalize_block(block, vliw_config)
+                    if block.kind != "firstpass":
+                        tier.note_install(block, fblock)
+                    return fblock
+
+                self.engine.cache.finalizer = _finalize_and_note
+            else:
+                # Compile at install time, through the same finalizer
+                # hook the fast path uses for lowering.  Only optimized
+                # (reoptimized) translations are compiled: first-pass
+                # blocks are replaced after a handful of executions, so
+                # their compile cost can never amortize — they run on
+                # the fast interpreter instead, exactly like a real
+                # DBT's tiering.  The recovery variant of a compiled
+                # block is compiled eagerly so a rollback never pays a
+                # compile hiccup mid-experiment.
+                def _finalize_and_compile(block):
+                    fblock = finalize_block(block, vliw_config)
+                    if block.kind != "firstpass":
+                        ensure_compiled(fblock, stats, persistent,
                                         policy_key)
-                return fblock
+                        if fblock.recovery is not None:
+                            ensure_compiled(fblock.recovery, stats,
+                                            persistent, policy_key)
+                    return fblock
 
-            self.engine.cache.finalizer = _finalize_and_compile
+                self.engine.cache.finalizer = _finalize_and_compile
         elif not self.core.use_fast_path:
             # The finalized form is only consumed by the fast path;
             # skip the install-time lowering when this system never
@@ -144,6 +188,11 @@ class DbtSystem:
         self.chain: Optional[ChainedDispatcher] = None
         if self.engine.config.chain:
             self.chain = ChainedDispatcher(self)
+        if use_traces and self.chain is not None:
+            self.traces = TraceManager(self, self.compile_queue,
+                                       trace_config)
+            self.chain.traces = self.traces
+            self.engine.cache.traces = self.traces
         #: Optional observability sink, threaded through the core and the
         #: engine; None (the default) keeps every hook a single dead
         #: branch so instrumentation cannot perturb the timing model.
@@ -195,18 +244,32 @@ class DbtSystem:
     def run(self) -> SystemRunResult:
         """Run the guest to completion."""
         limits = self.platform_config
-        while not self.exited:
-            if self.blocks_executed >= limits.max_blocks:
-                raise PlatformError(
-                    "block budget exhausted (%d) at pc %#x"
-                    % (limits.max_blocks, self.pc)
-                )
-            if self.core.cycle >= limits.max_cycles:
-                raise PlatformError(
-                    "cycle budget exhausted (%d) at pc %#x"
-                    % (limits.max_cycles, self.pc)
-                )
-            self.step_block()
+        queue = self.compile_queue
+        tier = self.tier
+        try:
+            while not self.exited:
+                if self.blocks_executed >= limits.max_blocks:
+                    raise PlatformError(
+                        "block budget exhausted (%d) at pc %#x"
+                        % (limits.max_blocks, self.pc)
+                    )
+                if self.core.cycle >= limits.max_cycles:
+                    raise PlatformError(
+                        "cycle budget exhausted (%d) at pc %#x"
+                        % (limits.max_cycles, self.pc)
+                    )
+                self.step_block()
+                if queue is not None:
+                    # Safe point: no dispatch in flight, so finished
+                    # background compiles may swap in now.
+                    queue.drain()
+                    if tier is not None:
+                        tier.poll()
+        finally:
+            if tier is not None:
+                tier.finish()
+            if queue is not None:
+                queue.close()
         result = self.result()
         if self.observer is not None:
             self.observer.snapshot(result)
@@ -228,6 +291,7 @@ class DbtSystem:
             tcache=self.engine.cache.stats,
             chain=self.chain.stats if self.chain is not None else None,
             codegen=self.codegen,
+            trace=self.traces.stats if self.traces is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ from ..platform.parallel import (
 )
 from ..platform.system import DbtSystem
 from ..security.policy import MitigationPolicy
+from ..dbt.traces import TraceConfig
 from .faults import (
     ENGINE_SITES,
     FaultInjector,
@@ -175,6 +176,100 @@ def _engine_cell(site: FaultSite, seed: int, scenario: str, program,
 
 
 # ---------------------------------------------------------------------------
+# Tier-4 trace/background-codegen scenarios.  These force chaining plus
+# the trace tier regardless of the matrix-level flags (megablocks exist
+# nowhere else) and detect through the trace manager's own retirement
+# path and the compile queue's stall counters — the fused dispatch runs
+# unsupervised by design, so the supervisor cannot be the detector here.
+# ---------------------------------------------------------------------------
+
+#: Low trace thresholds so the short chaos guests actually record and
+#: install megablocks (the interesting fault targets) within their first
+#: few loop iterations.
+_CHAOS_TRACE_CONFIG = TraceConfig(hot_threshold=3, branch_min_samples=4)
+
+
+def _trace_guard_cell(seed: int, scenario: str, program,
+                      policy: MitigationPolicy, reference,
+                      telemetry: Optional[TelemetryConfig] = None,
+                      ) -> ChaosOutcome:
+    """Corrupt a megablock driver at install: its integrity check must
+    fail on first dispatch, the trace manager must retire and blacklist
+    it, and the run must complete per-block with identical output."""
+    site = FaultSite.TRACE_GUARD_CORRUPT
+    injector = FaultInjector(seed=seed, sites=[site])
+    observer = worker_observer(telemetry)
+    system = DbtSystem(program, policy=policy,
+                       engine_config=_CHAOS_CHAINED_CONFIG,
+                       interpreter="trace",
+                       trace_config=_CHAOS_TRACE_CONFIG,
+                       observer=observer)
+    system.traces.injector = injector
+    try:
+        result = system.run()
+    except Exception as error:  # noqa: BLE001 — scored, not propagated
+        spool_envelope(telemetry, observer, failed=True)
+        return ChaosOutcome(
+            site, scenario, fired=bool(injector.fired), detected=False,
+            recovered=False, identical=False,
+            detail="%s: %s" % (type(error).__name__, error))
+    spool_envelope(telemetry, observer)
+    fired = len(injector.fired)
+    stats = system.traces.stats
+    return ChaosOutcome(
+        site, scenario,
+        fired=fired > 0,
+        detected=fired > 0 and stats.corrupt_retired >= fired,
+        recovered=True,
+        identical=(result.exit_code, result.output)
+                  == (reference.exit_code, reference.output),
+        detail="; ".join(record.detail for record in injector.fired)
+               or "no megablock installed",
+        leak=_leak_meter(scenario, result.output),
+    )
+
+
+def _queue_hang_cell(seed: int, scenario: str, program,
+                     policy: MitigationPolicy, reference,
+                     telemetry: Optional[TelemetryConfig] = None,
+                     ) -> ChaosOutcome:
+    """Wedge the background compile queue's worker: submitted trace
+    compiles must never surface, the engine must keep running on the
+    per-block tiers, and close-time accounting must count the stall."""
+    site = FaultSite.COMPILE_QUEUE_HANG
+    injector = FaultInjector(seed=seed, sites=[site])
+    observer = worker_observer(telemetry)
+    system = DbtSystem(program, policy=policy,
+                       engine_config=_CHAOS_CHAINED_CONFIG,
+                       interpreter="trace",
+                       trace_config=_CHAOS_TRACE_CONFIG,
+                       compile_queue_mode="thread",
+                       observer=observer)
+    system.compile_queue.injector = injector
+    try:
+        result = system.run()
+    except Exception as error:  # noqa: BLE001 — scored, not propagated
+        spool_envelope(telemetry, observer, failed=True)
+        return ChaosOutcome(
+            site, scenario, fired=bool(injector.fired), detected=False,
+            recovered=False, identical=False,
+            detail="%s: %s" % (type(error).__name__, error))
+    spool_envelope(telemetry, observer)
+    queue = system.compile_queue
+    return ChaosOutcome(
+        site, scenario,
+        fired=bool(injector.fired),
+        detected=queue.hung and queue.stats.stalled >= 1,
+        recovered=True,
+        identical=(result.exit_code, result.output)
+                  == (reference.exit_code, reference.output),
+        detail="; ".join(record.detail for record in injector.fired)
+               or "no compile ever submitted",
+        leak=_leak_meter(scenario, result.output),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Runner-side scenarios (small real sweeps through the hardened runner).
 # ---------------------------------------------------------------------------
 
@@ -276,6 +371,7 @@ def run_chaos_matrix(
     chain: bool = False,
     interpreter: Optional[str] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    trace: bool = True,
 ) -> List[ChaosOutcome]:
     """Run every fault site's scenario; returns one outcome per cell.
 
@@ -291,6 +387,10 @@ def run_chaos_matrix(
     ``telemetry`` threads the cross-process telemetry pipeline through
     every cell: engine cells spool one envelope each, and the runner
     scenarios pass per-point configs down the hardened runner.
+    ``trace`` includes the tier-4 cells (megablock driver corruption,
+    compile-queue hang); these always run chained on the trace tier
+    regardless of ``chain``/``interpreter``, since megablocks exist
+    nowhere else.
     """
     jobs = max(2, jobs)  # runner faults only apply under a real pool
     outcomes: List[ChaosOutcome] = []
@@ -319,6 +419,17 @@ def run_chaos_matrix(
                                          references[name], chain=chain,
                                          interpreter=cell_interp,
                                          telemetry=_cell_telemetry(site, name)))
+
+    if trace:
+        for name, program, policy in guests:
+            outcomes.append(_trace_guard_cell(
+                seed, name, program, policy, references[name],
+                telemetry=_cell_telemetry(FaultSite.TRACE_GUARD_CORRUPT,
+                                          name)))
+            outcomes.append(_queue_hang_cell(
+                seed, name, program, policy, references[name],
+                telemetry=_cell_telemetry(FaultSite.COMPILE_QUEUE_HANG,
+                                          name)))
 
     workloads = [(kernel, guests[0][1])]
     baseline = _sweep_rows(workloads)

@@ -56,6 +56,12 @@ class FaultSite(enum.Enum):
     WORKER_CRASH = "worker-crash"
     #: Hang a parallel sweep worker past the runner's timeout.
     WORKER_HANG = "worker-hang"
+    #: Corrupt a tier-4 megablock driver at install (a mistraced or
+    #: miscompiled trace; its integrity check fails at first dispatch).
+    TRACE_GUARD_CORRUPT = "trace-guard-corrupt"
+    #: Wedge the background compile queue's worker (jobs submit but
+    #: never complete; the engine must keep running on lower tiers).
+    COMPILE_QUEUE_HANG = "compile-queue-hang"
 
 
 #: Sites injected inside one supervised platform (detection: supervisor).
@@ -75,6 +81,18 @@ RUNNER_SITES = (
     FaultSite.TCACHE_DISK_CORRUPT,
     FaultSite.WORKER_CRASH,
     FaultSite.WORKER_HANG,
+)
+
+#: Sites injected into the tier-4 trace/background-codegen machinery
+#: (detection: the trace manager's retirement path and the compile
+#: queue's stall counters — the fused dispatch path runs unsupervised
+#: by definition).  A chaos run offers each only a handful of
+#: opportunities, so like the runner sites they fire on the first —
+#: which also keeps them out of the seeded RNG stream, so arming them
+#: cannot shift the plans of the original sites.
+TRACE_SITES = (
+    FaultSite.TRACE_GUARD_CORRUPT,
+    FaultSite.COMPILE_QUEUE_HANG,
 )
 
 
@@ -107,8 +125,9 @@ class FaultInjector:
         # Draw in a fixed order so the plan depends only on the seed,
         # never on which sites happen to be armed.
         for site in sorted(FaultSite, key=lambda s: s.value):
-            self._trigger[site] = (1 if site in RUNNER_SITES
-                                   else self.rng.randint(1, 2))
+            self._trigger[site] = (
+                1 if site in RUNNER_SITES or site in TRACE_SITES
+                else self.rng.randint(1, 2))
         self._opportunities: Dict[FaultSite, int] = {s: 0 for s in FaultSite}
         self._remaining: Dict[FaultSite, int] = {
             site: (fires_per_site if site in self.sites else 0)

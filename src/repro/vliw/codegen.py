@@ -75,6 +75,11 @@ from .ordinals import (
 #: persistent-cache key so stale compiled code can never load.
 CODEGEN_VERSION = 1
 
+#: Version of the tier-4 megablock driver's generated shape; part of the
+#: trace persist key (alongside :data:`CODEGEN_VERSION`, which covers
+#: the per-block bodies a trace binds).
+TRACE_VERSION = 2
+
 #: Stable cross-process names for the callables the finalized form
 #: carries, used by the persistence fingerprint (function identity is
 #: process-local; these names are not).
@@ -682,3 +687,370 @@ def run_compiled_chain(core, record, ctx, blocks_executed: int):
         record = nxt
 
     return result, reason, record, blocks_executed, dispatches
+
+
+# ---------------------------------------------------------------------------
+# Tier-4 trace compilation: one compiled driver per hot chain (megablock).
+# ---------------------------------------------------------------------------
+#
+# A megablock inlines the per-block loop of :func:`run_compiled_chain`
+# for one *recorded* path: the successor of every step is a baked
+# constant, so the successor-map lookup, the lazy finalize, the
+# first-pass hotness test (every step is a non-first-pass translation by
+# construction) and the per-step local rebinds all disappear.  What
+# remains per step is the compiled block body plus the exact profiling
+# seam — the same statements in the same order, so cycle counts, profile
+# state, LRU recency and branch outcomes stay bit-identical.
+#
+# Where the recorded path does not hold, a **guard** returns control to
+# the dispatcher with everything it needs to resume the generic chain
+# walk: ``('cont', result, step_index, blocks_executed, dispatches)``.
+# Terminal statuses ('rollback', 'syscall', 'budget') map one-to-one to
+# the chain break reasons of the same name; 'cont' covers guard
+# failures, trace ends and loop exits, which the dispatcher resolves
+# exactly as ``run_compiled_chain``'s successor tail would.
+
+
+def _trace_source(steps, loop: bool, lru: bool,
+                  rollback_penalty: int) -> str:
+    """Specialized module source defining ``_trace_fn`` for one trace.
+
+    ``_trace_fn(core, ctx, blocks_executed)`` returns
+    ``(status, result, step_index, blocks_executed, dispatches)``.
+    """
+    if loop:
+        return _loop_trace_source(steps, lru, rollback_penalty)
+
+    lines: List[str] = []
+
+    def w(indent: int, text: str) -> None:
+        lines.append("    " * indent + text)
+
+    any_rollback = any(link.can_rollback for link in steps)
+    any_branch = any(link.branch is not None for link in steps)
+    last = len(steps) - 1
+
+    w(0, "def _trace_fn(core, ctx, blocks_executed):")
+    if any_rollback:
+        w(1, "regs = core.regs")
+    w(1, "mcb_clear = core.mcb.clear")
+    w(1, "core_stats = core.stats")
+    w(1, "block_counts = ctx.block_counts")
+    if lru:
+        w(1, "raw_blocks = ctx.raw_blocks")
+    if any_branch:
+        w(1, "branches = ctx.branches")
+        w(1, "new_branch_profile = ctx.branch_profile")
+    w(1, "max_blocks = ctx.max_blocks")
+    w(1, "max_cycles = ctx.max_cycles")
+    w(1, "dispatches = 0")
+    base = 1
+
+    def seam(b: int, link) -> None:
+        # _execute's epilogue + record_execution, with the entry and
+        # branch metadata baked in (see run_compiled_chain).
+        entry = link.entry
+        w(b, "mcb_clear()")
+        w(b, "core.instret += result.guest_instructions")
+        if lru:
+            w(b, "current = raw_blocks.pop(%d, None)" % entry)
+            w(b, "if current is not None:")
+            w(b + 1, "raw_blocks[%d] = current" % entry)
+        w(b, "block_counts[%d] = block_counts.get(%d, 0) + 1"
+          % (entry, entry))
+        if link.branch is not None:
+            w(b, "if result.reason is not _SYSCALL:")
+            w(b + 1, "bp = branches.get(%d)" % link.branch[0])
+            w(b + 1, "if bp is None:")
+            w(b + 2, "bp = new_branch_profile()")
+            w(b + 2, "branches[%d] = bp" % link.branch[0])
+            w(b + 1, "if result.next_pc == %d:" % link.branch[1])
+            w(b + 2, "bp.taken += 1")
+            w(b + 1, "else:")
+            w(b + 2, "bp.not_taken += 1")
+
+    for i, link in enumerate(steps):
+        b = base
+        w(b, "# step %d: block %#x (%s)" % (i, link.entry, link.block.kind))
+        w(b, "blocks_executed += 1")
+        w(b, "dispatches += 1")
+        w(b, "core_stats.blocks_executed += 1")
+        if link.can_rollback:
+            w(b, "entry_regs = regs._regs[:]")
+            w(b, "store_log = []")
+            w(b, "try:")
+            w(b + 1, "result = _fn%d(core, store_log)" % i)
+            w(b, "except _RollbackSignal:")
+            w(b + 1, "core._undo(entry_regs, store_log)")
+            w(b + 1, "mcb_clear()")
+            w(b + 1, "core_stats.rollbacks += 1")
+            w(b + 1, "core.cycle += %d" % rollback_penalty)
+            if link.block.recovery is None:
+                w(b + 1, "raise VliwExecutionError(")
+                w(b + 2, "%r)" % ("MCB conflict in block %#x with no "
+                                  "recovery code" % link.entry,))
+            else:
+                w(b + 1, "result = core._run(_rec%d, None)" % i)
+                w(b + 1, "result.rolled_back = True")
+                seam(b + 1, link)
+                w(b + 1, "return ('rollback', result, %d, "
+                  "blocks_executed, dispatches)" % i)
+        else:
+            # A block without MCB-speculative loads cannot raise a
+            # rollback (the MCB is empty at block entry), so the
+            # snapshot and the except arm are statically elided.
+            w(b, "result = _fn%d(core, None)" % i)
+        seam(b, link)
+        w(b, "if result.reason is _SYSCALL:")
+        w(b + 1, "return ('syscall', result, %d, blocks_executed, "
+          "dispatches)" % i)
+        w(b, "if blocks_executed >= max_blocks or core.cycle >= "
+          "max_cycles:")
+        w(b + 1, "return ('budget', result, %d, blocks_executed, "
+          "dispatches)" % i)
+        if i < last:
+            # Guard: the recorded successor, or back to the dispatcher.
+            w(b, "if result.next_pc != %d:" % steps[i + 1].entry)
+            w(b + 1, "return ('cont', result, %d, blocks_executed, "
+              "dispatches)" % i)
+        else:
+            w(b, "return ('cont', result, %d, blocks_executed, "
+              "dispatches)" % i)
+    return "\n".join(lines) + "\n"
+
+
+def _loop_trace_source(steps, lru: bool, rollback_penalty: int) -> str:
+    """Specialized module source for a *loop* trace.
+
+    A loop trace executes its recorded path many times per dispatch, and
+    on every non-final pass each guard **proved** that the recorded
+    successor was taken.  Everything :func:`run_compiled_chain`'s seam
+    commits per block — LRU recency, execution counts, branch outcomes —
+    is therefore a pure function of ``(completed iterations, exit step,
+    exit result)``, so the driver defers it to one ``_flush`` call per
+    dispatch instead of paying it per block:
+
+    - execution counts add the exact multiplicity ``it + (idx >= j)``;
+    - branch profiles add the constant recorded outcome for every
+      guarded pass plus the one dynamic exit outcome (skipped on
+      syscall, exactly like the seam);
+    - the LRU reorder collapses N rounds of identical moves to the last
+      round — suffix of the final full iteration, then the partial
+      prefix — because earlier rounds are overwritten by later ones.
+
+    State the guest or the budget check can observe *mid-trace* —
+    ``core.instret`` (rdinstret), ``core.cycle``, the MCB — stays
+    per-step.  ``_flush`` runs before every return, so the deferral is
+    invisible outside the dispatch and final state is bit-identical.
+    """
+    lines: List[str] = []
+
+    def w(indent: int, text: str) -> None:
+        lines.append("    " * indent + text)
+
+    any_rollback = any(link.can_rollback for link in steps)
+    any_branch = any(link.branch is not None for link in steps)
+    nsteps = len(steps)
+    last = nsteps - 1
+    head_entry = steps[0].entry
+
+    if lru:
+        w(0, "_entries = (%s)"
+          % "".join("%d, " % link.entry for link in steps))
+
+    # ``_flush(core, ctx, it, idx, result)``: commit the bookkeeping of
+    # ``it`` full iterations plus the partial pass through step ``idx``
+    # (inclusive), whose final execution ended with ``result``.
+    w(0, "def _flush(core, ctx, it, idx, result):")
+    w(1, "core.stats.blocks_executed += it * %d + idx + 1" % nsteps)
+    w(1, "block_counts = ctx.block_counts")
+    if any_branch:
+        w(1, "branches = ctx.branches")
+        w(1, "new_branch_profile = ctx.branch_profile")
+    if lru:
+        w(1, "raw_blocks = ctx.raw_blocks")
+    for j, link in enumerate(steps):
+        entry = link.entry
+        w(1, "# step %d: block %#x" % (j, entry))
+        if j == 0:
+            # The head always executes when a dispatch reaches _flush.
+            w(1, "n = it + 1")
+            w(1, "block_counts[%d] = block_counts.get(%d, 0) + n"
+              % (entry, entry))
+        else:
+            w(1, "n = it + (idx >= %d)" % j)
+            w(1, "if n:")
+            w(2, "block_counts[%d] = block_counts.get(%d, 0) + n"
+              % (entry, entry))
+        if link.branch is not None:
+            pc, target = link.branch
+            succ = steps[j + 1].entry if j < last else head_entry
+            field = "taken" if succ == target else "not_taken"
+            # Guarded passes: the recorded outcome, folded to a constant.
+            w(1, "c = it + (idx > %d)" % j)
+            w(1, "if c:")
+            w(2, "bp = branches.get(%d)" % pc)
+            w(2, "if bp is None:")
+            w(3, "bp = new_branch_profile()")
+            w(3, "branches[%d] = bp" % pc)
+            w(2, "bp.%s += c" % field)
+            # The exit execution: dynamic outcome, seam semantics.
+            w(1, "if idx == %d and result.reason is not _SYSCALL:" % j)
+            w(2, "bp = branches.get(%d)" % pc)
+            w(2, "if bp is None:")
+            w(3, "bp = new_branch_profile()")
+            w(3, "branches[%d] = bp" % pc)
+            w(2, "if result.next_pc == %d:" % target)
+            w(3, "bp.taken += 1")
+            w(2, "else:")
+            w(3, "bp.not_taken += 1")
+    if lru:
+        w(1, "if it:")
+        w(2, "for e in _entries[idx + 1:]:")
+        w(3, "current = raw_blocks.pop(e, None)")
+        w(3, "if current is not None:")
+        w(4, "raw_blocks[e] = current")
+        w(1, "for e in _entries[:idx + 1]:")
+        w(2, "current = raw_blocks.pop(e, None)")
+        w(2, "if current is not None:")
+        w(3, "raw_blocks[e] = current")
+
+    w(0, "def _trace_fn(core, ctx, blocks_executed):")
+    if any_rollback:
+        w(1, "regs = core.regs")
+    w(1, "mcb_clear = core.mcb.clear")
+    w(1, "max_blocks = ctx.max_blocks")
+    w(1, "max_cycles = ctx.max_cycles")
+    w(1, "dispatches = 0")
+    w(1, "it = 0")
+    w(1, "while True:")
+    b = 2
+    for i, link in enumerate(steps):
+        w(b, "# step %d: block %#x (%s)" % (i, link.entry, link.block.kind))
+        w(b, "blocks_executed += 1")
+        w(b, "dispatches += 1")
+        if link.can_rollback:
+            w(b, "entry_regs = regs._regs[:]")
+            w(b, "store_log = []")
+            w(b, "try:")
+            w(b + 1, "result = _fn%d(core, store_log)" % i)
+            w(b, "except _RollbackSignal:")
+            w(b + 1, "core._undo(entry_regs, store_log)")
+            w(b + 1, "mcb_clear()")
+            w(b + 1, "core.stats.rollbacks += 1")
+            w(b + 1, "core.cycle += %d" % rollback_penalty)
+            if link.block.recovery is None:
+                # Commit everything up to the previous step (this one
+                # never reached its seam), plus this step's pre-execute
+                # blocks_executed increment, before raising.
+                if i > 0:
+                    w(b + 1, "_flush(core, ctx, it, %d, result)" % (i - 1))
+                else:
+                    w(b + 1, "if it:")
+                    w(b + 2, "_flush(core, ctx, it - 1, %d, result)" % last)
+                w(b + 1, "core.stats.blocks_executed += 1")
+                w(b + 1, "raise VliwExecutionError(")
+                w(b + 2, "%r)" % ("MCB conflict in block %#x with no "
+                                  "recovery code" % link.entry,))
+            else:
+                w(b + 1, "result = core._run(_rec%d, None)" % i)
+                w(b + 1, "result.rolled_back = True")
+                w(b + 1, "mcb_clear()")
+                w(b + 1, "core.instret += result.guest_instructions")
+                w(b + 1, "_flush(core, ctx, it, %d, result)" % i)
+                w(b + 1, "return ('rollback', result, %d, "
+                  "blocks_executed, dispatches)" % i)
+        else:
+            # No MCB-speculative loads: rollback statically elided.
+            w(b, "result = _fn%d(core, None)" % i)
+        w(b, "mcb_clear()")
+        w(b, "core.instret += result.guest_instructions")
+        w(b, "if result.reason is _SYSCALL:")
+        w(b + 1, "_flush(core, ctx, it, %d, result)" % i)
+        w(b + 1, "return ('syscall', result, %d, blocks_executed, "
+          "dispatches)" % i)
+        w(b, "if blocks_executed >= max_blocks or core.cycle >= "
+          "max_cycles:")
+        w(b + 1, "_flush(core, ctx, it, %d, result)" % i)
+        w(b + 1, "return ('budget', result, %d, blocks_executed, "
+          "dispatches)" % i)
+        succ = steps[i + 1].entry if i < last else head_entry
+        w(b, "if result.next_pc != %d:" % succ)
+        w(b + 1, "_flush(core, ctx, it, %d, result)" % i)
+        w(b + 1, "return ('cont', result, %d, blocks_executed, "
+          "dispatches)" % i)
+    w(b, "it += 1")
+    return "\n".join(lines) + "\n"
+
+
+def trace_persist_key(steps, loop: bool, lru: bool,
+                      rollback_penalty: int,
+                      policy: str) -> Optional[str]:
+    """Persistent-cache key of one compiled trace, or ``None`` when any
+    constituent block is itself unpersistable.
+
+    Keyed on the per-step block persist keys (which already cover block
+    content, ``VliwConfig``, policy, generator and bytecode versions)
+    plus everything else the driver source bakes in.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-trace/%d\n" % TRACE_VERSION)
+    h.update(b"codegen/%d\n" % CODEGEN_VERSION)
+    h.update(importlib.util.MAGIC_NUMBER)
+    h.update(("%s %s\n" % (sys.implementation.name,
+                           sys.version_info[:3])).encode())
+    h.update(("loop=%r lru=%r penalty=%d policy=%s\n"
+              % (loop, lru, rollback_penalty, policy)).encode())
+    for link in steps:
+        fblock = link.fblock
+        if fblock is None or fblock.persist_key is None:
+            return None
+        h.update(("step:%#x:%r:%r:%r:%s\n" % (
+            link.entry, link.branch, link.can_rollback,
+            link.block.recovery is not None,
+            fblock.persist_key)).encode())
+    return h.hexdigest()
+
+
+def compile_trace(steps, loop: bool, lru: bool, config,
+                  stats: Optional[CodegenStats] = None,
+                  persistent=None, policy: str = ""):
+    """Compile a recorded chain (tuple of ``ChainLink``) into one
+    megablock driver.
+
+    Every step must be a non-first-pass translation whose finalized form
+    is already compiled (``fblock.compiled``); the driver binds those
+    functions directly.  Returns ``(fn, key, persist_hit)`` — like
+    :func:`compile_block` plus whether the driver came from the
+    persistent cache.
+    """
+    source = _trace_source(steps, loop, lru, config.rollback_penalty)
+    key = None
+    code = None
+    if persistent is not None:
+        key = trace_persist_key(steps, loop, lru,
+                                config.rollback_penalty, policy)
+    if key is not None:
+        code = persistent.load(key)
+        if stats is not None:
+            stats.quarantined = persistent.quarantined
+    persist_hit = code is not None
+    if persist_hit:
+        if stats is not None:
+            stats.persist_hits += 1
+    else:
+        filename = "<repro-trace:%#x:%d>" % (steps[0].entry, len(steps))
+        code = compile(source, filename, "exec")
+        if stats is not None:
+            stats.compiles += 1
+            stats.bytes += len(source)
+        if key is not None:
+            persistent.store(key, code, len(source))
+            if stats is not None:
+                stats.persist_stores += 1
+    namespace = _runtime_namespace({})
+    for i, link in enumerate(steps):
+        namespace["_fn%d" % i] = link.fblock.compiled
+        namespace["_rec%d" % i] = link.block.recovery
+    exec(code, namespace)
+    return namespace["_trace_fn"], key, persist_hit

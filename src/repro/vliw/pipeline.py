@@ -58,6 +58,15 @@ class VliwExecutionError(Exception):
     """Raised on malformed translated code or machine misuse."""
 
 
+class MegablockCorruptError(VliwExecutionError):
+    """A compiled megablock (tier-4 trace) failed its integrity check.
+
+    Raised *before* any architectural state is touched, so the dispatcher
+    can retire the trace and re-dispatch the same record down the
+    per-block tiers without a rollback.
+    """
+
+
 class BlockExecutionFault(Exception):
     """A guarded block execution failed and was rolled back.
 

@@ -286,6 +286,105 @@ def test_clear_forgets_compiled(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Tier-4 megablock retirement parity: a cache mutation that drops any
+# constituent translation retires every megablock containing it — and
+# discards the trace's persisted envelope — through the same hooks that
+# tear down chain links and compiled forms.
+# ---------------------------------------------------------------------------
+
+def _trace_system(tmp_path, **config_fields):
+    """A finished trace-tier run, persisting envelopes under
+    ``tmp_path``."""
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    system = DbtSystem(
+        program, policy=MitigationPolicy.UNSAFE, interpreter="trace",
+        engine_config=DbtEngineConfig(chain=True, **config_fields),
+        tcache_dir=tmp_path / "tcache")
+    system.run()
+    return system
+
+
+def _pick_megablock(system):
+    assert system.traces.stats.dispatches > 0
+    assert system.traces._megablocks
+    head = sorted(system.traces._megablocks)[0]
+    mega = system.traces._megablocks[head]
+    assert mega.persist_key is not None
+    assert system.tcache.load(mega.persist_key) is not None
+    return mega
+
+
+def _assert_megablock_retired(system, mega):
+    traces = system.traces
+    assert traces._megablocks.get(mega.head) is not mega
+    for link in mega.steps:
+        assert mega.head not in traces._covering.get(link.entry, ())
+    # The persisted envelope died with it: no later process may load a
+    # driver whose constituent translations this cache already dropped.
+    assert system.tcache.load(mega.persist_key) is None
+    assert not system.tcache._path(mega.persist_key).exists()
+    assert traces.stats.retired > 0
+
+
+def _assert_megablocks_scoped(system):
+    """No surviving megablock may reference a dead or stale record."""
+    installed = {block.guest_entry for block in system.engine.cache.blocks()}
+    records = system.engine.chains.records
+    for mega in system.traces._megablocks.values():
+        for link in mega.steps:
+            assert link.entry in installed
+            assert records.get(link.entry) is link
+
+
+def test_replacement_install_retires_megablocks(tmp_path):
+    system = _trace_system(tmp_path)
+    mega = _pick_megablock(system)
+    victim = mega.steps[-1].entry
+    system.engine.cache.install(_block(victim, kind="reoptimized"))
+    _assert_megablock_retired(system, mega)
+    _assert_megablocks_scoped(system)
+
+
+def test_invalidate_retires_megablocks(tmp_path):
+    system = _trace_system(tmp_path)
+    mega = _pick_megablock(system)
+    assert system.engine.cache.invalidate(mega.steps[0].entry)
+    _assert_megablock_retired(system, mega)
+    _assert_megablocks_scoped(system)
+
+
+def test_cache_clear_retires_megablocks(tmp_path):
+    system = _trace_system(tmp_path)
+    mega = _pick_megablock(system)
+    system.engine.cache.clear()
+    _assert_megablock_retired(system, mega)
+    assert system.traces._megablocks == {}
+    assert system.traces._covering == {}
+
+
+@pytest.mark.parametrize("policy_fields", [
+    {"code_cache_capacity": 6, "code_cache_policy": "flush"},
+    {"code_cache_capacity": 6, "code_cache_policy": "lru"},
+], ids=["flush", "lru"])
+def test_capacity_events_retire_megablocks_mid_run(tmp_path, policy_fields):
+    """Bounded cache shapes force evictions/flushes *while* traces are
+    live: every capacity event must retire covering megablocks in the
+    same safe step, and whatever survives must reference only live
+    records."""
+    system = _trace_system(tmp_path, **policy_fields)
+    tcache = system.engine.cache.stats
+    assert tcache.capacity_flushes + tcache.evictions > 0
+    assert system.traces.stats.retired > 0
+    _assert_megablocks_scoped(system)
+    # Bit-identity survived the churn.
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    reference = DbtSystem(program, policy=MitigationPolicy.UNSAFE).run()
+    result = system.result()
+    assert (result.exit_code, result.output) == \
+        (reference.exit_code, reference.output)
+
+
+# ---------------------------------------------------------------------------
 # Live systems: the invariant holds after real runs.
 # ---------------------------------------------------------------------------
 

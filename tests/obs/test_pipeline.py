@@ -171,8 +171,11 @@ def test_jobs_equivalence_merged_counters(tmp_path, workloads):
     def _merged(jobs, subdir):
         spool_dir = tmp_path / subdir
         telemetry = TelemetryConfig(spool_dir=str(spool_dir), trace=True)
+        # adaptive=False: this grid is small enough that the runner's
+        # warm-start cost model would keep it in-process, but the point
+        # here is the multi-worker spool merge — force a real pool.
         sweep_comparisons(workloads, policies=ALL_POLICIES, jobs=jobs,
-                          point_telemetry=telemetry)
+                          point_telemetry=telemetry, adaptive=False)
         return merge_spool(spool_dir)
 
     serial = _merged(1, "serial")

@@ -1,17 +1,22 @@
-"""Differential tests: the three host tiers — reference, fast path, and
-tier-3 compiled — are bit-identical, and chained dispatch is
-bit-identical to the seed engine loop on every tier.
+"""Differential tests: the four host tiers — reference, fast path,
+tier-3 compiled and tier-4 trace-compiled — are bit-identical, and
+chained dispatch is bit-identical to the seed engine loop on every
+tier.
 
 These are the non-negotiable invariants of the host-execution layer:
 pre-decoding translated blocks (``repro.vliw.fastpath``), compiling
-them to specialized host functions (``repro.vliw.codegen``) and chasing
-chain links between them (``repro.dbt.chaining``) must not change a
+them to specialized host functions (``repro.vliw.codegen``), chasing
+chain links between them (``repro.dbt.chaining``) and fusing hot
+chains into megablock drivers (``repro.dbt.traces``) must not change a
 single architectural or micro-architectural observable.  Every
 (workload, policy) point below is run per tier — reference vs fast vs
-compiled, then unchained vs chained — and compared on cycles, stalls,
-rollbacks, register/memory state, the engine's translation order,
-optimization decisions, profile counts and (for the PoCs) the
-recovered secret bytes.
+compiled vs trace, then unchained vs chained — and compared on cycles,
+stalls, rollbacks, register/memory state, the engine's translation
+order, optimization decisions, profile counts and (for the PoCs) the
+recovered secret bytes.  A final section pins down that *when* the
+asynchronous compile queue finishes a megablock — immediately, at an
+arbitrary later safe point, on a background thread, or never — is
+invisible to every observable.
 """
 
 import dataclasses
@@ -159,7 +164,7 @@ def test_interpreter_argument_validated():
 # Chained dispatch vs the seed engine loop.
 # ---------------------------------------------------------------------------
 
-@pytest.mark.parametrize("interpreter", ("fast", "compiled"))
+@pytest.mark.parametrize("interpreter", ("fast", "compiled", "trace"))
 @pytest.mark.parametrize("policy", ALL_POLICIES,
                          ids=[p.value for p in ALL_POLICIES])
 @pytest.mark.parametrize("variant", list(AttackVariant),
@@ -171,9 +176,15 @@ def test_attacks_chained_bit_identical(variant, policy, interpreter):
     # The leak verdict — the paper's headline observable — is unchanged.
     assert (results[True].output[:len(SECRET)]
             == results[False].output[:len(SECRET)])
+    if interpreter == "trace":
+        # The fused tier actually ran megablocks, or the trace leg of
+        # this comparison proves nothing.
+        stats = systems[True].traces.stats
+        assert stats.recorded > 0
+        assert stats.dispatches > 0
 
 
-@pytest.mark.parametrize("interpreter", ("fast", "compiled"))
+@pytest.mark.parametrize("interpreter", ("fast", "compiled", "trace"))
 @pytest.mark.parametrize("cache_mode", list(CACHE_MODES))
 @pytest.mark.parametrize("policy", ALL_POLICIES,
                          ids=[p.value for p in ALL_POLICIES])
@@ -189,6 +200,59 @@ def test_kernels_chained_bit_identical(kernel, policy, cache_mode,
         # or this parametrization proves nothing.
         tcache = systems[True].engine.cache.stats
         assert tcache.capacity_flushes + tcache.evictions > 0
+    if interpreter == "trace":
+        assert systems[True].traces.stats.recorded > 0
+        if cache_mode == "unbounded":
+            assert systems[True].traces.stats.dispatches > 0
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous codegen: compile *timing* is invisible to observables.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("policy", ALL_POLICIES,
+                         ids=[p.value for p in ALL_POLICIES])
+def test_async_codegen_timing_invisible(policy):
+    """A megablock driver may finish compiling immediately (sync), at an
+    arbitrary later safe point (manual, pumped from the drain hook), on
+    a background thread racing the engine, or never (manual, never
+    pumped).  All four runs must be bit-identical: the fused tier is a
+    pure host acceleration, so *when* a trace installs only moves work
+    between the fused and per-block paths."""
+    program = build_kernel_program(SMALL_SIZES["gemm"]())
+    runs = {}
+    for mode in ("sync", "manual-pumped", "thread", "manual-never"):
+        system = DbtSystem(
+            program, policy=policy, interpreter="trace",
+            engine_config=DbtEngineConfig(chain=True),
+            compile_queue_mode=mode.split("-")[0])
+        if mode == "manual-pumped":
+            # Finish one pending compile per safe point: installs land
+            # mid-run, dispatches later than sync mode would.
+            queue = system.compile_queue
+            original_drain = queue.drain
+
+            def pumping_drain(queue=queue, original=original_drain):
+                queue.pump(1)
+                return original()
+
+            queue.drain = pumping_drain
+        runs[mode] = (system, system.run())
+    base_system, base_result = runs["sync"]
+    for mode, (system, result) in runs.items():
+        assert _core_observables(result) == _core_observables(base_result), mode
+        assert _engine_observables(system) == _engine_observables(base_system), mode
+        assert system.core.regs._regs == base_system.core.regs._regs, mode
+        assert system.core.cycle == base_system.core.cycle, mode
+        assert system.core.instret == base_system.core.instret, mode
+    # The modes genuinely differed in when (or whether) traces compiled,
+    # or this proves nothing about timing.
+    assert runs["sync"][0].traces.stats.dispatches > 0
+    assert runs["manual-pumped"][0].traces.stats.compiled > 0
+    never = runs["manual-never"][0]
+    assert never.traces.stats.recorded > 0
+    assert never.traces.stats.compiled == 0
+    assert never.compile_queue.stats.stalled > 0
 
 
 def test_chained_reference_interpreter_matches_seed():

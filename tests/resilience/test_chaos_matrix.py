@@ -2,7 +2,7 @@
 bit-identical — the acceptance criterion CI gates on."""
 
 from repro.resilience.chaos import format_chaos_table, run_chaos_matrix
-from repro.resilience.faults import FaultSite
+from repro.resilience.faults import TRACE_SITES, FaultSite
 
 
 def test_chaos_matrix_all_ok(tmp_path):
@@ -28,3 +28,13 @@ def test_chaos_matrix_all_ok_chained(tmp_path):
     table = format_chaos_table(outcomes)
     assert all(outcome.ok for outcome in outcomes), "\n" + table
     assert {outcome.site for outcome in outcomes} == set(FaultSite)
+
+
+def test_chaos_matrix_without_trace_cells(tmp_path):
+    """``repro chaos --no-trace`` drops exactly the tier-4 cells; every
+    original site still runs and passes."""
+    outcomes = run_chaos_matrix(seed=0, work_dir=tmp_path, trace=False)
+    table = format_chaos_table(outcomes)
+    assert all(outcome.ok for outcome in outcomes), "\n" + table
+    assert ({outcome.site for outcome in outcomes}
+            == set(FaultSite) - set(TRACE_SITES))

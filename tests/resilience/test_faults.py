@@ -10,6 +10,7 @@ from repro.platform.system import DbtSystem
 from repro.resilience.faults import (
     ENGINE_SITES,
     RUNNER_SITES,
+    TRACE_SITES,
     FaultInjector,
     FaultSite,
     WorkerFault,
@@ -26,8 +27,28 @@ from repro.security.policy import MitigationPolicy
 
 
 def test_site_partition_is_total():
-    assert set(ENGINE_SITES) | set(RUNNER_SITES) == set(FaultSite)
+    assert (set(ENGINE_SITES) | set(RUNNER_SITES)
+            | set(TRACE_SITES) == set(FaultSite))
     assert not set(ENGINE_SITES) & set(RUNNER_SITES)
+    assert not set(ENGINE_SITES) & set(TRACE_SITES)
+    assert not set(RUNNER_SITES) & set(TRACE_SITES)
+
+
+def test_trace_sites_fire_first_opportunity_without_shifting_plans():
+    """Trace sites fire deterministically on their first opportunity and
+    stay out of the seeded RNG stream: the original sites' triggers are
+    identical whether or not the trace sites exist in the enum."""
+    injector = FaultInjector(seed=11)
+    for site in TRACE_SITES:
+        assert injector._trigger[site] == 1
+        assert injector.should_fire(site)
+    # Same draw sequence as a pre-trace-site injector: engine sites draw
+    # from randint(1, 2) in value-sorted order.
+    reference = random.Random(11)
+    expected = {site: reference.randint(1, 2)
+                for site in sorted(ENGINE_SITES, key=lambda s: s.value)}
+    assert {site: injector._trigger[site]
+            for site in ENGINE_SITES} == expected
 
 
 def test_same_seed_same_plan():
