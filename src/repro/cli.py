@@ -57,6 +57,15 @@ Subcommands
     verified bit-identical to a fault-free reference.  Exits nonzero if
     any cell fails — CI gates on ``repro chaos --seed 0``.  See
     docs/RESILIENCE.md.
+
+``serve`` / ``submit`` / ``jobs``
+    The simulation service: ``serve`` runs a daemon owning a warm
+    worker fleet and a crash-safe job journal, listening on a local
+    socket (``--socket PATH`` or ``--port N``); ``submit`` sends a
+    run/sweep/attack/chaos job (JSON payload) and optionally waits for
+    its result; ``jobs`` lists the queue.  SIGTERM drains gracefully —
+    in-flight jobs finish, the queue survives in the journal.  See
+    docs/RESILIENCE.md for the failure model.
 """
 
 from __future__ import annotations
@@ -370,13 +379,28 @@ def cmd_attack(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import signal
+    import threading
+
     from .kernels import SMALL_SIZES, POLYBENCH_SUITE, build_kernel_program
     from .platform.comparison import comparison_csv, comparison_json
     from .platform.parallel import (
+        DRAIN_EXIT_CODE,
+        DrainRequested,
         ParallelRunError,
         RunnerTelemetry,
         sweep_comparisons,
     )
+
+    # SIGTERM drains instead of killing: in-flight points finish (and
+    # checkpoint under --resume), unstarted points are abandoned, and
+    # the exit code is pinned so wrappers can tell "drained" from
+    # "failed".  Only the main thread may own signal handlers.
+    drain = threading.Event()
+    previous_handler = None
+    if threading.current_thread() is threading.main_thread():
+        previous_handler = signal.signal(signal.SIGTERM,
+                                         lambda *_: drain.set())
 
     suite = POLYBENCH_SUITE if args.full else SMALL_SIZES
     workloads = []
@@ -402,7 +426,14 @@ def cmd_sweep(args) -> int:
                 checkpoint=args.resume, telemetry=telemetry,
                 tcache_dir=args.tcache_dir,
                 point_telemetry=point_telemetry,
+                should_drain=drain.is_set,
             )
+        except DrainRequested as request:
+            print("sweep drained on SIGTERM: %s" % request, file=sys.stderr)
+            if args.resume:
+                print("resume with --resume %s" % args.resume,
+                      file=sys.stderr)
+            return DRAIN_EXIT_CODE
         except ParallelRunError as error:
             _print_run_failures(error)
             print("runner: %s" % telemetry.summary(), file=sys.stderr)
@@ -412,6 +443,8 @@ def cmd_sweep(args) -> int:
     finally:
         if spool is not None:
             spool.cleanup()
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
     if telemetry.faults_survived or telemetry.checkpoint_hits:
         print("runner: %s" % telemetry.summary(), file=sys.stderr)
     for name, _program in workloads:
@@ -511,7 +544,7 @@ def cmd_chaos(args) -> int:
             seed=args.seed, kernel=args.kernel, jobs=args.jobs,
             hang_timeout=args.hang_timeout, chain=args.chain,
             interpreter=args.interpreter, telemetry=point_telemetry,
-            trace=args.trace,
+            trace=args.trace, serve=args.serve,
         )
         if spool is not None:
             _report_telemetry(args, spool.name)
@@ -526,6 +559,120 @@ def cmd_chaos(args) -> int:
         return 1
     print("\nall %d chaos cells ok (seed %d%s)"
           % (len(outcomes), args.seed, ", chained" if args.chain else ""))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .serve import ServeConfig, ServeDaemon, run_server
+
+    try:
+        from .serve.protocol import serve_address
+
+        serve_address(args.socket, args.port)  # validate before starting
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        workers=args.workers, tcache_dir=args.tcache_dir,
+        work_dir=args.work_dir, lease_timeout=args.lease_timeout,
+        retries=args.retries, backoff=args.backoff,
+        compact_on_stop=not args.no_compact)
+    daemon = ServeDaemon(config)
+    daemon.start()
+    if daemon.stats.replayed_jobs:
+        print("repro serve: replayed %d job(s) from %s (%d corrupt line(s) "
+              "dropped, %d lease(s) recovered)"
+              % (daemon.stats.replayed_jobs, config.journal,
+                 daemon.stats.replayed_corrupt_lines, daemon.stats.requeues),
+              file=sys.stderr)
+    stop = threading.Event()
+
+    def _on_sigterm(_signum, _frame):
+        daemon.request_drain()
+        stop.set()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    where = args.socket or "127.0.0.1:%d" % args.port
+    print("repro serve: %d warm worker(s), journal %s, listening on %s"
+          % (config.workers, config.journal, where), file=sys.stderr)
+    try:
+        run_server(daemon, socket_path=args.socket, port=args.port,
+                   stop=stop)
+    except KeyboardInterrupt:
+        daemon.request_drain()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        daemon.stop(drain=True)
+    stats = daemon.stats
+    print("repro serve: stopped (%d submitted, %d completed, %d failed, "
+          "%d quarantined)" % (stats.submitted, stats.completed,
+                               stats.failed, stats.quarantined),
+          file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    raw = args.payload
+    if raw == "-":
+        raw = sys.stdin.read()
+    elif raw.startswith("@"):
+        with open(raw[1:]) as handle:
+            raw = handle.read()
+    try:
+        payload = json.loads(raw)
+    except ValueError as error:
+        print("error: payload is not valid JSON: %s" % error,
+              file=sys.stderr)
+        return 2
+    try:
+        client = ServeClient(socket_path=args.socket, port=args.port)
+        job_id = client.submit(payload, priority=args.priority)
+        print(job_id)
+        if args.wait:
+            reply = client.wait(job_id, timeout=args.timeout)
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0 if reply.get("state") == "done" else 1
+    except (ServeError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    try:
+        client = ServeClient(socket_path=args.socket, port=args.port)
+        if args.status:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        reply = client.jobs()
+    except (ServeError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    jobs = reply.get("jobs", [])
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    print("%-12s %-7s %-4s %-12s %s"
+          % ("job", "kind", "prio", "state", "attempts"))
+    for job in jobs:
+        print("%-12s %-7s %-4d %-12s %d"
+              % (job.get("job", "?"), job.get("kind", "?"),
+                 job.get("priority", 0), job.get("state", "?"),
+                 job.get("attempts", 0)))
     return 0
 
 
@@ -891,9 +1038,80 @@ def build_parser() -> argparse.ArgumentParser:
                               help="skip the tier-4 trace cells "
                                    "(megablock corruption, compile-queue "
                                    "hang); they run by default")
+    chaos_parser.add_argument(
+        "--no-serve", dest="serve", action="store_false", default=True,
+        help="skip the serve-daemon cells (journal corruption, worker "
+             "crash/hang, lease expiry); they run by default")
     add_interpreter(chaos_parser, tcache=False)
     add_telemetry(chaos_parser)
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    def add_serve_endpoint(p):
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="AF_UNIX socket path of the serve daemon")
+        p.add_argument("--port", type=int, default=None, metavar="N",
+                       help="loopback TCP port of the serve daemon")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (warm worker fleet + "
+             "crash-safe job journal)")
+    add_serve_endpoint(serve_parser)
+    serve_parser.add_argument("--workers", type=int, default=2, metavar="N",
+                              help="warm worker fleet size (default 2)")
+    serve_parser.add_argument("--work-dir", default=".repro-serve",
+                              metavar="DIR",
+                              help="daemon state root: journal + telemetry "
+                                   "spools (default .repro-serve)")
+    serve_parser.add_argument("--tcache-dir", default=None, metavar="DIR",
+                              help="persistent codegen cache shared by the "
+                                   "whole fleet")
+    serve_parser.add_argument("--lease-timeout", type=float, default=120.0,
+                              metavar="SEC",
+                              help="per-job lease deadline before the "
+                                   "watchdog SIGKILLs the worker "
+                                   "(default 120)")
+    serve_parser.add_argument("--retries", type=int, default=2, metavar="N",
+                              help="re-lease budget after worker "
+                                   "crash/hang before quarantine "
+                                   "(default 2)")
+    serve_parser.add_argument("--backoff", type=float, default=0.5,
+                              metavar="SEC",
+                              help="base exponential backoff between "
+                                   "re-leases (default 0.5)")
+    serve_parser.add_argument("--no-compact", action="store_true",
+                              help="keep the full journal history on "
+                                   "clean stop instead of compacting to "
+                                   "one snapshot per job")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to the serve daemon")
+    submit_parser.add_argument(
+        "payload",
+        help="job payload: inline JSON, '@FILE', or '-' for stdin "
+             "(e.g. '{\"kind\": \"sweep\", \"kernels\": [\"atax\"]}')")
+    add_serve_endpoint(submit_parser)
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               metavar="N",
+                               help="higher runs first (default 0)")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job is terminal and "
+                                    "print its result JSON")
+    submit_parser.add_argument("--timeout", type=float, default=None,
+                               metavar="SEC",
+                               help="give up waiting after SEC seconds")
+    submit_parser.set_defaults(func=cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list the serve daemon's jobs")
+    add_serve_endpoint(jobs_parser)
+    jobs_parser.add_argument("--status", action="store_true",
+                             help="print daemon status/stats instead of "
+                                  "the job table")
+    jobs_parser.add_argument("--json", action="store_true",
+                             help="print the job table as JSON")
+    jobs_parser.set_defaults(func=cmd_jobs)
 
     return parser
 

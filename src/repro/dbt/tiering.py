@@ -35,12 +35,32 @@ Queue modes (all with the same observable contract):
 
 from __future__ import annotations
 
+import atexit
 import threading
+import weakref
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 _QUEUE_MODES = ("thread", "sync", "manual")
+
+#: Every queue that may own a live worker thread.  ``DbtSystem.run``
+#: closes its queue in a ``finally``, but a queue driven directly, or a
+#: run torn down before that ``finally``, used to leave the lazily
+#: started ``repro-compile`` daemon thread alive at interpreter exit —
+#: where it could touch half-torn-down module state.  The atexit hook
+#: joins whatever is left.  WeakSet, so the net never keeps a dead
+#: queue (or anything it references) alive.
+_LIVE_QUEUES: "weakref.WeakSet[CompileQueue]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_queues() -> None:
+    for queue in list(_LIVE_QUEUES):
+        try:
+            queue.close(timeout=1.0)
+        except Exception:  # noqa: BLE001 — exit path must not raise
+            pass
 
 
 @dataclass
@@ -103,6 +123,7 @@ class CompileQueue:
         #: controller declines every promotion (small kernels under
         #: ``tier_mode="auto"``) never pays thread startup or switches.
         self._worker: Optional[threading.Thread] = None
+        _LIVE_QUEUES.add(self)
 
     # -- submission ----------------------------------------------------
 
@@ -184,6 +205,7 @@ class CompileQueue:
     def close(self, timeout: float = 5.0) -> None:
         """Stop the worker, apply what finished, count the rest as
         stalled."""
+        _LIVE_QUEUES.discard(self)
         with self._lock:
             if self._closed:
                 return

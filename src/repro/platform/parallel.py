@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
@@ -147,6 +148,28 @@ class PointFailure:
     kind: str  # 'crash' | 'timeout' | 'error'
     error: str
     attempts: int
+
+
+class DrainRequested(RuntimeError):
+    """A graceful-drain signal (SIGTERM) arrived mid-run.
+
+    Every point that was already in flight has been finished and handed
+    to ``on_result`` (so checkpoints hold it); the points that had not
+    started were left unstarted.  Callers report the drain and exit with
+    :data:`DRAIN_EXIT_CODE` — re-running with the same ``--resume`` file
+    picks up exactly where the drain stopped.
+    """
+
+    def __init__(self, completed: int, remaining: int):
+        super().__init__("drained with %d point(s) done, %d not started"
+                         % (completed, remaining))
+        self.completed = completed
+        self.remaining = remaining
+
+
+#: Exit code the CLI pins for a SIGTERM-drained sweep (EX_TEMPFAIL:
+#: nothing was lost; re-run with the same --resume file to finish).
+DRAIN_EXIT_CODE = 75
 
 
 class ParallelRunError(RuntimeError):
@@ -293,13 +316,45 @@ def _cache_store(cache_dir: Path, key: str, record: dict) -> None:
 # Resumable checkpoints (JSONL; tolerant of a torn final line).
 # ---------------------------------------------------------------------------
 
-def checkpoint_load(path: Union[str, Path]) -> Dict[str, dict]:
+def compact_jsonl(path: Union[str, Path], records: Sequence[dict]) -> None:
+    """Atomically rewrite a JSONL file as one line per record.
+
+    The shared compaction primitive: sweep checkpoints rewrite
+    themselves to the last record per point, and the serve daemon's job
+    journal rewrites itself to one state snapshot per job.  The rewrite
+    goes through a temp file + ``os.replace`` so a kill mid-compaction
+    leaves either the old file or the new one, never a torn mix.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".compact")
+    with open(tmp, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+
+
+def checkpoint_load(path: Union[str, Path],
+                    compact: bool = True) -> Dict[str, dict]:
     """Load a sweep checkpoint: ``key -> record`` for every completed
-    point.  Partial (killed-mid-write) lines are ignored."""
+    point.  Partial (killed-mid-write) lines are ignored.
+
+    Checkpoints are append-only, so a point that was re-simulated across
+    retried runs (config drift, a run killed mid-append, a shared
+    checkpoint file) appears once per completion and the file grows
+    without bound.  ``compact`` (the default) rewrites the file down to
+    the surviving last-record-per-point set whenever loading dropped
+    anything — torn lines included — via :func:`compact_jsonl`.
+    """
     records: Dict[str, dict] = {}
+    lines = 0
     try:
         with open(path) as handle:
             for line in handle:
+                if not line.strip():
+                    continue
+                lines += 1
                 try:
                     entry = json.loads(line)
                 except ValueError:
@@ -312,6 +367,9 @@ def checkpoint_load(path: Union[str, Path]) -> Dict[str, dict]:
                     records[entry["key"]] = entry["record"]
     except OSError:
         return {}
+    if compact and lines > len(records):
+        compact_jsonl(path, [{"key": key, "record": record}
+                             for key, record in records.items()])
     return records
 
 
@@ -395,6 +453,7 @@ def run_points(
     serial_fallback: bool = True,
     on_result: Optional[Callable[[int, object], None]] = None,
     adaptive: bool = True,
+    should_drain: Optional[Callable[[], bool]] = None,
 ) -> List[object]:
     """Run ``worker(*task, fault)`` for every task, hardened.
 
@@ -420,6 +479,11 @@ def run_points(
     ``jobs > 1`` always stands up a pool even when the sweep is too
     small to amortize it — for callers that need real workers (e.g.
     exercising the multi-process telemetry merge).
+
+    ``should_drain`` (optional, polled between point completions) turns
+    a graceful-shutdown signal into :class:`DrainRequested`: points in
+    flight are finished and reported through ``on_result``, unstarted
+    points are abandoned cleanly.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -452,10 +516,15 @@ def run_points(
         failures[index] = PointFailure(index, labels[index], kind,
                                        error, attempts[index])
 
+    def _drain_check() -> None:
+        if should_drain is not None and should_drain():
+            raise DrainRequested(sum(done), len(pending))
+
     def _serial_pass(indices: Sequence[int]) -> None:
         # In-process: never apply worker faults (a crash fault would
         # take the parent down) and no timeout enforcement.
         for index in indices:
+            _drain_check()
             attempts[index] += 1
             telemetry.attempts += 1
             try:
@@ -474,7 +543,22 @@ def run_points(
                 attempts[index] += 1
                 telemetry.attempts += 1
                 futures[index] = executor.submit(worker, *tasks[index], fault)
-            for index in indices:
+            for position, index in enumerate(indices):
+                if should_drain is not None and should_drain():
+                    # Graceful drain: stop starting work, finish what is
+                    # already running so nothing computed is lost.
+                    for rest in indices[position:]:
+                        futures[rest].cancel()
+                    for rest in indices[position:]:
+                        future = futures[rest]
+                        if future.cancelled():
+                            continue
+                        try:
+                            _complete(rest, future.result())
+                        except Exception as error:  # noqa: BLE001
+                            _failed(rest, "error", "%s: %s"
+                                    % (type(error).__name__, error))
+                    raise DrainRequested(sum(done), len(pending))
                 try:
                     _complete(index, futures[index].result(timeout=timeout))
                 except FuturesTimeoutError:
@@ -502,6 +586,7 @@ def run_points(
         # retry, and callers (tests included) rely on seeing the
         # original exception rather than a wrapped failure table.
         for index in range(len(tasks)):
+            _drain_check()
             attempts[index] += 1
             telemetry.attempts += 1
             _complete(index, worker(*tasks[index], None))
@@ -578,6 +663,7 @@ def sweep_comparisons(
     tcache_dir=None,
     point_telemetry: Optional[TelemetryConfig] = None,
     adaptive: bool = True,
+    should_drain: Optional[Callable[[], bool]] = None,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
@@ -601,6 +687,10 @@ def sweep_comparisons(
 
     ``adaptive=False`` forces a real pool for ``jobs > 1`` even when
     the adaptive cost model would keep a small sweep in-process.
+
+    ``should_drain`` makes the sweep SIGTERM-drainable: when it turns
+    true, in-flight points finish (and checkpoint), unstarted points are
+    abandoned, and :class:`DrainRequested` propagates to the caller.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -666,6 +756,7 @@ def sweep_comparisons(
                 worker_faults=worker_faults,
                 on_result=_persist,
                 adaptive=adaptive,
+                should_drain=should_drain,
             )
         except ParallelRunError as error:
             raise ParallelRunError(

@@ -53,6 +53,7 @@ from .faults import (
     FaultSite,
     WorkerFault,
     corrupt_codegen_cache,
+    corrupt_journal,
     corrupt_sweep_cache,
 )
 from .supervisor import ExecutionSupervisor
@@ -359,6 +360,106 @@ def _worker_cell(site: FaultSite, scenario: str, workloads, baseline: str,
 
 
 # ---------------------------------------------------------------------------
+# Service-side scenarios (a real serve daemon per cell: warm fleet,
+# journal, watchdog).  Each cell submits the same small sweep the runner
+# cells use, so "identical" means the daemon's job result matches the
+# one-shot baseline byte for byte — the ISSUE's durability bar.
+# ---------------------------------------------------------------------------
+
+def _serve_sweep_payload(kernel: str) -> dict:
+    """The sweep job whose result must equal ``_sweep_rows(workloads)``."""
+    return {
+        "kind": "sweep", "kernels": [kernel],
+        "policies": [policy.value for policy in _SWEEP_POLICIES],
+        "engine": {"hot_threshold": _CHAOS_ENGINE_CONFIG.hot_threshold},
+    }
+
+
+def _serve_fault_cell(site: FaultSite, seed: int, scenario: str,
+                      kernel: str, baseline: str, work_dir: Path,
+                      hang_timeout: float) -> ChaosOutcome:
+    """Inject one serve fault (worker crash/hang, lease expiry) into a
+    live daemon while it runs the baseline sweep; the watchdog must
+    detect, the retry must heal, and the result must stay identical."""
+    from ..serve import ServeConfig, ServeDaemon
+
+    injector = FaultInjector(seed=seed, sites=[site])
+    config = ServeConfig(workers=1, work_dir=work_dir / site.value,
+                         backoff=0.1,
+                         lease_timeout=hang_timeout,
+                         heartbeat_timeout=hang_timeout)
+    daemon = ServeDaemon(config, injector=injector)
+    daemon.start()
+    try:
+        payload = _serve_sweep_payload(kernel)
+        job_id = daemon.submit(payload)
+        record = daemon.wait(job_id, timeout=hang_timeout * 10 + 120)
+    finally:
+        daemon.stop(drain=False)
+    stats = daemon.stats
+    detected = {
+        FaultSite.SERVE_WORKER_CRASH: stats.worker_crashes >= 1,
+        FaultSite.SERVE_WORKER_HANG:
+            stats.lease_expiries + stats.worker_hangs >= 1,
+        FaultSite.SERVE_LEASE_EXPIRE: stats.lease_expiries >= 1,
+    }[site]
+    done = record is not None and record.result is not None
+    return ChaosOutcome(
+        site, scenario,
+        fired=bool(injector.fired),
+        detected=detected and stats.requeues >= 1,
+        recovered=done and stats.completed == 1,
+        identical=done and record.result.get("rows") == baseline,
+        detail="; ".join(r.detail for r in injector.fired)
+               or "fault never fired",
+    )
+
+
+def _serve_journal_cell(seed: int, scenario: str, kernel: str,
+                        baseline: str, work_dir: Path) -> ChaosOutcome:
+    """Corrupt a committed ``done`` line between two daemon lifetimes.
+
+    The checksum must catch the damage on replay, the job (whose submit
+    line survives) must re-run, and the re-run — simulation being
+    deterministic — must land on the bit-identical result."""
+    from ..serve import ServeConfig, ServeDaemon
+
+    site = FaultSite.SERVE_JOURNAL_CORRUPT
+    serve_dir = work_dir / site.value
+    # compact_on_stop would fold the history into snapshots and erase
+    # the per-event structure this corruption targets.
+    config = ServeConfig(workers=1, work_dir=serve_dir,
+                         compact_on_stop=False)
+    daemon = ServeDaemon(config)
+    daemon.start()
+    try:
+        job_id = daemon.submit(_serve_sweep_payload(kernel))
+        first = daemon.wait(job_id, timeout=180)
+    finally:
+        daemon.stop(drain=False)
+    if first is None or first.result is None:
+        return ChaosOutcome(site, scenario, fired=False, detected=False,
+                            recovered=False, identical=False,
+                            detail="baseline daemon run failed")
+    detail = corrupt_journal(config.journal, random.Random(seed))
+    restarted = ServeDaemon(ServeConfig(workers=1, work_dir=serve_dir))
+    restarted.start()
+    try:
+        record = restarted.wait(job_id, timeout=180)
+    finally:
+        restarted.stop(drain=False)
+    done = record is not None and record.result is not None
+    return ChaosOutcome(
+        site, scenario,
+        fired=detail is not None,
+        detected=restarted.stats.replayed_corrupt_lines >= 1,
+        recovered=done and restarted.stats.completed == 1,
+        identical=done and record.result.get("rows") == baseline,
+        detail=detail or "journal had no line to corrupt",
+    )
+
+
+# ---------------------------------------------------------------------------
 # The matrix.
 # ---------------------------------------------------------------------------
 
@@ -372,6 +473,7 @@ def run_chaos_matrix(
     interpreter: Optional[str] = None,
     telemetry: Optional[TelemetryConfig] = None,
     trace: bool = True,
+    serve: bool = True,
 ) -> List[ChaosOutcome]:
     """Run every fault site's scenario; returns one outcome per cell.
 
@@ -390,7 +492,11 @@ def run_chaos_matrix(
     ``trace`` includes the tier-4 cells (megablock driver corruption,
     compile-queue hang); these always run chained on the trace tier
     regardless of ``chain``/``interpreter``, since megablocks exist
-    nowhere else.
+    nowhere else.  ``serve`` includes the service cells: each spins up
+    a real ``repro serve`` daemon (warm fleet + journal + watchdog),
+    injects one ``serve-*`` fault, and requires the submitted sweep to
+    complete exactly once with a result identical to the one-shot
+    baseline.
     """
     jobs = max(2, jobs)  # runner faults only apply under a real pool
     outcomes: List[ChaosOutcome] = []
@@ -451,4 +557,15 @@ def run_chaos_matrix(
         FaultSite.WORKER_HANG, scenario, workloads, baseline,
         WorkerFault("hang", seconds=hang_timeout * 6), jobs,
         timeout=hang_timeout, point_telemetry=telemetry))
+
+    if serve:
+        serve_scenario = "serve:%s" % kernel
+        for site in (FaultSite.SERVE_WORKER_CRASH,
+                     FaultSite.SERVE_WORKER_HANG,
+                     FaultSite.SERVE_LEASE_EXPIRE):
+            outcomes.append(_serve_fault_cell(
+                site, seed, serve_scenario, kernel, baseline, work_path,
+                hang_timeout))
+        outcomes.append(_serve_journal_cell(
+            seed, serve_scenario, kernel, baseline, work_path))
     return outcomes

@@ -62,6 +62,14 @@ class FaultSite(enum.Enum):
     #: Wedge the background compile queue's worker (jobs submit but
     #: never complete; the engine must keep running on lower tiers).
     COMPILE_QUEUE_HANG = "compile-queue-hang"
+    #: Flip a byte in one line of the serve daemon's job journal.
+    SERVE_JOURNAL_CORRUPT = "serve-journal-corrupt"
+    #: Kill a warm serve worker mid-job (the daemon must re-lease).
+    SERVE_WORKER_CRASH = "serve-worker-crash"
+    #: Hang a warm serve worker past its lease deadline.
+    SERVE_WORKER_HANG = "serve-worker-hang"
+    #: Shrink one healthy lease so the watchdog expires it mid-job.
+    SERVE_LEASE_EXPIRE = "serve-lease-expire"
 
 
 #: Sites injected inside one supervised platform (detection: supervisor).
@@ -95,6 +103,18 @@ TRACE_SITES = (
     FaultSite.COMPILE_QUEUE_HANG,
 )
 
+#: Sites injected into the ``repro serve`` daemon (detection: the job
+#: journal's replay validation, the fleet watchdog's lease/heartbeat
+#: accounting).  Like the runner sites each gets one opportunity per
+#: chaos run — and, like them, they never touch the seeded RNG stream,
+#: so arming them cannot shift the plans of the original sites.
+SERVE_SITES = (
+    FaultSite.SERVE_JOURNAL_CORRUPT,
+    FaultSite.SERVE_WORKER_CRASH,
+    FaultSite.SERVE_WORKER_HANG,
+    FaultSite.SERVE_LEASE_EXPIRE,
+)
+
 
 @dataclass
 class FaultRecord:
@@ -126,7 +146,8 @@ class FaultInjector:
         # never on which sites happen to be armed.
         for site in sorted(FaultSite, key=lambda s: s.value):
             self._trigger[site] = (
-                1 if site in RUNNER_SITES or site in TRACE_SITES
+                1 if (site in RUNNER_SITES or site in TRACE_SITES
+                      or site in SERVE_SITES)
                 else self.rng.randint(1, 2))
         self._opportunities: Dict[FaultSite, int] = {s: 0 for s in FaultSite}
         self._remaining: Dict[FaultSite, int] = {
@@ -274,6 +295,38 @@ def corrupt_codegen_cache(tcache_dir, rng: random.Random) -> Optional[str]:
     data[position] ^= 0xFF
     target.write_bytes(bytes(data))
     return "flipped byte %d of %s" % (position, target.name)
+
+
+def corrupt_journal(journal_path, rng: random.Random,
+                    event: Optional[str] = "done") -> Optional[str]:
+    """Flip one byte in the middle of a seeded-random serve-journal line.
+
+    ``event`` restricts the victim to lines carrying that journal event
+    (default ``"done"`` — a lost result is the interesting corruption:
+    the submit record survives, so replay must re-run the job and land
+    on a bit-identical result).  Falls back to any line when no line
+    matches.  The per-line checksum must catch the damage on replay.
+    """
+    journal_path = Path(journal_path)
+    try:
+        raw = journal_path.read_bytes()
+    except OSError:
+        return None
+    lines = raw.split(b"\n")
+    candidates = [index for index, line in enumerate(lines) if line.strip()]
+    if event is not None:
+        marker = b'"event": "%s"' % event.encode()
+        matching = [index for index in candidates if marker in lines[index]]
+        candidates = matching or candidates
+    if not candidates:
+        return None
+    victim = candidates[rng.randrange(len(candidates))]
+    line = bytearray(lines[victim])
+    position = len(line) // 2
+    line[position] ^= 0xFF
+    lines[victim] = bytes(line)
+    journal_path.write_bytes(b"\n".join(lines))
+    return "flipped byte %d of journal line %d" % (position, victim)
 
 
 def corrupt_sweep_cache(cache_dir, rng: random.Random) -> Optional[str]:

@@ -1,0 +1,21 @@
+"""``repro serve`` — a crash-safe simulation service.
+
+A long-lived daemon owning a warm worker fleet (pre-imported modules,
+shared persistent tcache) and a priority job queue, fed over a local
+socket JSON API.  Durability comes from a checksummed JSONL
+write-ahead journal; liveness from a heartbeat/lease watchdog.  See
+:mod:`repro.serve.daemon` for the failure model.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import ServeConfig, ServeDaemon, ServeStats, run_server
+from .jobs import (JOB_KINDS, JobError, JobRecord, JobState,
+                   TERMINAL_STATES, execute_job, validate_payload)
+from .journal import JobJournal, JournalReplay, journal_events
+
+__all__ = [
+    "JOB_KINDS", "JobError", "JobJournal", "JobRecord", "JobState",
+    "JournalReplay", "ServeClient", "ServeConfig", "ServeDaemon",
+    "ServeError", "ServeStats", "TERMINAL_STATES", "execute_job",
+    "journal_events", "run_server", "validate_payload",
+]

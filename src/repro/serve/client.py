@@ -1,0 +1,86 @@
+"""Client for the serve daemon's socket API (``repro submit``/``jobs``).
+
+One connection per request (see :mod:`repro.serve.protocol`); a client
+crash therefore never wedges the daemon, and a daemon restart never
+wedges the client beyond one failed request.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from .protocol import ProtocolError, connect, recv_message, send_message, \
+    serve_address
+
+
+class ServeError(RuntimeError):
+    """The daemon rejected a request or is unreachable."""
+
+
+class ServeClient:
+    def __init__(self, socket_path: Optional[str] = None,
+                 port: Optional[int] = None, timeout: float = 30.0):
+        self.family, self.address = serve_address(socket_path, port)
+        self.timeout = timeout
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        message = {"op": op}
+        message.update(fields)
+        try:
+            sock = connect(self.family, self.address, timeout=self.timeout)
+        except OSError as exc:
+            raise ServeError("cannot reach serve daemon at %r: %s"
+                             % (self.address, exc))
+        try:
+            send_message(sock, message)
+            reply = recv_message(sock)
+        except (OSError, ProtocolError) as exc:
+            raise ServeError("request %r failed: %s" % (op, exc))
+        finally:
+            sock.close()
+        if reply is None:
+            raise ServeError("daemon closed the connection on %r" % op)
+        return reply
+
+    # -- conveniences ------------------------------------------------------
+
+    def ping(self, retries: int = 50, delay: float = 0.1) -> bool:
+        """True once the daemon answers (retry loop covers startup)."""
+        for _ in range(max(1, retries)):
+            try:
+                if self.request("ping").get("pong"):
+                    return True
+            except ServeError:
+                time.sleep(delay)
+        return False
+
+    def submit(self, payload: Dict[str, Any], priority: int = 0) -> str:
+        reply = self.request("submit", payload=payload, priority=priority)
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "submit rejected"))
+        return reply["job"]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.5) -> Dict[str, Any]:
+        """Poll until ``job_id`` is terminal; raises on client timeout.
+
+        Each poll is its own bounded request, so a daemon kill mid-wait
+        surfaces as :class:`ServeError` instead of a hung client.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            reply = self.request("wait", job=job_id, timeout=poll)
+            if reply.get("ok"):
+                return reply
+            if "error" in reply:
+                raise ServeError(reply["error"])
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError("timed out waiting for %s (state %s)"
+                                 % (job_id, reply.get("state")))
+
+    def jobs(self) -> Dict[str, Any]:
+        return self.request("jobs")
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("status")

@@ -1,0 +1,598 @@
+"""The serve daemon: journal-backed scheduler over a warm worker fleet.
+
+Robustness model (see ``docs/RESILIENCE.md`` for the operator view):
+
+* Every state transition is journaled (fsynced) *before* the daemon
+  acts on it — :class:`~repro.serve.journal.JobJournal` is a WAL.  A
+  SIGKILLed daemon restarts by replaying the journal: terminal jobs
+  keep their results, leased jobs go back to the queue, nothing is
+  lost and nothing runs twice (first terminal event wins).
+* Workers are leased one job at a time with a deadline.  The watchdog
+  SIGKILLs a worker that stops heartbeating or blows its lease, then
+  requeues the job with exponential backoff.  SIGKILL-before-requeue
+  is the duplicate-result guard: a hung-but-alive worker can never
+  finish late and race its own retry.
+* A job that keeps killing workers past the retry budget is
+  **quarantined** — parked terminal so one poison payload cannot eat
+  the fleet forever.
+* Graceful degradation: SIGTERM drains (in-flight jobs finish, queue
+  survives in the journal), and if the fleet cannot be rebuilt after
+  crashes the daemon falls back to serial in-process execution with
+  chaos faults stripped, trading throughput for liveness.
+
+Determinism makes the recovery ladder cheap: re-running a simulation
+job after any failure yields bit-identical results, so "requeue and
+retry" is always semantically safe — the journal only has to guarantee
+*at-least-once execution, exactly-once result recording*.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs.pipeline import TelemetryConfig, merge_spool
+from ..platform.parallel import RunnerTelemetry
+from ..resilience.faults import FaultInjector, FaultSite, WorkerFault
+from .fleet import WorkerFleet, WorkerHandle
+from .jobs import (JobError, JobRecord, JobState, execute_job, payload_fault,
+                   validate_payload)
+from .journal import JobJournal
+
+
+@dataclass
+class ServeConfig:
+    """Daemon tunables (CLI flags map 1:1)."""
+
+    workers: int = 2
+    tcache_dir: Optional[str] = None
+    #: Daemon scratch root: journal + per-job telemetry spools.
+    work_dir: Union[str, Path] = ".repro-serve"
+    journal_path: Optional[Union[str, Path]] = None
+    #: Per-job lease deadline (a payload may set its own, smaller).
+    lease_timeout: float = 120.0
+    #: Re-lease budget after worker crash/hang/expiry; the job is
+    #: quarantined on attempt ``retries + 2``.
+    retries: int = 2
+    backoff: float = 0.5
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 5.0
+    #: Rewrite the journal to one snapshot line per job on clean stop.
+    compact_on_stop: bool = True
+
+    @property
+    def journal(self) -> Path:
+        if self.journal_path is not None:
+            return Path(self.journal_path)
+        return Path(self.work_dir) / "journal.jsonl"
+
+    @property
+    def spool_root(self) -> Path:
+        return Path(self.work_dir) / "spool"
+
+
+@dataclass
+class ServeStats:
+    """Daemon-lifetime counters (``repro jobs --status``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    requeues: int = 0
+    #: Results for already-terminal jobs, dropped (first wins).
+    duplicate_results: int = 0
+    lease_expiries: int = 0
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    serial_jobs: int = 0
+    replayed_jobs: int = 0
+    replayed_corrupt_lines: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ServeDaemon:
+    """Scheduler + watchdog + journal, with a socket-free public API.
+
+    The socket server is a thin wrapper over :meth:`handle_request`;
+    tests and the chaos matrix drive the daemon directly through
+    :meth:`submit`/:meth:`wait` so durability is exercised without
+    network noise.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 injector: Optional[FaultInjector] = None):
+        self.config = config or ServeConfig()
+        self.injector = injector
+        self.stats = ServeStats()
+        self.telemetry = RunnerTelemetry()
+        self.jobs_table: Dict[str, JobRecord] = {}
+        self.journal = JobJournal(self.config.journal)
+        self.fleet = WorkerFleet(
+            self.config.workers, tcache_dir=self.config.tcache_dir,
+            heartbeat_interval=self.config.heartbeat_interval,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+            telemetry=self.telemetry)
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._scheduler: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._seq = 0
+        self._now = time.monotonic
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Replay the journal, spawn the fleet, start scheduling."""
+        Path(self.config.work_dir).mkdir(parents=True, exist_ok=True)
+        replay = self.journal.replay()
+        with self._lock:
+            self.jobs_table = dict(replay.jobs)
+            self._seq = max((record.seq for record in replay.jobs.values()),
+                            default=0)
+        self.stats.replayed_jobs = len(replay.jobs)
+        self.stats.replayed_corrupt_lines = replay.corrupt_lines
+        self.stats.duplicate_results += replay.duplicate_results
+        self.stats.requeues += replay.recovered_leases
+        self.journal.open(start_seq=replay.max_seq)
+        self.fleet.start()
+        self._scheduler = threading.Thread(target=self._scheduler_loop,
+                                           name="repro-serve-scheduler",
+                                           daemon=True)
+        self._scheduler.start()
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop the daemon; ``drain`` lets leased jobs finish first."""
+        if drain:
+            self._draining.set()
+            deadline = self._now() + timeout
+            with self._wake:
+                while self._leased_ids() and self._now() < deadline:
+                    self._wake.wait(0.2)
+        self._stopping.set()
+        if self._scheduler is not None:
+            self._scheduler.join(10.0)
+            self._scheduler = None
+        self.fleet.shutdown()
+        if self.config.compact_on_stop:
+            with self._lock:
+                self.journal.compact(self.jobs_table)
+        self.journal.close()
+
+    def request_drain(self) -> None:
+        """SIGTERM entry point: finish in-flight work, stop leasing."""
+        self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- public API (socket-free) -----------------------------------------
+
+    def submit(self, payload: Dict[str, Any], priority: int = 0,
+               job_id: Optional[str] = None) -> str:
+        """Validate, journal, and queue one job; returns its id."""
+        validate_payload(payload)
+        with self._wake:
+            self._seq += 1
+            if job_id is None:
+                job_id = "job-%06d" % self._seq
+            if job_id in self.jobs_table:
+                raise JobError("duplicate job id %r" % job_id)
+            # WAL discipline: the submit line is durable before the job
+            # becomes visible to the scheduler.
+            seq = self.journal.append("submit", job_id, payload=payload,
+                                      priority=priority)
+            self.jobs_table[job_id] = JobRecord(
+                job_id=job_id, payload=payload, priority=priority, seq=seq)
+            self.stats.submitted += 1
+            self._wake.notify_all()
+        return job_id
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self.jobs_table.get(job_id)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = sorted(self.jobs_table.values(),
+                             key=lambda record: record.seq)
+            return [record.summary() for record in records]
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """Block until ``job_id`` reaches a terminal state (or timeout)."""
+        deadline = None if timeout is None else self._now() + timeout
+        with self._wake:
+            while True:
+                record = self.jobs_table.get(job_id)
+                if record is not None and record.terminal:
+                    return record
+                remaining = None if deadline is None \
+                    else deadline - self._now()
+                if remaining is not None and remaining <= 0:
+                    return record
+                self._wake.wait(0.2 if remaining is None
+                                else min(0.2, remaining))
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for record in self.jobs_table.values():
+                states[record.state.value] = \
+                    states.get(record.state.value, 0) + 1
+        return {
+            "workers": len(self.fleet.workers),
+            "degraded": self.fleet.degraded,
+            "draining": self.draining,
+            "jobs": states,
+            "stats": self.stats.to_dict(),
+            "runner": self.telemetry.summary(),
+        }
+
+    # -- scheduler --------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stopping.is_set():
+            # Watchdog before poll: an expired lease is killed before
+            # its (late) result is ever read off the pipe, so expiry is
+            # deterministic — re-running is bit-identical, so dropping
+            # a just-in-time result only costs time, never correctness.
+            self._watchdog()
+            events = self.fleet.poll(timeout=0.1)
+            for kind, handle, message in events:
+                if kind == "result":
+                    self._on_result(handle, message)
+                else:
+                    self._on_crash(handle, message.get("detail", "crash"))
+            if not self.fleet.degraded:
+                self.fleet.rebuild()
+            if self.fleet.degraded:
+                self._serial_pass()
+            else:
+                self._assign()
+
+    def _leased_ids(self) -> List[str]:
+        with self._lock:
+            return [record.job_id for record in self.jobs_table.values()
+                    if record.state is JobState.LEASED]
+
+    def _due_ids(self, now: float) -> List[str]:
+        with self._lock:
+            due = [record for record in self.jobs_table.values()
+                   if record.state is JobState.QUEUED
+                   and record.not_before <= now]
+        due.sort(key=lambda record: (-record.priority, record.seq))
+        return [record.job_id for record in due]
+
+    def _assign(self) -> None:
+        if self.draining:
+            return
+        idle = self.fleet.idle_workers()
+        if not idle:
+            return
+        for job_id in self._due_ids(self._now()):
+            if not idle:
+                break
+            handle = idle.pop()
+            self._lease(handle, job_id)
+
+    def _lease(self, handle: WorkerHandle, job_id: str) -> None:
+        with self._wake:
+            record = self.jobs_table[job_id]
+            if record.state is not JobState.QUEUED:
+                return
+            attempt = record.attempts + 1
+            lease_timeout = float((record.payload or {}).get(
+                "lease_timeout", self.config.lease_timeout))
+            if self._fire(FaultSite.SERVE_LEASE_EXPIRE,
+                          "lease for %s pre-expired" % job_id):
+                # Already past its deadline: the watchdog must SIGKILL
+                # the worker and re-lease no matter how fast the job
+                # is — the injected expiry cannot race the result.
+                lease_timeout = -1.0
+            fault = None
+            if attempt == 1:
+                # Injected worker faults mirror the payload-fault
+                # contract: first attempt only, so the retry heals.
+                if self._fire(FaultSite.SERVE_WORKER_CRASH,
+                              "worker executing %s SIGKILLed" % job_id):
+                    fault = WorkerFault(kind="crash")
+                elif self._fire(FaultSite.SERVE_WORKER_HANG,
+                                "worker executing %s hung" % job_id):
+                    fault = WorkerFault(kind="hang", seconds=60.0)
+            telemetry = self._job_telemetry(record)
+            # WAL: lease line is durable before the worker sees the job.
+            self.journal.append("lease", job_id, attempt=attempt,
+                                worker=handle.pid,
+                                lease_timeout=lease_timeout)
+            record.state = JobState.LEASED
+            record.attempts = attempt
+            record.worker = handle.pid
+            self.telemetry.attempts += 1
+        try:
+            self.fleet.lease(handle, job_id, record.payload, attempt,
+                             lease_timeout, telemetry=telemetry, fault=fault)
+        except (OSError, ValueError):
+            # Worker died between poll and lease: requeue immediately.
+            self._on_crash(handle, "lease send failed")
+
+    def _job_telemetry(self,
+                       record: JobRecord) -> Optional[TelemetryConfig]:
+        payload = record.payload or {}
+        if not payload.get("telemetry"):
+            return None
+        spool = self.config.spool_root / record.job_id
+        # Wipe the spool at (re-)lease so a retried job's metrics are
+        # counted once — the abandoned attempt's envelopes would
+        # otherwise double every counter in the merge.
+        shutil.rmtree(spool, ignore_errors=True)
+        spool.mkdir(parents=True, exist_ok=True)
+        return TelemetryConfig(spool_dir=str(spool),
+                               trace=bool(payload.get("trace")))
+
+    def _fire(self, site: FaultSite, detail: str) -> bool:
+        if self.injector is None or not self.injector.should_fire(site):
+            return False
+        self.injector.record(site, detail)
+        return True
+
+    # -- event handlers ---------------------------------------------------
+
+    def _on_result(self, handle: WorkerHandle, message: Dict[str, Any]) \
+            -> None:
+        job_id = message.get("job")
+        with self._wake:
+            handle.job_id = None
+            record = self.jobs_table.get(job_id)
+            if record is None:
+                return
+            if record.terminal:
+                # First terminal event won already (e.g. the job was
+                # requeued, retried, and finished before a slow
+                # original worker reported). Drop, never overwrite.
+                self.stats.duplicate_results += 1
+                return
+            if message.get("ok"):
+                result = message.get("result")
+                result = self._merge_metrics(record, result)
+                self.journal.append("done", job_id, result=result,
+                                    worker=message.get("pid"))
+                record.state = JobState.DONE
+                record.result = result
+                self.stats.completed += 1
+            else:
+                # The worker survived and reported a Python exception:
+                # a deterministic payload error, not a worker failure.
+                # Retrying cannot change the outcome — fail now.
+                error = message.get("error", "job failed")
+                self.journal.append("failed", job_id, error=error)
+                record.state = JobState.FAILED
+                record.error = error
+                self.stats.failed += 1
+            record.worker = None
+            self._wake.notify_all()
+
+    def _merge_metrics(self, record: JobRecord,
+                       result: Any) -> Any:
+        payload = record.payload or {}
+        if not payload.get("telemetry") or not isinstance(result, dict):
+            return result
+        spool = self.config.spool_root / record.job_id
+        merged = merge_spool(spool)
+        result = dict(result)
+        result["metrics"] = merged.registry.to_dict()
+        result["telemetry"] = {
+            "envelopes": len(merged.envelopes),
+            "workers": merged.workers,
+            "skipped": merged.skipped,
+        }
+        shutil.rmtree(spool, ignore_errors=True)
+        return result
+
+    def _on_crash(self, handle: WorkerHandle, detail: str) -> None:
+        job_id = handle.job_id
+        self.stats.worker_crashes += 1
+        self.telemetry.crashes += 1
+        self.fleet.kill(handle)
+        if job_id is not None:
+            self._requeue(job_id, "worker crash: %s" % detail)
+
+    def _watchdog(self) -> None:
+        now = self._now()
+        for handle in self.fleet.dead_workers():
+            self._on_crash(handle, "worker process exited")
+        for handle in list(self.fleet.expired(now)):
+            job_id = handle.job_id
+            self.stats.lease_expiries += 1
+            self.telemetry.timeouts += 1
+            # SIGKILL before requeue: the lease holder must be dead
+            # before the job can run anywhere else.
+            self.fleet.kill(handle)
+            if job_id is not None:
+                self._requeue(job_id, "lease expired")
+        for handle in list(self.fleet.hung_workers(now)):
+            if handle in self.fleet.workers:
+                job_id = handle.job_id
+                self.stats.worker_hangs += 1
+                self.telemetry.timeouts += 1
+                self.fleet.kill(handle)
+                if job_id is not None:
+                    self._requeue(job_id, "heartbeat lost")
+
+    def _requeue(self, job_id: str, reason: str) -> None:
+        with self._wake:
+            record = self.jobs_table.get(job_id)
+            if record is None or record.terminal:
+                return
+            if record.attempts >= self.config.retries + 2:
+                self.journal.append("quarantined", job_id, error=reason,
+                                    attempts=record.attempts)
+                record.state = JobState.QUARANTINED
+                record.error = ("quarantined after %d attempt(s): %s"
+                                % (record.attempts, reason))
+                record.worker = None
+                self.stats.quarantined += 1
+                self._wake.notify_all()
+                return
+            delay = self.config.backoff * (2 ** max(0, record.attempts - 1))
+            self.journal.append("requeue", job_id, reason=reason,
+                                backoff=delay)
+            record.state = JobState.QUEUED
+            record.worker = None
+            record.not_before = self._now() + delay
+            self.stats.requeues += 1
+            self.telemetry.retries += 1
+            self._wake.notify_all()
+
+    def _serial_pass(self) -> None:
+        """Fleet is gone and cannot be rebuilt: run jobs in-daemon.
+
+        Chaos faults are stripped (they target *workers*; crashing the
+        daemon would turn degradation into an outage) — mirroring the
+        hardened runner's serial-fallback contract.
+        """
+        for job_id in self._due_ids(self._now()):
+            if self._stopping.is_set() or self.draining:
+                return
+            with self._wake:
+                record = self.jobs_table.get(job_id)
+                if record is None or record.state is not JobState.QUEUED:
+                    continue
+                attempt = record.attempts + 1
+                telemetry = self._job_telemetry(record)
+                self.journal.append("lease", job_id, attempt=attempt,
+                                    worker=0)
+                record.state = JobState.LEASED
+                record.attempts = attempt
+                record.worker = 0
+                self.telemetry.serial_fallbacks += 1
+                self.stats.serial_jobs += 1
+            try:
+                result = execute_job(record.payload, telemetry=telemetry,
+                                     fault=None,
+                                     tcache_dir=self.config.tcache_dir)
+                ok, error = True, None
+            except Exception as exc:  # noqa: BLE001
+                ok, error, result = False, "%s: %s" % (
+                    type(exc).__name__, exc), None
+            with self._wake:
+                if record.terminal:
+                    self.stats.duplicate_results += 1
+                    continue
+                if ok:
+                    result = self._merge_metrics(record, result)
+                    self.journal.append("done", job_id, result=result,
+                                        worker=0)
+                    record.state = JobState.DONE
+                    record.result = result
+                    self.stats.completed += 1
+                else:
+                    self.journal.append("failed", job_id, error=error)
+                    record.state = JobState.FAILED
+                    record.error = error
+                    self.stats.failed += 1
+                record.worker = None
+                self._wake.notify_all()
+
+    # -- request dispatch (the socket server calls this) ------------------
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "submit":
+                job_id = self.submit(request.get("payload"),
+                                     priority=int(request.get("priority", 0)),
+                                     job_id=request.get("job"))
+                return {"ok": True, "job": job_id}
+            if op == "jobs":
+                return {"ok": True, "jobs": self.jobs()}
+            if op == "job":
+                record = self.job(request.get("job", ""))
+                if record is None:
+                    return {"ok": False, "error": "no such job"}
+                return {"ok": True, **record.summary()}
+            if op == "wait":
+                record = self.wait(request.get("job", ""),
+                                   timeout=request.get("timeout"))
+                if record is None:
+                    return {"ok": False, "error": "no such job"}
+                return {"ok": record.terminal, **record.summary()}
+            if op == "status":
+                return {"ok": True, **self.status()}
+            if op == "drain":
+                self.request_drain()
+                return {"ok": True, "draining": True}
+            if op == "shutdown":
+                return {"ok": True, "stopping": True}
+            return {"ok": False, "error": "unknown op %r" % op}
+        except JobError as exc:
+            return {"ok": False, "error": str(exc)}
+
+
+def run_server(daemon: ServeDaemon, socket_path: Optional[str] = None,
+               port: Optional[int] = None,
+               stop: Optional[threading.Event] = None) -> None:
+    """Accept loop for the daemon's JSON socket API.
+
+    Blocks until a ``shutdown`` request arrives, ``stop`` is set (the
+    CLI's SIGTERM handler sets it after :meth:`ServeDaemon.request_drain`),
+    or a requested drain runs dry.  One short-lived thread per
+    connection: requests are small, and ``wait`` is the only slow op.
+    """
+    import os
+    import socket as socket_module
+
+    from .protocol import (ProtocolError, listen, recv_message,
+                           send_message, serve_address)
+
+    family, address = serve_address(socket_path, port)
+    sock = listen(family, address)
+    sock.settimeout(0.2)
+    stop = stop if stop is not None else threading.Event()
+
+    def _handle(conn: "socket_module.socket") -> None:
+        try:
+            request = recv_message(conn)
+            if request is None:
+                return
+            reply = daemon.handle_request(request)
+            send_message(conn, reply)
+            if request.get("op") == "shutdown":
+                stop.set()
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    try:
+        while not stop.is_set():
+            if daemon.draining and not daemon._leased_ids():
+                break
+            try:
+                conn, _ = sock.accept()
+            except socket_module.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(target=_handle, args=(conn,),
+                             name="repro-serve-conn", daemon=True).start()
+    finally:
+        sock.close()
+        if family == socket_module.AF_UNIX:
+            try:
+                os.unlink(address)
+            except OSError:
+                pass

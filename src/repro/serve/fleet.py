@@ -1,0 +1,282 @@
+"""Warm worker fleet for the serve daemon.
+
+Workers are long-lived forked processes that pre-import the simulator
+stack once and then execute job after job over a duplex pipe — the
+whole point of the service (ROADMAP item 1): the per-experiment process
+startup and import cost the one-shot ``--jobs N`` pool pays on every
+sweep is paid here once per worker lifetime, and every worker shares
+the daemon's persistent ``--tcache-dir`` so compiled blocks are reused
+across jobs *and* workers.
+
+Liveness is heartbeat-based: each worker runs a tiny thread that sends
+``{"kind": "heartbeat"}`` every ``heartbeat_interval`` seconds (under a
+lock — ``multiprocessing.Connection.send`` is not thread-safe against
+the result send).  The daemon's watchdog treats a silent worker as
+hung and SIGKILLs it; a worker whose pipe hits EOF has crashed.  Both
+surface as ``("crash", handle, detail)`` events from :meth:`poll` so
+the daemon has a single recovery path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..platform.parallel import RunnerTelemetry
+
+#: Fork keeps the pre-imported modules warm in children for free.
+_CTX = multiprocessing.get_context("fork")
+
+
+def _worker_main(conn, tcache_dir, heartbeat_interval: float) -> None:
+    """Worker process body: warm up, then serve jobs until EOF."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Warm imports: everything a job can touch, paid once per worker.
+    from ..obs.pipeline import TelemetryConfig  # noqa: F401
+    from ..platform import parallel, system  # noqa: F401
+    from .jobs import execute_job, payload_fault
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                with send_lock:
+                    conn.send({"kind": "heartbeat", "pid": os.getpid()})
+            except (OSError, ValueError):
+                return
+
+    beat = threading.Thread(target=_heartbeat, name="serve-heartbeat",
+                            daemon=True)
+    beat.start()
+    try:
+        with send_lock:
+            conn.send({"kind": "ready", "pid": os.getpid()})
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message is None or message.get("kind") == "stop":
+                return
+            job_id = message["job"]
+            payload = message["payload"]
+            telemetry = message.get("telemetry")
+            # Chaos faults come either from the daemon (serve-worker-*
+            # sites) or from the payload itself (poison-job tests).
+            fault = message.get("fault") or \
+                payload_fault(payload, message.get("attempt", 1))
+            try:
+                result = execute_job(payload, telemetry=telemetry,
+                                     fault=fault, tcache_dir=tcache_dir)
+                reply = {"kind": "result", "job": job_id, "ok": True,
+                         "result": result, "pid": os.getpid()}
+            except BaseException as exc:  # noqa: BLE001 — report, don't die
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                reply = {"kind": "result", "job": job_id, "ok": False,
+                         "error": "%s: %s" % (type(exc).__name__, exc),
+                         "trace": traceback.format_exc(),
+                         "pid": os.getpid()}
+            with send_lock:
+                conn.send(reply)
+    finally:
+        stop.set()
+
+
+@dataclass
+class WorkerHandle:
+    """Daemon-side view of one fleet worker."""
+
+    process: Any
+    conn: Any
+    #: Job id currently leased to this worker (None = idle).
+    job_id: Optional[str] = None
+    #: Monotonic deadline by which the lease must complete.
+    lease_deadline: float = 0.0
+    #: Monotonic time of the last heartbeat (or spawn).
+    last_beat: float = field(default_factory=time.monotonic)
+    ready: bool = False
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def idle(self) -> bool:
+        return self.ready and self.job_id is None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerFleet:
+    """A supervised set of warm workers with heartbeat liveness.
+
+    The fleet only *mechanizes*: spawn, lease, poll, kill, rebuild.
+    Policy — which job goes where, retry budgets, quarantine — lives in
+    the daemon, so the fleet stays testable in isolation.
+    """
+
+    def __init__(self, size: int, tcache_dir=None,
+                 heartbeat_interval: float = 0.5,
+                 heartbeat_timeout: float = 5.0,
+                 telemetry: Optional[RunnerTelemetry] = None):
+        self.size = max(1, int(size))
+        self.tcache_dir = tcache_dir
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.telemetry = telemetry if telemetry is not None \
+            else RunnerTelemetry()
+        self.workers: List[WorkerHandle] = []
+        #: True once a rebuild failed — the daemon should fall back to
+        #: serial in-process execution rather than looping on spawn.
+        self.degraded = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        while len(self.workers) < self.size:
+            self._spawn()
+
+    def _spawn(self) -> WorkerHandle:
+        parent_conn, child_conn = _CTX.Pipe(duplex=True)
+        process = _CTX.Process(
+            target=_worker_main,
+            args=(child_conn, self.tcache_dir, self.heartbeat_interval),
+            name="repro-serve-worker", daemon=True)
+        process.start()
+        child_conn.close()
+        handle = WorkerHandle(process=process, conn=parent_conn)
+        self.workers.append(handle)
+        return handle
+
+    def shutdown(self) -> None:
+        """Politely stop every worker, then make sure they are gone."""
+        for handle in self.workers:
+            try:
+                handle.conn.send({"kind": "stop"})
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for handle in self.workers:
+            handle.process.join(max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                self._kill_process(handle)
+            handle.conn.close()
+        self.workers = []
+
+    def kill(self, handle: WorkerHandle) -> None:
+        """SIGKILL one worker and remove it from the fleet.
+
+        Killing *before* re-leasing its job is what prevents duplicate
+        results: a hung-but-alive worker could otherwise finish late
+        and race the retry.
+        """
+        self._kill_process(handle)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle in self.workers:
+            self.workers.remove(handle)
+
+    @staticmethod
+    def _kill_process(handle: WorkerHandle) -> None:
+        if handle.process.is_alive():
+            try:
+                os.kill(handle.process.pid, signal.SIGKILL)
+            except OSError:
+                pass
+        handle.process.join(5.0)
+
+    def rebuild(self) -> bool:
+        """Top the fleet back up to ``size``; flags degraded on failure."""
+        try:
+            while len(self.workers) < self.size:
+                self._spawn()
+                self.telemetry.pool_restarts += 1
+        except OSError:
+            self.degraded = True
+            return False
+        return True
+
+    # -- leasing & events -------------------------------------------------
+
+    def idle_workers(self) -> List[WorkerHandle]:
+        return [handle for handle in self.workers if handle.idle]
+
+    def lease(self, handle: WorkerHandle, job_id: str,
+              payload: Dict[str, Any], attempt: int,
+              lease_timeout: float,
+              telemetry=None, fault=None) -> None:
+        handle.conn.send({"kind": "job", "job": job_id, "payload": payload,
+                          "attempt": attempt, "telemetry": telemetry,
+                          "fault": fault})
+        handle.job_id = job_id
+        handle.lease_deadline = time.monotonic() + lease_timeout
+        handle.last_beat = time.monotonic()
+
+    def poll(self, timeout: float = 0.2) -> List[Tuple[str, WorkerHandle,
+                                                       Dict[str, Any]]]:
+        """Drain worker messages; returns ``(kind, handle, message)``.
+
+        ``kind`` is ``"result"`` or ``"crash"`` (EOF on the pipe — the
+        worker died without reporting).  Heartbeats and ready markers
+        are absorbed here, updating liveness state.
+        """
+        events: List[Tuple[str, WorkerHandle, Dict[str, Any]]] = []
+        by_conn = {handle.conn: handle for handle in self.workers}
+        if not by_conn:
+            time.sleep(min(timeout, 0.05))
+            return events
+        try:
+            readable = multiprocessing.connection.wait(
+                list(by_conn), timeout=timeout)
+        except OSError:
+            readable = []
+        for conn in readable:
+            handle = by_conn[conn]
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    events.append(("crash", handle,
+                                   {"job": handle.job_id,
+                                    "detail": "worker pipe EOF"}))
+                    break
+                handle.last_beat = time.monotonic()
+                kind = message.get("kind")
+                if kind == "ready":
+                    handle.ready = True
+                elif kind == "result":
+                    events.append(("result", handle, message))
+                # heartbeats only refresh last_beat
+        return events
+
+    def hung_workers(self, now: Optional[float] = None) -> List[WorkerHandle]:
+        """Workers that stopped heartbeating (watchdog candidates)."""
+        now = time.monotonic() if now is None else now
+        return [handle for handle in self.workers
+                if handle.alive
+                and now - handle.last_beat > self.heartbeat_timeout]
+
+    def expired(self, now: Optional[float] = None) -> List[WorkerHandle]:
+        """Workers whose leased job blew its per-job lease deadline."""
+        now = time.monotonic() if now is None else now
+        return [handle for handle in self.workers
+                if handle.job_id is not None and now > handle.lease_deadline]
+
+    def dead_workers(self) -> List[WorkerHandle]:
+        return [handle for handle in self.workers if not handle.alive]

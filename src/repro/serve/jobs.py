@@ -1,0 +1,310 @@
+"""Job model and execution for the ``repro serve`` daemon.
+
+A *job* is a JSON-serializable payload describing one unit of
+simulation work — the same work the one-shot CLI performs, expressed
+declaratively so it can cross a socket, live in the journal, and be
+re-run bit-identically after any failure.  :func:`execute_job` is the
+single executor: warm fleet workers, the daemon's serial fallback, and
+the equivalence tests all call it, and it reuses the exact library
+functions behind ``repro run``/``sweep``/``attack``/``chaos`` — which
+is what makes "results match the one-shot CLI" a structural property
+rather than a test hope.
+
+Payload shape (only ``kind`` is required)::
+
+    {"kind": "sweep",
+     "kernels": ["atax"],            # sweep: SMALL_SIZES names
+     "policies": ["unsafe", "ghostbusters"],
+     "engine": {"chain": true, "hot_threshold": 4},
+     "interpreter": "compiled",
+     "telemetry": true,              # spool + merge per-job metrics
+     "fault": {"kind": "crash"}}     # chaos only; applied in-worker
+
+``fault`` reuses the picklable
+:class:`~repro.resilience.faults.WorkerFault` contract from the
+hardened parallel runner: it fires on the job's *first attempt* only
+(unless ``every_attempt`` is set — the poison-job case), so re-leased
+attempts run clean and the daemon can heal.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..dbt.engine import DbtEngineConfig
+from ..obs.pipeline import TelemetryConfig
+from ..resilience.faults import WorkerFault, apply_worker_fault
+from ..security.policy import ALL_POLICIES, MitigationPolicy
+
+#: Job kinds the daemon accepts.  ``sleep`` exists for tests and
+#: scheduling experiments (priorities, lease expiry) — it simulates
+#: nothing.
+JOB_KINDS = ("run", "sweep", "attack", "chaos", "sleep")
+
+#: ``DbtEngineConfig`` fields a payload's ``engine`` section may set.
+_ENGINE_FIELDS = ("chain", "code_cache_policy", "code_cache_capacity",
+                  "tier_mode", "hot_threshold")
+
+
+class JobError(ValueError):
+    """A payload that can never execute (unknown kind/kernel/field)."""
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the daemon (and its journal)."""
+
+    QUEUED = "queued"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+    #: Poison job: exhausted its retry budget by killing/hanging
+    #: workers; parked so it cannot take the fleet down again.
+    QUARANTINED = "quarantined"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.QUARANTINED)
+
+
+@dataclass
+class JobRecord:
+    """One job as the daemon tracks it (and the journal persists it)."""
+
+    job_id: str
+    #: Declarative work description; ``None`` only for jobs whose
+    #: submit record was lost to journal corruption after completion.
+    payload: Optional[Dict[str, Any]]
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: Worker pid currently holding the lease (0 = in-daemon serial).
+    worker: Optional[int] = None
+    #: Submission order; tie-breaker within a priority level.
+    seq: int = 0
+    #: Monotonic time before which a requeued job must not be leased
+    #: (exponential backoff between attempts).
+    not_before: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON view for ``repro jobs`` and the protocol."""
+        out: Dict[str, Any] = {
+            "job": self.job_id,
+            "kind": (self.payload or {}).get("kind", "?"),
+            "priority": self.priority,
+            "state": self.state.value,
+            "attempts": self.attempts,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.worker is not None:
+            out["worker"] = self.worker
+        return out
+
+
+def payload_fault(payload: Optional[Dict[str, Any]],
+                  attempt: int) -> Optional[WorkerFault]:
+    """Decode a payload's chaos fault for this attempt (or ``None``).
+
+    First-attempt-only by default, mirroring the hardened runner's
+    ``worker_faults`` contract; ``every_attempt`` makes the job poison.
+    """
+    spec = (payload or {}).get("fault")
+    if not spec:
+        return None
+    if attempt > 1 and not spec.get("every_attempt"):
+        return None
+    return WorkerFault(kind=spec["kind"],
+                       seconds=float(spec.get("seconds", 30.0)))
+
+
+def validate_payload(payload: Any) -> Dict[str, Any]:
+    """Reject undecodable payloads at submit time, before they queue."""
+    if not isinstance(payload, dict):
+        raise JobError("job payload must be an object, got %r"
+                       % type(payload).__name__)
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise JobError("unknown job kind %r (choose from %s)"
+                       % (kind, ", ".join(JOB_KINDS)))
+    engine = payload.get("engine")
+    if engine is not None:
+        if not isinstance(engine, dict):
+            raise JobError("engine section must be an object")
+        unknown = sorted(set(engine) - set(_ENGINE_FIELDS))
+        if unknown:
+            raise JobError("unknown engine field(s) %s (choose from %s)"
+                           % (", ".join(unknown), ", ".join(_ENGINE_FIELDS)))
+    for name in ("policy",) if kind == "run" else ():
+        if name in payload:
+            _policy(payload[name])
+    for value in payload.get("policies") or ():
+        _policy(value)
+    return payload
+
+
+def _policy(value: str) -> MitigationPolicy:
+    try:
+        return MitigationPolicy(value)
+    except ValueError:
+        raise JobError("unknown policy %r (choose from %s)"
+                       % (value, ", ".join(p.value for p in MitigationPolicy)))
+
+
+def _policies(payload: Dict[str, Any]) -> List[MitigationPolicy]:
+    values = payload.get("policies")
+    if not values:
+        return list(ALL_POLICIES)
+    return [_policy(value) for value in values]
+
+
+def _engine_config(payload: Dict[str, Any]) -> Optional[DbtEngineConfig]:
+    spec = payload.get("engine")
+    if not spec:
+        return None
+    return DbtEngineConfig(**{key: spec[key] for key in _ENGINE_FIELDS
+                              if key in spec})
+
+
+def _workloads(names, full: bool):
+    from ..kernels import POLYBENCH_SUITE, SMALL_SIZES, build_kernel_program
+
+    suite = POLYBENCH_SUITE if full else SMALL_SIZES
+    names = list(names) if names else sorted(suite)
+    workloads = []
+    for name in names:
+        if name not in suite:
+            raise JobError("unknown kernel %r (choose from %s)"
+                           % (name, ", ".join(sorted(suite))))
+        workloads.append((name, build_kernel_program(suite[name]())))
+    return workloads
+
+
+# ---------------------------------------------------------------------------
+# The executor (runs inside warm workers and the serial fallback).
+# ---------------------------------------------------------------------------
+
+def execute_job(payload: Dict[str, Any],
+                telemetry: Optional[TelemetryConfig] = None,
+                fault: Optional[WorkerFault] = None,
+                tcache_dir=None) -> Dict[str, Any]:
+    """Execute one job payload and return its JSON-serializable result.
+
+    ``telemetry`` (a spool-bearing template) threads the PR 6 pipeline
+    through exactly like the one-shot CLI does, so the merged per-job
+    metrics are equal to a serial CLI run's.  ``tcache_dir`` is the
+    fleet-shared persistent codegen cache; a payload-level
+    ``tcache_dir`` overrides it.
+    """
+    validate_payload(payload)
+    apply_worker_fault(fault)
+    kind = payload["kind"]
+    interpreter = payload.get("interpreter")
+    engine_config = _engine_config(payload)
+    tcache = payload.get("tcache_dir", tcache_dir)
+
+    if kind == "sleep":
+        seconds = float(payload.get("seconds", 1.0))
+        time.sleep(seconds)
+        return {"slept": seconds}
+
+    if kind == "run":
+        from ..platform.parallel import run_sweep_point
+
+        policy = _policy(payload.get("policy", MitigationPolicy.UNSAFE.value))
+        program = _run_program(payload)
+        cell = None
+        if telemetry is not None:
+            cell = telemetry.with_point(
+                "run/%s" % policy.value, policy=policy.value,
+                interpreter=interpreter or "fast")
+        return run_sweep_point(program, policy,
+                               engine_config=engine_config,
+                               interpreter=interpreter, tcache_dir=tcache,
+                               telemetry=cell)
+
+    if kind == "sweep":
+        from ..platform.comparison import comparison_json
+        from ..platform.parallel import sweep_comparisons
+
+        comparisons = sweep_comparisons(
+            _workloads(payload.get("kernels"), bool(payload.get("full"))),
+            policies=_policies(payload),
+            engine_config=engine_config,
+            interpreter=interpreter,
+            tcache_dir=tcache,
+            point_telemetry=telemetry,
+        )
+        return {"rows": comparison_json(comparisons)}
+
+    if kind == "attack":
+        from ..attacks.harness import AttackVariant, run_attack
+
+        variant = (AttackVariant.SPECTRE_V1
+                   if payload.get("variant", "v1") == "v1"
+                   else AttackVariant.SPECTRE_V4)
+        secret = payload.get("secret", "GHOST").encode()
+        results = []
+        for policy in _policies(payload):
+            cell = None
+            if telemetry is not None:
+                cell = telemetry.with_point(
+                    "%s/%s" % (variant.value, policy.value),
+                    variant=variant.value, policy=policy.value)
+            outcome = run_attack(variant, policy, secret=secret,
+                                 engine_config=engine_config,
+                                 interpreter=interpreter, tcache_dir=tcache,
+                                 measure=bool(payload.get("leakage")),
+                                 telemetry=cell)
+            row = {
+                "policy": policy.value,
+                "variant": variant.value,
+                "recovered": bytes(outcome.recovered).hex(),
+                "bytes_recovered": outcome.bytes_recovered,
+                "leaked": outcome.leaked,
+                "describe": outcome.describe(),
+            }
+            if outcome.leakage is not None:
+                row["leakage"] = outcome.leakage.describe()
+            results.append(row)
+        return {"results": results}
+
+    # kind == "chaos"
+    from ..resilience.chaos import format_chaos_table, run_chaos_matrix
+
+    outcomes = run_chaos_matrix(
+        seed=int(payload.get("seed", 0)),
+        kernel=payload.get("kernel", "atax"),
+        chain=bool(payload.get("chain")),
+        interpreter=interpreter,
+        trace=bool(payload.get("trace", True)),
+        # A chaos job already runs inside a serve worker; its serve
+        # cells would nest a fleet inside the fleet.  Allowed, but off
+        # by default to keep service jobs bounded.
+        serve=bool(payload.get("serve", False)),
+    )
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    return {"table": format_chaos_table(outcomes), "cells": len(outcomes),
+            "failed": len(failed), "ok": not failed}
+
+
+def _run_program(payload: Dict[str, Any]):
+    if "kernel" in payload:
+        return _workloads([payload["kernel"]],
+                          bool(payload.get("full")))[0][1]
+    if "asm" in payload:
+        from ..isa.assembler import assemble
+
+        return assemble(payload["asm"])
+    raise JobError("run job needs a 'kernel' name or 'asm' text")

@@ -1,0 +1,259 @@
+"""Crash-safe append-only job journal for the serve daemon.
+
+The journal is the daemon's only durable state: a checksummed JSONL
+write-ahead log of job lifecycle events.  Every state transition is
+appended (and fsynced) *before* the daemon acts on it, so a SIGKILL at
+any instant leaves a log that replays to a consistent queue:
+
+* ``submit``  — job accepted (payload + priority recorded)
+* ``lease``   — job handed to a worker (attempt counter bumps)
+* ``done``    — result recorded (terminal)
+* ``failed``  — permanent payload error (terminal)
+* ``quarantined`` — retry budget exhausted (terminal)
+* ``requeue`` — lease abandoned (crash/hang/expiry); back to queued
+* ``state``   — one-line snapshot written by :func:`JobJournal.compact`
+
+Each line is ``{"seq": n, "entry": {...}, "sha256": h}`` where ``h``
+checksums the entry's canonical JSON.  Replay tolerates torn tails
+(kill mid-append) and flipped bytes (the ``serve-journal-corrupt``
+chaos site): a line that fails to parse or checksum is *dropped*, and
+the replay semantics below guarantee dropping any non-terminal line is
+safe — the job merely re-runs, which is free because simulation is
+deterministic.
+
+Replay semantics (the exactly-once core):
+
+* The **first terminal event wins**.  A duplicate ``done`` for an
+  already-terminal job is counted (``duplicate_results``) and ignored,
+  so a daemon that crashed between journaling and acting can never
+  double-complete a job on restart.
+* After the scan, every job still ``LEASED`` goes back to ``QUEUED``
+  with its lease cleared — the worker holding it died with the daemon.
+* A terminal event whose ``submit`` line was corrupted away still
+  yields a (payload-less) terminal record, so its result is not lost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..platform.parallel import compact_jsonl
+from .jobs import JobRecord, JobState
+
+#: Events that move a job into a terminal state.
+_TERMINAL_EVENTS = {
+    "done": JobState.DONE,
+    "failed": JobState.FAILED,
+    "quarantined": JobState.QUARANTINED,
+}
+
+
+def _entry_checksum(entry: Dict[str, Any]) -> str:
+    return hashlib.sha256(
+        json.dumps(entry, sort_keys=True).encode()).hexdigest()
+
+
+@dataclass
+class JournalReplay:
+    """What a journal scan recovered (and what it had to drop)."""
+
+    jobs: "OrderedDict[str, JobRecord]" = field(default_factory=OrderedDict)
+    entries: int = 0
+    #: Lines dropped: torn tails, flipped bytes, checksum mismatches.
+    corrupt_lines: int = 0
+    #: Terminal events for already-terminal jobs (ignored, first wins).
+    duplicate_results: int = 0
+    #: Jobs whose lease was voided because the daemon died holding it.
+    recovered_leases: int = 0
+    #: Highest sequence number seen (appends resume after it).
+    max_seq: int = 0
+
+
+class JobJournal:
+    """Append-only checksummed JSONL WAL with replay and compaction."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+        self._handle = None
+
+    # -- writing ----------------------------------------------------------
+
+    def open(self, start_seq: int = 0) -> None:
+        self._seq = start_seq
+        self._handle = open(self.path, "a")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def append(self, event: str, job_id: str, **fields: Any) -> int:
+        """Durably append one event line; returns its sequence number.
+
+        The line is flushed *and fsynced* before returning — the caller
+        may act on the transition (hand the job to a worker, reply to
+        the client) only after this returns, which is what makes the
+        WAL a write-*ahead* log.
+        """
+        if self._handle is None:
+            self.open(self._seq)
+        self._seq += 1
+        entry = {"event": event, "job": job_id}
+        entry.update(fields)
+        line = {"seq": self._seq, "entry": entry,
+                "sha256": _entry_checksum(entry)}
+        self._handle.write(json.dumps(line, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        return self._seq
+
+    # -- replay -----------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Scan the journal into a consistent job table (see module doc)."""
+        replay = JournalReplay()
+        if not self.path.exists():
+            return replay
+        with open(self.path, "r", errors="replace") as handle:
+            raw_lines = handle.read().split("\n")
+        for raw in raw_lines:
+            if not raw.strip():
+                continue
+            entry = self._check_line(raw)
+            if entry is None:
+                replay.corrupt_lines += 1
+                continue
+            replay.entries += 1
+            self._apply(replay, entry)
+        for record in replay.jobs.values():
+            if record.state is JobState.LEASED:
+                record.state = JobState.QUEUED
+                record.worker = None
+                replay.recovered_leases += 1
+        self._seq = max(self._seq, replay.max_seq)
+        return replay
+
+    def _check_line(self, raw: str) -> Optional[Dict[str, Any]]:
+        try:
+            line = json.loads(raw)
+        except ValueError:
+            return None
+        if not isinstance(line, dict):
+            return None
+        entry = line.get("entry")
+        if not isinstance(entry, dict) or "event" not in entry:
+            return None
+        if line.get("sha256") != _entry_checksum(entry):
+            return None
+        return {"seq": int(line.get("seq", 0)), **entry}
+
+    def _apply(self, replay: JournalReplay, entry: Dict[str, Any]) -> None:
+        replay.max_seq = max(replay.max_seq, entry["seq"])
+        event = entry["event"]
+        job_id = str(entry.get("job"))
+        record = replay.jobs.get(job_id)
+
+        if event == "state":
+            # Compaction snapshot: authoritative, replaces anything seen.
+            replay.jobs[job_id] = _record_from_snapshot(job_id, entry)
+            return
+
+        if record is None:
+            record = JobRecord(job_id=job_id, payload=None,
+                               seq=entry["seq"])
+            replay.jobs[job_id] = record
+
+        if event == "submit":
+            record.payload = entry.get("payload")
+            record.priority = int(entry.get("priority", 0))
+            record.seq = entry["seq"]
+            if not record.terminal:
+                record.state = JobState.QUEUED
+            return
+
+        if event in _TERMINAL_EVENTS:
+            if record.terminal:
+                replay.duplicate_results += 1
+                return
+            record.state = _TERMINAL_EVENTS[event]
+            record.result = entry.get("result", record.result)
+            record.error = entry.get("error", record.error)
+            record.worker = None
+            return
+
+        if record.terminal:
+            # Late lease/requeue lines for a finished job (daemon died
+            # between appends) must not resurrect it.
+            return
+
+        if event == "lease":
+            record.state = JobState.LEASED
+            record.attempts = int(entry.get("attempt", record.attempts + 1))
+            record.worker = entry.get("worker")
+        elif event == "requeue":
+            record.state = JobState.QUEUED
+            record.worker = None
+
+    # -- compaction -------------------------------------------------------
+
+    def compact(self, jobs: Dict[str, JobRecord]) -> None:
+        """Rewrite the journal as one ``state`` snapshot line per job.
+
+        Reuses the sweep checkpoints' atomic :func:`compact_jsonl`
+        primitive (temp file + ``os.replace``), so a kill mid-compaction
+        leaves either the full history or the full snapshot.
+        """
+        self.close()
+        records = []
+        for record in jobs.values():
+            self._seq += 1
+            entry = {
+                "event": "state", "job": record.job_id, "seq": self._seq,
+                "state": record.state.value, "payload": record.payload,
+                "priority": record.priority, "attempts": record.attempts,
+                "result": record.result, "error": record.error,
+            }
+            seq = entry.pop("seq")
+            records.append({"seq": seq, "entry": entry,
+                            "sha256": _entry_checksum(entry)})
+        compact_jsonl(self.path, records)
+
+
+def _record_from_snapshot(job_id: str, entry: Dict[str, Any]) -> JobRecord:
+    record = JobRecord(
+        job_id=job_id,
+        payload=entry.get("payload"),
+        priority=int(entry.get("priority", 0)),
+        state=JobState(entry.get("state", JobState.QUEUED.value)),
+        attempts=int(entry.get("attempts", 0)),
+        result=entry.get("result"),
+        error=entry.get("error"),
+        seq=entry["seq"],
+    )
+    if record.state is JobState.LEASED:
+        record.state = JobState.QUEUED
+    return record
+
+
+def journal_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All valid entries in journal order (tests and ``repro jobs -v``)."""
+    journal = JobJournal(path)
+    events = []
+    if not journal.path.exists():
+        return events
+    with open(journal.path, "r", errors="replace") as handle:
+        for raw in handle.read().split("\n"):
+            if not raw.strip():
+                continue
+            entry = journal._check_line(raw)
+            if entry is not None:
+                events.append(entry)
+    return events

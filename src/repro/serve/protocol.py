@@ -1,0 +1,86 @@
+"""Newline-delimited JSON over a local stream socket.
+
+One request/response pair per connection keeps the protocol trivially
+crash-safe on both sides: there is no framing state to corrupt, and a
+peer that dies mid-line just yields an invalid (dropped) request.  The
+daemon listens on either an ``AF_UNIX`` path (``--socket``) or a
+loopback ``AF_INET`` port (``--port``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+#: Upper bound on one request/response line; a local-trust API doesn't
+#: need streaming, it needs a cheap defence against a runaway peer.
+MAX_LINE = 8 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or oversized line from the peer."""
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(json.dumps(message, sort_keys=True).encode() + b"\n")
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one JSON line; ``None`` on clean EOF before any bytes."""
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError("peer closed mid-line")
+        total += len(chunk)
+        if total > MAX_LINE:
+            raise ProtocolError("request line exceeds %d bytes" % MAX_LINE)
+        newline = chunk.find(b"\n")
+        if newline >= 0:
+            chunks.append(chunk[:newline])
+            break
+        chunks.append(chunk)
+    raw = b"".join(chunks)
+    try:
+        message = json.loads(raw.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad request line: %s" % exc)
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def serve_address(socket_path: Optional[str],
+                  port: Optional[int]) -> Tuple[int, Any]:
+    """Normalize ``--socket``/``--port`` into ``(family, address)``."""
+    if socket_path and port:
+        raise ValueError("choose one of --socket and --port, not both")
+    if port:
+        return socket.AF_INET, ("127.0.0.1", int(port))
+    if not socket_path:
+        raise ValueError("a --socket path or --port is required")
+    return socket.AF_UNIX, socket_path
+
+
+def listen(family: int, address: Any) -> socket.socket:
+    if family == socket.AF_UNIX and os.path.exists(address):
+        os.unlink(address)  # stale socket from a killed daemon
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    if family == socket.AF_INET:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind(address)
+    sock.listen(16)
+    return sock
+
+
+def connect(family: int, address: Any,
+            timeout: float = 10.0) -> socket.socket:
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(address)
+    return sock

@@ -445,3 +445,45 @@ def test_chained_optimization_replaces_record():
     assert engine.stats.optimizations > 0
     for entry, record in engine.chains.records.items():
         assert record.block is engine.cache.get(entry)
+
+
+# ---------------------------------------------------------------------------
+# Background compile queue: the lazily started "repro-compile" worker
+# thread must never outlive its queue — neither after a normal run
+# (DbtSystem.run closes in its finally) nor for a queue nobody closed
+# (the atexit net joins it, so interpreter exit can't race a daemon
+# thread against module teardown).
+# ---------------------------------------------------------------------------
+
+def _compile_threads():
+    import threading
+
+    return [thread for thread in threading.enumerate()
+            if thread.name == "repro-compile" and thread.is_alive()]
+
+
+def test_trace_run_leaves_no_compile_thread(tmp_path):
+    before = len(_compile_threads())
+    _trace_system(tmp_path)
+    assert len(_compile_threads()) == before
+
+
+def test_unclosed_queue_joined_by_atexit_net():
+    from repro.dbt.tiering import CompileQueue, _close_live_queues
+
+    queue = CompileQueue(mode="thread")
+    applied = []
+    queue.submit("leak-test", lambda: 42,
+                 lambda artifact, error: applied.append((artifact, error)))
+    # Deliberately not closed: the atexit hook must find it in the live
+    # set, stop the worker, and apply what finished.
+    _close_live_queues()
+    assert _compile_threads() == []
+    assert queue.stats.completed + queue.stats.stalled == 1
+    # A closed queue leaves the live set; running the hook again after
+    # an explicit close must be a no-op.
+    queue2 = CompileQueue(mode="thread")
+    queue2.submit("closed", lambda: 1, lambda artifact, error: None)
+    queue2.close()
+    assert _compile_threads() == []
+    _close_live_queues()

@@ -182,6 +182,42 @@ def test_checkpoint_load_missing_file(tmp_path):
     assert checkpoint_load(tmp_path / "nope.jsonl") == {}
 
 
+def test_checkpoint_compacts_on_load(tmp_path):
+    """Checkpoints are append-only, so retried runs re-append the same
+    points and the file grows without bound; loading must rewrite it
+    down to the surviving last-record-per-point set."""
+    path = tmp_path / "ckpt.jsonl"
+    stale = {"exit_code": 0, "cycles": 1, "instructions": 2,
+             "blocks_executed": 3, "rollbacks": 0}
+    fresh = dict(stale, cycles=2)
+    for round_number in range(5):  # five retried runs of the same sweep
+        checkpoint_append(path, "abc", stale)
+        checkpoint_append(path, "def", fresh if round_number == 4 else stale)
+    with open(path, "a") as handle:
+        handle.write('{"key": "torn')  # plus a kill mid-append
+    assert len(path.read_text().splitlines()) == 11
+
+    loaded = checkpoint_load(path)
+    assert loaded == {"abc": stale, "def": fresh}  # last record wins
+    # The file itself was compacted (atomically) to one line per point …
+    assert len(path.read_text().splitlines()) == 2
+    # … and reloading a compact file does not rewrite it again.
+    mtime = path.stat().st_mtime_ns
+    assert checkpoint_load(path) == loaded
+    assert path.stat().st_mtime_ns == mtime
+
+
+def test_checkpoint_compaction_can_be_disabled(tmp_path):
+    path = tmp_path / "ckpt.jsonl"
+    first = {"exit_code": 0, "cycles": 1, "instructions": 2,
+             "blocks_executed": 3, "rollbacks": 0}
+    second = dict(first, cycles=2)
+    checkpoint_append(path, "abc", first)
+    checkpoint_append(path, "abc", second)
+    assert checkpoint_load(path, compact=False) == {"abc": second}
+    assert len(path.read_text().splitlines()) == 2  # untouched
+
+
 def test_resume_skips_completed_points(tmp_path, workloads, baseline,
                                        monkeypatch):
     path = tmp_path / "ckpt.jsonl"

@@ -1,0 +1,67 @@
+"""``repro sweep --jobs N`` + SIGTERM = graceful drain: in-flight
+points finish and checkpoint, the exit code is pinned to
+``DRAIN_EXIT_CODE``, and a re-run resumes from the partial ``--resume``
+file to byte-identical rows."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.platform.parallel import DRAIN_EXIT_CODE, checkpoint_load
+
+_REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: kernels × policies in the default small sweep.
+_TOTAL_POINTS = 14 * 4
+
+
+def _sweep(*extra, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep", "--jobs", "2",
+         "--json", "-", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+
+def test_drain_exit_code_is_pinned():
+    assert DRAIN_EXIT_CODE == 75  # EX_TEMPFAIL; wrappers depend on it
+
+
+def test_sigterm_drains_checkpoints_and_resumes(tmp_path):
+    ckpt = tmp_path / "sweep.jsonl"
+    child = _sweep("--resume", str(ckpt))
+    # SIGTERM once at least one point has committed to the checkpoint —
+    # mid-sweep, with most points still unstarted.
+    deadline = time.time() + 120
+    while time.time() < deadline and child.poll() is None:
+        if ckpt.exists() and len(checkpoint_load(ckpt, compact=False)) >= 1:
+            break
+        time.sleep(0.005)
+    assert child.poll() is None, "sweep finished before SIGTERM landed"
+    child.send_signal(signal.SIGTERM)
+    _, err = child.communicate(timeout=120)
+
+    assert child.returncode == DRAIN_EXIT_CODE, err
+    assert "sweep drained on SIGTERM" in err
+    assert str(ckpt) in err  # the resume hint names the file
+    partial = checkpoint_load(ckpt)
+    assert 1 <= len(partial) < _TOTAL_POINTS  # drained, not completed
+
+    # Resume: same command runs the remaining points and exits clean.
+    resumed = _sweep("--resume", str(ckpt))
+    out, err = resumed.communicate(timeout=300)
+    assert resumed.returncode == 0, err
+    rows = json.loads(out)
+    assert len(rows) == _TOTAL_POINTS
+
+    baseline_child = _sweep()
+    baseline_out, err = baseline_child.communicate(timeout=300)
+    assert baseline_child.returncode == 0, err
+    assert rows == json.loads(baseline_out)  # bit-identical to one shot

@@ -10,6 +10,7 @@ from repro.platform.system import DbtSystem
 from repro.resilience.faults import (
     ENGINE_SITES,
     RUNNER_SITES,
+    SERVE_SITES,
     TRACE_SITES,
     FaultInjector,
     FaultSite,
@@ -27,11 +28,12 @@ from repro.security.policy import MitigationPolicy
 
 
 def test_site_partition_is_total():
-    assert (set(ENGINE_SITES) | set(RUNNER_SITES)
-            | set(TRACE_SITES) == set(FaultSite))
-    assert not set(ENGINE_SITES) & set(RUNNER_SITES)
-    assert not set(ENGINE_SITES) & set(TRACE_SITES)
-    assert not set(RUNNER_SITES) & set(TRACE_SITES)
+    groups = [set(ENGINE_SITES), set(RUNNER_SITES), set(TRACE_SITES),
+              set(SERVE_SITES)]
+    assert set().union(*groups) == set(FaultSite)
+    for i, left in enumerate(groups):
+        for right in groups[i + 1:]:
+            assert not left & right
 
 
 def test_trace_sites_fire_first_opportunity_without_shifting_plans():

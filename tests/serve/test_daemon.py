@@ -1,0 +1,339 @@
+"""In-process serve daemon: scheduling, watchdog recovery, exactly-once
+durability, quarantine, degradation, and telemetry equivalence.
+
+Cheap scenarios use ``sleep`` jobs (no simulation); the equivalence
+tests run real jobs and compare byte-for-byte against the one-shot
+library calls the CLI uses — the ISSUE's acceptance bar."""
+
+import json
+
+import pytest
+
+from repro.obs.pipeline import TelemetryConfig, merge_spool
+from repro.platform.parallel import run_sweep_point
+from repro.resilience.faults import FaultInjector, FaultSite
+from repro.security.policy import MitigationPolicy
+from repro.serve import (JobError, JobState, ServeConfig, ServeDaemon,
+                         execute_job, validate_payload)
+
+
+def _daemon(tmp_path, **overrides):
+    fields = dict(workers=1, work_dir=tmp_path / "serve", backoff=0.05,
+                  lease_timeout=30.0)
+    fields.update(overrides)
+    return ServeDaemon(ServeConfig(**fields))
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    instance = _daemon(tmp_path)
+    instance.start()
+    yield instance
+    instance.stop(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# Submission and validation.
+# ---------------------------------------------------------------------------
+
+def test_bad_payloads_rejected_at_submit(daemon):
+    with pytest.raises(JobError):
+        daemon.submit({"kind": "teleport"})
+    with pytest.raises(JobError):
+        daemon.submit({"kind": "sweep", "engine": {"warp_speed": 9}})
+    with pytest.raises(JobError):
+        daemon.submit({"kind": "sweep", "policies": ["nonsense"]})
+    with pytest.raises(JobError):
+        validate_payload(["not", "an", "object"])
+    assert daemon.stats.submitted == 0
+
+
+def test_sleep_job_completes(daemon):
+    job_id = daemon.submit({"kind": "sleep", "seconds": 0.05})
+    record = daemon.wait(job_id, timeout=30)
+    assert record.state is JobState.DONE
+    assert record.result == {"slept": 0.05}
+    assert record.attempts == 1
+
+
+def test_deterministic_payload_error_fails_without_retry(daemon):
+    """A job whose payload explodes *inside* the worker (unknown kernel
+    reaches the executor when submitted pre-validated shapes change) is
+    a deterministic failure: fail fast, never burn the retry budget."""
+    job_id = daemon.submit({"kind": "run", "asm": "this is not asm"})
+    record = daemon.wait(job_id, timeout=30)
+    assert record.state is JobState.FAILED
+    assert record.attempts == 1
+    assert record.error
+
+
+def test_priority_order(tmp_path):
+    """Higher priority leases first; ties go in submission order."""
+    daemon = _daemon(tmp_path)
+    order = []
+    original = daemon._lease
+
+    def tracking(handle, job_id):
+        order.append(job_id)
+        return original(handle, job_id)
+
+    daemon._lease = tracking
+    # Submit before starting the scheduler so the queue is fully formed
+    # when the first lease decision happens.
+    low = daemon.submit({"kind": "sleep", "seconds": 0.01}, priority=0)
+    high = daemon.submit({"kind": "sleep", "seconds": 0.01}, priority=10)
+    mid = daemon.submit({"kind": "sleep", "seconds": 0.01}, priority=5)
+    daemon.start()
+    try:
+        for job_id in (low, high, mid):
+            assert daemon.wait(job_id, timeout=30).state is JobState.DONE
+    finally:
+        daemon.stop(drain=False)
+    assert order == [high, mid, low]
+
+
+# ---------------------------------------------------------------------------
+# Watchdog: crash, hang, lease expiry, quarantine.
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_requeues_and_heals(daemon):
+    job_id = daemon.submit({"kind": "sleep", "seconds": 0.05,
+                            "fault": {"kind": "crash"}})
+    record = daemon.wait(job_id, timeout=60)
+    assert record.state is JobState.DONE
+    assert record.attempts == 2  # crash on attempt 1, clean attempt 2
+    assert daemon.stats.worker_crashes >= 1
+    assert daemon.stats.requeues >= 1
+    assert daemon.stats.completed == 1
+
+
+def test_lease_expiry_sigkills_and_releases(tmp_path):
+    daemon = _daemon(tmp_path, lease_timeout=0.5)
+    daemon.start()
+    try:
+        # Hangs far past the lease; fires only on attempt 1.
+        job_id = daemon.submit({"kind": "sleep", "seconds": 0.05,
+                                "fault": {"kind": "hang", "seconds": 60}})
+        record = daemon.wait(job_id, timeout=60)
+    finally:
+        daemon.stop(drain=False)
+    assert record.state is JobState.DONE
+    assert record.attempts == 2
+    assert daemon.stats.lease_expiries >= 1
+
+
+def test_poison_job_quarantined_fleet_survives(tmp_path):
+    daemon = _daemon(tmp_path, retries=1)
+    daemon.start()
+    try:
+        poison = daemon.submit({"kind": "sleep", "seconds": 0.05,
+                                "fault": {"kind": "crash",
+                                          "every_attempt": True}})
+        record = daemon.wait(poison, timeout=120)
+        assert record.state is JobState.QUARANTINED
+        assert record.attempts == daemon.config.retries + 2
+        assert daemon.stats.quarantined == 1
+        # The fleet healed: a normal job still runs afterwards.
+        after = daemon.submit({"kind": "sleep", "seconds": 0.05})
+        assert daemon.wait(after, timeout=60).state is JobState.DONE
+    finally:
+        daemon.stop(drain=False)
+
+
+def test_injected_lease_expiry_cannot_race_result(tmp_path):
+    """serve-lease-expire pre-expires the lease, so even an instant job
+    is killed and re-leased — and completes exactly once."""
+    injector = FaultInjector(seed=0, sites=[FaultSite.SERVE_LEASE_EXPIRE])
+    daemon = ServeDaemon(
+        ServeConfig(workers=1, work_dir=tmp_path / "serve", backoff=0.05),
+        injector=injector)
+    daemon.start()
+    try:
+        job_id = daemon.submit({"kind": "sleep", "seconds": 0.01})
+        record = daemon.wait(job_id, timeout=60)
+    finally:
+        daemon.stop(drain=False)
+    assert record.state is JobState.DONE
+    assert record.attempts == 2
+    assert daemon.stats.lease_expiries == 1
+    assert daemon.stats.completed == 1  # exactly once
+    assert [r.site for r in injector.fired] == [FaultSite.SERVE_LEASE_EXPIRE]
+
+
+# ---------------------------------------------------------------------------
+# Durability across daemon lifetimes.
+# ---------------------------------------------------------------------------
+
+def test_results_survive_restart(tmp_path):
+    daemon = _daemon(tmp_path)
+    daemon.start()
+    job_id = daemon.submit({"kind": "sleep", "seconds": 0.05})
+    daemon.wait(job_id, timeout=30)
+    daemon.stop()  # clean stop compacts the journal
+
+    restarted = _daemon(tmp_path)
+    restarted.start()
+    try:
+        record = restarted.job(job_id)
+        assert record.state is JobState.DONE
+        assert record.result == {"slept": 0.05}
+        assert restarted.stats.replayed_jobs == 1
+        # Replay must not re-run the job.
+        assert restarted.stats.completed == 0
+    finally:
+        restarted.stop(drain=False)
+
+
+def test_queued_jobs_survive_restart_and_run(tmp_path):
+    """Jobs submitted but never started before the daemon dies must run
+    after restart (no lost jobs)."""
+    daemon = _daemon(tmp_path, workers=1)
+    # No scheduler: submit goes to the journal, nothing ever leases.
+    daemon.journal.open()
+    job_id = daemon.submit({"kind": "sleep", "seconds": 0.05})
+    daemon.journal.close()
+
+    restarted = _daemon(tmp_path)
+    restarted.start()
+    try:
+        record = restarted.wait(job_id, timeout=30)
+        assert record.state is JobState.DONE
+    finally:
+        restarted.stop(drain=False)
+
+
+def test_drain_finishes_inflight_keeps_queue(tmp_path):
+    daemon = _daemon(tmp_path, workers=1)
+    daemon.start()
+    running = daemon.submit({"kind": "sleep", "seconds": 1.0})
+    queued = daemon.submit({"kind": "sleep", "seconds": 0.05})
+    # Let the first job lease, then drain.
+    import time
+    while daemon.job(running).state is not JobState.LEASED:
+        time.sleep(0.01)
+    daemon.stop(drain=True)
+    assert daemon.job(running).state is JobState.DONE
+    assert daemon.job(queued).state is JobState.QUEUED  # not lost, not run
+
+    restarted = _daemon(tmp_path)
+    restarted.start()
+    try:
+        assert restarted.wait(queued, timeout=30).state is JobState.DONE
+        assert restarted.job(running).state is JobState.DONE
+        assert restarted.stats.completed == 1  # only the queued one ran
+    finally:
+        restarted.stop(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation: serial in-daemon fallback.
+# ---------------------------------------------------------------------------
+
+def test_degraded_fleet_falls_back_to_serial(tmp_path):
+    daemon = _daemon(tmp_path)
+    daemon.start()
+    try:
+        # Simulate an unrebuildable fleet (spawn failures).
+        daemon.fleet.shutdown()
+        daemon.fleet.degraded = True
+        job_id = daemon.submit({"kind": "sleep", "seconds": 0.05})
+        record = daemon.wait(job_id, timeout=30)
+        assert record.state is JobState.DONE
+        assert daemon.stats.serial_jobs == 1
+        assert daemon.telemetry.serial_fallbacks == 1
+        assert daemon.status()["degraded"] is True
+    finally:
+        daemon.stop(drain=False)
+
+
+def test_serial_fallback_strips_chaos_faults(tmp_path):
+    """A crash fault must not kill the daemon when it is the executor."""
+    daemon = _daemon(tmp_path)
+    daemon.start()
+    try:
+        daemon.fleet.shutdown()
+        daemon.fleet.degraded = True
+        job_id = daemon.submit({"kind": "sleep", "seconds": 0.05,
+                                "fault": {"kind": "crash"}})
+        record = daemon.wait(job_id, timeout=30)
+        assert record.state is JobState.DONE  # fault stripped, not fired
+    finally:
+        daemon.stop(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# Results and telemetry must equal the one-shot CLI's.
+# ---------------------------------------------------------------------------
+
+def test_run_job_matches_oneshot(daemon):
+    payload = {"kind": "run", "kernel": "atax", "policy": "ghostbusters",
+               "engine": {"hot_threshold": 4}}
+    record = daemon.wait(daemon.submit(payload), timeout=120)
+    assert record.state is JobState.DONE
+    assert record.result == execute_job(payload)
+
+
+def test_attack_job_blocked_policy_matrix(daemon):
+    record = daemon.wait(
+        daemon.submit({"kind": "attack", "variant": "v1",
+                       "policies": ["unsafe", "ghostbusters"]}),
+        timeout=240)
+    assert record.state is JobState.DONE
+    by_policy = {row["policy"]: row for row in record.result["results"]}
+    assert by_policy["unsafe"]["leaked"] is True
+    assert by_policy["ghostbusters"]["leaked"] is False
+
+
+def test_job_metrics_equal_oneshot_telemetry(daemon, tmp_path):
+    """The PR 6 pipeline threaded through the fleet: a telemetered run
+    job's merged metrics equal a serial one-shot telemetered run."""
+    payload = {"kind": "run", "kernel": "atax", "policy": "unsafe",
+               "telemetry": True}
+    record = daemon.wait(daemon.submit(payload), timeout=120)
+    assert record.state is JobState.DONE
+    metrics = record.result["metrics"]
+    assert record.result["telemetry"]["envelopes"] == 1
+
+    from repro.kernels import SMALL_SIZES, build_kernel_program
+
+    spool = tmp_path / "oneshot-spool"
+    spool.mkdir()
+    template = TelemetryConfig(spool_dir=str(spool))
+    run_sweep_point(build_kernel_program(SMALL_SIZES["atax"]()),
+                    MitigationPolicy.UNSAFE,
+                    telemetry=template.with_point(
+                        "run/unsafe", policy="unsafe", interpreter="fast"))
+    expected = merge_spool(spool).registry.to_dict()
+    assert metrics["counters"] == expected["counters"]
+    assert metrics["histograms"] == expected["histograms"]
+
+
+def test_retried_job_metrics_not_double_counted(tmp_path):
+    """The spool is wiped at re-lease, so a crash-then-retry job merges
+    exactly one attempt's envelopes."""
+    daemon = _daemon(tmp_path)
+    daemon.start()
+    try:
+        payload = {"kind": "run", "kernel": "atax", "policy": "unsafe",
+                   "telemetry": True, "fault": {"kind": "crash"}}
+        record = daemon.wait(daemon.submit(payload), timeout=120)
+        assert record.state is JobState.DONE
+        assert record.attempts == 2
+        assert record.result["telemetry"]["envelopes"] == 1
+
+        clean = daemon.wait(
+            daemon.submit({"kind": "run", "kernel": "atax",
+                           "policy": "unsafe", "telemetry": True}),
+            timeout=120)
+    finally:
+        daemon.stop(drain=False)
+    assert record.result["metrics"] == clean.result["metrics"]
+
+
+def test_result_json_round_trips(daemon):
+    """Results live in the journal as JSON; whatever a job returns must
+    survive the round trip unchanged."""
+    record = daemon.wait(
+        daemon.submit({"kind": "run", "kernel": "atax",
+                       "policy": "unsafe"}), timeout=120)
+    assert record.result == json.loads(json.dumps(record.result))

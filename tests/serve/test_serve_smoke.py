@@ -1,0 +1,184 @@
+"""End-to-end smoke over a real unix socket and real processes: daemon
+subprocess + ServeClient, worker SIGKILL mid-job, daemon SIGKILL +
+journal replay.  This is the test the gating CI serve job runs."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, execute_job
+from repro.serve.journal import journal_events
+
+_REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_SWEEP_PAYLOAD = {"kind": "sweep", "kernels": ["atax"],
+                  "policies": ["unsafe", "ghostbusters"],
+                  "engine": {"hot_threshold": 4}}
+_ATTACK_PAYLOAD = {"kind": "attack", "variant": "v1",
+                   "policies": ["unsafe", "ghostbusters"]}
+
+
+def _spawn_daemon(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    socket_path = str(tmp_path / "serve.sock")
+    args = [sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path,
+            "--work-dir", str(tmp_path / "serve-work"),
+            "--workers", "2", "--backoff", "0.1", *extra]
+    child = subprocess.Popen(args, env=env, stdout=subprocess.PIPE,
+                             stderr=subprocess.STDOUT, text=True)
+    client = ServeClient(socket_path=socket_path)
+    if not client.ping(retries=100, delay=0.1):
+        child.kill()
+        out = child.communicate()[0]
+        pytest.fail("serve daemon never answered ping:\n%s" % out)
+    return child, client, socket_path
+
+
+def _stop(child):
+    if child.poll() is None:
+        child.terminate()
+        try:
+            child.wait(30)
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait()
+
+
+def test_socket_jobs_match_oneshot_and_survive_worker_kill(tmp_path):
+    """One daemon, three scenes: sweep + attack results equal the
+    one-shot library calls; a worker SIGKILLed mid-job is reaped and
+    its job re-leased to a bit-identical completion."""
+    child, client, _ = _spawn_daemon(tmp_path)
+    try:
+        sweep_job = client.submit(_SWEEP_PAYLOAD)
+        attack_job = client.submit(_ATTACK_PAYLOAD)
+        sweep = client.wait(sweep_job, timeout=300)
+        attack = client.wait(attack_job, timeout=300)
+        assert sweep["state"] == "done"
+        assert attack["state"] == "done"
+        # The acceptance bar: byte-for-byte the one-shot CLI's results.
+        assert sweep["result"] == execute_job(_SWEEP_PAYLOAD)
+        assert attack["result"] == execute_job(_ATTACK_PAYLOAD)
+
+        # Scene 2: SIGKILL a worker while it holds a lease.
+        slow = client.submit({"kind": "sleep", "seconds": 3.0})
+        deadline = time.time() + 30
+        victim = None
+        while time.time() < deadline and victim is None:
+            reply = client.request("job", job=slow)
+            if reply.get("state") == "leased" and reply.get("worker"):
+                victim = reply["worker"]
+            else:
+                time.sleep(0.05)
+        assert victim, "sleep job never leased"
+        os.kill(victim, signal.SIGKILL)
+        record = client.wait(slow, timeout=120)
+        assert record["state"] == "done"
+        assert record["attempts"] == 2
+        assert record["result"] == {"slept": 3.0}
+        status = client.status()
+        assert status["stats"]["worker_crashes"] >= 1
+        assert status["stats"]["duplicate_results"] == 0
+        assert status["workers"] == 2  # fleet rebuilt
+    finally:
+        _stop(child)
+    assert child.returncode == 0
+
+
+def test_daemon_sigkill_replays_journal(tmp_path):
+    """SIGKILL the daemon with one job done and one queued: the restart
+    replays the journal — the result survives, the queued job runs,
+    nothing is lost and nothing runs twice."""
+    child, client, socket_path = _spawn_daemon(tmp_path)
+    done_job = client.submit({"kind": "sleep", "seconds": 0.1})
+    assert client.wait(done_job, timeout=60)["state"] == "done"
+    # Queue a job the daemon will die holding.  workers=2 means it
+    # leases immediately — the harder replay case (lease recovery).
+    lost_job = client.submit({"kind": "sleep", "seconds": 60.0})
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if client.request("job", job=lost_job).get("state") == "leased":
+            break
+        time.sleep(0.05)
+    child.kill()
+    child.wait()
+    with pytest.raises(ServeError):
+        client.request("ping")
+
+    journal = tmp_path / "serve-work" / "journal.jsonl"
+    events = [entry["event"] for entry in journal_events(journal)]
+    assert "done" in events  # the finished job's result is durable
+
+    # Unix sockets outlive their process; the restart rebinds.
+    child2, client2, _ = _spawn_daemon(tmp_path)
+    try:
+        replayed_done = client2.request("job", job=done_job)
+        assert replayed_done["state"] == "done"
+        assert replayed_done["result"] == {"slept": 0.1}
+        record = client2.wait(lost_job, timeout=120)
+        assert record["state"] == "done"
+        assert record["attempts"] >= 2  # the lost lease counted
+        status = client2.status()
+        assert status["stats"]["replayed_jobs"] == 2
+        assert status["stats"]["completed"] == 1  # only the lost job ran
+    finally:
+        _stop(child2)
+
+
+def test_sigterm_drains_and_compacts(tmp_path):
+    """SIGTERM = graceful drain: in-flight jobs finish, the daemon
+    exits 0, and the journal is compacted to snapshots."""
+    child, client, _ = _spawn_daemon(tmp_path)
+    job = client.submit({"kind": "sleep", "seconds": 1.0})
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if client.request("job", job=job).get("state") == "leased":
+            break
+        time.sleep(0.05)
+    child.terminate()  # SIGTERM
+    out = child.communicate(timeout=120)[0]
+    assert child.returncode == 0, out
+
+    journal = tmp_path / "serve-work" / "journal.jsonl"
+    events = journal_events(journal)
+    assert [entry["event"] for entry in events] == ["state"]  # compacted
+    assert events[0]["state"] == "done"  # drained, not dropped
+
+
+def test_cli_submit_and_jobs_roundtrip(tmp_path):
+    """The ``repro submit --wait`` / ``repro jobs`` clients against a
+    live daemon."""
+    child, _, socket_path = _spawn_daemon(tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _REPO_SRC
+    try:
+        submit = subprocess.run(
+            [sys.executable, "-m", "repro", "submit",
+             json.dumps({"kind": "sleep", "seconds": 0.1}),
+             "--socket", socket_path, "--wait", "--timeout", "60"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert submit.returncode == 0, submit.stderr
+        # First line is the job id, then the terminal reply as JSON.
+        job_id, reply_json = submit.stdout.split("\n", 1)
+        assert job_id.startswith("job-")
+        reply = json.loads(reply_json)
+        assert reply["state"] == "done"
+        assert reply["result"] == {"slept": 0.1}
+
+        jobs = subprocess.run(
+            [sys.executable, "-m", "repro", "jobs",
+             "--socket", socket_path, "--json"],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert jobs.returncode == 0, jobs.stderr
+        listed = json.loads(jobs.stdout)
+        assert [entry["state"] for entry in listed] == ["done"]
+    finally:
+        _stop(child)
