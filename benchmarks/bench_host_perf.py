@@ -270,6 +270,30 @@ def test_auto_tier_kernels_never_below_fast(host_report):
             % (kernel, auto, fast))
 
 
+def test_batched_sweep_warm_pool_beats_per_point_cold(host_report):
+    """The acceptance bar for batched multi-guest execution: rows from
+    every batched pass are byte-identical to the per-point path, the
+    pool genuinely shared work (guests registered, artifacts hit), and
+    the warm-pool batched sweep runs in at most 0.7x the per-point cold
+    wall on the quick E2 matrix — translation/optimization/codegen cost
+    is paid once per (kernel, policy) shard instead of once per guest.
+    """
+    batched = host_report["batched_sweep"]
+    assert batched["rows_identical"], (
+        "batched sweep rows diverged from the per-point path")
+    pool = batched["pool"]
+    assert pool["guests"] > 0
+    assert pool["installs"] > 0
+    assert pool["hits"] > 0, "warm passes never hit the pool: %r" % pool
+    assert batched["warm_ratio"] is not None
+    assert batched["warm_ratio"] <= 0.7, (
+        "warm-pool batched sweep %.2fs not under 0.7x the per-point "
+        "cold path %.2fs (ratio %.3f)"
+        % (batched["batched_warm_wall_seconds"],
+           batched["per_point_cold_wall_seconds"],
+           batched["warm_ratio"]))
+
+
 def test_sweep_scaling_recorded(host_report):
     sweep = host_report["figure4_sweep"]
     assert set(sweep["wall_seconds_by_jobs"]) == {"1", "4"}

@@ -176,11 +176,21 @@ def _telemetry_config(args, spool_dir: str):
                            trace_limit=args.trace_limit)
 
 
-def _report_telemetry(args, spool_dir: str) -> None:
-    """Merge the spool and write the requested exports."""
+def _report_telemetry(args, spool_dir: str, pool=None) -> None:
+    """Merge the spool and write the requested exports.
+
+    ``pool`` (optional) exports the translation pool's
+    ``dbt.pool.{guests,installs,hits}`` counters alongside the merged
+    per-point metrics.  Under per-point telemetry the observer gate
+    disables artifact sharing, so ``hits``/``installs`` read zero while
+    ``guests`` still counts the systems the gate excluded — the
+    counters make the gate itself observable.
+    """
     from .obs import merge_spool
 
     merged = merge_spool(spool_dir)
+    if pool is not None:
+        pool.publish(merged.registry)
     if args.metrics_out:
         _write_text(args.metrics_out, merged.registry.to_json() + "\n")
         if args.metrics_out != "-":
@@ -382,6 +392,7 @@ def cmd_sweep(args) -> int:
     import signal
     import threading
 
+    from .dbt.pool import TranslationPool
     from .kernels import SMALL_SIZES, POLYBENCH_SUITE, build_kernel_program
     from .platform.comparison import comparison_csv, comparison_json
     from .platform.parallel import (
@@ -415,6 +426,12 @@ def cmd_sweep(args) -> int:
     if _telemetry_wanted(args):
         spool = tempfile.TemporaryDirectory(prefix="repro-telemetry-")
         point_telemetry = _telemetry_config(args, spool.name)
+    pool = None
+    if args.batched:
+        if args.jobs > 1:
+            print("sweep --batched runs in one process; ignoring "
+                  "--jobs %d" % args.jobs, file=sys.stderr)
+        pool = TranslationPool()
     try:
         try:
             comparisons = sweep_comparisons(
@@ -427,6 +444,7 @@ def cmd_sweep(args) -> int:
                 tcache_dir=args.tcache_dir,
                 point_telemetry=point_telemetry,
                 should_drain=drain.is_set,
+                batched=args.batched, pool=pool,
             )
         except DrainRequested as request:
             print("sweep drained on SIGTERM: %s" % request, file=sys.stderr)
@@ -439,7 +457,7 @@ def cmd_sweep(args) -> int:
             print("runner: %s" % telemetry.summary(), file=sys.stderr)
             return 1
         if spool is not None:
-            _report_telemetry(args, spool.name)
+            _report_telemetry(args, spool.name, pool=pool)
     finally:
         if spool is not None:
             spool.cleanup()
@@ -447,6 +465,8 @@ def cmd_sweep(args) -> int:
             signal.signal(signal.SIGTERM, previous_handler)
     if telemetry.faults_survived or telemetry.checkpoint_hits:
         print("runner: %s" % telemetry.summary(), file=sys.stderr)
+    if pool is not None:
+        print("pool: %s" % pool.stats.summary(), file=sys.stderr)
     for name, _program in workloads:
         print("%-12s done" % name, file=sys.stderr)
     if args.json:
@@ -934,6 +954,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint: completed points are appended as they "
              "land and replayed on the next run, so a killed sweep "
              "resumes instead of starting over")
+    sweep_parser.add_argument(
+        "--batched", action="store_true",
+        help="run all points as co-hosted guests of one process sharing "
+             "a translation pool instead of fanning out worker "
+             "processes; rows are byte-identical to the unbatched "
+             "sweep (--jobs/--timeout/--retries are ignored)")
     add_engine(sweep_parser)
     add_interpreter(sweep_parser)
     add_telemetry(sweep_parser)

@@ -34,6 +34,7 @@ from .codegen import sequential_translate
 from .ir import IRBlock
 from .irbuilder import build_ir
 from .chaining import ChainIndex
+from .pool import superblock_key
 from .profile import ExecutionProfile
 from .scheduler import SchedulerOptions, schedule_block
 from .superblock import SuperblockLimits, build_superblock
@@ -128,6 +129,10 @@ class DbtEngine:
         #: for unexpected evictions; every hook is a single ``is not
         #: None`` check, like the observer's.
         self.supervisor = None
+        #: Optional :class:`~repro.dbt.pool.PoolShard` shared with other
+        #: guests of the same (program, policy, config) — set by the
+        #: platform when this guest joins a translation pool.
+        self.pool = None
         #: Basic blocks backing each first-pass translation (profiling).
         self._basic_blocks: Dict[int, BasicBlock] = {}
         #: Poison reports per optimized entry (inspection / examples).
@@ -172,13 +177,56 @@ class DbtEngine:
         self.reports.clear()
         self._rollback_counts.clear()
 
+    def _active_pool(self):
+        """The shared pool shard, or ``None`` when sharing is gated off.
+
+        Sharing is enabled only for bare guests: an attached observer
+        records host-side translation phases that a pool hit would skip
+        (breaking merged-telemetry == serial-totals parity), and a
+        supervisor's install-time gate decisions are per-guest.  A gated
+        guest simply translates locally — simulated results are
+        byte-identical either way; only host-side reuse is lost.
+        """
+        if self.observer is not None or self.supervisor is not None:
+            return None
+        return self.pool
+
+    def _adopt_optimized(self, entry: int, artifact,
+                         reoptimized: bool = False) -> TranslatedBlock:
+        """Install a pool-shared superblock, replaying exactly the stat
+        and report bookkeeping the local build would have performed, so
+        engine observables stay byte-identical to an unpooled run."""
+        translated, report = artifact
+        if report is not None:
+            self.reports[entry] = report
+            self.stats.spectre_patterns_detected += report.pattern_count
+        self.stats.mitigation_edges_added += translated.mitigations_applied
+        if reoptimized:
+            self.stats.conflict_retranslations += 1
+        else:
+            self.stats.optimizations += 1
+        self.stats.speculative_loads_emitted += translated.speculative_loads
+        self._install(translated)
+        return translated
+
     def _translate_first_pass(self, pc: int) -> TranslatedBlock:
+        pool = self._active_pool()
+        if pool is not None:
+            artifact = pool.lookup_firstpass(pc)
+            if artifact is not None:
+                translated, basic_block = artifact
+                self._basic_blocks[pc] = basic_block
+                self.stats.first_pass_translations += 1
+                self.stats.guest_instructions_translated += basic_block.size
+                return translated
         basic_block = discover_block(self.program, pc)
         self._basic_blocks[pc] = basic_block
         ir = build_ir([basic_block])
         translated = sequential_translate(ir, self.vliw_config)
         self.stats.first_pass_translations += 1
         self.stats.guest_instructions_translated += basic_block.size
+        if pool is not None:
+            pool.install_firstpass(pc, translated, basic_block)
         return translated
 
     # ------------------------------------------------------------------
@@ -243,6 +291,16 @@ class DbtEngine:
             plan = build_superblock(
                 self.program, entry, self.profile, self.config.superblock,
             )
+            pool = self._active_pool()
+            pool_key = None
+            if pool is not None:
+                pool_key = superblock_key(
+                    entry, tuple(b.entry for b in plan.path),
+                    plan.final_next, "reoptimized")
+                artifact = pool.lookup_optimized(pool_key)
+                if artifact is not None:
+                    return self._adopt_optimized(entry, artifact,
+                                                 reoptimized=True)
             ir = build_ir(plan.path, plan.final_next)
             options = self.scheduler_options()
             options = SchedulerOptions(
@@ -293,6 +351,8 @@ class DbtEngine:
             if observer is not None and translated.speculative_loads:
                 observer.emit("spec_load_emitted", entry="%#x" % entry,
                               count=translated.speculative_loads)
+            if pool is not None:
+                pool.install_optimized(pool_key, translated, report)
             self._install(translated)
         return translated
 
@@ -317,6 +377,17 @@ class DbtEngine:
                 plan = build_superblock(
                     self.program, entry, self.profile, self.config.superblock,
                 )
+            pool = self._active_pool()
+            pool_key = None
+            if pool is not None:
+                # Key on the profile-discovered path: a hit is only
+                # valid if another guest built this exact superblock.
+                pool_key = superblock_key(
+                    entry, tuple(b.entry for b in plan.path),
+                    plan.final_next, "optimized")
+                artifact = pool.lookup_optimized(pool_key)
+                if artifact is not None:
+                    return self._adopt_optimized(entry, artifact)
             with maybe_phase(observer, "irbuild", entry="%#x" % entry):
                 ir = build_ir(plan.path, plan.final_next)
             report: Optional[PoisonReport] = None
@@ -374,6 +445,8 @@ class DbtEngine:
             if observer is not None and translated.speculative_loads:
                 observer.emit("spec_load_emitted", entry="%#x" % entry,
                               count=translated.speculative_loads)
+            if pool is not None:
+                pool.install_optimized(pool_key, translated, report)
             self._install(translated)
         return translated
 

@@ -1,0 +1,196 @@
+"""Shared, policy-keyed translation pool for multi-guest execution.
+
+One process hosting many guests (``repro sweep --batched``, the serve
+fleet's warm workers, :class:`~repro.platform.multiguest.MultiGuestHost`)
+redoes identical translation work per guest today: every
+:class:`~repro.platform.system.DbtSystem` owns its engine's translated
+blocks, finalized fast-path tuples, and compiled code objects, so N
+guests of the same (program, policy, config) pay N× the translation and
+codegen cost for byte-identical artifacts.
+
+This module is the in-process analogue of the on-disk ``--tcache-dir``
+persistent cache, one level up: it shares the *objects*, not just the
+marshalled code.  The pool is sliced into **shards**, one per
+
+    sha256(program bytes, policy, VliwConfig, DbtEngineConfig)
+
+— the same information the ``--tcache-dir`` persist key encodes, which
+is exactly the equivalence class within which every tier of this
+simulator produces bit-identical translations (the four-way differential
+suite is the gate).  Guests of the same shard share:
+
+* **first-pass translations** — ``pc -> (TranslatedBlock, BasicBlock)``;
+* **optimized/reoptimized superblocks** — keyed by ``(entry, block path,
+  final_next, kind)`` so a guest only reuses a superblock built from the
+  *same* profile-discovered path (profiles are per-guest and may
+  diverge mid-run between guests at different execution points);
+* transitively, everything hanging off a shared
+  :class:`~repro.vliw.block.TranslatedBlock`: the finalized fast-path
+  tuple (``block._finalized``), compiled code objects
+  (``fblock.compiled``), and megablock envelopes — all host-side
+  acceleration state with no simulated observables.
+
+What stays **per guest**: registers, data memory, the VLIW core and its
+cache/MCB timing state, the block profile and hotness counters, the
+chain index, tcache install/eviction state, and every
+:class:`~repro.dbt.engine.DbtEngineStats` counter (a pool hit replays
+the same stat increments a local translation would have made, so engine
+observables stay byte-identical).
+
+Sharing is **identity-sensitive** in one place: ``finalize_block``
+memoizes per block on ``cached.config is config``.  Each shard therefore
+canonicalizes a single :class:`~repro.vliw.config.VliwConfig` instance
+(value-equal to every guest's own) that all member systems adopt, so a
+shared block finalizes once instead of thrashing per guest.
+
+The pool is plain data with no locks: guests in one
+:class:`MultiGuestHost` interleave cooperatively on one thread, and the
+serve fleet gives each worker process its own pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..isa.container import to_bytes as program_to_bytes
+from ..isa.program import Program
+from ..vliw.codegen import _canon
+from ..vliw.config import VliwConfig
+
+__all__ = ["PoolStats", "PoolShard", "TranslationPool", "superblock_key"]
+
+#: Bump when the shard key derivation or stored artifact shape changes.
+_POOL_VERSION = 1
+
+
+@dataclass
+class PoolStats:
+    """Pool-wide counters, exported as ``dbt.pool.{hits,installs,guests}``.
+
+    ``guests`` counts every system constructed against the pool —
+    including ones whose sharing was gated off (observer/supervisor
+    attached), so the counter shows how much of the fleet the gate is
+    excluding.  ``hits``/``installs`` count artifact-level reuse across
+    all shards.
+    """
+
+    hits: int = 0
+    installs: int = 0
+    guests: int = 0
+
+    def summary(self) -> str:
+        return ("%d guest(s), %d artifact install(s), %d pool hit(s)"
+                % (self.guests, self.installs, self.hits))
+
+
+def superblock_key(entry: int, path_entries: Tuple[int, ...],
+                   final_next: Optional[int], kind: str):
+    """Artifact key for an optimized superblock within a shard.
+
+    The block path is profile-discovered, so two guests at the same
+    (program, policy, config) may still build *different* superblocks
+    for one entry if their profiles diverged; keying on the full path
+    (plus ``kind``, which separates ``optimized`` from the
+    memory-speculation-free ``reoptimized`` retranslations) keeps a hit
+    byte-identical to what the guest would have built locally.
+    """
+    return (entry, path_entries, final_next, kind)
+
+
+class PoolShard:
+    """Artifacts shared by every guest of one (program, policy, config).
+
+    ``vliw_config`` is the shard-canonical instance all member systems
+    adopt (see the module docstring).  ``firstpass`` maps a guest pc to
+    ``(TranslatedBlock, BasicBlock)``; ``optimized`` maps
+    :func:`superblock_key` to ``(TranslatedBlock, PoisonReport|None)``.
+    """
+
+    __slots__ = ("key", "vliw_config", "firstpass", "optimized", "stats")
+
+    def __init__(self, key: str, vliw_config: VliwConfig,
+                 stats: PoolStats) -> None:
+        self.key = key
+        self.vliw_config = vliw_config
+        self.firstpass: Dict[int, tuple] = {}
+        self.optimized: Dict[tuple, tuple] = {}
+        self.stats = stats
+
+    def lookup_firstpass(self, pc: int):
+        artifact = self.firstpass.get(pc)
+        if artifact is not None:
+            self.stats.hits += 1
+        return artifact
+
+    def install_firstpass(self, pc: int, translated, basic_block) -> None:
+        self.firstpass[pc] = (translated, basic_block)
+        self.stats.installs += 1
+
+    def lookup_optimized(self, key):
+        artifact = self.optimized.get(key)
+        if artifact is not None:
+            self.stats.hits += 1
+        return artifact
+
+    def install_optimized(self, key, translated, report) -> None:
+        self.optimized[key] = (translated, report)
+        self.stats.installs += 1
+
+
+class TranslationPool:
+    """A process-wide pool of :class:`PoolShard`, lazily created per
+    (program, policy, VliwConfig, DbtEngineConfig) equivalence class."""
+
+    def __init__(self) -> None:
+        self._shards: Dict[str, PoolShard] = {}
+        self.stats = PoolStats()
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shard(self, program: Program, policy, vliw_config: VliwConfig,
+              engine_config) -> PoolShard:
+        """The shard for this guest class, creating it on first use.
+
+        The first guest of a class donates its ``VliwConfig`` as the
+        shard-canonical instance; later guests (value-equal by key
+        construction) adopt it.
+        """
+        key = self._shard_key(program, policy, vliw_config, engine_config)
+        existing = self._shards.get(key)
+        if existing is None:
+            existing = PoolShard(key, vliw_config, self.stats)
+            self._shards[key] = existing
+        return existing
+
+    def publish(self, registry) -> None:
+        """Export the pool counters into a metrics registry."""
+        registry.counter(
+            "dbt.pool.guests",
+            help="guest systems constructed against the translation pool",
+        ).inc(self.stats.guests)
+        registry.counter(
+            "dbt.pool.installs",
+            help="translation artifacts installed into the shared pool",
+        ).inc(self.stats.installs)
+        registry.counter(
+            "dbt.pool.hits",
+            help="guest translations served from the shared pool",
+        ).inc(self.stats.hits)
+
+    @staticmethod
+    def _shard_key(program: Program, policy, vliw_config: VliwConfig,
+                   engine_config) -> str:
+        from .engine import DbtEngineConfig  # circular at module scope
+
+        h = hashlib.sha256()
+        h.update(b"repro-pool/%d\n" % _POOL_VERSION)
+        h.update(program_to_bytes(program))
+        h.update(policy.value.encode())
+        h.update(b"\n")
+        h.update(_canon(vliw_config).encode())
+        h.update(b"\n")
+        h.update(_canon(engine_config or DbtEngineConfig()).encode())
+        return h.hexdigest()

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..ioatomic import atomic_write_text
 from ..vliw.block import TranslatedBlock
 
 _CAPACITY_POLICIES = ("flush", "lru")
@@ -390,10 +391,12 @@ class PersistentCodegenCache:
             source_bytes=source_bytes,
         )
         path = self._path(key)
-        tmp = path.with_suffix(".json.tmp")
         try:
-            tmp.write_text(envelope.to_json() + "\n")
-            os.replace(tmp, path)
+            # Unique temp + fsync + os.replace: parallel sweep workers
+            # share --tcache-dir by design, and a fixed temp name would
+            # let two of them interleave into one file and publish a
+            # torn envelope (quarantined as rot on every later load).
+            atomic_write_text(path, envelope.to_json() + "\n")
         except OSError:
             # Persistence is an optimization; a read-only or full disk
             # must never fail the run.

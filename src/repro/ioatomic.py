@@ -1,0 +1,70 @@
+"""Durable atomic file publication shared by every on-disk cache.
+
+Several stores in this repository publish records that other processes
+read (and rewrite) concurrently: the sweep memo cache and the resumable
+checkpoint in :mod:`repro.platform.parallel`, and the persistent
+codegen cache in :mod:`repro.dbt.translation_cache`.  They all need the
+same two-step discipline:
+
+* write the full payload to a **writer-unique** temp file in the target
+  directory.  A fixed temp name (``<path>.tmp``) lets two concurrent
+  writers interleave into one file and atomically rename a torn record
+  into place — which then reads as "rot" forever and is quarantined,
+  even though both writers held complete, valid payloads;
+* ``fsync`` the temp file before ``os.replace`` so the rename can never
+  publish a name whose data the kernel has not persisted.  A crash
+  after the rename must leave either the old record or the complete new
+  one, never a hole.
+
+``os.replace`` itself is atomic on POSIX, so readers only ever observe
+a complete old or complete new file; uniqueness of the temp name is
+what extends that guarantee to concurrent writers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from pathlib import Path
+
+__all__ = ["unique_tmp", "atomic_write_text"]
+
+#: Per-process sequence number so one process re-publishing the same
+#: path concurrently (threads, re-entrant compactions) still gets a
+#: distinct temp file per call.
+_TMP_COUNTER = itertools.count()
+
+
+def unique_tmp(path: Path) -> Path:
+    """A writer-unique sibling temp path for atomically replacing *path*.
+
+    The name embeds the pid and a per-process counter, so no two live
+    writers — across processes or within one — ever share a temp file.
+    Stale ``*.tmp`` droppings from killed writers are inert: nothing
+    ever reads or renames a temp file it did not itself create.
+    """
+    return path.with_name(
+        "%s.%d.%d.tmp" % (path.name, os.getpid(), next(_TMP_COUNTER)))
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Durably publish *text* at *path* via a unique temp + ``os.replace``.
+
+    The parent directory must already exist.  On any failure the temp
+    file is removed (best effort) and the error re-raised; *path* is
+    either untouched or fully replaced, never torn.
+    """
+    path = Path(path)
+    tmp = unique_tmp(path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise

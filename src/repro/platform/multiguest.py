@@ -1,0 +1,93 @@
+"""Round-robin multi-guest execution over a shared translation pool.
+
+:class:`MultiGuestHost` runs N independent guest systems inside one
+process, interleaving their engine loops in fixed-size block quanta so
+hot translations stay resident: guests of the same (program, policy,
+config) class share first-pass and superblock translations — and
+everything downstream of them (finalized fast-path tuples, compiled
+code, megablocks) — through a :class:`~repro.dbt.pool.TranslationPool`
+shard instead of re-deriving byte-identical artifacts per guest.
+
+Everything architecturally visible stays strictly per guest (each
+:class:`~repro.platform.system.DbtSystem` owns its registers, memory,
+core timing state, profile and chain index), so every guest's
+:class:`~repro.platform.metrics.SystemRunResult` is byte-identical to
+the same guest run alone — the batched leg of
+``tests/platform/test_fastpath_differential.py`` gates exactly that.
+
+This is the execution backend behind ``repro sweep --batched`` and the
+serve fleet's warm workers (one pool per worker process, reused across
+jobs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+from ..dbt.pool import TranslationPool
+from .metrics import SystemRunResult
+from .system import DbtSystem
+
+__all__ = ["MultiGuestHost", "DEFAULT_QUANTUM"]
+
+#: Blocks each guest runs per turn.  Large enough that the round-robin
+#: bookkeeping is noise, small enough that guests genuinely interleave
+#: (so a shard's first guest quickly seeds translations the others hit).
+DEFAULT_QUANTUM = 256
+
+
+class MultiGuestHost:
+    """Host N guest systems in one process over a shared pool."""
+
+    def __init__(self, pool: Optional[TranslationPool] = None,
+                 quantum: int = DEFAULT_QUANTUM) -> None:
+        self.pool = TranslationPool() if pool is None else pool
+        self.quantum = quantum
+        self.systems: List[DbtSystem] = []
+
+    def add_guest(self, program, **kwargs) -> DbtSystem:
+        """Construct a guest against the shared pool; runs in
+        :meth:`run_all`.  Accepts every :class:`DbtSystem` keyword."""
+        system = DbtSystem(program, translation_pool=self.pool, **kwargs)
+        self.systems.append(system)
+        return system
+
+    def run_all(
+        self,
+        on_exit: Optional[Callable[[int, SystemRunResult], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> List[Optional[SystemRunResult]]:
+        """Run every guest to completion, round-robin.
+
+        Results are indexed by ``add_guest`` order.  ``on_exit`` fires as
+        each guest exits (checkpointing hook).  ``should_stop`` is polled
+        between quanta; when it turns true the loop stops early and
+        unfinished guests report ``None`` — callers treat those exactly
+        like unstarted points (re-run on resume).  On any guest error the
+        host shuts down every guest's tier machinery before re-raising,
+        so no compile thread outlives the batch.
+        """
+        results: List[Optional[SystemRunResult]] = [None] * len(self.systems)
+        active = deque(enumerate(self.systems))
+        try:
+            while active:
+                if should_stop is not None and should_stop():
+                    break
+                index, system = active.popleft()
+                if system.run_slice(self.quantum):
+                    result = system.result()
+                    if system.observer is not None:
+                        system.observer.snapshot(result)
+                    results[index] = result
+                    if on_exit is not None:
+                        on_exit(index, result)
+                else:
+                    active.append((index, system))
+        finally:
+            for system in self.systems:
+                try:
+                    system.finish_tiers()
+                except Exception:
+                    pass
+        return results

@@ -64,6 +64,7 @@ from typing import (
 )
 
 from ..dbt.engine import DbtEngineConfig
+from ..ioatomic import atomic_write_text
 from ..isa.container import to_bytes as program_to_bytes
 from ..isa.program import Program
 from ..obs.pipeline import TelemetryConfig, spool_envelope, worker_observer
@@ -71,6 +72,7 @@ from ..resilience.faults import WorkerFault, apply_worker_fault
 from ..security.policy import ALL_POLICIES, MitigationPolicy
 from ..vliw.config import VliwConfig
 from .metrics import PolicyComparison, SystemRunResult
+from .multiguest import MultiGuestHost
 from .system import DbtSystem
 
 #: Default memo-cache location (relative to the repository root when the
@@ -307,9 +309,11 @@ def _cache_store(cache_dir: Path, key: str, record: dict) -> None:
     path = cache_dir / (key + ".json")
     envelope = {"record": record, "sha256": _record_checksum(record),
                 "version": _CACHE_VERSION}
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(envelope, sort_keys=True, indent=1) + "\n")
-    tmp.replace(path)  # atomic: concurrent sweeps may share the cache
+    # Unique temp + fsync + os.replace: concurrent sweeps share the
+    # cache, and a fixed temp name would let two writers interleave
+    # into one file and publish a torn envelope.
+    atomic_write_text(path,
+                      json.dumps(envelope, sort_keys=True, indent=1) + "\n")
 
 
 # ---------------------------------------------------------------------------
@@ -326,13 +330,14 @@ def compact_jsonl(path: Union[str, Path], records: Sequence[dict]) -> None:
     leaves either the old file or the new one, never a torn mix.
     """
     path = Path(path)
-    tmp = path.with_name(path.name + ".compact")
-    with open(tmp, "w") as handle:
-        for record in records:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    tmp.replace(path)
+    # The temp name must be writer-unique: two resumed sweeps sharing a
+    # --resume path (or the daemon restarting mid-compaction) would
+    # otherwise interleave into one ".compact" file and rename a torn
+    # mix into place.
+    atomic_write_text(
+        path,
+        "".join(json.dumps(record, sort_keys=True) + "\n"
+                for record in records))
 
 
 def checkpoint_load(path: Union[str, Path],
@@ -393,24 +398,80 @@ def run_sweep_point(program: Program, policy: MitigationPolicy,
                     interpreter: Optional[str] = None,
                     tcache_dir=None,
                     telemetry: Optional[TelemetryConfig] = None,
-                    fault: Optional[WorkerFault] = None) -> dict:
+                    fault: Optional[WorkerFault] = None,
+                    pool=None) -> dict:
     """Simulate one (program, policy) point and return its slim record.
 
     ``telemetry`` (optional) attaches a fresh observer and appends one
     envelope to the spool after the run — bit-identical results either
     way (the no-Heisenberg gate), so records and memo-cache keys are
     unaffected.
+
+    ``pool`` (keyword-only in practice: ``fault`` is the last positional
+    the process-pool path fills) is an optional
+    :class:`~repro.dbt.pool.TranslationPool` so in-process callers — the
+    serve fleet's warm workers — keep translations resident across
+    points; results are byte-identical with or without it.
     """
     apply_worker_fault(fault)
     observer = worker_observer(telemetry)
     system = DbtSystem(program, policy=policy, vliw_config=vliw_config,
                        engine_config=engine_config, interpreter=interpreter,
-                       tcache_dir=tcache_dir, observer=observer)
+                       tcache_dir=tcache_dir, observer=observer,
+                       translation_pool=pool)
     result = system.run()
     spool_envelope(telemetry, observer)
     record = {field_: getattr(result, field_) for field_ in _RECORD_FIELDS}
     record["output"] = result.output.hex()
     return record
+
+
+def run_batched_points(tasks: Sequence[Tuple[Program, MitigationPolicy]],
+                       vliw_config: Optional[VliwConfig] = None,
+                       engine_config: Optional[DbtEngineConfig] = None,
+                       interpreter: Optional[str] = None,
+                       tcache_dir=None,
+                       point_telemetry: Optional[Sequence[
+                           Optional[TelemetryConfig]]] = None,
+                       pool=None,
+                       on_result: Optional[Callable[[int, dict],
+                                                    None]] = None,
+                       should_drain: Optional[Callable[[], bool]] = None,
+                       ) -> List[Optional[dict]]:
+    """Run (program, policy) points as co-hosted guests of one
+    :class:`~repro.platform.multiguest.MultiGuestHost`.
+
+    The batched counterpart of fanning :func:`run_sweep_point` out over
+    a process pool: guests of the same (program, policy, config) share
+    ``pool`` (one is created per batch when ``None``), and records are
+    returned in task order, byte-identical to the per-process path.
+    ``on_result`` fires per point as its guest exits (checkpointing).
+    When ``should_drain`` turns true mid-batch, unfinished guests are
+    abandoned like unstarted points and report ``None``.
+    """
+    host = MultiGuestHost(pool=pool)
+    cells = (list(point_telemetry) if point_telemetry is not None
+             else [None] * len(tasks))
+    observers = []
+    for (program, policy), cell in zip(tasks, cells):
+        observer = worker_observer(cell)
+        host.add_guest(program, policy=policy, vliw_config=vliw_config,
+                       engine_config=engine_config, interpreter=interpreter,
+                       tcache_dir=tcache_dir, observer=observer)
+        observers.append(observer)
+    records: List[Optional[dict]] = [None] * len(tasks)
+
+    def _on_exit(index: int, result: SystemRunResult) -> None:
+        spool_envelope(cells[index], observers[index])
+        record = {field_: getattr(result, field_)
+                  for field_ in _RECORD_FIELDS}
+        record["output"] = result.output.hex()
+        records[index] = record
+        if on_result is not None:
+            on_result(index, record)
+
+    host.run_all(on_exit=_on_exit, should_stop=should_drain)
+    return records
 
 
 def _record_to_result(record: dict) -> SystemRunResult:
@@ -664,6 +725,8 @@ def sweep_comparisons(
     point_telemetry: Optional[TelemetryConfig] = None,
     adaptive: bool = True,
     should_drain: Optional[Callable[[], bool]] = None,
+    batched: bool = False,
+    pool=None,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
@@ -691,6 +754,16 @@ def sweep_comparisons(
     ``should_drain`` makes the sweep SIGTERM-drainable: when it turns
     true, in-flight points finish (and checkpoint), unstarted points are
     abandoned, and :class:`DrainRequested` propagates to the caller.
+
+    ``batched=True`` runs the misses as co-hosted guests of one
+    :class:`~repro.platform.multiguest.MultiGuestHost` sharing ``pool``
+    (one is created per call when ``None``) instead of fanning them over
+    a process pool — byte-identical rows, but guests of the same policy
+    class reuse each other's translations.  ``jobs``/``timeout``/
+    ``retries``/``worker_faults`` only shape the process-pool path and
+    are ignored when batched; a drain mid-batch abandons *unfinished*
+    guests (they re-run on ``--resume``) rather than finishing in-flight
+    ones, since every guest is in flight at once.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -740,6 +813,27 @@ def sweep_comparisons(
                 "%s/%s" % (name, policy.value), workload=name,
                 policy=policy.value, interpreter=interp_label)
 
+        if batched:
+            computed = run_batched_points(
+                [(points[i][1], points[i][2]) for i in misses],
+                vliw_config=vliw_config,
+                engine_config=engine_config,
+                interpreter=interpreter,
+                tcache_dir=tcache_dir,
+                point_telemetry=[_point_telemetry(i) for i in misses],
+                pool=pool,
+                on_result=_persist,
+                should_drain=should_drain,
+            )
+            done = sum(1 for record in computed if record is not None)
+            if done < len(misses):
+                raise DrainRequested(
+                    completed=len(points) - len(misses) + done,
+                    remaining=len(misses) - done)
+            for index, record in zip(misses, computed):
+                records[index] = record
+            misses = []
+    if misses:
         try:
             computed = run_points(
                 run_sweep_point,

@@ -75,10 +75,29 @@ class DbtSystem:
         profiler=None,
         trace_config: Optional[TraceConfig] = None,
         compile_queue_mode: Optional[str] = None,
+        translation_pool=None,
     ):
         self.program = program
         self.policy = policy
         self.vliw_config = vliw_config or VliwConfig()
+        #: Optional :class:`~repro.dbt.pool.TranslationPool` shared with
+        #: other guests in this process.  Sharing is enabled only for
+        #: bare guests (no observer, no supervisor) — see
+        #: ``DbtEngine._active_pool`` for why; a gated guest still
+        #: counts toward ``dbt.pool.guests`` so the gate is visible.
+        self.translation_pool = translation_pool
+        pool_shard = None
+        if translation_pool is not None:
+            translation_pool.stats.guests += 1
+            if observer is None and supervisor is None:
+                pool_shard = translation_pool.shard(
+                    program, policy, self.vliw_config, engine_config)
+                # finalize_block memoizes per block on config *identity*
+                # (``cached.config is config``); adopting the shard's
+                # canonical — value-equal by key construction — instance
+                # lets a shared block finalize once instead of once per
+                # guest.
+                self.vliw_config = pool_shard.vliw_config
         self.platform_config = platform_config or PlatformConfig()
         self.memory = DataMemorySystem(cache_config=self.vliw_config.cache)
         for base, image in program.segments():
@@ -106,6 +125,8 @@ class DbtSystem:
             policy=policy,
             config=engine_config,
         )
+        if pool_shard is not None:
+            self.engine.pool = pool_shard
         #: Tier-3 codegen counters (None unless this system compiles).
         self.codegen: Optional[CodegenStats] = None
         #: Persistent cross-process codegen cache (``tcache_dir``).
@@ -217,6 +238,10 @@ class DbtSystem:
         self.profiler = profiler
         if profiler is not None:
             profiler.attach(self)
+        #: Latched by :meth:`finish_tiers` so the shutdown is idempotent
+        #: (run()'s finally, run_slice's exit path and MultiGuestHost's
+        #: cleanup may each reach it).
+        self._tiers_finished = False
 
     # ------------------------------------------------------------------
     # Execution.
@@ -241,13 +266,25 @@ class DbtSystem:
         else:
             self.pc = result.next_pc
 
-    def run(self) -> SystemRunResult:
-        """Run the guest to completion."""
+    def run_slice(self, max_blocks: int) -> bool:
+        """Run up to ``max_blocks`` translated blocks; ``True`` once the
+        guest has exited.
+
+        The round-robin quantum primitive behind
+        :class:`~repro.platform.multiguest.MultiGuestHost`: identical
+        per-block budget checks and compile-queue safe points to
+        :meth:`run`, but yielding after the quantum so other guests in
+        the process can interleave.  The tier machinery is shut down as
+        soon as this guest exits (or its slice aborts), so a host never
+        carries compile threads for finished guests.
+        """
         limits = self.platform_config
         queue = self.compile_queue
         tier = self.tier
         try:
-            while not self.exited:
+            for _ in range(max_blocks):
+                if self.exited:
+                    break
                 if self.blocks_executed >= limits.max_blocks:
                     raise PlatformError(
                         "block budget exhausted (%d) at pc %#x"
@@ -265,11 +302,35 @@ class DbtSystem:
                     queue.drain()
                     if tier is not None:
                         tier.poll()
+        except BaseException:
+            self.finish_tiers()
+            raise
+        if self.exited:
+            self.finish_tiers()
+            return True
+        return False
+
+    def finish_tiers(self) -> None:
+        """Flush and shut down the background compile machinery
+        (idempotent)."""
+        if self._tiers_finished:
+            return
+        self._tiers_finished = True
+        if self.tier is not None:
+            self.tier.finish()
+        if self.compile_queue is not None:
+            self.compile_queue.close()
+
+    def run(self) -> SystemRunResult:
+        """Run the guest to completion."""
+        try:
+            # One huge quantum: a single slice runs to exit (the block
+            # budget is far below it), keeping run() on the same
+            # per-block loop batched hosts use.
+            while not self.run_slice(1 << 62):
+                pass
         finally:
-            if tier is not None:
-                tier.finish()
-            if queue is not None:
-                queue.close()
+            self.finish_tiers()
         result = self.result()
         if self.observer is not None:
             self.observer.snapshot(result)

@@ -35,14 +35,32 @@ from ..platform.parallel import RunnerTelemetry
 _CTX = multiprocessing.get_context("fork")
 
 
-def _worker_main(conn, tcache_dir, heartbeat_interval: float) -> None:
+def _worker_main(conn, inherited_conns, tcache_dir,
+                 heartbeat_interval: float) -> None:
     """Worker process body: warm up, then serve jobs until EOF."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Fork inherits every daemon-side pipe end that was open at spawn
+    # time: this worker's own parent end plus the ends to every earlier
+    # worker.  Close them all, or the fleet holds its own pipes
+    # readable and a SIGKILLed daemon orphans the workers forever —
+    # no recv ever hits EOF because the daemon-side end survives in
+    # the workers themselves.
+    for daemon_side in inherited_conns:
+        try:
+            daemon_side.close()
+        except OSError:
+            pass
     # Warm imports: everything a job can touch, paid once per worker.
     from ..obs.pipeline import TelemetryConfig  # noqa: F401
     from ..platform import parallel, system  # noqa: F401
+    from ..dbt.pool import TranslationPool
     from .jobs import execute_job, payload_fault
 
+    # Worker-lifetime translation pool: repeated jobs over the same
+    # (program, policy, config) reuse translations instead of redoing
+    # them — the warm-worker counterpart of the warm imports above.
+    # Results stay byte-identical (the differential suite gates this).
+    pool = TranslationPool()
     send_lock = threading.Lock()
     stop = threading.Event()
 
@@ -76,7 +94,8 @@ def _worker_main(conn, tcache_dir, heartbeat_interval: float) -> None:
                 payload_fault(payload, message.get("attempt", 1))
             try:
                 result = execute_job(payload, telemetry=telemetry,
-                                     fault=fault, tcache_dir=tcache_dir)
+                                     fault=fault, tcache_dir=tcache_dir,
+                                     pool=pool)
                 reply = {"kind": "result", "job": job_id, "ok": True,
                          "result": result, "pid": os.getpid()}
             except BaseException as exc:  # noqa: BLE001 — report, don't die
@@ -150,9 +169,11 @@ class WorkerFleet:
 
     def _spawn(self) -> WorkerHandle:
         parent_conn, child_conn = _CTX.Pipe(duplex=True)
+        inherited = [handle.conn for handle in self.workers] + [parent_conn]
         process = _CTX.Process(
             target=_worker_main,
-            args=(child_conn, self.tcache_dir, self.heartbeat_interval),
+            args=(child_conn, inherited, self.tcache_dir,
+                  self.heartbeat_interval),
             name="repro-serve-worker", daemon=True)
         process.start()
         child_conn.close()

@@ -198,7 +198,8 @@ def _workloads(names, full: bool):
 def execute_job(payload: Dict[str, Any],
                 telemetry: Optional[TelemetryConfig] = None,
                 fault: Optional[WorkerFault] = None,
-                tcache_dir=None) -> Dict[str, Any]:
+                tcache_dir=None,
+                pool=None) -> Dict[str, Any]:
     """Execute one job payload and return its JSON-serializable result.
 
     ``telemetry`` (a spool-bearing template) threads the PR 6 pipeline
@@ -206,6 +207,14 @@ def execute_job(payload: Dict[str, Any],
     metrics are equal to a serial CLI run's.  ``tcache_dir`` is the
     fleet-shared persistent codegen cache; a payload-level
     ``tcache_dir`` overrides it.
+
+    ``pool`` is the worker-lifetime
+    :class:`~repro.dbt.pool.TranslationPool` a warm fleet worker passes
+    in so repeated jobs over the same (program, policy, config) stop
+    re-translating — results are byte-identical with or without it.
+    Telemetry-bearing jobs keep the exact unpooled execution path (the
+    observer gate would disable sharing anyway), so per-job metrics stay
+    equal to the one-shot CLI's.
     """
     validate_payload(payload)
     apply_worker_fault(fault)
@@ -232,12 +241,17 @@ def execute_job(payload: Dict[str, Any],
         return run_sweep_point(program, policy,
                                engine_config=engine_config,
                                interpreter=interpreter, tcache_dir=tcache,
-                               telemetry=cell)
+                               telemetry=cell, pool=pool)
 
     if kind == "sweep":
         from ..platform.comparison import comparison_json
         from ..platform.parallel import sweep_comparisons
 
+        # Batched execution shares the worker-lifetime pool across the
+        # job's points; telemetry-bearing sweeps keep the serial path so
+        # their envelope spool (and merged metrics) match the one-shot
+        # CLI exactly.
+        batched = pool is not None and telemetry is None
         comparisons = sweep_comparisons(
             _workloads(payload.get("kernels"), bool(payload.get("full"))),
             policies=_policies(payload),
@@ -245,6 +259,8 @@ def execute_job(payload: Dict[str, Any],
             interpreter=interpreter,
             tcache_dir=tcache,
             point_telemetry=telemetry,
+            batched=batched,
+            pool=pool if batched else None,
         )
         return {"rows": comparison_json(comparisons)}
 

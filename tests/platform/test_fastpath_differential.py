@@ -255,6 +255,92 @@ def test_async_codegen_timing_invisible(policy):
     assert never.compile_queue.stats.stalled > 0
 
 
+# ---------------------------------------------------------------------------
+# Batched multi-guest execution over a shared translation pool.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("chain", (False, True), ids=("unchained", "chained"))
+@pytest.mark.parametrize("policy", ALL_POLICIES,
+                         ids=[p.value for p in ALL_POLICIES])
+def test_batched_pool_bit_identical(policy, chain):
+    """N guests co-hosted on one MultiGuestHost, sharing a translation
+    pool, are byte-identical to N independent single-guest runs — per
+    guest, on every core/engine observable and the final register file.
+
+    The batch holds both PoCs twice each (duplicates force genuine pool
+    hits: artifacts are shared only within a (program, policy, config)
+    shard) plus a kernel, so the comparison covers the attack programs'
+    speculation/rollback behaviour and a loop-heavy workload at once.
+    """
+    from repro.dbt.pool import TranslationPool
+    from repro.platform.multiguest import MultiGuestHost
+
+    programs = [build_attack_program(AttackVariant.SPECTRE_V1, SECRET),
+                build_attack_program(AttackVariant.SPECTRE_V4, SECRET),
+                build_kernel_program(SMALL_SIZES["atax"]())]
+    guests = programs + programs  # duplicates share a shard
+    engine_config = DbtEngineConfig(chain=chain)
+
+    pool = TranslationPool()
+    host = MultiGuestHost(pool=pool)
+    for program in guests:
+        host.add_guest(program, policy=policy, engine_config=engine_config)
+    batched_results = host.run_all()
+    batched_systems = host.systems
+
+    for index, program in enumerate(guests):
+        solo = DbtSystem(program, policy=policy,
+                         engine_config=DbtEngineConfig(chain=chain))
+        solo_result = solo.run()
+        batched = batched_results[index]
+        assert batched is not None
+        assert _core_observables(batched) == _core_observables(solo_result)
+        assert (_engine_observables(batched_systems[index])
+                == _engine_observables(solo))
+        assert (batched_systems[index].core.regs._regs
+                == solo.core.regs._regs)
+        assert batched.output == solo_result.output
+    # The pool genuinely shared work (or this proves nothing): every
+    # guest registered, and the duplicate guests hit the shard their
+    # twins seeded.
+    assert pool.stats.guests == len(guests)
+    assert pool.stats.installs > 0
+    assert pool.stats.hits > 0
+
+
+@pytest.mark.parametrize("interpreter", ("fast", "compiled", "trace"))
+def test_batched_pool_bit_identical_across_tiers(interpreter):
+    """The pool shares finalized/compiled/trace artifacts across guests;
+    each accelerated tier must stay bit-identical to its solo run."""
+    from repro.dbt.pool import TranslationPool
+    from repro.platform.multiguest import MultiGuestHost
+
+    program = build_kernel_program(SMALL_SIZES["gemm"]())
+    engine_config = DbtEngineConfig(chain=(interpreter == "trace"))
+    pool = TranslationPool()
+    host = MultiGuestHost(pool=pool)
+    for policy in ALL_POLICIES:
+        for _ in range(2):
+            host.add_guest(program, policy=policy,
+                           engine_config=engine_config,
+                           interpreter=interpreter)
+    batched_results = host.run_all()
+    index = 0
+    for policy in ALL_POLICIES:
+        solo = DbtSystem(program, policy=policy,
+                         engine_config=engine_config,
+                         interpreter=interpreter)
+        solo_result = solo.run()
+        for _ in range(2):
+            batched = batched_results[index]
+            system = host.systems[index]
+            assert _core_observables(batched) == _core_observables(solo_result)
+            assert _engine_observables(system) == _engine_observables(solo)
+            assert system.core.regs._regs == solo.core.regs._regs
+            index += 1
+    assert pool.stats.hits > 0
+
+
 def test_chained_reference_interpreter_matches_seed():
     """Chaining with the reference interpreter takes the general
     (per-block) dispatch loop; it too must be bit-identical."""

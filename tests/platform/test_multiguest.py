@@ -1,0 +1,202 @@
+"""Batched multi-guest execution: sweep row identity, pool keying and
+gating, drain semantics, and warm-worker reuse through the serve path.
+
+The bit-identity of individual co-hosted guests is gated by the batched
+legs of ``test_fastpath_differential.py``; this file covers the
+orchestration contracts layered on top.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dbt.engine import DbtEngineConfig
+from repro.dbt.pool import TranslationPool, superblock_key
+from repro.kernels import SMALL_SIZES, build_kernel_program
+from repro.obs.observer import Observer
+from repro.platform.comparison import comparison_json
+from repro.platform.multiguest import MultiGuestHost
+from repro.platform.parallel import DrainRequested, sweep_comparisons
+from repro.platform.system import DbtSystem
+
+KERNELS = ("atax", "gemm")
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [(name, build_kernel_program(SMALL_SIZES[name]()))
+            for name in KERNELS]
+
+
+@pytest.fixture(scope="module")
+def baseline_rows(workloads):
+    return comparison_json(sweep_comparisons(workloads))
+
+
+def test_batched_sweep_rows_identical(workloads, baseline_rows):
+    """`sweep_comparisons(batched=True)` must emit byte-identical rows
+    to the per-point path — cold pool and warm pool alike."""
+    pool = TranslationPool()
+    cold = comparison_json(sweep_comparisons(workloads, batched=True,
+                                             pool=pool))
+    assert cold == baseline_rows
+    installs_after_cold = pool.stats.installs
+    warm = comparison_json(sweep_comparisons(workloads, batched=True,
+                                             pool=pool))
+    assert warm == baseline_rows
+    # The warm pass reused the cold pass's artifacts instead of
+    # installing a second copy of everything.
+    assert pool.stats.installs == installs_after_cold
+    assert pool.stats.hits > 0
+
+
+def test_batched_sweep_creates_pool_when_none_given(workloads,
+                                                    baseline_rows):
+    assert comparison_json(
+        sweep_comparisons(workloads, batched=True)) == baseline_rows
+
+
+def test_batched_sweep_checkpoints_and_resumes(tmp_path, workloads,
+                                               baseline_rows):
+    """Batched points persist to the memo cache / checkpoint as their
+    guests exit, and a resumed batched sweep replays them."""
+    checkpoint = tmp_path / "sweep.jsonl"
+    cache_dir = tmp_path / "cache"
+    first = comparison_json(sweep_comparisons(
+        workloads, batched=True, cache_dir=cache_dir,
+        checkpoint=checkpoint))
+    assert first == baseline_rows
+    assert checkpoint.exists()
+    # Resume: everything is served from the checkpoint; a fresh pool
+    # sees no guests at all.
+    pool = TranslationPool()
+    resumed = comparison_json(sweep_comparisons(
+        workloads, batched=True, cache_dir=cache_dir,
+        checkpoint=checkpoint, pool=pool))
+    assert resumed == baseline_rows
+    assert pool.stats.guests == 0
+
+
+def test_batched_sweep_drain_abandons_unfinished_guests(tmp_path,
+                                                        workloads):
+    """A drain mid-batch raises DrainRequested; finished guests are
+    checkpointed, unfinished ones re-run on resume."""
+    checkpoint = tmp_path / "sweep.jsonl"
+    calls = {"n": 0}
+
+    def drain_after_two_quanta():
+        # The small kernels exit within one 256-block quantum, so two
+        # turns finish (and checkpoint) two guests before the drain
+        # abandons the remaining six.
+        calls["n"] += 1
+        return calls["n"] > 2
+
+    with pytest.raises(DrainRequested):
+        sweep_comparisons(workloads, batched=True, checkpoint=checkpoint,
+                          should_drain=drain_after_two_quanta)
+    assert checkpoint.exists()
+    # The drained sweep resumes to completion (and to the same rows).
+    resumed = comparison_json(sweep_comparisons(
+        workloads, batched=True, checkpoint=checkpoint))
+    assert resumed == comparison_json(sweep_comparisons(workloads))
+
+
+def test_pool_sharding_keys_on_program_policy_and_config():
+    atax = build_kernel_program(SMALL_SIZES["atax"]())
+    gemm = build_kernel_program(SMALL_SIZES["gemm"]())
+    pool = TranslationPool()
+    from repro.security.policy import MitigationPolicy
+    from repro.vliw.config import VliwConfig
+
+    base = pool.shard(atax, MitigationPolicy.UNSAFE, VliwConfig(), None)
+    assert pool.shard(atax, MitigationPolicy.UNSAFE, VliwConfig(),
+                      None) is base
+    # None and an explicit default engine config are the same class.
+    assert pool.shard(atax, MitigationPolicy.UNSAFE, VliwConfig(),
+                      DbtEngineConfig()) is base
+    # Any of program / policy / engine config changing splits the shard.
+    assert pool.shard(gemm, MitigationPolicy.UNSAFE, VliwConfig(),
+                      None) is not base
+    assert pool.shard(atax, MitigationPolicy.GHOSTBUSTERS, VliwConfig(),
+                      None) is not base
+    assert pool.shard(atax, MitigationPolicy.UNSAFE, VliwConfig(),
+                      DbtEngineConfig(chain=True)) is not base
+
+
+def test_superblock_key_separates_paths_and_kinds():
+    key = superblock_key(4, (4, 8), 12, "optimized")
+    assert key != superblock_key(4, (4, 8), 12, "reoptimized")
+    assert key != superblock_key(4, (4, 16), 12, "optimized")
+    assert key != superblock_key(4, (4, 8), None, "optimized")
+
+
+def test_pool_gated_off_under_observer_but_guest_counted():
+    """An observer disables artifact sharing for that guest (host-side
+    phase spans must match a solo run) while dbt.pool.guests still
+    counts it, so the gate is observable."""
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    pool = TranslationPool()
+    host = MultiGuestHost(pool=pool)
+    host.add_guest(program)  # seeds the pool
+    host.add_guest(program, observer=Observer())
+    host.run_all()
+    assert pool.stats.guests == 2
+    # Only the bare guest installed; the observed guest neither hit nor
+    # installed anything.
+    assert pool.stats.hits == 0
+    assert len(pool) == 1
+
+
+def test_pool_counters_publish_to_registry():
+    from repro.obs.registry import MetricsRegistry
+
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    pool = TranslationPool()
+    host = MultiGuestHost(pool=pool)
+    host.add_guest(program)
+    host.add_guest(program)
+    host.run_all()
+    registry = MetricsRegistry()
+    pool.publish(registry)
+    assert registry.get("dbt.pool.guests").value == 2
+    assert registry.get("dbt.pool.installs").value == pool.stats.installs
+    assert registry.get("dbt.pool.hits").value == pool.stats.hits
+    assert pool.stats.hits > 0
+
+
+def test_run_slice_quantum_and_tier_shutdown():
+    """run_slice stops at the quantum without exiting, finishes the
+    guest on a later slice, and shuts tier machinery down exactly once."""
+    program = build_kernel_program(SMALL_SIZES["atax"]())
+    system = DbtSystem(program)
+    assert system.run_slice(1) is False
+    assert system.blocks_executed >= 1
+    while not system.run_slice(512):
+        pass
+    assert system.exited
+    assert system._tiers_finished
+    system.finish_tiers()  # idempotent
+    solo = DbtSystem(program).run()
+    result = system.result()
+    assert result.cycles == solo.cycles
+    assert result.instructions == solo.instructions
+    assert dataclasses.asdict(result.engine) == dataclasses.asdict(solo.engine)
+
+
+def test_serve_execute_job_reuses_worker_pool():
+    """The serve fleet's warm workers pass a worker-lifetime pool into
+    execute_job: a repeated job stops re-translating and returns the
+    identical result."""
+    from repro.serve.jobs import execute_job
+
+    payload = {"kind": "sweep", "kernels": ["atax"],
+               "policies": ["unsafe", "ghostbusters"]}
+    pool = TranslationPool()
+    first = execute_job(dict(payload), pool=pool)
+    hits_after_first = pool.stats.hits
+    assert pool.stats.installs > 0
+    second = execute_job(dict(payload), pool=pool)
+    assert second == first
+    assert pool.stats.hits > hits_after_first
+    # And the pooled result matches the pool-less (cold) path.
+    assert execute_job(dict(payload)) == first

@@ -353,3 +353,158 @@ def test_checkpoint_key_matches_sweep_key(tmp_path, workloads):
     name, program = workloads[0]
     keys = {sweep_point_key(program, policy) for policy in POLICIES}
     assert set(checkpoint_load(path)) == keys
+
+
+# ---------------------------------------------------------------------------
+# Shared-cache write races: every concurrent store must publish through a
+# writer-unique, fsynced temp file.  Regression tests for the fixed-temp-
+# name races in _cache_store, compact_jsonl and PersistentCodegenCache
+# (two writers used to interleave into one temp file and rename a torn
+# record into place — or crash on the rename when the other writer's
+# os.replace consumed the shared temp first).
+# ---------------------------------------------------------------------------
+
+import multiprocessing
+
+#: Iterations per storm writer: enough overlapping write+rename windows
+#: that the old fixed-temp-name code reliably trips (torn publish or
+#: ENOENT on the shared temp) while the fixed code is race-free by
+#: construction, not by luck.
+_STORM_ITERATIONS = 60
+
+
+def _memo_storm_child(cache_dir, barrier, writer):
+    """Storm one memo-cache key; exit 1 on store/load crash, 2 on a
+    quarantined (torn) record."""
+    record = {"exit_code": 0, "cycles": writer, "instructions": writer,
+              "blocks_executed": writer, "rollbacks": 0,
+              "output": "", "pad": "x" * 400_000}
+    telemetry = RunnerTelemetry()
+    barrier.wait()
+    try:
+        for _ in range(_STORM_ITERATIONS):
+            parallel._cache_store(Path(cache_dir), "sharedkey", record)
+            parallel._cache_load(Path(cache_dir), "sharedkey", telemetry)
+    except BaseException:
+        os._exit(1)
+    if telemetry.quarantined_cache_files:
+        os._exit(2)
+    os._exit(0)
+
+
+def _compact_storm_child(path, barrier, writer):
+    """Storm one compaction target; exit 1 on a crash (shared-temp
+    rename race)."""
+    records = [{"key": "k%03d" % j,
+                "record": {"writer": writer, "pad": "y" * 2_000}}
+               for j in range(150)]
+    barrier.wait()
+    try:
+        for _ in range(_STORM_ITERATIONS):
+            parallel.compact_jsonl(path, records)
+    except BaseException:
+        os._exit(1)
+    os._exit(0)
+
+
+def _tcache_storm_child(tcache_dir, barrier, writer):
+    """Storm one persistent-codegen key; exit 2 when a reader observes a
+    torn (quarantined) envelope.  store() swallows OSError by contract,
+    so the quarantine check is the detector."""
+    from repro.dbt.translation_cache import PersistentCodegenCache
+
+    code = compile(repr(tuple(range(60_000 + writer))), "<storm>", "eval")
+    barrier.wait()
+    for _ in range(_STORM_ITERATIONS):
+        PersistentCodegenCache(tcache_dir).store("sharedkey", code,
+                                                 source_bytes=1)
+        reader = PersistentCodegenCache(tcache_dir)
+        reader.load("sharedkey")
+        if reader.quarantined:
+            os._exit(2)
+    os._exit(0)
+
+
+def _run_storm(target, args):
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(2)
+    children = [context.Process(target=target, args=args + (barrier, writer))
+                for writer in (1, 2)]
+    for child in children:
+        child.start()
+    for child in children:
+        child.join(timeout=120)
+    codes = [child.exitcode for child in children]
+    assert codes == [0, 0], (
+        "storm writers failed (1=crash, 2=torn record quarantined): %r"
+        % (codes,))
+
+
+def test_cache_store_two_process_collision(tmp_path):
+    """Two processes storing the same memo key concurrently never
+    publish a torn envelope and never crash on a shared temp file."""
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    _run_storm(_memo_storm_child, (str(cache_dir),))
+    # The surviving record is one writer's complete envelope, and
+    # nothing was quarantined along the way.
+    telemetry = RunnerTelemetry()
+    record = parallel._cache_load(cache_dir, "sharedkey", telemetry)
+    assert record is not None
+    assert telemetry.quarantined_cache_files == 0
+    quarantine = cache_dir / "quarantine"
+    assert not quarantine.exists() or not any(quarantine.iterdir())
+
+
+def test_compact_jsonl_concurrent_compaction(tmp_path):
+    """Two concurrent compactions of one checkpoint path leave exactly
+    one writer's complete record set — never an interleaved mix."""
+    path = tmp_path / "ckpt.jsonl"
+    _run_storm(_compact_storm_child, (str(path),))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 150
+    writers = {line["record"]["writer"] for line in lines}
+    assert len(writers) == 1, "compacted file mixes writers: %r" % writers
+    assert {line["key"] for line in lines} == {"k%03d" % j
+                                               for j in range(150)}
+    assert not list(tmp_path.glob("*.compact"))
+
+
+def test_tcache_store_two_process_collision(tmp_path):
+    """Two processes persisting the same codegen key concurrently never
+    publish a torn envelope (parallel sweep workers share --tcache-dir
+    by design)."""
+    from repro.dbt.translation_cache import PersistentCodegenCache
+
+    tcache_dir = tmp_path / "tcache"
+    _run_storm(_tcache_storm_child, (str(tcache_dir),))
+    reader = PersistentCodegenCache(tcache_dir)
+    assert reader.load("sharedkey") is not None
+    assert reader.quarantined == 0
+
+
+def test_atomic_writes_use_unique_fsynced_tmp(tmp_path, monkeypatch):
+    """Pin the mechanism: every publish goes through a pid+counter temp
+    name (no two calls share one) and fsyncs before os.replace."""
+    import repro.ioatomic as ioatomic
+
+    replaced = []
+    synced = []
+    real_replace = os.replace
+    monkeypatch.setattr(ioatomic.os, "replace",
+                        lambda src, dst: (replaced.append(str(src)),
+                                          real_replace(src, dst)))
+    monkeypatch.setattr(ioatomic.os, "fsync",
+                        lambda fd: synced.append(fd))
+
+    record = {"exit_code": 0, "cycles": 1, "instructions": 1,
+              "blocks_executed": 1, "rollbacks": 0, "output": ""}
+    parallel._cache_store(tmp_path, "key", record)
+    parallel._cache_store(tmp_path, "key", record)
+    parallel.compact_jsonl(tmp_path / "ckpt.jsonl", [{"key": "k"}])
+    assert len(replaced) == 3
+    assert len(set(replaced)) == 3, "temp names must be writer-unique"
+    pid_tag = ".%d." % os.getpid()
+    assert all(pid_tag in name and name.endswith(".tmp")
+               for name in replaced)
+    assert len(synced) == 3, "every publish must fsync before replace"

@@ -337,3 +337,38 @@ def test_result_json_round_trips(daemon):
         daemon.submit({"kind": "run", "kernel": "atax",
                        "policy": "unsafe"}), timeout=120)
     assert record.result == json.loads(json.dumps(record.result))
+
+
+def test_orphaned_workers_exit_when_daemon_fds_close():
+    """A SIGKILLed daemon must not orphan its warm workers.  Under the
+    fork context every later worker inherits the daemon's pipe ends to
+    the earlier ones; unless each child closes those inherited ends,
+    the siblings keep each other's pipes open and no worker ever sees
+    EOF after the daemon dies — they heartbeat forever (each tier-1 run
+    used to leak two such orphans via the daemon-SIGKILL smoke test).
+    Closing every daemon-side conn emulates the fd closure the kernel
+    performs on daemon death; both workers must then exit on their own.
+    """
+    import time
+
+    from repro.serve.fleet import WorkerFleet
+
+    fleet = WorkerFleet(size=2, heartbeat_interval=0.1)
+    fleet.start()
+    try:
+        deadline = time.monotonic() + 30.0
+        while (any(not handle.ready for handle in fleet.workers)
+               and time.monotonic() < deadline):
+            fleet.poll(timeout=0.1)
+        assert all(handle.ready for handle in fleet.workers)
+        processes = [handle.process for handle in fleet.workers]
+        for handle in fleet.workers:
+            handle.conn.close()
+        for process in processes:
+            process.join(10.0)
+        assert all(not process.is_alive() for process in processes), (
+            "workers outlived the daemon-side pipe closure")
+    finally:
+        for handle in list(fleet.workers):
+            WorkerFleet._kill_process(handle)
+        fleet.workers = []
