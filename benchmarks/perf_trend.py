@@ -76,6 +76,33 @@ def flatten_metrics(report):
     if profiler:
         metrics["profiler.overhead"] = (profiler["overhead_percent"], "%")
 
+    batched = report.get("batched_sweep", {})
+    for phase in ("per_point_cold", "batched_cold", "batched_warm"):
+        key = "%s_wall_seconds" % phase
+        if key in batched:
+            metrics["batched.%s.wall" % phase] = (batched[key], "s")
+    if batched.get("warm_ratio") is not None:
+        metrics["batched.warm_ratio"] = (batched["warm_ratio"], "x")
+
+    timing = report.get("timing_model", {})
+    timing_e1 = timing.get("e1_matrix", {})
+    for engine in ("scalar", "vector"):
+        key = "%s_batched_wall_seconds" % engine
+        if key in timing_e1:
+            metrics["timing.e1.%s.wall" % engine] = (timing_e1[key], "s")
+    if timing_e1.get("vector_speedup") is not None:
+        metrics["timing.e1.vector_speedup"] = (
+            timing_e1["vector_speedup"], "x")
+    micro = timing.get("cache_microbench", {})
+    for engine in ("scalar", "vector"):
+        key = "%s_ops_per_second" % engine
+        if key in micro:
+            metrics["timing.microbench.%s.ops" % engine] = (
+                micro[key], "ops/s")
+    if micro.get("vector_speedup") is not None:
+        metrics["timing.microbench.vector_speedup"] = (
+            micro["vector_speedup"], "x")
+
     return metrics
 
 

@@ -53,7 +53,10 @@ FULL_SECRET = b"GHOST"
 #: and the ``auto`` kernel rows (profile-driven tier placement).
 #: /5: adds the ``batched_sweep`` section (multi-guest execution over a
 #: shared translation pool vs the per-point cold path).
-SCHEMA = "repro.bench_host/5"
+#: /6: adds the ``timing_model`` section (vectorized lane-batched cache
+#: engine vs the scalar model: batched E1 matrix walls + a raw cache
+#: microbench; records must stay byte-identical).
+SCHEMA = "repro.bench_host/6"
 
 
 @contextmanager
@@ -375,6 +378,129 @@ def measure_batched_sweep(kernels: Sequence[str], repeats: int = 2) -> dict:
     }
 
 
+def measure_timing_model(secret: bytes, programs=None,
+                         repeats: int = 3,
+                         microbench_ops: int = 20000) -> dict:
+    """Vectorized lane-batched cache timing engine vs the scalar model.
+
+    Two comparisons, both over work the engine actually batches:
+
+    * ``e1_matrix`` — the full E1 grid (2 PoCs × every policy) co-hosted
+      as guests of one :class:`~repro.platform.multiguest.MultiGuestHost`
+      over a pre-warmed translation pool, once per timing engine,
+      best-of-``repeats`` each.  The warm pool isolates the cache-timing
+      difference from translation work — this is the serve fleet's
+      steady state, where batched jobs default to the vector engine.
+      ``records_identical`` confirms per-guest observables (cycles,
+      instructions, output, cache stats) matched across engines — the
+      cheap in-report echo of the lane-differential test gate;
+    * ``cache_microbench`` — the raw models head-to-head on one
+      deterministic mixed-size address stream per lane (8 lanes), no
+      simulator around them: scalar ``SetAssociativeCache`` instances
+      vs ``LaneView`` lanes drained through the vector engine.
+
+    ``benchmarks/bench_host_perf.py`` gates the E1 comparison: the
+    vector engine must not lose to the scalar engine on the batch it
+    exists to accelerate.
+    """
+    from .mem.cache import CacheConfig, SetAssociativeCache
+    from .mem.vector import LaneCacheModel
+    from .platform.multiguest import MultiGuestHost
+
+    if programs is None:
+        programs = {variant: build_attack_program(variant, secret)
+                    for variant in AttackVariant}
+    pool = TranslationPool()
+
+    def _batch(timing: str):
+        host = MultiGuestHost(pool=pool, timing=timing)
+        for policy in ALL_POLICIES:
+            for variant in AttackVariant:
+                host.add_guest(programs[variant], policy=policy,
+                               interpreter="compiled")
+        with _gc_paused():
+            start = time.perf_counter()
+            results = host.run_all()
+            wall = time.perf_counter() - start
+        records = [(result.cycles, result.instructions, result.output,
+                    result.cache.hits, result.cache.misses,
+                    result.cache.evictions, result.cache.flushes)
+                   for result in results]
+        return wall, records
+
+    _batch("scalar")  # warm the pool outside the timed region
+    walls = {"scalar": [], "vector": []}
+    records = {}
+    identical = True
+    for _ in range(max(1, repeats)):
+        for timing in ("scalar", "vector"):
+            wall, recs = _batch(timing)
+            walls[timing].append(wall)
+            if timing in records:
+                identical = identical and recs == records[timing]
+            records[timing] = recs
+    identical = identical and records["scalar"] == records["vector"]
+    scalar_wall = min(walls["scalar"])
+    vector_wall = min(walls["vector"])
+
+    # Raw model microbench: one deterministic stream, replayed per lane.
+    lanes = 8
+    config = CacheConfig()
+    seed = 0x2545F491
+    stream = []
+    for _ in range(microbench_ops):
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        stream.append(((seed >> 7) & 0x3FFFF, (1, 2, 4, 8, 33)[seed % 5]))
+
+    with _gc_paused():
+        start = time.perf_counter()
+        scalars = [SetAssociativeCache(config) for _ in range(lanes)]
+        for cache in scalars:
+            access = cache.access
+            for address, size in stream:
+                access(address, size)
+        scalar_micro = time.perf_counter() - start
+        start = time.perf_counter()
+        model = LaneCacheModel(config)
+        views = [model.add_lane() for _ in range(lanes)]
+        for view in views:
+            access = view.access
+            for address, size in stream:
+                access(address, size)
+        model.drain()
+        vector_micro = time.perf_counter() - start
+    micro_identical = all(
+        (view.stats.hits, view.stats.misses, view.stats.evictions)
+        == (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+        for view, cache in zip(views, scalars))
+    ops = lanes * microbench_ops
+    return {
+        "e1_matrix": {
+            "repeats": repeats,
+            "guests": len(ALL_POLICIES) * len(AttackVariant),
+            "scalar_batched_wall_seconds": round(scalar_wall, 4),
+            "vector_batched_wall_seconds": round(vector_wall, 4),
+            "vector_speedup": (round(scalar_wall / vector_wall, 3)
+                               if vector_wall else None),
+            "records_identical": identical,
+            "lane": dict(sorted(pool.lane_counters.items())),
+        },
+        "cache_microbench": {
+            "lanes": lanes,
+            "ops_per_lane": microbench_ops,
+            "scalar_wall_seconds": round(scalar_micro, 4),
+            "vector_wall_seconds": round(vector_micro, 4),
+            "scalar_ops_per_second":
+                round(ops / scalar_micro) if scalar_micro else 0,
+            "vector_ops_per_second":
+                round(ops / vector_micro) if vector_micro else 0,
+            "vector_speedup": (round(scalar_micro / vector_micro, 3)
+                               if vector_micro else None),
+            "stats_identical": micro_identical,
+        },
+    }
+
+
 def run_bench_host(quick: bool = False,
                    secret: Optional[bytes] = None,
                    kernels: Sequence[str] = DEFAULT_KERNELS,
@@ -472,6 +598,10 @@ def run_bench_host(quick: bool = False,
 
         report["batched_sweep"] = measure_batched_sweep(
             list(kernels), repeats=1 if quick else 3)
+
+        report["timing_model"] = measure_timing_model(
+            secret, programs=programs, repeats=1 if quick else 5,
+            microbench_ops=4000 if quick else 20000)
     finally:
         if tcache_ctx is not None:
             tcache_ctx.cleanup()
@@ -578,6 +708,21 @@ def format_report(report: dict) -> str:
                 batched["warm_ratio"],
                 "identical" if batched["rows_identical"] else "DIVERGED",
                 batched["pool"]["hits"]))
+    timing = report.get("timing_model")
+    if timing:
+        e1_row = timing["e1_matrix"]
+        micro = timing["cache_microbench"]
+        lines.append(
+            "timing model     : E1 scalar batched %.2fs -> vector %.2fs "
+            "(%.2fx, records %s); cache microbench %s -> %s ops/s "
+            "(%.2fx)" % (
+                e1_row["scalar_batched_wall_seconds"],
+                e1_row["vector_batched_wall_seconds"],
+                e1_row["vector_speedup"] or 0.0,
+                "identical" if e1_row["records_identical"] else "DIVERGED",
+                "{:,}".format(micro["scalar_ops_per_second"]),
+                "{:,}".format(micro["vector_ops_per_second"]),
+                micro["vector_speedup"] or 0.0))
     return "\n".join(lines)
 
 

@@ -432,6 +432,11 @@ def cmd_sweep(args) -> int:
             print("sweep --batched runs in one process; ignoring "
                   "--jobs %d" % args.jobs, file=sys.stderr)
         pool = TranslationPool()
+    elif args.timing != "scalar":
+        print("sweep --timing %s needs --batched (co-hosted guests); "
+              "running scalar" % args.timing, file=sys.stderr)
+    if args.quantum is not None and not args.batched:
+        print("sweep --quantum needs --batched; ignoring", file=sys.stderr)
     try:
         try:
             comparisons = sweep_comparisons(
@@ -445,6 +450,8 @@ def cmd_sweep(args) -> int:
                 point_telemetry=point_telemetry,
                 should_drain=drain.is_set,
                 batched=args.batched, pool=pool,
+                timing=args.timing if args.batched else "scalar",
+                quantum=args.quantum if args.batched else None,
             )
         except DrainRequested as request:
             print("sweep drained on SIGTERM: %s" % request, file=sys.stderr)
@@ -960,6 +967,16 @@ def build_parser() -> argparse.ArgumentParser:
              "a translation pool instead of fanning out worker "
              "processes; rows are byte-identical to the unbatched "
              "sweep (--jobs/--timeout/--retries are ignored)")
+    sweep_parser.add_argument(
+        "--timing", choices=("scalar", "vector"), default="scalar",
+        help="cache timing engine for --batched guests: 'vector' "
+             "stacks co-hosted guests' cache state into numpy lanes "
+             "and drains their access logs between quanta; rows stay "
+             "byte-identical to scalar (default: %(default)s)")
+    sweep_parser.add_argument(
+        "--quantum", type=int, default=None, metavar="N",
+        help="blocks each --batched guest runs per round-robin turn; "
+             "changes interleaving only, never results (default: 256)")
     add_engine(sweep_parser)
     add_interpreter(sweep_parser)
     add_telemetry(sweep_parser)

@@ -146,6 +146,12 @@ class TranslationPool:
     def __init__(self) -> None:
         self._shards: Dict[str, PoolShard] = {}
         self.stats = PoolStats()
+        #: ``mem.cache.lane.*`` counters accumulated from every
+        #: multi-guest host that ran its guests on the vectorized
+        #: timing engine over this pool (the lane groups themselves are
+        #: per host — lanes hold per-guest state and must not outlive
+        #: their batch; only the accounting is pooled here).
+        self.lane_counters: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._shards)
@@ -179,6 +185,16 @@ class TranslationPool:
             "dbt.pool.hits",
             help="guest translations served from the shared pool",
         ).inc(self.stats.hits)
+        for name, value in sorted(self.lane_counters.items()):
+            registry.counter(
+                name,
+                help="vectorized lane-batched cache timing engine",
+            ).inc(value)
+
+    def merge_lane_counters(self, counters: Dict[str, int]) -> None:
+        """Fold one host's lane-engine counters into the pool totals."""
+        for name, value in counters.items():
+            self.lane_counters[name] = self.lane_counters.get(name, 0) + value
 
     @staticmethod
     def _shard_key(program: Program, policy, vliw_config: VliwConfig,

@@ -7,11 +7,17 @@ guest can observe residency through timed probe loads (``rdcycle``).
 
 from .cache import CacheConfig, CacheStats, SetAssociativeCache
 from .hierarchy import AccessResult, DataMemorySystem
+from .vector import (LaneCacheModel, LaneGroupRegistry, LaneView,
+                     VectorReplay)
 
 __all__ = [
     "AccessResult",
     "CacheConfig",
     "CacheStats",
     "DataMemorySystem",
+    "LaneCacheModel",
+    "LaneGroupRegistry",
+    "LaneView",
     "SetAssociativeCache",
+    "VectorReplay",
 ]

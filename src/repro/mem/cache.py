@@ -106,6 +106,7 @@ class SetAssociativeCache:
         self._hit_latency = self.config.hit_latency
         self._miss_latency = self.config.miss_latency
         self._is_lru = self.config.replacement == "lru"
+        self._is_random = self.config.replacement == "random"
 
     # ------------------------------------------------------------------
     # Address decomposition.
@@ -164,7 +165,7 @@ class SetAssociativeCache:
 
     def _victim_position(self, occupancy: int) -> int:
         """Index of the way to evict under the configured policy."""
-        if self.config.replacement == "random":
+        if self._is_random:
             self._lcg_state = (self._lcg_state * 1103515245 + 12345) & 0x7FFFFFFF
             return self._lcg_state % occupancy
         return 0  # LRU and FIFO both evict the list head
@@ -201,8 +202,8 @@ class SetAssociativeCache:
         lines = []
         for index, ways in enumerate(self._sets):
             for tag in ways:
-                line_number = tag * self.config.num_sets + index
-                lines.append(line_number * self.config.line_size)
+                line_number = tag * self._num_sets + index
+                lines.append(line_number * self._line_size)
         return sorted(lines)
 
     def occupancy(self) -> int:

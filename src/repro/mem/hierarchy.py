@@ -33,9 +33,16 @@ class DataMemorySystem:
         self,
         memory: Optional[Memory] = None,
         cache_config: Optional[CacheConfig] = None,
+        cache=None,
     ):
         self.memory = memory if memory is not None else Memory()
-        self.cache = SetAssociativeCache(cache_config)
+        #: ``cache`` may carry a pre-built timing model — a
+        #: :class:`~repro.mem.vector.LaneView` lane of a multi-guest
+        #: vector engine — exposing the exact
+        #: :class:`SetAssociativeCache` interface; the default stays
+        #: the scalar model.
+        self.cache = cache if cache is not None \
+            else SetAssociativeCache(cache_config)
         self._flush_latency = self.cache.config.hit_latency
 
     # ------------------------------------------------------------------

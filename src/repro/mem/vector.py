@@ -1,0 +1,725 @@
+"""Vectorized lane-batched cache timing engine for co-hosted guests.
+
+:class:`LaneCacheModel` stacks the tag/recency state of every
+co-resident guest that shares one :class:`~repro.mem.cache.CacheConfig`
+geometry into numpy lane arrays — ``tags[lane, set, way]``, a matching
+recency/insertion-rank matrix, and an LCG state vector for the
+``random`` policy — and gives each guest a :class:`LaneView` exposing
+the exact :class:`~repro.mem.cache.SetAssociativeCache` interface, so
+the pipeline hot paths run unchanged.
+
+Two constraints shape the design (see ``docs/PERFORMANCE.md`` §9):
+
+* **Load latencies are architecturally visible mid-quantum.**  A load's
+  hit/miss latency feeds the scoreboard, the scoreboard feeds the
+  cycle counter, and the guest branches on ``rdcycle`` — that is the
+  whole flush+reload channel.  Cache *state* therefore cannot be
+  replayed after the fact; each :class:`LaneView` answers accesses
+  synchronously against its own lane state (the same list
+  representation the scalar model uses, which is also the fastest
+  per-access representation CPython has).
+
+* **Stats and observables are only read at drain boundaries.**  Every
+  access appends one packed record (address, size, kind, outcome — the
+  address/size fields only under the verify replay, their one consumer)
+  to a flat per-guest access log instead of bumping counters; the
+  multi-guest quantum loop drains all lanes between turns through the
+  vector engine — a single vectorized set-index/tag decomposition and
+  ``bincount``-style reduction per lane, with an optional lockstep
+  numpy replay (:class:`VectorReplay`, enabled by
+  ``REPRO_LANE_VERIFY=1``) that re-derives every outcome from the
+  logged touches and raises on any divergence.
+
+Bit-identity per guest against a scalar solo run — every stat, every
+per-access latency, every ``probe()``/``resident_lines()`` observable,
+eviction order under the ``random`` LCG included — is gated by
+``tests/mem/test_vector_differential.py`` and the lane-differential
+legs of ``tests/platform/test_fastpath_differential.py``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cache import CacheConfig, CacheStats
+
+__all__ = [
+    "LaneCacheModel",
+    "LaneGroupRegistry",
+    "LaneView",
+    "VectorReplay",
+    "OP_ACCESS",
+    "OP_FLUSH",
+    "OP_FLUSH_ALL",
+]
+
+#: Op kinds in the packed access log (bits 1-2 of each record).
+OP_ACCESS = 0
+OP_FLUSH = 1
+OP_FLUSH_ALL = 2
+
+#: Packed log record layout (one signed 64-bit word per event):
+#:   bit  0     : access hit / flushed line was resident
+#:   bits 1-2   : op kind (OP_*)
+#:   bits 3-7   : lines evicted by this access (0 for flushes)
+#:   bits 8-15  : access size in bytes (max(size, 1), capped at 255)
+#:   bits 16-62 : guest address
+#:
+#: The drain consumes only the low byte (kind, hit, eviction count);
+#: the address/size fields exist for the lockstep replay cross-check
+#: and are populated only under ``REPRO_LANE_VERIFY`` — on the fast
+#: path every record stays below 2**8, so the ints CPython appends to
+#: the log are interned rather than allocated per access.
+_KIND_SHIFT = 1
+_EVICT_SHIFT = 3
+_SIZE_SHIFT = 8
+_ADDR_SHIFT = 16
+
+#: Pre-shifted kind markers for the hot-path log appends.
+_FLUSH_RECORD = OP_FLUSH << _KIND_SHIFT
+_FLUSH_ALL_RECORD = OP_FLUSH_ALL << _KIND_SHIFT
+
+#: The scalar model's deterministic LCG (see ``SetAssociativeCache``).
+_LCG_SEED = 0x2545F491
+_LCG_MUL = 1103515245
+_LCG_ADD = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+
+class LaneView:
+    """One guest's lane: the full ``SetAssociativeCache`` interface.
+
+    State updates are synchronous (load latencies are observable through
+    ``rdcycle`` before the quantum ends); stats accounting is deferred
+    into the packed log and materialized by :meth:`LaneCacheModel.drain`
+    — reading :attr:`stats` forces a drain, so every observable is
+    always current when looked at.
+
+    A one-entry memo short-circuits re-touches of the most recently
+    accessed line: under every replacement policy a repeat touch of the
+    line that is already most-recent is a hit with no state change (LRU
+    moves it to the position it already occupies; FIFO and random do not
+    reorder on hit), so the memo answers without list traffic and
+    without a log record — those hits are tallied separately and folded
+    in at drain time.
+    """
+
+    __slots__ = (
+        "config", "model", "lane", "_stats", "_sets", "_lcg_state",
+        "_line_size", "_line_mask", "_num_sets", "_assoc",
+        "_hit_latency", "_miss_latency", "_is_lru", "_is_random",
+        "_log", "_log_append", "_memo_line", "_memo_hits", "_verify",
+    )
+
+    def __init__(self, model: "LaneCacheModel", lane: int):
+        config = model.config
+        self.config = config
+        self.model = model
+        self.lane = lane
+        self._stats = CacheStats()
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self._lcg_state = _LCG_SEED
+        self._line_size = config.line_size
+        self._line_mask = ~(config.line_size - 1)
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._hit_latency = config.hit_latency
+        self._miss_latency = config.miss_latency
+        self._is_lru = config.replacement == "lru"
+        self._is_random = config.replacement == "random"
+        self._log = array("q")
+        self._log_append = self._log.append
+        self._memo_line = -1
+        self._memo_hits = 0
+        self._verify = model.verify
+
+    # ------------------------------------------------------------------
+    # Timed accesses (the pipeline hot path).
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, size: int = 1) -> Tuple[bool, int]:
+        """Access ``size`` bytes at ``address`` — scalar-identical
+        ``(hit, latency_cycles)``, state updated in place.
+
+        The body is the single-line case, written flat: it is the
+        overwhelmingly common shape (every timed load/store crosses a
+        line only when it genuinely straddles one), so the span loop
+        lives in :meth:`_access_span` and this path pays no loop
+        bookkeeping.  A hit of the line that is already most-recent
+        skips the LRU list surgery too — remove+append of the tail
+        element is a no-op under every policy.
+        """
+        first_line = address & self._line_mask
+        if size > 1:
+            last_line = (address + size - 1) & self._line_mask
+            if last_line != first_line:
+                return self._access_span(address, size, first_line,
+                                         last_line)
+        if first_line == self._memo_line:
+            self._memo_hits += 1
+            return True, self._hit_latency
+        number = first_line // self._line_size
+        ways = self._sets[number % self._num_sets]
+        tag = number // self._num_sets
+        if tag in ways:
+            if self._is_lru and ways[-1] != tag:
+                ways.remove(tag)
+                ways.append(tag)
+            self._memo_line = first_line
+            if self._verify:
+                self._log_append((address << _ADDR_SHIFT)
+                                 | (1 << _SIZE_SHIFT) | 1)
+            else:
+                self._log_append(1)
+            return True, self._hit_latency
+        evicted = 0
+        if len(ways) >= self._assoc:
+            if self._is_random:
+                state = (self._lcg_state * _LCG_MUL + _LCG_ADD) & _LCG_MASK
+                self._lcg_state = state
+                ways.pop(state % len(ways))
+            else:
+                ways.pop(0)
+            evicted = 1
+        ways.append(tag)
+        self._memo_line = first_line
+        if self._verify:
+            self._log_append((address << _ADDR_SHIFT) | (1 << _SIZE_SHIFT)
+                             | (evicted << _EVICT_SHIFT))
+        else:
+            self._log_append(evicted << _EVICT_SHIFT)
+        return False, self._miss_latency
+
+    def _access_span(self, address: int, size: int, first_line: int,
+                     last_line: int) -> Tuple[bool, int]:
+        """The line-straddling tail of :meth:`access`."""
+        line_size = self._line_size
+        num_sets = self._num_sets
+        hit = True
+        evicted = 0
+        line = first_line
+        while True:
+            number = line // line_size
+            ways = self._sets[number % num_sets]
+            tag = number // num_sets
+            if tag in ways:
+                if self._is_lru:
+                    ways.remove(tag)
+                    ways.append(tag)
+            else:
+                hit = False
+                if len(ways) >= self._assoc:
+                    if self._is_random:
+                        state = (self._lcg_state * _LCG_MUL
+                                 + _LCG_ADD) & _LCG_MASK
+                        self._lcg_state = state
+                        ways.pop(state % len(ways))
+                    else:
+                        ways.pop(0)
+                    evicted += 1
+                ways.append(tag)
+            if line == last_line:
+                break
+            line += line_size
+        self._memo_line = last_line
+        if self._verify:
+            self._log_append(
+                (address << _ADDR_SHIFT)
+                | (size << _SIZE_SHIFT)
+                | (evicted << _EVICT_SHIFT)
+                | hit
+            )
+        else:
+            self._log_append((evicted << _EVICT_SHIFT) | hit)
+        if hit:
+            return True, self._hit_latency
+        return False, self._miss_latency
+
+    def flush_line(self, address: int) -> bool:
+        """Guest ``cflush``: invalidate the line; returns residency."""
+        line_base = address & self._line_mask
+        number = line_base // self._line_size
+        ways = self._sets[number % self._num_sets]
+        tag = number // self._num_sets
+        if line_base == self._memo_line:
+            self._memo_line = -1
+        resident = tag in ways
+        if resident:
+            ways.remove(tag)
+        if self._verify:
+            self._log_append((address << _ADDR_SHIFT)
+                             | _FLUSH_RECORD | resident)
+        else:
+            self._log_append(_FLUSH_RECORD | resident)
+        return resident
+
+    def flush_all(self) -> None:
+        """Invalidate every line (no stats, matching the scalar model)."""
+        for ways in self._sets:
+            ways.clear()
+        self._memo_line = -1
+        self._log_append(_FLUSH_ALL_RECORD)
+
+    # ------------------------------------------------------------------
+    # Observers — scalar-identical, no drain needed for pure state.
+    # ------------------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address & self._line_mask
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self._line_size
+        return line % self._num_sets, line // self._num_sets
+
+    def probe(self, address: int) -> bool:
+        index, tag = self._index_tag(address & self._line_mask)
+        return tag in self._sets[index]
+
+    def resident_lines(self) -> List[int]:
+        lines = []
+        for index, ways in enumerate(self._sets):
+            for tag in ways:
+                line_number = tag * self._num_sets + index
+                lines.append(line_number * self._line_size)
+        return sorted(lines)
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters — reading forces a drain, so they are always
+        current even though the hot path defers all accounting."""
+        self.model.drain_lane(self)
+        return self._stats
+
+    def drain(self) -> None:
+        """Materialize deferred stats from this lane's log."""
+        self.model.drain_lane(self)
+
+
+class LaneCacheModel:
+    """Lane-stacked cache state for guests sharing one geometry.
+
+    One lane per guest; lanes never interact (cache state is strictly
+    per guest), so stacking is purely a batching device: the drain
+    reduces all lanes' deferred logs in one numpy pass per lane, and
+    the exported ``tags``/``recency``/``lcg`` arrays give tests and
+    diagnostics a single lane-major view of every co-resident guest.
+    """
+
+    def __init__(self, config: Optional[CacheConfig] = None,
+                 verify: bool = False):
+        self.config = config or CacheConfig()
+        self.lanes: List[LaneView] = []
+        #: Aggregate drain accounting (exported as mem.cache.lane.*).
+        self.drains = 0
+        self.drained_entries = 0
+        self.memo_hits = 0
+        #: Optional lockstep replay cross-check (REPRO_LANE_VERIFY=1):
+        #: every drained log is re-derived by :class:`VectorReplay` and
+        #: compared outcome-by-outcome.
+        self.verify = verify
+        self._replay: Optional[VectorReplay] = None
+
+    # ------------------------------------------------------------------
+    # Lane management.
+    # ------------------------------------------------------------------
+
+    def add_lane(self) -> LaneView:
+        lane = LaneView(self, len(self.lanes))
+        self.lanes.append(lane)
+        if self.verify:
+            if self._replay is None:
+                self._replay = VectorReplay(self.config, 0)
+            self._replay.add_lane()
+        return lane
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    # ------------------------------------------------------------------
+    # Per-lane convenience API (mirrors SetAssociativeCache; used by the
+    # differential suites to drive lanes without going through a view).
+    # ------------------------------------------------------------------
+
+    def access(self, lane: int, address: int,
+               size: int = 1) -> Tuple[bool, int]:
+        return self.lanes[lane].access(address, size)
+
+    def flush_line(self, lane: int, address: int) -> bool:
+        return self.lanes[lane].flush_line(address)
+
+    def flush_all(self, lane: int) -> None:
+        self.lanes[lane].flush_all()
+
+    def probe(self, lane: int, address: int) -> bool:
+        return self.lanes[lane].probe(address)
+
+    def resident_lines(self, lane: int) -> List[int]:
+        return self.lanes[lane].resident_lines()
+
+    def occupancy(self, lane: int) -> int:
+        return self.lanes[lane].occupancy()
+
+    def stats(self, lane: int) -> CacheStats:
+        return self.lanes[lane].stats
+
+    # ------------------------------------------------------------------
+    # Lane-stacked numpy exports.
+    # ------------------------------------------------------------------
+
+    def tags_array(self) -> np.ndarray:
+        """``tags[lane, set, way]`` — resident tags in list order
+        (way 0 = next LRU/FIFO victim), ``-1`` marks an empty way."""
+        config = self.config
+        out = np.full((len(self.lanes), config.num_sets,
+                       config.associativity), -1, dtype=np.int64)
+        for index, lane in enumerate(self.lanes):
+            for set_index, ways in enumerate(lane._sets):
+                if ways:
+                    out[index, set_index, :len(ways)] = ways
+        return out
+
+    def recency_array(self) -> np.ndarray:
+        """``recency[lane, set, way]`` — the way's recency/insertion
+        rank (0 = next victim under LRU/FIFO), ``-1`` where empty."""
+        tags = self.tags_array()
+        ranks = np.broadcast_to(
+            np.arange(tags.shape[2], dtype=np.int64), tags.shape).copy()
+        ranks[tags < 0] = -1
+        return ranks
+
+    def lcg_array(self) -> np.ndarray:
+        """Per-lane deterministic LCG state (``random`` policy)."""
+        return np.array([lane._lcg_state for lane in self.lanes],
+                        dtype=np.int64)
+
+    def stats_array(self) -> np.ndarray:
+        """``stats[lane] = (hits, misses, evictions, flushes)``."""
+        self.drain()
+        out = np.zeros((len(self.lanes), 4), dtype=np.int64)
+        for index, lane in enumerate(self.lanes):
+            stats = lane._stats
+            out[index] = (stats.hits, stats.misses,
+                          stats.evictions, stats.flushes)
+        return out
+
+    # ------------------------------------------------------------------
+    # The drain: deferred logs -> stats, in one numpy pass per lane.
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Drain every lane's deferred log (the quantum boundary)."""
+        for lane in self.lanes:
+            self.drain_lane(lane)
+
+    def drain_lane(self, lane: LaneView) -> None:
+        log = lane._log
+        if not log and not lane._memo_hits:
+            return
+        stats = lane._stats
+        if log:
+            records = np.frombuffer(log, dtype=np.int64)
+            kinds = (records >> _KIND_SHIFT) & 3
+            hit_bits = records & 1
+            accesses = kinds == OP_ACCESS
+            hits = int(hit_bits[accesses].sum())
+            stats.hits += hits
+            stats.misses += int(accesses.sum()) - hits
+            stats.evictions += int(((records >> _EVICT_SHIFT) & 31).sum())
+            stats.flushes += int((kinds == OP_FLUSH).sum())
+            self.drained_entries += int(records.size)
+            if self.verify:
+                self._verify_lane(lane.lane, records, kinds)
+            lane._log = array("q")
+            lane._log_append = lane._log.append
+        stats.hits += lane._memo_hits
+        self.memo_hits += lane._memo_hits
+        lane._memo_hits = 0
+        self.drains += 1
+
+    def _verify_lane(self, index: int, records: np.ndarray,
+                     kinds: np.ndarray) -> None:
+        """Cross-check a drained log against the lockstep replay."""
+        addresses = records >> _ADDR_SHIFT
+        sizes = (records >> _SIZE_SHIFT) & 255
+        outcome = self._replay.run({index: (kinds, addresses, sizes)})
+        expected = records & 1
+        got = outcome[index]["hits"]
+        if not np.array_equal(got, expected):
+            where = int(np.argmax(got != expected))
+            raise AssertionError(
+                "lane %d replay divergence at log entry %d: "
+                "replay=%d logged=%d (address %#x)"
+                % (index, where, int(got[where]), int(expected[where]),
+                   int(addresses[where])))
+        evictions = (records >> _EVICT_SHIFT) & 31
+        if not np.array_equal(outcome[index]["evictions"], evictions):
+            raise AssertionError(
+                "lane %d replay eviction-count divergence" % index)
+
+
+class VectorReplay:
+    """Lockstep numpy replay of per-lane op streams.
+
+    The state lives entirely in lane-stacked arrays — ``tags[lane, set,
+    way]`` in list order (way 0 = next LRU/FIFO victim), an occupancy
+    matrix, and the LCG state vector — and :meth:`run` replays one op
+    stream per lane *in lockstep*: step ``t`` applies touch ``t`` of
+    every lane still holding ops, with each update category (flush,
+    LRU move-to-front, fill, evict) resolved by one fancy-indexed
+    gather/scatter across all lanes in that category.  Per-op streams
+    are first expanded to per-touch streams with a vectorized
+    set-index/tag decomposition (line-spanning accesses become one
+    touch per line, exactly like the scalar model's ``_touch`` loop).
+
+    Lanes never interact — the lockstep is purely a batching device —
+    so each lane's outcome sequence is bit-identical to an independent
+    :class:`~repro.mem.cache.SetAssociativeCache` replaying the same
+    stream (the seeded fuzz suite gates this, eviction order under the
+    ``random`` LCG included).
+    """
+
+    def __init__(self, config: Optional[CacheConfig] = None,
+                 lanes: int = 0):
+        self.config = config or CacheConfig()
+        self._num_sets = self.config.num_sets
+        self._assoc = self.config.associativity
+        self._line_size = self.config.line_size
+        self._is_lru = self.config.replacement == "lru"
+        self._is_random = self.config.replacement == "random"
+        shape = (lanes, self._num_sets, self._assoc)
+        self.tags = np.full(shape, -1, dtype=np.int64)
+        self.occ = np.zeros(shape[:2], dtype=np.int64)
+        self.lcg = np.full(lanes, _LCG_SEED, dtype=np.int64)
+        #: ``stats[lane] = (hits, misses, evictions, flushes)``.
+        self.stats = np.zeros((lanes, 4), dtype=np.int64)
+
+    @property
+    def lanes(self) -> int:
+        return self.tags.shape[0]
+
+    def add_lane(self) -> int:
+        """Append one empty lane; returns its index."""
+        self.tags = np.concatenate(
+            [self.tags, np.full((1, self._num_sets, self._assoc), -1,
+                                dtype=np.int64)])
+        self.occ = np.concatenate(
+            [self.occ, np.zeros((1, self._num_sets), dtype=np.int64)])
+        self.lcg = np.concatenate(
+            [self.lcg, np.full(1, _LCG_SEED, dtype=np.int64)])
+        self.stats = np.concatenate(
+            [self.stats, np.zeros((1, 4), dtype=np.int64)])
+        return self.lanes - 1
+
+    # ------------------------------------------------------------------
+    # Decomposition.
+    # ------------------------------------------------------------------
+
+    def decompose(self, kinds, addresses, sizes):
+        """Vectorized per-touch expansion of one lane's op stream.
+
+        Returns ``(op_of_touch, op_starts, t_set, t_tag, t_kind)``:
+        line-spanning accesses expand to one touch per line in
+        ascending line order; flushes and flush-alls stay single
+        touches.
+        """
+        kinds = np.asarray(kinds, dtype=np.int64)
+        addresses = np.asarray(addresses, dtype=np.int64)
+        sizes = np.maximum(np.asarray(sizes, dtype=np.int64), 1)
+        first = addresses // self._line_size
+        last = (addresses + sizes - 1) // self._line_size
+        spans = np.where(kinds == OP_ACCESS, last - first + 1, 1)
+        op_starts = np.cumsum(spans) - spans
+        total = int(spans.sum())
+        op_of_touch = np.repeat(np.arange(kinds.size), spans)
+        offsets = np.arange(total) - np.repeat(op_starts, spans)
+        t_line = np.repeat(first, spans) + offsets
+        return (op_of_touch, op_starts, t_line % self._num_sets,
+                t_line // self._num_sets, np.repeat(kinds, spans))
+
+    # ------------------------------------------------------------------
+    # The lockstep replay.
+    # ------------------------------------------------------------------
+
+    def run(self, streams: Dict[int, Tuple[Sequence[int], Sequence[int],
+                                           Sequence[int]]]) -> Dict[int, dict]:
+        """Replay ``{lane: (kinds, addresses, sizes)}``; returns per-lane
+        per-op outcomes (``hits``, ``evictions``, ``latencies``) plus
+        the lane's stat deltas, advancing the stacked state in place."""
+        order = sorted(streams)
+        decomposed = {index: self.decompose(*streams[index])
+                      for index in order}
+        touch_counts = np.array(
+            [decomposed[index][2].size for index in order], dtype=np.int64)
+        max_touches = int(touch_counts.max()) if order else 0
+        rows_lanes = np.array(order, dtype=np.int64)
+        # Pad per-touch streams into [lane, touch] matrices so each
+        # lockstep column is one fancy-indexed slice (-1 kind = idle).
+        shape = (len(order), max_touches)
+        set2d = np.zeros(shape, dtype=np.int64)
+        tag2d = np.zeros(shape, dtype=np.int64)
+        kind2d = np.full(shape, -1, dtype=np.int64)
+        hit2d = np.zeros(shape, dtype=np.int64)
+        evict2d = np.zeros(shape, dtype=np.int64)
+        for row, index in enumerate(order):
+            _, _, t_set, t_tag, t_kind = decomposed[index]
+            set2d[row, :t_set.size] = t_set
+            tag2d[row, :t_tag.size] = t_tag
+            kind2d[row, :t_kind.size] = t_kind
+        ways = self._assoc
+        for t in range(max_touches):
+            kinds_t = kind2d[:, t]
+            clear = kinds_t == OP_FLUSH_ALL
+            if clear.any():
+                lanes_clear = rows_lanes[clear]
+                self.tags[lanes_clear] = -1
+                self.occ[lanes_clear] = 0
+            busy = np.nonzero((kinds_t >= 0) & ~clear)[0]
+            if not busy.size:
+                continue
+            lanes_b = rows_lanes[busy]
+            sets_b = set2d[busy, t]
+            tags_b = tag2d[busy, t]
+            kind_b = kinds_t[busy]
+            rows = self.tags[lanes_b, sets_b]
+            occ = self.occ[lanes_b, sets_b]
+            matches = rows == tags_b[:, None]
+            found = matches.any(axis=1)
+            pos = matches.argmax(axis=1)
+            is_flush = kind_b == OP_FLUSH
+            hit2d[busy, t] = found
+            # -- flush of a resident line: remove-at-pos ----------------
+            sel = is_flush & found
+            if sel.any():
+                new = self._remove_insert(
+                    rows[sel], pos[sel], occ[sel] - 1,
+                    np.full(int(sel.sum()), -1, dtype=np.int64))
+                self.tags[lanes_b[sel], sets_b[sel]] = new
+                self.occ[lanes_b[sel], sets_b[sel]] = occ[sel] - 1
+            # -- LRU hit: move-to-most-recent ---------------------------
+            sel = ~is_flush & found
+            if self._is_lru and sel.any():
+                new = self._remove_insert(rows[sel], pos[sel],
+                                          occ[sel] - 1, tags_b[sel])
+                self.tags[lanes_b[sel], sets_b[sel]] = new
+            # -- miss fill into a non-full set --------------------------
+            miss = ~is_flush & ~found
+            sel = miss & (occ < ways)
+            if sel.any():
+                self.tags[lanes_b[sel], sets_b[sel], occ[sel]] = tags_b[sel]
+                self.occ[lanes_b[sel], sets_b[sel]] = occ[sel] + 1
+            # -- miss fill into a full set: evict then append -----------
+            sel = miss & (occ >= ways)
+            if sel.any():
+                if self._is_random:
+                    state = (self.lcg[lanes_b[sel]] * _LCG_MUL
+                             + _LCG_ADD) & _LCG_MASK
+                    self.lcg[lanes_b[sel]] = state
+                    victim = state % occ[sel]
+                else:
+                    victim = np.zeros(int(sel.sum()), dtype=np.int64)
+                new = self._remove_insert(
+                    rows[sel], victim,
+                    np.full(int(sel.sum()), ways - 1, dtype=np.int64),
+                    tags_b[sel])
+                self.tags[lanes_b[sel], sets_b[sel]] = new
+                evict2d[busy[sel], t] = 1
+        # Per-op reduction: an access hits iff all its touches hit.
+        outcomes: Dict[int, dict] = {}
+        hit_latency = self.config.hit_latency
+        miss_latency = self.config.miss_latency
+        for row, index in enumerate(order):
+            op_of_touch, op_starts, _, _, _ = decomposed[index]
+            kinds = np.asarray(streams[index][0], dtype=np.int64)
+            count = touch_counts[row]
+            t_hit = hit2d[row, :count]
+            t_evict = evict2d[row, :count]
+            if op_starts.size:
+                op_hit = np.minimum.reduceat(t_hit, op_starts)
+                op_evict = np.add.reduceat(t_evict, op_starts)
+            else:
+                op_hit = np.zeros(0, dtype=np.int64)
+                op_evict = np.zeros(0, dtype=np.int64)
+            latencies = np.where(
+                kinds == OP_ACCESS,
+                np.where(op_hit == 1, hit_latency, miss_latency),
+                np.where(kinds == OP_FLUSH, hit_latency, 0))
+            accesses = kinds == OP_ACCESS
+            hits = int(op_hit[accesses].sum())
+            delta = np.array([hits, int(accesses.sum()) - hits,
+                              int(op_evict.sum()),
+                              int((kinds == OP_FLUSH).sum())],
+                             dtype=np.int64)
+            self.stats[index] += delta
+            outcomes[index] = {"hits": op_hit, "evictions": op_evict,
+                               "latencies": latencies, "stats": delta}
+        return outcomes
+
+    @staticmethod
+    def _remove_insert(rows: np.ndarray, remove_at: np.ndarray,
+                       insert_at: np.ndarray,
+                       values: np.ndarray) -> np.ndarray:
+        """Per-row list surgery, all rows at once: delete the element at
+        ``remove_at`` (shifting the tail left) and write ``values`` at
+        ``insert_at`` — the vector form of ``ways.pop(i)`` +
+        ``ways.append(tag)`` / ``ways.insert`` on the scalar model."""
+        ways = rows.shape[1]
+        gather = np.arange(ways) + (np.arange(ways) >= remove_at[:, None])
+        np.minimum(gather, ways - 1, out=gather)
+        out = np.take_along_axis(rows, gather, axis=1)
+        out[np.arange(rows.shape[0]), insert_at] = values
+        return out
+
+
+class LaneGroupRegistry:
+    """Lane groups keyed by cache geometry, one per multi-guest host.
+
+    Guests whose :class:`~repro.mem.cache.CacheConfig` compare equal
+    (value equality — the frozen dataclass hash; shard-canonical
+    configs from the translation pool land on the same key for free)
+    share one :class:`LaneCacheModel`; each guest gets its own lane.
+    Observer- or supervisor-gated guests never reach this registry
+    (they fall back to the scalar cache, mirroring the pool-sharing
+    gate) but are counted here so the exclusion is visible in the
+    ``mem.cache.lane.*`` counters.
+    """
+
+    def __init__(self, verify: bool = False):
+        self.verify = verify
+        self.groups: Dict[CacheConfig, LaneCacheModel] = {}
+        #: Guests that fell back to the scalar model (gated).
+        self.excluded = 0
+
+    def lane_for(self, config: CacheConfig) -> LaneView:
+        """A fresh lane in the group for ``config`` (created on first
+        use)."""
+        model = self.groups.get(config)
+        if model is None:
+            model = LaneCacheModel(config, verify=self.verify)
+            self.groups[config] = model
+        return model.add_lane()
+
+    def drain_all(self) -> None:
+        """Quantum boundary: drain every group's deferred logs."""
+        for model in self.groups.values():
+            model.drain()
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate ``mem.cache.lane.*`` counter values."""
+        lanes = sum(len(model) for model in self.groups.values())
+        return {
+            "mem.cache.lane.groups": len(self.groups),
+            "mem.cache.lane.lanes": lanes,
+            "mem.cache.lane.excluded": self.excluded,
+            "mem.cache.lane.drains": sum(
+                model.drains for model in self.groups.values()),
+            "mem.cache.lane.entries": sum(
+                model.drained_entries for model in self.groups.values()),
+            "mem.cache.lane.memo_hits": sum(
+                model.memo_hits for model in self.groups.values()),
+        }

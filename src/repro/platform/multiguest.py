@@ -8,12 +8,23 @@ everything downstream of them (finalized fast-path tuples, compiled
 code, megablocks) — through a :class:`~repro.dbt.pool.TranslationPool`
 shard instead of re-deriving byte-identical artifacts per guest.
 
+``timing="vector"`` additionally stacks the co-resident guests' cache
+timing state into numpy lanes (:mod:`repro.mem.vector`): guests sharing
+a :class:`~repro.mem.cache.CacheConfig` geometry become lanes of one
+:class:`~repro.mem.vector.LaneCacheModel`, their per-access accounting
+defers into flat packed logs, and the quantum loop here drains every
+lane through the vector engine between turns.  Observer- or
+supervisor-gated guests fall back to the scalar model, mirroring the
+pool-sharing gate.  Set ``REPRO_LANE_VERIFY=1`` to have every drain
+re-derive its outcomes through the lockstep numpy replay and fail loud
+on any divergence.
+
 Everything architecturally visible stays strictly per guest (each
 :class:`~repro.platform.system.DbtSystem` owns its registers, memory,
 core timing state, profile and chain index), so every guest's
 :class:`~repro.platform.metrics.SystemRunResult` is byte-identical to
-the same guest run alone — the batched leg of
-``tests/platform/test_fastpath_differential.py`` gates exactly that.
+the same guest run alone — the batched and lane-differential legs of
+``tests/platform/test_fastpath_differential.py`` gate exactly that.
 
 This is the execution backend behind ``repro sweep --batched`` and the
 serve fleet's warm workers (one pool per worker process, reused across
@@ -22,34 +33,54 @@ jobs).
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Callable, List, Optional
 
 from ..dbt.pool import TranslationPool
+from ..mem.vector import LaneGroupRegistry
 from .metrics import SystemRunResult
 from .system import DbtSystem
 
-__all__ = ["MultiGuestHost", "DEFAULT_QUANTUM"]
+__all__ = ["MultiGuestHost", "DEFAULT_QUANTUM", "TIMING_MODES"]
 
 #: Blocks each guest runs per turn.  Large enough that the round-robin
 #: bookkeeping is noise, small enough that guests genuinely interleave
 #: (so a shard's first guest quickly seeds translations the others hit).
 DEFAULT_QUANTUM = 256
 
+#: Cache timing engines a host can run its guests on.
+TIMING_MODES = ("scalar", "vector")
+
 
 class MultiGuestHost:
     """Host N guest systems in one process over a shared pool."""
 
     def __init__(self, pool: Optional[TranslationPool] = None,
-                 quantum: int = DEFAULT_QUANTUM) -> None:
+                 quantum: int = DEFAULT_QUANTUM,
+                 timing: str = "scalar") -> None:
+        if timing not in TIMING_MODES:
+            raise ValueError("timing must be one of %s, got %r"
+                             % ("/".join(TIMING_MODES), timing))
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
         self.pool = TranslationPool() if pool is None else pool
         self.quantum = quantum
+        self.timing = timing
+        #: Lane groups for the vector engine (None on the scalar path,
+        #: which keeps solo/batched-scalar byte-for-byte on seed code).
+        self.lanes: Optional[LaneGroupRegistry] = None
+        if timing == "vector":
+            self.lanes = LaneGroupRegistry(
+                verify=os.environ.get("REPRO_LANE_VERIFY", "") not in
+                ("", "0"))
         self.systems: List[DbtSystem] = []
 
     def add_guest(self, program, **kwargs) -> DbtSystem:
         """Construct a guest against the shared pool; runs in
         :meth:`run_all`.  Accepts every :class:`DbtSystem` keyword."""
-        system = DbtSystem(program, translation_pool=self.pool, **kwargs)
+        system = DbtSystem(program, translation_pool=self.pool,
+                           lane_registry=self.lanes, **kwargs)
         self.systems.append(system)
         return system
 
@@ -67,9 +98,15 @@ class MultiGuestHost:
         like unstarted points (re-run on resume).  On any guest error the
         host shuts down every guest's tier machinery before re-raising,
         so no compile thread outlives the batch.
+
+        Under ``timing="vector"`` every lane's deferred access log is
+        drained through the vector engine between turns (and once more
+        on the way out), so stats stay one quantum fresh at most — and
+        any read of a lane's ``stats`` forces its own drain anyway.
         """
         results: List[Optional[SystemRunResult]] = [None] * len(self.systems)
         active = deque(enumerate(self.systems))
+        lanes = self.lanes
         try:
             while active:
                 if should_stop is not None and should_stop():
@@ -84,10 +121,18 @@ class MultiGuestHost:
                         on_exit(index, result)
                 else:
                     active.append((index, system))
+                if lanes is not None:
+                    lanes.drain_all()
         finally:
             for system in self.systems:
                 try:
                     system.finish_tiers()
                 except Exception:
                     pass
+            if lanes is not None:
+                lanes.drain_all()
+                # Publish through the pool so long-lived callers (the
+                # CLI's telemetry path, serve workers) see lane counters
+                # accumulated across every batch the pool served.
+                self.pool.merge_lane_counters(lanes.counters())
         return results

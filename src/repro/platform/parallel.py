@@ -72,7 +72,7 @@ from ..resilience.faults import WorkerFault, apply_worker_fault
 from ..security.policy import ALL_POLICIES, MitigationPolicy
 from ..vliw.config import VliwConfig
 from .metrics import PolicyComparison, SystemRunResult
-from .multiguest import MultiGuestHost
+from .multiguest import DEFAULT_QUANTUM, MultiGuestHost
 from .system import DbtSystem
 
 #: Default memo-cache location (relative to the repository root when the
@@ -437,6 +437,8 @@ def run_batched_points(tasks: Sequence[Tuple[Program, MitigationPolicy]],
                        on_result: Optional[Callable[[int, dict],
                                                     None]] = None,
                        should_drain: Optional[Callable[[], bool]] = None,
+                       timing: str = "scalar",
+                       quantum: Optional[int] = None,
                        ) -> List[Optional[dict]]:
     """Run (program, policy) points as co-hosted guests of one
     :class:`~repro.platform.multiguest.MultiGuestHost`.
@@ -448,8 +450,16 @@ def run_batched_points(tasks: Sequence[Tuple[Program, MitigationPolicy]],
     ``on_result`` fires per point as its guest exits (checkpointing).
     When ``should_drain`` turns true mid-batch, unfinished guests are
     abandoned like unstarted points and report ``None``.
+
+    ``timing="vector"`` runs the guests' cache timing on the lane-
+    batched numpy engine (bit-identical records — memo-cache keys are
+    deliberately shared across timing modes); ``quantum`` overrides the
+    round-robin block quantum, which can only change interleaving,
+    never results (pinned by the multiguest suite).
     """
-    host = MultiGuestHost(pool=pool)
+    host = MultiGuestHost(pool=pool, timing=timing,
+                          quantum=(DEFAULT_QUANTUM if quantum is None
+                                   else quantum))
     cells = (list(point_telemetry) if point_telemetry is not None
              else [None] * len(tasks))
     observers = []
@@ -727,6 +737,8 @@ def sweep_comparisons(
     should_drain: Optional[Callable[[], bool]] = None,
     batched: bool = False,
     pool=None,
+    timing: str = "scalar",
+    quantum: Optional[int] = None,
 ) -> List[PolicyComparison]:
     """Run ``workloads`` × ``policies`` and return one
     :class:`PolicyComparison` per workload, in input order.
@@ -764,6 +776,12 @@ def sweep_comparisons(
     are ignored when batched; a drain mid-batch abandons *unfinished*
     guests (they re-run on ``--resume``) rather than finishing in-flight
     ones, since every guest is in flight at once.
+
+    ``timing``/``quantum`` shape only the batched path (see
+    :func:`run_batched_points`): ``timing="vector"`` batches the
+    co-hosted guests' cache timing into numpy lanes, ``quantum`` sets
+    the round-robin block quantum.  Rows are bit-identical either way,
+    so memo-cache and checkpoint keys deliberately ignore both.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -824,6 +842,8 @@ def sweep_comparisons(
                 pool=pool,
                 on_result=_persist,
                 should_drain=should_drain,
+                timing=timing,
+                quantum=quantum,
             )
             done = sum(1 for record in computed if record is not None)
             if done < len(misses):

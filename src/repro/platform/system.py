@@ -76,6 +76,7 @@ class DbtSystem:
         trace_config: Optional[TraceConfig] = None,
         compile_queue_mode: Optional[str] = None,
         translation_pool=None,
+        lane_registry=None,
     ):
         self.program = program
         self.policy = policy
@@ -99,7 +100,25 @@ class DbtSystem:
                 # guest.
                 self.vliw_config = pool_shard.vliw_config
         self.platform_config = platform_config or PlatformConfig()
-        self.memory = DataMemorySystem(cache_config=self.vliw_config.cache)
+        #: ``lane_registry`` (a :class:`~repro.mem.vector.LaneGroupRegistry`
+        #: owned by the multi-guest host) gives this guest a lane of the
+        #: vectorized timing engine instead of a private scalar cache.
+        #: Gated exactly like pool sharing: observer- or supervisor-
+        #: carrying guests keep the scalar model (their hooks observe
+        #: per-access state that must not share accounting machinery),
+        #: and the fallback is counted so the exclusion is visible in
+        #: the ``mem.cache.lane.*`` counters.  Either way every
+        #: observable is bit-identical — the lane-differential legs of
+        #: the fastpath suite gate it.
+        lane = None
+        if lane_registry is not None:
+            if observer is None and supervisor is None:
+                lane = lane_registry.lane_for(self.vliw_config.cache)
+            else:
+                lane_registry.excluded += 1
+        self.timing = "vector" if lane is not None else "scalar"
+        self.memory = DataMemorySystem(cache_config=self.vliw_config.cache,
+                                       cache=lane)
         for base, image in program.segments():
             self.memory.memory.load_image(base, image)
         self.core = VliwCore(self.vliw_config, self.memory)

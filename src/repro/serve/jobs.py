@@ -151,6 +151,10 @@ def validate_payload(payload: Any) -> Dict[str, Any]:
             _policy(payload[name])
     for value in payload.get("policies") or ():
         _policy(value)
+    timing = payload.get("timing")
+    if timing is not None and timing not in ("scalar", "vector"):
+        raise JobError("unknown timing %r (choose from scalar, vector)"
+                       % (timing,))
     return payload
 
 
@@ -250,8 +254,12 @@ def execute_job(payload: Dict[str, Any],
         # Batched execution shares the worker-lifetime pool across the
         # job's points; telemetry-bearing sweeps keep the serial path so
         # their envelope spool (and merged metrics) match the one-shot
-        # CLI exactly.
+        # CLI exactly.  Batched jobs run on the vectorized lane timing
+        # engine by default (rows stay byte-identical — the serve-smoke
+        # suite diffs them against the one-shot CLI); a payload-level
+        # ``timing: "scalar"`` opts a job out.
         batched = pool is not None and telemetry is None
+        timing = payload.get("timing", "vector") if batched else "scalar"
         comparisons = sweep_comparisons(
             _workloads(payload.get("kernels"), bool(payload.get("full"))),
             policies=_policies(payload),
@@ -261,6 +269,7 @@ def execute_job(payload: Dict[str, Any],
             point_telemetry=telemetry,
             batched=batched,
             pool=pool if batched else None,
+            timing=timing,
         )
         return {"rows": comparison_json(comparisons)}
 

@@ -12,12 +12,25 @@ run recovery code.
 The crucial security property reproduced from the paper: the MCB rolls
 back *architectural* state only — the data cache keeps whatever lines the
 wrong-path load pulled in, which is the Spectre v4 leak.
+
+Entries are stored as flat parallel arrays (address/end/dest/op/tag):
+``check_store`` runs on every store the pipeline executes, and scanning
+two int lists beats chasing per-entry dataclass attributes.  The
+:class:`McbEntry` records are materialized only for the
+``check_store`` hit path and the ``entries()`` diagnostics snapshot.
+:meth:`check_window` is the batched form — one numpy overlap matrix for
+a whole window of stores — used by the vectorized timing engine's
+differential suites (conflict detection itself is architectural control
+flow, so the per-store path stays synchronous; see
+``docs/PERFORMANCE.md`` §9).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -55,18 +68,25 @@ class MemoryConflictBuffer:
         if capacity < 1:
             raise ValueError("MCB capacity must be positive")
         self.capacity = capacity
-        self._entries: List[McbEntry] = []
+        # Parallel arrays, one slot per tracked load (see module
+        # docstring): [i] = address, end (address+width), dest, op
+        # index, tag.
+        self._addresses: List[int] = []
+        self._ends: List[int] = []
+        self._dests: List[int] = []
+        self._ops: List[int] = []
+        self._tags: List[int] = []
         #: Statistics over the lifetime of the core.
         self.loads_tracked = 0
         self.conflicts = 0
         self.overflows = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._addresses)
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return len(self._addresses) >= self.capacity
 
     def record_load(self, address: int, width: int, dest: int,
                     op_index: int, tag: int = 0) -> bool:
@@ -76,10 +96,14 @@ class MemoryConflictBuffer:
         the situation conservatively (our pipeline triggers the same
         rollback path a conflict would, which is always safe).
         """
-        if self.full:
+        if len(self._addresses) >= self.capacity:
             self.overflows += 1
             return False
-        self._entries.append(McbEntry(address, width, dest, op_index, tag))
+        self._addresses.append(address)
+        self._ends.append(address + width)
+        self._dests.append(dest)
+        self._ops.append(op_index)
+        self._tags.append(tag)
         self.loads_tracked += 1
         return True
 
@@ -89,24 +113,83 @@ class MemoryConflictBuffer:
         Returns whether an entry was removed; releasing an unknown tag is
         a no-op (the release store may execute on a path where the load's
         bundle was cut short by a trace exit)."""
-        for position, entry in enumerate(self._entries):
-            if entry.tag == tag:
-                del self._entries[position]
-                return True
-        return False
+        try:
+            position = self._tags.index(tag)
+        except ValueError:
+            return False
+        del self._addresses[position]
+        del self._ends[position]
+        del self._dests[position]
+        del self._ops[position]
+        del self._tags[position]
+        return True
+
+    def _entry_at(self, position: int) -> McbEntry:
+        return McbEntry(
+            address=self._addresses[position],
+            width=self._ends[position] - self._addresses[position],
+            dest=self._dests[position],
+            op_index=self._ops[position],
+            tag=self._tags[position],
+        )
 
     def check_store(self, address: int, width: int) -> Optional[McbConflict]:
         """Compare a store against all tracked speculative loads."""
-        for entry in self._entries:
-            if entry.overlaps(address, width):
+        end = address + width
+        position = 0
+        for start in self._addresses:
+            if address < self._ends[position] and start < end:
                 self.conflicts += 1
-                return McbConflict(store_address=address, store_width=width, entry=entry)
+                return McbConflict(store_address=address,
+                                   store_width=width,
+                                   entry=self._entry_at(position))
+            position += 1
         return None
+
+    def check_window(self, addresses: Sequence[int],
+                     widths: Sequence[int]) -> Tuple[int, Optional[McbConflict]]:
+        """Batched conflict check of a store window against the buffer.
+
+        One numpy overlap matrix answers, for N stores at once, which
+        store (if any) is the *first* to hit a tracked speculative load
+        — ``(store_index, conflict)``, or ``(-1, None)`` when the whole
+        window is clean.  Semantically identical to calling
+        :meth:`check_store` store by store and stopping at the first
+        conflict (the first store in window order wins; among entries it
+        reports the earliest-recorded one, matching the scalar scan
+        order), but without the per-store Python loop.  Stats are
+        updated exactly as the scalar path would: one conflict at most,
+        because everything after the hit would have rolled back.
+        """
+        if not self._addresses or len(addresses) == 0:
+            return -1, None
+        starts = np.asarray(addresses, dtype=np.int64)
+        ends = starts + np.asarray(widths, dtype=np.int64)
+        entry_starts = np.array(self._addresses, dtype=np.int64)
+        entry_ends = np.array(self._ends, dtype=np.int64)
+        overlap = ((starts[:, None] < entry_ends[None, :])
+                   & (entry_starts[None, :] < ends[:, None]))
+        conflicted = overlap.any(axis=1)
+        if not conflicted.any():
+            return -1, None
+        store_index = int(conflicted.argmax())
+        entry_index = int(overlap[store_index].argmax())
+        self.conflicts += 1
+        return store_index, McbConflict(
+            store_address=int(starts[store_index]),
+            store_width=int(ends[store_index] - starts[store_index]),
+            entry=self._entry_at(entry_index),
+        )
 
     def clear(self) -> None:
         """Drop all entries (block commit or rollback)."""
-        self._entries.clear()
+        self._addresses.clear()
+        self._ends.clear()
+        self._dests.clear()
+        self._ops.clear()
+        self._tags.clear()
 
     def entries(self) -> List[McbEntry]:
         """Snapshot of tracked entries (diagnostics)."""
-        return list(self._entries)
+        return [self._entry_at(position)
+                for position in range(len(self._addresses))]

@@ -1,0 +1,248 @@
+"""Seeded-random differential fuzz for the vectorized lane cache engine.
+
+:mod:`repro.mem.vector` must be *indistinguishable* from N independent
+:class:`~repro.mem.cache.SetAssociativeCache` models — per access
+(hit/latency), per stat, per resident line *in eviction order*, per LCG
+state — or the lane-batched timing path would silently change guest
+observables.  These tests drive deterministic mixed op streams (sizes
+1..100 including line-spanning accesses, line flushes, full flushes)
+through both implementations in lockstep across all three replacement
+policies and several geometries, and do the same for the lockstep
+:class:`~repro.mem.vector.VectorReplay` engine and the MCB's batched
+``check_window``.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.mem.cache import CacheConfig, SetAssociativeCache
+from repro.mem.vector import (
+    OP_ACCESS,
+    OP_FLUSH,
+    OP_FLUSH_ALL,
+    LaneCacheModel,
+    VectorReplay,
+)
+from repro.vliw.mcb import MemoryConflictBuffer
+
+REPLACEMENTS = ("lru", "fifo", "random")
+
+#: Geometries chosen to stress different shapes: the default config,
+#: a tiny 2-way (constant eviction pressure), and a wide skewed one.
+GEOMETRIES = {
+    "default": CacheConfig(),
+    "tiny-2way": CacheConfig(size_bytes=2048, line_size=32, associativity=2,
+                             hit_latency=1, miss_latency=9),
+    "wide-8way": CacheConfig(size_bytes=4096, line_size=16, associativity=8,
+                             hit_latency=2, miss_latency=20),
+}
+
+#: Access sizes, including multi-line spans (33 and 100 cross line
+#: boundaries on every geometry above).
+SIZES = (1, 2, 4, 8, 16, 33, 100)
+
+
+def _seed(geometry, replacement, lane):
+    return (sorted(GEOMETRIES).index(geometry) * 97
+            + REPLACEMENTS.index(replacement) * 13 + lane)
+
+
+def _op_stream(rng, length, span):
+    """Mixed deterministic op stream: mostly accesses over a span a few
+    times the cache size (so sets genuinely fill and evict), some line
+    flushes, rare full flushes."""
+    ops = []
+    for _ in range(length):
+        roll = rng.random()
+        address = rng.randrange(span)
+        if roll < 0.90:
+            ops.append((OP_ACCESS, address, rng.choice(SIZES)))
+        elif roll < 0.98:
+            ops.append((OP_FLUSH, address, 1))
+        else:
+            ops.append((OP_FLUSH_ALL, 0, 1))
+    return ops
+
+
+def _assert_state_equal(lane, scalar, context):
+    assert lane._sets == scalar._sets, context  # exact way/eviction order
+    assert lane._lcg_state == scalar._lcg_state, context
+    assert lane.occupancy() == scalar.occupancy(), context
+    assert lane.resident_lines() == scalar.resident_lines(), context
+    stats = lane.stats
+    assert (stats.hits, stats.misses, stats.evictions, stats.flushes) == (
+        scalar.stats.hits, scalar.stats.misses,
+        scalar.stats.evictions, scalar.stats.flushes), context
+
+
+@pytest.mark.parametrize("replacement", REPLACEMENTS)
+@pytest.mark.parametrize("geometry", sorted(GEOMETRIES))
+def test_lanes_match_scalar_models(geometry, replacement):
+    """LaneView op-by-op against independent scalar models: identical
+    (hit, latency) per access, identical flush outcomes, and identical
+    state/stats at every checkpoint."""
+    config = dataclasses.replace(GEOMETRIES[geometry],
+                                 replacement=replacement)
+    span = config.size_bytes * 4
+    model = LaneCacheModel(config)
+    lanes, scalars, streams = [], [], []
+    for index in range(5):
+        rng = random.Random(_seed(geometry, replacement, index))
+        lanes.append(model.add_lane())
+        scalars.append(SetAssociativeCache(config))
+        streams.append(_op_stream(rng, 1200, span))
+
+    for step in range(1200):
+        for index in range(len(lanes)):
+            kind, address, size = streams[index][step]
+            lane, scalar = lanes[index], scalars[index]
+            context = (geometry, replacement, index, step)
+            if kind == OP_ACCESS:
+                assert (lane.access(address, size)
+                        == scalar.access(address, size)), context
+            elif kind == OP_FLUSH:
+                assert (lane.flush_line(address)
+                        == scalar.flush_line(address)), context
+            else:
+                lane.flush_all()
+                scalar.flush_all()
+            assert lane.probe(address) == scalar.probe(address), context
+        if step % 97 == 0 or step == 1199:
+            # Interleaved drains must not disturb any lane's state.
+            model.drain()
+            for index in range(len(lanes)):
+                _assert_state_equal(lanes[index], scalars[index],
+                                    (geometry, replacement, index, step))
+    assert model.drained_entries > 0
+
+
+@pytest.mark.parametrize("replacement", REPLACEMENTS)
+@pytest.mark.parametrize("geometry", sorted(GEOMETRIES))
+def test_replay_matches_scalar_models(geometry, replacement):
+    """The lockstep numpy replay engine, fed whole op streams at once,
+    reproduces every per-op outcome and the final state of independent
+    scalar models — including eviction order under the random LCG."""
+    config = dataclasses.replace(GEOMETRIES[geometry],
+                                 replacement=replacement)
+    span = config.size_bytes * 4
+    replay = VectorReplay(config, lanes=4)
+    scalars = [SetAssociativeCache(config) for _ in range(4)]
+    streams = {}
+    for index in range(4):
+        rng = random.Random(1000 + _seed(geometry, replacement, index))
+        ops = _op_stream(rng, 600, span)
+        streams[index] = ([op[0] for op in ops], [op[1] for op in ops],
+                          [op[2] for op in ops])
+
+    outcomes = replay.run(streams)
+
+    for index, scalar in enumerate(scalars):
+        kinds, addresses, sizes = streams[index]
+        outcome = outcomes[index]
+        for op in range(len(kinds)):
+            context = (geometry, replacement, index, op)
+            if kinds[op] == OP_ACCESS:
+                hit, latency = scalar.access(addresses[op], sizes[op])
+                assert bool(outcome["hits"][op]) == hit, context
+                assert int(outcome["latencies"][op]) == latency, context
+            elif kinds[op] == OP_FLUSH:
+                resident = scalar.flush_line(addresses[op])
+                assert bool(outcome["hits"][op]) == resident, context
+            else:
+                scalar.flush_all()
+        assert tuple(int(v) for v in outcome["stats"]) == (
+            scalar.stats.hits, scalar.stats.misses,
+            scalar.stats.evictions, scalar.stats.flushes)
+        assert int(replay.lcg[index]) == scalar._lcg_state
+        # Final tag state, way by way in eviction order.
+        for set_index, ways in enumerate(scalar._sets):
+            row = replay.tags[index, set_index]
+            assert list(row[:len(ways)]) == ways
+            assert (row[len(ways):] == -1).all()
+
+
+def test_verify_mode_replays_every_drain():
+    """``verify=True`` cross-checks each drained log against the replay
+    engine; a clean run over a heavy mixed stream is the positive
+    control that the verifier is wired and agrees."""
+    config = CacheConfig(size_bytes=2048, line_size=32, associativity=2,
+                         replacement="random")
+    model = LaneCacheModel(config, verify=True)
+    lanes = [model.add_lane() for _ in range(3)]
+    for index, lane in enumerate(lanes):
+        rng = random.Random(77 + index)
+        for kind, address, size in _op_stream(rng, 800,
+                                              config.size_bytes * 4):
+            if kind == OP_ACCESS:
+                lane.access(address, size)
+            elif kind == OP_FLUSH:
+                lane.flush_line(address)
+            else:
+                lane.flush_all()
+        model.drain()
+    assert model.drains > 0
+    assert model.drained_entries > 0
+
+
+def test_lane_exports_match_scalar_shape():
+    """The lane-stacked numpy exports mirror the per-lane list state."""
+    config = CacheConfig(size_bytes=2048, line_size=32, associativity=2)
+    model = LaneCacheModel(config)
+    lanes = [model.add_lane() for _ in range(2)]
+    lanes[0].access(0)
+    lanes[0].access(config.line_size * config.num_sets)  # same set, new tag
+    lanes[1].access(config.line_size * 3)
+    tags = model.tags_array()
+    assert tags.shape == (2, config.num_sets, config.associativity)
+    assert list(tags[0, 0, :2]) == lanes[0]._sets[0]
+    assert tags[1, 3, 0] == lanes[1]._sets[3][0]
+    recency = model.recency_array()
+    assert (recency[tags < 0] == -1).all()
+    assert recency[0, 0, 1] == 1  # MRU rank of the second fill
+    stats = model.stats_array()
+    assert stats.shape == (2, 4)
+    assert stats[0, 1] == 2 and stats[1, 1] == 1  # misses column
+
+
+def test_mcb_check_window_matches_scalar_scan():
+    """Batched ``check_window`` is semantically the store-by-store
+    scalar scan: same first-conflicting store, same reported entry,
+    same stats — across random buffers and store windows."""
+    rng = random.Random(0xD1FF)
+    for trial in range(300):
+        scalar = MemoryConflictBuffer(capacity=16)
+        batched = MemoryConflictBuffer(capacity=16)
+        for index in range(rng.randrange(13)):
+            address = rng.randrange(512)
+            width = rng.choice((1, 2, 4, 8))
+            scalar.record_load(address, width, dest=index,
+                               op_index=index, tag=index)
+            batched.record_load(address, width, dest=index,
+                                op_index=index, tag=index)
+        stores = [(rng.randrange(512), rng.choice((1, 2, 4, 8)))
+                  for _ in range(rng.randrange(7))]
+
+        expected_index, expected = -1, None
+        for index, (address, width) in enumerate(stores):
+            conflict = scalar.check_store(address, width)
+            if conflict is not None:
+                expected_index, expected = index, conflict
+                break
+        got_index, got = batched.check_window(
+            [address for address, _ in stores],
+            [width for _, width in stores])
+        assert got_index == expected_index, trial
+        assert got == expected, trial
+        assert batched.conflicts == scalar.conflicts, trial
+
+    # Edge cases: empty window, empty buffer.
+    mcb = MemoryConflictBuffer()
+    assert mcb.check_window([], []) == (-1, None)
+    assert mcb.check_window([0x100], [8]) == (-1, None)
+    mcb.record_load(0x100, 8, dest=1, op_index=0, tag=0)
+    assert mcb.check_window([0x200], [8]) == (-1, None)
+    index, conflict = mcb.check_window([0x200, 0x104, 0x100], [8, 2, 4])
+    assert index == 1
+    assert conflict is not None and conflict.entry.address == 0x100

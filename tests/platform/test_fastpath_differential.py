@@ -341,6 +341,147 @@ def test_batched_pool_bit_identical_across_tiers(interpreter):
     assert pool.stats.hits > 0
 
 
+# ---------------------------------------------------------------------------
+# Vectorized lane-batched cache timing engine (``timing="vector"``).
+# ---------------------------------------------------------------------------
+
+#: The leakage-meter bytes the observer exports; the gated-guest leg
+#: asserts these stay equal to a solo observed run, byte for byte.
+LEAKAGE_COUNTERS = (
+    "mcb.rollbacks_total",
+    "mcb.squashed_speculative_loads_total",
+    "mcb.rollback_cycles_total",
+    "mem.speculative_load_misses_total",
+    "mem.cflush_total",
+)
+
+
+def _cache_observables(system):
+    """Everything the data cache exposes to a guest or a probe-based
+    attacker: the aggregate stats (reading a lane's stats forces its
+    drain), the exact resident-line set, occupancy, and per-address
+    probe outcomes on and off the resident set."""
+    cache = system.memory.cache
+    stats = cache.stats
+    resident = cache.resident_lines()
+    probes = {line: cache.probe(line + 7) for line in resident[:16]}
+    probes[0x7FF0_0000] = cache.probe(0x7FF0_0000)
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "flushes": stats.flushes,
+        "resident_lines": resident,
+        "occupancy": cache.occupancy(),
+        "probes": probes,
+    }
+
+
+@pytest.mark.parametrize("interpreter",
+                         ("reference", "fast", "compiled", "trace"))
+@pytest.mark.parametrize("replacement", ("lru", "fifo", "random"))
+def test_lane_vector_timing_bit_identical(replacement, interpreter):
+    """The headline gate for the vector timing engine: guests co-hosted
+    on numpy cache lanes are byte-identical to scalar solo runs — every
+    stat, per-access latency (pinned transitively by cycles/stalls),
+    probe()/resident_lines() observable and recovered secret byte — for
+    both PoCs under every mitigation policy, per replacement policy, per
+    tier."""
+    from repro.mem.cache import CacheConfig
+    from repro.platform.multiguest import MultiGuestHost
+    from repro.vliw.config import VliwConfig
+
+    vliw_config = VliwConfig(cache=CacheConfig(replacement=replacement))
+    engine_config = DbtEngineConfig(chain=(interpreter == "trace"))
+    guests = [(variant, policy)
+              for policy in ALL_POLICIES for variant in AttackVariant]
+
+    host = MultiGuestHost(timing="vector")
+    for variant, policy in guests:
+        host.add_guest(build_attack_program(variant, SECRET), policy=policy,
+                       vliw_config=vliw_config, engine_config=engine_config,
+                       interpreter=interpreter)
+    batched_results = host.run_all()
+
+    # Every guest genuinely ran on a lane (bare guests, one geometry).
+    assert all(system.timing == "vector" for system in host.systems)
+    counters = host.lanes.counters()
+    assert counters["mem.cache.lane.groups"] == 1
+    assert counters["mem.cache.lane.lanes"] == len(guests)
+    assert counters["mem.cache.lane.excluded"] == 0
+    assert counters["mem.cache.lane.drains"] > 0
+    assert counters["mem.cache.lane.entries"] > 0
+
+    for index, (variant, policy) in enumerate(guests):
+        solo = DbtSystem(build_attack_program(variant, SECRET),
+                         policy=policy, vliw_config=vliw_config,
+                         engine_config=engine_config,
+                         interpreter=interpreter)
+        solo_result = solo.run()
+        batched = batched_results[index]
+        system = host.systems[index]
+        assert batched is not None
+        assert _core_observables(batched) == _core_observables(solo_result)
+        assert _engine_observables(system) == _engine_observables(solo)
+        assert _cache_observables(system) == _cache_observables(solo)
+        assert system.core.regs._regs == solo.core.regs._regs
+        assert system.core.cycle == solo.core.cycle
+        assert batched.output == solo_result.output
+
+
+def test_lane_vector_observer_gated_fallback():
+    """An observed guest falls back to the scalar cache model inside a
+    vector-timing host (mirroring the pool-sharing gate), stays
+    bit-identical, and its leakage-meter bytes equal a solo observed
+    run's — while its bare co-guests still run on lanes."""
+    from repro.obs.observer import Observer
+    from repro.platform.multiguest import MultiGuestHost
+
+    program = build_attack_program(AttackVariant.SPECTRE_V1, SECRET)
+    policy = ALL_POLICIES[0]
+
+    host = MultiGuestHost(timing="vector")
+    observer = Observer()
+    observed = host.add_guest(program, policy=policy, observer=observer)
+    bare = host.add_guest(program, policy=policy)
+    results = host.run_all()
+
+    assert observed.timing == "scalar"
+    assert bare.timing == "vector"
+    assert host.lanes.counters()["mem.cache.lane.excluded"] == 1
+    assert host.lanes.counters()["mem.cache.lane.lanes"] == 1
+
+    solo_observer = Observer()
+    solo = DbtSystem(program, policy=policy, observer=solo_observer)
+    solo_result = solo.run()
+    for result, system in ((results[0], observed), (results[1], bare)):
+        assert _core_observables(result) == _core_observables(solo_result)
+        assert _cache_observables(system) == _cache_observables(solo)
+    for name in LEAKAGE_COUNTERS:
+        assert (observer.registry.value(name)
+                == solo_observer.registry.value(name)), name
+
+
+def test_lane_vector_verify_replay(monkeypatch):
+    """REPRO_LANE_VERIFY=1 re-derives every drained log through the
+    lockstep numpy replay; any divergence raises inside drain, so a
+    clean run here is the positive control that the verifier is armed
+    and agrees with the synchronous lane outcomes."""
+    from repro.platform.multiguest import MultiGuestHost
+
+    monkeypatch.setenv("REPRO_LANE_VERIFY", "1")
+    host = MultiGuestHost(timing="vector")
+    for variant in AttackVariant:
+        host.add_guest(build_attack_program(variant, SECRET),
+                       policy=ALL_POLICIES[0])
+    results = host.run_all()
+    assert all(result is not None for result in results)
+    (model,) = host.lanes.groups.values()
+    assert model.verify
+    assert model.drains > 0
+    assert model.drained_entries > 0
+
+
 def test_chained_reference_interpreter_matches_seed():
     """Chaining with the reference interpreter takes the general
     (per-block) dispatch loop; it too must be bit-identical."""

@@ -183,6 +183,62 @@ def test_run_slice_quantum_and_tier_shutdown():
     assert dataclasses.asdict(result.engine) == dataclasses.asdict(solo.engine)
 
 
+@pytest.mark.parametrize("timing", ("scalar", "vector"))
+def test_quantum_never_changes_rows(workloads, baseline_rows, timing):
+    """``--quantum`` (and the timing engine) only move host work around
+    in time: batched sweep rows are byte-identical across pathological
+    and default quanta, on both timing engines."""
+    for quantum in (1, 7, 256):
+        rows = comparison_json(sweep_comparisons(
+            workloads, batched=True, timing=timing, quantum=quantum))
+        assert rows == baseline_rows, (timing, quantum)
+
+
+def test_vector_timing_sweep_rows_identical(workloads, baseline_rows):
+    """The vector timing engine's rows equal the per-point scalar path,
+    and the lane counters reach the pool for publication."""
+    from repro.obs.registry import MetricsRegistry
+
+    pool = TranslationPool()
+    rows = comparison_json(sweep_comparisons(
+        workloads, batched=True, pool=pool, timing="vector"))
+    assert rows == baseline_rows
+    assert pool.lane_counters["mem.cache.lane.lanes"] > 0
+    assert pool.lane_counters["mem.cache.lane.entries"] > 0
+    registry = MetricsRegistry()
+    pool.publish(registry)
+    assert (registry.get("mem.cache.lane.lanes").value
+            == pool.lane_counters["mem.cache.lane.lanes"])
+
+
+def test_host_validates_timing_and_quantum():
+    with pytest.raises(ValueError):
+        MultiGuestHost(timing="simd")
+    with pytest.raises(ValueError):
+        MultiGuestHost(quantum=0)
+
+
+def test_serve_batched_job_defaults_to_vector_timing(workloads):
+    """A pooled (batched) serve sweep job runs on the vector engine by
+    default, returns rows identical to the serial path, and honors a
+    payload-level scalar opt-out; unknown timings are rejected at
+    submit time."""
+    from repro.serve.jobs import JobError, execute_job, validate_payload
+
+    payload = {"kind": "sweep", "kernels": ["atax"],
+               "policies": ["unsafe", "ghostbusters"]}
+    pool = TranslationPool()
+    vector = execute_job(dict(payload), pool=pool)
+    assert pool.lane_counters.get("mem.cache.lane.lanes", 0) > 0
+    scalar_pool = TranslationPool()
+    scalar = execute_job(dict(payload, timing="scalar"), pool=scalar_pool)
+    assert scalar == vector
+    assert scalar_pool.lane_counters == {}
+    assert execute_job(dict(payload)) == vector  # serial path
+    with pytest.raises(JobError):
+        validate_payload(dict(payload, timing="simd"))
+
+
 def test_serve_execute_job_reuses_worker_pool():
     """The serve fleet's warm workers pass a worker-lifetime pool into
     execute_job: a repeated job stops re-translating and returns the
